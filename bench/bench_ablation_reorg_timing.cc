@@ -1,0 +1,130 @@
+// Ablation: the three reorganization-timing alternatives of paper section
+// 3.3 -- post-processing (deferred, batched, equi-depth), eager
+// materialization (adaptive segmentation) and lazy materialization (adaptive
+// replication) -- plus the section-8 merging extension that counters GD's
+// fragmentation. Simulation setting, APM model, 2000 queries.
+#include <iostream>
+
+#include "bench_common.h"
+#include "common/series.h"
+#include "core/deferred_segmentation.h"
+
+using namespace socs;
+using namespace socs::bench;
+
+int main() {
+  const auto data = MakeSimColumn();
+  const ValueRange domain(0, kSimDomain);
+  constexpr size_t kQueries = 2000;
+
+  for (double sel : {0.1, 0.01}) {
+    ResultTable table(
+        "Ablation (paper 3.3): reorganization timing, uniform, selectivity " +
+            FormatNumber(sel),
+        {"alternative", "avg_read_KB", "first100_read_KB", "total_write_MB",
+         "sim_total_ms", "segments"});
+
+    auto report = [&](const char* name, AccessStrategy<int32_t>& strat) {
+      auto gen = MakeSimGen(false, sel);
+      RunRecorder rec = RunWorkload(strat, gen->Generate(kQueries));
+      double first100 = 0;
+      for (size_t i = 0; i < 100; ++i) first100 += rec.reads()[i];
+      table.AddRow(name, rec.AverageReadBytes() / 1024.0, first100 / 100 / 1024.0,
+                   rec.CumulativeWrites().back() / (1024.0 * 1024.0),
+                   rec.CumulativeTotalSeconds().back() * 1e3,
+                   strat.Footprint().segment_count);
+    };
+
+    {
+      SegmentSpace sp;
+      DeferredSegmentation<int32_t>::Options o;
+      o.batch_queries = 32;
+      DeferredSegmentation<int32_t> s(data, domain, MakeSimModel(Scheme::kApmSegm),
+                                      &sp, o);
+      report("post-processing (batch 32)", s);
+    }
+    {
+      SegmentSpace sp;
+      DeferredSegmentation<int32_t>::Options o;
+      o.batch_queries = 1;
+      DeferredSegmentation<int32_t> s(data, domain, MakeSimModel(Scheme::kApmSegm),
+                                      &sp, o);
+      report("post-processing (batch 1)", s);
+    }
+    {
+      SegmentSpace sp;
+      auto s = MakeSimStrategy(Scheme::kApmSegm, data, &sp);
+      report("eager (adaptive segmentation)", *s);
+    }
+    {
+      SegmentSpace sp;
+      auto s = MakeSimStrategy(Scheme::kApmRepl, data, &sp);
+      report("lazy (adaptive replication)", *s);
+    }
+    table.Print(std::cout);
+  }
+
+  // Merging extension: GD on a near-point skewed load (its worst case).
+  ResultTable merge_table(
+      "Ablation (paper 8): GD fragmentation with and without merging "
+      "(skewed near-point queries)",
+      {"variant", "segments", "tiny_segments_<1.5KB", "avg_read_KB",
+       "merges"});
+  for (bool merging : {false, true}) {
+    SegmentSpace sp;
+    AdaptiveSegmentation<int32_t>::Options o;
+    o.merge_small_segments = merging;
+    o.merge_threshold_bytes = 3 * kKiB;
+    AdaptiveSegmentation<int32_t> s(data, domain,
+                                    std::make_unique<GaussianDice>(0xd1ce), &sp,
+                                    o);
+    Rng rng(99);
+    uint64_t reads = 0, merges = 0;
+    for (int i = 0; i < 3000; ++i) {
+      const double lo = kSimDomain * 0.5 + rng.NextUniform(-5000, 5000);
+      auto ex = s.RunRange(ValueRange(lo, lo + kSimDomain * 0.01));
+      reads += ex.read_bytes;
+      merges += ex.merges;
+    }
+    size_t tiny = 0;
+    for (const auto& seg : s.Segments()) {
+      if (seg.count * sizeof(int32_t) < 1536) ++tiny;
+    }
+    merge_table.AddRow(merging ? "GD + merging" : "GD", s.Segments().size(),
+                       tiny, reads / 3000.0 / 1024.0, merges);
+  }
+  merge_table.Print(std::cout);
+
+  // Replica budget: storage cap vs read overhead.
+  ResultTable budget_table(
+      "Ablation (paper 8): adaptive replication under storage budgets "
+      "(uniform, sel 0.1, 1000 queries)",
+      {"budget", "peak_storage_KB", "avg_read_KB", "evictions"});
+  for (uint64_t budget_kb : {0, 1000, 600, 450}) {
+    SegmentSpace sp;
+    AdaptiveReplication<int32_t>::Options o;
+    o.storage_budget_bytes = budget_kb * kKiB;
+    AdaptiveReplication<int32_t> s(data, domain, MakeSimModel(Scheme::kApmRepl),
+                                   &sp, o);
+    auto gen = MakeSimGen(false, 0.1);
+    uint64_t peak = 0, reads = 0, evictions = 0;
+    for (int i = 0; i < 1000; ++i) {
+      auto ex = s.RunRange(gen->Next().range);
+      reads += ex.read_bytes;
+      evictions += ex.replicas_evicted;
+      peak = std::max(peak, s.Footprint().materialized_bytes);
+    }
+    budget_table.AddRow(budget_kb == 0 ? std::string("unlimited")
+                                       : FormatBytes(budget_kb * kKiB),
+                        peak / 1024.0, reads / 1000.0 / 1024.0, evictions);
+  }
+  budget_table.Print(std::cout);
+
+  std::cout << "Reading: post-processing delays benefits (high early reads)\n"
+               "and re-reads marked segments, but batching yields balanced\n"
+               "equi-depth segments; eager pays everything up front; lazy\n"
+               "writes least. Merging removes GD's tiny-segment pathology.\n"
+               "Tighter replica budgets trade storage for re-scans of the\n"
+               "covering segments.\n";
+  return 0;
+}

@@ -1,0 +1,211 @@
+// Shared infrastructure for the figure/table-regeneration benches.
+//
+// Simulation setting (paper section 6.1): a column of 100K int32 values from
+// a 1M-value integer domain (400KB), 10K range selections, selectivity 0.1 /
+// 0.01, uniform or Zipf query placement, APM bounds 3KB / 12KB.
+//
+// SkyServer setting (paper section 6.2): a synthetic `ra` float column of
+// 45M values (~180MB), 200-query workloads (random / skewed / changing),
+// APM bounds 1MB / {5MB, 25MB}, and GD. Simulated milliseconds come from the
+// calibrated cost model; tuple reconstruction for the projected objid column
+// is charged at gather bandwidth (the paper's plans join candidates with the
+// objid column, Fig. 1).
+#ifndef SOCS_BENCH_BENCH_COMMON_H_
+#define SOCS_BENCH_BENCH_COMMON_H_
+
+#include <cmath>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+#include "core/adaptive_replication.h"
+#include "core/adaptive_segmentation.h"
+#include "core/apm.h"
+#include "core/gaussian_dice.h"
+#include "core/non_segmented.h"
+#include "core/run_stats.h"
+#include "workload/range_generator.h"
+#include "workload/skyserver.h"
+
+namespace socs::bench {
+
+// --- simulation setting ------------------------------------------------------
+
+inline constexpr size_t kSimValues = 100'000;
+inline constexpr int32_t kSimDomain = 1'000'000;
+inline constexpr size_t kSimQueries = 10'000;
+inline constexpr uint64_t kSimApmMin = 3 * kKiB;
+inline constexpr uint64_t kSimApmMax = 12 * kKiB;
+inline constexpr uint64_t kSimSeed = 2008;
+
+enum class Scheme { kGdSegm, kGdRepl, kApmSegm, kApmRepl };
+
+inline const char* SchemeName(Scheme s) {
+  switch (s) {
+    case Scheme::kGdSegm: return "GD Segm";
+    case Scheme::kGdRepl: return "GD Repl";
+    case Scheme::kApmSegm: return "APM Segm";
+    case Scheme::kApmRepl: return "APM Repl";
+  }
+  return "?";
+}
+
+inline std::vector<Scheme> AllSchemes() {
+  return {Scheme::kGdSegm, Scheme::kGdRepl, Scheme::kApmSegm, Scheme::kApmRepl};
+}
+
+inline std::unique_ptr<SegmentationModel> MakeSimModel(Scheme s) {
+  if (s == Scheme::kGdSegm || s == Scheme::kGdRepl) {
+    return std::make_unique<GaussianDice>(kSimSeed ^ 0xd1ce);
+  }
+  return std::make_unique<Apm>(kSimApmMin, kSimApmMax);
+}
+
+inline std::unique_ptr<AccessStrategy<int32_t>> MakeSimStrategy(
+    Scheme s, const std::vector<int32_t>& data, SegmentSpace* space) {
+  const ValueRange domain(0, kSimDomain);
+  switch (s) {
+    case Scheme::kGdSegm:
+    case Scheme::kApmSegm:
+      return std::make_unique<AdaptiveSegmentation<int32_t>>(
+          data, domain, MakeSimModel(s), space);
+    case Scheme::kGdRepl:
+    case Scheme::kApmRepl:
+      return std::make_unique<AdaptiveReplication<int32_t>>(
+          data, domain, MakeSimModel(s), space);
+  }
+  return nullptr;
+}
+
+inline std::vector<int32_t> MakeSimColumn() {
+  return MakeUniformIntColumn(kSimValues, kSimDomain, kSimSeed);
+}
+
+/// Uniform or Zipf placement. Zipf: theta 1 over a grid of 1000 cells,
+/// contiguous rank->cell mapping, windows aligned to cell starts (hot
+/// queries repeat verbatim) -- see range_generator.h and DESIGN.md.
+inline std::unique_ptr<QueryGenerator> MakeSimGen(bool zipf, double selectivity) {
+  const ValueRange domain(0, kSimDomain);
+  if (zipf) {
+    return std::make_unique<ZipfRangeGenerator>(domain, selectivity,
+                                                kSimSeed + 17, 1.0, 1000,
+                                                /*scramble=*/false,
+                                                /*align=*/true);
+  }
+  return std::make_unique<UniformRangeGenerator>(domain, selectivity,
+                                                 kSimSeed + 17);
+}
+
+/// Runs a workload against a strategy, recording per-query series.
+template <typename T>
+RunRecorder RunWorkload(AccessStrategy<T>& strat, const Workload& w) {
+  RunRecorder rec;
+  for (const RangeQuery& q : w) {
+    rec.Record(strat.RunRange(q.range), strat.Footprint());
+  }
+  return rec;
+}
+
+/// Log-spaced sample indices in [1, n] (for the paper's log-x plots).
+inline std::vector<size_t> LogSpacedIndices(size_t n, size_t per_decade = 9) {
+  std::vector<size_t> out;
+  double x = 1.0;
+  const double step = std::pow(10.0, 1.0 / per_decade);
+  while (static_cast<size_t>(x) <= n) {
+    const size_t i = static_cast<size_t>(x);
+    if (out.empty() || i != out.back()) out.push_back(i);
+    x *= step;
+  }
+  if (out.back() != n) out.push_back(n);
+  return out;
+}
+
+// --- SkyServer setting -------------------------------------------------------
+
+/// Scale factor: SOCS_SKY_SCALE=0.1 shrinks the 45M-value column for quick
+/// runs; the default regenerates the paper-scale experiment.
+inline SkyServerConfig SkyConfig() {
+  SkyServerConfig cfg;
+  const char* scale_env = std::getenv("SOCS_SKY_SCALE");
+  const double scale = scale_env != nullptr ? std::atof(scale_env) : 1.0;
+  if (scale > 0 && scale < 1.0) {
+    cfg.num_objects = static_cast<size_t>(cfg.num_objects * scale);
+  }
+  return cfg;
+}
+
+enum class SkyScheme { kNoSegm, kGd, kApm25, kApm5 };
+
+inline const char* SkySchemeName(SkyScheme s) {
+  switch (s) {
+    case SkyScheme::kNoSegm: return "NoSegm";
+    case SkyScheme::kGd: return "GD";
+    case SkyScheme::kApm25: return "APM 1-25";
+    case SkyScheme::kApm5: return "APM 1-5";
+  }
+  return "?";
+}
+
+inline std::vector<SkyScheme> AllSkySchemes() {
+  return {SkyScheme::kNoSegm, SkyScheme::kGd, SkyScheme::kApm25,
+          SkyScheme::kApm5};
+}
+
+/// APM bounds scale with the column so reduced-scale runs keep the paper's
+/// segment-count geometry (1MB/5MB/25MB at full scale).
+inline std::unique_ptr<AccessStrategy<float>> MakeSkyStrategy(
+    SkyScheme s, const std::vector<float>& ra, const SkyServerConfig& cfg,
+    SegmentSpace* space) {
+  const double scale =
+      static_cast<double>(ra.size()) / static_cast<double>(45'000'000);
+  const auto mb = [&](double m) {
+    return static_cast<uint64_t>(m * scale * kMiB) + 1;
+  };
+  switch (s) {
+    case SkyScheme::kNoSegm:
+      return std::make_unique<NonSegmented<float>>(ra, cfg.footprint, space);
+    case SkyScheme::kGd:
+      return std::make_unique<AdaptiveSegmentation<float>>(
+          ra, cfg.footprint, std::make_unique<GaussianDice>(0xd1ce), space);
+    case SkyScheme::kApm25:
+      return std::make_unique<AdaptiveSegmentation<float>>(
+          ra, cfg.footprint, std::make_unique<Apm>(mb(1), mb(25)), space);
+    case SkyScheme::kApm5:
+      return std::make_unique<AdaptiveSegmentation<float>>(
+          ra, cfg.footprint, std::make_unique<Apm>(mb(1), mb(5)), space);
+  }
+  return nullptr;
+}
+
+struct SkyRun {
+  std::vector<double> selection_ms;   // per query
+  std::vector<double> adaptation_ms;  // per query
+  std::vector<double> total_ms;       // selection + adaptation + reconstruction
+};
+
+/// Runs one workload, charging tuple reconstruction (objid fetch: 8B oid +
+/// 8B objid per result row) at gather bandwidth on top of the strategy time.
+inline SkyRun RunSkyWorkload(AccessStrategy<float>& strat, const Workload& w,
+                             const CostModel& model) {
+  SkyRun run;
+  for (const RangeQuery& q : w) {
+    QueryExecution ex = strat.RunRange(q.range);
+    const double reconstruct_s = model.Gather(ex.result_count * 16);
+    run.selection_ms.push_back((ex.selection_seconds + reconstruct_s) * 1e3);
+    run.adaptation_ms.push_back(ex.adaptation_seconds * 1e3);
+    run.total_ms.push_back(run.selection_ms.back() + run.adaptation_ms.back());
+  }
+  return run;
+}
+
+/// Shared driver for Figs. 11-16: runs the four schemes on one workload and
+/// prints cumulative time (Figs. 11/13/15) and the moving-average per-query
+/// time (Figs. 12/14/16, window 20).
+void PrintSkyTimeFigures(const std::string& workload_name, const Workload& w,
+                         const char* cum_fig, const char* avg_fig);
+
+}  // namespace socs::bench
+
+#endif  // SOCS_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,39 @@
+// Figure 5: cumulative memory writes due to segment materialization, uniform
+// query placement, selectivity 0.1 (a) and 0.01 (b). Four curves: GD/APM x
+// segmentation/replication, over 10K queries (log-log in the paper).
+#include <iostream>
+
+#include "bench_common.h"
+#include "common/series.h"
+
+using namespace socs;
+using namespace socs::bench;
+
+int main() {
+  const auto data = MakeSimColumn();
+  for (double sel : {0.1, 0.01}) {
+    std::vector<RunRecorder> recs;
+    for (Scheme s : AllSchemes()) {
+      SegmentSpace space;
+      auto strat = MakeSimStrategy(s, data, &space);
+      auto gen = MakeSimGen(/*zipf=*/false, sel);
+      recs.push_back(RunWorkload(*strat, gen->Generate(kSimQueries)));
+    }
+    ResultTable table("Figure 5" + std::string(sel == 0.1 ? "a" : "b") +
+                          ": cumulative memory writes (bytes), uniform, "
+                          "selectivity " + FormatNumber(sel),
+                      {"queries", "GD Segm", "GD Repl", "APM Segm", "APM Repl"});
+    std::vector<std::vector<double>> cum;
+    cum.reserve(recs.size());
+    for (const auto& r : recs) cum.push_back(r.CumulativeWrites());
+    for (size_t q : LogSpacedIndices(kSimQueries)) {
+      table.AddRow(q, cum[0][q - 1], cum[1][q - 1], cum[2][q - 1], cum[3][q - 1]);
+    }
+    table.Print(std::cout);
+  }
+  std::cout << "Expected shape (paper): replication writes less than its\n"
+               "segmentation counterpart for every model/selectivity; APM\n"
+               "saturates after ~100 queries, GD keeps reorganizing with\n"
+               "decreasing probability.\n";
+  return 0;
+}

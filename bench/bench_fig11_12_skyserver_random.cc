@@ -1,0 +1,13 @@
+// Figures 11 and 12: cumulative and moving-average query time for the
+// random SkyServer workload (200 queries over the whole footprint).
+#include "bench_sky_driver.inc"
+
+int main() {
+  using namespace socs::bench;
+  const auto cfg = SkyConfig();
+  PrintSkyTimeFigures("random", socs::MakeRandomWorkload(cfg, 200), "11", "12");
+  std::cout << "Expected shape (paper): adaptive schemes start slower (re-\n"
+               "organization) but cross below NoSegm within a few tens of\n"
+               "queries; APM 1-25 amortizes first.\n";
+  return 0;
+}

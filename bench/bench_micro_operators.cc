@@ -1,0 +1,141 @@
+// Operator microbenchmarks (google-benchmark): the primitive costs behind
+// the simulator's cost model -- scans, partitioning, meta-index lookups,
+// replica-tree covers, cracking, and the BAT operators.
+#include <benchmark/benchmark.h>
+
+#include "bat/algebra.h"
+#include "common/rng.h"
+#include "common/units.h"
+#include "core/adaptive_segmentation.h"
+#include "core/apm.h"
+#include "core/cracking.h"
+#include "core/replica_tree.h"
+#include "core/segment_meta_index.h"
+#include "core/strategy.h"
+#include "workload/range_generator.h"
+
+namespace socs {
+namespace {
+
+std::vector<int32_t> Data(size_t n) { return MakeUniformIntColumn(n, 1'000'000, 7); }
+
+void BM_FilterRangeScan(benchmark::State& state) {
+  const auto data = Data(static_cast<size_t>(state.range(0)));
+  std::span<const int32_t> span(data);
+  const ValueRange q(100'000, 200'000);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(FilterRange<int32_t>(span, q, nullptr));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          data.size() * sizeof(int32_t));
+}
+BENCHMARK(BM_FilterRangeScan)->Arg(100'000)->Arg(1'000'000);
+
+void BM_PartitionByCuts(benchmark::State& state) {
+  const auto data = Data(static_cast<size_t>(state.range(0)));
+  std::span<const int32_t> span(data);
+  const std::vector<double> cuts{250'000, 500'000, 750'000};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(PartitionByCuts(span, cuts));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          data.size() * sizeof(int32_t));
+}
+BENCHMARK(BM_PartitionByCuts)->Arg(100'000)->Arg(1'000'000);
+
+void BM_MetaIndexLookup(benchmark::State& state) {
+  const size_t parts = static_cast<size_t>(state.range(0));
+  SegmentMetaIndex idx(ValueRange(0, 1'000'000));
+  std::vector<SegmentInfo> segs;
+  for (size_t i = 0; i < parts; ++i) {
+    segs.push_back(SegmentInfo{ValueRange(i * 1e6 / parts, (i + 1) * 1e6 / parts),
+                               100, i + 1});
+  }
+  segs.back().range.hi = 1'000'000;
+  idx.InitTiling(segs);
+  Rng rng(3);
+  for (auto _ : state) {
+    const double lo = rng.NextUniform(0, 900'000);
+    benchmark::DoNotOptimize(idx.FindOverlapping(ValueRange(lo, lo + 50'000)));
+  }
+}
+BENCHMARK(BM_MetaIndexLookup)->Arg(16)->Arg(256)->Arg(4096);
+
+void BM_ReplicaTreeCover(benchmark::State& state) {
+  // A replica tree shaped like a converged run: a flat forest of segments.
+  const size_t leaves = static_cast<size_t>(state.range(0));
+  ReplicaTree tree(ValueRange(0, 1'000'000));
+  ReplicaNode* root = tree.InitColumn(1'000'000, 1);
+  std::vector<ReplicaNodeSpec> specs;
+  for (size_t i = 0; i < leaves; ++i) {
+    specs.push_back({{i * 1e6 / leaves, (i + 1) * 1e6 / leaves}, 1000});
+  }
+  specs.back().range.hi = 1'000'000;
+  auto kids = tree.AddChildren(root, specs);
+  for (auto* k : kids) {
+    k->materialized = true;
+    k->seg = 2;
+  }
+  Rng rng(5);
+  std::vector<ReplicaNode*> cover;
+  for (auto _ : state) {
+    const double lo = rng.NextUniform(0, 900'000);
+    tree.GetCover(ValueRange(lo, lo + 50'000), &cover);
+    benchmark::DoNotOptimize(cover);
+  }
+}
+BENCHMARK(BM_ReplicaTreeCover)->Arg(16)->Arg(256)->Arg(4096);
+
+void BM_AdaptiveSegmentationQuery(benchmark::State& state) {
+  SegmentSpace space;
+  AdaptiveSegmentation<int32_t> strat(Data(100'000), ValueRange(0, 1'000'000),
+                                      std::make_unique<Apm>(3 * kKiB, 12 * kKiB),
+                                      &space);
+  UniformRangeGenerator warm(ValueRange(0, 1'000'000), 0.01, 9);
+  for (int i = 0; i < 500; ++i) strat.RunRange(warm.Next().range);  // converge
+  Rng rng(11);
+  for (auto _ : state) {
+    const double lo = rng.NextUniform(0, 990'000);
+    benchmark::DoNotOptimize(strat.RunRange(ValueRange(lo, lo + 10'000)));
+  }
+}
+BENCHMARK(BM_AdaptiveSegmentationQuery);
+
+void BM_CrackingQuery(benchmark::State& state) {
+  SegmentSpace space;
+  CrackingColumn<int32_t> strat(Data(100'000), ValueRange(0, 1'000'000), &space);
+  UniformRangeGenerator warm(ValueRange(0, 1'000'000), 0.01, 13);
+  for (int i = 0; i < 500; ++i) strat.RunRange(warm.Next().range);
+  Rng rng(15);
+  for (auto _ : state) {
+    const double lo = rng.NextUniform(0, 990'000);
+    benchmark::DoNotOptimize(strat.RunRange(ValueRange(lo, lo + 10'000)));
+  }
+}
+BENCHMARK(BM_CrackingQuery);
+
+void BM_BatSelect(benchmark::State& state) {
+  Bat b = Bat::DenseTyped(TypedVector::Of(Data(static_cast<size_t>(state.range(0)))));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(algebra::Select(b, 100'000, 200'000));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          b.size() * sizeof(int32_t));
+}
+BENCHMARK(BM_BatSelect)->Arg(100'000)->Arg(1'000'000);
+
+void BM_BatJoinPositional(benchmark::State& state) {
+  const size_t n = 100'000;
+  Bat col = Bat::DenseTyped(TypedVector::Of(std::vector<int64_t>(n, 7)));
+  std::vector<Oid> cand;
+  Rng rng(17);
+  for (size_t i = 0; i < n / 10; ++i) cand.push_back(rng.NextBelow(n));
+  Bat probe = algebra::Reverse(algebra::MarkT(Bat::OidList(cand), 0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(algebra::Join(probe, col));
+  }
+}
+BENCHMARK(BM_BatJoinPositional);
+
+}  // namespace
+}  // namespace socs

@@ -1,0 +1,51 @@
+// Quickstart: self-organizing column in ~40 lines.
+//
+// Build a column, wrap it in an adaptive-segmentation strategy, and watch
+// range queries reorganize it: reads per query shrink as the column learns
+// the workload.
+//
+//   $ ./examples/quickstart
+#include <cstdio>
+
+#include "common/units.h"
+#include "core/adaptive_segmentation.h"
+#include "core/apm.h"
+#include "workload/range_generator.h"
+
+int main() {
+  using namespace socs;
+
+  // 1M random integers from [0, 10M): a 4MB column.
+  const ValueRange domain(0, 10'000'000);
+  std::vector<int32_t> values = MakeUniformIntColumn(1'000'000, 10'000'000, 42);
+
+  // Storage substrate: unbounded buffer pool, default 2007-era cost model.
+  SegmentSpace space;
+
+  // The self-organizing column: APM model with 32KB..128KB segment bounds.
+  AdaptiveSegmentation<int32_t> column(
+      values, domain, std::make_unique<Apm>(32 * kKiB, 128 * kKiB), &space);
+
+  // Fire 1% range selections at it and watch it adapt.
+  UniformRangeGenerator gen(domain, /*selectivity=*/0.01, /*seed=*/7);
+  std::printf("%8s %14s %12s %10s\n", "query", "reads", "segments", "splits");
+  uint64_t splits = 0;
+  for (int i = 1; i <= 2000; ++i) {
+    QueryExecution ex = column.RunRange(gen.Next().range);
+    splits += ex.splits;
+    if (i <= 4 || i % 400 == 0) {
+      std::printf("%8d %14s %12zu %10llu\n", i,
+                  FormatBytes(ex.read_bytes).c_str(), column.Segments().size(),
+                  static_cast<unsigned long long>(splits));
+    }
+  }
+
+  // Results are exact: fetch the values of one more query.
+  std::vector<int32_t> result;
+  column.RunRange(ValueRange(5'000'000, 5'100'000), &result);
+  std::printf("\nfinal query returned %zu values; the column now holds %zu "
+              "segments with a %s meta-index\n",
+              result.size(), column.Segments().size(),
+              FormatBytes(column.Footprint().meta_bytes).c_str());
+  return 0;
+}

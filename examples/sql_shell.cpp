@@ -1,0 +1,134 @@
+// SQL shell over the full software stack: SQL -> MAL plan -> tactical
+// optimizer (segment optimizer + dead code elimination) -> interpreter.
+// The demo catalog is a mini SkyServer photo-object table P(ra, dec, objid)
+// whose `ra` column is under adaptive-segmentation management, so repeated
+// range queries visibly reorganize it (the paper's section 3.1 pipeline).
+//
+//   $ ./examples/sql_shell                # run the scripted demo
+//   $ echo "select objid from P where ra between 205.1 and 205.12" | \
+//       ./examples/sql_shell -            # read queries from stdin
+#include <cstdio>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "common/rng.h"
+#include "common/units.h"
+#include "core/adaptive_segmentation.h"
+#include "core/apm.h"
+#include "engine/mal_interpreter.h"
+#include "engine/optimizer.h"
+#include "sql/compiler.h"
+#include "sql/parser.h"
+
+namespace {
+
+using namespace socs;
+
+void BuildDemoCatalog(Catalog* cat, SegmentSpace* space) {
+  Rng rng(2008);
+  const size_t n = 200'000;
+  std::vector<OidValue> ra;
+  std::vector<double> dec;
+  std::vector<int64_t> objid;
+  for (size_t i = 0; i < n; ++i) {
+    ra.push_back({i, rng.NextUniform(0.0, 360.0)});
+    dec.push_back(rng.NextUniform(-90.0, 90.0));
+    objid.push_back(static_cast<int64_t>(587722981742084097LL + i));
+  }
+  auto strat = std::make_unique<AdaptiveSegmentation<OidValue>>(
+      ra, ValueRange(0.0, 360.0), std::make_unique<Apm>(64 * kKiB, 256 * kKiB),
+      space);
+  auto col = std::make_unique<SegmentedColumn>(Catalog::SegHandle("P", "ra"),
+                                               ValType::kDbl, std::move(strat),
+                                               space);
+  (void)cat->AddSegmentedColumn("P", "ra", std::move(col));
+  (void)cat->AddColumn("P", "dec", TypedVector::Of(dec));
+  (void)cat->AddColumn("P", "objid", TypedVector::Of(objid));
+}
+
+void RunQuery(const std::string& text, Catalog* cat, bool verbose) {
+  std::printf("sql> %s\n", text.c_str());
+  auto stmt = sql::Parse(text);
+  if (!stmt.ok()) {
+    std::printf("  parse error: %s\n", stmt.status().ToString().c_str());
+    return;
+  }
+  auto prog = sql::Compile(*stmt, *cat);
+  if (!prog.ok()) {
+    std::printf("  compile error: %s\n", prog.status().ToString().c_str());
+    return;
+  }
+  if (verbose) {
+    std::printf("-- unoptimized MAL plan:\n%s", prog->ToString().c_str());
+  }
+  OptContext ctx;
+  ctx.catalog = cat;
+  PassManager pm = MakeDefaultPipeline();
+  if (Status st = pm.Run(&prog.value(), &ctx); !st.ok()) {
+    std::printf("  optimizer error: %s\n", st.ToString().c_str());
+    return;
+  }
+  if (verbose) {
+    std::printf("-- after tactical optimization (segment optimizer + DCE):\n%s",
+                prog->ToString().c_str());
+    if (ctx.estimated_scan_bytes > 0) {
+      std::printf("-- optimizer scan estimate: %s\n",
+                  FormatBytes(ctx.estimated_scan_bytes).c_str());
+    }
+  }
+  MalInterpreter interp(cat);
+  auto rs = interp.Run(*prog);
+  if (!rs.ok()) {
+    std::printf("  runtime error: %s\n", rs.status().ToString().c_str());
+    return;
+  }
+  std::printf("-- %llu row(s)", static_cast<unsigned long long>((*rs)->NumRows()));
+  if (!(*rs)->cols.empty() && (*rs)->NumRows() > 0) {
+    std::printf("; first rows:");
+    const size_t show = std::min<size_t>(3, (*rs)->NumRows());
+    for (size_t r = 0; r < show; ++r) {
+      std::printf(" (");
+      for (size_t c = 0; c < (*rs)->cols.size(); ++c) {
+        std::printf("%s%.6g", c ? ", " : "",
+                    (*rs)->cols[c].bat->tail().DoubleAt(r));
+      }
+      std::printf(")");
+    }
+  }
+  const auto& adapt = interp.last_adapt();
+  std::printf("\n-- adaptive work: %llu split(s), %s scanned, %s rewritten\n\n",
+              static_cast<unsigned long long>(adapt.splits),
+              FormatBytes(adapt.read_bytes).c_str(),
+              FormatBytes(adapt.write_bytes).c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Catalog cat;
+  SegmentSpace space;
+  std::printf("building demo catalog P(ra segmented, dec, objid), 200K rows...\n\n");
+  BuildDemoCatalog(&cat, &space);
+
+  if (argc > 1 && std::string(argv[1]) == "-") {
+    std::string line;
+    while (std::getline(std::cin, line)) {
+      if (line.empty()) continue;
+      RunQuery(line, &cat, /*verbose=*/true);
+    }
+    return 0;
+  }
+
+  // Scripted demo: the paper's example query, then repeats that trigger and
+  // then profit from reorganization.
+  RunQuery("select objid from P where ra between 205.1 and 205.12", &cat, true);
+  RunQuery("select count(*) from P where ra between 200 and 210", &cat, false);
+  RunQuery("select objid, dec from P where ra between 204 and 206 and "
+           "dec between -10 and 10",
+           &cat, false);
+  RunQuery("select objid from P where ra between 205.1 and 205.12", &cat, true);
+  std::printf("note: the second run of the same query iterates far smaller "
+              "segments.\n");
+  return 0;
+}

@@ -1,0 +1,234 @@
+#include "bat/algebra.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace socs::algebra {
+
+namespace {
+
+bool InRange(double v, double lo, double hi, bool lo_incl, bool hi_incl) {
+  if (lo_incl ? v < lo : v <= lo) return false;
+  if (hi_incl ? v > hi : v >= hi) return false;
+  return true;
+}
+
+/// Collects the row indices of `b` whose tail qualifies.
+std::vector<size_t> SelectPositions(const Bat& b, double lo, double hi,
+                                    bool lo_incl, bool hi_incl) {
+  std::vector<size_t> pos;
+  const BatColumn& tail = b.tail();
+  for (size_t i = 0; i < tail.size(); ++i) {
+    if (InRange(tail.DoubleAt(i), lo, hi, lo_incl, hi_incl)) pos.push_back(i);
+  }
+  return pos;
+}
+
+std::vector<Oid> HeadOidsAt(const Bat& b, const std::vector<size_t>& pos) {
+  std::vector<Oid> oids;
+  oids.reserve(pos.size());
+  for (size_t i : pos) oids.push_back(b.head().OidAt(i));
+  return oids;
+}
+
+Status RequireOidHead(const Bat& b, const char* op) {
+  if (b.head().is_void() || b.head().type() == ValType::kOid) return Status::OK();
+  return Status::InvalidArgument(std::string(op) + ": head must be (v)oid, got " +
+                                 ValTypeName(b.head().type()));
+}
+
+/// Copies tail element i of `src` into `dst` (same type family via double).
+void CopyTail(const BatColumn& src, size_t i, TypedVector* dst) {
+  dst->AppendDouble(src.DoubleAt(i));
+}
+
+}  // namespace
+
+StatusOr<Bat> Select(const Bat& b, double lo, double hi, bool lo_incl,
+                     bool hi_incl) {
+  SOCS_RETURN_IF_ERROR(RequireOidHead(b, "algebra.select"));
+  if (b.tail().is_void()) {
+    return Status::InvalidArgument("algebra.select: void tail");
+  }
+  auto pos = SelectPositions(b, lo, hi, lo_incl, hi_incl);
+  TypedVector values(b.tail().type());
+  values.Reserve(pos.size());
+  for (size_t i : pos) CopyTail(b.tail(), i, &values);
+  return Bat(BatColumn::Materialized(TypedVector::Of(HeadOidsAt(b, pos))),
+             BatColumn::Materialized(std::move(values)));
+}
+
+StatusOr<Bat> Uselect(const Bat& b, double lo, double hi, bool lo_incl,
+                      bool hi_incl) {
+  SOCS_RETURN_IF_ERROR(RequireOidHead(b, "algebra.uselect"));
+  if (b.tail().is_void()) {
+    return Status::InvalidArgument("algebra.uselect: void tail");
+  }
+  auto pos = SelectPositions(b, lo, hi, lo_incl, hi_incl);
+  return Bat::OidList(HeadOidsAt(b, pos));
+}
+
+StatusOr<Bat> KUnion(const Bat& a, const Bat& b) {
+  SOCS_RETURN_IF_ERROR(RequireOidHead(a, "algebra.kunion"));
+  SOCS_RETURN_IF_ERROR(RequireOidHead(b, "algebra.kunion"));
+  if (a.tail().type() != b.tail().type()) {
+    return Status::InvalidArgument("algebra.kunion: tail type mismatch");
+  }
+  std::unordered_set<Oid> seen;
+  seen.reserve(a.size());
+  std::vector<Oid> heads;
+  const bool void_tail = a.tail().is_void();
+  TypedVector tails(void_tail ? ValType::kOid : a.tail().type());
+  for (size_t i = 0; i < a.size(); ++i) {
+    const Oid o = a.head().OidAt(i);
+    seen.insert(o);
+    heads.push_back(o);
+    if (!void_tail) CopyTail(a.tail(), i, &tails);
+  }
+  for (size_t i = 0; i < b.size(); ++i) {
+    const Oid o = b.head().OidAt(i);
+    if (seen.count(o)) continue;
+    heads.push_back(o);
+    if (!void_tail) CopyTail(b.tail(), i, &tails);
+  }
+  if (void_tail) return Bat::OidList(std::move(heads));
+  return Bat(BatColumn::Materialized(TypedVector::Of(std::move(heads))),
+             BatColumn::Materialized(std::move(tails)));
+}
+
+StatusOr<Bat> KDifference(const Bat& a, const Bat& b) {
+  SOCS_RETURN_IF_ERROR(RequireOidHead(a, "algebra.kdifference"));
+  SOCS_RETURN_IF_ERROR(RequireOidHead(b, "algebra.kdifference"));
+  std::unordered_set<Oid> drop;
+  drop.reserve(b.size());
+  for (size_t i = 0; i < b.size(); ++i) drop.insert(b.head().OidAt(i));
+  std::vector<Oid> heads;
+  const bool void_tail = a.tail().is_void();
+  TypedVector tails(void_tail ? ValType::kOid : a.tail().type());
+  for (size_t i = 0; i < a.size(); ++i) {
+    const Oid o = a.head().OidAt(i);
+    if (drop.count(o)) continue;
+    heads.push_back(o);
+    if (!void_tail) CopyTail(a.tail(), i, &tails);
+  }
+  if (void_tail) return Bat::OidList(std::move(heads));
+  return Bat(BatColumn::Materialized(TypedVector::Of(std::move(heads))),
+             BatColumn::Materialized(std::move(tails)));
+}
+
+StatusOr<Bat> KIntersect(const Bat& a, const Bat& b) {
+  SOCS_RETURN_IF_ERROR(RequireOidHead(a, "algebra.kintersect"));
+  SOCS_RETURN_IF_ERROR(RequireOidHead(b, "algebra.kintersect"));
+  std::unordered_set<Oid> keep;
+  keep.reserve(b.size());
+  for (size_t i = 0; i < b.size(); ++i) keep.insert(b.head().OidAt(i));
+  std::vector<Oid> heads;
+  const bool void_tail = a.tail().is_void();
+  TypedVector tails(void_tail ? ValType::kOid : a.tail().type());
+  for (size_t i = 0; i < a.size(); ++i) {
+    const Oid o = a.head().OidAt(i);
+    if (!keep.count(o)) continue;
+    heads.push_back(o);
+    if (!void_tail) CopyTail(a.tail(), i, &tails);
+  }
+  if (void_tail) return Bat::OidList(std::move(heads));
+  return Bat(BatColumn::Materialized(TypedVector::Of(std::move(heads))),
+             BatColumn::Materialized(std::move(tails)));
+}
+
+Bat Reverse(const Bat& b) { return Bat(b.tail(), b.head()); }
+
+Bat MarkT(const Bat& b, Oid base) {
+  return Bat(b.head(), BatColumn::Void(base, b.size()));
+}
+
+StatusOr<Bat> Join(const Bat& a, const Bat& b) {
+  // a.tail must hold oids (or be void) to probe b's head.
+  if (!a.tail().is_void() && a.tail().type() != ValType::kOid) {
+    return Status::InvalidArgument("algebra.join: left tail must be (v)oid");
+  }
+  SOCS_RETURN_IF_ERROR(RequireOidHead(b, "algebra.join"));
+  if (b.tail().is_void()) {
+    return Status::InvalidArgument("algebra.join: right tail is void");
+  }
+
+  std::vector<Oid> heads;
+  TypedVector tails(b.tail().type());
+  const bool head_void = a.head().is_void();
+
+  auto emit = [&](size_t ai, size_t bi) {
+    heads.push_back(a.head().OidAt(ai));
+    CopyTail(b.tail(), bi, &tails);
+  };
+
+  if (b.head().is_void()) {
+    // Positional fetch.
+    const Oid base = b.head().seqbase();
+    for (size_t i = 0; i < a.size(); ++i) {
+      const Oid key = a.tail().OidAt(i);
+      if (key < base) continue;
+      const size_t j = key - base;
+      if (j < b.size()) emit(i, j);
+    }
+  } else {
+    std::unordered_map<Oid, size_t> probe;
+    probe.reserve(b.size());
+    for (size_t j = 0; j < b.size(); ++j) probe.emplace(b.head().OidAt(j), j);
+    for (size_t i = 0; i < a.size(); ++i) {
+      auto it = probe.find(a.tail().OidAt(i));
+      if (it != probe.end()) emit(i, it->second);
+    }
+  }
+  (void)head_void;
+  return Bat(BatColumn::Materialized(TypedVector::Of(std::move(heads))),
+             BatColumn::Materialized(std::move(tails)));
+}
+
+StatusOr<Bat> Append(const Bat& a, const Bat& b) {
+  SOCS_RETURN_IF_ERROR(RequireOidHead(a, "bat.append"));
+  SOCS_RETURN_IF_ERROR(RequireOidHead(b, "bat.append"));
+  const bool void_tail = a.tail().is_void() && b.tail().is_void();
+  if (!void_tail) {
+    if (a.tail().is_void() || b.tail().is_void() ||
+        a.tail().type() != b.tail().type()) {
+      return Status::InvalidArgument("bat.append: tail type mismatch");
+    }
+  }
+  std::vector<Oid> heads;
+  heads.reserve(a.size() + b.size());
+  for (size_t i = 0; i < a.size(); ++i) heads.push_back(a.head().OidAt(i));
+  for (size_t i = 0; i < b.size(); ++i) heads.push_back(b.head().OidAt(i));
+  if (void_tail) return Bat::OidList(std::move(heads));
+  TypedVector tails(a.tail().type());
+  tails.Reserve(a.size() + b.size());
+  for (size_t i = 0; i < a.size(); ++i) CopyTail(a.tail(), i, &tails);
+  for (size_t i = 0; i < b.size(); ++i) CopyTail(b.tail(), i, &tails);
+  return Bat(BatColumn::Materialized(TypedVector::Of(std::move(heads))),
+             BatColumn::Materialized(std::move(tails)));
+}
+
+StatusOr<double> Sum(const Bat& b) {
+  if (b.tail().is_void()) return Status::InvalidArgument("aggr.sum: void tail");
+  double s = 0.0;
+  for (size_t i = 0; i < b.size(); ++i) s += b.tail().DoubleAt(i);
+  return s;
+}
+
+StatusOr<double> Min(const Bat& b) {
+  if (b.size() == 0) return Status::InvalidArgument("aggr.min: empty bat");
+  double m = b.tail().DoubleAt(0);
+  for (size_t i = 1; i < b.size(); ++i) m = std::min(m, b.tail().DoubleAt(i));
+  return m;
+}
+
+StatusOr<double> Max(const Bat& b) {
+  if (b.size() == 0) return Status::InvalidArgument("aggr.max: empty bat");
+  double m = b.tail().DoubleAt(0);
+  for (size_t i = 1; i < b.size(); ++i) m = std::max(m, b.tail().DoubleAt(i));
+  return m;
+}
+
+uint64_t Count(const Bat& b) { return b.size(); }
+
+}  // namespace socs::algebra

@@ -1,0 +1,55 @@
+// The algebra.* operator set of the mini-MonetDB engine: the relational
+// building blocks the paper's example plan (Fig. 1) is made of. Operators
+// are fully materializing, like MonetDB's execution paradigm (section 2).
+#ifndef SOCS_BAT_ALGEBRA_H_
+#define SOCS_BAT_ALGEBRA_H_
+
+#include "bat/bat.h"
+#include "common/status.h"
+
+namespace socs::algebra {
+
+/// Rows whose tail value lies in [lo, hi] (bounds inclusive per flag).
+/// Returns [oid, T]: head = qualifying oids (materialized), tail = values.
+StatusOr<Bat> Select(const Bat& b, double lo, double hi, bool lo_incl = true,
+                     bool hi_incl = true);
+
+/// Like Select but returns only the candidate list [oid, void].
+StatusOr<Bat> Uselect(const Bat& b, double lo, double hi, bool lo_incl = true,
+                      bool hi_incl = true);
+
+/// Set union by head oid: all rows of `a` plus rows of `b` whose head oid
+/// does not occur in `a`.
+StatusOr<Bat> KUnion(const Bat& a, const Bat& b);
+
+/// Rows of `a` whose head oid does not occur in `b`'s head.
+StatusOr<Bat> KDifference(const Bat& a, const Bat& b);
+
+/// Rows of `a` whose head oid occurs in `b`'s head (oid semijoin; the
+/// compiler uses it to conjoin BETWEEN predicates).
+StatusOr<Bat> KIntersect(const Bat& a, const Bat& b);
+
+/// Swaps head and tail.
+Bat Reverse(const Bat& b);
+
+/// Replaces the tail with a dense oid sequence starting at `base`
+/// (MonetDB's mark: renumbers results before tuple reconstruction).
+Bat MarkT(const Bat& b, Oid base);
+
+/// Equi-join a.tail == b.head, returning [a.head, b.tail]. When b.head is
+/// void this is a positional fetch; otherwise a hash join on oids.
+StatusOr<Bat> Join(const Bat& a, const Bat& b);
+
+/// Concatenates two BATs of identical layout ([oid|void, T]); the result's
+/// columns are materialized.
+StatusOr<Bat> Append(const Bat& a, const Bat& b);
+
+// Aggregates over the tail column.
+StatusOr<double> Sum(const Bat& b);
+StatusOr<double> Min(const Bat& b);
+StatusOr<double> Max(const Bat& b);
+uint64_t Count(const Bat& b);
+
+}  // namespace socs::algebra
+
+#endif  // SOCS_BAT_ALGEBRA_H_

@@ -1,0 +1,81 @@
+#include "bat/bat.h"
+
+#include <sstream>
+
+namespace socs {
+
+BatColumn BatColumn::Void(Oid seqbase, size_t count) {
+  BatColumn c;
+  c.type_ = ValType::kVoid;
+  c.seqbase_ = seqbase;
+  c.void_count_ = count;
+  return c;
+}
+
+BatColumn BatColumn::Materialized(TypedVector v) {
+  BatColumn c;
+  c.type_ = v.type();
+  c.vec_ = std::move(v);
+  return c;
+}
+
+size_t BatColumn::size() const {
+  return is_void() ? void_count_ : vec_.size();
+}
+
+Oid BatColumn::OidAt(size_t i) const {
+  SOCS_CHECK_LT(i, size());
+  if (is_void()) return seqbase_ + i;
+  SOCS_CHECK(type_ == ValType::kOid) << "OidAt on " << ValTypeName(type_);
+  return vec_.Get<Oid>()[i];
+}
+
+double BatColumn::DoubleAt(size_t i) const {
+  SOCS_CHECK_LT(i, size());
+  if (is_void()) return static_cast<double>(seqbase_ + i);
+  return vec_.AsDouble(i);
+}
+
+BatColumn BatColumn::MaterializeOids() const {
+  if (!is_void()) return *this;
+  std::vector<Oid> oids;
+  oids.reserve(void_count_);
+  for (size_t i = 0; i < void_count_; ++i) oids.push_back(seqbase_ + i);
+  return Materialized(TypedVector::Of(std::move(oids)));
+}
+
+Bat::Bat(BatColumn head, BatColumn tail)
+    : head_(std::move(head)), tail_(std::move(tail)) {
+  SOCS_CHECK_EQ(head_.size(), tail_.size()) << "BAT columns must align";
+}
+
+Bat Bat::DenseTyped(TypedVector tail, Oid seqbase) {
+  const size_t n = tail.size();
+  return Bat(BatColumn::Void(seqbase, n), BatColumn::Materialized(std::move(tail)));
+}
+
+Bat Bat::OidList(std::vector<Oid> oids) {
+  const size_t n = oids.size();
+  return Bat(BatColumn::Materialized(TypedVector::Of(std::move(oids))),
+             BatColumn::Void(0, n));
+}
+
+std::string Bat::Describe() const {
+  std::ostringstream os;
+  os << "[";
+  if (head_.is_void()) {
+    os << "void(" << head_.seqbase() << ")";
+  } else {
+    os << ValTypeName(head_.type());
+  }
+  os << ", ";
+  if (tail_.is_void()) {
+    os << "void(" << tail_.seqbase() << ")";
+  } else {
+    os << ValTypeName(tail_.type());
+  }
+  os << "] " << size() << " rows";
+  return os.str();
+}
+
+}  // namespace socs

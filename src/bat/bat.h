@@ -1,0 +1,74 @@
+// BAT: binary association table, the central storage structure of MonetDB
+// (paper section 2). A BAT is a pair of aligned columns (head, tail); each
+// column is either `void` (a dense oid sequence with a seqbase, stored in
+// O(1)) or a materialized TypedVector. The SQL layer maps relational columns
+// to [void, T] BATs whose head oid is the row id.
+#ifndef SOCS_BAT_BAT_H_
+#define SOCS_BAT_BAT_H_
+
+#include <memory>
+#include <string>
+
+#include "bat/typed_vector.h"
+#include "common/status.h"
+
+namespace socs {
+
+/// One side of a BAT.
+class BatColumn {
+ public:
+  /// Dense sequence seqbase, seqbase+1, ... (count elements).
+  static BatColumn Void(Oid seqbase, size_t count);
+  static BatColumn Materialized(TypedVector v);
+
+  bool is_void() const { return type_ == ValType::kVoid; }
+  ValType type() const { return type_; }
+  size_t size() const;
+  Oid seqbase() const { return seqbase_; }
+
+  /// Element as oid; valid for void and oid columns.
+  Oid OidAt(size_t i) const;
+  /// Element as double; valid for every column type.
+  double DoubleAt(size_t i) const;
+
+  const TypedVector& vec() const { return vec_; }
+  TypedVector& mut_vec() { return vec_; }
+
+  /// void -> materialized oid column (no-op for materialized columns).
+  BatColumn MaterializeOids() const;
+
+ private:
+  BatColumn() = default;
+  ValType type_ = ValType::kVoid;
+  Oid seqbase_ = 0;
+  size_t void_count_ = 0;
+  TypedVector vec_;
+};
+
+class Bat {
+ public:
+  Bat() : head_(BatColumn::Void(0, 0)), tail_(BatColumn::Void(0, 0)) {}
+  Bat(BatColumn head, BatColumn tail);
+
+  /// [void, T] BAT: the SQL-layer representation of a table column.
+  static Bat DenseTyped(TypedVector tail, Oid seqbase = 0);
+  /// [oid, void] BAT: a candidate list (uselect result).
+  static Bat OidList(std::vector<Oid> oids);
+
+  const BatColumn& head() const { return head_; }
+  const BatColumn& tail() const { return tail_; }
+  size_t size() const { return head_.size(); }
+
+  /// "[void(0), dbl] 42 rows".
+  std::string Describe() const;
+
+ private:
+  BatColumn head_;
+  BatColumn tail_;
+};
+
+using BatPtr = std::shared_ptr<Bat>;
+
+}  // namespace socs
+
+#endif  // SOCS_BAT_BAT_H_

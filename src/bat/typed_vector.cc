@@ -1,0 +1,43 @@
+#include "bat/typed_vector.h"
+
+namespace socs {
+
+TypedVector::TypedVector(ValType t) : type_(t) {
+  switch (t) {
+    case ValType::kOid: data_ = std::vector<Oid>{}; break;
+    case ValType::kInt: data_ = std::vector<int32_t>{}; break;
+    case ValType::kLng: data_ = std::vector<int64_t>{}; break;
+    case ValType::kFlt: data_ = std::vector<float>{}; break;
+    case ValType::kDbl: data_ = std::vector<double>{}; break;
+    case ValType::kVoid:
+      SOCS_CHECK(false) << "void columns are not materialized";
+  }
+}
+
+size_t TypedVector::size() const {
+  return std::visit([](const auto& v) { return v.size(); }, data_);
+}
+
+double TypedVector::AsDouble(size_t i) const {
+  return std::visit(
+      [i](const auto& v) {
+        SOCS_CHECK_LT(i, v.size());
+        return static_cast<double>(v[i]);
+      },
+      data_);
+}
+
+void TypedVector::AppendDouble(double value) {
+  std::visit(
+      [value](auto& v) {
+        using T = typename std::decay_t<decltype(v)>::value_type;
+        v.push_back(static_cast<T>(value));
+      },
+      data_);
+}
+
+void TypedVector::Reserve(size_t n) {
+  std::visit([n](auto& v) { v.reserve(n); }, data_);
+}
+
+}  // namespace socs

@@ -1,0 +1,63 @@
+// TypedVector: a materialized, homogeneously typed column payload -- the
+// storage half of a BAT column. Generic (double-based) accessors serve the
+// interpreter; typed accessors serve the operators' hot loops.
+#ifndef SOCS_BAT_TYPED_VECTOR_H_
+#define SOCS_BAT_TYPED_VECTOR_H_
+
+#include <variant>
+#include <vector>
+
+#include "bat/value.h"
+#include "common/logging.h"
+
+namespace socs {
+
+class TypedVector {
+ public:
+  TypedVector() : type_(ValType::kOid), data_(std::vector<Oid>{}) {}
+  explicit TypedVector(ValType t);
+
+  template <typename T>
+  static TypedVector Of(std::vector<T> values) {
+    TypedVector v(ValTypeOf<T>());
+    v.data_ = std::move(values);
+    return v;
+  }
+
+  ValType type() const { return type_; }
+  size_t size() const;
+
+  template <typename T>
+  const std::vector<T>& Get() const {
+    SOCS_CHECK(std::holds_alternative<std::vector<T>>(data_))
+        << "type mismatch: column is " << ValTypeName(type_);
+    return std::get<std::vector<T>>(data_);
+  }
+
+  template <typename T>
+  std::vector<T>& Mut() {
+    SOCS_CHECK(std::holds_alternative<std::vector<T>>(data_))
+        << "type mismatch: column is " << ValTypeName(type_);
+    return std::get<std::vector<T>>(data_);
+  }
+
+  /// Generic numeric read (lossless for all engine types but lng > 2^53).
+  double AsDouble(size_t i) const;
+
+  /// Generic append with narrowing conversion to the column type.
+  void AppendDouble(double v);
+
+  void Reserve(size_t n);
+
+  uint64_t PayloadBytes() const { return size() * ValTypeSize(type_); }
+
+ private:
+  ValType type_;
+  std::variant<std::vector<Oid>, std::vector<int32_t>, std::vector<int64_t>,
+               std::vector<float>, std::vector<double>>
+      data_;
+};
+
+}  // namespace socs
+
+#endif  // SOCS_BAT_TYPED_VECTOR_H_

@@ -1,0 +1,61 @@
+// Value types of the mini-MonetDB engine. Names follow MonetDB atoms:
+// oid (row id), int (32-bit), lng (64-bit), flt, dbl. `void` is a dense oid
+// sequence materialized lazily (a column that stores only its first oid).
+#ifndef SOCS_BAT_VALUE_H_
+#define SOCS_BAT_VALUE_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace socs {
+
+using Oid = uint64_t;
+
+enum class ValType : uint8_t {
+  kVoid = 0,  // dense oid sequence (seqbase + position)
+  kOid,
+  kInt,
+  kLng,
+  kFlt,
+  kDbl,
+};
+
+const char* ValTypeName(ValType t);
+size_t ValTypeSize(ValType t);
+
+template <typename T>
+constexpr ValType ValTypeOf();
+
+template <> constexpr ValType ValTypeOf<Oid>() { return ValType::kOid; }
+template <> constexpr ValType ValTypeOf<int32_t>() { return ValType::kInt; }
+template <> constexpr ValType ValTypeOf<int64_t>() { return ValType::kLng; }
+template <> constexpr ValType ValTypeOf<float>() { return ValType::kFlt; }
+template <> constexpr ValType ValTypeOf<double>() { return ValType::kDbl; }
+
+inline const char* ValTypeName(ValType t) {
+  switch (t) {
+    case ValType::kVoid: return "void";
+    case ValType::kOid: return "oid";
+    case ValType::kInt: return "int";
+    case ValType::kLng: return "lng";
+    case ValType::kFlt: return "flt";
+    case ValType::kDbl: return "dbl";
+  }
+  return "?";
+}
+
+inline size_t ValTypeSize(ValType t) {
+  switch (t) {
+    case ValType::kVoid: return 0;  // not materialized
+    case ValType::kOid: return sizeof(Oid);
+    case ValType::kInt: return sizeof(int32_t);
+    case ValType::kLng: return sizeof(int64_t);
+    case ValType::kFlt: return sizeof(float);
+    case ValType::kDbl: return sizeof(double);
+  }
+  return 0;
+}
+
+}  // namespace socs
+
+#endif  // SOCS_BAT_VALUE_H_

@@ -1,0 +1,39 @@
+#include "common/logging.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace socs {
+
+namespace {
+LogLevel g_level = LogLevel::kInfo;
+
+char LevelChar(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return 'D';
+    case LogLevel::kInfo: return 'I';
+    case LogLevel::kWarning: return 'W';
+    case LogLevel::kError: return 'E';
+  }
+  return '?';
+}
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_level = level; }
+LogLevel GetLogLevel() { return g_level; }
+
+namespace internal {
+
+void LogMessage(LogLevel level, const char* file, int line, const std::string& msg) {
+  if (level < g_level) return;
+  std::fprintf(stderr, "[%c] %s:%d %s\n", LevelChar(level), file, line, msg.c_str());
+}
+
+void FailCheck(const char* file, int line, const char* expr, const std::string& msg) {
+  std::fprintf(stderr, "[F] %s:%d CHECK failed: %s %s\n", file, line, expr,
+               msg.c_str());
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace socs

@@ -1,0 +1,83 @@
+// Leveled logging and assertion macros. SOCS_CHECK* abort with a message on
+// violated invariants; they stay active in release builds (database engines
+// prefer a loud crash over silent corruption).
+#ifndef SOCS_COMMON_LOGGING_H_
+#define SOCS_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace socs {
+
+enum class LogLevel { kDebug = 0, kInfo, kWarning, kError };
+
+/// Global log threshold; messages below it are dropped. Default: kInfo.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Emits one log line to stderr ("[I] file:line message"). Thread-safe enough
+/// for this single-threaded simulator (one write() per line).
+void LogMessage(LogLevel level, const char* file, int line, const std::string& msg);
+
+[[noreturn]] void FailCheck(const char* file, int line, const char* expr,
+                            const std::string& msg);
+
+/// Stream collector used by the macros below.
+class LogStream {
+ public:
+  LogStream(LogLevel level, const char* file, int line)
+      : level_(level), file_(file), line_(line) {}
+  ~LogStream() { LogMessage(level_, file_, line_, stream_.str()); }
+  template <typename T>
+  LogStream& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+class CheckStream {
+ public:
+  CheckStream(const char* file, int line, const char* expr)
+      : file_(file), line_(line), expr_(expr) {}
+  [[noreturn]] ~CheckStream() { FailCheck(file_, line_, expr_, stream_.str()); }
+  template <typename T>
+  CheckStream& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  const char* file_;
+  int line_;
+  const char* expr_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+#define SOCS_LOG(level)                                                    \
+  ::socs::internal::LogStream(::socs::LogLevel::k##level, __FILE__, __LINE__)
+
+#define SOCS_CHECK(cond)                                              \
+  if (cond) {                                                         \
+  } else /* NOLINT */                                                 \
+    ::socs::internal::CheckStream(__FILE__, __LINE__, #cond)
+
+#define SOCS_CHECK_EQ(a, b) SOCS_CHECK((a) == (b)) << "(" << (a) << " vs " << (b) << ") "
+#define SOCS_CHECK_NE(a, b) SOCS_CHECK((a) != (b)) << "(" << (a) << " vs " << (b) << ") "
+#define SOCS_CHECK_LT(a, b) SOCS_CHECK((a) < (b)) << "(" << (a) << " vs " << (b) << ") "
+#define SOCS_CHECK_LE(a, b) SOCS_CHECK((a) <= (b)) << "(" << (a) << " vs " << (b) << ") "
+#define SOCS_CHECK_GT(a, b) SOCS_CHECK((a) > (b)) << "(" << (a) << " vs " << (b) << ") "
+#define SOCS_CHECK_GE(a, b) SOCS_CHECK((a) >= (b)) << "(" << (a) << " vs " << (b) << ") "
+
+}  // namespace socs
+
+#endif  // SOCS_COMMON_LOGGING_H_

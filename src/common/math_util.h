@@ -1,0 +1,56 @@
+// Small statistics helpers shared by benches and tests.
+#ifndef SOCS_COMMON_MATH_UTIL_H_
+#define SOCS_COMMON_MATH_UTIL_H_
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+namespace socs {
+
+inline double Mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+/// Population standard deviation (matches the paper's "Deviation" column).
+inline double StdDev(const std::vector<double>& xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = Mean(xs);
+  double s = 0.0;
+  for (double x : xs) s += (x - m) * (x - m);
+  return std::sqrt(s / static_cast<double>(xs.size()));
+}
+
+/// Centered moving average with window w (clipped at the edges).
+inline std::vector<double> MovingAverage(const std::vector<double>& xs, size_t w) {
+  std::vector<double> out(xs.size());
+  if (xs.empty()) return out;
+  if (w < 1) w = 1;
+  for (size_t i = 0; i < xs.size(); ++i) {
+    size_t lo = i >= w / 2 ? i - w / 2 : 0;
+    size_t hi = std::min(xs.size(), lo + w);
+    lo = hi >= w ? hi - w : 0;
+    double s = 0.0;
+    for (size_t j = lo; j < hi; ++j) s += xs[j];
+    out[i] = s / static_cast<double>(hi - lo);
+  }
+  return out;
+}
+
+/// Prefix sums: out[i] = xs[0] + ... + xs[i].
+inline std::vector<double> CumulativeSum(const std::vector<double>& xs) {
+  std::vector<double> out(xs.size());
+  double s = 0.0;
+  for (size_t i = 0; i < xs.size(); ++i) {
+    s += xs[i];
+    out[i] = s;
+  }
+  return out;
+}
+
+}  // namespace socs
+
+#endif  // SOCS_COMMON_MATH_UTIL_H_

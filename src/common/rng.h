@@ -1,0 +1,87 @@
+// Deterministic random number generation for the simulator and workload
+// generators: xoshiro256** core, uniform/Gaussian variates, and a Zipf sampler
+// (Gray et al., "Quickly Generating Billion-Record Synthetic Databases").
+// All experiments are seeded, so every figure in EXPERIMENTS.md is exactly
+// reproducible.
+#ifndef SOCS_COMMON_RNG_H_
+#define SOCS_COMMON_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace socs {
+
+/// xoshiro256** pseudo-random generator, seeded via SplitMix64.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x5eed5eed5eedULL);
+
+  /// Next raw 64-bit value.
+  uint64_t Next();
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  uint64_t NextBelow(uint64_t n);
+
+  /// Uniform integer in [lo, hi]. Requires lo <= hi.
+  int64_t NextInt(int64_t lo, int64_t hi);
+
+  /// Uniform double in [lo, hi).
+  double NextUniform(double lo, double hi);
+
+  /// Standard normal variate (Marsaglia polar method).
+  double NextGaussian();
+
+  /// Normal variate with the given mean and standard deviation.
+  double NextGaussian(double mean, double stddev) {
+    return mean + stddev * NextGaussian();
+  }
+
+ private:
+  uint64_t s_[4];
+  bool have_spare_ = false;
+  double spare_ = 0.0;
+};
+
+/// Zipf-distributed ranks over {0, ..., n-1}: rank 0 is the most popular.
+/// theta in (0, ~2]; theta = 0 would be uniform, theta = 1 is classic Zipf.
+/// Uses the analytic approximation from Gray et al. (SIGMOD'94), which avoids
+/// materializing the full CDF and is accurate for large n.
+class ZipfGenerator {
+ public:
+  ZipfGenerator(uint64_t n, double theta);
+
+  /// Draws a rank in [0, n).
+  uint64_t Next(Rng& rng);
+
+  uint64_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+ private:
+  uint64_t n_;
+  double theta_;
+  double alpha_;
+  double zetan_;
+  double eta_;
+  double zeta2_;
+};
+
+/// Returns the generalized harmonic number H_{n,theta} = sum_{i=1..n} 1/i^theta.
+double Zeta(uint64_t n, double theta);
+
+/// Fisher-Yates shuffle.
+template <typename T>
+void Shuffle(std::vector<T>& v, Rng& rng) {
+  for (size_t i = v.size(); i > 1; --i) {
+    size_t j = rng.NextBelow(i);
+    std::swap(v[i - 1], v[j]);
+  }
+}
+
+}  // namespace socs
+
+#endif  // SOCS_COMMON_RNG_H_

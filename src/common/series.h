@@ -1,0 +1,61 @@
+// Output helpers for the benchmark harness: aligned tables (for humans) that
+// can also be dumped as CSV (for gnuplot/pandas). Each paper figure/table is
+// regenerated as one or more ResultTable objects.
+#ifndef SOCS_COMMON_SERIES_H_
+#define SOCS_COMMON_SERIES_H_
+
+#include <cstdint>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace socs {
+
+/// A rectangular result table with named columns.
+class ResultTable {
+ public:
+  ResultTable(std::string title, std::vector<std::string> columns);
+
+  /// Appends a row; cells are converted with operator<<.
+  template <typename... Ts>
+  void AddRow(const Ts&... cells) {
+    std::vector<std::string> row;
+    row.reserve(sizeof...(cells));
+    (row.push_back(ToCell(cells)), ...);
+    AddRowStrings(std::move(row));
+  }
+
+  void AddRowStrings(std::vector<std::string> row);
+
+  /// Pretty-prints with aligned columns, preceded by "== <title> ==".
+  void Print(std::ostream& os) const;
+
+  /// Prints "title,col1,col2,..." free CSV (no alignment).
+  void PrintCsv(std::ostream& os) const;
+
+  size_t num_rows() const { return rows_.size(); }
+  const std::string& title() const { return title_; }
+
+ private:
+  template <typename T>
+  static std::string ToCell(const T& v) {
+    std::ostringstream os;
+    os << v;
+    return os.str();
+  }
+  static std::string ToCell(double v);
+  static std::string ToCell(const std::string& v) { return v; }
+  static std::string ToCell(const char* v) { return v; }
+
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double compactly: integers without decimals, otherwise %.4g.
+std::string FormatNumber(double v);
+
+}  // namespace socs
+
+#endif  // SOCS_COMMON_SERIES_H_

@@ -1,0 +1,28 @@
+// Wall-clock stopwatch (steady clock).
+#ifndef SOCS_COMMON_STOPWATCH_H_
+#define SOCS_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace socs {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace socs
+
+#endif  // SOCS_COMMON_STOPWATCH_H_

@@ -1,0 +1,35 @@
+// Byte-size constants and formatting helpers.
+#ifndef SOCS_COMMON_UNITS_H_
+#define SOCS_COMMON_UNITS_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+namespace socs {
+
+inline constexpr uint64_t kKiB = 1024;
+inline constexpr uint64_t kMiB = 1024 * kKiB;
+inline constexpr uint64_t kGiB = 1024 * kMiB;
+
+// The paper reports KB/MB in decimal-ish plot labels; we standardize on
+// binary units internally and in output.
+
+/// "512B", "3.0KB", "1.5MB", "2.0GB".
+inline std::string FormatBytes(uint64_t bytes) {
+  char buf[32];
+  if (bytes < kKiB) {
+    std::snprintf(buf, sizeof(buf), "%lluB", static_cast<unsigned long long>(bytes));
+  } else if (bytes < kMiB) {
+    std::snprintf(buf, sizeof(buf), "%.1fKB", static_cast<double>(bytes) / kKiB);
+  } else if (bytes < kGiB) {
+    std::snprintf(buf, sizeof(buf), "%.1fMB", static_cast<double>(bytes) / kMiB);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2fGB", static_cast<double>(bytes) / kGiB);
+  }
+  return buf;
+}
+
+}  // namespace socs
+
+#endif  // SOCS_COMMON_UNITS_H_

@@ -1,0 +1,225 @@
+#include "core/adaptive_replication.h"
+
+#include <algorithm>
+#include <functional>
+
+namespace socs {
+
+template <typename T>
+AdaptiveReplication<T>::AdaptiveReplication(
+    std::vector<T> values, ValueRange domain,
+    std::unique_ptr<SegmentationModel> model, SegmentSpace* space, Options opts)
+    : space_(space), model_(std::move(model)), tree_(domain), opts_(opts),
+      total_bytes_(values.size() * sizeof(T)) {
+  IoCost setup;  // initial load, not charged to a query
+  SegmentId id = space_->Create(values, &setup);
+  tree_.InitColumn(values.size(), id);
+}
+
+template <typename T>
+void AdaptiveReplication<T>::EnforceBudget(QueryExecution* ex) {
+  if (opts_.storage_budget_bytes == 0) return;
+  while (tree_.MaterializedValues() * sizeof(T) > opts_.storage_budget_bytes) {
+    // Victim: the least-recently-used redundant replica. Non-redundant
+    // segments are never demoted -- the budget can therefore overshoot when
+    // all storage is load-bearing.
+    ReplicaNode* victim = nullptr;
+    std::function<void(ReplicaNode*)> visit = [&](ReplicaNode* n) {
+      if (n->materialized && n->HasMaterializedAncestor()) {
+        if (victim == nullptr || n->last_access < victim->last_access) {
+          victim = n;
+        }
+      }
+      for (auto& c : n->children) visit(c.get());
+    };
+    visit(tree_.sentinel());
+    if (victim == nullptr) return;
+    space_->Free(victim->seg);
+    victim->materialized = false;
+    victim->seg = kInvalidSegment;
+    ++ex->replicas_evicted;
+  }
+}
+
+template <typename T>
+void AdaptiveReplication<T>::AnalyzeReplicas(ReplicaNode* n, const ValueRange& q,
+                                             std::vector<ReplicaNode*>* plan) {
+  if (!n->IsLeaf()) {
+    // Children may gain their own children while we recurse, but the set of
+    // direct children we iterate over is fixed before descending.
+    std::vector<ReplicaNode*> kids;
+    kids.reserve(n->children.size());
+    for (auto& c : n->children) {
+      if (c->range.Overlaps(q)) kids.push_back(c.get());
+    }
+    for (ReplicaNode* c : kids) AnalyzeReplicas(c, q, plan);
+    return;
+  }
+  AnalyzeLeaf(n, q, plan);
+}
+
+template <typename T>
+void AdaptiveReplication<T>::AnalyzeLeaf(ReplicaNode* n, const ValueRange& q,
+                                         std::vector<ReplicaNode*>* plan) {
+  const ValueRange ov = n->range.Intersect(q);
+  if (ov.Empty()) return;
+  const bool has_left = ov.lo > n->range.lo;
+  const bool has_right = ov.hi < n->range.hi;
+
+  // Piece sizes are estimates (uniform interpolation), as in the paper; exact
+  // counts arrive when a node is materialized.
+  SplitGeometry g;
+  g.seg_bytes = n->count * sizeof(T);
+  g.total_bytes = total_bytes_;
+  g.mid_bytes = ReplicaTree::EstimateCount(*n, ov) * sizeof(T);
+  g.left_bytes =
+      has_left ? ReplicaTree::EstimateCount(*n, {n->range.lo, ov.lo}) * sizeof(T) : 0;
+  g.right_bytes =
+      has_right ? ReplicaTree::EstimateCount(*n, {ov.hi, n->range.hi}) * sizeof(T) : 0;
+  g.has_left = has_left;
+  g.has_right = has_right;
+
+  const SplitAction action = model_->Decide(g);
+
+  auto plan_whole_if_virtual = [&] {
+    // Case 0: no split; a virtual leaf is materialized as-is (the smallest
+    // existing super-set of the selection).
+    if (!n->materialized) plan->push_back(n);
+  };
+
+  switch (action) {
+    case SplitAction::kKeep:
+      plan_whole_if_virtual();
+      return;
+    case SplitAction::kSplitAtBounds: {
+      // Cases 1-3: materialize the selection's piece, complete the range
+      // with virtual siblings.
+      std::vector<ReplicaNodeSpec> specs;
+      size_t mid_pos = 0;
+      if (has_left) {
+        specs.push_back({{n->range.lo, ov.lo},
+                         ReplicaTree::EstimateCount(*n, {n->range.lo, ov.lo})});
+        mid_pos = 1;
+      }
+      specs.push_back({ov, ReplicaTree::EstimateCount(*n, ov)});
+      if (has_right) {
+        specs.push_back({{ov.hi, n->range.hi},
+                         ReplicaTree::EstimateCount(*n, {ov.hi, n->range.hi})});
+      }
+      auto nodes = tree_.AddChildren(n, specs);
+      plan->push_back(nodes[mid_pos]);
+      return;
+    }
+    case SplitAction::kSplitBounded: {
+      if (has_left && has_right) {
+        // Case 4: split at the query bound producing the smaller materialized
+        // super-set of the selection.
+        std::vector<ReplicaNodeSpec> specs;
+        size_t mat_pos;
+        if (g.left_bytes + g.mid_bytes < g.mid_bytes + g.right_bytes) {
+          specs.push_back({{n->range.lo, ov.hi},
+                           ReplicaTree::EstimateCount(*n, {n->range.lo, ov.hi})});
+          specs.push_back({{ov.hi, n->range.hi},
+                           ReplicaTree::EstimateCount(*n, {ov.hi, n->range.hi})});
+          mat_pos = 0;
+        } else {
+          specs.push_back({{n->range.lo, ov.lo},
+                           ReplicaTree::EstimateCount(*n, {n->range.lo, ov.lo})});
+          specs.push_back({{ov.lo, n->range.hi},
+                           ReplicaTree::EstimateCount(*n, {ov.lo, n->range.hi})});
+          mat_pos = 1;
+        }
+        auto nodes = tree_.AddChildren(n, specs);
+        plan->push_back(nodes[mat_pos]);
+      } else {
+        // One-sided overlap whose complement is too small to stand alone:
+        // fall back to materializing the whole (virtual) leaf.
+        plan_whole_if_virtual();
+      }
+      return;
+    }
+  }
+}
+
+template <typename T>
+void AdaptiveReplication<T>::ScanAndMaterialize(
+    ReplicaNode* s, const std::vector<ReplicaNode*>& plan, const ValueRange& q,
+    std::vector<T>* result, QueryExecution* ex) {
+  IoCost scan;
+  auto span = space_->Scan<T>(s->seg, &scan);
+  ex->read_bytes += scan.bytes;
+  ex->selection_seconds += scan.seconds;
+  ++ex->segments_scanned;
+
+  ex->result_count += FilterRange(span, q.Intersect(s->range), result);
+
+  for (ReplicaNode* node : plan) {
+    std::vector<T> values;
+    for (const T& v : span) {
+      if (node->range.Contains(ValueOf(v))) values.push_back(v);
+    }
+    IoCost create;
+    SegmentId id = space_->Create(values, &create);
+    ex->write_bytes += create.bytes;
+    ex->adaptation_seconds += create.seconds;
+    node->materialized = true;
+    node->seg = id;
+    node->count = values.size();
+    node->count_exact = true;
+    node->last_access = query_counter_;
+    ++ex->replicas_created;
+  }
+}
+
+template <typename T>
+QueryExecution AdaptiveReplication<T>::RunRange(const ValueRange& q,
+                                                std::vector<T>* result) {
+  QueryExecution ex;
+  ex.selection_seconds = space_->model().QueryOverhead();
+  if (q.Empty()) return ex;
+
+  std::vector<ReplicaNode*> cover;
+  const bool ok = tree_.GetCover(q, &cover);
+  SOCS_CHECK(ok) << "replica tree lost coverage for " << q.ToString();
+
+  ++query_counter_;
+  for (ReplicaNode* s : cover) {
+    s->last_access = query_counter_;
+    std::vector<ReplicaNode*> plan;
+    AnalyzeReplicas(s, q, &plan);
+    ScanAndMaterialize(s, plan, q, result, &ex);
+    std::vector<SegmentId> freed;
+    uint64_t drops = 0;
+    tree_.CheckForDrop(s, &freed, &drops);
+    for (SegmentId id : freed) space_->Free(id);
+    ex.segments_dropped += drops;
+  }
+  EnforceBudget(&ex);
+  return ex;
+}
+
+template <typename T>
+StorageFootprint AdaptiveReplication<T>::Footprint() const {
+  StorageFootprint fp;
+  fp.materialized_bytes = tree_.MaterializedValues() * sizeof(T);
+  fp.segment_count = tree_.MaterializedNodeCount();
+  fp.meta_bytes = tree_.NodeCount() * sizeof(ReplicaNode);
+  return fp;
+}
+
+template <typename T>
+std::vector<SegmentInfo> AdaptiveReplication<T>::Segments() const {
+  std::vector<SegmentInfo> out;
+  for (const ReplicaNode* n : tree_.MaterializedNodes()) {
+    out.push_back(SegmentInfo{n->range, n->count, n->seg});
+  }
+  return out;
+}
+
+template class AdaptiveReplication<int32_t>;
+template class AdaptiveReplication<int64_t>;
+template class AdaptiveReplication<float>;
+template class AdaptiveReplication<double>;
+template class AdaptiveReplication<OidValue>;
+
+}  // namespace socs

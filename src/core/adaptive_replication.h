@@ -1,0 +1,84 @@
+// Adaptive replication (paper section 5, "lazy materialization"): query
+// results are retained as partial replicas in a replica tree. Per query:
+//   1. find the minimal covering set of materialized segments (Algorithm 3);
+//   2. per covering segment, analyze which replicas to create (Algorithm 4,
+//      model-driven, cases 0-4);
+//   3. a single scan of the covering segment materializes the planned
+//      replicas and the query result (piggy-backed reorganization);
+//   4. drop segments fully replicated by their children (Algorithm 5).
+// Lower reorganization overhead than adaptive segmentation at the price of
+// temporarily replicated storage.
+#ifndef SOCS_CORE_ADAPTIVE_REPLICATION_H_
+#define SOCS_CORE_ADAPTIVE_REPLICATION_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/model.h"
+#include "core/replica_tree.h"
+#include "core/strategy.h"
+
+namespace socs {
+
+template <typename T>
+class AdaptiveReplication : public AccessStrategy<T> {
+ public:
+  struct Options {
+    /// Upper bound on materialized bytes (0 = unlimited, the paper's
+    /// default). When a query pushes storage above the budget, redundant
+    /// replicas (materialized nodes whose data also lives in a materialized
+    /// ancestor) are demoted back to virtual, least-recently-used first --
+    /// the storage-limitation mechanism the paper's section 8 calls for.
+    uint64_t storage_budget_bytes = 0;
+  };
+
+  AdaptiveReplication(std::vector<T> values, ValueRange domain,
+                      std::unique_ptr<SegmentationModel> model,
+                      SegmentSpace* space, Options opts = {});
+
+  QueryExecution RunRange(const ValueRange& q,
+                          std::vector<T>* result = nullptr) override;
+
+  StorageFootprint Footprint() const override;
+  std::vector<SegmentInfo> Segments() const override;
+  std::vector<SegmentInfo> CoverSegments(const ValueRange& q) const override {
+    return tree_.CoverInfos(q);
+  }
+  std::string Name() const override { return "Repl/" + model_->Name(); }
+
+  ReplicaTree& tree() { return tree_; }
+  const ReplicaTree& tree() const { return tree_; }
+
+ private:
+  /// Algorithm 4: walks from covering segment `s` down to the leaves
+  /// overlapping `q` and plans materializations (new replica children and/or
+  /// whole virtual leaves). Planned nodes are attached to the tree
+  /// immediately; their data arrives in ScanAndMaterialize.
+  void AnalyzeReplicas(ReplicaNode* n, const ValueRange& q,
+                       std::vector<ReplicaNode*>* plan);
+
+  /// Case analysis for one leaf (Algorithm 4's switch).
+  void AnalyzeLeaf(ReplicaNode* n, const ValueRange& q,
+                   std::vector<ReplicaNode*>* plan);
+
+  /// One metered scan of covering segment `s`: extracts the query result and
+  /// fills every planned node's payload.
+  void ScanAndMaterialize(ReplicaNode* s, const std::vector<ReplicaNode*>& plan,
+                          const ValueRange& q, std::vector<T>* result,
+                          QueryExecution* ex);
+
+  /// Demotes least-recently-used redundant replicas until the storage budget
+  /// is met (no-op without a budget).
+  void EnforceBudget(QueryExecution* ex);
+
+  SegmentSpace* space_;
+  std::unique_ptr<SegmentationModel> model_;
+  ReplicaTree tree_;
+  Options opts_;
+  uint64_t total_bytes_;
+  uint64_t query_counter_ = 0;
+};
+
+}  // namespace socs
+
+#endif  // SOCS_CORE_ADAPTIVE_REPLICATION_H_

@@ -1,0 +1,299 @@
+#include "core/adaptive_segmentation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+
+#include "common/units.h"
+
+namespace socs {
+
+template <typename T>
+AdaptiveSegmentation<T>::AdaptiveSegmentation(
+    std::vector<T> values, ValueRange domain,
+    std::unique_ptr<SegmentationModel> model, SegmentSpace* space, Options opts)
+    : space_(space), model_(std::move(model)), index_(domain), opts_(opts),
+      total_bytes_(values.size() * sizeof(T)) {
+  IoCost setup;  // the initial load is not charged to any query
+  SegmentId id = space_->Create(values, &setup);
+  index_.InitSingle(SegmentInfo{domain, values.size(), id});
+}
+
+template <typename T>
+AdaptiveSegmentation<T>::AdaptiveSegmentation(ValueRange domain,
+                                              std::vector<SegmentInfo> segments,
+                                              std::unique_ptr<SegmentationModel> model,
+                                              SegmentSpace* space, Options opts)
+    : space_(space), model_(std::move(model)), index_(domain), opts_(opts),
+      total_bytes_(0) {
+  index_.InitTiling(std::move(segments));
+  total_bytes_ = index_.TotalCount() * sizeof(T);
+}
+
+template <typename T>
+QueryExecution AdaptiveSegmentation<T>::BulkAppend(const std::vector<T>& values) {
+  QueryExecution ex;
+  if (values.empty()) return ex;
+  // Route incoming values to their segments.
+  std::map<size_t, std::vector<T>> buckets;  // index position -> new values
+  for (const T& v : values) {
+    const double d = ValueOf(v);
+    auto [first, last] = index_.FindOverlapping(
+        ValueRange(d, std::nextafter(d, std::numeric_limits<double>::max())));
+    SOCS_CHECK_LT(first, last) << "value " << d << " outside the column domain "
+                               << index_.domain().ToString();
+    buckets[first].push_back(v);
+  }
+  // Rewrite each affected segment once (old payload + routed values).
+  for (const auto& [pos, incoming] : buckets) {
+    const SegmentInfo seg = index_.At(pos);
+    IoCost scan;
+    auto span = space_->Scan<T>(seg.id, &scan);
+    ex.read_bytes += scan.bytes;
+    ex.adaptation_seconds += scan.seconds;
+    std::vector<T> merged;
+    merged.reserve(span.size() + incoming.size());
+    merged.insert(merged.end(), span.begin(), span.end());
+    merged.insert(merged.end(), incoming.begin(), incoming.end());
+    IoCost create;
+    SegmentId id = space_->Create(merged, &create);
+    ex.write_bytes += create.bytes;
+    ex.adaptation_seconds += create.seconds;
+    space_->Free(seg.id);
+    index_.Update(pos, SegmentInfo{seg.range, merged.size(), id});
+  }
+  total_bytes_ = index_.TotalCount() * sizeof(T);
+  return ex;
+}
+
+template <typename T>
+uint64_t AdaptiveSegmentation<T>::MergeThreshold() const {
+  if (opts_.merge_threshold_bytes > 0) return opts_.merge_threshold_bytes;
+  if (model_->min_bytes() > 0) return model_->min_bytes();
+  return 4 * kKiB;
+}
+
+template <typename T>
+void AdaptiveSegmentation<T>::Glue(size_t pos, QueryExecution* ex) {
+  const SegmentInfo a = index_.At(pos);
+  const SegmentInfo b = index_.At(pos + 1);
+  IoCost scan_a, scan_b;
+  auto sa = space_->Scan<T>(a.id, &scan_a);
+  auto sb = space_->Scan<T>(b.id, &scan_b);
+  ex->adaptation_seconds += scan_a.seconds + scan_b.seconds;
+  ex->read_bytes += scan_a.bytes + scan_b.bytes;
+  std::vector<T> merged;
+  merged.reserve(sa.size() + sb.size());
+  merged.insert(merged.end(), sa.begin(), sa.end());
+  merged.insert(merged.end(), sb.begin(), sb.end());
+  IoCost create;
+  SegmentId id = space_->Create(merged, &create);
+  ex->write_bytes += create.bytes;
+  ex->adaptation_seconds += create.seconds;
+  space_->Free(a.id);
+  space_->Free(b.id);
+  index_.ReplaceSpan(pos, 2,
+                     {SegmentInfo{ValueRange(a.range.lo, b.range.hi),
+                                  a.count + b.count, id}});
+  ++ex->merges;
+}
+
+template <typename T>
+void AdaptiveSegmentation<T>::MergeAround(const ValueRange& q,
+                                          QueryExecution* ex) {
+  const uint64_t threshold = MergeThreshold();
+  auto [first, last] = index_.FindOverlapping(q);
+  (void)last;
+  size_t pos = first > 0 ? first - 1 : 0;  // include the left neighbour
+  while (pos + 1 < index_.Size()) {
+    const SegmentInfo& a = index_.At(pos);
+    if (a.range.lo >= q.hi) break;  // past the touched neighbourhood
+    const SegmentInfo& b = index_.At(pos + 1);
+    if ((a.count + b.count) * sizeof(T) <= threshold) {
+      Glue(pos, ex);  // stay at pos: the merged segment may absorb more
+    } else {
+      ++pos;
+    }
+  }
+}
+
+template <typename T>
+typename AdaptiveSegmentation<T>::PieceCounts
+AdaptiveSegmentation<T>::CountPieces(std::span<const T> span, const ValueRange& q,
+                                     std::vector<T>* result) const {
+  PieceCounts pc;
+  for (const T& v : span) {
+    const double d = ValueOf(v);
+    if (d < q.lo) {
+      ++pc.left;
+    } else if (d >= q.hi) {
+      ++pc.right;
+    } else {
+      ++pc.mid;
+      if (result != nullptr) result->push_back(v);
+    }
+  }
+  return pc;
+}
+
+template <typename T>
+SplitGeometry AdaptiveSegmentation<T>::MakeGeometry(const SegmentInfo& seg,
+                                                    const ValueRange& q,
+                                                    const PieceCounts& pc) const {
+  SplitGeometry g;
+  g.seg_bytes = seg.count * sizeof(T);
+  g.total_bytes = total_bytes_;
+  g.left_bytes = pc.left * sizeof(T);
+  g.mid_bytes = pc.mid * sizeof(T);
+  g.right_bytes = pc.right * sizeof(T);
+  g.has_left = q.lo > seg.range.lo && q.lo < seg.range.hi;
+  g.has_right = q.hi < seg.range.hi && q.hi > seg.range.lo;
+  return g;
+}
+
+template <typename T>
+double AdaptiveSegmentation<T>::ChooseBoundedCut(const SegmentInfo& seg,
+                                                 std::span<const T> span,
+                                                 const ValueRange& q,
+                                                 const PieceCounts& pc) const {
+  const uint64_t min_bytes = model_->min_bytes();
+  // Candidate cuts at the query bounds, with the piece sizes they induce.
+  struct Candidate {
+    double cut;
+    uint64_t below, above;  // value counts on each side
+  };
+  std::vector<Candidate> cands;
+  if (q.lo > seg.range.lo && q.lo < seg.range.hi) {
+    cands.push_back({q.lo, pc.left, pc.mid + pc.right});
+  }
+  if (q.hi < seg.range.hi && q.hi > seg.range.lo) {
+    cands.push_back({q.hi, pc.left + pc.mid, pc.right});
+  }
+  double best_cut = 0.0;
+  uint64_t best_min = 0;
+  bool have = false;
+  for (const auto& c : cands) {
+    const uint64_t mn = std::min(c.below, c.above) * sizeof(T);
+    if (mn >= min_bytes && (!have || mn > best_min)) {
+      best_cut = c.cut;
+      best_min = mn;
+      have = true;
+    }
+  }
+  if (have) return best_cut;
+  // No query bound keeps both sides large enough: split at an approximation
+  // of the mean value of the segment (paper rule 3 / Fig. 3 example Q3).
+  double sum = 0.0;
+  for (const T& v : span) sum += ValueOf(v);
+  double mean = span.empty() ? (seg.range.lo + seg.range.hi) / 2.0
+                             : sum / static_cast<double>(span.size());
+  // Keep the cut strictly inside the range so both pieces are non-empty.
+  if (mean <= seg.range.lo || mean >= seg.range.hi) {
+    mean = seg.range.lo + seg.range.Span() / 2.0;
+  }
+  return mean;
+}
+
+template <typename T>
+bool AdaptiveSegmentation<T>::SplitSegment(size_t pos, const SegmentInfo& seg,
+                                           std::span<const T> span,
+                                           const ValueRange& q, SplitAction action,
+                                           QueryExecution* ex) {
+  std::vector<double> cuts;
+  if (action == SplitAction::kSplitAtBounds) {
+    if (q.lo > seg.range.lo && q.lo < seg.range.hi) cuts.push_back(q.lo);
+    if (q.hi < seg.range.hi && q.hi > seg.range.lo) cuts.push_back(q.hi);
+  } else {
+    PieceCounts pc = CountPieces(span, q, nullptr);
+    cuts.push_back(ChooseBoundedCut(seg, span, q, pc));
+  }
+  if (cuts.empty()) return false;
+
+  auto pieces = PartitionByCuts(span, cuts);
+  // Build candidate (range, values) pairs, then coalesce empty pieces into a
+  // neighbour so the index never holds zero-count segments.
+  struct Piece {
+    ValueRange range;
+    std::vector<T> values;
+  };
+  std::vector<Piece> keep;
+  double lo = seg.range.lo;
+  for (size_t i = 0; i < pieces.size(); ++i) {
+    const double hi = i < cuts.size() ? cuts[i] : seg.range.hi;
+    if (pieces[i].empty()) {
+      if (!keep.empty()) {
+        keep.back().range.hi = hi;  // extend previous piece's range
+      } else {
+        // Leading empty piece: fold its range into the next piece by keeping
+        // `lo` unchanged.
+        continue;
+      }
+    } else {
+      keep.push_back({ValueRange(lo, hi), std::move(pieces[i])});
+    }
+    lo = hi;
+  }
+  if (keep.size() < 2) return false;  // degenerate split, nothing gained
+
+  std::vector<SegmentInfo> infos;
+  infos.reserve(keep.size());
+  for (auto& p : keep) {
+    IoCost create;
+    SegmentId id = space_->Create(p.values, &create);
+    ex->write_bytes += create.bytes;
+    ex->adaptation_seconds += create.seconds;
+    infos.push_back(SegmentInfo{p.range, p.values.size(), id});
+  }
+  space_->Free(seg.id);
+  index_.Replace(pos, infos);
+  ++ex->splits;
+  return true;
+}
+
+template <typename T>
+QueryExecution AdaptiveSegmentation<T>::RunRange(const ValueRange& q,
+                                                 std::vector<T>* result) {
+  QueryExecution ex;
+  ex.selection_seconds = space_->model().QueryOverhead();
+  if (q.Empty()) return ex;
+  auto [first, last] = index_.FindOverlapping(q);
+  // Right-to-left: splitting at `pos` only shifts positions > pos, so earlier
+  // positions stay valid.
+  for (size_t pos = last; pos-- > first;) {
+    const SegmentInfo seg = index_.At(pos);
+    IoCost scan;
+    auto span = space_->Scan<T>(seg.id, &scan);
+    ex.read_bytes += scan.bytes;
+    ex.selection_seconds += scan.seconds;
+    ++ex.segments_scanned;
+
+    PieceCounts pc = CountPieces(span, q, result);
+    ex.result_count += pc.mid;
+
+    SplitGeometry g = MakeGeometry(seg, q, pc);
+    SplitAction action = model_->Decide(g);
+    if (action != SplitAction::kKeep) {
+      SplitSegment(pos, seg, span, q, action, &ex);
+    }
+  }
+  if (opts_.merge_small_segments) MergeAround(q, &ex);
+  return ex;
+}
+
+template <typename T>
+StorageFootprint AdaptiveSegmentation<T>::Footprint() const {
+  StorageFootprint fp;
+  fp.materialized_bytes = index_.TotalCount() * sizeof(T);
+  fp.segment_count = index_.Size();
+  fp.meta_bytes = index_.IndexBytes();
+  return fp;
+}
+
+template class AdaptiveSegmentation<int32_t>;
+template class AdaptiveSegmentation<int64_t>;
+template class AdaptiveSegmentation<float>;
+template class AdaptiveSegmentation<double>;
+template class AdaptiveSegmentation<OidValue>;
+
+}  // namespace socs

@@ -1,0 +1,104 @@
+// Adaptive segmentation (paper section 4, "eager materialization"): the
+// column is a list of adjacent, non-overlapping value-range segments,
+// initially one segment holding everything. Each range selection gives every
+// overlapping segment a chance to split; the segmentation model (GD or APM)
+// decides. A split rewrites the whole segment as 2-3 sub-segments, so the
+// selected sub-segment is piggy-backed on the query scan while complements
+// are materialized eagerly -- high start-up cost, minimal storage.
+#ifndef SOCS_CORE_ADAPTIVE_SEGMENTATION_H_
+#define SOCS_CORE_ADAPTIVE_SEGMENTATION_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/model.h"
+#include "core/segment_meta_index.h"
+#include "core/strategy.h"
+
+namespace socs {
+
+template <typename T>
+class AdaptiveSegmentation : public AccessStrategy<T> {
+ public:
+  struct Options {
+    /// Glue adjacent small segments back together after each query (the
+    /// paper's section 3.1 "glue segments together" / section 8 merging
+    /// strategy countering GD's fragmentation on skewed workloads).
+    bool merge_small_segments = false;
+    /// Adjacent segments whose combined size stays at or below this are
+    /// merged; 0 derives the threshold from the model (Mmin, or 4KB for
+    /// unbounded models such as GD).
+    uint64_t merge_threshold_bytes = 0;
+  };
+
+  AdaptiveSegmentation(std::vector<T> values, ValueRange domain,
+                       std::unique_ptr<SegmentationModel> model,
+                       SegmentSpace* space, Options opts = {});
+
+  /// Restores a previously saved layout (core/column_persistence.h): the
+  /// segments must tile `domain` and already live in `space`.
+  AdaptiveSegmentation(ValueRange domain, std::vector<SegmentInfo> segments,
+                       std::unique_ptr<SegmentationModel> model,
+                       SegmentSpace* space, Options opts = {});
+
+  QueryExecution RunRange(const ValueRange& q,
+                          std::vector<T>* result = nullptr) override;
+
+  /// Bulk-loads additional values (the paper targets warehouses with "few
+  /// large bulk loads and prevailing read-only queries"). Values are routed
+  /// to their value-range segments; each affected segment is rewritten once.
+  /// Dies if a value falls outside the column's domain.
+  QueryExecution BulkAppend(const std::vector<T>& values);
+
+  StorageFootprint Footprint() const override;
+  std::vector<SegmentInfo> Segments() const override {
+    return index_.segments();
+  }
+  std::string Name() const override { return "Segm/" + model_->Name(); }
+
+  const SegmentMetaIndex& index() const { return index_; }
+  const SegmentationModel& model() const { return *model_; }
+
+ private:
+  struct PieceCounts {
+    uint64_t left = 0, mid = 0, right = 0;
+  };
+
+  /// One pass over the segment: counts values per query-cut piece and
+  /// appends qualifying values to `result`.
+  PieceCounts CountPieces(std::span<const T> span, const ValueRange& q,
+                          std::vector<T>* result) const;
+
+  SplitGeometry MakeGeometry(const SegmentInfo& seg, const ValueRange& q,
+                             const PieceCounts& pc) const;
+
+  /// Executes the split of the segment at index position `pos`; returns true
+  /// if a reorganization actually happened.
+  bool SplitSegment(size_t pos, const SegmentInfo& seg, std::span<const T> span,
+                    const ValueRange& q, SplitAction action, QueryExecution* ex);
+
+  /// Picks the single cut for SplitAction::kSplitBounded (APM rule 3):
+  /// a query bound that keeps both sides >= Mmin if one exists, otherwise an
+  /// approximation of the mean value of the segment.
+  double ChooseBoundedCut(const SegmentInfo& seg, std::span<const T> span,
+                          const ValueRange& q, const PieceCounts& pc) const;
+
+  /// Merging pass over the segments in the query's neighbourhood: glues
+  /// adjacent segments while their combined size stays under the threshold.
+  void MergeAround(const ValueRange& q, QueryExecution* ex);
+
+  /// Glues segments [pos, pos+1] into one; charges reads + the write.
+  void Glue(size_t pos, QueryExecution* ex);
+
+  uint64_t MergeThreshold() const;
+
+  SegmentSpace* space_;
+  std::unique_ptr<SegmentationModel> model_;
+  SegmentMetaIndex index_;
+  Options opts_;
+  uint64_t total_bytes_;
+};
+
+}  // namespace socs
+
+#endif  // SOCS_CORE_ADAPTIVE_SEGMENTATION_H_

@@ -1,0 +1,26 @@
+#include "core/apm.h"
+
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace socs {
+
+std::string Apm::Name() const {
+  std::ostringstream os;
+  os << "APM " << FormatBytes(min_bytes_) << "-" << FormatBytes(max_bytes_);
+  return os.str();
+}
+
+SplitAction Apm::Decide(const SplitGeometry& g) {
+  SOCS_CHECK_LT(min_bytes_, max_bytes_);
+  if (g.seg_bytes < min_bytes_) return SplitAction::kKeep;       // rule 1
+  if (g.QueryCoversSegment()) return SplitAction::kKeep;         // nothing to split
+  if (g.MinPieceBytes() >= min_bytes_) {
+    return SplitAction::kSplitAtBounds;                          // rule 2
+  }
+  if (g.seg_bytes > max_bytes_) return SplitAction::kSplitBounded;  // rule 3
+  return SplitAction::kKeep;
+}
+
+}  // namespace socs

@@ -1,0 +1,38 @@
+// Adaptive Pagination Model (APM), paper section 3.2.2: a deterministic
+// policy with size bounds Mmin < Mmax.
+//   rule 1: segments below Mmin are never split;
+//   rule 2: split at the query bounds when every resulting piece is >= Mmin;
+//   rule 3: if the bound-split would create a too-small piece but the segment
+//           exceeds Mmax, split anyway -- at a query bound that avoids small
+//           pieces or at an approximation of the segment's mean value.
+// Segment sizes touched by queries converge to [Mmin, Mmax].
+#ifndef SOCS_CORE_APM_H_
+#define SOCS_CORE_APM_H_
+
+#include "common/units.h"
+#include "core/model.h"
+
+namespace socs {
+
+class Apm : public SegmentationModel {
+ public:
+  Apm(uint64_t min_bytes, uint64_t max_bytes)
+      : min_bytes_(min_bytes), max_bytes_(max_bytes) {}
+
+  SplitAction Decide(const SplitGeometry& g) override;
+
+  std::string Name() const override;
+  uint64_t min_bytes() const override { return min_bytes_; }
+  uint64_t max_bytes() const override { return max_bytes_; }
+  std::unique_ptr<SegmentationModel> Clone() const override {
+    return std::make_unique<Apm>(min_bytes_, max_bytes_);
+  }
+
+ private:
+  uint64_t min_bytes_;
+  uint64_t max_bytes_;
+};
+
+}  // namespace socs
+
+#endif  // SOCS_CORE_APM_H_

@@ -1,0 +1,33 @@
+#include "core/auto_apm.h"
+
+#include <algorithm>
+
+namespace socs {
+
+AutoApm::AutoApm() : AutoApm(Tuning()) {}
+
+uint64_t AutoApm::max_bytes() const {
+  double mx = tuning_.max_factor * ema_;
+  mx = std::max(mx, static_cast<double>(tuning_.floor_bytes));
+  if (tuning_.cap_bytes > 0) {
+    mx = std::min(mx, static_cast<double>(tuning_.cap_bytes));
+  }
+  return static_cast<uint64_t>(mx);
+}
+
+SplitAction AutoApm::Decide(const SplitGeometry& g) {
+  // Observe the selection piece this consultation is about. The per-segment
+  // piece understates a multi-segment selection, but at the fixed point
+  // (segments ~ Mmax ~ max_factor * width) a query overlaps O(1) segments,
+  // so the EMA tracks the query width up to a constant the factor absorbs.
+  if (!seeded_) {
+    ema_ = static_cast<double>(g.mid_bytes);
+    seeded_ = true;
+  } else {
+    ema_ += tuning_.ema_alpha * (static_cast<double>(g.mid_bytes) - ema_);
+  }
+  Apm apm(min_bytes(), max_bytes());
+  return apm.Decide(g);
+}
+
+}  // namespace socs

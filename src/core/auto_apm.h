@@ -1,0 +1,56 @@
+// Self-tuning APM (paper section 8: "to achieve complete self-organization,
+// the APM segmentation model needs to automatically determine the values of
+// its controlling parameters"). AutoApm tracks an exponential moving average
+// of the selection sizes it is consulted about and derives its bounds from
+// it:
+//   Mmax = clamp(max_factor * ema, floor, cap),   Mmin = Mmax / divisor.
+// Rationale: Table 1 shows converged per-query reads are bounded below by
+// the segment size (reads ~ Mmax even for tiny selections). Keeping Mmax a
+// small multiple of the *typical* selection bounds the read amplification by
+// that multiple, for any workload selectivity, with no manual tuning.
+#ifndef SOCS_CORE_AUTO_APM_H_
+#define SOCS_CORE_AUTO_APM_H_
+
+#include "common/logging.h"
+#include "core/apm.h"
+#include "core/model.h"
+
+namespace socs {
+
+class AutoApm : public SegmentationModel {
+ public:
+  struct Tuning {
+    double max_factor = 3.0;       // Mmax = max_factor * EMA(selection piece)
+    uint64_t divisor = 4;          // Mmin = Mmax / divisor
+    uint64_t floor_bytes = 1024;   // never tune Mmax below this
+    uint64_t cap_bytes = 0;        // 0 = no cap
+    double ema_alpha = 0.05;       // smoothing of the selection-size signal
+  };
+
+  AutoApm();  // default tuning
+  explicit AutoApm(Tuning tuning) : tuning_(tuning) {
+    SOCS_CHECK_GE(tuning_.divisor, 2u);  // Mmin must stay below Mmax
+    SOCS_CHECK_GT(tuning_.floor_bytes, 0u);
+  }
+
+  SplitAction Decide(const SplitGeometry& g) override;
+
+  std::string Name() const override { return "AutoAPM"; }
+  uint64_t min_bytes() const override { return max_bytes() / tuning_.divisor; }
+  uint64_t max_bytes() const override;
+  std::unique_ptr<SegmentationModel> Clone() const override {
+    return std::make_unique<AutoApm>(tuning_);
+  }
+
+  /// Current selection-size estimate (bytes); exposed for tests/benches.
+  double ema() const { return ema_; }
+
+ private:
+  Tuning tuning_;
+  double ema_ = 0.0;
+  bool seeded_ = false;
+};
+
+}  // namespace socs
+
+#endif  // SOCS_CORE_AUTO_APM_H_

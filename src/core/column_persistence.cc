@@ -1,0 +1,121 @@
+#include "core/column_persistence.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <filesystem>
+
+#include "core/oid_value.h"
+
+namespace socs {
+
+namespace fs = std::filesystem;
+
+namespace {
+constexpr int kFormatVersion = 1;
+}  // namespace
+
+template <typename T>
+Status SaveSegments(const std::vector<SegmentInfo>& segments,
+                    const SegmentSpace& space, const std::string& dir) {
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) return Status::Internal("cannot create " + dir + ": " + ec.message());
+
+  const std::string manifest_path = dir + "/manifest.txt";
+  std::FILE* mf = std::fopen(manifest_path.c_str(), "w");
+  if (mf == nullptr) return Status::NotFound("cannot write " + manifest_path);
+  std::fprintf(mf, "socs-column %d %zu %zu\n", kFormatVersion, sizeof(T),
+               segments.size());
+  for (size_t k = 0; k < segments.size(); ++k) {
+    const SegmentInfo& s = segments[k];
+    char file[32];
+    std::snprintf(file, sizeof(file), "seg_%zu.bin", k);
+    std::fprintf(mf, "%.17g %.17g %" PRIu64 " %s\n", s.range.lo, s.range.hi,
+                 s.count, file);
+    std::FILE* pf = std::fopen((dir + "/" + file).c_str(), "wb");
+    if (pf == nullptr) {
+      std::fclose(mf);
+      return Status::NotFound(std::string("cannot write segment file ") + file);
+    }
+    auto span = space.Peek<T>(s.id);
+    if (span.size() != s.count) {
+      std::fclose(pf);
+      std::fclose(mf);
+      return Status::Internal("segment payload/count mismatch");
+    }
+    if (!span.empty() &&
+        std::fwrite(span.data(), sizeof(T), span.size(), pf) != span.size()) {
+      std::fclose(pf);
+      std::fclose(mf);
+      return Status::Internal(std::string("short write to ") + file);
+    }
+    std::fclose(pf);
+  }
+  std::fclose(mf);
+  return Status::OK();
+}
+
+template <typename T>
+StatusOr<std::vector<SegmentInfo>> LoadSegments(SegmentSpace* space,
+                                                const std::string& dir) {
+  const std::string manifest_path = dir + "/manifest.txt";
+  std::FILE* mf = std::fopen(manifest_path.c_str(), "r");
+  if (mf == nullptr) return Status::NotFound("cannot read " + manifest_path);
+  int version = 0;
+  size_t value_size = 0, n = 0;
+  if (std::fscanf(mf, "socs-column %d %zu %zu", &version, &value_size, &n) != 3 ||
+      version != kFormatVersion) {
+    std::fclose(mf);
+    return Status::InvalidArgument("bad manifest header in " + manifest_path);
+  }
+  if (value_size != sizeof(T)) {
+    std::fclose(mf);
+    return Status::InvalidArgument("value size mismatch: manifest has " +
+                                   std::to_string(value_size) + ", caller " +
+                                   std::to_string(sizeof(T)));
+  }
+  std::vector<SegmentInfo> out;
+  out.reserve(n);
+  for (size_t k = 0; k < n; ++k) {
+    double lo = 0, hi = 0;
+    uint64_t count = 0;
+    char file[64];
+    if (std::fscanf(mf, "%lg %lg %" SCNu64 " %63s", &lo, &hi, &count, file) != 4) {
+      std::fclose(mf);
+      return Status::InvalidArgument("bad manifest row " + std::to_string(k));
+    }
+    std::FILE* pf = std::fopen((dir + "/" + file).c_str(), "rb");
+    if (pf == nullptr) {
+      std::fclose(mf);
+      return Status::NotFound(std::string("missing segment file ") + file);
+    }
+    std::vector<T> values(count);
+    if (count > 0 && std::fread(values.data(), sizeof(T), count, pf) != count) {
+      std::fclose(pf);
+      std::fclose(mf);
+      return Status::Internal(std::string("short read from ") + file);
+    }
+    std::fclose(pf);
+    IoCost setup;
+    SegmentId id = space->Create(values, &setup);
+    out.push_back(SegmentInfo{ValueRange(lo, hi), count, id});
+  }
+  std::fclose(mf);
+  return out;
+}
+
+#define SOCS_INSTANTIATE_PERSISTENCE(T)                                     \
+  template Status SaveSegments<T>(const std::vector<SegmentInfo>&,          \
+                                  const SegmentSpace&, const std::string&); \
+  template StatusOr<std::vector<SegmentInfo>> LoadSegments<T>(              \
+      SegmentSpace*, const std::string&)
+
+SOCS_INSTANTIATE_PERSISTENCE(int32_t);
+SOCS_INSTANTIATE_PERSISTENCE(int64_t);
+SOCS_INSTANTIATE_PERSISTENCE(float);
+SOCS_INSTANTIATE_PERSISTENCE(double);
+SOCS_INSTANTIATE_PERSISTENCE(OidValue);
+
+#undef SOCS_INSTANTIATE_PERSISTENCE
+
+}  // namespace socs

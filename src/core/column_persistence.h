@@ -1,0 +1,37 @@
+// Persistence of a segmented-column layout: the segment meta-index as a
+// text manifest plus one raw little-endian payload file per segment. This is
+// the "large columns residing on disk" side of the paper's design -- a
+// reorganized column can be shut down and restored without losing the
+// workload-learned segmentation.
+//
+// Layout of <dir>:
+//   manifest.txt   "socs-column 1 <value_size> <n>" + one line per segment:
+//                  "<lo> <hi> <count> <file>"
+//   seg_<k>.bin    raw payload of segment k
+#ifndef SOCS_CORE_COLUMN_PERSISTENCE_H_
+#define SOCS_CORE_COLUMN_PERSISTENCE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/segment.h"
+#include "storage/segment_space.h"
+
+namespace socs {
+
+/// Writes `segments` (ordered, as returned by AccessStrategy::Segments())
+/// and their payloads from `space` into `dir` (created if missing).
+template <typename T>
+Status SaveSegments(const std::vector<SegmentInfo>& segments,
+                    const SegmentSpace& space, const std::string& dir);
+
+/// Reads a layout saved by SaveSegments<T>; payloads are materialized into
+/// `space` (fresh segment ids). Fails on size/type mismatches.
+template <typename T>
+StatusOr<std::vector<SegmentInfo>> LoadSegments(SegmentSpace* space,
+                                                const std::string& dir);
+
+}  // namespace socs
+
+#endif  // SOCS_CORE_COLUMN_PERSISTENCE_H_

@@ -1,0 +1,103 @@
+#include "core/cracking.h"
+
+#include <algorithm>
+
+namespace socs {
+
+template <typename T>
+CrackingColumn<T>::CrackingColumn(std::vector<T> values, ValueRange domain,
+                                  SegmentSpace* space)
+    : space_(space), domain_(domain), cracker_(std::move(values)) {}
+
+template <typename T>
+size_t CrackingColumn<T>::Crack(double bound, QueryExecution* ex) {
+  if (bound <= domain_.lo) return 0;
+  if (bound >= domain_.hi) return cracker_.size();
+  auto hit = index_.find(bound);
+  if (hit != index_.end()) return hit->second;
+
+  // Enclosing piece [lo_pos, hi_pos).
+  size_t lo_pos = 0, hi_pos = cracker_.size();
+  auto up = index_.upper_bound(bound);
+  if (up != index_.end()) hi_pos = up->second;
+  if (up != index_.begin()) lo_pos = std::prev(up)->second;
+
+  // In-place two-pointer partition: values < bound to the left.
+  size_t i = lo_pos, j = hi_pos;
+  uint64_t moved = 0;
+  while (i < j) {
+    if (ValueOf(cracker_[i]) < bound) {
+      ++i;
+    } else {
+      --j;
+      std::swap(cracker_[i], cracker_[j]);
+      ++moved;
+    }
+  }
+  index_[bound] = i;
+
+  const uint64_t piece_bytes = (hi_pos - lo_pos) * sizeof(T);
+  const uint64_t write_bytes = 2 * moved * sizeof(T);  // both swap sides move
+  ex->read_bytes += piece_bytes;
+  ex->write_bytes += write_bytes;
+  ex->selection_seconds += space_->model().MemRead(piece_bytes);
+  ex->adaptation_seconds += space_->model().MemWrite(write_bytes);
+  ++ex->splits;
+  space_->mutable_stats().mem_read_bytes += piece_bytes;
+  space_->mutable_stats().mem_write_bytes += write_bytes;
+  return i;
+}
+
+template <typename T>
+QueryExecution CrackingColumn<T>::RunRange(const ValueRange& q,
+                                           std::vector<T>* result) {
+  QueryExecution ex;
+  ex.selection_seconds = space_->model().QueryOverhead();
+  if (q.Empty()) return ex;
+  const size_t p1 = Crack(q.lo, &ex);
+  const size_t p2 = Crack(q.hi, &ex);
+  SOCS_CHECK_LE(p1, p2);
+  // Qualifying values are contiguous in [p1, p2).
+  const uint64_t out_bytes = (p2 - p1) * sizeof(T);
+  ex.read_bytes += out_bytes;
+  ex.selection_seconds += space_->model().MemRead(out_bytes);
+  space_->mutable_stats().mem_read_bytes += out_bytes;
+  ex.result_count = p2 - p1;
+  if (result != nullptr) {
+    result->insert(result->end(), cracker_.begin() + p1, cracker_.begin() + p2);
+  }
+  return ex;
+}
+
+template <typename T>
+StorageFootprint CrackingColumn<T>::Footprint() const {
+  StorageFootprint fp;
+  // Cracking maintains a complete replica next to the base column.
+  fp.materialized_bytes = 2 * cracker_.size() * sizeof(T);
+  fp.segment_count = NumPieces();
+  fp.meta_bytes = index_.size() * (sizeof(double) + sizeof(size_t)) * 2;
+  return fp;
+}
+
+template <typename T>
+std::vector<SegmentInfo> CrackingColumn<T>::Segments() const {
+  std::vector<SegmentInfo> out;
+  double lo = domain_.lo;
+  size_t lo_pos = 0;
+  for (const auto& [bound, pos] : index_) {
+    out.push_back(SegmentInfo{ValueRange(lo, bound), pos - lo_pos, kInvalidSegment});
+    lo = bound;
+    lo_pos = pos;
+  }
+  out.push_back(SegmentInfo{ValueRange(lo, domain_.hi), cracker_.size() - lo_pos,
+                            kInvalidSegment});
+  return out;
+}
+
+template class CrackingColumn<int32_t>;
+template class CrackingColumn<int64_t>;
+template class CrackingColumn<float>;
+template class CrackingColumn<double>;
+template class CrackingColumn<OidValue>;
+
+}  // namespace socs

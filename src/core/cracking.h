@@ -1,0 +1,48 @@
+// Database cracking comparator (Idreos, Kersten, Manegold, CIDR'07; the
+// paper's closest related work, section 7). Cracking keeps a full in-memory
+// replica of the column (the "cracker column") and physically reorganizes it
+// in place: each range selection partitions the pieces containing the query
+// bounds, so the qualifying values end up contiguous. Contrast with adaptive
+// segmentation, which reorganizes the column itself into disk-manageable
+// segments and keeps only a sparse meta-index in memory.
+#ifndef SOCS_CORE_CRACKING_H_
+#define SOCS_CORE_CRACKING_H_
+
+#include <map>
+#include <vector>
+
+#include "core/strategy.h"
+
+namespace socs {
+
+template <typename T>
+class CrackingColumn : public AccessStrategy<T> {
+ public:
+  CrackingColumn(std::vector<T> values, ValueRange domain, SegmentSpace* space);
+
+  QueryExecution RunRange(const ValueRange& q,
+                          std::vector<T>* result = nullptr) override;
+
+  StorageFootprint Footprint() const override;
+  /// Cracker pieces between consecutive index entries (no segment ids; the
+  /// cracker column is one contiguous in-memory array).
+  std::vector<SegmentInfo> Segments() const override;
+  std::string Name() const override { return "Cracking"; }
+
+  size_t NumPieces() const { return index_.size() + 1; }
+
+ private:
+  /// Ensures `bound` is a cracked position: partitions the piece containing
+  /// it so that values < bound precede it. Returns the split position and
+  /// accounts the work into `ex`.
+  size_t Crack(double bound, QueryExecution* ex);
+
+  SegmentSpace* space_;   // cost model + global stats only
+  ValueRange domain_;
+  std::vector<T> cracker_;            // the in-memory replica
+  std::map<double, size_t> index_;    // bound value -> first position >= bound
+};
+
+}  // namespace socs
+
+#endif  // SOCS_CORE_CRACKING_H_

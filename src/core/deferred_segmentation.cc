@@ -1,0 +1,168 @@
+#include "core/deferred_segmentation.h"
+
+#include <algorithm>
+
+#include "common/units.h"
+
+namespace socs {
+
+template <typename T>
+DeferredSegmentation<T>::DeferredSegmentation(
+    std::vector<T> values, ValueRange domain,
+    std::unique_ptr<SegmentationModel> model, SegmentSpace* space, Options opts)
+    : space_(space), model_(std::move(model)), index_(domain), opts_(opts),
+      total_bytes_(values.size() * sizeof(T)) {
+  SOCS_CHECK_GT(opts_.batch_queries, 0u);
+  IoCost setup;
+  SegmentId id = space_->Create(values, &setup);
+  index_.InitSingle(SegmentInfo{domain, values.size(), id});
+}
+
+template <typename T>
+uint64_t DeferredSegmentation<T>::TargetBytes() const {
+  if (opts_.target_bytes > 0) return opts_.target_bytes;
+  if (model_->max_bytes() != UINT64_MAX) {
+    return (model_->min_bytes() + model_->max_bytes()) / 2;
+  }
+  return 8 * kKiB;
+}
+
+template <typename T>
+QueryExecution DeferredSegmentation<T>::RunRange(const ValueRange& q,
+                                                 std::vector<T>* result) {
+  QueryExecution ex;
+  ex.selection_seconds = space_->model().QueryOverhead();
+  if (q.Empty()) return ex;
+  auto [first, last] = index_.FindOverlapping(q);
+  for (size_t pos = first; pos < last; ++pos) {
+    const SegmentInfo& seg = index_.At(pos);
+    IoCost scan;
+    auto span = space_->Scan<T>(seg.id, &scan);
+    ex.read_bytes += scan.bytes;
+    ex.selection_seconds += scan.seconds;
+    ++ex.segments_scanned;
+
+    uint64_t left = 0, mid = 0, right = 0;
+    for (const T& v : span) {
+      const double d = ValueOf(v);
+      if (d < q.lo) {
+        ++left;
+      } else if (d >= q.hi) {
+        ++right;
+      } else {
+        ++mid;
+        if (result != nullptr) result->push_back(v);
+      }
+    }
+    ex.result_count += mid;
+
+    SplitGeometry g;
+    g.seg_bytes = seg.count * sizeof(T);
+    g.total_bytes = total_bytes_;
+    g.left_bytes = left * sizeof(T);
+    g.mid_bytes = mid * sizeof(T);
+    g.right_bytes = right * sizeof(T);
+    g.has_left = q.lo > seg.range.lo && q.lo < seg.range.hi;
+    g.has_right = q.hi < seg.range.hi && q.hi > seg.range.lo;
+    if (model_->Decide(g) != SplitAction::kKeep) {
+      marked_.insert(seg.id);  // only marked; reorganization is deferred
+    }
+  }
+  if (++queries_since_batch_ >= opts_.batch_queries) {
+    QueryExecution batch = Reorganize();
+    ex.write_bytes += batch.write_bytes;
+    ex.read_bytes += batch.read_bytes;
+    ex.adaptation_seconds += batch.adaptation_seconds;
+    ex.splits += batch.splits;
+  }
+  return ex;
+}
+
+template <typename T>
+void DeferredSegmentation<T>::SplitEquiDepth(size_t pos, QueryExecution* ex) {
+  const SegmentInfo seg = index_.At(pos);
+  const uint64_t target = TargetBytes();
+  const uint64_t pieces_wanted =
+      std::max<uint64_t>(2, (seg.count * sizeof(T) + target - 1) / target);
+
+  // Deferred reorganization must re-read the segment (paper: "requires all
+  // marked segments to be loaded again in memory and scanned").
+  IoCost scan;
+  auto span = space_->Scan<T>(seg.id, &scan);
+  ex->read_bytes += scan.bytes;
+  ex->adaptation_seconds += scan.seconds;
+
+  // Equi-depth cut points: values at ranks k * n/pieces of the sorted data.
+  std::vector<T> sorted(span.begin(), span.end());
+  std::sort(sorted.begin(), sorted.end(),
+            [](const T& a, const T& b) { return ValueOf(a) < ValueOf(b); });
+  ex->adaptation_seconds +=
+      space_->model().MemRead(seg.count * sizeof(T));  // sort pass
+  std::vector<double> cuts;
+  for (uint64_t k = 1; k < pieces_wanted; ++k) {
+    const double cut = ValueOf(sorted[k * seg.count / pieces_wanted]);
+    if (cut > seg.range.lo && cut < seg.range.hi &&
+        (cuts.empty() || cut > cuts.back())) {
+      cuts.push_back(cut);
+    }
+  }
+  if (cuts.empty()) return;
+
+  auto parts = PartitionByCuts(span, cuts);
+  std::vector<SegmentInfo> infos;
+  double lo = seg.range.lo;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    const double hi = i < cuts.size() ? cuts[i] : seg.range.hi;
+    if (parts[i].empty()) {
+      if (!infos.empty()) {
+        infos.back().range.hi = hi;
+        lo = hi;
+      }
+      continue;
+    }
+    IoCost create;
+    SegmentId id = space_->Create(parts[i], &create);
+    ex->write_bytes += create.bytes;
+    ex->adaptation_seconds += create.seconds;
+    infos.push_back(SegmentInfo{ValueRange(lo, hi), parts[i].size(), id});
+    lo = hi;
+  }
+  if (infos.size() < 2) {
+    for (const auto& info : infos) space_->Free(info.id);
+    return;
+  }
+  space_->Free(seg.id);
+  index_.Replace(pos, infos);
+  ++ex->splits;
+}
+
+template <typename T>
+QueryExecution DeferredSegmentation<T>::Reorganize() {
+  QueryExecution ex;
+  queries_since_batch_ = 0;
+  if (marked_.empty()) return ex;
+  const std::set<SegmentId> marks = std::move(marked_);
+  marked_.clear();
+  // Process right-to-left so Replace() does not shift pending positions.
+  for (size_t pos = index_.Size(); pos-- > 0;) {
+    if (marks.count(index_.At(pos).id) > 0) SplitEquiDepth(pos, &ex);
+  }
+  return ex;
+}
+
+template <typename T>
+StorageFootprint DeferredSegmentation<T>::Footprint() const {
+  StorageFootprint fp;
+  fp.materialized_bytes = index_.TotalCount() * sizeof(T);
+  fp.segment_count = index_.Size();
+  fp.meta_bytes = index_.IndexBytes() + marked_.size() * sizeof(SegmentId);
+  return fp;
+}
+
+template class DeferredSegmentation<int32_t>;
+template class DeferredSegmentation<int64_t>;
+template class DeferredSegmentation<float>;
+template class DeferredSegmentation<double>;
+template class DeferredSegmentation<OidValue>;
+
+}  // namespace socs

@@ -1,0 +1,71 @@
+// Post-processing reorganization (paper section 3.3, first alternative):
+// the optimizer only *marks* segments for splitting during query execution;
+// the actual reorganization runs after the query (here: every
+// `batch_queries` queries), combining several suggested splits in one batch
+// and choosing ideal split points -- equi-depth sub-segments that balance
+// memory resources. Compared to eager adaptive segmentation this delays the
+// benefit (queries between batches keep scanning large segments) and re-reads
+// the marked segments, but produces balanced segments independent of the
+// exact query bounds.
+#ifndef SOCS_CORE_DEFERRED_SEGMENTATION_H_
+#define SOCS_CORE_DEFERRED_SEGMENTATION_H_
+
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "core/model.h"
+#include "core/segment_meta_index.h"
+#include "core/strategy.h"
+
+namespace socs {
+
+template <typename T>
+class DeferredSegmentation : public AccessStrategy<T> {
+ public:
+  struct Options {
+    /// Reorganize after this many queries (the paper's "performed at once"
+    /// batch; 1 = reorganize after every query).
+    size_t batch_queries = 32;
+    /// Target equi-depth piece size; 0 derives it from the model's bounds
+    /// ((Mmin+Mmax)/2, or 8KB for unbounded models such as GD).
+    uint64_t target_bytes = 0;
+  };
+
+  DeferredSegmentation(std::vector<T> values, ValueRange domain,
+                       std::unique_ptr<SegmentationModel> model,
+                       SegmentSpace* space, Options opts = {});
+
+  QueryExecution RunRange(const ValueRange& q,
+                          std::vector<T>* result = nullptr) override;
+
+  StorageFootprint Footprint() const override;
+  std::vector<SegmentInfo> Segments() const override {
+    return index_.segments();
+  }
+  std::string Name() const override { return "Post/" + model_->Name(); }
+
+  /// Forces the pending batch to run now (e.g., at an idle point). Returns
+  /// the reorganization record.
+  QueryExecution Reorganize();
+
+  size_t pending_marks() const { return marked_.size(); }
+  const SegmentMetaIndex& index() const { return index_; }
+
+ private:
+  uint64_t TargetBytes() const;
+  /// Equi-depth split of one segment; appends work to `ex`.
+  void SplitEquiDepth(size_t pos, QueryExecution* ex);
+
+  SegmentSpace* space_;
+  std::unique_ptr<SegmentationModel> model_;
+  SegmentMetaIndex index_;
+  Options opts_;
+  uint64_t total_bytes_;
+  size_t queries_since_batch_ = 0;
+  std::set<SegmentId> marked_;
+};
+
+}  // namespace socs
+
+#endif  // SOCS_CORE_DEFERRED_SEGMENTATION_H_

@@ -1,0 +1,24 @@
+#include "core/gaussian_dice.h"
+
+#include <cmath>
+
+namespace socs {
+
+double GaussianDice::DecisionProbability(double x, double sigma) {
+  if (sigma <= 0.0) return 0.0;
+  const double d = x - 0.5;
+  return std::exp(-(d * d) / (2.0 * sigma * sigma));
+}
+
+SplitAction GaussianDice::Decide(const SplitGeometry& g) {
+  if (g.QueryCoversSegment() || g.seg_bytes == 0 || g.total_bytes == 0) {
+    return SplitAction::kKeep;
+  }
+  const double x = static_cast<double>(g.mid_bytes) / static_cast<double>(g.seg_bytes);
+  const double sigma =
+      static_cast<double>(g.seg_bytes) / static_cast<double>(g.total_bytes);
+  const double p = DecisionProbability(x, sigma);
+  return rng_.NextDouble() < p ? SplitAction::kSplitAtBounds : SplitAction::kKeep;
+}
+
+}  // namespace socs

@@ -1,0 +1,37 @@
+// Gaussian Dice (GD) model, paper section 3.2.1: a "learning" randomized
+// policy. For a segment S from which a query extracts a piece P, let
+// x = size(P)/size(S) and sigma = size(S)/size(column). The split
+// probability is O(x) = G(x)/G(0.5) = exp(-(x - 0.5)^2 / (2 sigma^2)), so
+// selections that halve a relatively large segment are most likely to
+// trigger reorganization, and point queries rarely fragment the column.
+#ifndef SOCS_CORE_GAUSSIAN_DICE_H_
+#define SOCS_CORE_GAUSSIAN_DICE_H_
+
+#include "common/rng.h"
+#include "core/model.h"
+
+namespace socs {
+
+class GaussianDice : public SegmentationModel {
+ public:
+  explicit GaussianDice(uint64_t seed = 0xd1ce) : rng_(seed), seed_(seed) {}
+
+  SplitAction Decide(const SplitGeometry& g) override;
+
+  std::string Name() const override { return "GD"; }
+  std::unique_ptr<SegmentationModel> Clone() const override {
+    return std::make_unique<GaussianDice>(seed_);
+  }
+
+  /// The decision function O(x) for partition ratio x and the given sigma
+  /// (exposed for Fig. 2 and for tests).
+  static double DecisionProbability(double x, double sigma);
+
+ private:
+  Rng rng_;
+  uint64_t seed_;
+};
+
+}  // namespace socs
+
+#endif  // SOCS_CORE_GAUSSIAN_DICE_H_

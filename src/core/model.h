@@ -1,0 +1,80 @@
+// Segmentation models (paper section 3.2): the policy that decides, per
+// selection and per overlapping segment, whether the selection should be
+// used to reorganize the column. Models reason about *sizes in bytes* only;
+// they never see the data.
+#ifndef SOCS_CORE_MODEL_H_
+#define SOCS_CORE_MODEL_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace socs {
+
+/// Geometry of the candidate split of segment S by a query: sizes of the up
+/// to three pieces the query bounds would carve out of S.
+struct SplitGeometry {
+  uint64_t seg_bytes = 0;    // size of S
+  uint64_t total_bytes = 0;  // size of the whole column
+  uint64_t left_bytes = 0;   // piece of S below the query range
+  uint64_t mid_bytes = 0;    // piece of S inside the query range (the selection)
+  uint64_t right_bytes = 0;  // piece of S above the query range
+  bool has_left = false;     // the query's low bound cuts S
+  bool has_right = false;    // the query's high bound cuts S
+
+  /// True when the query range covers all of S (no split possible).
+  bool QueryCoversSegment() const { return !has_left && !has_right; }
+
+  /// Smallest piece the bound-split would create (only existing pieces).
+  uint64_t MinPieceBytes() const {
+    uint64_t m = mid_bytes;
+    if (has_left && left_bytes < m) m = left_bytes;
+    if (has_right && right_bytes < m) m = right_bytes;
+    return m;
+  }
+
+  int NumPieces() const { return 1 + (has_left ? 1 : 0) + (has_right ? 1 : 0); }
+};
+
+/// What to do with the segment.
+enum class SplitAction {
+  kKeep,           // leave the segment intact
+  kSplitAtBounds,  // split into the 2-3 pieces at the query bounds
+  // The bound-split would create a too-small piece, but the segment is too
+  // large to keep (APM rule 3): split at a single query bound, or at an
+  // approximation of the segment's mean value, whichever avoids small pieces.
+  kSplitBounded,
+};
+
+const char* SplitActionName(SplitAction a);
+
+class SegmentationModel {
+ public:
+  virtual ~SegmentationModel() = default;
+
+  /// Decides the fate of one segment for one query. Stateful models (GD's
+  /// random draw) advance their state, hence non-const.
+  virtual SplitAction Decide(const SplitGeometry& g) = 0;
+
+  virtual std::string Name() const = 0;
+
+  /// APM bounds; the defaults make non-APM models "never too small/large".
+  virtual uint64_t min_bytes() const { return 0; }
+  virtual uint64_t max_bytes() const { return UINT64_MAX; }
+
+  /// Fresh instance with identical parameters (strategies own their model).
+  virtual std::unique_ptr<SegmentationModel> Clone() const = 0;
+};
+
+inline const char* SplitActionName(SplitAction a) {
+  switch (a) {
+    case SplitAction::kKeep: return "keep";
+    case SplitAction::kSplitAtBounds: return "split-at-bounds";
+    case SplitAction::kSplitBounded: return "split-bounded";
+  }
+  return "?";
+}
+
+}  // namespace socs
+
+#endif  // SOCS_CORE_MODEL_H_

@@ -1,0 +1,11 @@
+#include "core/non_segmented.h"
+
+namespace socs {
+
+template class NonSegmented<int32_t>;
+template class NonSegmented<int64_t>;
+template class NonSegmented<float>;
+template class NonSegmented<double>;
+template class NonSegmented<OidValue>;
+
+}  // namespace socs

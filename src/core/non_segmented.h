@@ -1,0 +1,54 @@
+// Baseline: positional, non-segmented column. Every range selection scans
+// the entire column (the behaviour of a plain MonetDB BAT, paper section 2);
+// no reorganization ever happens.
+#ifndef SOCS_CORE_NON_SEGMENTED_H_
+#define SOCS_CORE_NON_SEGMENTED_H_
+
+#include <vector>
+
+#include "core/strategy.h"
+
+namespace socs {
+
+template <typename T>
+class NonSegmented : public AccessStrategy<T> {
+ public:
+  /// Takes ownership of the column values; `space` must outlive the strategy.
+  NonSegmented(std::vector<T> values, ValueRange domain, SegmentSpace* space)
+      : space_(space), domain_(domain), count_(values.size()) {
+    IoCost setup;  // initial load is not attributed to any query
+    id_ = space_->Create(values, &setup);
+  }
+
+  QueryExecution RunRange(const ValueRange& q,
+                          std::vector<T>* result = nullptr) override {
+    QueryExecution ex;
+    IoCost scan;
+    auto span = space_->template Scan<T>(id_, &scan);
+    ex.read_bytes = scan.bytes;
+    ex.selection_seconds = scan.seconds + space_->model().QueryOverhead();
+    ex.segments_scanned = 1;
+    ex.result_count = FilterRange(span, q, result);
+    return ex;
+  }
+
+  StorageFootprint Footprint() const override {
+    return {count_ * sizeof(T), 1, sizeof(SegmentInfo)};
+  }
+
+  std::vector<SegmentInfo> Segments() const override {
+    return {SegmentInfo{domain_, count_, id_}};
+  }
+
+  std::string Name() const override { return "NoSegm"; }
+
+ private:
+  SegmentSpace* space_;
+  ValueRange domain_;
+  uint64_t count_;
+  SegmentId id_ = kInvalidSegment;
+};
+
+}  // namespace socs
+
+#endif  // SOCS_CORE_NON_SEGMENTED_H_

@@ -1,0 +1,31 @@
+// OidValue: the element type used when a strategy manages MonetDB-style
+// [oid, value] pairs instead of bare values. Value-based segmentation gives
+// up positional order, so each element must carry its oid explicitly for
+// tuple reconstruction (paper section 1's trade-off discussion).
+#ifndef SOCS_CORE_OID_VALUE_H_
+#define SOCS_CORE_OID_VALUE_H_
+
+#include <cstdint>
+
+namespace socs {
+
+struct OidValue {
+  uint64_t oid = 0;
+  double value = 0.0;
+
+  friend bool operator==(const OidValue& a, const OidValue& b) {
+    return a.oid == b.oid && a.value == b.value;
+  }
+};
+
+/// Customization point: the sort key a strategy organizes elements by.
+inline double ValueOf(const OidValue& v) { return v.value; }
+
+template <typename T>
+inline double ValueOf(const T& v) {
+  return static_cast<double>(v);
+}
+
+}  // namespace socs
+
+#endif  // SOCS_CORE_OID_VALUE_H_

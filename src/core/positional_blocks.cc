@@ -1,0 +1,82 @@
+#include "core/positional_blocks.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace socs {
+
+template <typename T>
+PositionalBlocks<T>::PositionalBlocks(std::vector<T> values, ValueRange domain,
+                                      uint64_t block_bytes, SegmentSpace* space,
+                                      bool use_zone_maps)
+    : space_(space), domain_(domain), block_bytes_(block_bytes),
+      use_zone_maps_(use_zone_maps), total_count_(values.size()) {
+  SOCS_CHECK_GE(block_bytes, sizeof(T));
+  const size_t per_block = block_bytes / sizeof(T);
+  for (size_t off = 0; off < values.size(); off += per_block) {
+    const size_t n = std::min(per_block, values.size() - off);
+    std::vector<T> chunk(values.begin() + off, values.begin() + off + n);
+    double mn = ValueOf(chunk.front());
+    double mx = mn;
+    for (const T& v : chunk) {
+      mn = std::min(mn, ValueOf(v));
+      mx = std::max(mx, ValueOf(v));
+    }
+    IoCost setup;
+    SegmentId id = space_->Create(chunk, &setup);
+    blocks_.push_back(Block{id, n, mn, mx});
+  }
+}
+
+template <typename T>
+QueryExecution PositionalBlocks<T>::RunRange(const ValueRange& q,
+                                             std::vector<T>* result) {
+  QueryExecution ex;
+  ex.selection_seconds = space_->model().QueryOverhead();
+  if (q.Empty()) return ex;
+  for (const Block& b : blocks_) {
+    if (use_zone_maps_ && (b.max_value < q.lo || b.min_value >= q.hi)) {
+      // Zone map skips the payload but the block header is still visited.
+      ex.selection_seconds += space_->model().SegmentOverhead();
+      continue;
+    }
+    IoCost scan;
+    auto span = space_->Scan<T>(b.id, &scan);
+    ex.read_bytes += scan.bytes;
+    ex.selection_seconds += scan.seconds;
+    ++ex.segments_scanned;
+    ex.result_count += FilterRange(span, q, result);
+  }
+  return ex;
+}
+
+template <typename T>
+StorageFootprint PositionalBlocks<T>::Footprint() const {
+  return {total_count_ * sizeof(T), blocks_.size(),
+          blocks_.size() * sizeof(Block)};
+}
+
+template <typename T>
+std::vector<SegmentInfo> PositionalBlocks<T>::Segments() const {
+  // Positional blocks have no value ranges; report their zone maps.
+  std::vector<SegmentInfo> out;
+  out.reserve(blocks_.size());
+  for (const Block& b : blocks_) {
+    out.push_back(SegmentInfo{ValueRange(b.min_value, b.max_value), b.count, b.id});
+  }
+  return out;
+}
+
+template <typename T>
+std::string PositionalBlocks<T>::Name() const {
+  std::ostringstream os;
+  os << "Blocks" << FormatBytes(block_bytes_) << (use_zone_maps_ ? "+zm" : "");
+  return os.str();
+}
+
+template class PositionalBlocks<int32_t>;
+template class PositionalBlocks<int64_t>;
+template class PositionalBlocks<float>;
+template class PositionalBlocks<double>;
+
+}  // namespace socs

@@ -1,0 +1,52 @@
+// Baseline: positional fixed-size blocks (C-Store style, paper section 1:
+// "a column is represented as a sequence of 64KB blocks"). Blocks preserve
+// insertion order, so a range selection must visit every block -- there is
+// no value-based pruning; the per-block min/max sketch (a zone map) can skip
+// a block's *data* only when the workload produced clustered data.
+#ifndef SOCS_CORE_POSITIONAL_BLOCKS_H_
+#define SOCS_CORE_POSITIONAL_BLOCKS_H_
+
+#include <vector>
+
+#include "common/units.h"
+#include "core/strategy.h"
+
+namespace socs {
+
+template <typename T>
+class PositionalBlocks : public AccessStrategy<T> {
+ public:
+  PositionalBlocks(std::vector<T> values, ValueRange domain,
+                   uint64_t block_bytes, SegmentSpace* space,
+                   bool use_zone_maps = false);
+
+  QueryExecution RunRange(const ValueRange& q,
+                          std::vector<T>* result = nullptr) override;
+
+  StorageFootprint Footprint() const override;
+  std::vector<SegmentInfo> Segments() const override;
+  /// Positional blocks have no value order: every block must be visited.
+  std::vector<SegmentInfo> CoverSegments(const ValueRange& q) const override {
+    (void)q;
+    return Segments();
+  }
+  std::string Name() const override;
+
+ private:
+  struct Block {
+    SegmentId id;
+    uint64_t count;
+    double min_value, max_value;  // zone map
+  };
+
+  SegmentSpace* space_;
+  ValueRange domain_;
+  uint64_t block_bytes_;
+  bool use_zone_maps_;
+  std::vector<Block> blocks_;
+  uint64_t total_count_ = 0;
+};
+
+}  // namespace socs
+
+#endif  // SOCS_CORE_POSITIONAL_BLOCKS_H_

@@ -1,0 +1,58 @@
+// Value ranges. All ranges in the library are half-open [lo, hi) over
+// doubles; the paper's inclusive integer ranges [QL, QH] map to [QL, QH+1).
+// Half-open ranges tile a domain without +/-1 arithmetic and work unchanged
+// for the integer simulation domain and the float SkyServer domain.
+#ifndef SOCS_CORE_RANGE_H_
+#define SOCS_CORE_RANGE_H_
+
+#include <algorithm>
+#include <string>
+
+#include "common/logging.h"
+
+namespace socs {
+
+struct ValueRange {
+  double lo = 0.0;
+  double hi = 0.0;  // exclusive
+
+  ValueRange() = default;
+  ValueRange(double l, double h) : lo(l), hi(h) { SOCS_CHECK_LE(l, h); }
+
+  double Span() const { return hi - lo; }
+  bool Empty() const { return lo >= hi; }
+  bool Contains(double v) const { return v >= lo && v < hi; }
+  bool ContainsRange(const ValueRange& o) const { return lo <= o.lo && o.hi <= hi; }
+  bool Overlaps(const ValueRange& o) const { return lo < o.hi && o.lo < hi; }
+
+  ValueRange Intersect(const ValueRange& o) const {
+    double l = std::max(lo, o.lo);
+    double h = std::min(hi, o.hi);
+    if (l > h) return ValueRange(l, l);
+    return ValueRange(l, h);
+  }
+
+  bool operator==(const ValueRange& o) const { return lo == o.lo && hi == o.hi; }
+
+  std::string ToString() const;
+};
+
+inline std::string ValueRange::ToString() const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "[%g, %g)", lo, hi);
+  return buf;
+}
+
+/// A range-selection query (the only query shape the strategies react to;
+/// the paper addresses read-only scan-heavy workloads).
+struct RangeQuery {
+  ValueRange range;
+
+  RangeQuery() = default;
+  RangeQuery(double lo, double hi) : range(lo, hi) {}
+  explicit RangeQuery(ValueRange r) : range(r) {}
+};
+
+}  // namespace socs
+
+#endif  // SOCS_CORE_RANGE_H_

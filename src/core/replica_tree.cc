@@ -1,0 +1,235 @@
+#include "core/replica_tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace socs {
+
+ReplicaTree::ReplicaTree(ValueRange domain) : domain_(domain) {
+  sentinel_ = std::make_unique<ReplicaNode>();
+  sentinel_->range = domain;
+  sentinel_->materialized = false;
+}
+
+ReplicaNode* ReplicaTree::InitColumn(uint64_t count, SegmentId seg) {
+  SOCS_CHECK(sentinel_->children.empty()) << "column already initialized";
+  auto node = std::make_unique<ReplicaNode>();
+  node->range = domain_;
+  node->count = count;
+  node->count_exact = true;
+  node->materialized = true;
+  node->seg = seg;
+  node->parent = sentinel_.get();
+  ReplicaNode* raw = node.get();
+  sentinel_->children.push_back(std::move(node));
+  return raw;
+}
+
+bool ReplicaTree::GetCover(const ValueRange& q, std::vector<ReplicaNode*>* cover) {
+  cover->clear();
+  ValueRange eff = q.Intersect(domain_);
+  if (eff.Empty()) return true;
+  return GetCoverRec(sentinel_.get(), eff, cover);
+}
+
+bool ReplicaTree::GetCoverRec(ReplicaNode* s, const ValueRange& q,
+                              std::vector<ReplicaNode*>* cover) {
+  if (s->IsLeaf()) {
+    if (!s->materialized) return false;
+    cover->push_back(s);
+    return true;
+  }
+  const size_t start = cover->size();
+  for (auto& child : s->children) {
+    if (!child->range.Overlaps(q)) continue;
+    if (!GetCoverRec(child.get(), q, cover)) {
+      cover->resize(start);  // backtrack: cover this subtree with s itself
+      if (!s->materialized) return false;
+      cover->push_back(s);
+      return true;
+    }
+  }
+  return true;
+}
+
+std::vector<ReplicaNode*> ReplicaTree::AddChildren(
+    ReplicaNode* parent, const std::vector<ReplicaNodeSpec>& specs) {
+  SOCS_CHECK(parent->children.empty())
+      << "AddChildren on non-leaf " << parent->range.ToString();
+  SOCS_CHECK(!specs.empty());
+  SOCS_CHECK_EQ(specs.front().range.lo, parent->range.lo);
+  SOCS_CHECK_EQ(specs.back().range.hi, parent->range.hi);
+  std::vector<ReplicaNode*> out;
+  out.reserve(specs.size());
+  for (size_t i = 0; i < specs.size(); ++i) {
+    if (i > 0) {
+      SOCS_CHECK_EQ(specs[i].range.lo, specs[i - 1].range.hi);
+    }
+    SOCS_CHECK(!specs[i].range.Empty());
+    auto node = std::make_unique<ReplicaNode>();
+    node->range = specs[i].range;
+    node->count = specs[i].estimated_count;
+    node->count_exact = false;
+    node->materialized = false;
+    node->parent = parent;
+    out.push_back(node.get());
+    parent->children.push_back(std::move(node));
+  }
+  return out;
+}
+
+void ReplicaTree::CheckForDrop(ReplicaNode* s, std::vector<SegmentId>* freed,
+                               uint64_t* drops) {
+  (void)CheckForDropRec(s, freed, drops);
+}
+
+bool ReplicaTree::CheckForDropRec(ReplicaNode* s, std::vector<SegmentId>* freed,
+                                  uint64_t* drops) {
+  if (s->IsLeaf()) return false;
+  for (size_t i = 0; i < s->children.size();) {
+    ReplicaNode* c = s->children[i].get();
+    const size_t before = s->children.size();
+    if (CheckForDropRec(c, freed, drops)) {
+      // c was replaced in-place by its (already processed) children.
+      i += (s->children.size() - before) + 1;
+    } else {
+      ++i;
+    }
+  }
+  if (s->IsSentinel()) return false;
+  for (const auto& c : s->children) {
+    if (!c->materialized) return false;  // children do not replicate s yet
+  }
+  if (s->materialized) freed->push_back(s->seg);
+  ++*drops;
+  Splice(s);  // destroys s
+  return true;
+}
+
+void ReplicaTree::Splice(ReplicaNode* s) {
+  ReplicaNode* parent = s->parent;
+  auto it = std::find_if(parent->children.begin(), parent->children.end(),
+                         [s](const std::unique_ptr<ReplicaNode>& p) {
+                           return p.get() == s;
+                         });
+  SOCS_CHECK(it != parent->children.end());
+  const size_t pos = static_cast<size_t>(it - parent->children.begin());
+  std::vector<std::unique_ptr<ReplicaNode>> grandkids = std::move(s->children);
+  for (auto& g : grandkids) g->parent = parent;
+  parent->children.erase(parent->children.begin() + pos);
+  parent->children.insert(parent->children.begin() + pos,
+                          std::make_move_iterator(grandkids.begin()),
+                          std::make_move_iterator(grandkids.end()));
+}
+
+std::vector<SegmentInfo> ReplicaTree::CoverInfos(const ValueRange& q) const {
+  std::vector<ReplicaNode*> cover;
+  // GetCover never mutates the tree; the non-const signature only reflects
+  // that callers receive mutable nodes.
+  const bool ok = const_cast<ReplicaTree*>(this)->GetCover(q, &cover);
+  SOCS_CHECK(ok) << "replica tree lost coverage for " << q.ToString();
+  std::vector<SegmentInfo> out;
+  out.reserve(cover.size());
+  for (const ReplicaNode* n : cover) {
+    out.push_back(SegmentInfo{n->range, n->count, n->seg});
+  }
+  return out;
+}
+
+uint64_t ReplicaTree::EstimateCount(const ReplicaNode& n, const ValueRange& sub) {
+  if (n.range.Span() <= 0.0) return 0;
+  const ValueRange eff = n.range.Intersect(sub);
+  const double frac = eff.Span() / n.range.Span();
+  return static_cast<uint64_t>(std::llround(frac * static_cast<double>(n.count)));
+}
+
+namespace {
+template <typename F>
+void PreOrder(const ReplicaNode* n, size_t depth, F&& f) {
+  f(n, depth);
+  for (const auto& c : n->children) PreOrder(c.get(), depth + 1, f);
+}
+}  // namespace
+
+uint64_t ReplicaTree::MaterializedValues() const {
+  uint64_t sum = 0;
+  PreOrder(sentinel_.get(), 0, [&](const ReplicaNode* n, size_t) {
+    if (n->materialized) sum += n->count;
+  });
+  return sum;
+}
+
+uint64_t ReplicaTree::MaterializedNodeCount() const {
+  uint64_t k = 0;
+  PreOrder(sentinel_.get(), 0, [&](const ReplicaNode* n, size_t) {
+    if (n->materialized) ++k;
+  });
+  return k;
+}
+
+uint64_t ReplicaTree::NodeCount() const {
+  uint64_t k = 0;
+  PreOrder(sentinel_.get(), 0, [&](const ReplicaNode*, size_t) { ++k; });
+  return k - 1;  // exclude the sentinel
+}
+
+size_t ReplicaTree::MaxDepth() const {
+  size_t d = 0;
+  PreOrder(sentinel_.get(), 0, [&](const ReplicaNode*, size_t depth) {
+    d = std::max(d, depth);
+  });
+  return d;
+}
+
+std::vector<const ReplicaNode*> ReplicaTree::MaterializedNodes() const {
+  std::vector<const ReplicaNode*> out;
+  PreOrder(sentinel_.get(), 0, [&](const ReplicaNode* n, size_t) {
+    if (n->materialized) out.push_back(n);
+  });
+  std::sort(out.begin(), out.end(), [](const ReplicaNode* a, const ReplicaNode* b) {
+    return a->range.lo < b->range.lo || (a->range.lo == b->range.lo &&
+                                         a->range.hi < b->range.hi);
+  });
+  return out;
+}
+
+Status ReplicaTree::Validate() const {
+  Status status = Status::OK();
+  std::function<bool(const ReplicaNode*, bool)> rec =
+      [&](const ReplicaNode* n, bool covered) -> bool {
+    covered = covered || n->materialized;
+    if (n->IsLeaf()) {
+      if (!covered && status.ok()) {
+        status = Status::Internal("uncovered leaf " + n->range.ToString());
+      }
+      return covered;
+    }
+    // Children must tile n's range in order.
+    if (n->children.front()->range.lo != n->range.lo ||
+        n->children.back()->range.hi != n->range.hi) {
+      if (status.ok()) {
+        status = Status::Internal("children do not tile " + n->range.ToString());
+      }
+    }
+    for (size_t i = 0; i < n->children.size(); ++i) {
+      if (i > 0 &&
+          n->children[i]->range.lo != n->children[i - 1]->range.hi &&
+          status.ok()) {
+        status = Status::Internal("child gap under " + n->range.ToString());
+      }
+      if (n->children[i]->parent != n && status.ok()) {
+        status = Status::Internal("bad parent link under " + n->range.ToString());
+      }
+      rec(n->children[i].get(), covered);
+    }
+    return covered;
+  };
+  rec(sentinel_.get(), false);
+  return status;
+}
+
+}  // namespace socs

@@ -1,0 +1,113 @@
+// Replica tree (paper section 5): the hierarchy of materialized and virtual
+// segments maintained by adaptive replication. A node's children tile its
+// value range exactly; a segment S is an ancestor of the nodes whose ranges
+// it contains. Virtual nodes carry only an estimated size -- their data lives
+// in the nearest materialized ancestor. Invariant: every domain point is
+// covered by at least one materialized node on its root-to-leaf path.
+//
+// A sentinel root (never materialized, never dropped) holds the forest that
+// remains after the original full-column segment is dropped.
+#ifndef SOCS_CORE_REPLICA_TREE_H_
+#define SOCS_CORE_REPLICA_TREE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "core/segment.h"
+
+namespace socs {
+
+struct ReplicaNode {
+  ValueRange range;
+  uint64_t count = 0;        // exact once materialized, estimate while virtual
+  bool count_exact = false;
+  bool materialized = false;
+  SegmentId seg = kInvalidSegment;
+  uint64_t last_access = 0;  // query counter; drives budget-based eviction
+  ReplicaNode* parent = nullptr;
+  std::vector<std::unique_ptr<ReplicaNode>> children;  // sorted by lo, tile range
+
+  bool IsLeaf() const { return children.empty(); }
+  bool IsSentinel() const { return parent == nullptr; }
+
+  /// True when some proper ancestor (excluding the sentinel) is materialized,
+  /// i.e. this node's payload is redundant and safe to demote.
+  bool HasMaterializedAncestor() const {
+    for (const ReplicaNode* p = parent; p != nullptr && !p->IsSentinel();
+         p = p->parent) {
+      if (p->materialized) return true;
+    }
+    return false;
+  }
+};
+
+/// Specification of a node to attach (see ReplicaTree::AddChildren).
+struct ReplicaNodeSpec {
+  ValueRange range;
+  uint64_t estimated_count = 0;
+};
+
+class ReplicaTree {
+ public:
+  explicit ReplicaTree(ValueRange domain);
+
+  /// Installs the initial materialized segment holding the whole column.
+  ReplicaNode* InitColumn(uint64_t count, SegmentId seg);
+
+  ReplicaNode* sentinel() { return sentinel_.get(); }
+  const ReplicaNode* sentinel() const { return sentinel_.get(); }
+
+  /// Algorithm 3: minimal covering set of materialized nodes for `q`
+  /// (deepest materialized nodes, falling back to a materialized ancestor
+  /// when a subtree lacks coverage). Returns false only when the coverage
+  /// invariant is broken. Cover elements have pairwise disjoint ranges.
+  bool GetCover(const ValueRange& q, std::vector<ReplicaNode*>* cover);
+
+  /// Attaches children tiling `parent`'s range (specs ordered by range.lo).
+  /// Dies if `parent` already has children or specs do not tile its range.
+  std::vector<ReplicaNode*> AddChildren(ReplicaNode* parent,
+                                        const std::vector<ReplicaNodeSpec>& specs);
+
+  /// Algorithm 5 (check4Drop): bottom-up over the subtree of `s`, drops every
+  /// node (including `s`, excluding the sentinel) whose children are all
+  /// materialized, splicing its children into its parent. Segment ids of
+  /// dropped *materialized* nodes are appended to `freed` (caller releases
+  /// the storage); `*drops` counts dropped nodes.
+  void CheckForDrop(ReplicaNode* s, std::vector<SegmentId>* freed, uint64_t* drops);
+
+  /// Uniform-interpolation size estimate of a sub-range of `n` (the paper
+  /// estimates virtual-segment sizes; exact sizes arrive on materialization).
+  static uint64_t EstimateCount(const ReplicaNode& n, const ValueRange& sub);
+
+  /// Const variant of GetCover returning segment descriptors.
+  std::vector<SegmentInfo> CoverInfos(const ValueRange& q) const;
+
+  // --- statistics / inspection ----------------------------------------------
+  uint64_t MaterializedValues() const;  // sum of counts over materialized nodes
+  uint64_t MaterializedNodeCount() const;
+  uint64_t NodeCount() const;
+  size_t MaxDepth() const;  // sentinel = depth 0
+  std::vector<const ReplicaNode*> MaterializedNodes() const;
+
+  /// Validates tiling, ordering and the coverage invariant.
+  Status Validate() const;
+
+  const ValueRange& domain() const { return domain_; }
+
+ private:
+  bool GetCoverRec(ReplicaNode* s, const ValueRange& q,
+                   std::vector<ReplicaNode*>* cover);
+  /// Returns true if `s` was dropped (and destroyed).
+  bool CheckForDropRec(ReplicaNode* s, std::vector<SegmentId>* freed,
+                       uint64_t* drops);
+  void Splice(ReplicaNode* s);
+
+  ValueRange domain_;
+  std::unique_ptr<ReplicaNode> sentinel_;
+};
+
+}  // namespace socs
+
+#endif  // SOCS_CORE_REPLICA_TREE_H_

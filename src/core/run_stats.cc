@@ -1,0 +1,36 @@
+#include "core/run_stats.h"
+
+#include "common/math_util.h"
+
+namespace socs {
+
+void RunRecorder::Record(const QueryExecution& ex, const StorageFootprint& fp) {
+  reads_.push_back(static_cast<double>(ex.read_bytes));
+  writes_.push_back(static_cast<double>(ex.write_bytes));
+  storage_.push_back(static_cast<double>(fp.materialized_bytes));
+  segment_counts_.push_back(static_cast<double>(fp.segment_count));
+  selection_s_.push_back(ex.selection_seconds);
+  adaptation_s_.push_back(ex.adaptation_seconds);
+  total_s_.push_back(ex.TotalSeconds());
+  results_.push_back(static_cast<double>(ex.result_count));
+  total_splits_ += ex.splits;
+  total_drops_ += ex.segments_dropped;
+}
+
+std::vector<double> RunRecorder::CumulativeWrites() const {
+  return CumulativeSum(writes_);
+}
+
+std::vector<double> RunRecorder::CumulativeTotalSeconds() const {
+  return CumulativeSum(total_s_);
+}
+
+std::vector<double> RunRecorder::MovingAverageSeconds(size_t window) const {
+  return MovingAverage(total_s_, window);
+}
+
+double RunRecorder::AverageReadBytes() const { return Mean(reads_); }
+double RunRecorder::AverageSelectionSeconds() const { return Mean(selection_s_); }
+double RunRecorder::AverageAdaptationSeconds() const { return Mean(adaptation_s_); }
+
+}  // namespace socs

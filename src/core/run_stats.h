@@ -1,0 +1,49 @@
+// RunRecorder accumulates per-query execution records over a workload run and
+// derives the series the paper plots: cumulative memory writes, per-query
+// reads, storage curves, cumulative and moving-average times.
+#ifndef SOCS_CORE_RUN_STATS_H_
+#define SOCS_CORE_RUN_STATS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/strategy.h"
+
+namespace socs {
+
+class RunRecorder {
+ public:
+  void Record(const QueryExecution& ex, const StorageFootprint& fp);
+
+  size_t NumQueries() const { return reads_.size(); }
+
+  // Raw per-query series.
+  const std::vector<double>& reads() const { return reads_; }
+  const std::vector<double>& writes() const { return writes_; }
+  const std::vector<double>& storage_bytes() const { return storage_; }
+  const std::vector<double>& segment_counts() const { return segment_counts_; }
+  const std::vector<double>& selection_seconds() const { return selection_s_; }
+  const std::vector<double>& adaptation_seconds() const { return adaptation_s_; }
+  const std::vector<double>& total_seconds() const { return total_s_; }
+  const std::vector<double>& result_counts() const { return results_; }
+
+  // Derived series / aggregates.
+  std::vector<double> CumulativeWrites() const;
+  std::vector<double> CumulativeTotalSeconds() const;
+  std::vector<double> MovingAverageSeconds(size_t window) const;
+  double AverageReadBytes() const;
+  double AverageSelectionSeconds() const;
+  double AverageAdaptationSeconds() const;
+  uint64_t TotalSplits() const { return total_splits_; }
+  uint64_t TotalDrops() const { return total_drops_; }
+
+ private:
+  std::vector<double> reads_, writes_, storage_, segment_counts_;
+  std::vector<double> selection_s_, adaptation_s_, total_s_, results_;
+  uint64_t total_splits_ = 0;
+  uint64_t total_drops_ = 0;
+};
+
+}  // namespace socs
+
+#endif  // SOCS_CORE_RUN_STATS_H_

@@ -1,0 +1,35 @@
+// Segment descriptor: the meta-index entry for one value-range segment.
+#ifndef SOCS_CORE_SEGMENT_H_
+#define SOCS_CORE_SEGMENT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "core/range.h"
+#include "storage/secondary_store.h"
+
+namespace socs {
+
+/// Descriptor of a materialized segment: which value range it covers, how
+/// many values it holds, and where its payload lives.
+struct SegmentInfo {
+  ValueRange range;
+  uint64_t count = 0;      // number of values
+  SegmentId id = kInvalidSegment;
+
+  uint64_t Bytes(size_t value_size) const { return count * value_size; }
+  std::string ToString() const;
+};
+
+inline std::string SegmentInfo::ToString() const {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "seg{%s n=%llu id=%llu}",
+                range.ToString().c_str(),
+                static_cast<unsigned long long>(count),
+                static_cast<unsigned long long>(id));
+  return buf;
+}
+
+}  // namespace socs
+
+#endif  // SOCS_CORE_SEGMENT_H_

@@ -1,0 +1,97 @@
+#include "core/segment_meta_index.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace socs {
+
+void SegmentMetaIndex::InitSingle(const SegmentInfo& seg) {
+  SOCS_CHECK(seg.range == domain_) << "initial segment must cover the domain";
+  segments_ = {seg};
+}
+
+void SegmentMetaIndex::InitTiling(std::vector<SegmentInfo> segs) {
+  segments_ = std::move(segs);
+  Status st = Validate();
+  SOCS_CHECK(st.ok()) << st.ToString();
+}
+
+std::pair<size_t, size_t> SegmentMetaIndex::FindOverlapping(const ValueRange& q) const {
+  if (q.Empty() || segments_.empty()) return {0, 0};
+  // First segment with range.hi > q.lo.
+  auto lo_it = std::upper_bound(
+      segments_.begin(), segments_.end(), q.lo,
+      [](double v, const SegmentInfo& s) { return v < s.range.hi; });
+  // First segment with range.lo >= q.hi.
+  auto hi_it = std::lower_bound(
+      segments_.begin(), segments_.end(), q.hi,
+      [](const SegmentInfo& s, double v) { return s.range.lo < v; });
+  return {static_cast<size_t>(lo_it - segments_.begin()),
+          static_cast<size_t>(hi_it - segments_.begin())};
+}
+
+void SegmentMetaIndex::Replace(size_t pos, const std::vector<SegmentInfo>& pieces) {
+  ReplaceSpan(pos, 1, pieces);
+}
+
+void SegmentMetaIndex::ReplaceSpan(size_t pos, size_t span,
+                                   const std::vector<SegmentInfo>& pieces) {
+  SOCS_CHECK_GT(span, 0u);
+  SOCS_CHECK_LE(pos + span, segments_.size());
+  SOCS_CHECK(!pieces.empty());
+  const ValueRange old_range(segments_[pos].range.lo,
+                             segments_[pos + span - 1].range.hi);
+  uint64_t old_count = 0;
+  for (size_t i = 0; i < span; ++i) old_count += segments_[pos + i].count;
+  SOCS_CHECK(pieces.front().range.lo == old_range.lo &&
+             pieces.back().range.hi == old_range.hi)
+      << "pieces must tile " << old_range.ToString();
+  uint64_t count = 0;
+  for (size_t i = 0; i < pieces.size(); ++i) {
+    if (i > 0) {
+      SOCS_CHECK_EQ(pieces[i].range.lo, pieces[i - 1].range.hi);
+    }
+    count += pieces[i].count;
+  }
+  SOCS_CHECK_EQ(count, old_count) << "pieces must preserve the value count";
+  segments_.erase(segments_.begin() + pos, segments_.begin() + pos + span);
+  segments_.insert(segments_.begin() + pos, pieces.begin(), pieces.end());
+}
+
+void SegmentMetaIndex::Update(size_t pos, const SegmentInfo& seg) {
+  SOCS_CHECK_LT(pos, segments_.size());
+  SOCS_CHECK(segments_[pos].range == seg.range)
+      << "Update must preserve the range";
+  segments_[pos] = seg;
+}
+
+uint64_t SegmentMetaIndex::TotalCount() const {
+  uint64_t n = 0;
+  for (const auto& s : segments_) n += s.count;
+  return n;
+}
+
+Status SegmentMetaIndex::Validate() const {
+  if (segments_.empty()) return Status::FailedPrecondition("empty index");
+  if (segments_.front().range.lo != domain_.lo ||
+      segments_.back().range.hi != domain_.hi) {
+    return Status::Internal("segments do not cover the domain");
+  }
+  for (size_t i = 0; i < segments_.size(); ++i) {
+    if (segments_[i].range.Empty()) {
+      std::ostringstream os;
+      os << "empty segment range at " << i << ": " << segments_[i].ToString();
+      return Status::Internal(os.str());
+    }
+    if (i > 0 && segments_[i].range.lo != segments_[i - 1].range.hi) {
+      std::ostringstream os;
+      os << "gap/overlap between segments " << i - 1 << " and " << i;
+      return Status::Internal(os.str());
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace socs

@@ -1,0 +1,66 @@
+// Sparse segment meta-index (paper section 3.1): an in-memory, ordered
+// catalog of the value-range segments of one column. The query optimizer
+// uses it to pre-select only segments overlapping a predicate; the adaptive
+// strategies mutate it as segments split. Invariant: segments are adjacent,
+// non-overlapping, and tile the column's domain exactly.
+#ifndef SOCS_CORE_SEGMENT_META_INDEX_H_
+#define SOCS_CORE_SEGMENT_META_INDEX_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/status.h"
+#include "core/segment.h"
+
+namespace socs {
+
+class SegmentMetaIndex {
+ public:
+  SegmentMetaIndex() = default;
+  explicit SegmentMetaIndex(ValueRange domain) : domain_(domain) {}
+
+  /// Installs the initial single segment covering the whole domain.
+  void InitSingle(const SegmentInfo& seg);
+
+  /// Installs a full tiling (used by static partitioning). Dies if the
+  /// segments do not tile the domain.
+  void InitTiling(std::vector<SegmentInfo> segs);
+
+  /// Index range [first, last) of segments overlapping `q`.
+  /// Segments are sorted by range.lo; lookup is binary search.
+  std::pair<size_t, size_t> FindOverlapping(const ValueRange& q) const;
+
+  /// Replaces the segment at `pos` with `pieces` (ordered, tiling the
+  /// replaced segment's range). Dies on invariant violations.
+  void Replace(size_t pos, const std::vector<SegmentInfo>& pieces);
+
+  /// Replaces the `span` adjacent segments starting at `pos` with `pieces`
+  /// (used by merging: many segments -> one). Same invariants as Replace.
+  void ReplaceSpan(size_t pos, size_t span, const std::vector<SegmentInfo>& pieces);
+
+  /// Swaps the descriptor at `pos` for one covering the same range but a
+  /// possibly different count/payload (bulk appends). Dies on range change.
+  void Update(size_t pos, const SegmentInfo& seg);
+
+  const SegmentInfo& At(size_t pos) const { return segments_[pos]; }
+  size_t Size() const { return segments_.size(); }
+  const std::vector<SegmentInfo>& segments() const { return segments_; }
+  const ValueRange& domain() const { return domain_; }
+
+  uint64_t TotalCount() const;
+
+  /// Approximate in-memory footprint of the index itself (the paper's
+  /// argument: a *sparse* index stays small).
+  uint64_t IndexBytes() const { return segments_.size() * sizeof(SegmentInfo); }
+
+  /// Checks the tiling invariant; returns the first violation found.
+  Status Validate() const;
+
+ private:
+  ValueRange domain_;
+  std::vector<SegmentInfo> segments_;  // sorted by range.lo
+};
+
+}  // namespace socs
+
+#endif  // SOCS_CORE_SEGMENT_META_INDEX_H_

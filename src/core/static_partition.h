@@ -1,0 +1,38 @@
+// Baseline: static value-range partitioning. The column is split once, up
+// front, into K equal-width value ranges with a sparse index -- what a DBA
+// would configure for a *predicted* workload (paper section 7's "static,
+// non self-organizing" segmentation). Queries scan only overlapping
+// segments; the partitioning never adapts.
+#ifndef SOCS_CORE_STATIC_PARTITION_H_
+#define SOCS_CORE_STATIC_PARTITION_H_
+
+#include <vector>
+
+#include "core/segment_meta_index.h"
+#include "core/strategy.h"
+
+namespace socs {
+
+template <typename T>
+class StaticPartition : public AccessStrategy<T> {
+ public:
+  /// Splits `values` into `num_parts` equal-width value ranges.
+  StaticPartition(std::vector<T> values, ValueRange domain, size_t num_parts,
+                  SegmentSpace* space);
+
+  QueryExecution RunRange(const ValueRange& q,
+                          std::vector<T>* result = nullptr) override;
+
+  StorageFootprint Footprint() const override;
+  std::vector<SegmentInfo> Segments() const override { return index_.segments(); }
+  std::string Name() const override;
+
+ private:
+  SegmentSpace* space_;
+  SegmentMetaIndex index_;
+  size_t num_parts_;
+};
+
+}  // namespace socs
+
+#endif  // SOCS_CORE_STATIC_PARTITION_H_

@@ -1,0 +1,20 @@
+#include "core/strategy.h"
+
+namespace socs {
+
+QueryExecution& operator+=(QueryExecution& a, const QueryExecution& b) {
+  a.result_count += b.result_count;
+  a.read_bytes += b.read_bytes;
+  a.write_bytes += b.write_bytes;
+  a.segments_scanned += b.segments_scanned;
+  a.splits += b.splits;
+  a.merges += b.merges;
+  a.replicas_created += b.replicas_created;
+  a.segments_dropped += b.segments_dropped;
+  a.replicas_evicted += b.replicas_evicted;
+  a.selection_seconds += b.selection_seconds;
+  a.adaptation_seconds += b.adaptation_seconds;
+  return a;
+}
+
+}  // namespace socs

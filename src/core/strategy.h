@@ -1,0 +1,117 @@
+// AccessStrategy: the common interface of all column-access schemes compared
+// in the paper -- non-segmented scan, static partitionings, adaptive
+// segmentation, adaptive replication, and the database-cracking comparator.
+// A strategy owns one column's worth of data (through a SegmentSpace) and
+// answers range selections, possibly reorganizing itself as a side effect.
+#ifndef SOCS_CORE_STRATEGY_H_
+#define SOCS_CORE_STRATEGY_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/oid_value.h"
+#include "core/range.h"
+#include "core/segment.h"
+#include "storage/segment_space.h"
+
+namespace socs {
+
+/// Per-query execution record: the paper's metrics for one range selection.
+struct QueryExecution {
+  uint64_t result_count = 0;
+  /// Memory reads: bytes of materialized segments scanned (Fig. 7, Table 1).
+  uint64_t read_bytes = 0;
+  /// Memory writes due to segment materialization (Figs. 5-6).
+  uint64_t write_bytes = 0;
+  uint64_t segments_scanned = 0;
+  uint64_t splits = 0;          // reorganization decisions taken
+  uint64_t merges = 0;          // small segments glued back together
+  uint64_t replicas_created = 0;
+  uint64_t segments_dropped = 0;
+  uint64_t replicas_evicted = 0;  // demoted to virtual by a storage budget
+  /// Simulated seconds answering the query (scans + per-segment overheads).
+  double selection_seconds = 0.0;
+  /// Simulated seconds reorganizing (segment materialization).
+  double adaptation_seconds = 0.0;
+
+  double TotalSeconds() const { return selection_seconds + adaptation_seconds; }
+};
+
+/// Accumulates per-query records (e.g., over a whole workload).
+QueryExecution& operator+=(QueryExecution& a, const QueryExecution& b);
+
+/// Storage-side footprint of a strategy (Figs. 8-9, Table 2).
+struct StorageFootprint {
+  uint64_t materialized_bytes = 0;  // payload bytes of live segments/replicas
+  uint64_t segment_count = 0;       // materialized segments
+  uint64_t meta_bytes = 0;          // meta-index / replica-tree bookkeeping
+};
+
+template <typename T>
+class AccessStrategy {
+ public:
+  virtual ~AccessStrategy() = default;
+
+  /// Executes a range selection. When `result` is non-null the qualifying
+  /// values are appended (unordered; value-based organization gives up
+  /// positional order). Returns the per-query execution record.
+  virtual QueryExecution RunRange(const ValueRange& q,
+                                  std::vector<T>* result = nullptr) = 0;
+
+  virtual StorageFootprint Footprint() const = 0;
+
+  /// Materialized segments, ordered by range (Table 2 statistics). May be
+  /// empty for strategies without a segment notion (cracking).
+  virtual std::vector<SegmentInfo> Segments() const = 0;
+
+  /// Disjoint materialized segments whose union covers q's intersection with
+  /// the column -- what the engine's segment iterator walks. The default
+  /// (all overlapping segments) is correct for strategies whose segments
+  /// tile the domain; adaptive replication overrides it with the replica
+  /// tree's minimal cover.
+  virtual std::vector<SegmentInfo> CoverSegments(const ValueRange& q) const {
+    std::vector<SegmentInfo> out;
+    for (const SegmentInfo& s : Segments()) {
+      if (s.range.Overlaps(q)) out.push_back(s);
+    }
+    return out;
+  }
+
+  virtual std::string Name() const = 0;
+};
+
+/// Helper shared by strategy implementations: partitions `values` into the
+/// pieces delimited by ascending `cuts` (values < cuts[0] -> piece 0, etc.).
+/// Single pass, stable within pieces.
+template <typename T>
+std::vector<std::vector<T>> PartitionByCuts(std::span<const T> values,
+                                            const std::vector<double>& cuts) {
+  std::vector<std::vector<T>> pieces(cuts.size() + 1);
+  for (const T& v : values) {
+    size_t p = 0;
+    while (p < cuts.size() && ValueOf(v) >= cuts[p]) ++p;
+    pieces[p].push_back(v);
+  }
+  return pieces;
+}
+
+/// Appends the values of `span` falling inside `q` to `out`; returns count.
+template <typename T>
+uint64_t FilterRange(std::span<const T> span, const ValueRange& q,
+                     std::vector<T>* out) {
+  uint64_t n = 0;
+  for (const T& v : span) {
+    const double d = ValueOf(v);
+    if (d >= q.lo && d < q.hi) {
+      ++n;
+      if (out != nullptr) out->push_back(v);
+    }
+  }
+  return n;
+}
+
+}  // namespace socs
+
+#endif  // SOCS_CORE_STRATEGY_H_

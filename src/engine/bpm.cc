@@ -1,0 +1,65 @@
+#include "engine/bpm.h"
+
+#include <cmath>
+#include <limits>
+
+namespace socs {
+
+SegmentedColumn::SegmentedColumn(std::string name, ValType sql_type,
+                                 std::unique_ptr<AccessStrategy<OidValue>> strategy,
+                                 SegmentSpace* space)
+    : name_(std::move(name)), sql_type_(sql_type), strategy_(std::move(strategy)),
+      space_(space) {
+  SOCS_CHECK(sql_type_ != ValType::kVoid);
+}
+
+ValueRange SegmentedColumn::InclusiveToHalfOpen(double lo, double hi) {
+  return ValueRange(lo, std::nextafter(hi, std::numeric_limits<double>::infinity()));
+}
+
+std::vector<SegmentInfo> SegmentedColumn::CoverSegments(double lo, double hi) const {
+  return strategy_->CoverSegments(InclusiveToHalfOpen(lo, hi));
+}
+
+Bat SegmentedColumn::SegmentBat(SegmentId id) const {
+  auto span = space_->Peek<OidValue>(id);
+  std::vector<Oid> oids;
+  oids.reserve(span.size());
+  TypedVector values(sql_type_);
+  values.Reserve(span.size());
+  for (const OidValue& v : span) {
+    oids.push_back(v.oid);
+    values.AppendDouble(v.value);
+  }
+  return Bat(BatColumn::Materialized(TypedVector::Of(std::move(oids))),
+             BatColumn::Materialized(std::move(values)));
+}
+
+QueryExecution SegmentedColumn::Adapt(double lo, double hi) {
+  return strategy_->RunRange(InclusiveToHalfOpen(lo, hi), nullptr);
+}
+
+Bat SegmentedColumn::FullScanBat() const {
+  std::vector<Oid> oids;
+  TypedVector values(sql_type_);
+  for (const SegmentInfo& s : strategy_->Segments()) {
+    if (s.id == kInvalidSegment) continue;
+    auto span = space_->Peek<OidValue>(s.id);
+    for (const OidValue& v : span) {
+      oids.push_back(v.oid);
+      values.AppendDouble(v.value);
+    }
+  }
+  return Bat(BatColumn::Materialized(TypedVector::Of(std::move(oids))),
+             BatColumn::Materialized(std::move(values)));
+}
+
+uint64_t SegmentedColumn::EstimateSelectionBytes(double lo, double hi) const {
+  uint64_t bytes = 0;
+  for (const SegmentInfo& s : CoverSegments(lo, hi)) {
+    bytes += s.count * sizeof(OidValue);
+  }
+  return bytes;
+}
+
+}  // namespace socs

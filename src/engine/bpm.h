@@ -1,0 +1,74 @@
+// BPM ("bat partition manager"): the runtime module the segment optimizer
+// targets (paper section 3.1). It bridges MAL execution to the core adaptive
+// strategies: bpm.take binds a segmented column, bpm.newIterator /
+// hasMoreElements drive the predicate-enhanced segment iterator, and
+// bpm.adapt invokes the reorganizing module after the selects.
+//
+// Accounting note: iterator scans deliver segment payloads *unmetered*; the
+// metered scan + reorganization happens in Adapt() (one RunRange of the
+// underlying strategy), so the per-query byte accounting matches the core
+// experiments exactly instead of being charged twice.
+#ifndef SOCS_ENGINE_BPM_H_
+#define SOCS_ENGINE_BPM_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bat/bat.h"
+#include "core/strategy.h"
+
+namespace socs {
+
+/// Engine-side handle for a column managed by an adaptive strategy over
+/// [oid, value] pairs.
+class SegmentedColumn {
+ public:
+  /// `sql_type` is the SQL-facing tail type of the column (kDbl, kFlt, ...).
+  /// The strategy must manage OidValue elements; `space` is the strategy's
+  /// segment space (used for unmetered payload access).
+  SegmentedColumn(std::string name, ValType sql_type,
+                  std::unique_ptr<AccessStrategy<OidValue>> strategy,
+                  SegmentSpace* space);
+
+  const std::string& name() const { return name_; }
+  ValType sql_type() const { return sql_type_; }
+  AccessStrategy<OidValue>* strategy() { return strategy_.get(); }
+
+  /// Disjoint segments covering the inclusive selection [lo, hi].
+  std::vector<SegmentInfo> CoverSegments(double lo, double hi) const;
+
+  /// Materializes one segment as a [oid, T] BAT (unmetered; see above).
+  Bat SegmentBat(SegmentId id) const;
+
+  /// Runs the reorganizing module: the strategy's metered RunRange.
+  QueryExecution Adapt(double lo, double hi);
+
+  /// Whole column as a [oid, T] BAT (the fallback when a plan was not
+  /// rewritten by the segment optimizer).
+  Bat FullScanBat() const;
+
+  /// Estimated bytes a selection must touch (sum of covering segment sizes);
+  /// used by the optimizer's footprint estimation.
+  uint64_t EstimateSelectionBytes(double lo, double hi) const;
+
+  /// Converts an inclusive SQL range to the core's half-open range.
+  static ValueRange InclusiveToHalfOpen(double lo, double hi);
+
+ private:
+  std::string name_;
+  ValType sql_type_;
+  std::unique_ptr<AccessStrategy<OidValue>> strategy_;
+  SegmentSpace* space_;
+};
+
+/// Iterator state for one barrier block instance.
+struct BpmIterator {
+  SegmentedColumn* column = nullptr;
+  std::vector<SegmentInfo> segments;
+  size_t next = 0;
+};
+
+}  // namespace socs
+
+#endif  // SOCS_ENGINE_BPM_H_

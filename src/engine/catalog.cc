@@ -1,0 +1,109 @@
+#include "engine/catalog.h"
+
+namespace socs {
+
+Status Catalog::CheckRowCount(TableEntry& t, uint64_t rows,
+                              const std::string& what) {
+  if (t.rows_known && t.rows != rows) {
+    return Status::InvalidArgument(what + ": row count " + std::to_string(rows) +
+                                   " != table's " + std::to_string(t.rows));
+  }
+  t.rows = rows;
+  t.rows_known = true;
+  return Status::OK();
+}
+
+Status Catalog::AddColumn(const std::string& table, const std::string& column,
+                          TypedVector values) {
+  TableEntry& t = tables_[table];
+  if (t.columns.count(column)) {
+    return Status::AlreadyExists(table + "." + column);
+  }
+  SOCS_RETURN_IF_ERROR(CheckRowCount(t, values.size(), table + "." + column));
+  ColumnEntry e;
+  e.segmented = false;
+  e.plain = std::move(values);
+  t.columns.emplace(column, std::move(e));
+  return Status::OK();
+}
+
+Status Catalog::AddSegmentedColumn(const std::string& table,
+                                   const std::string& column,
+                                   std::unique_ptr<SegmentedColumn> sc) {
+  TableEntry& t = tables_[table];
+  if (t.columns.count(column)) {
+    return Status::AlreadyExists(table + "." + column);
+  }
+  // Registration happens right after construction, when the strategy holds a
+  // single segment per value: covering segments partition the domain.
+  uint64_t rows = 0;
+  for (const SegmentInfo& s :
+       sc->strategy()->CoverSegments(ValueRange(-1e300, 1e300))) {
+    rows += s.count;
+  }
+  SOCS_RETURN_IF_ERROR(CheckRowCount(t, rows, table + "." + column));
+  ColumnEntry e;
+  e.segmented = true;
+  e.seg = std::move(sc);
+  seg_handles_[SegHandle(table, column)] = e.seg.get();
+  t.columns.emplace(column, std::move(e));
+  return Status::OK();
+}
+
+bool Catalog::HasTable(const std::string& table) const {
+  return tables_.count(table) > 0;
+}
+
+bool Catalog::HasColumn(const std::string& table, const std::string& column) const {
+  auto it = tables_.find(table);
+  return it != tables_.end() && it->second.columns.count(column) > 0;
+}
+
+bool Catalog::IsSegmented(const std::string& table, const std::string& column) const {
+  auto it = tables_.find(table);
+  if (it == tables_.end()) return false;
+  auto cit = it->second.columns.find(column);
+  return cit != it->second.columns.end() && cit->second.segmented;
+}
+
+StatusOr<Bat> Catalog::Bind(const std::string& table,
+                            const std::string& column) const {
+  auto it = tables_.find(table);
+  if (it == tables_.end()) return Status::NotFound("table " + table);
+  auto cit = it->second.columns.find(column);
+  if (cit == it->second.columns.end()) {
+    return Status::NotFound(table + "." + column);
+  }
+  if (cit->second.segmented) return cit->second.seg->FullScanBat();
+  return Bat::DenseTyped(cit->second.plain);
+}
+
+StatusOr<SegmentedColumn*> Catalog::GetSegmented(const std::string& handle) const {
+  auto it = seg_handles_.find(handle);
+  if (it == seg_handles_.end()) {
+    return Status::NotFound("segmented column " + handle);
+  }
+  return it->second;
+}
+
+SegmentedColumn* Catalog::GetSegmentedOrNull(const std::string& table,
+                                             const std::string& column) const {
+  auto it = seg_handles_.find(SegHandle(table, column));
+  return it == seg_handles_.end() ? nullptr : it->second;
+}
+
+std::vector<std::string> Catalog::ColumnNames(const std::string& table) const {
+  std::vector<std::string> out;
+  auto it = tables_.find(table);
+  if (it == tables_.end()) return out;
+  for (const auto& [name, entry] : it->second.columns) out.push_back(name);
+  return out;
+}
+
+StatusOr<uint64_t> Catalog::RowCount(const std::string& table) const {
+  auto it = tables_.find(table);
+  if (it == tables_.end()) return Status::NotFound("table " + table);
+  return it->second.rows;
+}
+
+}  // namespace socs

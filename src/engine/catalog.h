@@ -1,0 +1,70 @@
+// Catalog: maps SQL tables/columns onto BATs and segmented columns. The SQL
+// compiler maps relational tables into collections of BATs whose head is an
+// oid (paper section 2); columns under adaptive management are registered as
+// SegmentedColumn handles the segment optimizer can discover.
+#ifndef SOCS_ENGINE_CATALOG_H_
+#define SOCS_ENGINE_CATALOG_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bat/bat.h"
+#include "common/status.h"
+#include "engine/bpm.h"
+
+namespace socs {
+
+class Catalog {
+ public:
+  /// Registers a plain (positional, non-segmented) column.
+  Status AddColumn(const std::string& table, const std::string& column,
+                   TypedVector values);
+
+  /// Registers a column managed by an adaptive strategy.
+  Status AddSegmentedColumn(const std::string& table, const std::string& column,
+                            std::unique_ptr<SegmentedColumn> sc);
+
+  bool HasTable(const std::string& table) const;
+  bool HasColumn(const std::string& table, const std::string& column) const;
+  bool IsSegmented(const std::string& table, const std::string& column) const;
+
+  /// sql.bind: the column as a BAT. Plain columns bind as [void, T]; for a
+  /// segmented column this synthesizes a full [oid, T] scan (the unoptimized
+  /// fallback -- the segment optimizer avoids it).
+  StatusOr<Bat> Bind(const std::string& table, const std::string& column) const;
+
+  /// The bpm.take handle ("sys_<table>_<column>").
+  StatusOr<SegmentedColumn*> GetSegmented(const std::string& handle) const;
+  SegmentedColumn* GetSegmentedOrNull(const std::string& table,
+                                      const std::string& column) const;
+
+  static std::string SegHandle(const std::string& table, const std::string& column) {
+    return "sys_" + table + "_" + column;
+  }
+
+  std::vector<std::string> ColumnNames(const std::string& table) const;
+  StatusOr<uint64_t> RowCount(const std::string& table) const;
+
+ private:
+  struct ColumnEntry {
+    bool segmented = false;
+    TypedVector plain;                       // when !segmented
+    std::unique_ptr<SegmentedColumn> seg;    // when segmented
+  };
+  struct TableEntry {
+    std::map<std::string, ColumnEntry> columns;
+    uint64_t rows = 0;
+    bool rows_known = false;
+  };
+
+  Status CheckRowCount(TableEntry& t, uint64_t rows, const std::string& what);
+
+  std::map<std::string, TableEntry> tables_;
+  std::map<std::string, SegmentedColumn*> seg_handles_;
+};
+
+}  // namespace socs
+
+#endif  // SOCS_ENGINE_CATALOG_H_

@@ -1,0 +1,57 @@
+#include "engine/mal_builder.h"
+
+namespace socs {
+
+int MalBuilder::Call(const std::string& module, const std::string& op,
+                     std::vector<MalArg> args, const std::string& hint) {
+  MalInstr in;
+  in.module = module;
+  in.op = op;
+  in.args = std::move(args);
+  const int ret = prog_->NewVar(hint);
+  in.rets = {ret};
+  prog_->instrs.push_back(std::move(in));
+  return ret;
+}
+
+void MalBuilder::CallVoid(const std::string& module, const std::string& op,
+                          std::vector<MalArg> args) {
+  MalInstr in;
+  in.module = module;
+  in.op = op;
+  in.args = std::move(args);
+  prog_->instrs.push_back(std::move(in));
+}
+
+int MalBuilder::Barrier(const std::string& module, const std::string& op,
+                        std::vector<MalArg> args, const std::string& hint) {
+  MalInstr in;
+  in.kind = MalInstr::Kind::kBarrier;
+  in.module = module;
+  in.op = op;
+  in.args = std::move(args);
+  const int ret = prog_->NewVar(hint);
+  in.rets = {ret};
+  prog_->instrs.push_back(std::move(in));
+  return ret;
+}
+
+void MalBuilder::Redo(int barrier_var, const std::string& module,
+                      const std::string& op, std::vector<MalArg> args) {
+  MalInstr in;
+  in.kind = MalInstr::Kind::kRedo;
+  in.module = module;
+  in.op = op;
+  in.args = std::move(args);
+  in.rets = {barrier_var};
+  prog_->instrs.push_back(std::move(in));
+}
+
+void MalBuilder::Exit(int barrier_var) {
+  MalInstr in;
+  in.kind = MalInstr::Kind::kExit;
+  in.rets = {barrier_var};
+  prog_->instrs.push_back(std::move(in));
+}
+
+}  // namespace socs

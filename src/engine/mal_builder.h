@@ -1,0 +1,43 @@
+// Convenience builder for MAL programs.
+#ifndef SOCS_ENGINE_MAL_BUILDER_H_
+#define SOCS_ENGINE_MAL_BUILDER_H_
+
+#include <string>
+#include <vector>
+
+#include "engine/mal_program.h"
+
+namespace socs {
+
+class MalBuilder {
+ public:
+  explicit MalBuilder(MalProgram* prog) : prog_(prog) {}
+
+  /// ret := module.op(args); returns ret.
+  int Call(const std::string& module, const std::string& op,
+           std::vector<MalArg> args, const std::string& hint = "X");
+
+  /// module.op(args) with no return value.
+  void CallVoid(const std::string& module, const std::string& op,
+                std::vector<MalArg> args);
+
+  /// barrier ret := module.op(args); returns the barrier variable.
+  int Barrier(const std::string& module, const std::string& op,
+              std::vector<MalArg> args, const std::string& hint = "rseg");
+
+  /// redo barrier_var := module.op(args);
+  void Redo(int barrier_var, const std::string& module, const std::string& op,
+            std::vector<MalArg> args);
+
+  /// exit barrier_var;
+  void Exit(int barrier_var);
+
+  MalProgram* program() { return prog_; }
+
+ private:
+  MalProgram* prog_;
+};
+
+}  // namespace socs
+
+#endif  // SOCS_ENGINE_MAL_BUILDER_H_

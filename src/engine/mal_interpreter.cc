@@ -1,0 +1,479 @@
+#include "engine/mal_interpreter.h"
+
+#include <unordered_map>
+
+#include "bat/algebra.h"
+#include "core/strategy.h"
+
+namespace socs {
+
+// ---------------------------------------------------------------------------
+// EngineValue
+// ---------------------------------------------------------------------------
+
+EngineValue EngineValue::Number(double v) {
+  EngineValue e;
+  e.kind_ = Kind::kNum;
+  e.num_ = v;
+  return e;
+}
+EngineValue EngineValue::String(std::string s) {
+  EngineValue e;
+  e.kind_ = Kind::kStr;
+  e.str_ = std::move(s);
+  return e;
+}
+EngineValue EngineValue::OfBat(Bat b) {
+  EngineValue e;
+  e.kind_ = Kind::kBat;
+  e.bat_ = std::make_shared<Bat>(std::move(b));
+  return e;
+}
+EngineValue EngineValue::Iter(int iter_id) {
+  EngineValue e;
+  e.kind_ = Kind::kIter;
+  e.iter_ = iter_id;
+  return e;
+}
+EngineValue EngineValue::SegCol(SegmentedColumn* col) {
+  EngineValue e;
+  e.kind_ = Kind::kSegCol;
+  e.segcol_ = col;
+  return e;
+}
+EngineValue EngineValue::RSet(std::shared_ptr<ResultSet> rs) {
+  EngineValue e;
+  e.kind_ = Kind::kResultSet;
+  e.rset_ = std::move(rs);
+  return e;
+}
+
+double EngineValue::num() const {
+  SOCS_CHECK(kind_ == Kind::kNum);
+  return num_;
+}
+const std::string& EngineValue::str() const {
+  SOCS_CHECK(kind_ == Kind::kStr);
+  return str_;
+}
+const BatPtr& EngineValue::bat() const {
+  SOCS_CHECK(kind_ == Kind::kBat) << "expected bat value";
+  return bat_;
+}
+int EngineValue::iter() const {
+  SOCS_CHECK(kind_ == Kind::kIter);
+  return iter_;
+}
+SegmentedColumn* EngineValue::segcol() const {
+  SOCS_CHECK(kind_ == Kind::kSegCol) << "expected segmented-column handle";
+  return segcol_;
+}
+const std::shared_ptr<ResultSet>& EngineValue::rset() const {
+  SOCS_CHECK(kind_ == Kind::kResultSet) << "expected result set";
+  return rset_;
+}
+
+// ---------------------------------------------------------------------------
+// Argument helpers
+// ---------------------------------------------------------------------------
+
+namespace {
+Status ArityError(const MalInstr& in, size_t want) {
+  return Status::InvalidArgument(in.module + "." + in.op + ": expected >= " +
+                                 std::to_string(want) + " args, got " +
+                                 std::to_string(in.args.size()));
+}
+
+const EngineValue* VarValue(const std::vector<EngineValue>& vars, int id) {
+  if (id < 0 || static_cast<size_t>(id) >= vars.size()) return nullptr;
+  return &vars[id];
+}
+}  // namespace
+
+StatusOr<double> MalInterpreter::NumArg(const ExecContext& ctx, const MalInstr& in,
+                                        size_t i) {
+  if (i >= in.args.size()) return ArityError(in, i + 1);
+  const MalArg& a = in.args[i];
+  if (a.kind == MalArg::Kind::kNum) return a.num;
+  if (a.kind == MalArg::Kind::kVar) {
+    const EngineValue* v = VarValue(ctx.vars, a.var);
+    if (v != nullptr && v->kind() == EngineValue::Kind::kNum) return v->num();
+  }
+  return Status::InvalidArgument(in.module + "." + in.op + ": arg " +
+                                 std::to_string(i) + " is not numeric");
+}
+
+StatusOr<std::string> MalInterpreter::StrArg(const ExecContext& ctx,
+                                             const MalInstr& in, size_t i) {
+  if (i >= in.args.size()) return ArityError(in, i + 1);
+  const MalArg& a = in.args[i];
+  if (a.kind == MalArg::Kind::kStr) return a.str;
+  if (a.kind == MalArg::Kind::kVar) {
+    const EngineValue* v = VarValue(ctx.vars, a.var);
+    if (v != nullptr && v->kind() == EngineValue::Kind::kStr) return v->str();
+  }
+  return Status::InvalidArgument(in.module + "." + in.op + ": arg " +
+                                 std::to_string(i) + " is not a string");
+}
+
+StatusOr<BatPtr> MalInterpreter::BatArg(const ExecContext& ctx, const MalInstr& in,
+                                        size_t i) {
+  if (i >= in.args.size()) return ArityError(in, i + 1);
+  const MalArg& a = in.args[i];
+  if (a.kind == MalArg::Kind::kVar) {
+    const EngineValue* v = VarValue(ctx.vars, a.var);
+    if (v != nullptr && v->kind() == EngineValue::Kind::kBat) return v->bat();
+  }
+  return Status::InvalidArgument(in.module + "." + in.op + ": arg " +
+                                 std::to_string(i) + " is not a bat");
+}
+
+// ---------------------------------------------------------------------------
+// Interpreter
+// ---------------------------------------------------------------------------
+
+MalInterpreter::MalInterpreter(Catalog* catalog) : catalog_(catalog) {
+  RegisterBuiltins();
+}
+
+void MalInterpreter::Register(const std::string& module, const std::string& op,
+                              Handler h) {
+  handlers_[module + "." + op] = std::move(h);
+}
+
+void MalInterpreter::RegisterBuiltins() {
+  // --- algebra -------------------------------------------------------------
+  auto select_like = [this](bool uselect) {
+    return [this, uselect](ExecContext& ctx,
+                           const MalInstr& in) -> StatusOr<EngineValue> {
+      auto bat = BatArg(ctx, in, 0);
+      if (!bat.ok()) return bat.status();
+      auto lo = NumArg(ctx, in, 1);
+      if (!lo.ok()) return lo.status();
+      auto hi = NumArg(ctx, in, 2);
+      if (!hi.ok()) return hi.status();
+      bool li = true, hinc = true;
+      if (in.args.size() >= 5) {
+        auto a3 = NumArg(ctx, in, 3);
+        auto a4 = NumArg(ctx, in, 4);
+        if (!a3.ok()) return a3.status();
+        if (!a4.ok()) return a4.status();
+        li = a3.value() != 0.0;
+        hinc = a4.value() != 0.0;
+      }
+      auto out = uselect ? algebra::Uselect(**bat, *lo, *hi, li, hinc)
+                         : algebra::Select(**bat, *lo, *hi, li, hinc);
+      if (!out.ok()) return out.status();
+      return EngineValue::OfBat(std::move(out.value()));
+    };
+  };
+  Register("algebra", "select", select_like(false));
+  Register("algebra", "uselect", select_like(true));
+
+  auto binop = [this](StatusOr<Bat> (*fn)(const Bat&, const Bat&)) {
+    return [this, fn](ExecContext& ctx,
+                      const MalInstr& in) -> StatusOr<EngineValue> {
+      auto a = BatArg(ctx, in, 0);
+      if (!a.ok()) return a.status();
+      auto b = BatArg(ctx, in, 1);
+      if (!b.ok()) return b.status();
+      auto out = fn(**a, **b);
+      if (!out.ok()) return out.status();
+      return EngineValue::OfBat(std::move(out.value()));
+    };
+  };
+  Register("algebra", "kunion", binop(&algebra::KUnion));
+  Register("algebra", "kdifference", binop(&algebra::KDifference));
+  Register("algebra", "kintersect", binop(&algebra::KIntersect));
+  Register("algebra", "join", binop(&algebra::Join));
+  Register("bat", "append", binop(&algebra::Append));
+
+  Register("bat", "reverse",
+           [this](ExecContext& ctx, const MalInstr& in) -> StatusOr<EngineValue> {
+             auto b = BatArg(ctx, in, 0);
+             if (!b.ok()) return b.status();
+             return EngineValue::OfBat(algebra::Reverse(**b));
+           });
+
+  Register("algebra", "markT",
+           [this](ExecContext& ctx, const MalInstr& in) -> StatusOr<EngineValue> {
+             auto b = BatArg(ctx, in, 0);
+             if (!b.ok()) return b.status();
+             auto base = NumArg(ctx, in, 1);
+             if (!base.ok()) return base.status();
+             return EngineValue::OfBat(
+                 algebra::MarkT(**b, static_cast<Oid>(base.value())));
+           });
+
+  // --- aggr ----------------------------------------------------------------
+  auto agg = [this](StatusOr<double> (*fn)(const Bat&)) {
+    return [this, fn](ExecContext& ctx,
+                      const MalInstr& in) -> StatusOr<EngineValue> {
+      auto b = BatArg(ctx, in, 0);
+      if (!b.ok()) return b.status();
+      auto v = fn(**b);
+      if (!v.ok()) return v.status();
+      return EngineValue::Number(v.value());
+    };
+  };
+  Register("aggr", "sum", agg(&algebra::Sum));
+  Register("aggr", "min", agg(&algebra::Min));
+  Register("aggr", "max", agg(&algebra::Max));
+  Register("aggr", "avg",
+           [this](ExecContext& ctx, const MalInstr& in) -> StatusOr<EngineValue> {
+             auto b = BatArg(ctx, in, 0);
+             if (!b.ok()) return b.status();
+             const uint64_t n = algebra::Count(**b);
+             if (n == 0) return Status::InvalidArgument("aggr.avg: empty bat");
+             auto s = algebra::Sum(**b);
+             if (!s.ok()) return s.status();
+             return EngineValue::Number(s.value() / static_cast<double>(n));
+           });
+  Register("aggr", "count",
+           [this](ExecContext& ctx, const MalInstr& in) -> StatusOr<EngineValue> {
+             auto b = BatArg(ctx, in, 0);
+             if (!b.ok()) return b.status();
+             return EngineValue::Number(
+                 static_cast<double>(algebra::Count(**b)));
+           });
+
+  // --- calc ----------------------------------------------------------------
+  Register("calc", "oid",
+           [this](ExecContext& ctx, const MalInstr& in) -> StatusOr<EngineValue> {
+             auto v = NumArg(ctx, in, 0);
+             if (!v.ok()) return v.status();
+             return EngineValue::Number(v.value());
+           });
+
+  // --- sql -----------------------------------------------------------------
+  Register("sql", "bind",
+           [this](ExecContext& ctx, const MalInstr& in) -> StatusOr<EngineValue> {
+             // sql.bind("sys", table, column, level)
+             auto table = StrArg(ctx, in, 1);
+             if (!table.ok()) return table.status();
+             auto column = StrArg(ctx, in, 2);
+             if (!column.ok()) return column.status();
+             auto b = catalog_->Bind(*table, *column);
+             if (!b.ok()) return b.status();
+             return EngineValue::OfBat(std::move(b.value()));
+           });
+
+  Register("sql", "resultSet",
+           [](ExecContext&, const MalInstr&) -> StatusOr<EngineValue> {
+             return EngineValue::RSet(std::make_shared<ResultSet>());
+           });
+
+  Register("sql", "rsColumn",
+           [this](ExecContext& ctx, const MalInstr& in) -> StatusOr<EngineValue> {
+             // sql.rsColumn(rs, name, bat_or_num)
+             if (in.args.size() < 3) return ArityError(in, 3);
+             const EngineValue* rsv = VarValue(ctx.vars, in.args[0].var);
+             if (rsv == nullptr ||
+                 rsv->kind() != EngineValue::Kind::kResultSet) {
+               return Status::InvalidArgument("sql.rsColumn: arg 0 not a result set");
+             }
+             auto name = StrArg(ctx, in, 1);
+             if (!name.ok()) return name.status();
+             ResultSet::Col col;
+             col.name = *name;
+             auto bat = BatArg(ctx, in, 2);
+             if (bat.ok()) {
+               col.bat = *bat;
+             } else {
+               auto num = NumArg(ctx, in, 2);  // scalar -> 1-row bat
+               if (!num.ok()) return num.status();
+               col.bat = std::make_shared<Bat>(Bat::DenseTyped(
+                   TypedVector::Of(std::vector<double>{num.value()})));
+             }
+             rsv->rset()->cols.push_back(std::move(col));
+             return EngineValue::Nil();
+           });
+
+  Register("sql", "exportResult",
+           [](ExecContext& ctx, const MalInstr& in) -> StatusOr<EngineValue> {
+             if (in.args.empty()) return ArityError(in, 1);
+             const EngineValue* rsv = VarValue(ctx.vars, in.args[0].var);
+             if (rsv == nullptr ||
+                 rsv->kind() != EngineValue::Kind::kResultSet) {
+               return Status::InvalidArgument(
+                   "sql.exportResult: arg 0 not a result set");
+             }
+             ctx.exported = rsv->rset();
+             return EngineValue::Nil();
+           });
+
+  // --- bpm (segment-optimizer runtime) ---------------------------------------
+  Register("bpm", "take",
+           [this](ExecContext& ctx, const MalInstr& in) -> StatusOr<EngineValue> {
+             auto handle = StrArg(ctx, in, 0);
+             if (!handle.ok()) return handle.status();
+             auto col = catalog_->GetSegmented(*handle);
+             if (!col.ok()) return col.status();
+             return EngineValue::SegCol(*col);
+           });
+
+  Register("bpm", "new",
+           [](ExecContext&, const MalInstr&) -> StatusOr<EngineValue> {
+             // Empty accumulator; typed lazily on first addSegment.
+             return EngineValue::OfBat(Bat::OidList({}));
+           });
+
+  Register("bpm", "newIterator",
+           [this](ExecContext& ctx, const MalInstr& in) -> StatusOr<EngineValue> {
+             if (in.args.empty() || in.args[0].kind != MalArg::Kind::kVar) {
+               return Status::InvalidArgument("bpm.newIterator: bad args");
+             }
+             const EngineValue* cv = VarValue(ctx.vars, in.args[0].var);
+             if (cv == nullptr || cv->kind() != EngineValue::Kind::kSegCol) {
+               return Status::InvalidArgument(
+                   "bpm.newIterator: arg 0 not a segmented column");
+             }
+             auto lo = NumArg(ctx, in, 1);
+             if (!lo.ok()) return lo.status();
+             auto hi = NumArg(ctx, in, 2);
+             if (!hi.ok()) return hi.status();
+             auto iter = std::make_unique<BpmIterator>();
+             iter->column = cv->segcol();
+             iter->segments = iter->column->CoverSegments(*lo, *hi);
+             iter->next = 0;
+             const int id = static_cast<int>(ctx.iters.size());
+             ctx.iters.push_back(std::move(iter));
+             BpmIterator* it = ctx.iters.back().get();
+             if (it->next >= it->segments.size()) return EngineValue::Nil();
+             Bat seg = it->column->SegmentBat(it->segments[it->next].id);
+             ++it->next;
+             // The iterator id rides along in the barrier variable; the bat is
+             // what the loop body consumes. We pack both: the bat is returned,
+             // the id is re-derivable because hasMoreElements uses the same
+             // ret var. Store id -> last iterator in ctx (single voyage).
+             ctx.vars.resize(std::max(ctx.vars.size(),
+                                      static_cast<size_t>(in.rets[0]) + 1));
+             iter_of_var_[in.rets[0]] = id;
+             return EngineValue::OfBat(std::move(seg));
+           });
+
+  Register("bpm", "hasMoreElements",
+           [this](ExecContext& ctx, const MalInstr& in) -> StatusOr<EngineValue> {
+             auto idit = iter_of_var_.find(in.rets[0]);
+             if (idit == iter_of_var_.end()) {
+               return Status::Internal("bpm.hasMoreElements without newIterator");
+             }
+             BpmIterator* it = ctx.iters[idit->second].get();
+             if (it->next >= it->segments.size()) return EngineValue::Nil();
+             Bat seg = it->column->SegmentBat(it->segments[it->next].id);
+             ++it->next;
+             return EngineValue::OfBat(std::move(seg));
+           });
+
+  Register("bpm", "addSegment",
+           [this](ExecContext& ctx, const MalInstr& in) -> StatusOr<EngineValue> {
+             if (in.args.size() < 2 || in.args[0].kind != MalArg::Kind::kVar) {
+               return Status::InvalidArgument("bpm.addSegment: bad args");
+             }
+             auto dst = BatArg(ctx, in, 0);
+             if (!dst.ok()) return dst.status();
+             auto src = BatArg(ctx, in, 1);
+             if (!src.ok()) return src.status();
+             StatusOr<Bat> merged = (*dst)->size() == 0
+                                        ? StatusOr<Bat>(Bat(**src))
+                                        : algebra::Append(**dst, **src);
+             if (!merged.ok()) return merged.status();
+             ctx.vars[in.args[0].var] = EngineValue::OfBat(std::move(merged.value()));
+             return EngineValue::Nil();
+           });
+
+  Register("bpm", "adapt",
+           [this](ExecContext& ctx, const MalInstr& in) -> StatusOr<EngineValue> {
+             const EngineValue* cv = VarValue(ctx.vars, in.args[0].var);
+             if (cv == nullptr || cv->kind() != EngineValue::Kind::kSegCol) {
+               return Status::InvalidArgument(
+                   "bpm.adapt: arg 0 not a segmented column");
+             }
+             auto lo = NumArg(ctx, in, 1);
+             if (!lo.ok()) return lo.status();
+             auto hi = NumArg(ctx, in, 2);
+             if (!hi.ok()) return hi.status();
+             QueryExecution ex = cv->segcol()->Adapt(*lo, *hi);
+             last_adapt_.read_bytes += ex.read_bytes;
+             last_adapt_.write_bytes += ex.write_bytes;
+             last_adapt_.splits += ex.splits;
+             last_adapt_.replicas_created += ex.replicas_created;
+             last_adapt_.segments_dropped += ex.segments_dropped;
+             last_adapt_.selection_seconds += ex.selection_seconds;
+             last_adapt_.adaptation_seconds += ex.adaptation_seconds;
+             return EngineValue::Nil();
+           });
+}
+
+StatusOr<EngineValue> MalInterpreter::Eval(ExecContext& ctx, const MalInstr& in) {
+  auto it = handlers_.find(in.module + "." + in.op);
+  if (it == handlers_.end()) {
+    return Status::Unimplemented("unknown MAL operator " + in.module + "." + in.op);
+  }
+  return it->second(ctx, in);
+}
+
+StatusOr<std::shared_ptr<ResultSet>> MalInterpreter::Run(const MalProgram& prog) {
+  last_adapt_ = QueryExecution{};
+  iter_of_var_.clear();
+  ExecContext ctx;
+  ctx.vars.resize(prog.NumVars());
+
+  // Pre-compute barrier -> exit and exit -> barrier jump targets.
+  std::unordered_map<int, size_t> exit_of_barrier;   // barrier var -> exit index
+  std::unordered_map<int, size_t> barrier_of_var;    // barrier var -> barrier index
+  {
+    std::vector<std::pair<int, size_t>> stack;  // (barrier var, index)
+    for (size_t i = 0; i < prog.instrs.size(); ++i) {
+      const MalInstr& in = prog.instrs[i];
+      if (in.kind == MalInstr::Kind::kBarrier) {
+        stack.emplace_back(in.rets[0], i);
+        barrier_of_var[in.rets[0]] = i;
+      } else if (in.kind == MalInstr::Kind::kExit) {
+        if (stack.empty() || stack.back().first != in.rets[0]) {
+          return Status::InvalidArgument("mismatched barrier/exit block");
+        }
+        exit_of_barrier[in.rets[0]] = i;
+        stack.pop_back();
+      }
+    }
+    if (!stack.empty()) return Status::InvalidArgument("unterminated barrier");
+  }
+
+  for (size_t pc = 0; pc < prog.instrs.size(); ++pc) {
+    const MalInstr& in = prog.instrs[pc];
+    switch (in.kind) {
+      case MalInstr::Kind::kAssign: {
+        auto v = Eval(ctx, in);
+        if (!v.ok()) return v.status();
+        if (!in.rets.empty()) ctx.vars[in.rets[0]] = std::move(v.value());
+        break;
+      }
+      case MalInstr::Kind::kBarrier: {
+        auto v = Eval(ctx, in);
+        if (!v.ok()) return v.status();
+        if (v->is_nil()) {
+          pc = exit_of_barrier.at(in.rets[0]);  // skip the block
+        } else {
+          ctx.vars[in.rets[0]] = std::move(v.value());
+        }
+        break;
+      }
+      case MalInstr::Kind::kRedo: {
+        auto v = Eval(ctx, in);
+        if (!v.ok()) return v.status();
+        if (!v->is_nil()) {
+          ctx.vars[in.rets[0]] = std::move(v.value());
+          pc = barrier_of_var.at(in.rets[0]);  // jump to start of block body
+        }
+        break;
+      }
+      case MalInstr::Kind::kExit:
+        break;
+    }
+  }
+  if (ctx.exported == nullptr) ctx.exported = std::make_shared<ResultSet>();
+  return ctx.exported;
+}
+
+}  // namespace socs

@@ -1,0 +1,110 @@
+// MAL interpreter: executes MAL programs against a catalog. Implements the
+// operator modules the paper's plans use (algebra.*, bat.*, aggr.*, sql.*,
+// calc.*) plus the bpm.* runtime of the segment optimizer, including
+// barrier/redo/exit guarded blocks for the segment iterator.
+#ifndef SOCS_ENGINE_MAL_INTERPRETER_H_
+#define SOCS_ENGINE_MAL_INTERPRETER_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bat/bat.h"
+#include "core/strategy.h"
+#include "engine/bpm.h"
+#include "engine/catalog.h"
+#include "engine/mal_program.h"
+
+namespace socs {
+
+/// The result of sql.exportResult: named result columns.
+struct ResultSet {
+  struct Col {
+    std::string name;
+    BatPtr bat;
+  };
+  std::vector<Col> cols;
+
+  uint64_t NumRows() const { return cols.empty() ? 0 : cols[0].bat->size(); }
+};
+
+/// A runtime value bound to a MAL variable.
+class EngineValue {
+ public:
+  enum class Kind { kNil, kNum, kStr, kBat, kIter, kSegCol, kResultSet };
+
+  EngineValue() : kind_(Kind::kNil) {}
+  static EngineValue Nil() { return EngineValue(); }
+  static EngineValue Number(double v);
+  static EngineValue String(std::string s);
+  static EngineValue OfBat(Bat b);
+  static EngineValue Iter(int iter_id);
+  static EngineValue SegCol(SegmentedColumn* col);
+  static EngineValue RSet(std::shared_ptr<ResultSet> rs);
+
+  Kind kind() const { return kind_; }
+  bool is_nil() const { return kind_ == Kind::kNil; }
+  double num() const;
+  const std::string& str() const;
+  const BatPtr& bat() const;
+  int iter() const;
+  SegmentedColumn* segcol() const;
+  const std::shared_ptr<ResultSet>& rset() const;
+
+ private:
+  Kind kind_;
+  double num_ = 0.0;
+  std::string str_;
+  BatPtr bat_;
+  int iter_ = -1;
+  SegmentedColumn* segcol_ = nullptr;
+  std::shared_ptr<ResultSet> rset_;
+};
+
+class MalInterpreter {
+ public:
+  explicit MalInterpreter(Catalog* catalog);
+
+  /// Executes the program. Returns the exported result set (empty set if the
+  /// program exports nothing).
+  StatusOr<std::shared_ptr<ResultSet>> Run(const MalProgram& prog);
+
+  /// Adaptive-reorganization accounting accumulated by bpm.adapt during the
+  /// last Run().
+  const QueryExecution& last_adapt() const { return last_adapt_; }
+
+ private:
+  struct ExecContext {
+    std::vector<EngineValue> vars;
+    std::vector<std::unique_ptr<BpmIterator>> iters;
+    std::shared_ptr<ResultSet> exported;
+  };
+
+  using Handler =
+      std::function<StatusOr<EngineValue>(ExecContext&, const MalInstr&)>;
+
+  void Register(const std::string& module, const std::string& op, Handler h);
+  void RegisterBuiltins();
+
+  /// Evaluates one call instruction (assign/barrier/redo bodies).
+  StatusOr<EngineValue> Eval(ExecContext& ctx, const MalInstr& in);
+
+  // Argument helpers (Status-checked).
+  static StatusOr<double> NumArg(const ExecContext& ctx, const MalInstr& in,
+                                 size_t i);
+  static StatusOr<std::string> StrArg(const ExecContext& ctx, const MalInstr& in,
+                                      size_t i);
+  static StatusOr<BatPtr> BatArg(const ExecContext& ctx, const MalInstr& in,
+                                 size_t i);
+
+  Catalog* catalog_;
+  std::map<std::string, Handler> handlers_;
+  std::map<int, int> iter_of_var_;  // barrier var -> iterator id (per Run)
+  QueryExecution last_adapt_;
+};
+
+}  // namespace socs
+
+#endif  // SOCS_ENGINE_MAL_INTERPRETER_H_

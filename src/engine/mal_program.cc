@@ -1,0 +1,54 @@
+#include "engine/mal_program.h"
+
+#include <sstream>
+
+namespace socs {
+
+int MalProgram::NewVar(const std::string& hint) {
+  const int id = static_cast<int>(var_names_.size());
+  var_names_.push_back(hint + std::to_string(id));
+  return id;
+}
+
+namespace {
+void PrintArg(std::ostringstream& os, const MalArg& a, const MalProgram& p) {
+  switch (a.kind) {
+    case MalArg::Kind::kVar: os << p.VarName(a.var); break;
+    case MalArg::Kind::kNum: os << a.num; break;
+    case MalArg::Kind::kStr: os << '"' << a.str << '"'; break;
+  }
+}
+}  // namespace
+
+std::string MalProgram::ToString() const {
+  std::ostringstream os;
+  int indent = 0;
+  for (const MalInstr& in : instrs) {
+    if (in.kind == MalInstr::Kind::kExit && indent > 0) --indent;
+    for (int i = 0; i < indent * 2 + 2; ++i) os << ' ';
+    switch (in.kind) {
+      case MalInstr::Kind::kBarrier: os << "barrier "; break;
+      case MalInstr::Kind::kRedo: os << "redo "; break;
+      case MalInstr::Kind::kExit: os << "exit "; break;
+      case MalInstr::Kind::kAssign: break;
+    }
+    for (size_t r = 0; r < in.rets.size(); ++r) {
+      os << VarName(in.rets[r]) << (r + 1 < in.rets.size() ? ", " : "");
+    }
+    if (in.kind == MalInstr::Kind::kExit) {
+      os << ";\n";
+      continue;
+    }
+    if (!in.rets.empty()) os << " := ";
+    os << in.module << '.' << in.op << '(';
+    for (size_t a = 0; a < in.args.size(); ++a) {
+      PrintArg(os, in.args[a], *this);
+      if (a + 1 < in.args.size()) os << ", ";
+    }
+    os << ");\n";
+    if (in.kind == MalInstr::Kind::kBarrier) ++indent;
+  }
+  return os.str();
+}
+
+}  // namespace socs

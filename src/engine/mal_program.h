@@ -1,0 +1,77 @@
+// MAL-like plan representation (paper section 2): a MonetDB Assembly
+// Language program is a linear sequence of instructions over single-
+// assignment variables, with guarded blocks (barrier/redo/exit) for
+// iteration -- exactly the constructs the paper's segment optimizer emits.
+#ifndef SOCS_ENGINE_MAL_PROGRAM_H_
+#define SOCS_ENGINE_MAL_PROGRAM_H_
+
+#include <string>
+#include <vector>
+
+namespace socs {
+
+struct MalArg {
+  enum class Kind { kVar, kNum, kStr };
+  Kind kind = Kind::kVar;
+  int var = -1;
+  double num = 0.0;
+  std::string str;
+
+  static MalArg Var(int id) {
+    MalArg a;
+    a.kind = Kind::kVar;
+    a.var = id;
+    return a;
+  }
+  static MalArg Num(double v) {
+    MalArg a;
+    a.kind = Kind::kNum;
+    a.num = v;
+    return a;
+  }
+  static MalArg Str(std::string s) {
+    MalArg a;
+    a.kind = Kind::kStr;
+    a.str = std::move(s);
+    return a;
+  }
+};
+
+struct MalInstr {
+  enum class Kind {
+    kAssign,   // ret := module.op(args)
+    kBarrier,  // barrier ret := module.op(args)   enter block if non-nil
+    kRedo,     // redo ret := module.op(args)      loop back if non-nil
+    kExit,     // exit ret                          block end marker
+  };
+  Kind kind = Kind::kAssign;
+  std::string module;
+  std::string op;
+  std::vector<int> rets;     // assigned variables (usually one)
+  std::vector<MalArg> args;
+
+  bool Is(const std::string& m, const std::string& o) const {
+    return module == m && op == o;
+  }
+};
+
+class MalProgram {
+ public:
+  /// Creates a fresh variable; `hint` seeds the display name (X1, Y2, ...).
+  int NewVar(const std::string& hint = "X");
+
+  size_t NumVars() const { return var_names_.size(); }
+  const std::string& VarName(int id) const { return var_names_[id]; }
+
+  /// Pretty-prints in the style of the paper's Figure 1.
+  std::string ToString() const;
+
+  std::vector<MalInstr> instrs;
+
+ private:
+  std::vector<std::string> var_names_;
+};
+
+}  // namespace socs
+
+#endif  // SOCS_ENGINE_MAL_PROGRAM_H_

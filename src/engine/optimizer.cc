@@ -1,0 +1,89 @@
+#include "engine/optimizer.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "engine/segment_optimizer.h"
+
+namespace socs {
+
+Status PassManager::Run(MalProgram* prog, OptContext* ctx) {
+  for (auto& pass : passes_) {
+    SOCS_RETURN_IF_ERROR(pass->Apply(prog, ctx));
+  }
+  return Status::OK();
+}
+
+bool DeadCodeElimPass::HasSideEffects(const MalInstr& in) {
+  if (in.rets.empty()) return true;  // statement-position call
+  if (in.module == "sql" && (in.op == "rsColumn" || in.op == "exportResult")) {
+    return true;
+  }
+  if (in.module == "bpm" && (in.op == "addSegment" || in.op == "adapt")) {
+    return true;
+  }
+  if (in.module == "io") return true;
+  return false;
+}
+
+Status DeadCodeElimPass::Apply(MalProgram* prog, OptContext* ctx) {
+  (void)ctx;
+  std::unordered_set<int> used;
+  std::vector<bool> keep(prog->instrs.size(), false);
+  for (size_t i = prog->instrs.size(); i-- > 0;) {
+    const MalInstr& in = prog->instrs[i];
+    bool live = in.kind != MalInstr::Kind::kAssign || HasSideEffects(in);
+    for (int r : in.rets) {
+      if (used.count(r)) live = true;
+    }
+    if (!live) continue;
+    keep[i] = true;
+    for (const MalArg& a : in.args) {
+      if (a.kind == MalArg::Kind::kVar) used.insert(a.var);
+    }
+  }
+  std::vector<MalInstr> out;
+  out.reserve(prog->instrs.size());
+  for (size_t i = 0; i < prog->instrs.size(); ++i) {
+    if (keep[i]) out.push_back(std::move(prog->instrs[i]));
+  }
+  prog->instrs = std::move(out);
+  return Status::OK();
+}
+
+Status EstimateFootprintPass::Apply(MalProgram* prog, OptContext* ctx) {
+  if (ctx->catalog == nullptr) return Status::OK();
+  std::unordered_map<int, const MalInstr*> def;
+  for (const MalInstr& in : prog->instrs) {
+    for (int r : in.rets) def[r] = &in;
+  }
+  for (const MalInstr& in : prog->instrs) {
+    if (!in.Is("bpm", "newIterator") || in.args.size() < 3) continue;
+    if (in.args[0].kind != MalArg::Kind::kVar) continue;
+    auto dit = def.find(in.args[0].var);
+    if (dit == def.end() || !dit->second->Is("bpm", "take")) continue;
+    if (dit->second->args.empty() ||
+        dit->second->args[0].kind != MalArg::Kind::kStr) {
+      continue;
+    }
+    auto col = ctx->catalog->GetSegmented(dit->second->args[0].str);
+    if (!col.ok()) continue;
+    if (in.args[1].kind != MalArg::Kind::kNum ||
+        in.args[2].kind != MalArg::Kind::kNum) {
+      continue;
+    }
+    ctx->estimated_scan_bytes +=
+        col.value()->EstimateSelectionBytes(in.args[1].num, in.args[2].num);
+  }
+  return Status::OK();
+}
+
+PassManager MakeDefaultPipeline() {
+  PassManager pm;
+  pm.Add(std::make_unique<SegmentOptimizerPass>());
+  pm.Add(std::make_unique<EstimateFootprintPass>());
+  pm.Add(std::make_unique<DeadCodeElimPass>());
+  return pm;
+}
+
+}  // namespace socs

@@ -1,0 +1,69 @@
+// Tactical optimizer (paper sections 2-3): a MAL-to-MAL transformation
+// framework. Passes rewrite plans using global information (the catalog and
+// the in-memory segment meta-index) before execution -- the level the paper
+// argues self-organization belongs at.
+#ifndef SOCS_ENGINE_OPTIMIZER_H_
+#define SOCS_ENGINE_OPTIMIZER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/catalog.h"
+#include "engine/mal_program.h"
+
+namespace socs {
+
+struct OptContext {
+  Catalog* catalog = nullptr;
+  /// Filled by EstimateFootprintPass: projected peak bytes touched by scans.
+  uint64_t estimated_scan_bytes = 0;
+};
+
+class OptimizerPass {
+ public:
+  virtual ~OptimizerPass() = default;
+  virtual std::string Name() const = 0;
+  virtual Status Apply(MalProgram* prog, OptContext* ctx) = 0;
+};
+
+/// Runs passes in registration order.
+class PassManager {
+ public:
+  void Add(std::unique_ptr<OptimizerPass> pass) {
+    passes_.push_back(std::move(pass));
+  }
+  Status Run(MalProgram* prog, OptContext* ctx);
+  size_t NumPasses() const { return passes_.size(); }
+
+ private:
+  std::vector<std::unique_ptr<OptimizerPass>> passes_;
+};
+
+/// Removes pure instructions whose results are never used.
+class DeadCodeElimPass : public OptimizerPass {
+ public:
+  std::string Name() const override { return "deadcode"; }
+  Status Apply(MalProgram* prog, OptContext* ctx) override;
+
+  /// Ops with side effects (never eliminated even if their result is unused).
+  static bool HasSideEffects(const MalInstr& in);
+};
+
+/// Sums the estimated bytes every select over a segmented column must touch,
+/// using only the segment meta-index (paper section 3.1: the catalog lets the
+/// optimizer estimate the memory footprint without touching data).
+class EstimateFootprintPass : public OptimizerPass {
+ public:
+  std::string Name() const override { return "footprint"; }
+  Status Apply(MalProgram* prog, OptContext* ctx) override;
+};
+
+/// Builds the default tactical pipeline: segment optimizer, footprint
+/// estimation, dead-code elimination.
+PassManager MakeDefaultPipeline();
+
+}  // namespace socs
+
+#endif  // SOCS_ENGINE_OPTIMIZER_H_

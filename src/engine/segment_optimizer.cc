@@ -1,0 +1,128 @@
+#include "engine/segment_optimizer.h"
+
+#include <unordered_map>
+
+namespace socs {
+
+namespace {
+
+/// Returns the (table, column) of a sql.bind instruction, or nullopt-like
+/// empty strings when the shape does not match.
+bool BindTarget(const MalInstr& in, std::string* table, std::string* column) {
+  if (!in.Is("sql", "bind") || in.args.size() < 3) return false;
+  if (in.args[1].kind != MalArg::Kind::kStr ||
+      in.args[2].kind != MalArg::Kind::kStr) {
+    return false;
+  }
+  *table = in.args[1].str;
+  *column = in.args[2].str;
+  return true;
+}
+
+}  // namespace
+
+Status SegmentOptimizerPass::Apply(MalProgram* prog, OptContext* ctx) {
+  rewrites_ = 0;
+  if (ctx->catalog == nullptr) return Status::OK();
+
+  std::unordered_map<int, size_t> def;  // var -> defining instr index
+  for (size_t i = 0; i < prog->instrs.size(); ++i) {
+    for (int r : prog->instrs[i].rets) def[r] = i;
+  }
+
+  std::vector<MalInstr> out;
+  out.reserve(prog->instrs.size() + 8);
+
+  for (size_t i = 0; i < prog->instrs.size(); ++i) {
+    const MalInstr in = prog->instrs[i];
+    const bool is_select =
+        in.kind == MalInstr::Kind::kAssign &&
+        (in.Is("algebra", "select") || in.Is("algebra", "uselect")) &&
+        !in.args.empty() && in.args[0].kind == MalArg::Kind::kVar &&
+        in.args.size() >= 3;
+    if (!is_select) {
+      out.push_back(in);
+      continue;
+    }
+    auto dit = def.find(in.args[0].var);
+    std::string table, column;
+    if (dit == def.end() ||
+        !BindTarget(prog->instrs[dit->second], &table, &column) ||
+        !ctx->catalog->IsSegmented(table, column)) {
+      out.push_back(in);
+      continue;
+    }
+
+    // Rewrite into the segment-aware iterator sequence (paper section 3.1).
+    const std::string handle = Catalog::SegHandle(table, column);
+    const MalArg lo = in.args[1];
+    const MalArg hi = in.args[2];
+    std::vector<MalArg> bound_args;  // (lo, hi [, incl flags]) pass-through
+    for (size_t a = 1; a < in.args.size(); ++a) bound_args.push_back(in.args[a]);
+
+    const int y1 = prog->NewVar("Y");
+    const int result = in.rets[0];  // the accumulator takes the select's var
+    const int rseg = prog->NewVar("rseg");
+    const int t1 = prog->NewVar("T");
+
+    MalInstr take;
+    take.module = "bpm";
+    take.op = "take";
+    take.rets = {y1};
+    take.args = {MalArg::Str(handle)};
+    out.push_back(take);
+
+    MalInstr mknew;
+    mknew.module = "bpm";
+    mknew.op = "new";
+    mknew.rets = {result};
+    out.push_back(mknew);
+
+    MalInstr barrier;
+    barrier.kind = MalInstr::Kind::kBarrier;
+    barrier.module = "bpm";
+    barrier.op = "newIterator";
+    barrier.rets = {rseg};
+    barrier.args = {MalArg::Var(y1), lo, hi};
+    out.push_back(barrier);
+
+    MalInstr body = in;  // same select op and bound args, over the segment
+    body.rets = {t1};
+    body.args.clear();
+    body.args.push_back(MalArg::Var(rseg));
+    for (const MalArg& a : bound_args) body.args.push_back(a);
+    out.push_back(body);
+
+    MalInstr add;
+    add.module = "bpm";
+    add.op = "addSegment";
+    add.args = {MalArg::Var(result), MalArg::Var(t1)};
+    out.push_back(add);
+
+    MalInstr redo;
+    redo.kind = MalInstr::Kind::kRedo;
+    redo.module = "bpm";
+    redo.op = "hasMoreElements";
+    redo.rets = {rseg};
+    redo.args = {MalArg::Var(y1), lo, hi};
+    out.push_back(redo);
+
+    MalInstr exit_i;
+    exit_i.kind = MalInstr::Kind::kExit;
+    exit_i.rets = {rseg};
+    out.push_back(exit_i);
+
+    MalInstr adapt;
+    adapt.module = "bpm";
+    adapt.op = "adapt";
+    adapt.args = {MalArg::Var(y1), lo, hi};
+    out.push_back(adapt);
+
+    ++rewrites_;
+  }
+
+  prog->instrs = std::move(out);
+  return Status::OK();
+}
+
+}  // namespace socs

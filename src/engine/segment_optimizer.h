@@ -1,0 +1,38 @@
+// Segment optimizer pass (paper section 3.1): detects selections over
+// segmented columns and rewrites them into a segment-aware instruction
+// sequence. The pattern
+//     Xb := sql.bind("sys", T, C, 0);          -- C under adaptive management
+//     Xs := algebra.(u)select(Xb, lo, hi...);
+// becomes
+//     Y1 := bpm.take("sys_T_C");
+//     Y2 := bpm.new();
+//     barrier rseg := bpm.newIterator(Y1, lo, hi);
+//       T1 := algebra.(u)select(rseg, lo, hi...);
+//       bpm.addSegment(Y2, T1);
+//     redo rseg := bpm.hasMoreElements(Y1, lo, hi);
+//     exit rseg;
+//     bpm.adapt(Y1, lo, hi);                    -- the reorganizing module
+//     Xs := Y2;  (Y2 takes Xs's variable)
+// The leftover sql.bind becomes dead code and is removed by DeadCodeElimPass.
+#ifndef SOCS_ENGINE_SEGMENT_OPTIMIZER_H_
+#define SOCS_ENGINE_SEGMENT_OPTIMIZER_H_
+
+#include "engine/optimizer.h"
+
+namespace socs {
+
+class SegmentOptimizerPass : public OptimizerPass {
+ public:
+  std::string Name() const override { return "segments"; }
+  Status Apply(MalProgram* prog, OptContext* ctx) override;
+
+  /// Number of selections rewritten by the last Apply().
+  int rewrites() const { return rewrites_; }
+
+ private:
+  int rewrites_ = 0;
+};
+
+}  // namespace socs
+
+#endif  // SOCS_ENGINE_SEGMENT_OPTIMIZER_H_

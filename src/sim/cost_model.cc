@@ -1,0 +1,11 @@
+#include "sim/cost_model.h"
+
+namespace socs {
+
+double CostModel::SegmentWrite(uint64_t bytes) const {
+  double s = MemWrite(bytes);
+  if (p_.write_through) s += DiskWrite(bytes);
+  return s;
+}
+
+}  // namespace socs

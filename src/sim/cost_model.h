@@ -1,0 +1,65 @@
+// Cost model translating byte traffic into simulated seconds. Calibrated
+// against the paper's 2007 testbed (dual dual-core Opteron 270, 8GB RAM,
+// disk-resident 100GB database): an effective in-memory select+materialize
+// bandwidth of a few hundred MB/s and a commodity-disk sequential bandwidth
+// of tens of MB/s. Absolute values are configurable; the experiments depend
+// only on their ratios.
+#ifndef SOCS_SIM_COST_MODEL_H_
+#define SOCS_SIM_COST_MODEL_H_
+
+#include <cstdint>
+
+#include "common/units.h"
+
+namespace socs {
+
+struct CostParams {
+  /// Sequential scan (select + result materialization) from buffer memory.
+  double mem_read_bps = 280.0 * kMiB;
+  /// Sequential write of a materialized segment into buffer memory.
+  double mem_write_bps = 350.0 * kMiB;
+  /// Sequential read from the simulated secondary store.
+  double disk_read_bps = 60.0 * kMiB;
+  /// Sequential write-through to the simulated secondary store.
+  double disk_write_bps = 55.0 * kMiB;
+  /// Random-gather bandwidth for tuple reconstruction (oid -> other columns).
+  double gather_bps = 100.0 * kMiB;
+  /// Fixed cost of touching one segment (meta-index lookup, iterator step,
+  /// operator setup for that segment).
+  double per_segment_seconds = 20e-6;
+  /// Fixed per-query cost (parsing, tactical optimization, result shipping).
+  double per_query_seconds = 100e-6;
+  /// When true, segment materialization is charged at disk_write_bps in
+  /// addition to mem_write_bps (write-through). When false the flush is
+  /// asynchronous (MonetDB's mmap write-back) and only counted in IoStats.
+  bool write_through = false;
+};
+
+/// Stateless converter from operation sizes to simulated seconds.
+class CostModel {
+ public:
+  CostModel() : p_(CostParams{}) {}
+  explicit CostModel(const CostParams& p) : p_(p) {}
+
+  double MemRead(uint64_t bytes) const { return bytes / p_.mem_read_bps; }
+  double MemWrite(uint64_t bytes) const { return bytes / p_.mem_write_bps; }
+  double DiskRead(uint64_t bytes) const { return bytes / p_.disk_read_bps; }
+  double DiskWrite(uint64_t bytes) const { return bytes / p_.disk_write_bps; }
+  double Gather(uint64_t bytes) const { return bytes / p_.gather_bps; }
+  double SegmentOverhead(uint64_t segments = 1) const {
+    return segments * p_.per_segment_seconds;
+  }
+  double QueryOverhead() const { return p_.per_query_seconds; }
+
+  /// Cost of materializing a new segment of the given size.
+  double SegmentWrite(uint64_t bytes) const;
+
+  const CostParams& params() const { return p_; }
+
+ private:
+  CostParams p_;
+};
+
+}  // namespace socs
+
+#endif  // SOCS_SIM_COST_MODEL_H_

@@ -1,0 +1,43 @@
+#include "sim/io_stats.h"
+
+#include <sstream>
+
+#include "common/units.h"
+
+namespace socs {
+
+IoStats& IoStats::operator+=(const IoStats& o) {
+  mem_read_bytes += o.mem_read_bytes;
+  mem_write_bytes += o.mem_write_bytes;
+  disk_read_bytes += o.disk_read_bytes;
+  disk_write_bytes += o.disk_write_bytes;
+  segments_created += o.segments_created;
+  segments_freed += o.segments_freed;
+  segments_scanned += o.segments_scanned;
+  return *this;
+}
+
+IoStats IoStats::operator-(const IoStats& o) const {
+  IoStats d;
+  d.mem_read_bytes = mem_read_bytes - o.mem_read_bytes;
+  d.mem_write_bytes = mem_write_bytes - o.mem_write_bytes;
+  d.disk_read_bytes = disk_read_bytes - o.disk_read_bytes;
+  d.disk_write_bytes = disk_write_bytes - o.disk_write_bytes;
+  d.segments_created = segments_created - o.segments_created;
+  d.segments_freed = segments_freed - o.segments_freed;
+  d.segments_scanned = segments_scanned - o.segments_scanned;
+  return d;
+}
+
+std::string IoStats::ToString() const {
+  std::ostringstream os;
+  os << "mem_read=" << FormatBytes(mem_read_bytes)
+     << " mem_write=" << FormatBytes(mem_write_bytes)
+     << " disk_read=" << FormatBytes(disk_read_bytes)
+     << " disk_write=" << FormatBytes(disk_write_bytes)
+     << " seg_created=" << segments_created << " seg_freed=" << segments_freed
+     << " seg_scanned=" << segments_scanned;
+  return os.str();
+}
+
+}  // namespace socs

@@ -1,0 +1,35 @@
+// Byte-level accounting of the simulated MonetDB engine. These counters are
+// the primary metrics of the paper's evaluation: "memory reads" (Fig. 7,
+// Table 1) and "memory writes due to segment materialization" (Figs. 5-6),
+// plus the secondary-store traffic of the constrained-buffer setting.
+#ifndef SOCS_SIM_IO_STATS_H_
+#define SOCS_SIM_IO_STATS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace socs {
+
+struct IoStats {
+  // Memory traffic as seen by operators (a disk read also flows through
+  // memory, so mem_read_bytes >= disk_read_bytes).
+  uint64_t mem_read_bytes = 0;
+  uint64_t mem_write_bytes = 0;
+  // Secondary-store traffic (buffer-pool misses / write-through flushes).
+  uint64_t disk_read_bytes = 0;
+  uint64_t disk_write_bytes = 0;
+
+  uint64_t segments_created = 0;
+  uint64_t segments_freed = 0;
+  uint64_t segments_scanned = 0;
+
+  IoStats& operator+=(const IoStats& o);
+  IoStats operator-(const IoStats& o) const;
+  void Clear() { *this = IoStats(); }
+
+  std::string ToString() const;
+};
+
+}  // namespace socs
+
+#endif  // SOCS_SIM_IO_STATS_H_

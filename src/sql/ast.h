@@ -1,0 +1,63 @@
+// AST of the mini SQL dialect: single-table SELECT with BETWEEN predicates.
+#ifndef SOCS_SQL_AST_H_
+#define SOCS_SQL_AST_H_
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace socs::sql {
+
+struct BetweenPred {
+  std::string column;
+  double lo = 0.0;
+  double hi = 0.0;  // inclusive bounds, SQL semantics
+};
+
+/// Aggregate functions in the projection position.
+enum class AggFn { kNone, kCount, kSum, kMin, kMax, kAvg };
+
+inline const char* AggFnName(AggFn f) {
+  switch (f) {
+    case AggFn::kNone: return "";
+    case AggFn::kCount: return "count";
+    case AggFn::kSum: return "sum";
+    case AggFn::kMin: return "min";
+    case AggFn::kMax: return "max";
+    case AggFn::kAvg: return "avg";
+  }
+  return "";
+}
+
+struct SelectStmt {
+  bool count_star = false;             // SELECT COUNT(*)
+  AggFn agg = AggFn::kNone;            // SELECT SUM(col) / MIN / MAX / AVG
+  std::string agg_column;              // argument of the aggregate
+  std::vector<std::string> columns;    // projection list (plain SELECT)
+  std::string table;
+  std::vector<BetweenPred> predicates;  // conjunctive
+
+  std::string ToString() const {
+    std::ostringstream os;
+    os << "select ";
+    if (count_star) {
+      os << "count(*)";
+    } else if (agg != AggFn::kNone) {
+      os << AggFnName(agg) << "(" << agg_column << ")";
+    } else {
+      for (size_t i = 0; i < columns.size(); ++i) {
+        os << columns[i] << (i + 1 < columns.size() ? ", " : "");
+      }
+    }
+    os << " from " << table;
+    for (size_t i = 0; i < predicates.size(); ++i) {
+      os << (i == 0 ? " where " : " and ") << predicates[i].column << " between "
+         << predicates[i].lo << " and " << predicates[i].hi;
+    }
+    return os.str();
+  }
+};
+
+}  // namespace socs::sql
+
+#endif  // SOCS_SQL_AST_H_

@@ -1,0 +1,110 @@
+#include "sql/compiler.h"
+
+#include "engine/mal_builder.h"
+
+namespace socs::sql {
+
+using socs::MalArg;
+
+StatusOr<MalProgram> Compile(const SelectStmt& stmt, const Catalog& catalog) {
+  if (!catalog.HasTable(stmt.table)) {
+    return Status::NotFound("unknown table " + stmt.table);
+  }
+  for (const auto& col : stmt.columns) {
+    if (!catalog.HasColumn(stmt.table, col)) {
+      return Status::NotFound("unknown column " + stmt.table + "." + col);
+    }
+  }
+  if (stmt.agg != AggFn::kNone && !stmt.count_star &&
+      !catalog.HasColumn(stmt.table, stmt.agg_column)) {
+    return Status::NotFound("unknown column " + stmt.table + "." +
+                            stmt.agg_column);
+  }
+  for (const auto& pred : stmt.predicates) {
+    if (!catalog.HasColumn(stmt.table, pred.column)) {
+      return Status::NotFound("unknown column " + stmt.table + "." + pred.column);
+    }
+  }
+
+  MalProgram prog;
+  MalBuilder b(&prog);
+
+  auto bind = [&](const std::string& column) {
+    return b.Call("sql", "bind",
+                  {MalArg::Str("sys"), MalArg::Str(stmt.table),
+                   MalArg::Str(column), MalArg::Num(0)});
+  };
+
+  // Candidate list from the conjunctive BETWEEN predicates.
+  int cand = -1;
+  for (const auto& pred : stmt.predicates) {
+    const int col = bind(pred.column);
+    const int sel = b.Call("algebra", "uselect",
+                           {MalArg::Var(col), MalArg::Num(pred.lo),
+                            MalArg::Num(pred.hi), MalArg::Num(1), MalArg::Num(1)});
+    cand = cand < 0 ? sel
+                    : b.Call("algebra", "kintersect",
+                             {MalArg::Var(cand), MalArg::Var(sel)});
+  }
+
+  const int rs = b.Call("sql", "resultSet", {}, "X");
+
+  if (stmt.count_star) {
+    int n;
+    if (cand >= 0) {
+      n = b.Call("aggr", "count", {MalArg::Var(cand)});
+    } else {
+      const auto cols = catalog.ColumnNames(stmt.table);
+      if (cols.empty()) {
+        return Status::InvalidArgument("table has no columns: " + stmt.table);
+      }
+      n = b.Call("aggr", "count", {MalArg::Var(bind(cols.front()))});
+    }
+    b.CallVoid("sql", "rsColumn",
+               {MalArg::Var(rs), MalArg::Str("count"), MalArg::Var(n)});
+  } else if (stmt.agg != AggFn::kNone) {
+    // SUM/MIN/MAX/AVG over one column, restricted to the candidates.
+    int values = bind(stmt.agg_column);
+    if (cand >= 0) {
+      const int zero = b.Call("calc", "oid", {MalArg::Num(0)});
+      const int marked =
+          b.Call("algebra", "markT", {MalArg::Var(cand), MalArg::Var(zero)});
+      const int renumbered = b.Call("bat", "reverse", {MalArg::Var(marked)});
+      values = b.Call("algebra", "join",
+                      {MalArg::Var(renumbered), MalArg::Var(values)});
+    }
+    const char* op = stmt.agg == AggFn::kSum   ? "sum"
+                     : stmt.agg == AggFn::kMin ? "min"
+                     : stmt.agg == AggFn::kMax ? "max"
+                                               : "avg";
+    const int agg = b.Call("aggr", op, {MalArg::Var(values)});
+    b.CallVoid("sql", "rsColumn",
+               {MalArg::Var(rs),
+                MalArg::Str(std::string(AggFnName(stmt.agg)) + "(" +
+                            stmt.agg_column + ")"),
+                MalArg::Var(agg)});
+  } else {
+    // Tuple reconstruction per projected column (Fig. 1's mark/reverse/join).
+    int renumbered = -1;
+    if (cand >= 0) {
+      const int zero = b.Call("calc", "oid", {MalArg::Num(0)});
+      const int marked =
+          b.Call("algebra", "markT", {MalArg::Var(cand), MalArg::Var(zero)});
+      renumbered = b.Call("bat", "reverse", {MalArg::Var(marked)});
+    }
+    for (const auto& col : stmt.columns) {
+      const int colbat = bind(col);
+      int out = colbat;
+      if (renumbered >= 0) {
+        out = b.Call("algebra", "join", {MalArg::Var(renumbered), MalArg::Var(colbat)});
+      }
+      b.CallVoid("sql", "rsColumn",
+                 {MalArg::Var(rs), MalArg::Str(stmt.table + "." + col),
+                  MalArg::Var(out)});
+    }
+  }
+  b.CallVoid("sql", "exportResult", {MalArg::Var(rs)});
+  return prog;
+}
+
+}  // namespace socs::sql

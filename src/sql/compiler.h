@@ -1,0 +1,20 @@
+// SQL-to-MAL compiler: maps a SelectStmt onto the plan shape of the paper's
+// Figure 1 (binds, uselect candidate lists, mark/reverse/join tuple
+// reconstruction, result-set export). The produced plan is *unoptimized*;
+// the tactical optimizer (segment optimizer + dead code elimination) rewrites
+// it before execution.
+#ifndef SOCS_SQL_COMPILER_H_
+#define SOCS_SQL_COMPILER_H_
+
+#include "common/status.h"
+#include "engine/catalog.h"
+#include "engine/mal_program.h"
+#include "sql/ast.h"
+
+namespace socs::sql {
+
+StatusOr<MalProgram> Compile(const SelectStmt& stmt, const Catalog& catalog);
+
+}  // namespace socs::sql
+
+#endif  // SOCS_SQL_COMPILER_H_

@@ -1,0 +1,122 @@
+#include "sql/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace socs::sql {
+
+const char* TokenTypeName(TokenType t) {
+  switch (t) {
+    case TokenType::kIdent: return "identifier";
+    case TokenType::kNumber: return "number";
+    case TokenType::kString: return "string";
+    case TokenType::kComma: return "','";
+    case TokenType::kLParen: return "'('";
+    case TokenType::kRParen: return "')'";
+    case TokenType::kStar: return "'*'";
+    case TokenType::kSemicolon: return "';'";
+    case TokenType::kSelect: return "SELECT";
+    case TokenType::kFrom: return "FROM";
+    case TokenType::kWhere: return "WHERE";
+    case TokenType::kAnd: return "AND";
+    case TokenType::kBetween: return "BETWEEN";
+    case TokenType::kCount: return "COUNT";
+    case TokenType::kSum: return "SUM";
+    case TokenType::kMin: return "MIN";
+    case TokenType::kMax: return "MAX";
+    case TokenType::kAvg: return "AVG";
+    case TokenType::kEnd: return "<end>";
+  }
+  return "?";
+}
+
+namespace {
+std::string Lower(const std::string& s) {
+  std::string out = s;
+  for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+TokenType KeywordOrIdent(const std::string& word) {
+  const std::string w = Lower(word);
+  if (w == "select") return TokenType::kSelect;
+  if (w == "from") return TokenType::kFrom;
+  if (w == "where") return TokenType::kWhere;
+  if (w == "and") return TokenType::kAnd;
+  if (w == "between") return TokenType::kBetween;
+  if (w == "count") return TokenType::kCount;
+  if (w == "sum") return TokenType::kSum;
+  if (w == "min") return TokenType::kMin;
+  if (w == "max") return TokenType::kMax;
+  if (w == "avg") return TokenType::kAvg;
+  return TokenType::kIdent;
+}
+}  // namespace
+
+StatusOr<std::vector<Token>> Lex(const std::string& input) {
+  std::vector<Token> out;
+  size_t i = 0;
+  const size_t n = input.size();
+  while (i < n) {
+    const char c = input[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    Token tok;
+    tok.pos = i;
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t j = i;
+      while (j < n && (std::isalnum(static_cast<unsigned char>(input[j])) ||
+                       input[j] == '_')) {
+        ++j;
+      }
+      tok.text = input.substr(i, j - i);
+      tok.type = KeywordOrIdent(tok.text);
+      i = j;
+    } else if (std::isdigit(static_cast<unsigned char>(c)) || c == '.' ||
+               ((c == '-' || c == '+') && i + 1 < n &&
+                (std::isdigit(static_cast<unsigned char>(input[i + 1])) ||
+                 input[i + 1] == '.'))) {
+      char* end = nullptr;
+      tok.number = std::strtod(input.c_str() + i, &end);
+      if (end == input.c_str() + i) {
+        return Status::InvalidArgument("bad number at offset " + std::to_string(i));
+      }
+      tok.type = TokenType::kNumber;
+      tok.text = input.substr(i, end - (input.c_str() + i));
+      i = static_cast<size_t>(end - input.c_str());
+    } else if (c == '\'') {
+      size_t j = i + 1;
+      while (j < n && input[j] != '\'') ++j;
+      if (j >= n) {
+        return Status::InvalidArgument("unterminated string at offset " +
+                                       std::to_string(i));
+      }
+      tok.type = TokenType::kString;
+      tok.text = input.substr(i + 1, j - i - 1);
+      i = j + 1;
+    } else {
+      switch (c) {
+        case ',': tok.type = TokenType::kComma; break;
+        case '(': tok.type = TokenType::kLParen; break;
+        case ')': tok.type = TokenType::kRParen; break;
+        case '*': tok.type = TokenType::kStar; break;
+        case ';': tok.type = TokenType::kSemicolon; break;
+        default:
+          return Status::InvalidArgument(std::string("unexpected character '") +
+                                         c + "' at offset " + std::to_string(i));
+      }
+      tok.text = std::string(1, c);
+      ++i;
+    }
+    out.push_back(std::move(tok));
+  }
+  Token end_tok;
+  end_tok.type = TokenType::kEnd;
+  end_tok.pos = n;
+  out.push_back(end_tok);
+  return out;
+}
+
+}  // namespace socs::sql

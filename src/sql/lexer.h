@@ -1,0 +1,51 @@
+// SQL lexer for the mini front-end: enough for the paper's workload shape
+// (single-table range selections like Fig. 1's
+//   select objId from P where ra between 205.1 and 205.12).
+#ifndef SOCS_SQL_LEXER_H_
+#define SOCS_SQL_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace socs::sql {
+
+enum class TokenType {
+  kIdent,
+  kNumber,
+  kString,
+  kComma,
+  kLParen,
+  kRParen,
+  kStar,
+  kSemicolon,
+  // Keywords (case-insensitive).
+  kSelect,
+  kFrom,
+  kWhere,
+  kAnd,
+  kBetween,
+  kCount,
+  kSum,
+  kMin,
+  kMax,
+  kAvg,
+  kEnd,
+};
+
+struct Token {
+  TokenType type;
+  std::string text;   // identifier / string literal spelling
+  double number = 0;  // for kNumber
+  size_t pos = 0;     // byte offset, for error messages
+};
+
+const char* TokenTypeName(TokenType t);
+
+/// Tokenizes `input`; the final token is always kEnd.
+StatusOr<std::vector<Token>> Lex(const std::string& input);
+
+}  // namespace socs::sql
+
+#endif  // SOCS_SQL_LEXER_H_

@@ -1,0 +1,108 @@
+#include "sql/parser.h"
+
+#include <sstream>
+
+namespace socs::sql {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> toks) : toks_(std::move(toks)) {}
+
+  StatusOr<SelectStmt> Run() {
+    SelectStmt stmt;
+    SOCS_RETURN_IF_ERROR(Expect(TokenType::kSelect));
+    if (Peek().type == TokenType::kCount) {
+      Advance();
+      SOCS_RETURN_IF_ERROR(Expect(TokenType::kLParen));
+      SOCS_RETURN_IF_ERROR(Expect(TokenType::kStar));
+      SOCS_RETURN_IF_ERROR(Expect(TokenType::kRParen));
+      stmt.count_star = true;
+      stmt.agg = AggFn::kCount;
+    } else if (Peek().type == TokenType::kSum || Peek().type == TokenType::kMin ||
+               Peek().type == TokenType::kMax || Peek().type == TokenType::kAvg) {
+      switch (Advance().type) {
+        case TokenType::kSum: stmt.agg = AggFn::kSum; break;
+        case TokenType::kMin: stmt.agg = AggFn::kMin; break;
+        case TokenType::kMax: stmt.agg = AggFn::kMax; break;
+        default: stmt.agg = AggFn::kAvg; break;
+      }
+      SOCS_RETURN_IF_ERROR(Expect(TokenType::kLParen));
+      if (Peek().type != TokenType::kIdent) return Err("aggregate column");
+      stmt.agg_column = Advance().text;
+      SOCS_RETURN_IF_ERROR(Expect(TokenType::kRParen));
+    } else {
+      while (true) {
+        if (Peek().type != TokenType::kIdent) return Err("projection column");
+        stmt.columns.push_back(Advance().text);
+        if (Peek().type != TokenType::kComma) break;
+        Advance();
+      }
+    }
+    SOCS_RETURN_IF_ERROR(Expect(TokenType::kFrom));
+    if (Peek().type != TokenType::kIdent) return Err("table name");
+    stmt.table = Advance().text;
+
+    if (Peek().type == TokenType::kWhere) {
+      Advance();
+      while (true) {
+        BetweenPred pred;
+        if (Peek().type != TokenType::kIdent) return Err("predicate column");
+        pred.column = Advance().text;
+        SOCS_RETURN_IF_ERROR(Expect(TokenType::kBetween));
+        if (Peek().type != TokenType::kNumber) return Err("lower bound");
+        pred.lo = Advance().number;
+        SOCS_RETURN_IF_ERROR(Expect(TokenType::kAnd));
+        if (Peek().type != TokenType::kNumber) return Err("upper bound");
+        pred.hi = Advance().number;
+        if (pred.lo > pred.hi) {
+          return Status::InvalidArgument("BETWEEN bounds out of order for " +
+                                         pred.column);
+        }
+        stmt.predicates.push_back(pred);
+        if (Peek().type != TokenType::kAnd) break;
+        Advance();
+      }
+    }
+    if (Peek().type == TokenType::kSemicolon) Advance();
+    SOCS_RETURN_IF_ERROR(Expect(TokenType::kEnd));
+    return stmt;
+  }
+
+ private:
+  const Token& Peek() const { return toks_[pos_]; }
+  Token Advance() { return toks_[pos_++]; }
+
+  Status Expect(TokenType t) {
+    if (Peek().type != t) {
+      std::ostringstream os;
+      os << "expected " << TokenTypeName(t) << " but found "
+         << TokenTypeName(Peek().type) << " at offset " << Peek().pos;
+      return Status::InvalidArgument(os.str());
+    }
+    Advance();
+    return Status::OK();
+  }
+
+  Status Err(const std::string& what) {
+    std::ostringstream os;
+    os << "expected " << what << " but found " << TokenTypeName(Peek().type)
+       << " at offset " << Peek().pos;
+    return Status::InvalidArgument(os.str());
+  }
+
+  std::vector<Token> toks_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+StatusOr<SelectStmt> Parse(const std::string& query) {
+  auto toks = Lex(query);
+  if (!toks.ok()) return toks.status();
+  Parser p(std::move(toks.value()));
+  return p.Run();
+}
+
+}  // namespace socs::sql

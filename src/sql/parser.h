@@ -1,0 +1,20 @@
+// Recursive-descent parser for the mini SQL dialect:
+//   SELECT col [, col]... | COUNT(*)
+//   FROM table
+//   [WHERE col BETWEEN num AND num [AND col BETWEEN num AND num]...] [;]
+#ifndef SOCS_SQL_PARSER_H_
+#define SOCS_SQL_PARSER_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "sql/ast.h"
+#include "sql/lexer.h"
+
+namespace socs::sql {
+
+StatusOr<SelectStmt> Parse(const std::string& query);
+
+}  // namespace socs::sql
+
+#endif  // SOCS_SQL_PARSER_H_

@@ -1,0 +1,43 @@
+#include "storage/buffer_pool.h"
+
+namespace socs {
+
+bool BufferPool::Touch(SegmentId id, uint64_t bytes) {
+  auto it = entries_.find(id);
+  if (it != entries_.end()) {
+    ++hits_;
+    lru_.erase(it->second.lru_pos);
+    lru_.push_front(id);
+    it->second.lru_pos = lru_.begin();
+    return true;
+  }
+  ++misses_;
+  if (capacity_bytes_ != 0 && bytes > capacity_bytes_) return false;  // streams
+  EvictUntilFits(bytes);
+  lru_.push_front(id);
+  entries_.emplace(id, Entry{bytes, lru_.begin()});
+  resident_bytes_ += bytes;
+  return false;
+}
+
+void BufferPool::Drop(SegmentId id) {
+  auto it = entries_.find(id);
+  if (it == entries_.end()) return;
+  resident_bytes_ -= it->second.bytes;
+  lru_.erase(it->second.lru_pos);
+  entries_.erase(it);
+}
+
+void BufferPool::EvictUntilFits(uint64_t incoming_bytes) {
+  if (capacity_bytes_ == 0) return;  // unbounded
+  while (!lru_.empty() && resident_bytes_ + incoming_bytes > capacity_bytes_) {
+    SegmentId victim = lru_.back();
+    auto it = entries_.find(victim);
+    resident_bytes_ -= it->second.bytes;
+    lru_.pop_back();
+    entries_.erase(it);
+    ++evictions_;
+  }
+}
+
+}  // namespace socs

@@ -1,0 +1,62 @@
+// Buffer pool bookkeeping for the constrained-memory simulation. Tracks which
+// segments are memory resident with LRU replacement; payload bytes stay in
+// the SecondaryStore, so eviction is pure bookkeeping. A Touch() outcome
+// tells the caller whether a scan is served from memory or must be charged
+// as a secondary-store read.
+#ifndef SOCS_STORAGE_BUFFER_POOL_H_
+#define SOCS_STORAGE_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "storage/secondary_store.h"
+
+namespace socs {
+
+class BufferPool {
+ public:
+  /// capacity_bytes == 0 means "unbounded" (everything stays resident).
+  explicit BufferPool(uint64_t capacity_bytes = 0)
+      : capacity_bytes_(capacity_bytes) {}
+
+  /// Marks the segment as accessed. Returns true on a hit (already resident);
+  /// on a miss the segment is admitted and colder segments are evicted until
+  /// the pool fits. A segment larger than the whole pool is never admitted:
+  /// it streams through (every access is a miss) without disturbing the
+  /// resident set.
+  bool Touch(SegmentId id, uint64_t bytes);
+
+  /// Admits a freshly created segment as hottest (it was just written).
+  void Admit(SegmentId id, uint64_t bytes) { (void)Touch(id, bytes); }
+
+  /// Removes the segment if resident (called when a segment is freed).
+  void Drop(SegmentId id);
+
+  bool IsResident(SegmentId id) const { return entries_.count(id) > 0; }
+  uint64_t resident_bytes() const { return resident_bytes_; }
+  uint64_t capacity_bytes() const { return capacity_bytes_; }
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+  uint64_t evictions() const { return evictions_; }
+
+ private:
+  void EvictUntilFits(uint64_t incoming_bytes);
+
+  struct Entry {
+    uint64_t bytes;
+    std::list<SegmentId>::iterator lru_pos;
+  };
+
+  uint64_t capacity_bytes_;
+  uint64_t resident_bytes_ = 0;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t evictions_ = 0;
+  std::list<SegmentId> lru_;  // front = hottest
+  std::unordered_map<SegmentId, Entry> entries_;
+};
+
+}  // namespace socs
+
+#endif  // SOCS_STORAGE_BUFFER_POOL_H_

@@ -1,0 +1,33 @@
+#include "storage/secondary_store.h"
+
+namespace socs {
+
+SegmentId SecondaryStore::Create(const void* data, size_t bytes) {
+  SegmentId id = next_id_++;
+  std::vector<std::byte> blob(bytes);
+  if (bytes > 0) std::memcpy(blob.data(), data, bytes);
+  total_bytes_ += bytes;
+  blobs_.emplace(id, std::move(blob));
+  return id;
+}
+
+size_t SecondaryStore::SizeOf(SegmentId id) const {
+  auto it = blobs_.find(id);
+  SOCS_CHECK(it != blobs_.end()) << "unknown segment " << id;
+  return it->second.size();
+}
+
+std::span<const std::byte> SecondaryStore::Read(SegmentId id) const {
+  auto it = blobs_.find(id);
+  SOCS_CHECK(it != blobs_.end()) << "unknown segment " << id;
+  return {it->second.data(), it->second.size()};
+}
+
+void SecondaryStore::Free(SegmentId id) {
+  auto it = blobs_.find(id);
+  SOCS_CHECK(it != blobs_.end()) << "double free of segment " << id;
+  total_bytes_ -= it->second.size();
+  blobs_.erase(it);
+}
+
+}  // namespace socs

@@ -1,0 +1,68 @@
+// Simulated secondary store: the authoritative, type-erased home of segment
+// payloads. In MonetDB segments would live in memory-mapped files; here a
+// blob map stands in, so the buffer pool can "evict" without losing data and
+// the experiments stay laptop-scale.
+#ifndef SOCS_STORAGE_SECONDARY_STORE_H_
+#define SOCS_STORAGE_SECONDARY_STORE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace socs {
+
+using SegmentId = uint64_t;
+inline constexpr SegmentId kInvalidSegment = 0;
+
+/// Owns segment payloads as raw byte blobs keyed by SegmentId.
+class SecondaryStore {
+ public:
+  SecondaryStore() = default;
+  SecondaryStore(const SecondaryStore&) = delete;
+  SecondaryStore& operator=(const SecondaryStore&) = delete;
+
+  /// Stores a copy of the bytes, returns a fresh id (never kInvalidSegment).
+  SegmentId Create(const void* data, size_t bytes);
+
+  /// Typed convenience wrapper.
+  template <typename T>
+  SegmentId CreateTyped(const std::vector<T>& values) {
+    return Create(values.data(), values.size() * sizeof(T));
+  }
+
+  bool Contains(SegmentId id) const { return blobs_.count(id) > 0; }
+
+  /// Size in bytes of a stored segment. Dies if the id is unknown.
+  size_t SizeOf(SegmentId id) const;
+
+  /// Read-only view of the payload. Valid until Free(id).
+  std::span<const std::byte> Read(SegmentId id) const;
+
+  /// Typed read-only view; payload size must be a multiple of sizeof(T).
+  template <typename T>
+  std::span<const T> ReadTyped(SegmentId id) const {
+    auto raw = Read(id);
+    SOCS_CHECK_EQ(raw.size() % sizeof(T), 0u);
+    return {reinterpret_cast<const T*>(raw.data()), raw.size() / sizeof(T)};
+  }
+
+  /// Releases the payload. Dies if the id is unknown (double free is a bug).
+  void Free(SegmentId id);
+
+  uint64_t total_bytes() const { return total_bytes_; }
+  size_t segment_count() const { return blobs_.size(); }
+
+ private:
+  std::unordered_map<SegmentId, std::vector<std::byte>> blobs_;
+  SegmentId next_id_ = 1;
+  uint64_t total_bytes_ = 0;
+};
+
+}  // namespace socs
+
+#endif  // SOCS_STORAGE_SECONDARY_STORE_H_

@@ -1,0 +1,28 @@
+#include "storage/segment_space.h"
+
+namespace socs {
+
+void SegmentSpace::Free(SegmentId id) {
+  pool_.Drop(id);
+  store_.Free(id);
+  ++stats_.segments_freed;
+}
+
+void SegmentSpace::AccountScan(SegmentId id, uint64_t bytes, IoCost* cost) {
+  const bool hit = pool_.Touch(id, bytes);
+  stats_.mem_read_bytes += bytes;
+  ++stats_.segments_scanned;
+  double seconds = model().SegmentOverhead();
+  if (hit) {
+    seconds += model().MemRead(bytes);
+  } else {
+    stats_.disk_read_bytes += bytes;
+    seconds += model().DiskRead(bytes);
+  }
+  if (cost != nullptr) {
+    cost->bytes += bytes;
+    cost->seconds += seconds;
+  }
+}
+
+}  // namespace socs

@@ -1,0 +1,94 @@
+// SegmentSpace: the facade through which access strategies allocate, scan and
+// free segments. Every operation is metered: bytes flow into IoStats and the
+// cost model converts them into simulated seconds, which the strategies
+// attribute to either "selection" or "adaptation" work (paper Fig. 10).
+#ifndef SOCS_STORAGE_SEGMENT_SPACE_H_
+#define SOCS_STORAGE_SEGMENT_SPACE_H_
+
+#include <span>
+#include <vector>
+
+#include "sim/cost_model.h"
+#include "sim/io_stats.h"
+#include "storage/buffer_pool.h"
+#include "storage/secondary_store.h"
+
+namespace socs {
+
+/// Outcome of one metered storage operation.
+struct IoCost {
+  uint64_t bytes = 0;
+  double seconds = 0.0;
+
+  IoCost& operator+=(const IoCost& o) {
+    bytes += o.bytes;
+    seconds += o.seconds;
+    return *this;
+  }
+};
+
+class SegmentSpace {
+ public:
+  /// pool_capacity_bytes == 0 -> unbounded buffer pool (pure in-memory run,
+  /// the setting of the paper's simulation section).
+  explicit SegmentSpace(CostParams cost = CostParams{},
+                        uint64_t pool_capacity_bytes = 0)
+      : cost_(cost), pool_(pool_capacity_bytes) {}
+
+  /// Materializes a new segment from `values`; charges a memory write (plus
+  /// a disk write when the cost model is write-through).
+  template <typename T>
+  SegmentId Create(const std::vector<T>& values, IoCost* cost) {
+    SegmentId id = store_.CreateTyped(values);
+    const uint64_t bytes = values.size() * sizeof(T);
+    stats_.mem_write_bytes += bytes;
+    stats_.disk_write_bytes += bytes;  // eventually flushed either way
+    ++stats_.segments_created;
+    pool_.Admit(id, bytes);
+    if (cost != nullptr) {
+      cost->bytes += bytes;
+      cost->seconds += model().SegmentWrite(bytes) + model().SegmentOverhead();
+    }
+    return id;
+  }
+
+  /// Scans a segment: returns its typed payload, charging a memory read and,
+  /// on a buffer-pool miss, a secondary-store read.
+  template <typename T>
+  std::span<const T> Scan(SegmentId id, IoCost* cost) {
+    auto span = store_.ReadTyped<T>(id);
+    const uint64_t bytes = span.size() * sizeof(T);
+    AccountScan(id, bytes, cost);
+    return span;
+  }
+
+  /// Unmetered read for verification/tests; never touches stats or the pool.
+  template <typename T>
+  std::span<const T> Peek(SegmentId id) const {
+    return store_.ReadTyped<T>(id);
+  }
+
+  /// Releases a segment (adaptive replication drops fully-replicated parents).
+  void Free(SegmentId id);
+
+  uint64_t SizeOf(SegmentId id) const { return store_.SizeOf(id); }
+  uint64_t total_bytes() const { return store_.total_bytes(); }
+  size_t segment_count() const { return store_.segment_count(); }
+
+  const IoStats& stats() const { return stats_; }
+  IoStats& mutable_stats() { return stats_; }
+  const CostModel& model() const { return cost_; }
+  const BufferPool& pool() const { return pool_; }
+
+ private:
+  void AccountScan(SegmentId id, uint64_t bytes, IoCost* cost);
+
+  CostModel cost_;
+  SecondaryStore store_;
+  BufferPool pool_;
+  IoStats stats_;
+};
+
+}  // namespace socs
+
+#endif  // SOCS_STORAGE_SEGMENT_SPACE_H_

@@ -1,0 +1,59 @@
+#include "workload/range_generator.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace socs {
+
+UniformRangeGenerator::UniformRangeGenerator(ValueRange domain, double selectivity,
+                                             uint64_t seed)
+    : domain_(domain), width_(domain.Span() * selectivity), rng_(seed) {
+  SOCS_CHECK_GT(selectivity, 0.0);
+  SOCS_CHECK_LE(selectivity, 1.0);
+}
+
+RangeQuery UniformRangeGenerator::Next() {
+  const double lo = rng_.NextUniform(domain_.lo, domain_.hi - width_);
+  return RangeQuery(lo, lo + width_);
+}
+
+ZipfRangeGenerator::ZipfRangeGenerator(ValueRange domain, double selectivity,
+                                       uint64_t seed, double theta, uint64_t bins,
+                                       bool scramble, bool align)
+    : domain_(domain), width_(domain.Span() * selectivity), rng_(seed),
+      zipf_(bins, theta), align_(align) {
+  SOCS_CHECK_GT(selectivity, 0.0);
+  SOCS_CHECK_LE(selectivity, 1.0);
+  bin_of_rank_.resize(bins);
+  std::iota(bin_of_rank_.begin(), bin_of_rank_.end(), 0u);
+  if (scramble) {
+    Rng scramble_rng(seed ^ 0x5ca3b1e);
+    Shuffle(bin_of_rank_, scramble_rng);
+  }
+}
+
+RangeQuery ZipfRangeGenerator::Next() {
+  const uint64_t rank = zipf_.Next(rng_);
+  const uint64_t bin = bin_of_rank_[rank];
+  const double cell = domain_.Span() / static_cast<double>(bin_of_rank_.size());
+  double lo = domain_.lo + cell * static_cast<double>(bin);
+  if (!align_) lo += rng_.NextDouble() * cell;
+  lo = std::min(lo, domain_.hi - width_);
+  return RangeQuery(lo, lo + width_);
+}
+
+std::vector<int32_t> MakeUniformIntColumn(size_t n, int32_t domain_size,
+                                          uint64_t seed) {
+  SOCS_CHECK_GT(domain_size, 0);
+  Rng rng(seed);
+  std::vector<int32_t> values;
+  values.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    values.push_back(static_cast<int32_t>(rng.NextBelow(domain_size)));
+  }
+  return values;
+}
+
+}  // namespace socs

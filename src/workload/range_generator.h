@@ -1,0 +1,80 @@
+// Range-query workload generators for the simulation experiments (paper
+// section 6.1): range selections of a fixed selectivity whose *placement*
+// over the attribute domain is uniform or skewed (Zipf).
+#ifndef SOCS_WORKLOAD_RANGE_GENERATOR_H_
+#define SOCS_WORKLOAD_RANGE_GENERATOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/range.h"
+
+namespace socs {
+
+using Workload = std::vector<RangeQuery>;
+
+class QueryGenerator {
+ public:
+  virtual ~QueryGenerator() = default;
+  virtual RangeQuery Next() = 0;
+  virtual std::string Name() const = 0;
+
+  Workload Generate(size_t n) {
+    Workload w;
+    w.reserve(n);
+    for (size_t i = 0; i < n; ++i) w.push_back(Next());
+    return w;
+  }
+};
+
+/// Uniform placement: the query window (width = selectivity * domain span)
+/// starts anywhere in the domain with equal probability.
+class UniformRangeGenerator : public QueryGenerator {
+ public:
+  UniformRangeGenerator(ValueRange domain, double selectivity, uint64_t seed);
+  RangeQuery Next() override;
+  std::string Name() const override { return "uniform"; }
+
+ private:
+  ValueRange domain_;
+  double width_;
+  Rng rng_;
+};
+
+/// Skewed placement: the domain is divided into `bins` cells; a Zipf draw
+/// picks the cell (rank 0 = hottest), the window starts uniformly inside it.
+/// By default ranks map to cells in order (the hot area sits at the domain's
+/// low end and cold areas stay untouched for a long time -- the behaviour
+/// behind the paper's Fig. 6/9 observations); with `scramble` the rank->cell
+/// mapping is shuffled so hot spots scatter over the domain.
+class ZipfRangeGenerator : public QueryGenerator {
+ public:
+  /// With `align`, windows start exactly at cell boundaries, so queries into
+  /// the same cell repeat verbatim -- hot selections then create exact-fit
+  /// segments that later repeats reuse (the regime behind the paper's low
+  /// Z/0.01 read sizes in Table 1).
+  ZipfRangeGenerator(ValueRange domain, double selectivity, uint64_t seed,
+                     double theta = 1.0, uint64_t bins = 1000,
+                     bool scramble = false, bool align = false);
+  RangeQuery Next() override;
+  std::string Name() const override { return "zipf"; }
+
+ private:
+  ValueRange domain_;
+  double width_;
+  Rng rng_;
+  ZipfGenerator zipf_;
+  bool align_;
+  std::vector<uint32_t> bin_of_rank_;  // rank -> (possibly scrambled) cell
+};
+
+/// Generates the simulation column: `n` values drawn uniformly from the
+/// integer domain [0, domain_size).
+std::vector<int32_t> MakeUniformIntColumn(size_t n, int32_t domain_size,
+                                          uint64_t seed);
+
+}  // namespace socs
+
+#endif  // SOCS_WORKLOAD_RANGE_GENERATOR_H_

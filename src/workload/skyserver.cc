@@ -1,0 +1,111 @@
+#include "workload/skyserver.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace socs {
+
+namespace {
+
+/// Clamps a query window into the footprint.
+RangeQuery WindowAt(double lo, double width, const ValueRange& fp) {
+  lo = std::clamp(lo, fp.lo, fp.hi - width);
+  return RangeQuery(lo, lo + width);
+}
+
+double NextWidth(Rng& rng, const SkyServerConfig& cfg) {
+  return rng.NextUniform(cfg.min_width_deg, cfg.max_width_deg);
+}
+
+}  // namespace
+
+std::vector<float> MakeRaColumn(const SkyServerConfig& cfg) {
+  SOCS_CHECK_GT(cfg.num_stripes, 0);
+  Rng rng(cfg.seed);
+  // Stripe centers spread over the footprint with jitter; ~90% of objects
+  // fall into stripes, the rest is uniform background.
+  struct Stripe {
+    double lo, hi;
+  };
+  std::vector<Stripe> stripes;
+  const double span = cfg.footprint.Span();
+  for (int s = 0; s < cfg.num_stripes; ++s) {
+    const double center = cfg.footprint.lo +
+                          span * (s + 0.5) / cfg.num_stripes +
+                          rng.NextGaussian(0.0, span * 0.01);
+    const double half_width = rng.NextUniform(1.0, 2.5);
+    stripes.push_back({std::max(cfg.footprint.lo, center - half_width),
+                       std::min(cfg.footprint.hi, center + half_width)});
+  }
+  std::vector<float> ra;
+  ra.reserve(cfg.num_objects);
+  for (size_t i = 0; i < cfg.num_objects; ++i) {
+    double v;
+    if (rng.NextDouble() < 0.9) {
+      const Stripe& st = stripes[rng.NextBelow(stripes.size())];
+      v = rng.NextUniform(st.lo, st.hi);
+    } else {
+      v = rng.NextUniform(cfg.footprint.lo, cfg.footprint.hi);
+    }
+    ra.push_back(static_cast<float>(v));
+  }
+  return ra;
+}
+
+Workload MakeRandomWorkload(const SkyServerConfig& cfg, size_t n) {
+  Rng rng(cfg.seed ^ 0xabcd01);
+  Workload w;
+  w.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const double width = NextWidth(rng, cfg);
+    const double lo = rng.NextUniform(cfg.footprint.lo, cfg.footprint.hi - width);
+    w.push_back(WindowAt(lo, width, cfg.footprint));
+  }
+  return w;
+}
+
+Workload MakeSkewedWorkload(const SkyServerConfig& cfg, size_t n) {
+  Rng rng(cfg.seed ^ 0xabcd02);
+  // Two very limited areas of the domain (paper: "access two very limited
+  // areas"), each ~2 degrees wide.
+  const double span = cfg.footprint.Span();
+  const ValueRange hot1{cfg.footprint.lo + 0.30 * span,
+                        cfg.footprint.lo + 0.30 * span + 2.0};
+  const ValueRange hot2{cfg.footprint.lo + 0.70 * span,
+                        cfg.footprint.lo + 0.70 * span + 2.0};
+  Workload w;
+  w.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const ValueRange& hot = rng.NextDouble() < 0.5 ? hot1 : hot2;
+    const double width = NextWidth(rng, cfg);
+    const double lo = rng.NextUniform(hot.lo, hot.hi);
+    w.push_back(WindowAt(lo, width, cfg.footprint));
+  }
+  return w;
+}
+
+Workload MakeChangingWorkload(const SkyServerConfig& cfg, size_t n, int phases) {
+  SOCS_CHECK_GT(phases, 0);
+  Rng rng(cfg.seed ^ 0xabcd03);
+  const double span = cfg.footprint.Span();
+  Workload w;
+  w.reserve(n);
+  const size_t per_phase = n / phases;
+  for (int ph = 0; ph < phases; ++ph) {
+    // Each phase focuses on a different narrow area (~3 degrees).
+    const double base = cfg.footprint.lo + span * (0.12 + 0.22 * ph);
+    const ValueRange area{base, base + 3.0};
+    const size_t count = (ph + 1 == phases) ? n - per_phase * (phases - 1)
+                                            : per_phase;
+    for (size_t i = 0; i < count; ++i) {
+      const double width = NextWidth(rng, cfg);
+      const double lo = rng.NextUniform(area.lo, area.hi);
+      w.push_back(WindowAt(lo, width, cfg.footprint));
+    }
+  }
+  return w;
+}
+
+}  // namespace socs

@@ -1,0 +1,52 @@
+// Synthetic SkyServer substitute (paper section 6.2). The paper ran against
+// a 100GB SDSS-4 sample; the column of interest is the right ascension `ra`
+// (a 4-byte real) of the photo-object table, queried by spatial searches like
+//   select objId from P where ra between 205.1 and 205.12.
+// We synthesize (a) an `ra` column of ~45M floats (~180MB, the column mass
+// implied by the paper's Table 2) laid out in SDSS-like survey stripes, and
+// (b) the three 200-query workloads the paper extracted from a one-month
+// query log: `random` (uniform over the footprint), `skew` (two very
+// narrow hot regions), and `changing` (four 50-query phases with a moving
+// point of access). See DESIGN.md for why this substitution preserves the
+// paper's behaviour.
+#ifndef SOCS_WORKLOAD_SKYSERVER_H_
+#define SOCS_WORKLOAD_SKYSERVER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "workload/range_generator.h"
+
+namespace socs {
+
+struct SkyServerConfig {
+  /// Right-ascension footprint of the simulated sample, in degrees.
+  ValueRange footprint{110.0, 260.0};
+  /// Number of photo objects (ra values). Default ~45M -> ~180MB of float32.
+  size_t num_objects = 45'000'000;
+  /// Number of survey stripes the objects cluster into.
+  int num_stripes = 15;
+  /// Query window widths in degrees (drawn uniformly from this range).
+  double min_width_deg = 0.05;
+  double max_width_deg = 0.50;
+  uint64_t seed = 2008;
+};
+
+/// Synthesizes the `ra` column: a mixture of `num_stripes` dense stripes
+/// (uniform within each stripe) over the footprint plus a sparse background.
+std::vector<float> MakeRaColumn(const SkyServerConfig& cfg);
+
+/// `random` workload: n queries placed uniformly over the footprint.
+Workload MakeRandomWorkload(const SkyServerConfig& cfg, size_t n = 200);
+
+/// `skew` workload: n queries confined to two very limited areas.
+Workload MakeSkewedWorkload(const SkyServerConfig& cfg, size_t n = 200);
+
+/// `changing` workload: `phases` blocks of n/phases queries, each block
+/// confined to a different narrow area (the paper's four pieces of 50).
+Workload MakeChangingWorkload(const SkyServerConfig& cfg, size_t n = 200,
+                              int phases = 4);
+
+}  // namespace socs
+
+#endif  // SOCS_WORKLOAD_SKYSERVER_H_

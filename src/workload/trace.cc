@@ -1,0 +1,38 @@
+#include "workload/trace.h"
+
+#include <cstdio>
+
+namespace socs {
+
+Status SaveTrace(const Workload& workload, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return Status::NotFound("cannot open for write: " + path);
+  for (const RangeQuery& q : workload) {
+    std::fprintf(f, "%.17g %.17g\n", q.range.lo, q.range.hi);
+  }
+  std::fclose(f);
+  return Status::OK();
+}
+
+StatusOr<Workload> LoadTrace(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) return Status::NotFound("cannot open for read: " + path);
+  Workload w;
+  double lo, hi;
+  int line = 0;
+  while (true) {
+    const int got = std::fscanf(f, "%lg %lg", &lo, &hi);
+    if (got == EOF) break;
+    ++line;
+    if (got != 2 || lo > hi) {
+      std::fclose(f);
+      return Status::InvalidArgument("bad trace line " + std::to_string(line) +
+                                     " in " + path);
+    }
+    w.push_back(RangeQuery(lo, hi));
+  }
+  std::fclose(f);
+  return w;
+}
+
+}  // namespace socs

@@ -1,0 +1,18 @@
+// Query-trace persistence: save/load a workload as a plain-text file
+// ("lo hi" per line), so experiments can be replayed and diffed.
+#ifndef SOCS_WORKLOAD_TRACE_H_
+#define SOCS_WORKLOAD_TRACE_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "workload/range_generator.h"
+
+namespace socs {
+
+Status SaveTrace(const Workload& workload, const std::string& path);
+StatusOr<Workload> LoadTrace(const std::string& path);
+
+}  // namespace socs
+
+#endif  // SOCS_WORKLOAD_TRACE_H_

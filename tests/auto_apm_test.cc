@@ -1,0 +1,139 @@
+// Tests for the self-tuning APM model (paper section 8 future work).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/units.h"
+#include "core/adaptive_segmentation.h"
+#include "core/apm.h"
+#include "core/auto_apm.h"
+#include "test_util.h"
+#include "workload/range_generator.h"
+
+namespace socs {
+namespace {
+
+using testing::BruteForce;
+using testing::SortedValues;
+
+TEST(AutoApmTest, BoundsTrackObservedSelectionSize) {
+  AutoApm model;
+  SplitGeometry g;
+  g.total_bytes = 400 * kKiB;
+  g.seg_bytes = 100 * kKiB;
+  g.left_bytes = 48 * kKiB;
+  g.mid_bytes = 4 * kKiB;
+  g.right_bytes = 48 * kKiB;
+  g.has_left = g.has_right = true;
+  for (int i = 0; i < 200; ++i) model.Decide(g);
+  // EMA converged to the 4KB selection: Mmax ~ 12KB, Mmin ~ 3KB.
+  EXPECT_NEAR(static_cast<double>(model.max_bytes()), 12.0 * kKiB, kKiB);
+  EXPECT_NEAR(static_cast<double>(model.min_bytes()), 3.0 * kKiB, kKiB);
+}
+
+TEST(AutoApmTest, FloorAndCapRespected) {
+  AutoApm::Tuning t;
+  t.floor_bytes = 8 * kKiB;
+  t.cap_bytes = 16 * kKiB;
+  AutoApm model(t);
+  EXPECT_EQ(model.max_bytes(), 8 * kKiB);  // unseeded -> floor
+  SplitGeometry g;
+  g.total_bytes = 1 * kGiB;
+  g.seg_bytes = 100 * kMiB;
+  g.mid_bytes = 50 * kMiB;  // huge selections
+  g.left_bytes = g.right_bytes = 25 * kMiB;
+  g.has_left = g.has_right = true;
+  for (int i = 0; i < 100; ++i) model.Decide(g);
+  EXPECT_EQ(model.max_bytes(), 16 * kKiB);  // capped
+}
+
+TEST(AutoApmTest, AdaptsWhenWorkloadChanges) {
+  AutoApm model;
+  SplitGeometry wide;
+  wide.total_bytes = 400 * kKiB;
+  wide.seg_bytes = 200 * kKiB;
+  wide.mid_bytes = 40 * kKiB;
+  wide.left_bytes = wide.right_bytes = 80 * kKiB;
+  wide.has_left = wide.has_right = true;
+  for (int i = 0; i < 200; ++i) model.Decide(wide);
+  const uint64_t mmax_wide = model.max_bytes();
+  SplitGeometry narrow = wide;
+  narrow.mid_bytes = 1 * kKiB;
+  for (int i = 0; i < 200; ++i) model.Decide(narrow);
+  EXPECT_LT(model.max_bytes(), mmax_wide / 4);
+}
+
+TEST(AutoApmTest, CloneStartsFresh) {
+  AutoApm model;
+  SplitGeometry g;
+  g.total_bytes = 1000;
+  g.seg_bytes = 1000;
+  g.mid_bytes = 500;
+  g.left_bytes = 500;
+  g.has_left = true;
+  model.Decide(g);
+  auto clone = model.Clone();
+  EXPECT_EQ(clone->Name(), "AutoAPM");
+}
+
+TEST(AutoApmTest, EndToEndCorrectness) {
+  SegmentSpace space;
+  auto data = MakeUniformIntColumn(30000, 300000, 1);
+  AdaptiveSegmentation<int32_t> strat(data, ValueRange(0, 300000),
+                                      std::make_unique<AutoApm>(), &space);
+  UniformRangeGenerator gen(ValueRange(0, 300000), 0.02, 2);
+  for (int i = 0; i < 200; ++i) {
+    const ValueRange q = gen.Next().range;
+    std::vector<int32_t> result;
+    strat.RunRange(q, &result);
+    ASSERT_EQ(SortedValues(result), BruteForce(data, q)) << "query " << i;
+    ASSERT_TRUE(strat.index().Validate().ok());
+  }
+}
+
+TEST(AutoApmTest, ReadAmplificationBoundedAcrossSelectivities) {
+  // The paper's fixed APM 3-12KB is tuned for ~4KB selections; AutoApm must
+  // keep read amplification bounded for very different selectivities without
+  // retuning.
+  for (double sel : {0.1, 0.01, 0.001}) {
+    SegmentSpace space;
+    auto data = MakeUniformIntColumn(100000, 1000000, 3);  // 400KB
+    AdaptiveSegmentation<int32_t> strat(data, ValueRange(0, 1000000),
+                                        std::make_unique<AutoApm>(), &space);
+    UniformRangeGenerator gen(ValueRange(0, 1000000), sel, 4);
+    uint64_t reads = 0;
+    const int kQueries = 2000;
+    for (int i = 0; i < kQueries; ++i) reads += strat.RunRange(gen.Next().range).read_bytes;
+    const double selection_bytes = 400000.0 * sel;
+    const double tail_amplification =
+        (static_cast<double>(reads) / kQueries) / selection_bytes;
+    // Within an order of magnitude of the selection size at every
+    // selectivity (fixed 3-12KB APM reaches ~30x at sel 0.001).
+    EXPECT_LT(tail_amplification, 12.0) << "sel " << sel;
+  }
+}
+
+TEST(AutoApmTest, BeatsMistunedFixedApmOnTinySelections) {
+  // At selectivity 0.001 (400B selections), the paper's fixed 3-12KB bounds
+  // floor reads at whole 12KB segments; AutoApm shrinks its bounds instead.
+  auto data = MakeUniformIntColumn(100000, 1000000, 5);
+  SegmentSpace s1, s2;
+  AdaptiveSegmentation<int32_t> fixed(
+      data, ValueRange(0, 1000000), std::make_unique<Apm>(3 * kKiB, 12 * kKiB),
+      &s1);
+  AdaptiveSegmentation<int32_t> tuned(
+      data, ValueRange(0, 1000000), std::make_unique<AutoApm>(), &s2);
+  UniformRangeGenerator g1(ValueRange(0, 1000000), 0.001, 6);
+  UniformRangeGenerator g2(ValueRange(0, 1000000), 0.001, 6);
+  uint64_t fixed_reads = 0, tuned_reads = 0;
+  for (int i = 0; i < 3000; ++i) {
+    fixed_reads += fixed.RunRange(g1.Next().range).read_bytes;
+    tuned_reads += tuned.RunRange(g2.Next().range).read_bytes;
+  }
+  // Ignore the shared warm-up by comparing totals; the self-tuned model must
+  // read substantially less once converged.
+  EXPECT_LT(tuned_reads, fixed_reads);
+}
+
+}  // namespace
+}  // namespace socs

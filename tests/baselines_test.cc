@@ -1,0 +1,220 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/units.h"
+#include "core/cracking.h"
+#include "core/non_segmented.h"
+#include "core/positional_blocks.h"
+#include "core/static_partition.h"
+#include "test_util.h"
+#include "workload/range_generator.h"
+
+namespace socs {
+namespace {
+
+using testing::BruteForce;
+using testing::SortedValues;
+
+TEST(NonSegmentedTest, AlwaysScansWholeColumn) {
+  SegmentSpace space;
+  auto data = MakeUniformIntColumn(10000, 100000, 1);
+  NonSegmented<int32_t> strat(data, ValueRange(0, 100000), &space);
+  for (int i = 0; i < 5; ++i) {
+    auto ex = strat.RunRange(ValueRange(i * 1000.0, i * 1000.0 + 500));
+    EXPECT_EQ(ex.read_bytes, 40000u);
+    EXPECT_EQ(ex.write_bytes, 0u);
+    EXPECT_EQ(ex.segments_scanned, 1u);
+  }
+  EXPECT_EQ(strat.Segments().size(), 1u);
+  EXPECT_EQ(strat.Name(), "NoSegm");
+}
+
+TEST(NonSegmentedTest, ResultsMatchBruteForce) {
+  SegmentSpace space;
+  auto data = MakeUniformIntColumn(5000, 50000, 2);
+  NonSegmented<int32_t> strat(data, ValueRange(0, 50000), &space);
+  Rng rng(3);
+  for (int i = 0; i < 50; ++i) {
+    const double lo = rng.NextUniform(0, 45000);
+    const ValueRange q(lo, lo + 2000);
+    std::vector<int32_t> result;
+    strat.RunRange(q, &result);
+    EXPECT_EQ(SortedValues(result), BruteForce(data, q));
+  }
+}
+
+TEST(StaticPartitionTest, ScansOnlyOverlappingParts) {
+  SegmentSpace space;
+  auto data = MakeUniformIntColumn(10000, 100000, 4);  // 40KB
+  StaticPartition<int32_t> strat(data, ValueRange(0, 100000), 10, &space);
+  EXPECT_EQ(strat.Segments().size(), 10u);
+  // Query within one part.
+  auto ex = strat.RunRange(ValueRange(12000, 18000));
+  EXPECT_EQ(ex.segments_scanned, 1u);
+  EXPECT_LT(ex.read_bytes, 6000u);
+  // Query straddling two parts.
+  auto ex2 = strat.RunRange(ValueRange(18000, 22000));
+  EXPECT_EQ(ex2.segments_scanned, 2u);
+  EXPECT_EQ(strat.Name(), "Static10");
+}
+
+TEST(StaticPartitionTest, ResultsMatchBruteForce) {
+  SegmentSpace space;
+  auto data = MakeUniformIntColumn(5000, 50000, 5);
+  StaticPartition<int32_t> strat(data, ValueRange(0, 50000), 7, &space);
+  Rng rng(6);
+  for (int i = 0; i < 50; ++i) {
+    const double lo = rng.NextUniform(0, 40000);
+    const ValueRange q(lo, lo + rng.NextUniform(10, 10000));
+    std::vector<int32_t> result;
+    strat.RunRange(q, &result);
+    ASSERT_EQ(SortedValues(result), BruteForce(data, q));
+  }
+}
+
+TEST(StaticPartitionTest, NeverReorganizes) {
+  SegmentSpace space;
+  auto data = MakeUniformIntColumn(5000, 50000, 7);
+  StaticPartition<int32_t> strat(data, ValueRange(0, 50000), 4, &space);
+  UniformRangeGenerator gen(ValueRange(0, 50000), 0.1, 8);
+  for (int i = 0; i < 100; ++i) {
+    auto ex = strat.RunRange(gen.Next().range);
+    EXPECT_EQ(ex.write_bytes, 0u);
+    EXPECT_EQ(ex.splits, 0u);
+  }
+  EXPECT_EQ(strat.Segments().size(), 4u);
+}
+
+TEST(PositionalBlocksTest, ScansAllBlocksWithoutZoneMaps) {
+  SegmentSpace space;
+  auto data = MakeUniformIntColumn(16384, 100000, 9);  // 64KB
+  PositionalBlocks<int32_t> strat(data, ValueRange(0, 100000), 8 * kKiB, &space);
+  auto ex = strat.RunRange(ValueRange(10, 20));
+  EXPECT_EQ(ex.segments_scanned, 8u);  // 64KB / 8KB
+  EXPECT_EQ(ex.read_bytes, 65536u);    // everything, always
+}
+
+TEST(PositionalBlocksTest, ZoneMapsHelpOnlyClusteredData) {
+  SegmentSpace space;
+  // Uniform data: zone maps cannot skip anything.
+  auto data = MakeUniformIntColumn(16384, 100000, 10);
+  PositionalBlocks<int32_t> uniform(data, ValueRange(0, 100000), 8 * kKiB,
+                                    &space, /*use_zone_maps=*/true);
+  auto ex = uniform.RunRange(ValueRange(10, 500));
+  EXPECT_EQ(ex.segments_scanned, 8u);
+
+  // Sorted (perfectly clustered) data: zone maps skip almost everything.
+  std::sort(data.begin(), data.end());
+  SegmentSpace space2;
+  PositionalBlocks<int32_t> clustered(data, ValueRange(0, 100000), 8 * kKiB,
+                                      &space2, /*use_zone_maps=*/true);
+  auto ex2 = clustered.RunRange(ValueRange(10, 500));
+  EXPECT_LT(ex2.segments_scanned, 3u);
+}
+
+TEST(PositionalBlocksTest, ResultsMatchBruteForce) {
+  SegmentSpace space;
+  auto data = MakeUniformIntColumn(5000, 50000, 11);
+  PositionalBlocks<int32_t> strat(data, ValueRange(0, 50000), 4 * kKiB, &space);
+  Rng rng(12);
+  for (int i = 0; i < 30; ++i) {
+    const double lo = rng.NextUniform(0, 45000);
+    const ValueRange q(lo, lo + 3000);
+    std::vector<int32_t> result;
+    strat.RunRange(q, &result);
+    ASSERT_EQ(SortedValues(result), BruteForce(data, q));
+  }
+}
+
+TEST(CrackingTest, ResultsMatchBruteForce) {
+  SegmentSpace space;
+  auto data = MakeUniformIntColumn(20000, 100000, 13);
+  CrackingColumn<int32_t> strat(data, ValueRange(0, 100000), &space);
+  Rng rng(14);
+  for (int i = 0; i < 200; ++i) {
+    const double lo = rng.NextUniform(0, 90000);
+    const ValueRange q(lo, lo + rng.NextUniform(10, 20000));
+    std::vector<int32_t> result;
+    auto ex = strat.RunRange(q, &result);
+    ASSERT_EQ(ex.result_count, result.size());
+    ASSERT_EQ(SortedValues(result), BruteForce(data, q)) << "query " << i;
+  }
+}
+
+TEST(CrackingTest, PiecesGrowByAtMostTwoPerQuery) {
+  SegmentSpace space;
+  auto data = MakeUniformIntColumn(10000, 100000, 15);
+  CrackingColumn<int32_t> strat(data, ValueRange(0, 100000), &space);
+  size_t prev = strat.NumPieces();
+  EXPECT_EQ(prev, 1u);
+  UniformRangeGenerator gen(ValueRange(0, 100000), 0.05, 16);
+  for (int i = 0; i < 50; ++i) {
+    strat.RunRange(gen.Next().range);
+    const size_t now = strat.NumPieces();
+    EXPECT_LE(now, prev + 2);
+    EXPECT_GE(now, prev);
+    prev = now;
+  }
+}
+
+TEST(CrackingTest, TouchedBytesShrinkOverTime) {
+  SegmentSpace space;
+  auto data = MakeUniformIntColumn(100000, 1000000, 17);
+  CrackingColumn<int32_t> strat(data, ValueRange(0, 1000000), &space);
+  UniformRangeGenerator gen(ValueRange(0, 1000000), 0.01, 18);
+  uint64_t first = strat.RunRange(gen.Next().range).read_bytes;
+  uint64_t late = 0;
+  for (int i = 0; i < 300; ++i) late = strat.RunRange(gen.Next().range).read_bytes;
+  EXPECT_GT(first, 300000u);  // first query cracks the whole column
+  EXPECT_LT(late, first / 4);
+}
+
+TEST(CrackingTest, RepeatedQueryIsFree) {
+  SegmentSpace space;
+  auto data = MakeUniformIntColumn(10000, 100000, 19);
+  CrackingColumn<int32_t> strat(data, ValueRange(0, 100000), &space);
+  const ValueRange q(20000, 30000);
+  strat.RunRange(q);
+  auto ex = strat.RunRange(q);  // bounds already cracked
+  EXPECT_EQ(ex.write_bytes, 0u);
+  EXPECT_EQ(ex.splits, 0u);
+  // Only the contiguous result region is read.
+  EXPECT_LT(ex.read_bytes, 6000u);
+}
+
+TEST(CrackingTest, FootprintIsDoubleTheColumn) {
+  SegmentSpace space;
+  auto data = MakeUniformIntColumn(1000, 10000, 20);
+  CrackingColumn<int32_t> strat(data, ValueRange(0, 10000), &space);
+  EXPECT_EQ(strat.Footprint().materialized_bytes, 8000u);  // column + replica
+}
+
+TEST(CrackingTest, SegmentsReflectCrackerIndex) {
+  SegmentSpace space;
+  auto data = MakeUniformIntColumn(1000, 10000, 21);
+  CrackingColumn<int32_t> strat(data, ValueRange(0, 10000), &space);
+  strat.RunRange(ValueRange(2000, 7000));
+  auto segs = strat.Segments();
+  ASSERT_EQ(segs.size(), 3u);
+  EXPECT_EQ(segs[0].range, ValueRange(0, 2000));
+  EXPECT_EQ(segs[1].range, ValueRange(2000, 7000));
+  EXPECT_EQ(segs[2].range, ValueRange(7000, 10000));
+  uint64_t total = 0;
+  for (const auto& s : segs) total += s.count;
+  EXPECT_EQ(total, 1000u);
+}
+
+TEST(CrackingTest, DomainEdgeQueries) {
+  SegmentSpace space;
+  auto data = MakeUniformIntColumn(1000, 10000, 22);
+  CrackingColumn<int32_t> strat(data, ValueRange(0, 10000), &space);
+  std::vector<int32_t> all;
+  strat.RunRange(ValueRange(0, 10000), &all);
+  EXPECT_EQ(all.size(), 1000u);
+  std::vector<int32_t> none;
+  auto ex = strat.RunRange(ValueRange(10000, 20000), &none);
+  EXPECT_EQ(ex.result_count, 0u);
+}
+
+}  // namespace
+}  // namespace socs

@@ -1,0 +1,189 @@
+#include <gtest/gtest.h>
+
+#include "bat/algebra.h"
+#include "bat/bat.h"
+
+namespace socs {
+namespace {
+
+Bat IntBat(std::vector<int32_t> vals, Oid seqbase = 0) {
+  return Bat::DenseTyped(TypedVector::Of(std::move(vals)), seqbase);
+}
+
+TEST(TypedVectorTest, TypedRoundtrip) {
+  auto v = TypedVector::Of(std::vector<int32_t>{1, 2, 3});
+  EXPECT_EQ(v.type(), ValType::kInt);
+  EXPECT_EQ(v.size(), 3u);
+  EXPECT_EQ(v.Get<int32_t>()[2], 3);
+  EXPECT_DOUBLE_EQ(v.AsDouble(1), 2.0);
+  EXPECT_EQ(v.PayloadBytes(), 12u);
+}
+
+TEST(TypedVectorTest, AppendDoubleConverts) {
+  TypedVector v(ValType::kInt);
+  v.AppendDouble(41.0);
+  v.AppendDouble(42.9);  // narrows
+  EXPECT_EQ(v.Get<int32_t>()[0], 41);
+  EXPECT_EQ(v.Get<int32_t>()[1], 42);
+}
+
+TEST(BatColumnTest, VoidColumn) {
+  BatColumn c = BatColumn::Void(100, 5);
+  EXPECT_TRUE(c.is_void());
+  EXPECT_EQ(c.size(), 5u);
+  EXPECT_EQ(c.OidAt(3), 103u);
+  EXPECT_DOUBLE_EQ(c.DoubleAt(0), 100.0);
+  BatColumn m = c.MaterializeOids();
+  EXPECT_FALSE(m.is_void());
+  EXPECT_EQ(m.OidAt(4), 104u);
+}
+
+TEST(BatTest, DenseTypedAndDescribe) {
+  Bat b = IntBat({5, 6, 7}, 10);
+  EXPECT_EQ(b.size(), 3u);
+  EXPECT_EQ(b.head().OidAt(0), 10u);
+  EXPECT_DOUBLE_EQ(b.tail().DoubleAt(2), 7.0);
+  EXPECT_EQ(b.Describe(), "[void(10), int] 3 rows");
+}
+
+TEST(AlgebraTest, SelectInclusiveBounds) {
+  Bat b = IntBat({10, 20, 30, 40, 50});
+  auto r = algebra::Select(b, 20, 40);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->size(), 3u);
+  EXPECT_EQ(r->head().OidAt(0), 1u);  // oid of value 20
+  EXPECT_DOUBLE_EQ(r->tail().DoubleAt(2), 40.0);
+  // Exclusive bounds.
+  auto ex = algebra::Select(b, 20, 40, false, false);
+  ASSERT_TRUE(ex.ok());
+  EXPECT_EQ(ex->size(), 1u);
+  EXPECT_DOUBLE_EQ(ex->tail().DoubleAt(0), 30.0);
+}
+
+TEST(AlgebraTest, UselectReturnsCandidateList) {
+  Bat b = IntBat({10, 20, 30, 40, 50});
+  auto r = algebra::Uselect(b, 25, 100);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->size(), 3u);
+  EXPECT_TRUE(r->tail().is_void());
+  EXPECT_EQ(r->head().OidAt(0), 2u);
+}
+
+TEST(AlgebraTest, SelectOnVoidTailFails) {
+  Bat cands = Bat::OidList({1, 2, 3});
+  EXPECT_FALSE(algebra::Select(cands, 0, 10).ok());
+}
+
+TEST(AlgebraTest, KUnionDeduplicatesByHead) {
+  Bat a = Bat::OidList({1, 2, 3});
+  Bat b = Bat::OidList({3, 4});
+  auto r = algebra::KUnion(a, b);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->size(), 4u);
+}
+
+TEST(AlgebraTest, KDifferenceRemovesMatches) {
+  Bat a = Bat::OidList({1, 2, 3, 4});
+  Bat b = Bat::OidList({2, 4, 9});
+  auto r = algebra::KDifference(a, b);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->size(), 2u);
+  EXPECT_EQ(r->head().OidAt(0), 1u);
+  EXPECT_EQ(r->head().OidAt(1), 3u);
+}
+
+TEST(AlgebraTest, KIntersectKeepsCommon) {
+  Bat a = Bat::OidList({1, 2, 3, 4});
+  Bat b = Bat::OidList({2, 4, 9});
+  auto r = algebra::KIntersect(a, b);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->size(), 2u);
+  EXPECT_EQ(r->head().OidAt(0), 2u);
+  EXPECT_EQ(r->head().OidAt(1), 4u);
+}
+
+TEST(AlgebraTest, ReverseSwapsColumns) {
+  Bat b = IntBat({7, 8});
+  Bat r = algebra::Reverse(b);
+  EXPECT_FALSE(r.head().is_void());
+  EXPECT_TRUE(r.tail().is_void());
+  EXPECT_DOUBLE_EQ(r.head().DoubleAt(1), 8.0);
+}
+
+TEST(AlgebraTest, MarkTRenumbers) {
+  Bat cands = Bat::OidList({10, 20, 30});
+  Bat m = algebra::MarkT(cands, 0);
+  EXPECT_EQ(m.head().OidAt(1), 20u);
+  EXPECT_TRUE(m.tail().is_void());
+  EXPECT_EQ(m.tail().OidAt(2), 2u);
+}
+
+TEST(AlgebraTest, JoinPositionalFetch) {
+  // Tuple reconstruction: candidates joined with a [void, lng] column.
+  Bat col = Bat::DenseTyped(TypedVector::Of(std::vector<int64_t>{100, 101, 102, 103}));
+  Bat cands = Bat::OidList({1, 3});
+  Bat renumbered = algebra::Reverse(algebra::MarkT(cands, 0));  // [void, oid]
+  auto r = algebra::Join(renumbered, col);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->size(), 2u);
+  EXPECT_DOUBLE_EQ(r->tail().DoubleAt(0), 101.0);
+  EXPECT_DOUBLE_EQ(r->tail().DoubleAt(1), 103.0);
+}
+
+TEST(AlgebraTest, JoinHashPath) {
+  // Right side with a materialized (non-void, non-dense) head.
+  Bat right(BatColumn::Materialized(TypedVector::Of(std::vector<Oid>{5, 9, 7})),
+            BatColumn::Materialized(TypedVector::Of(std::vector<double>{0.5, 0.9, 0.7})));
+  Bat left = algebra::Reverse(algebra::MarkT(Bat::OidList({9, 5}), 0));
+  auto r = algebra::Join(left, right);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->size(), 2u);
+  EXPECT_DOUBLE_EQ(r->tail().DoubleAt(0), 0.9);
+  EXPECT_DOUBLE_EQ(r->tail().DoubleAt(1), 0.5);
+}
+
+TEST(AlgebraTest, JoinDropsDanglingKeys) {
+  Bat col = Bat::DenseTyped(TypedVector::Of(std::vector<int64_t>{100, 101}));
+  Bat left = algebra::Reverse(algebra::MarkT(Bat::OidList({0, 7}), 0));
+  auto r = algebra::Join(left, col);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->size(), 1u);  // oid 7 has no match
+}
+
+TEST(AlgebraTest, AppendConcatenates) {
+  Bat a = IntBat({1, 2});
+  Bat b = IntBat({3}, 2);
+  auto r = algebra::Append(a, b);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->size(), 3u);
+  EXPECT_DOUBLE_EQ(r->tail().DoubleAt(2), 3.0);
+  EXPECT_EQ(r->head().OidAt(2), 2u);
+}
+
+TEST(AlgebraTest, AppendTypeMismatchFails) {
+  Bat a = IntBat({1});
+  Bat b = Bat::DenseTyped(TypedVector::Of(std::vector<double>{1.0}));
+  EXPECT_FALSE(algebra::Append(a, b).ok());
+}
+
+TEST(AlgebraTest, AppendOidLists) {
+  auto r = algebra::Append(Bat::OidList({1, 2}), Bat::OidList({5}));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->size(), 3u);
+  EXPECT_TRUE(r->tail().is_void());
+}
+
+TEST(AlgebraTest, Aggregates) {
+  Bat b = IntBat({4, 6, 2});
+  EXPECT_DOUBLE_EQ(algebra::Sum(b).value(), 12.0);
+  EXPECT_DOUBLE_EQ(algebra::Min(b).value(), 2.0);
+  EXPECT_DOUBLE_EQ(algebra::Max(b).value(), 6.0);
+  EXPECT_EQ(algebra::Count(b), 3u);
+  Bat empty = IntBat({});
+  EXPECT_FALSE(algebra::Min(empty).ok());
+  EXPECT_FALSE(algebra::Max(empty).ok());
+  EXPECT_DOUBLE_EQ(algebra::Sum(empty).value(), 0.0);
+}
+
+}  // namespace
+}  // namespace socs

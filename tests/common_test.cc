@@ -1,0 +1,222 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "common/math_util.h"
+#include "common/rng.h"
+#include "common/series.h"
+#include "common/status.h"
+#include "common/units.h"
+
+namespace socs {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("segment 42");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.ToString(), "NotFound: segment 42");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (int c = 0; c <= static_cast<int>(StatusCode::kUnimplemented); ++c) {
+    EXPECT_STRNE(StatusCodeName(static_cast<StatusCode>(c)), "Unknown");
+  }
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  auto fails = [] { return Status::Internal("boom"); };
+  auto wrapper = [&]() -> Status {
+    SOCS_RETURN_IF_ERROR(fails());
+    return Status::OK();
+  };
+  EXPECT_EQ(wrapper().code(), StatusCode::kInternal);
+}
+
+TEST(StatusOrTest, HoldsValueOrStatus) {
+  StatusOr<int> good(7);
+  EXPECT_TRUE(good.ok());
+  EXPECT_EQ(*good, 7);
+  StatusOr<int> bad(Status::InvalidArgument("x"));
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.Next() == b.Next());
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, NextBelowRespectsBound) {
+  Rng rng(7);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 10000; ++i) {
+    const uint64_t v = rng.NextBelow(17);
+    EXPECT_LT(v, 17u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 17u);  // all residues hit
+}
+
+TEST(RngTest, NextIntInclusiveBounds) {
+  Rng rng(9);
+  bool lo_hit = false, hi_hit = false;
+  for (int i = 0; i < 10000; ++i) {
+    const int64_t v = rng.NextInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    lo_hit |= (v == -3);
+    hi_hit |= (v == 3);
+  }
+  EXPECT_TRUE(lo_hit);
+  EXPECT_TRUE(hi_hit);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(11);
+  const int n = 200000;
+  double sum = 0, sum2 = 0;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.NextGaussian();
+    sum += g;
+    sum2 += g * g;
+  }
+  const double mean = sum / n;
+  const double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+TEST(RngTest, GaussianWithParams) {
+  Rng rng(13);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.NextGaussian(5.0, 2.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.05);
+}
+
+TEST(ZipfTest, RankZeroIsMostPopular) {
+  Rng rng(17);
+  ZipfGenerator zipf(100, 0.99);
+  std::vector<int> hits(100, 0);
+  for (int i = 0; i < 50000; ++i) ++hits[zipf.Next(rng)];
+  EXPECT_GT(hits[0], hits[1]);
+  EXPECT_GT(hits[0], hits[10]);
+  EXPECT_GT(hits[1], hits[20]);
+}
+
+TEST(ZipfTest, SkewConcentratesMass) {
+  Rng rng(19);
+  ZipfGenerator zipf(1000, 1.0);
+  int top10 = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) top10 += (zipf.Next(rng) < 10);
+  // For theta=1, n=1000 the top-10 ranks hold ~39% of the mass.
+  EXPECT_GT(top10, n / 4);
+  EXPECT_LT(top10, n * 3 / 5);
+}
+
+TEST(ZipfTest, AllRanksReachable) {
+  Rng rng(23);
+  ZipfGenerator zipf(5, 0.8);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 20000; ++i) seen.insert(zipf.Next(rng));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(ZetaTest, MatchesDirectSum) {
+  EXPECT_NEAR(Zeta(1, 1.0), 1.0, 1e-12);
+  EXPECT_NEAR(Zeta(3, 1.0), 1.0 + 0.5 + 1.0 / 3.0, 1e-12);
+}
+
+TEST(ShuffleTest, IsPermutation) {
+  Rng rng(29);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto orig = v;
+  Shuffle(v, rng);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(UnitsTest, FormatBytes) {
+  EXPECT_EQ(FormatBytes(512), "512B");
+  EXPECT_EQ(FormatBytes(3 * kKiB), "3.0KB");
+  EXPECT_EQ(FormatBytes(kMiB + kMiB / 2), "1.5MB");
+  EXPECT_EQ(FormatBytes(2 * kGiB), "2.00GB");
+}
+
+TEST(MathUtilTest, MeanAndStdDev) {
+  std::vector<double> xs{2, 4, 4, 4, 5, 5, 7, 9};
+  EXPECT_DOUBLE_EQ(Mean(xs), 5.0);
+  EXPECT_DOUBLE_EQ(StdDev(xs), 2.0);
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(StdDev({1.0}), 0.0);
+}
+
+TEST(MathUtilTest, CumulativeSum) {
+  auto cs = CumulativeSum({1, 2, 3});
+  ASSERT_EQ(cs.size(), 3u);
+  EXPECT_DOUBLE_EQ(cs[2], 6.0);
+}
+
+TEST(MathUtilTest, MovingAverageSmooths) {
+  std::vector<double> xs{0, 10, 0, 10, 0, 10};
+  auto ma = MovingAverage(xs, 2);
+  ASSERT_EQ(ma.size(), xs.size());
+  for (size_t i = 1; i < ma.size(); ++i) EXPECT_NEAR(ma[i], 5.0, 5.0);
+  auto ma1 = MovingAverage(xs, 1);
+  EXPECT_EQ(ma1, xs);
+}
+
+TEST(ResultTableTest, AlignedPrint) {
+  ResultTable t("demo", {"a", "long_column", "c"});
+  t.AddRow(1, "x", 2.5);
+  t.AddRow(100, "yy", 3.25);
+  std::ostringstream os;
+  t.Print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("== demo =="), std::string::npos);
+  EXPECT_NE(s.find("long_column"), std::string::npos);
+  EXPECT_NE(s.find("3.25"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(ResultTableTest, CsvOutput) {
+  ResultTable t("csv", {"x", "y"});
+  t.AddRow(1, 2);
+  std::ostringstream os;
+  t.PrintCsv(os);
+  EXPECT_NE(os.str().find("x,y\n1,2\n"), std::string::npos);
+}
+
+TEST(ResultTableTest, FormatNumberCompact) {
+  EXPECT_EQ(FormatNumber(42.0), "42");
+  EXPECT_EQ(FormatNumber(0.125), "0.125");
+}
+
+}  // namespace
+}  // namespace socs

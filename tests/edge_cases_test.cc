@@ -1,0 +1,243 @@
+// Edge cases and failure injection across the strategies: degenerate data
+// distributions (constant, sorted, single-value, empty), boundary queries,
+// and pathological workloads. A production column store must not fall over
+// on any of these.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/units.h"
+#include "core/adaptive_replication.h"
+#include "core/adaptive_segmentation.h"
+#include "core/apm.h"
+#include "core/cracking.h"
+#include "core/deferred_segmentation.h"
+#include "core/gaussian_dice.h"
+#include "core/non_segmented.h"
+#include "core/static_partition.h"
+#include "test_util.h"
+#include "workload/range_generator.h"
+
+namespace socs {
+namespace {
+
+using testing::BruteForce;
+using testing::SortedValues;
+
+std::unique_ptr<SegmentationModel> SmallApm() {
+  return std::make_unique<Apm>(64, 256);
+}
+
+TEST(EdgeCases, EmptyColumnSegmentation) {
+  SegmentSpace space;
+  AdaptiveSegmentation<int32_t> strat({}, ValueRange(0, 100), SmallApm(), &space);
+  std::vector<int32_t> result;
+  auto ex = strat.RunRange(ValueRange(10, 50), &result);
+  EXPECT_EQ(ex.result_count, 0u);
+  EXPECT_TRUE(result.empty());
+  EXPECT_EQ(strat.Footprint().materialized_bytes, 0u);
+}
+
+TEST(EdgeCases, EmptyColumnReplication) {
+  SegmentSpace space;
+  AdaptiveReplication<int32_t> strat({}, ValueRange(0, 100), SmallApm(), &space);
+  auto ex = strat.RunRange(ValueRange(10, 50));
+  EXPECT_EQ(ex.result_count, 0u);
+  EXPECT_TRUE(strat.tree().Validate().ok());
+}
+
+TEST(EdgeCases, EmptyColumnCracking) {
+  SegmentSpace space;
+  CrackingColumn<int32_t> strat({}, ValueRange(0, 100), &space);
+  auto ex = strat.RunRange(ValueRange(10, 50));
+  EXPECT_EQ(ex.result_count, 0u);
+}
+
+TEST(EdgeCases, SingleValueColumn) {
+  SegmentSpace space;
+  AdaptiveSegmentation<int32_t> strat({42}, ValueRange(0, 100), SmallApm(),
+                                      &space);
+  std::vector<int32_t> hit;
+  strat.RunRange(ValueRange(42, 43), &hit);
+  ASSERT_EQ(hit.size(), 1u);
+  std::vector<int32_t> miss;
+  strat.RunRange(ValueRange(43, 100), &miss);
+  EXPECT_TRUE(miss.empty());
+  EXPECT_TRUE(strat.index().Validate().ok());
+}
+
+TEST(EdgeCases, AllValuesEqualNeverFragments) {
+  // A constant column: every split attempt would put everything on one side;
+  // the strategies must not create empty segments or loop.
+  SegmentSpace space;
+  std::vector<int32_t> data(50000, 7);  // 200KB of the value 7
+  AdaptiveSegmentation<int32_t> strat(data, ValueRange(0, 100),
+                                      std::make_unique<Apm>(kKiB, 4 * kKiB),
+                                      &space);
+  for (int i = 0; i < 50; ++i) {
+    std::vector<int32_t> result;
+    strat.RunRange(ValueRange(5, 10), &result);
+    ASSERT_EQ(result.size(), 50000u);
+    ASSERT_TRUE(strat.index().Validate().ok());
+  }
+  for (int i = 0; i < 50; ++i) {
+    strat.RunRange(ValueRange(50, 60));  // no values here
+    ASSERT_TRUE(strat.index().Validate().ok());
+  }
+  // All data carries the same value: no split point exists.
+  EXPECT_EQ(strat.Segments().size(), 1u);
+}
+
+TEST(EdgeCases, AllValuesEqualReplication) {
+  SegmentSpace space;
+  std::vector<int32_t> data(20000, 7);
+  AdaptiveReplication<int32_t> strat(data, ValueRange(0, 100),
+                                     std::make_unique<Apm>(kKiB, 4 * kKiB),
+                                     &space);
+  for (int i = 0; i < 30; ++i) {
+    std::vector<int32_t> result;
+    strat.RunRange(ValueRange(0, 50), &result);
+    ASSERT_EQ(result.size(), 20000u);
+    ASSERT_TRUE(strat.tree().Validate().ok());
+  }
+}
+
+TEST(EdgeCases, SortedInputBehavesLikeRandom) {
+  SegmentSpace space;
+  auto data = MakeUniformIntColumn(20000, 100000, 3);
+  std::sort(data.begin(), data.end());
+  AdaptiveSegmentation<int32_t> strat(data, ValueRange(0, 100000),
+                                      std::make_unique<Apm>(3 * kKiB, 12 * kKiB),
+                                      &space);
+  UniformRangeGenerator gen(ValueRange(0, 100000), 0.05, 4);
+  for (int i = 0; i < 100; ++i) {
+    const ValueRange q = gen.Next().range;
+    std::vector<int32_t> result;
+    strat.RunRange(q, &result);
+    ASSERT_EQ(SortedValues(result), BruteForce(data, q));
+  }
+}
+
+TEST(EdgeCases, QueryExactlyAtDomainEdges) {
+  SegmentSpace space;
+  auto data = MakeUniformIntColumn(5000, 1000, 5);
+  AdaptiveSegmentation<int32_t> strat(data, ValueRange(0, 1000), SmallApm(),
+                                      &space);
+  std::vector<int32_t> all;
+  strat.RunRange(ValueRange(0, 1000), &all);
+  EXPECT_EQ(all.size(), 5000u);
+  std::vector<int32_t> left;
+  strat.RunRange(ValueRange(0, 1), &left);
+  EXPECT_EQ(left.size(), static_cast<size_t>(std::count(data.begin(),
+                                                        data.end(), 0)));
+  std::vector<int32_t> right;
+  strat.RunRange(ValueRange(999, 1000), &right);
+  EXPECT_EQ(right.size(), static_cast<size_t>(std::count(data.begin(),
+                                                         data.end(), 999)));
+}
+
+TEST(EdgeCases, RepeatedIdenticalQueriesStabilize) {
+  SegmentSpace space;
+  auto data = MakeUniformIntColumn(50000, 500000, 6);
+  AdaptiveSegmentation<int32_t> strat(data, ValueRange(0, 500000),
+                                      std::make_unique<Apm>(3 * kKiB, 12 * kKiB),
+                                      &space);
+  const ValueRange q(200000, 250000);
+  strat.RunRange(q);
+  const size_t after_first = strat.Segments().size();
+  uint64_t later_splits = 0;
+  for (int i = 0; i < 100; ++i) later_splits += strat.RunRange(q).splits;
+  // An exact repeat cannot trigger further reorganization (the query covers
+  // its segments exactly).
+  EXPECT_EQ(later_splits, 0u);
+  EXPECT_EQ(strat.Segments().size(), after_first);
+}
+
+TEST(EdgeCases, AdversarialAlternatingQueries) {
+  // Alternate between two interleaved combs of ranges; invariants must hold
+  // throughout and results stay exact.
+  SegmentSpace space;
+  auto data = MakeUniformIntColumn(30000, 300000, 7);
+  AdaptiveReplication<int32_t> strat(data, ValueRange(0, 300000),
+                                     std::make_unique<Apm>(2 * kKiB, 8 * kKiB),
+                                     &space);
+  for (int i = 0; i < 200; ++i) {
+    const double base = (i % 2 == 0) ? 10000.0 : 15000.0;
+    const double lo = base + (i / 2) * 2500.0;
+    const ValueRange q(lo, lo + 5000.0);
+    std::vector<int32_t> result;
+    strat.RunRange(q, &result);
+    ASSERT_EQ(SortedValues(result), BruteForce(data, q)) << "query " << i;
+    ASSERT_TRUE(strat.tree().Validate().ok()) << "query " << i;
+  }
+}
+
+TEST(EdgeCases, FloatColumnNarrowRanges) {
+  // Float payloads with very narrow query windows (sub-epsilon of the domain).
+  SegmentSpace space;
+  Rng rng(8);
+  std::vector<float> data;
+  for (int i = 0; i < 50000; ++i) {
+    data.push_back(static_cast<float>(rng.NextUniform(0.0, 360.0)));
+  }
+  AdaptiveSegmentation<float> strat(data, ValueRange(0.0, 360.0),
+                                    std::make_unique<Apm>(4 * kKiB, 16 * kKiB),
+                                    &space);
+  for (int i = 0; i < 100; ++i) {
+    const double lo = rng.NextUniform(0.0, 359.9);
+    const ValueRange q(lo, lo + 0.01);
+    std::vector<float> result;
+    strat.RunRange(q, &result);
+    ASSERT_EQ(SortedValues(result), BruteForce(data, q)) << "query " << i;
+  }
+  EXPECT_TRUE(strat.index().Validate().ok());
+}
+
+TEST(EdgeCases, DeferredWithConstantData) {
+  SegmentSpace space;
+  std::vector<int32_t> data(20000, 9);
+  DeferredSegmentation<int32_t>::Options opts;
+  opts.batch_queries = 2;
+  DeferredSegmentation<int32_t> strat(data, ValueRange(0, 100),
+                                      std::make_unique<Apm>(kKiB, 2 * kKiB),
+                                      &space, opts);
+  for (int i = 0; i < 20; ++i) {
+    std::vector<int32_t> result;
+    strat.RunRange(ValueRange(5, 20), &result);
+    ASSERT_EQ(result.size(), 20000u);
+    ASSERT_TRUE(strat.index().Validate().ok());
+  }
+  // Equi-depth cuts on constant data collapse to no cut: still one segment.
+  EXPECT_EQ(strat.Segments().size(), 1u);
+}
+
+TEST(EdgeCases, StaticPartitionWithMorePartsThanValues) {
+  SegmentSpace space;
+  std::vector<int32_t> data{10, 20, 30};
+  StaticPartition<int32_t> strat(data, ValueRange(0, 100), 16, &space);
+  EXPECT_EQ(strat.Segments().size(), 16u);  // most parts empty
+  std::vector<int32_t> result;
+  strat.RunRange(ValueRange(0, 100), &result);
+  EXPECT_EQ(result.size(), 3u);
+}
+
+TEST(EdgeCases, NonSegmentedEmptyColumn) {
+  SegmentSpace space;
+  NonSegmented<double> strat({}, ValueRange(0, 1), &space);
+  auto ex = strat.RunRange(ValueRange(0, 1));
+  EXPECT_EQ(ex.result_count, 0u);
+}
+
+TEST(EdgeCases, CrackingManyDistinctBoundsBounded) {
+  // 2N cracks maximum for N distinct queried bounds; the index never
+  // exceeds that even under heavy load.
+  SegmentSpace space;
+  auto data = MakeUniformIntColumn(10000, 100000, 9);
+  CrackingColumn<int32_t> strat(data, ValueRange(0, 100000), &space);
+  UniformRangeGenerator gen(ValueRange(0, 100000), 0.001, 10);
+  for (int i = 0; i < 500; ++i) strat.RunRange(gen.Next().range);
+  EXPECT_LE(strat.NumPieces(), 1001u);
+}
+
+}  // namespace
+}  // namespace socs

@@ -1,0 +1,302 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "common/units.h"
+#include "core/adaptive_segmentation.h"
+#include "core/apm.h"
+#include "engine/catalog.h"
+#include "engine/mal_builder.h"
+#include "engine/mal_interpreter.h"
+#include "engine/optimizer.h"
+#include "engine/segment_optimizer.h"
+
+namespace socs {
+namespace {
+
+/// Builds a catalog with table P: `ra` (dbl, adaptively segmented) and
+/// `objid` (lng, plain). Returns the raw ra values for oracle checks.
+std::vector<double> SetupCatalog(Catalog* cat, SegmentSpace* space,
+                                 size_t n = 20000) {
+  Rng rng(77);
+  std::vector<double> ra;
+  std::vector<OidValue> pairs;
+  std::vector<int64_t> objid;
+  for (size_t i = 0; i < n; ++i) {
+    const double v = rng.NextUniform(0.0, 360.0);
+    ra.push_back(v);
+    pairs.push_back({i, v});
+    objid.push_back(static_cast<int64_t>(1000000 + i));
+  }
+  auto strat = std::make_unique<AdaptiveSegmentation<OidValue>>(
+      pairs, ValueRange(0.0, 360.0), std::make_unique<Apm>(8 * kKiB, 32 * kKiB),
+      space);
+  auto col = std::make_unique<SegmentedColumn>(Catalog::SegHandle("P", "ra"),
+                                               ValType::kDbl, std::move(strat),
+                                               space);
+  EXPECT_TRUE(cat->AddSegmentedColumn("P", "ra", std::move(col)).ok());
+  EXPECT_TRUE(cat->AddColumn("P", "objid", TypedVector::Of(objid)).ok());
+  return ra;
+}
+
+std::vector<int64_t> OracleObjids(const std::vector<double>& ra, double lo,
+                                  double hi) {
+  std::vector<int64_t> out;
+  for (size_t i = 0; i < ra.size(); ++i) {
+    if (ra[i] >= lo && ra[i] <= hi) out.push_back(1000000 + i);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<int64_t> ResultColumn(const ResultSet& rs, size_t col = 0) {
+  std::vector<int64_t> out;
+  const Bat& b = *rs.cols.at(col).bat;
+  for (size_t i = 0; i < b.size(); ++i) {
+    out.push_back(static_cast<int64_t>(b.tail().DoubleAt(i)));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+/// The unoptimized Fig.-1-style plan for
+/// select objid from P where ra between lo and hi.
+MalProgram BuildSelectPlan(double lo, double hi) {
+  MalProgram prog;
+  MalBuilder b(&prog);
+  const int ra = b.Call("sql", "bind",
+                        {MalArg::Str("sys"), MalArg::Str("P"), MalArg::Str("ra"),
+                         MalArg::Num(0)});
+  const int cand = b.Call("algebra", "uselect",
+                          {MalArg::Var(ra), MalArg::Num(lo), MalArg::Num(hi),
+                           MalArg::Num(1), MalArg::Num(1)});
+  const int zero = b.Call("calc", "oid", {MalArg::Num(0)});
+  const int marked = b.Call("algebra", "markT", {MalArg::Var(cand), MalArg::Var(zero)});
+  const int renum = b.Call("bat", "reverse", {MalArg::Var(marked)});
+  const int objid = b.Call("sql", "bind",
+                           {MalArg::Str("sys"), MalArg::Str("P"),
+                            MalArg::Str("objid"), MalArg::Num(0)});
+  const int joined = b.Call("algebra", "join", {MalArg::Var(renum), MalArg::Var(objid)});
+  const int rs = b.Call("sql", "resultSet", {});
+  b.CallVoid("sql", "rsColumn",
+             {MalArg::Var(rs), MalArg::Str("P.objid"), MalArg::Var(joined)});
+  b.CallVoid("sql", "exportResult", {MalArg::Var(rs)});
+  return prog;
+}
+
+TEST(MalProgramTest, PrintsLikeFigure1) {
+  MalProgram prog = BuildSelectPlan(205.1, 205.12);
+  const std::string s = prog.ToString();
+  EXPECT_NE(s.find("sql.bind(\"sys\", \"P\", \"ra\", 0)"), std::string::npos);
+  EXPECT_NE(s.find("algebra.uselect"), std::string::npos);
+  EXPECT_NE(s.find("sql.exportResult"), std::string::npos);
+}
+
+TEST(MalInterpreterTest, ExecutesUnoptimizedPlan) {
+  Catalog cat;
+  SegmentSpace space;
+  auto ra = SetupCatalog(&cat, &space);
+  MalInterpreter interp(&cat);
+  auto rs = interp.Run(BuildSelectPlan(100.0, 110.0));
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  EXPECT_EQ(ResultColumn(**rs), OracleObjids(ra, 100.0, 110.0));
+}
+
+TEST(MalInterpreterTest, UnknownOperatorIsUnimplemented) {
+  Catalog cat;
+  MalInterpreter interp(&cat);
+  MalProgram prog;
+  MalBuilder b(&prog);
+  b.Call("nope", "mystery", {});
+  auto rs = interp.Run(prog);
+  EXPECT_FALSE(rs.ok());
+  EXPECT_EQ(rs.status().code(), StatusCode::kUnimplemented);
+}
+
+TEST(MalInterpreterTest, MismatchedBarrierFails) {
+  Catalog cat;
+  MalInterpreter interp(&cat);
+  MalProgram prog;
+  MalBuilder b(&prog);
+  b.Barrier("bpm", "newIterator", {});
+  // no exit
+  EXPECT_FALSE(interp.Run(prog).ok());
+}
+
+TEST(CatalogTest, BindAndErrors) {
+  Catalog cat;
+  ASSERT_TRUE(cat.AddColumn("t", "a", TypedVector::Of(std::vector<int32_t>{1, 2})).ok());
+  EXPECT_TRUE(cat.HasTable("t"));
+  EXPECT_TRUE(cat.HasColumn("t", "a"));
+  EXPECT_FALSE(cat.IsSegmented("t", "a"));
+  auto b = cat.Bind("t", "a");
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(b->size(), 2u);
+  EXPECT_FALSE(cat.Bind("t", "zz").ok());
+  EXPECT_FALSE(cat.Bind("zz", "a").ok());
+  // Duplicate column.
+  EXPECT_EQ(cat.AddColumn("t", "a", TypedVector::Of(std::vector<int32_t>{1, 2}))
+                .code(),
+            StatusCode::kAlreadyExists);
+  // Row count mismatch.
+  EXPECT_EQ(cat.AddColumn("t", "b", TypedVector::Of(std::vector<int32_t>{1})).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(cat.RowCount("t").value(), 2u);
+}
+
+TEST(CatalogTest, SegmentedBindSynthesizesFullScan) {
+  Catalog cat;
+  SegmentSpace space;
+  auto ra = SetupCatalog(&cat, &space, 5000);
+  EXPECT_TRUE(cat.IsSegmented("P", "ra"));
+  auto b = cat.Bind("P", "ra");
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(b->size(), ra.size());
+  auto seg = cat.GetSegmented(Catalog::SegHandle("P", "ra"));
+  ASSERT_TRUE(seg.ok());
+  EXPECT_EQ((*seg)->sql_type(), ValType::kDbl);
+  EXPECT_FALSE(cat.GetSegmented("sys_nope_x").ok());
+}
+
+TEST(SegmentOptimizerTest, RewritesSelectOverSegmentedColumn) {
+  Catalog cat;
+  SegmentSpace space;
+  SetupCatalog(&cat, &space, 5000);
+  MalProgram prog = BuildSelectPlan(10.0, 20.0);
+  OptContext ctx;
+  ctx.catalog = &cat;
+  SegmentOptimizerPass pass;
+  ASSERT_TRUE(pass.Apply(&prog, &ctx).ok());
+  EXPECT_EQ(pass.rewrites(), 1);
+  const std::string s = prog.ToString();
+  EXPECT_NE(s.find("bpm.take(\"sys_P_ra\")"), std::string::npos);
+  EXPECT_NE(s.find("barrier"), std::string::npos);
+  EXPECT_NE(s.find("bpm.newIterator"), std::string::npos);
+  EXPECT_NE(s.find("bpm.hasMoreElements"), std::string::npos);
+  EXPECT_NE(s.find("bpm.adapt"), std::string::npos);
+}
+
+TEST(SegmentOptimizerTest, LeavesPlainColumnsAlone) {
+  Catalog cat;
+  ASSERT_TRUE(
+      cat.AddColumn("t", "a", TypedVector::Of(std::vector<int32_t>{1, 2, 3})).ok());
+  MalProgram prog;
+  MalBuilder b(&prog);
+  const int col = b.Call("sql", "bind",
+                         {MalArg::Str("sys"), MalArg::Str("t"), MalArg::Str("a"),
+                          MalArg::Num(0)});
+  b.Call("algebra", "uselect",
+         {MalArg::Var(col), MalArg::Num(1), MalArg::Num(2)});
+  OptContext ctx;
+  ctx.catalog = &cat;
+  SegmentOptimizerPass pass;
+  ASSERT_TRUE(pass.Apply(&prog, &ctx).ok());
+  EXPECT_EQ(pass.rewrites(), 0);
+}
+
+TEST(DeadCodeElimTest, RemovesUnusedPureInstr) {
+  Catalog cat;
+  MalProgram prog;
+  MalBuilder b(&prog);
+  b.Call("calc", "oid", {MalArg::Num(0)});  // dead
+  const int rs = b.Call("sql", "resultSet", {});
+  b.CallVoid("sql", "exportResult", {MalArg::Var(rs)});
+  OptContext ctx;
+  ctx.catalog = &cat;
+  DeadCodeElimPass dce;
+  ASSERT_TRUE(dce.Apply(&prog, &ctx).ok());
+  ASSERT_EQ(prog.instrs.size(), 2u);
+  EXPECT_TRUE(prog.instrs[0].Is("sql", "resultSet"));
+}
+
+TEST(OptimizedPlanTest, SameResultsAsUnoptimized) {
+  Catalog cat;
+  SegmentSpace space;
+  auto ra = SetupCatalog(&cat, &space);
+  MalInterpreter interp(&cat);
+
+  for (const auto& [lo, hi] : std::vector<std::pair<double, double>>{
+           {10.0, 30.0}, {100.0, 101.5}, {350.0, 360.0}, {0.0, 360.0}}) {
+    MalProgram plain = BuildSelectPlan(lo, hi);
+    auto rs1 = interp.Run(plain);
+    ASSERT_TRUE(rs1.ok()) << rs1.status().ToString();
+
+    MalProgram opt = BuildSelectPlan(lo, hi);
+    OptContext ctx;
+    ctx.catalog = &cat;
+    PassManager pm = MakeDefaultPipeline();
+    ASSERT_TRUE(pm.Run(&opt, &ctx).ok());
+    auto rs2 = interp.Run(opt);
+    ASSERT_TRUE(rs2.ok()) << rs2.status().ToString();
+
+    EXPECT_EQ(ResultColumn(**rs1), ResultColumn(**rs2)) << lo << ".." << hi;
+    EXPECT_EQ(ResultColumn(**rs2), OracleObjids(ra, lo, hi));
+  }
+}
+
+TEST(OptimizedPlanTest, DeadBindRemovedAfterRewrite) {
+  Catalog cat;
+  SegmentSpace space;
+  SetupCatalog(&cat, &space, 5000);
+  MalProgram prog = BuildSelectPlan(10.0, 20.0);
+  OptContext ctx;
+  ctx.catalog = &cat;
+  PassManager pm = MakeDefaultPipeline();
+  ASSERT_TRUE(pm.Run(&prog, &ctx).ok());
+  // The ra sql.bind must be gone (replaced by bpm.take); objid bind stays.
+  int binds = 0;
+  for (const auto& in : prog.instrs) binds += in.Is("sql", "bind");
+  EXPECT_EQ(binds, 1);
+}
+
+TEST(OptimizedPlanTest, AdaptReorganizesOverTime) {
+  Catalog cat;
+  SegmentSpace space;
+  SetupCatalog(&cat, &space);
+  MalInterpreter interp(&cat);
+  auto* segcol = cat.GetSegmentedOrNull("P", "ra");
+  ASSERT_NE(segcol, nullptr);
+  const size_t before = segcol->strategy()->Segments().size();
+  Rng rng(5);
+  for (int i = 0; i < 30; ++i) {
+    const double lo = rng.NextUniform(0.0, 300.0);
+    MalProgram prog = BuildSelectPlan(lo, lo + 30.0);
+    OptContext ctx;
+    ctx.catalog = &cat;
+    PassManager pm = MakeDefaultPipeline();
+    ASSERT_TRUE(pm.Run(&prog, &ctx).ok());
+    ASSERT_TRUE(interp.Run(prog).ok());
+  }
+  EXPECT_GT(segcol->strategy()->Segments().size(), before);
+  EXPECT_GT(interp.last_adapt().read_bytes, 0u);
+}
+
+TEST(FootprintPassTest, EstimatesSelectionBytes) {
+  Catalog cat;
+  SegmentSpace space;
+  SetupCatalog(&cat, &space, 10000);  // 10000 OidValue pairs = 160KB
+  MalProgram prog = BuildSelectPlan(0.0, 360.0);
+  OptContext ctx;
+  ctx.catalog = &cat;
+  PassManager pm = MakeDefaultPipeline();
+  ASSERT_TRUE(pm.Run(&prog, &ctx).ok());
+  // Whole-domain selection over one segment: estimate = column size.
+  EXPECT_EQ(ctx.estimated_scan_bytes, 10000 * sizeof(OidValue));
+}
+
+TEST(BpmTest, SegmentBatCarriesOids) {
+  Catalog cat;
+  SegmentSpace space;
+  SetupCatalog(&cat, &space, 1000);
+  auto* segcol = cat.GetSegmentedOrNull("P", "ra");
+  auto segs = segcol->CoverSegments(0.0, 360.0);
+  ASSERT_EQ(segs.size(), 1u);
+  Bat b = segcol->SegmentBat(segs[0].id);
+  EXPECT_EQ(b.size(), 1000u);
+  EXPECT_FALSE(b.head().is_void());
+  EXPECT_EQ(b.tail().type(), ValType::kDbl);
+}
+
+}  // namespace
+}  // namespace socs

@@ -1,0 +1,287 @@
+// Tests for the reorganization variants beyond the two headline strategies:
+// post-processing (deferred, batched, equi-depth splits -- paper section 3.3
+// alternative 1), segment merging (sections 3.1/8), and replica storage
+// budgets (section 8).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/rng.h"
+#include "common/units.h"
+#include "core/adaptive_replication.h"
+#include "core/adaptive_segmentation.h"
+#include "core/apm.h"
+#include "core/deferred_segmentation.h"
+#include "core/gaussian_dice.h"
+#include "test_util.h"
+#include "workload/range_generator.h"
+
+namespace socs {
+namespace {
+
+using testing::BruteForce;
+using testing::SortedValues;
+
+std::unique_ptr<SegmentationModel> ApmModel() {
+  return std::make_unique<Apm>(3 * kKiB, 12 * kKiB);
+}
+
+// --- DeferredSegmentation (post-processing) ---------------------------------
+
+TEST(DeferredSegmentationTest, NoReorganizationBeforeBatch) {
+  SegmentSpace space;
+  auto data = MakeUniformIntColumn(100000, 1000000, 1);
+  DeferredSegmentation<int32_t>::Options opts;
+  opts.batch_queries = 10;
+  DeferredSegmentation<int32_t> strat(data, ValueRange(0, 1000000), ApmModel(),
+                                      &space, opts);
+  for (int i = 0; i < 9; ++i) {
+    auto ex = strat.RunRange(ValueRange(100000.0 + i * 50000, 150000.0 + i * 50000));
+    EXPECT_EQ(ex.write_bytes, 0u) << "query " << i;
+    EXPECT_EQ(ex.splits, 0u);
+  }
+  EXPECT_EQ(strat.Segments().size(), 1u);  // still one segment
+  EXPECT_GT(strat.pending_marks(), 0u);    // but marked for splitting
+}
+
+TEST(DeferredSegmentationTest, BatchReorganizesMarkedSegments) {
+  SegmentSpace space;
+  auto data = MakeUniformIntColumn(100000, 1000000, 2);
+  DeferredSegmentation<int32_t>::Options opts;
+  opts.batch_queries = 5;
+  DeferredSegmentation<int32_t> strat(data, ValueRange(0, 1000000), ApmModel(),
+                                      &space, opts);
+  QueryExecution last;
+  for (int i = 0; i < 5; ++i) {
+    last = strat.RunRange(ValueRange(200000, 300000));
+  }
+  EXPECT_GT(last.splits, 0u);       // the 5th query triggered the batch
+  EXPECT_GT(last.write_bytes, 0u);  // which materialized sub-segments
+  EXPECT_GT(strat.Segments().size(), 1u);
+  EXPECT_EQ(strat.pending_marks(), 0u);
+  EXPECT_TRUE(strat.index().Validate().ok());
+}
+
+TEST(DeferredSegmentationTest, EquiDepthPiecesAreBalanced) {
+  SegmentSpace space;
+  auto data = MakeUniformIntColumn(100000, 1000000, 3);  // 400KB
+  DeferredSegmentation<int32_t>::Options opts;
+  opts.batch_queries = 1;       // reorganize after every query
+  opts.target_bytes = 8 * kKiB;  // ~50 equal pieces
+  DeferredSegmentation<int32_t> strat(data, ValueRange(0, 1000000), ApmModel(),
+                                      &space, opts);
+  strat.RunRange(ValueRange(400000, 600000));
+  const auto segs = strat.Segments();
+  ASSERT_GT(segs.size(), 10u);
+  uint64_t mn = UINT64_MAX, mx = 0;
+  for (const auto& s : segs) {
+    mn = std::min(mn, s.count);
+    mx = std::max(mx, s.count);
+  }
+  // Equi-depth: the largest piece is within 2x the smallest.
+  EXPECT_LT(mx, 2 * mn);
+}
+
+TEST(DeferredSegmentationTest, ResultsMatchBruteForce) {
+  SegmentSpace space;
+  auto data = MakeUniformIntColumn(20000, 100000, 4);
+  DeferredSegmentation<int32_t>::Options opts;
+  opts.batch_queries = 7;
+  DeferredSegmentation<int32_t> strat(data, ValueRange(0, 100000), ApmModel(),
+                                      &space, opts);
+  Rng rng(5);
+  for (int i = 0; i < 120; ++i) {
+    const double lo = rng.NextUniform(0, 90000);
+    const ValueRange q(lo, lo + rng.NextUniform(100, 25000));
+    std::vector<int32_t> result;
+    strat.RunRange(q, &result);
+    ASSERT_EQ(SortedValues(result), BruteForce(data, q)) << "query " << i;
+    ASSERT_TRUE(strat.index().Validate().ok());
+  }
+}
+
+TEST(DeferredSegmentationTest, DelayedBenefitVersusEager) {
+  // Paper section 3.3: "the potential delay may cause subsequent queries on
+  // the same segment to miss potential benefits."
+  auto data = MakeUniformIntColumn(100000, 1000000, 6);
+  SegmentSpace s1, s2;
+  AdaptiveSegmentation<int32_t> eager(data, ValueRange(0, 1000000), ApmModel(),
+                                      &s1);
+  DeferredSegmentation<int32_t>::Options opts;
+  opts.batch_queries = 64;
+  DeferredSegmentation<int32_t> deferred(data, ValueRange(0, 1000000),
+                                         ApmModel(), &s2, opts);
+  const ValueRange q(450000, 550000);
+  uint64_t eager_reads = 0, deferred_reads = 0;
+  for (int i = 0; i < 10; ++i) {
+    eager_reads += eager.RunRange(q).read_bytes;
+    deferred_reads += deferred.RunRange(q).read_bytes;
+  }
+  // Eager splits on the first query; deferred keeps scanning 400KB.
+  EXPECT_LT(eager_reads, deferred_reads / 2);
+}
+
+TEST(DeferredSegmentationTest, ExplicitReorganizeDrainsMarks) {
+  SegmentSpace space;
+  auto data = MakeUniformIntColumn(100000, 1000000, 7);
+  DeferredSegmentation<int32_t>::Options opts;
+  opts.batch_queries = 1000;  // never triggers on its own
+  DeferredSegmentation<int32_t> strat(data, ValueRange(0, 1000000), ApmModel(),
+                                      &space, opts);
+  strat.RunRange(ValueRange(100000, 200000));
+  ASSERT_GT(strat.pending_marks(), 0u);
+  QueryExecution batch = strat.Reorganize();  // e.g. at an idle point
+  EXPECT_GT(batch.splits, 0u);
+  EXPECT_EQ(strat.pending_marks(), 0u);
+}
+
+// --- Merging -----------------------------------------------------------------
+
+TEST(MergingTest, GluesFragmentsOnSkewedLoad) {
+  // GD's worst case (paper section 6.2): near-identical skewed queries chop
+  // tiny pieces. With merging enabled the fragments are glued back.
+  auto data = MakeUniformIntColumn(100000, 1000000, 8);
+  SegmentSpace s1, s2;
+  AdaptiveSegmentation<int32_t> plain(data, ValueRange(0, 1000000),
+                                      std::make_unique<GaussianDice>(9), &s1);
+  AdaptiveSegmentation<int32_t>::Options opts;
+  opts.merge_small_segments = true;
+  opts.merge_threshold_bytes = 3 * kKiB;
+  AdaptiveSegmentation<int32_t> merging(data, ValueRange(0, 1000000),
+                                        std::make_unique<GaussianDice>(9), &s2,
+                                        opts);
+  // Hot spot: queries shift by tiny deltas, carving small pieces.
+  Rng rng(10);
+  uint64_t merges = 0;
+  for (int i = 0; i < 600; ++i) {
+    const double lo = 500000 + rng.NextUniform(-2000, 2000);
+    const ValueRange q(lo, lo + 10000);
+    plain.RunRange(q);
+    merges += merging.RunRange(q).merges;
+  }
+  EXPECT_GT(merges, 0u);
+  // Count tiny segments (< 1.5KB) in the hot neighbourhood.
+  auto tiny = [](const AdaptiveSegmentation<int32_t>& s) {
+    size_t n = 0;
+    for (const auto& seg : s.Segments()) {
+      if (seg.range.Overlaps(ValueRange(490000, 520000)) &&
+          seg.count * sizeof(int32_t) < 1536) {
+        ++n;
+      }
+    }
+    return n;
+  };
+  EXPECT_LE(tiny(merging), tiny(plain));
+  EXPECT_LT(merging.Segments().size(), plain.Segments().size() + 1);
+}
+
+TEST(MergingTest, CorrectnessPreservedWithMerging) {
+  SegmentSpace space;
+  auto data = MakeUniformIntColumn(20000, 100000, 11);
+  AdaptiveSegmentation<int32_t>::Options opts;
+  opts.merge_small_segments = true;
+  AdaptiveSegmentation<int32_t> strat(data, ValueRange(0, 100000),
+                                      std::make_unique<GaussianDice>(12), &space,
+                                      opts);
+  Rng rng(13);
+  for (int i = 0; i < 150; ++i) {
+    const double lo = rng.NextUniform(0, 95000);
+    const ValueRange q(lo, lo + rng.NextUniform(50, 5000));
+    std::vector<int32_t> result;
+    strat.RunRange(q, &result);
+    ASSERT_EQ(SortedValues(result), BruteForce(data, q)) << "query " << i;
+    ASSERT_TRUE(strat.index().Validate().ok());
+    ASSERT_EQ(strat.index().TotalCount(), 20000u);
+  }
+}
+
+TEST(MergingTest, ThresholdDefaultsFromModel) {
+  SegmentSpace space;
+  auto data = MakeUniformIntColumn(50000, 500000, 14);
+  AdaptiveSegmentation<int32_t>::Options opts;
+  opts.merge_small_segments = true;  // threshold <- Mmin
+  AdaptiveSegmentation<int32_t> strat(data, ValueRange(0, 500000), ApmModel(),
+                                      &space, opts);
+  UniformRangeGenerator gen(ValueRange(0, 500000), 0.01, 15);
+  for (int i = 0; i < 500; ++i) strat.RunRange(gen.Next().range);
+  // No pair of adjacent segments both under Mmin/2 should persist in heavily
+  // queried areas; at minimum the invariants hold and nothing crashed.
+  EXPECT_TRUE(strat.index().Validate().ok());
+}
+
+// --- Replica storage budget ---------------------------------------------------
+
+TEST(ReplicaBudgetTest, BudgetBoundsStorage) {
+  SegmentSpace space;
+  auto data = MakeUniformIntColumn(100000, 1000000, 16);  // 400KB
+  AdaptiveReplication<int32_t>::Options opts;
+  opts.storage_budget_bytes = 500 * kKiB;  // column + 100KB of replicas
+  AdaptiveReplication<int32_t> strat(data, ValueRange(0, 1000000), ApmModel(),
+                                     &space, opts);
+  UniformRangeGenerator gen(ValueRange(0, 1000000), 0.1, 17);
+  uint64_t evictions = 0;
+  for (int i = 0; i < 300; ++i) {
+    auto ex = strat.RunRange(gen.Next().range);
+    evictions += ex.replicas_evicted;
+    ASSERT_LE(strat.Footprint().materialized_bytes, opts.storage_budget_bytes)
+        << "query " << i;
+  }
+  EXPECT_GT(evictions, 0u);
+  EXPECT_TRUE(strat.tree().Validate().ok());
+}
+
+TEST(ReplicaBudgetTest, CorrectnessUnderPressure) {
+  SegmentSpace space;
+  auto data = MakeUniformIntColumn(20000, 100000, 18);  // 80KB
+  AdaptiveReplication<int32_t>::Options opts;
+  opts.storage_budget_bytes = 100 * kKiB;
+  AdaptiveReplication<int32_t> strat(data, ValueRange(0, 100000), ApmModel(),
+                                     &space, opts);
+  Rng rng(19);
+  for (int i = 0; i < 200; ++i) {
+    const double lo = rng.NextUniform(0, 90000);
+    const ValueRange q(lo, lo + rng.NextUniform(500, 20000));
+    std::vector<int32_t> result;
+    strat.RunRange(q, &result);
+    ASSERT_EQ(SortedValues(result), BruteForce(data, q)) << "query " << i;
+    ASSERT_TRUE(strat.tree().Validate().ok());
+  }
+}
+
+TEST(ReplicaBudgetTest, UnlimitedByDefault) {
+  SegmentSpace space;
+  auto data = MakeUniformIntColumn(50000, 500000, 20);
+  AdaptiveReplication<int32_t> strat(data, ValueRange(0, 500000), ApmModel(),
+                                     &space);
+  UniformRangeGenerator gen(ValueRange(0, 500000), 0.1, 21);
+  uint64_t evictions = 0;
+  for (int i = 0; i < 100; ++i) evictions += strat.RunRange(gen.Next().range).replicas_evicted;
+  EXPECT_EQ(evictions, 0u);
+}
+
+TEST(ReplicaBudgetTest, EvictionPrefersLeastRecentlyUsed) {
+  SegmentSpace space;
+  auto data = MakeUniformIntColumn(100000, 1000000, 22);  // 400KB
+  AdaptiveReplication<int32_t>::Options opts;
+  opts.storage_budget_bytes = 480 * kKiB;
+  AdaptiveReplication<int32_t> strat(data, ValueRange(0, 1000000), ApmModel(),
+                                     &space, opts);
+  // Create two replicas; keep the first hot, then overflow the budget.
+  strat.RunRange(ValueRange(100000, 200000));  // replica A (~40KB)
+  strat.RunRange(ValueRange(700000, 800000));  // replica B (~40KB)
+  for (int i = 0; i < 3; ++i) strat.RunRange(ValueRange(100000, 200000));  // A hot
+  // Push over budget: another replica elsewhere.
+  auto ex = strat.RunRange(ValueRange(400000, 500000));
+  EXPECT_GT(ex.replicas_evicted, 0u);
+  // A must still be materialized (hot); B was the LRU victim.
+  bool a_mat = false, b_mat = false;
+  for (const auto& s : strat.Segments()) {
+    if (s.range == ValueRange(100000, 200000)) a_mat = true;
+    if (s.range == ValueRange(700000, 800000)) b_mat = true;
+  }
+  EXPECT_TRUE(a_mat);
+  EXPECT_FALSE(b_mat);
+}
+
+}  // namespace
+}  // namespace socs

@@ -1,0 +1,247 @@
+// Cross-module integration tests: the full simulation pipeline (paper
+// section 6.1 in miniature) and the SkyServer-style cost-model runs
+// (section 6.2 in miniature).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/units.h"
+#include "core/adaptive_replication.h"
+#include "core/adaptive_segmentation.h"
+#include "core/apm.h"
+#include "core/gaussian_dice.h"
+#include "core/non_segmented.h"
+#include "core/run_stats.h"
+#include "test_util.h"
+#include "workload/range_generator.h"
+#include "workload/skyserver.h"
+
+namespace socs {
+namespace {
+
+using testing::BruteForce;
+using testing::SortedValues;
+
+struct MiniRun {
+  RunRecorder rec;
+  uint64_t total_results = 0;
+};
+
+template <typename Strategy>
+MiniRun RunAll(Strategy& strat, const Workload& w) {
+  MiniRun r;
+  for (const RangeQuery& q : w) {
+    auto ex = strat.RunRange(q.range);
+    r.rec.Record(ex, strat.Footprint());
+    r.total_results += ex.result_count;
+  }
+  return r;
+}
+
+class SimulationPipeline : public ::testing::Test {
+ protected:
+  static constexpr size_t kValues = 50000;
+  static constexpr int32_t kDomain = 500000;
+
+  void SetUp() override { data_ = MakeUniformIntColumn(kValues, kDomain, 2008); }
+
+  std::unique_ptr<SegmentationModel> Gd() {
+    return std::make_unique<GaussianDice>(99);
+  }
+  std::unique_ptr<SegmentationModel> ApmModel() {
+    return std::make_unique<Apm>(3 * kKiB, 12 * kKiB);
+  }
+
+  std::vector<int32_t> data_;
+};
+
+TEST_F(SimulationPipeline, AllStrategiesAgreeOnEveryQuery) {
+  SegmentSpace s0, s1, s2, s3, s4;
+  NonSegmented<int32_t> base(data_, ValueRange(0, kDomain), &s0);
+  AdaptiveSegmentation<int32_t> gd_segm(data_, ValueRange(0, kDomain), Gd(), &s1);
+  AdaptiveSegmentation<int32_t> apm_segm(data_, ValueRange(0, kDomain),
+                                         ApmModel(), &s2);
+  AdaptiveReplication<int32_t> gd_repl(data_, ValueRange(0, kDomain),
+                                       std::make_unique<GaussianDice>(7), &s3);
+  AdaptiveReplication<int32_t> apm_repl(data_, ValueRange(0, kDomain),
+                                        ApmModel(), &s4);
+  UniformRangeGenerator gen(ValueRange(0, kDomain), 0.1, 17);
+  for (int i = 0; i < 120; ++i) {
+    const ValueRange q = gen.Next().range;
+    const uint64_t expect = base.RunRange(q).result_count;
+    ASSERT_EQ(gd_segm.RunRange(q).result_count, expect) << i;
+    ASSERT_EQ(apm_segm.RunRange(q).result_count, expect) << i;
+    ASSERT_EQ(gd_repl.RunRange(q).result_count, expect) << i;
+    ASSERT_EQ(apm_repl.RunRange(q).result_count, expect) << i;
+  }
+}
+
+TEST_F(SimulationPipeline, ReplicationWritesLessSegmentationReadsLess) {
+  SegmentSpace s1, s2;
+  AdaptiveSegmentation<int32_t> segm(data_, ValueRange(0, kDomain), ApmModel(),
+                                     &s1);
+  AdaptiveReplication<int32_t> repl(data_, ValueRange(0, kDomain), ApmModel(),
+                                    &s2);
+  UniformRangeGenerator g1(ValueRange(0, kDomain), 0.1, 23);
+  UniformRangeGenerator g2(ValueRange(0, kDomain), 0.1, 23);
+  Workload w1 = g1.Generate(400), w2 = g2.Generate(400);
+  MiniRun r1 = RunAll(segm, w1);
+  MiniRun r2 = RunAll(repl, w2);
+  // Paper Figs. 5-7: replication writes less; segmentation converges to
+  // reads at least as small.
+  EXPECT_LT(r2.rec.CumulativeWrites().back(), r1.rec.CumulativeWrites().back());
+  const auto reads1 = r1.rec.reads();
+  const auto reads2 = r2.rec.reads();
+  double tail1 = 0, tail2 = 0;
+  for (size_t i = 350; i < 400; ++i) {
+    tail1 += reads1[i];
+    tail2 += reads2[i];
+  }
+  EXPECT_LE(tail1, tail2 * 1.5);  // both converge to the selection size
+}
+
+TEST_F(SimulationPipeline, DeterministicAcrossRuns) {
+  auto run_once = [&]() {
+    SegmentSpace space;
+    AdaptiveSegmentation<int32_t> strat(data_, ValueRange(0, kDomain),
+                                        std::make_unique<GaussianDice>(31),
+                                        &space);
+    UniformRangeGenerator gen(ValueRange(0, kDomain), 0.05, 37);
+    uint64_t sig = 0;
+    for (int i = 0; i < 200; ++i) {
+      auto ex = strat.RunRange(gen.Next().range);
+      sig = sig * 1315423911u + ex.read_bytes + ex.write_bytes + ex.result_count;
+    }
+    return sig;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST_F(SimulationPipeline, ZipfWorkloadKeepsReorganizingLonger) {
+  // Paper Fig. 6: with skew, untouched areas are hit late, so reorganization
+  // continues deep into the run.
+  SegmentSpace s1, s2;
+  AdaptiveSegmentation<int32_t> uni_strat(data_, ValueRange(0, kDomain),
+                                          ApmModel(), &s1);
+  AdaptiveSegmentation<int32_t> zipf_strat(data_, ValueRange(0, kDomain),
+                                           ApmModel(), &s2);
+  UniformRangeGenerator ugen(ValueRange(0, kDomain), 0.001, 41);
+  ZipfRangeGenerator zgen(ValueRange(0, kDomain), 0.001, 41, 1.0, 10000);
+  int uni_last_split = -1, zipf_last_split = -1;
+  uint64_t zipf_late_splits = 0;
+  for (int i = 0; i < 4000; ++i) {
+    if (uni_strat.RunRange(ugen.Next().range).splits > 0) uni_last_split = i;
+    const uint64_t zs = zipf_strat.RunRange(zgen.Next().range).splits;
+    if (zs > 0) {
+      zipf_last_split = i;
+      if (i >= 200) zipf_late_splits += zs;
+    }
+  }
+  // Uniform placement converges quickly; skewed placement still reorganizes
+  // long after, when cold areas are hit for the first time.
+  EXPECT_LT(uni_last_split, 200);
+  EXPECT_GT(zipf_last_split, uni_last_split);
+  EXPECT_GT(zipf_late_splits, 0u);
+}
+
+TEST(SkyServerPipeline, AdaptiveBeatsNoSegmAfterWarmup) {
+  SkyServerConfig cfg;
+  cfg.num_objects = 2'000'000;  // ~8MB scaled-down column
+  auto ra = MakeRaColumn(cfg);
+  SegmentSpace s0, s1;
+  NonSegmented<float> nosegm(ra, cfg.footprint, &s0);
+  AdaptiveSegmentation<float> apm(ra, cfg.footprint,
+                                  std::make_unique<Apm>(64 * kKiB, 512 * kKiB),
+                                  &s1);
+  Workload w = MakeRandomWorkload(cfg, 100);
+  double nosegm_total = 0, apm_total = 0, apm_last20 = 0, nosegm_last20 = 0;
+  for (size_t i = 0; i < w.size(); ++i) {
+    const double t0 = nosegm.RunRange(w[i].range).TotalSeconds();
+    const double t1 = apm.RunRange(w[i].range).TotalSeconds();
+    nosegm_total += t0;
+    apm_total += t1;
+    if (i >= 80) {
+      nosegm_last20 += t0;
+      apm_last20 += t1;
+    }
+  }
+  // After warm-up the adaptive scheme is far faster per query...
+  EXPECT_LT(apm_last20, nosegm_last20 / 4);
+  // ...and has amortized its reorganization within 100 queries.
+  EXPECT_LT(apm_total, nosegm_total);
+}
+
+TEST(SkyServerPipeline, SkewedWorkloadAmortizesFaster) {
+  SkyServerConfig cfg;
+  cfg.num_objects = 2'000'000;
+  auto ra = MakeRaColumn(cfg);
+  SegmentSpace s1, s2;
+  AdaptiveSegmentation<float> random_run(
+      ra, cfg.footprint, std::make_unique<Apm>(64 * kKiB, 512 * kKiB), &s1);
+  AdaptiveSegmentation<float> skew_run(
+      ra, cfg.footprint, std::make_unique<Apm>(64 * kKiB, 512 * kKiB), &s2);
+  double random_adapt = 0, skew_adapt = 0;
+  for (const auto& q : MakeRandomWorkload(cfg, 100)) {
+    random_adapt += random_run.RunRange(q.range).adaptation_seconds;
+  }
+  for (const auto& q : MakeSkewedWorkload(cfg, 100)) {
+    skew_adapt += skew_run.RunRange(q.range).adaptation_seconds;
+  }
+  // Paper section 6.2: reorganization for the skewed load affects a very
+  // limited area, so its total adaptation overhead is smaller.
+  EXPECT_LT(skew_adapt, random_adapt);
+}
+
+TEST(SkyServerPipeline, ResultsMatchOracleOnFloats) {
+  SkyServerConfig cfg;
+  cfg.num_objects = 300000;
+  auto ra = MakeRaColumn(cfg);
+  SegmentSpace space;
+  AdaptiveSegmentation<float> strat(ra, cfg.footprint,
+                                    std::make_unique<Apm>(16 * kKiB, 64 * kKiB),
+                                    &space);
+  for (const auto& q : MakeChangingWorkload(cfg, 60)) {
+    std::vector<float> result;
+    strat.RunRange(q.range, &result);
+    ASSERT_EQ(SortedValues(result), BruteForce(ra, q.range));
+  }
+}
+
+TEST(CostModelPipeline, ConstrainedPoolMakesColdScansExpensive) {
+  // With a pool smaller than the column, the first scans pay disk bandwidth.
+  auto data = MakeUniformIntColumn(100000, 1000000, 5);  // 400KB
+  SegmentSpace small_pool(CostParams{}, 100 * kKiB);
+  SegmentSpace big_pool(CostParams{}, 0);
+  NonSegmented<int32_t> cold(data, ValueRange(0, 1000000), &small_pool);
+  NonSegmented<int32_t> warm(data, ValueRange(0, 1000000), &big_pool);
+  const double t_cold = cold.RunRange(ValueRange(0, 1000)).selection_seconds;
+  const double t_warm = warm.RunRange(ValueRange(0, 1000)).selection_seconds;
+  EXPECT_GT(t_cold, 3 * t_warm);
+  EXPECT_GT(small_pool.stats().disk_read_bytes, 0u);
+  EXPECT_EQ(big_pool.stats().disk_read_bytes, 0u);
+}
+
+TEST(RunRecorderTest, DerivedSeries) {
+  RunRecorder rec;
+  QueryExecution e1;
+  e1.read_bytes = 100;
+  e1.write_bytes = 10;
+  e1.selection_seconds = 0.5;
+  e1.adaptation_seconds = 0.5;
+  QueryExecution e2;
+  e2.read_bytes = 50;
+  e2.write_bytes = 0;
+  e2.selection_seconds = 0.25;
+  StorageFootprint fp{1000, 3, 64};
+  rec.Record(e1, fp);
+  rec.Record(e2, fp);
+  EXPECT_EQ(rec.NumQueries(), 2u);
+  EXPECT_DOUBLE_EQ(rec.CumulativeWrites().back(), 10.0);
+  EXPECT_DOUBLE_EQ(rec.CumulativeTotalSeconds().back(), 1.25);
+  EXPECT_DOUBLE_EQ(rec.AverageReadBytes(), 75.0);
+  EXPECT_DOUBLE_EQ(rec.AverageSelectionSeconds(), 0.375);
+  EXPECT_DOUBLE_EQ(rec.AverageAdaptationSeconds(), 0.25);
+}
+
+}  // namespace
+}  // namespace socs

@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include "core/segment_meta_index.h"
+
+namespace socs {
+namespace {
+
+SegmentInfo Seg(double lo, double hi, uint64_t count, SegmentId id) {
+  return SegmentInfo{ValueRange(lo, hi), count, id};
+}
+
+TEST(MetaIndexTest, InitSingleCoversDomain) {
+  SegmentMetaIndex idx(ValueRange(0, 100));
+  idx.InitSingle(Seg(0, 100, 1000, 1));
+  EXPECT_EQ(idx.Size(), 1u);
+  EXPECT_EQ(idx.TotalCount(), 1000u);
+  EXPECT_TRUE(idx.Validate().ok());
+}
+
+TEST(MetaIndexTest, InitTilingValidates) {
+  SegmentMetaIndex idx(ValueRange(0, 100));
+  idx.InitTiling({Seg(0, 30, 10, 1), Seg(30, 70, 20, 2), Seg(70, 100, 5, 3)});
+  EXPECT_EQ(idx.Size(), 3u);
+  EXPECT_TRUE(idx.Validate().ok());
+}
+
+TEST(MetaIndexTest, FindOverlappingMiddle) {
+  SegmentMetaIndex idx(ValueRange(0, 100));
+  idx.InitTiling({Seg(0, 30, 10, 1), Seg(30, 70, 20, 2), Seg(70, 100, 5, 3)});
+  auto [f, l] = idx.FindOverlapping(ValueRange(35, 40));
+  EXPECT_EQ(f, 1u);
+  EXPECT_EQ(l, 2u);
+}
+
+TEST(MetaIndexTest, FindOverlappingSpansMultiple) {
+  SegmentMetaIndex idx(ValueRange(0, 100));
+  idx.InitTiling({Seg(0, 30, 10, 1), Seg(30, 70, 20, 2), Seg(70, 100, 5, 3)});
+  auto [f, l] = idx.FindOverlapping(ValueRange(10, 80));
+  EXPECT_EQ(f, 0u);
+  EXPECT_EQ(l, 3u);
+}
+
+TEST(MetaIndexTest, FindOverlappingBoundariesAreHalfOpen) {
+  SegmentMetaIndex idx(ValueRange(0, 100));
+  idx.InitTiling({Seg(0, 50, 10, 1), Seg(50, 100, 10, 2)});
+  // Query ending exactly at 50 touches only the first segment.
+  auto [f1, l1] = idx.FindOverlapping(ValueRange(10, 50));
+  EXPECT_EQ(f1, 0u);
+  EXPECT_EQ(l1, 1u);
+  // Query starting exactly at 50 touches only the second.
+  auto [f2, l2] = idx.FindOverlapping(ValueRange(50, 60));
+  EXPECT_EQ(f2, 1u);
+  EXPECT_EQ(l2, 2u);
+}
+
+TEST(MetaIndexTest, FindOverlappingEmptyQuery) {
+  SegmentMetaIndex idx(ValueRange(0, 100));
+  idx.InitSingle(Seg(0, 100, 10, 1));
+  auto [f, l] = idx.FindOverlapping(ValueRange(42, 42));
+  EXPECT_EQ(f, l);
+}
+
+TEST(MetaIndexTest, FindOverlappingOutsideDomain) {
+  SegmentMetaIndex idx(ValueRange(0, 100));
+  idx.InitSingle(Seg(0, 100, 10, 1));
+  auto [f, l] = idx.FindOverlapping(ValueRange(200, 300));
+  EXPECT_EQ(f, l);
+}
+
+TEST(MetaIndexTest, ReplaceSplitsSegment) {
+  SegmentMetaIndex idx(ValueRange(0, 100));
+  idx.InitTiling({Seg(0, 50, 10, 1), Seg(50, 100, 30, 2)});
+  idx.Replace(1, {Seg(50, 60, 5, 3), Seg(60, 80, 20, 4), Seg(80, 100, 5, 5)});
+  EXPECT_EQ(idx.Size(), 4u);
+  EXPECT_TRUE(idx.Validate().ok());
+  EXPECT_EQ(idx.TotalCount(), 40u);
+  EXPECT_EQ(idx.At(1).id, 3u);
+  EXPECT_EQ(idx.At(3).id, 5u);
+}
+
+TEST(MetaIndexTest, ValidateDetectsGap) {
+  SegmentMetaIndex idx(ValueRange(0, 100));
+  // Bypass InitTiling's check via InitSingle then inspect Validate directly:
+  // construct a broken tiling through InitTiling would die, so check the
+  // validator on a correct one instead and a domain mismatch via a fresh idx.
+  idx.InitSingle(Seg(0, 100, 10, 1));
+  EXPECT_TRUE(idx.Validate().ok());
+  SegmentMetaIndex empty(ValueRange(0, 1));
+  EXPECT_FALSE(empty.Validate().ok());
+}
+
+TEST(MetaIndexTest, IndexBytesIsSparse) {
+  SegmentMetaIndex idx(ValueRange(0, 100));
+  idx.InitSingle(Seg(0, 100, 1000000, 1));
+  // One entry of bookkeeping for a million values: a *sparse* index.
+  EXPECT_LT(idx.IndexBytes(), 100u);
+}
+
+TEST(ValueRangeTest, Basics) {
+  ValueRange r(10, 20);
+  EXPECT_TRUE(r.Contains(10));
+  EXPECT_FALSE(r.Contains(20));
+  EXPECT_EQ(r.Span(), 10);
+  EXPECT_TRUE(r.Overlaps(ValueRange(19, 25)));
+  EXPECT_FALSE(r.Overlaps(ValueRange(20, 25)));
+  EXPECT_TRUE(r.ContainsRange(ValueRange(12, 18)));
+  EXPECT_FALSE(r.ContainsRange(ValueRange(12, 21)));
+  EXPECT_EQ(r.Intersect(ValueRange(15, 30)), ValueRange(15, 20));
+  EXPECT_TRUE(r.Intersect(ValueRange(25, 30)).Empty());
+}
+
+}  // namespace
+}  // namespace socs

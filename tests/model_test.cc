@@ -1,0 +1,214 @@
+#include <gtest/gtest.h>
+
+#include "common/units.h"
+#include "core/apm.h"
+#include "core/gaussian_dice.h"
+
+namespace socs {
+namespace {
+
+SplitGeometry Geo(uint64_t seg, uint64_t total, uint64_t left, uint64_t mid,
+                  uint64_t right) {
+  SplitGeometry g;
+  g.seg_bytes = seg;
+  g.total_bytes = total;
+  g.left_bytes = left;
+  g.mid_bytes = mid;
+  g.right_bytes = right;
+  g.has_left = left > 0;
+  g.has_right = right > 0;
+  return g;
+}
+
+// --- Gaussian Dice ----------------------------------------------------------
+
+TEST(GaussianDiceTest, ProbabilityPeaksAtHalf) {
+  EXPECT_DOUBLE_EQ(GaussianDice::DecisionProbability(0.5, 0.3), 1.0);
+  EXPECT_GT(GaussianDice::DecisionProbability(0.5, 0.1),
+            GaussianDice::DecisionProbability(0.4, 0.1));
+  EXPECT_GT(GaussianDice::DecisionProbability(0.4, 0.1),
+            GaussianDice::DecisionProbability(0.1, 0.1));
+}
+
+TEST(GaussianDiceTest, ProbabilityIsSymmetricAroundHalf) {
+  for (double d : {0.1, 0.2, 0.3}) {
+    EXPECT_NEAR(GaussianDice::DecisionProbability(0.5 - d, 0.2),
+                GaussianDice::DecisionProbability(0.5 + d, 0.2), 1e-12);
+  }
+}
+
+TEST(GaussianDiceTest, LargerSegmentsSplitMoreEasily) {
+  // sigma = seg/total: big segments have flat curves -> higher probability
+  // for off-center cuts (the paper's "preference to selections splitting
+  // relatively large segments").
+  EXPECT_GT(GaussianDice::DecisionProbability(0.1, 1.0),
+            GaussianDice::DecisionProbability(0.1, 0.05));
+}
+
+TEST(GaussianDiceTest, ZeroSigmaNeverSplits) {
+  EXPECT_DOUBLE_EQ(GaussianDice::DecisionProbability(0.3, 0.0), 0.0);
+}
+
+TEST(GaussianDiceTest, QueryCoveringSegmentNeverSplits) {
+  GaussianDice gd(1);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(gd.Decide(Geo(1000, 10000, 0, 1000, 0)), SplitAction::kKeep);
+  }
+}
+
+TEST(GaussianDiceTest, HalfSplitOfWholeColumnAlmostAlwaysSplits) {
+  // x = 0.5 => O(x) = 1: every draw r < 1 splits.
+  GaussianDice gd(2);
+  int splits = 0;
+  for (int i = 0; i < 200; ++i) {
+    splits += gd.Decide(Geo(1000, 1000, 500, 500, 0)) ==
+              SplitAction::kSplitAtBounds;
+  }
+  EXPECT_EQ(splits, 200);
+}
+
+TEST(GaussianDiceTest, TinyCutOfSmallSegmentRarelySplits) {
+  GaussianDice gd(3);
+  int splits = 0;
+  for (int i = 0; i < 1000; ++i) {
+    // x = 0.01, sigma = 0.01: probability ~ exp(-0.49^2/0.0002) ~ 0.
+    splits += gd.Decide(Geo(1000, 100000, 0, 10, 990)) ==
+              SplitAction::kSplitAtBounds;
+  }
+  EXPECT_EQ(splits, 0);
+}
+
+TEST(GaussianDiceTest, SplitRateTracksProbability) {
+  GaussianDice gd(4);
+  // x = 0.4, sigma = 0.5 -> O(x) = exp(-0.01/0.5) ~ 0.9802
+  const double expected = GaussianDice::DecisionProbability(0.4, 0.5);
+  int splits = 0;
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) {
+    splits += gd.Decide(Geo(5000, 10000, 3000, 2000, 0)) ==
+              SplitAction::kSplitAtBounds;
+  }
+  EXPECT_NEAR(static_cast<double>(splits) / n, expected, 0.02);
+}
+
+TEST(GaussianDiceTest, CloneReproducesSequence) {
+  GaussianDice gd(99);
+  auto clone = gd.Clone();
+  SplitGeometry g = Geo(1000, 2000, 300, 400, 300);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(gd.Decide(g), clone->Decide(g));
+  }
+}
+
+TEST(GaussianDiceTest, NameAndBounds) {
+  GaussianDice gd;
+  EXPECT_EQ(gd.Name(), "GD");
+  EXPECT_EQ(gd.min_bytes(), 0u);
+  EXPECT_EQ(gd.max_bytes(), UINT64_MAX);
+}
+
+// --- APM --------------------------------------------------------------------
+
+class ApmRuleTest : public ::testing::Test {
+ protected:
+  static constexpr uint64_t kMin = 3 * kKiB;
+  static constexpr uint64_t kMax = 12 * kKiB;
+  Apm apm_{kMin, kMax};
+  static constexpr uint64_t kTotal = 400 * kKiB;
+};
+
+TEST_F(ApmRuleTest, Rule1SmallSegmentsNeverSplit) {
+  EXPECT_EQ(apm_.Decide(Geo(kMin - 1, kTotal, 1000, 1000, 1070)),
+            SplitAction::kKeep);
+}
+
+TEST_F(ApmRuleTest, Rule2SplitsWhenAllPiecesLargeEnough) {
+  EXPECT_EQ(apm_.Decide(Geo(12 * kKiB, kTotal, 4 * kKiB, 4 * kKiB, 4 * kKiB)),
+            SplitAction::kSplitAtBounds);
+}
+
+TEST_F(ApmRuleTest, Rule2TwoPieceSplit) {
+  SplitGeometry g = Geo(10 * kKiB, kTotal, 0, 5 * kKiB, 5 * kKiB);
+  EXPECT_EQ(apm_.Decide(g), SplitAction::kSplitAtBounds);
+}
+
+TEST_F(ApmRuleTest, Rule3SmallPieceInLargeSegmentSplitsBounded) {
+  // A point-ish query chips 1KB out of a 20KB segment: piece < Mmin but
+  // segment > Mmax -> bounded split.
+  EXPECT_EQ(apm_.Decide(Geo(20 * kKiB, kTotal, 10 * kKiB, kKiB, 9 * kKiB)),
+            SplitAction::kSplitBounded);
+}
+
+TEST_F(ApmRuleTest, SmallPieceInMidSizeSegmentKeeps) {
+  // Segment between Mmin and Mmax: a too-small piece means no split at all.
+  EXPECT_EQ(apm_.Decide(Geo(10 * kKiB, kTotal, 5 * kKiB, kKiB, 4 * kKiB)),
+            SplitAction::kKeep);
+}
+
+TEST_F(ApmRuleTest, CoveringQueryKeeps) {
+  EXPECT_EQ(apm_.Decide(Geo(20 * kKiB, kTotal, 0, 20 * kKiB, 0)),
+            SplitAction::kKeep);
+}
+
+TEST_F(ApmRuleTest, DeterministicAcrossCalls) {
+  SplitGeometry g = Geo(20 * kKiB, kTotal, 10 * kKiB, kKiB, 9 * kKiB);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(apm_.Decide(g), SplitAction::kSplitBounded);
+  }
+}
+
+TEST_F(ApmRuleTest, NameEncodesBounds) {
+  EXPECT_EQ(apm_.Name(), "APM 3.0KB-12.0KB");
+  EXPECT_EQ(apm_.min_bytes(), kMin);
+  EXPECT_EQ(apm_.max_bytes(), kMax);
+}
+
+TEST_F(ApmRuleTest, CloneKeepsBounds) {
+  auto c = apm_.Clone();
+  EXPECT_EQ(c->min_bytes(), kMin);
+  EXPECT_EQ(c->max_bytes(), kMax);
+  EXPECT_EQ(c->Name(), apm_.Name());
+}
+
+// Parameterized sweep: decisions respect the Mmin boundary exactly.
+class ApmBoundarySweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ApmBoundarySweep, MinPieceBoundaryIsExact) {
+  const uint64_t piece = GetParam();
+  Apm apm(4096, 16384);
+  // Segment of 3 * piece cut into three equal pieces.
+  SplitGeometry g = Geo(3 * piece, 1 << 20, piece, piece, piece);
+  const SplitAction a = apm.Decide(g);
+  if (3 * piece < 4096) {
+    EXPECT_EQ(a, SplitAction::kKeep);  // rule 1
+  } else if (piece >= 4096) {
+    EXPECT_EQ(a, SplitAction::kSplitAtBounds);  // rule 2
+  } else if (3 * piece > 16384) {
+    EXPECT_EQ(a, SplitAction::kSplitBounded);  // rule 3
+  } else {
+    EXPECT_EQ(a, SplitAction::kKeep);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Boundary, ApmBoundarySweep,
+                         ::testing::Values(512, 1365, 4095, 4096, 5461, 5462,
+                                           8192, 16384));
+
+TEST(SplitGeometryTest, Helpers) {
+  SplitGeometry g = Geo(100, 1000, 20, 30, 50);
+  EXPECT_FALSE(g.QueryCoversSegment());
+  EXPECT_EQ(g.MinPieceBytes(), 20u);
+  EXPECT_EQ(g.NumPieces(), 3);
+  SplitGeometry cover = Geo(100, 1000, 0, 100, 0);
+  EXPECT_TRUE(cover.QueryCoversSegment());
+  EXPECT_EQ(cover.NumPieces(), 1);
+}
+
+TEST(SplitActionTest, Names) {
+  EXPECT_STREQ(SplitActionName(SplitAction::kKeep), "keep");
+  EXPECT_STREQ(SplitActionName(SplitAction::kSplitAtBounds), "split-at-bounds");
+  EXPECT_STREQ(SplitActionName(SplitAction::kSplitBounded), "split-bounded");
+}
+
+}  // namespace
+}  // namespace socs

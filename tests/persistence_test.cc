@@ -1,0 +1,195 @@
+// Persistence (save/restore of a learned segmentation) and bulk appends.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <memory>
+
+#include "common/rng.h"
+#include "common/units.h"
+#include "core/adaptive_segmentation.h"
+#include "core/apm.h"
+#include "core/column_persistence.h"
+#include "test_util.h"
+#include "workload/range_generator.h"
+
+namespace socs {
+namespace {
+
+using testing::BruteForce;
+using testing::SortedValues;
+
+std::unique_ptr<SegmentationModel> Model() {
+  return std::make_unique<Apm>(3 * kKiB, 12 * kKiB);
+}
+
+std::string TempDirFor(const char* name) {
+  const std::string dir = ::testing::TempDir() + "/socs_" + name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+TEST(PersistenceTest, SaveLoadRoundtripPreservesLayoutAndData) {
+  auto data = MakeUniformIntColumn(50000, 500000, 1);
+  SegmentSpace space;
+  AdaptiveSegmentation<int32_t> strat(data, ValueRange(0, 500000), Model(),
+                                      &space);
+  UniformRangeGenerator gen(ValueRange(0, 500000), 0.05, 2);
+  for (int i = 0; i < 200; ++i) strat.RunRange(gen.Next().range);
+  const auto before = strat.Segments();
+  ASSERT_GT(before.size(), 5u);
+
+  const std::string dir = TempDirFor("roundtrip");
+  ASSERT_TRUE(SaveSegments<int32_t>(before, space, dir).ok());
+
+  SegmentSpace space2;
+  auto loaded = LoadSegments<int32_t>(&space2, dir);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->size(), before.size());
+  for (size_t i = 0; i < before.size(); ++i) {
+    EXPECT_EQ((*loaded)[i].range, before[i].range);
+    EXPECT_EQ((*loaded)[i].count, before[i].count);
+    // Payloads byte-identical.
+    auto a = space.Peek<int32_t>(before[i].id);
+    auto b = space2.Peek<int32_t>((*loaded)[i].id);
+    ASSERT_TRUE(std::equal(a.begin(), a.end(), b.begin(), b.end()));
+  }
+}
+
+TEST(PersistenceTest, RestoredStrategyAnswersQueries) {
+  auto data = MakeUniformIntColumn(30000, 300000, 3);
+  SegmentSpace space;
+  AdaptiveSegmentation<int32_t> strat(data, ValueRange(0, 300000), Model(),
+                                      &space);
+  UniformRangeGenerator gen(ValueRange(0, 300000), 0.05, 4);
+  for (int i = 0; i < 100; ++i) strat.RunRange(gen.Next().range);
+
+  const std::string dir = TempDirFor("restore");
+  ASSERT_TRUE(SaveSegments<int32_t>(strat.Segments(), space, dir).ok());
+
+  SegmentSpace space2;
+  auto loaded = LoadSegments<int32_t>(&space2, dir);
+  ASSERT_TRUE(loaded.ok());
+  AdaptiveSegmentation<int32_t> restored(ValueRange(0, 300000),
+                                         std::move(loaded.value()), Model(),
+                                         &space2);
+  Rng rng(5);
+  for (int i = 0; i < 50; ++i) {
+    const double lo = rng.NextUniform(0, 280000);
+    const ValueRange q(lo, lo + rng.NextUniform(100, 20000));
+    std::vector<int32_t> result;
+    restored.RunRange(q, &result);
+    ASSERT_EQ(SortedValues(result), BruteForce(data, q)) << "query " << i;
+  }
+  // The learned layout carried over: no warm-up rescan of the whole column.
+  auto ex = restored.RunRange(ValueRange(100000, 110000));
+  EXPECT_LT(ex.read_bytes, 50000u);
+}
+
+TEST(PersistenceTest, LoadRejectsValueSizeMismatch) {
+  auto data = MakeUniformIntColumn(1000, 10000, 6);
+  SegmentSpace space;
+  AdaptiveSegmentation<int32_t> strat(data, ValueRange(0, 10000), Model(),
+                                      &space);
+  const std::string dir = TempDirFor("mismatch");
+  ASSERT_TRUE(SaveSegments<int32_t>(strat.Segments(), space, dir).ok());
+  SegmentSpace space2;
+  auto loaded = LoadSegments<double>(&space2, dir);  // wrong type
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(PersistenceTest, LoadMissingDirIsNotFound) {
+  SegmentSpace space;
+  auto loaded = LoadSegments<int32_t>(&space, "/nonexistent/socs/dir");
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kNotFound);
+}
+
+TEST(PersistenceTest, OidValuePayloadRoundtrip) {
+  SegmentSpace space;
+  std::vector<OidValue> data;
+  Rng rng(7);
+  for (uint64_t i = 0; i < 5000; ++i) data.push_back({i, rng.NextUniform(0, 100)});
+  AdaptiveSegmentation<OidValue> strat(data, ValueRange(0, 100),
+                                       std::make_unique<Apm>(1024, 4096), &space);
+  strat.RunRange(ValueRange(20, 60));
+  const std::string dir = TempDirFor("oidvalue");
+  ASSERT_TRUE(SaveSegments<OidValue>(strat.Segments(), space, dir).ok());
+  SegmentSpace space2;
+  auto loaded = LoadSegments<OidValue>(&space2, dir);
+  ASSERT_TRUE(loaded.ok());
+  uint64_t total = 0;
+  for (const auto& s : *loaded) total += s.count;
+  EXPECT_EQ(total, 5000u);
+}
+
+TEST(BulkAppendTest, AppendedValuesAreQueryable) {
+  auto data = MakeUniformIntColumn(20000, 100000, 8);
+  SegmentSpace space;
+  AdaptiveSegmentation<int32_t> strat(data, ValueRange(0, 100000), Model(),
+                                      &space);
+  UniformRangeGenerator gen(ValueRange(0, 100000), 0.05, 9);
+  for (int i = 0; i < 100; ++i) strat.RunRange(gen.Next().range);
+
+  auto extra = MakeUniformIntColumn(5000, 100000, 10);
+  auto ex = strat.BulkAppend(extra);
+  EXPECT_GT(ex.write_bytes, extra.size() * sizeof(int32_t));
+
+  std::vector<int32_t> all = data;
+  all.insert(all.end(), extra.begin(), extra.end());
+  Rng rng(11);
+  for (int i = 0; i < 50; ++i) {
+    const double lo = rng.NextUniform(0, 90000);
+    const ValueRange q(lo, lo + rng.NextUniform(100, 20000));
+    std::vector<int32_t> result;
+    strat.RunRange(q, &result);
+    ASSERT_EQ(SortedValues(result), BruteForce(all, q)) << "query " << i;
+    ASSERT_TRUE(strat.index().Validate().ok());
+  }
+  EXPECT_EQ(strat.index().TotalCount(), 25000u);
+}
+
+TEST(BulkAppendTest, RewritesOnlyAffectedSegments) {
+  auto data = MakeUniformIntColumn(50000, 500000, 12);
+  SegmentSpace space;
+  AdaptiveSegmentation<int32_t> strat(data, ValueRange(0, 500000), Model(),
+                                      &space);
+  UniformRangeGenerator gen(ValueRange(0, 500000), 0.05, 13);
+  for (int i = 0; i < 200; ++i) strat.RunRange(gen.Next().range);
+  // Append values into a narrow range: only that neighbourhood is rewritten.
+  std::vector<int32_t> extra;
+  Rng rng(14);
+  for (int i = 0; i < 1000; ++i) {
+    extra.push_back(static_cast<int32_t>(rng.NextInt(100000, 105000)));
+  }
+  auto ex = strat.BulkAppend(extra);
+  EXPECT_LT(ex.read_bytes, 60000u);  // a few segments, not the whole 200KB
+}
+
+TEST(BulkAppendTest, EmptyAppendIsNoop) {
+  auto data = MakeUniformIntColumn(1000, 10000, 15);
+  SegmentSpace space;
+  AdaptiveSegmentation<int32_t> strat(data, ValueRange(0, 10000), Model(),
+                                      &space);
+  auto ex = strat.BulkAppend({});
+  EXPECT_EQ(ex.write_bytes, 0u);
+  EXPECT_EQ(strat.index().TotalCount(), 1000u);
+}
+
+TEST(BulkAppendTest, AppendThenAdaptSplitsGrownSegments) {
+  // After a load makes segments exceed Mmax, subsequent queries re-split.
+  auto data = MakeUniformIntColumn(10000, 100000, 16);  // 40KB
+  SegmentSpace space;
+  AdaptiveSegmentation<int32_t> strat(data, ValueRange(0, 100000), Model(),
+                                      &space);
+  UniformRangeGenerator gen(ValueRange(0, 100000), 0.1, 17);
+  for (int i = 0; i < 100; ++i) strat.RunRange(gen.Next().range);
+  const size_t before = strat.Segments().size();
+  strat.BulkAppend(MakeUniformIntColumn(30000, 100000, 18));  // x4 the data
+  for (int i = 0; i < 200; ++i) strat.RunRange(gen.Next().range);
+  EXPECT_GT(strat.Segments().size(), before);
+  EXPECT_TRUE(strat.index().Validate().ok());
+}
+
+}  // namespace
+}  // namespace socs

@@ -1,0 +1,199 @@
+#include <gtest/gtest.h>
+
+#include "core/replica_tree.h"
+
+namespace socs {
+namespace {
+
+TEST(ReplicaTreeTest, InitColumnBuildsSingleMaterializedChild) {
+  ReplicaTree tree(ValueRange(0, 100));
+  ReplicaNode* root = tree.InitColumn(1000, 42);
+  EXPECT_TRUE(root->materialized);
+  EXPECT_EQ(root->count, 1000u);
+  EXPECT_EQ(tree.NodeCount(), 1u);
+  EXPECT_EQ(tree.MaterializedValues(), 1000u);
+  EXPECT_TRUE(tree.Validate().ok());
+}
+
+TEST(ReplicaTreeTest, GetCoverReturnsRootInitially) {
+  ReplicaTree tree(ValueRange(0, 100));
+  ReplicaNode* root = tree.InitColumn(1000, 42);
+  std::vector<ReplicaNode*> cover;
+  ASSERT_TRUE(tree.GetCover(ValueRange(10, 20), &cover));
+  ASSERT_EQ(cover.size(), 1u);
+  EXPECT_EQ(cover[0], root);
+}
+
+TEST(ReplicaTreeTest, GetCoverOutsideDomainIsEmpty) {
+  ReplicaTree tree(ValueRange(0, 100));
+  tree.InitColumn(1000, 42);
+  std::vector<ReplicaNode*> cover;
+  ASSERT_TRUE(tree.GetCover(ValueRange(200, 300), &cover));
+  EXPECT_TRUE(cover.empty());
+}
+
+TEST(ReplicaTreeTest, AddChildrenTilesParent) {
+  ReplicaTree tree(ValueRange(0, 100));
+  ReplicaNode* root = tree.InitColumn(1000, 42);
+  auto kids = tree.AddChildren(
+      root, {{{0, 30}, 300}, {{30, 60}, 300}, {{60, 100}, 400}});
+  ASSERT_EQ(kids.size(), 3u);
+  EXPECT_EQ(kids[0]->parent, root);
+  EXPECT_FALSE(kids[0]->materialized);
+  EXPECT_TRUE(tree.Validate().ok());
+  EXPECT_EQ(tree.NodeCount(), 4u);
+  EXPECT_EQ(tree.MaxDepth(), 2u);
+}
+
+TEST(ReplicaTreeTest, CoverPrefersDeepestMaterialized) {
+  ReplicaTree tree(ValueRange(0, 100));
+  ReplicaNode* root = tree.InitColumn(1000, 42);
+  auto kids = tree.AddChildren(root, {{{0, 50}, 500}, {{50, 100}, 500}});
+  kids[0]->materialized = true;
+  kids[0]->seg = 43;
+  kids[0]->count = 480;
+  kids[0]->count_exact = true;
+  std::vector<ReplicaNode*> cover;
+  // Query inside the materialized child: the child covers it.
+  ASSERT_TRUE(tree.GetCover(ValueRange(10, 20), &cover));
+  ASSERT_EQ(cover.size(), 1u);
+  EXPECT_EQ(cover[0], kids[0]);
+  // Query overlapping the virtual child: fall back to the root.
+  ASSERT_TRUE(tree.GetCover(ValueRange(40, 60), &cover));
+  ASSERT_EQ(cover.size(), 1u);
+  EXPECT_EQ(cover[0], root);
+}
+
+TEST(ReplicaTreeTest, CoverUsesDisjointSubtrees) {
+  ReplicaTree tree(ValueRange(0, 100));
+  ReplicaNode* root = tree.InitColumn(1000, 42);
+  auto kids = tree.AddChildren(root, {{{0, 50}, 500}, {{50, 100}, 500}});
+  for (auto* k : kids) {
+    k->materialized = true;
+    k->seg = 50 + k->range.lo;
+    k->count_exact = true;
+  }
+  std::vector<ReplicaNode*> cover;
+  ASSERT_TRUE(tree.GetCover(ValueRange(40, 60), &cover));
+  ASSERT_EQ(cover.size(), 2u);
+  EXPECT_EQ(cover[0], kids[0]);
+  EXPECT_EQ(cover[1], kids[1]);
+}
+
+TEST(ReplicaTreeTest, CheckForDropReleasesFullyReplicatedParent) {
+  ReplicaTree tree(ValueRange(0, 100));
+  ReplicaNode* root = tree.InitColumn(1000, 42);
+  auto kids = tree.AddChildren(root, {{{0, 50}, 500}, {{50, 100}, 500}});
+  for (auto* k : kids) {
+    k->materialized = true;
+    k->seg = 50 + static_cast<SegmentId>(k->range.lo);
+    k->count_exact = true;
+  }
+  std::vector<SegmentId> freed;
+  uint64_t drops = 0;
+  tree.CheckForDrop(root, &freed, &drops);
+  EXPECT_EQ(drops, 1u);
+  ASSERT_EQ(freed.size(), 1u);
+  EXPECT_EQ(freed[0], 42u);  // the root's segment is released
+  // The children now hang off the sentinel.
+  EXPECT_EQ(tree.sentinel()->children.size(), 2u);
+  EXPECT_EQ(tree.NodeCount(), 2u);
+  EXPECT_TRUE(tree.Validate().ok());
+}
+
+TEST(ReplicaTreeTest, DropCascadesBottomUp) {
+  ReplicaTree tree(ValueRange(0, 100));
+  ReplicaNode* root = tree.InitColumn(1000, 1);
+  auto kids = tree.AddChildren(root, {{{0, 50}, 500}, {{50, 100}, 500}});
+  kids[1]->materialized = true;
+  kids[1]->seg = 2;
+  // kids[0] is virtual but its own children become materialized:
+  auto grand = tree.AddChildren(kids[0], {{{0, 20}, 200}, {{20, 50}, 300}});
+  grand[0]->materialized = true;
+  grand[0]->seg = 3;
+  grand[1]->materialized = true;
+  grand[1]->seg = 4;
+  std::vector<SegmentId> freed;
+  uint64_t drops = 0;
+  tree.CheckForDrop(root, &freed, &drops);
+  // kids[0] (virtual) dropped, then root dropped: grandchildren + kids[1]
+  // splice up to the sentinel.
+  EXPECT_EQ(drops, 2u);
+  ASSERT_EQ(freed.size(), 1u);
+  EXPECT_EQ(freed[0], 1u);
+  EXPECT_EQ(tree.sentinel()->children.size(), 3u);
+  EXPECT_TRUE(tree.Validate().ok());
+  EXPECT_EQ(tree.MaxDepth(), 1u);
+}
+
+TEST(ReplicaTreeTest, NoDropWhileAnyChildVirtual) {
+  ReplicaTree tree(ValueRange(0, 100));
+  ReplicaNode* root = tree.InitColumn(1000, 1);
+  auto kids = tree.AddChildren(root, {{{0, 50}, 500}, {{50, 100}, 500}});
+  kids[0]->materialized = true;
+  kids[0]->seg = 2;
+  std::vector<SegmentId> freed;
+  uint64_t drops = 0;
+  tree.CheckForDrop(root, &freed, &drops);
+  EXPECT_EQ(drops, 0u);
+  EXPECT_TRUE(freed.empty());
+  EXPECT_TRUE(tree.Validate().ok());
+}
+
+TEST(ReplicaTreeTest, SentinelNeverDropped) {
+  ReplicaTree tree(ValueRange(0, 100));
+  ReplicaNode* root = tree.InitColumn(1000, 1);
+  std::vector<SegmentId> freed;
+  uint64_t drops = 0;
+  tree.CheckForDrop(root, &freed, &drops);  // root is a leaf: nothing happens
+  EXPECT_EQ(drops, 0u);
+  EXPECT_EQ(tree.sentinel()->children.size(), 1u);
+}
+
+TEST(ReplicaTreeTest, EstimateCountInterpolates) {
+  ReplicaNode n;
+  n.range = ValueRange(0, 100);
+  n.count = 1000;
+  EXPECT_EQ(ReplicaTree::EstimateCount(n, ValueRange(0, 50)), 500u);
+  EXPECT_EQ(ReplicaTree::EstimateCount(n, ValueRange(25, 35)), 100u);
+  EXPECT_EQ(ReplicaTree::EstimateCount(n, ValueRange(0, 100)), 1000u);
+  // Sub-range clipped to the node's range.
+  EXPECT_EQ(ReplicaTree::EstimateCount(n, ValueRange(90, 200)), 100u);
+}
+
+TEST(ReplicaTreeTest, MaterializedNodesSortedByRange) {
+  ReplicaTree tree(ValueRange(0, 100));
+  ReplicaNode* root = tree.InitColumn(1000, 1);
+  auto kids = tree.AddChildren(root, {{{0, 50}, 500}, {{50, 100}, 500}});
+  kids[1]->materialized = true;
+  kids[1]->seg = 2;
+  kids[1]->count = 490;
+  auto mats = tree.MaterializedNodes();
+  ASSERT_EQ(mats.size(), 2u);
+  EXPECT_EQ(mats[0]->range.lo, 0);   // root first (same lo, wider range)
+  EXPECT_EQ(mats[1]->range.lo, 50);
+  EXPECT_EQ(tree.MaterializedNodeCount(), 2u);
+  EXPECT_EQ(tree.MaterializedValues(), 1490u);
+}
+
+TEST(ReplicaTreeTest, CoverInfosMatchesGetCover) {
+  ReplicaTree tree(ValueRange(0, 100));
+  ReplicaNode* root = tree.InitColumn(1000, 7);
+  auto infos = tree.CoverInfos(ValueRange(10, 20));
+  ASSERT_EQ(infos.size(), 1u);
+  EXPECT_EQ(infos[0].id, 7u);
+  EXPECT_EQ(infos[0].count, 1000u);
+  (void)root;
+}
+
+TEST(ReplicaTreeTest, ValidateCatchesUncoveredLeaf) {
+  ReplicaTree tree(ValueRange(0, 100));
+  ReplicaNode* root = tree.InitColumn(1000, 1);
+  auto kids = tree.AddChildren(root, {{{0, 50}, 500}, {{50, 100}, 500}});
+  root->materialized = false;  // break the invariant by hand
+  EXPECT_FALSE(tree.Validate().ok());
+  (void)kids;
+}
+
+}  // namespace
+}  // namespace socs

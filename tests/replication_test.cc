@@ -1,0 +1,236 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/rng.h"
+#include "common/units.h"
+#include "core/adaptive_replication.h"
+#include "core/adaptive_segmentation.h"
+#include "core/apm.h"
+#include "core/gaussian_dice.h"
+#include "test_util.h"
+#include "workload/range_generator.h"
+
+namespace socs {
+namespace {
+
+using testing::BruteForce;
+using testing::SortedValues;
+
+std::unique_ptr<SegmentationModel> MakeModel(const std::string& kind,
+                                             uint64_t seed = 7) {
+  if (kind == "GD") return std::make_unique<GaussianDice>(seed);
+  return std::make_unique<Apm>(3 * kKiB, 12 * kKiB);
+}
+
+TEST(AdaptiveReplicationTest, FirstQueryCreatesReplicaOfSelection) {
+  SegmentSpace space;
+  auto data = MakeUniformIntColumn(100000, 1000000, 1);  // 400KB
+  AdaptiveReplication<int32_t> strat(data, ValueRange(0, 1000000),
+                                     MakeModel("APM"), &space);
+  auto ex = strat.RunRange(ValueRange(450000, 550000));  // central 10%
+  EXPECT_EQ(ex.replicas_created, 1u);
+  // Lazy materialization: only the selection piece is written (~40KB),
+  // not the whole 400KB segment.
+  EXPECT_LT(ex.write_bytes, 60000u);
+  EXPECT_GT(ex.write_bytes, 20000u);
+  // The original column still exists: storage grew.
+  EXPECT_GT(strat.Footprint().materialized_bytes, 400000u);
+  EXPECT_TRUE(strat.tree().Validate().ok());
+}
+
+TEST(AdaptiveReplicationTest, ResultsMatchBruteForce) {
+  SegmentSpace space;
+  auto data = MakeUniformIntColumn(20000, 100000, 2);
+  AdaptiveReplication<int32_t> strat(data, ValueRange(0, 100000),
+                                     MakeModel("APM"), &space);
+  Rng rng(3);
+  for (int i = 0; i < 150; ++i) {
+    const double lo = rng.NextUniform(0, 90000);
+    const ValueRange q(lo, lo + rng.NextUniform(100, 30000));
+    std::vector<int32_t> result;
+    auto ex = strat.RunRange(q, &result);
+    ASSERT_EQ(ex.result_count, result.size());
+    ASSERT_EQ(SortedValues(result), BruteForce(data, q)) << "query " << i;
+    ASSERT_TRUE(strat.tree().Validate().ok()) << "after query " << i;
+  }
+}
+
+TEST(AdaptiveReplicationTest, RepeatedQueryServedFromReplica) {
+  SegmentSpace space;
+  auto data = MakeUniformIntColumn(100000, 1000000, 4);
+  AdaptiveReplication<int32_t> strat(data, ValueRange(0, 1000000),
+                                     MakeModel("APM"), &space);
+  const ValueRange q(450000, 550000);
+  auto first = strat.RunRange(q);
+  auto second = strat.RunRange(q);
+  EXPECT_EQ(first.read_bytes, 400000u);      // full column scan
+  EXPECT_LT(second.read_bytes, 60000u);      // replica only
+  EXPECT_EQ(second.write_bytes, 0u);         // nothing new to materialize
+  EXPECT_EQ(first.result_count, second.result_count);
+}
+
+TEST(AdaptiveReplicationTest, UntouchedAreaCausesFullScanSpike) {
+  // Paper Fig. 7: queries hitting areas covered only by virtual segments
+  // must re-scan the covering (large) segment.
+  SegmentSpace space;
+  auto data = MakeUniformIntColumn(100000, 1000000, 5);
+  AdaptiveReplication<int32_t> strat(data, ValueRange(0, 1000000),
+                                     MakeModel("APM"), &space);
+  strat.RunRange(ValueRange(100000, 200000));
+  auto spike = strat.RunRange(ValueRange(700000, 800000));
+  EXPECT_EQ(spike.read_bytes, 400000u);  // the original column again
+}
+
+TEST(AdaptiveReplicationTest, RootDroppedOnceFullyReplicated) {
+  SegmentSpace space;
+  // Small column, queries that tile the domain.
+  auto data = MakeUniformIntColumn(50000, 100000, 6);  // 200KB
+  AdaptiveReplication<int32_t> strat(data, ValueRange(0, 100000),
+                                     MakeModel("APM"), &space);
+  uint64_t drops = 0;
+  // Sweep left to right in 10% windows so all complements materialize.
+  for (int pass = 0; pass < 3; ++pass) {
+    for (int i = 0; i < 10; ++i) {
+      auto ex = strat.RunRange(ValueRange(i * 10000.0, (i + 1) * 10000.0));
+      drops += ex.segments_dropped;
+    }
+  }
+  EXPECT_GT(drops, 0u);
+  // After the sweeps, storage must be close to the column size again
+  // (paper Fig. 8: replica tree converges to a segment list).
+  EXPECT_LT(strat.Footprint().materialized_bytes, 300000u);
+  EXPECT_TRUE(strat.tree().Validate().ok());
+}
+
+TEST(AdaptiveReplicationTest, WritesLessThanSegmentationApm) {
+  // The paper's headline overhead claim (Figs. 5-6): adaptive replication
+  // needs fewer memory writes than adaptive segmentation; for APM stable
+  // around a factor 2.5.
+  auto data = MakeUniformIntColumn(100000, 1000000, 7);
+  SegmentSpace s1, s2;
+  AdaptiveSegmentation<int32_t> segm(data, ValueRange(0, 1000000),
+                                     MakeModel("APM"), &s1);
+  AdaptiveReplication<int32_t> repl(data, ValueRange(0, 1000000),
+                                    MakeModel("APM"), &s2);
+  UniformRangeGenerator g1(ValueRange(0, 1000000), 0.1, 8);
+  UniformRangeGenerator g2(ValueRange(0, 1000000), 0.1, 8);
+  uint64_t w_segm = 0, w_repl = 0;
+  for (int i = 0; i < 500; ++i) {
+    w_segm += segm.RunRange(g1.Next().range).write_bytes;
+    w_repl += repl.RunRange(g2.Next().range).write_bytes;
+  }
+  EXPECT_LT(w_repl, w_segm);
+  EXPECT_GT(static_cast<double>(w_segm) / w_repl, 1.5);
+}
+
+TEST(AdaptiveReplicationTest, AdaptationCheaperThanSegmentationPerQuery) {
+  auto data = MakeUniformIntColumn(100000, 1000000, 9);
+  SegmentSpace s1, s2;
+  AdaptiveSegmentation<int32_t> segm(data, ValueRange(0, 1000000),
+                                     MakeModel("APM"), &s1);
+  AdaptiveReplication<int32_t> repl(data, ValueRange(0, 1000000),
+                                    MakeModel("APM"), &s2);
+  const ValueRange q(300000, 400000);
+  auto e1 = segm.RunRange(q);
+  auto e2 = repl.RunRange(q);
+  EXPECT_GT(e1.adaptation_seconds, e2.adaptation_seconds);
+}
+
+TEST(AdaptiveReplicationTest, StorageNeverExceedsSmallMultipleOfColumn) {
+  SegmentSpace space;
+  auto data = MakeUniformIntColumn(100000, 1000000, 10);  // 400KB
+  AdaptiveReplication<int32_t> strat(data, ValueRange(0, 1000000),
+                                     MakeModel("GD", 11), &space);
+  UniformRangeGenerator gen(ValueRange(0, 1000000), 0.1, 12);
+  uint64_t peak = 0;
+  for (int i = 0; i < 1000; ++i) {
+    strat.RunRange(gen.Next().range);
+    peak = std::max(peak, strat.Footprint().materialized_bytes);
+  }
+  // Paper Fig. 8: extra storage of about 1.5x the column size.
+  EXPECT_LT(peak, 4 * 400000u);
+  EXPECT_GT(peak, 400000u);
+}
+
+TEST(AdaptiveReplicationTest, FootprintMatchesSegmentSpace) {
+  SegmentSpace space;
+  auto data = MakeUniformIntColumn(20000, 100000, 13);
+  AdaptiveReplication<int32_t> strat(data, ValueRange(0, 100000),
+                                     MakeModel("APM"), &space);
+  UniformRangeGenerator gen(ValueRange(0, 100000), 0.05, 14);
+  for (int i = 0; i < 200; ++i) strat.RunRange(gen.Next().range);
+  // Every live segment byte is tracked by the space, and vice versa.
+  EXPECT_EQ(strat.Footprint().materialized_bytes, space.total_bytes());
+}
+
+TEST(AdaptiveReplicationTest, EmptyAndOutsideQueries) {
+  SegmentSpace space;
+  auto data = MakeUniformIntColumn(1000, 10000, 15);
+  AdaptiveReplication<int32_t> strat(data, ValueRange(0, 10000),
+                                     MakeModel("APM"), &space);
+  auto e1 = strat.RunRange(ValueRange(5, 5));
+  EXPECT_EQ(e1.result_count, 0u);
+  auto e2 = strat.RunRange(ValueRange(50000, 60000));
+  EXPECT_EQ(e2.result_count, 0u);
+  EXPECT_EQ(e2.read_bytes, 0u);
+}
+
+TEST(AdaptiveReplicationTest, SegmentsReportMaterializedNodes) {
+  SegmentSpace space;
+  auto data = MakeUniformIntColumn(100000, 1000000, 16);
+  AdaptiveReplication<int32_t> strat(data, ValueRange(0, 1000000),
+                                     MakeModel("APM"), &space);
+  strat.RunRange(ValueRange(400000, 600000));
+  auto segs = strat.Segments();
+  ASSERT_EQ(segs.size(), 2u);  // original column + the replica
+  EXPECT_EQ(segs[0].range, ValueRange(0, 1000000));
+  EXPECT_EQ(segs[1].range, ValueRange(400000, 600000));
+}
+
+TEST(AdaptiveReplicationTest, CoverSegmentsAreDisjoint) {
+  SegmentSpace space;
+  auto data = MakeUniformIntColumn(50000, 500000, 17);
+  AdaptiveReplication<int32_t> strat(data, ValueRange(0, 500000),
+                                     MakeModel("GD", 18), &space);
+  UniformRangeGenerator gen(ValueRange(0, 500000), 0.2, 19);
+  for (int i = 0; i < 100; ++i) {
+    strat.RunRange(gen.Next().range);
+    auto cover = strat.CoverSegments(ValueRange(0, 500000));
+    for (size_t a = 0; a < cover.size(); ++a) {
+      for (size_t b = a + 1; b < cover.size(); ++b) {
+        ASSERT_FALSE(cover[a].range.Overlaps(cover[b].range))
+            << cover[a].ToString() << " vs " << cover[b].ToString();
+      }
+    }
+  }
+}
+
+// Property sweep over models and selectivities.
+class ReplicationProperty
+    : public ::testing::TestWithParam<std::tuple<std::string, double>> {};
+
+TEST_P(ReplicationProperty, OracleAndInvariants) {
+  const auto& [model, sel] = GetParam();
+  SegmentSpace space;
+  auto data = MakeUniformIntColumn(30000, 200000, 20);
+  AdaptiveReplication<int32_t> strat(data, ValueRange(0, 200000),
+                                     MakeModel(model, 21), &space);
+  UniformRangeGenerator gen(ValueRange(0, 200000), sel, 22);
+  for (int i = 0; i < 150; ++i) {
+    const ValueRange q = gen.Next().range;
+    std::vector<int32_t> result;
+    strat.RunRange(q, &result);
+    ASSERT_EQ(SortedValues(result), BruteForce(data, q))
+        << model << " sel=" << sel << " query " << i;
+    ASSERT_TRUE(strat.tree().Validate().ok());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ModelsAndSelectivities, ReplicationProperty,
+    ::testing::Combine(::testing::Values("GD", "APM"),
+                       ::testing::Values(0.001, 0.01, 0.1, 0.5)));
+
+}  // namespace
+}  // namespace socs

@@ -1,0 +1,219 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/rng.h"
+#include "common/units.h"
+#include "core/adaptive_segmentation.h"
+#include "core/apm.h"
+#include "core/gaussian_dice.h"
+#include "test_util.h"
+#include "workload/range_generator.h"
+
+namespace socs {
+namespace {
+
+using testing::BruteForce;
+using testing::SortedValues;
+
+std::unique_ptr<SegmentationModel> MakeModel(const std::string& kind) {
+  if (kind == "GD") return std::make_unique<GaussianDice>(7);
+  return std::make_unique<Apm>(3 * kKiB, 12 * kKiB);
+}
+
+TEST(AdaptiveSegmentationTest, StartsAsSingleSegment) {
+  SegmentSpace space;
+  auto data = MakeUniformIntColumn(1000, 10000, 1);
+  AdaptiveSegmentation<int32_t> strat(data, ValueRange(0, 10000),
+                                      MakeModel("APM"), &space);
+  EXPECT_EQ(strat.Segments().size(), 1u);
+  EXPECT_EQ(strat.Footprint().materialized_bytes, 4000u);
+}
+
+TEST(AdaptiveSegmentationTest, FirstQuerySplitsWithApm) {
+  SegmentSpace space;
+  auto data = MakeUniformIntColumn(100000, 1000000, 2);  // 400KB
+  AdaptiveSegmentation<int32_t> strat(data, ValueRange(0, 1000000),
+                                      MakeModel("APM"), &space);
+  // A central 10% selection: all three pieces far above Mmin.
+  auto ex = strat.RunRange(ValueRange(450000, 550000));
+  EXPECT_EQ(ex.splits, 1u);
+  EXPECT_EQ(strat.Segments().size(), 3u);
+  // Eager materialization rewrites the whole segment.
+  EXPECT_EQ(ex.write_bytes, 400000u);
+  EXPECT_EQ(ex.read_bytes, 400000u);
+  EXPECT_GT(ex.adaptation_seconds, 0.0);
+}
+
+TEST(AdaptiveSegmentationTest, SecondQueryReadsOnlyRelevantSegments) {
+  SegmentSpace space;
+  auto data = MakeUniformIntColumn(100000, 1000000, 3);
+  AdaptiveSegmentation<int32_t> strat(data, ValueRange(0, 1000000),
+                                      MakeModel("APM"), &space);
+  strat.RunRange(ValueRange(450000, 550000));
+  // Query inside the materialized middle piece: reads only that piece.
+  auto ex = strat.RunRange(ValueRange(460000, 540000));
+  EXPECT_LT(ex.read_bytes, 60000u);  // ~10% piece, not 400KB
+}
+
+TEST(AdaptiveSegmentationTest, ResultsMatchBruteForce) {
+  SegmentSpace space;
+  auto data = MakeUniformIntColumn(20000, 100000, 4);
+  AdaptiveSegmentation<int32_t> strat(data, ValueRange(0, 100000),
+                                      MakeModel("APM"), &space);
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    const double lo = rng.NextUniform(0, 90000);
+    const ValueRange q(lo, lo + rng.NextUniform(100, 20000));
+    std::vector<int32_t> result;
+    auto ex = strat.RunRange(q, &result);
+    EXPECT_EQ(ex.result_count, result.size());
+    EXPECT_EQ(SortedValues(result), BruteForce(data, q)) << "query " << i;
+  }
+}
+
+TEST(AdaptiveSegmentationTest, TilingInvariantHoldsThroughout) {
+  SegmentSpace space;
+  auto data = MakeUniformIntColumn(20000, 100000, 6);
+  AdaptiveSegmentation<int32_t> strat(data, ValueRange(0, 100000),
+                                      MakeModel("GD"), &space);
+  UniformRangeGenerator gen(ValueRange(0, 100000), 0.1, 8);
+  for (int i = 0; i < 200; ++i) {
+    strat.RunRange(gen.Next().range);
+    ASSERT_TRUE(strat.index().Validate().ok()) << "after query " << i;
+    ASSERT_EQ(strat.index().TotalCount(), 20000u);
+  }
+}
+
+TEST(AdaptiveSegmentationTest, ApmSegmentsConvergeToBounds) {
+  SegmentSpace space;
+  auto data = MakeUniformIntColumn(100000, 1000000, 9);  // 400KB
+  const uint64_t mmin = 3 * kKiB, mmax = 12 * kKiB;
+  AdaptiveSegmentation<int32_t> strat(data, ValueRange(0, 1000000),
+                                      std::make_unique<Apm>(mmin, mmax), &space);
+  UniformRangeGenerator gen(ValueRange(0, 1000000), 0.01, 10);
+  for (int i = 0; i < 2000; ++i) strat.RunRange(gen.Next().range);
+  // Paper: sizes of segments touched by queries converge to [Mmin, Mmax].
+  size_t within = 0, total = 0;
+  for (const auto& s : strat.Segments()) {
+    ++total;
+    const uint64_t bytes = s.count * sizeof(int32_t);
+    if (bytes >= mmin / 2 && bytes <= mmax) ++within;  // allow edge stragglers
+  }
+  EXPECT_GT(total, 30u);
+  EXPECT_GT(static_cast<double>(within) / total, 0.9);
+}
+
+TEST(AdaptiveSegmentationTest, ReadsDeclineAsColumnAdapts) {
+  SegmentSpace space;
+  auto data = MakeUniformIntColumn(100000, 1000000, 11);
+  AdaptiveSegmentation<int32_t> strat(data, ValueRange(0, 1000000),
+                                      MakeModel("APM"), &space);
+  UniformRangeGenerator gen(ValueRange(0, 1000000), 0.1, 12);
+  uint64_t first10 = 0, last10 = 0;
+  for (int i = 0; i < 300; ++i) {
+    auto ex = strat.RunRange(gen.Next().range);
+    if (i < 10) first10 += ex.read_bytes;
+    if (i >= 290) last10 += ex.read_bytes;
+  }
+  EXPECT_LT(last10, first10 / 2);  // converges toward the 40KB selection size
+}
+
+TEST(AdaptiveSegmentationTest, EmptyQueryIsNoop) {
+  SegmentSpace space;
+  auto data = MakeUniformIntColumn(1000, 10000, 13);
+  AdaptiveSegmentation<int32_t> strat(data, ValueRange(0, 10000),
+                                      MakeModel("APM"), &space);
+  auto ex = strat.RunRange(ValueRange(50, 50));
+  EXPECT_EQ(ex.result_count, 0u);
+  EXPECT_EQ(ex.read_bytes, 0u);
+  EXPECT_EQ(strat.Segments().size(), 1u);
+}
+
+TEST(AdaptiveSegmentationTest, QueryOutsideDomainReadsNothing) {
+  SegmentSpace space;
+  auto data = MakeUniformIntColumn(1000, 10000, 14);
+  AdaptiveSegmentation<int32_t> strat(data, ValueRange(0, 10000),
+                                      MakeModel("APM"), &space);
+  auto ex = strat.RunRange(ValueRange(20000, 30000));
+  EXPECT_EQ(ex.result_count, 0u);
+  EXPECT_EQ(ex.read_bytes, 0u);
+}
+
+TEST(AdaptiveSegmentationTest, FullDomainQueryNeverSplits) {
+  SegmentSpace space;
+  auto data = MakeUniformIntColumn(10000, 10000, 15);
+  AdaptiveSegmentation<int32_t> strat(data, ValueRange(0, 10000),
+                                      MakeModel("APM"), &space);
+  auto ex = strat.RunRange(ValueRange(0, 10000));
+  EXPECT_EQ(ex.result_count, 10000u);
+  EXPECT_EQ(ex.splits, 0u);
+  EXPECT_EQ(strat.Segments().size(), 1u);
+}
+
+TEST(AdaptiveSegmentationTest, WorksWithOidValuePairs) {
+  SegmentSpace space;
+  std::vector<OidValue> data;
+  Rng rng(16);
+  for (uint64_t i = 0; i < 5000; ++i) {
+    data.push_back({i, rng.NextUniform(0, 1000)});
+  }
+  AdaptiveSegmentation<OidValue> strat(data, ValueRange(0, 1000),
+                                       std::make_unique<Apm>(1024, 4096), &space);
+  std::vector<OidValue> result;
+  auto ex = strat.RunRange(ValueRange(200, 400), &result);
+  EXPECT_EQ(SortedValues(result), BruteForce(data, ValueRange(200, 400)));
+  EXPECT_EQ(ex.result_count, result.size());
+  // Oids stay attached to their values across reorganizations.
+  std::vector<OidValue> again;
+  strat.RunRange(ValueRange(200, 400), &again);
+  auto key = [](const OidValue& a, const OidValue& b) {
+    return a.oid < b.oid;
+  };
+  std::sort(result.begin(), result.end(), key);
+  std::sort(again.begin(), again.end(), key);
+  EXPECT_EQ(result, again);
+}
+
+TEST(AdaptiveSegmentationTest, StorageFootprintConstant) {
+  SegmentSpace space;
+  auto data = MakeUniformIntColumn(50000, 500000, 17);
+  AdaptiveSegmentation<int32_t> strat(data, ValueRange(0, 500000),
+                                      MakeModel("APM"), &space);
+  UniformRangeGenerator gen(ValueRange(0, 500000), 0.05, 18);
+  for (int i = 0; i < 100; ++i) strat.RunRange(gen.Next().range);
+  // In-place reorganization: no extra payload storage, only the sparse index.
+  EXPECT_EQ(strat.Footprint().materialized_bytes, 200000u);
+  EXPECT_EQ(space.total_bytes(), 200000u);
+  EXPECT_LT(strat.Footprint().meta_bytes, 100 * kKiB);
+}
+
+// Property sweep: both models, several selectivities; results always match
+// the oracle and the tiling invariant holds.
+class SegmentationProperty
+    : public ::testing::TestWithParam<std::tuple<std::string, double>> {};
+
+TEST_P(SegmentationProperty, OracleAndInvariants) {
+  const auto& [model, sel] = GetParam();
+  SegmentSpace space;
+  auto data = MakeUniformIntColumn(30000, 200000, 19);
+  AdaptiveSegmentation<int32_t> strat(data, ValueRange(0, 200000),
+                                      MakeModel(model), &space);
+  UniformRangeGenerator gen(ValueRange(0, 200000), sel, 20);
+  for (int i = 0; i < 150; ++i) {
+    const ValueRange q = gen.Next().range;
+    std::vector<int32_t> result;
+    strat.RunRange(q, &result);
+    ASSERT_EQ(SortedValues(result), BruteForce(data, q))
+        << model << " sel=" << sel << " query " << i;
+    ASSERT_TRUE(strat.index().Validate().ok());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ModelsAndSelectivities, SegmentationProperty,
+    ::testing::Combine(::testing::Values("GD", "APM"),
+                       ::testing::Values(0.001, 0.01, 0.1, 0.5)));
+
+}  // namespace
+}  // namespace socs

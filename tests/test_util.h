@@ -1,0 +1,38 @@
+// Shared helpers for the test suite: brute-force oracles and multiset
+// comparison for strategy correctness checks.
+#ifndef SOCS_TESTS_TEST_UTIL_H_
+#define SOCS_TESTS_TEST_UTIL_H_
+
+#include <algorithm>
+#include <vector>
+
+#include "core/oid_value.h"
+#include "core/range.h"
+
+namespace socs::testing {
+
+/// Values of `data` within the half-open range, as a sorted vector (the
+/// strategies return results unordered).
+template <typename T>
+std::vector<double> BruteForce(const std::vector<T>& data, const ValueRange& q) {
+  std::vector<double> out;
+  for (const T& v : data) {
+    const double d = ValueOf(v);
+    if (d >= q.lo && d < q.hi) out.push_back(d);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+template <typename T>
+std::vector<double> SortedValues(const std::vector<T>& vs) {
+  std::vector<double> out;
+  out.reserve(vs.size());
+  for (const T& v : vs) out.push_back(ValueOf(v));
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace socs::testing
+
+#endif  // SOCS_TESTS_TEST_UTIL_H_

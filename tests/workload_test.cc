@@ -1,0 +1,217 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <map>
+
+#include "workload/range_generator.h"
+#include "workload/skyserver.h"
+#include "workload/trace.h"
+
+namespace socs {
+namespace {
+
+TEST(UniformGeneratorTest, WidthMatchesSelectivity) {
+  UniformRangeGenerator gen(ValueRange(0, 1000000), 0.1, 1);
+  for (int i = 0; i < 100; ++i) {
+    const RangeQuery q = gen.Next();
+    EXPECT_NEAR(q.range.Span(), 100000.0, 1e-6);
+    EXPECT_GE(q.range.lo, 0.0);
+    EXPECT_LE(q.range.hi, 1000000.0);
+  }
+}
+
+TEST(UniformGeneratorTest, DeterministicPerSeed) {
+  UniformRangeGenerator a(ValueRange(0, 1000), 0.05, 42);
+  UniformRangeGenerator b(ValueRange(0, 1000), 0.05, 42);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(a.Next().range.lo, b.Next().range.lo);
+  }
+}
+
+TEST(UniformGeneratorTest, CoversTheDomain) {
+  UniformRangeGenerator gen(ValueRange(0, 1000), 0.01, 3);
+  bool low = false, high = false;
+  for (int i = 0; i < 2000; ++i) {
+    const double lo = gen.Next().range.lo;
+    low |= lo < 100;
+    high |= lo > 890;
+  }
+  EXPECT_TRUE(low);
+  EXPECT_TRUE(high);
+}
+
+TEST(ZipfGeneratorTest, PlacementIsSkewed) {
+  ZipfRangeGenerator gen(ValueRange(0, 1000000), 0.01, 4, 1.0, 100);
+  std::map<int, int> bin_hits;
+  for (int i = 0; i < 5000; ++i) {
+    bin_hits[static_cast<int>(gen.Next().range.lo / 10000.0)]++;
+  }
+  // The hottest bin should receive far more than the uniform share (50).
+  int max_hits = 0;
+  for (const auto& [bin, hits] : bin_hits) max_hits = std::max(max_hits, hits);
+  EXPECT_GT(max_hits, 400);
+}
+
+TEST(ZipfGeneratorTest, DefaultPlacementIsContiguous) {
+  // Without scrambling, the hot area sits at the domain's low end.
+  ZipfRangeGenerator gen(ValueRange(0, 1000), 0.001, 7, 1.0, 50);
+  int low_hits = 0;
+  for (int i = 0; i < 2000; ++i) low_hits += (gen.Next().range.lo < 100.0);
+  EXPECT_GT(low_hits, 800);  // >40% of mass in the lowest 10% of the domain
+}
+
+TEST(ZipfGeneratorTest, ScrambleMovesHotSpot) {
+  // With scrambling, the hot bin lands away from bin 0 for most seeds.
+  int nonzero_hot = 0;
+  for (uint64_t seed = 0; seed < 5; ++seed) {
+    ZipfRangeGenerator gen(ValueRange(0, 1000), 0.001, seed, 1.0, 50,
+                           /*scramble=*/true);
+    std::map<int, int> hits;
+    for (int i = 0; i < 2000; ++i) {
+      hits[static_cast<int>(gen.Next().range.lo / 20.0)]++;
+    }
+    int hot_bin = 0, max_hits = 0;
+    for (const auto& [bin, h] : hits) {
+      if (h > max_hits) {
+        max_hits = h;
+        hot_bin = bin;
+      }
+    }
+    nonzero_hot += (hot_bin != 0);
+  }
+  EXPECT_GT(nonzero_hot, 2);
+}
+
+TEST(ZipfGeneratorTest, QueriesStayInDomain) {
+  ZipfRangeGenerator gen(ValueRange(100, 200), 0.1, 6);
+  for (int i = 0; i < 500; ++i) {
+    const RangeQuery q = gen.Next();
+    EXPECT_GE(q.range.lo, 100.0);
+    EXPECT_LE(q.range.hi, 200.0);
+  }
+}
+
+TEST(MakeUniformIntColumnTest, ValuesInDomainAndDeterministic) {
+  auto a = MakeUniformIntColumn(1000, 5000, 7);
+  auto b = MakeUniformIntColumn(1000, 5000, 7);
+  EXPECT_EQ(a, b);
+  for (int32_t v : a) {
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, 5000);
+  }
+}
+
+TEST(SkyServerTest, RaColumnInFootprint) {
+  SkyServerConfig cfg;
+  cfg.num_objects = 100000;  // scaled down for the test
+  auto ra = MakeRaColumn(cfg);
+  ASSERT_EQ(ra.size(), 100000u);
+  for (size_t i = 0; i < ra.size(); i += 97) {
+    EXPECT_GE(ra[i], cfg.footprint.lo);
+    EXPECT_LT(ra[i], cfg.footprint.hi);
+  }
+}
+
+TEST(SkyServerTest, RaColumnIsStriped) {
+  SkyServerConfig cfg;
+  cfg.num_objects = 200000;
+  auto ra = MakeRaColumn(cfg);
+  // Histogram over 150 one-degree cells: stripes create strong contrast
+  // between dense and sparse cells.
+  std::vector<int> hist(151, 0);
+  for (float v : ra) ++hist[static_cast<int>(v - cfg.footprint.lo)];
+  int dense = 0, sparse = 0;
+  const int uniform_share = 200000 / 150;
+  for (int h : hist) {
+    if (h > 2 * uniform_share) ++dense;
+    if (h > 0 && h < uniform_share / 2) ++sparse;
+  }
+  EXPECT_GT(dense, 10);
+  EXPECT_GT(sparse, 30);
+}
+
+TEST(SkyServerTest, RandomWorkloadSpansFootprint) {
+  SkyServerConfig cfg;
+  auto w = MakeRandomWorkload(cfg, 200);
+  ASSERT_EQ(w.size(), 200u);
+  double min_lo = 1e9, max_lo = -1e9;
+  for (const auto& q : w) {
+    EXPECT_GE(q.range.lo, cfg.footprint.lo);
+    EXPECT_LE(q.range.hi, cfg.footprint.hi);
+    EXPECT_GE(q.range.Span(), cfg.min_width_deg - 1e-9);
+    EXPECT_LE(q.range.Span(), cfg.max_width_deg + 1e-9);
+    min_lo = std::min(min_lo, q.range.lo);
+    max_lo = std::max(max_lo, q.range.lo);
+  }
+  EXPECT_LT(min_lo, cfg.footprint.lo + 15);
+  EXPECT_GT(max_lo, cfg.footprint.hi - 15);
+}
+
+TEST(SkyServerTest, SkewedWorkloadHitsTwoNarrowAreas) {
+  SkyServerConfig cfg;
+  auto w = MakeSkewedWorkload(cfg, 200);
+  ASSERT_EQ(w.size(), 200u);
+  // All query starts must fall into at most ~2 x 2.5-degree areas.
+  double area1_lo = 1e9, area2_lo = 1e9;
+  int outside = 0;
+  const double span = cfg.footprint.Span();
+  const double h1 = cfg.footprint.lo + 0.30 * span;
+  const double h2 = cfg.footprint.lo + 0.70 * span;
+  for (const auto& q : w) {
+    const bool in1 = q.range.lo >= h1 - 0.1 && q.range.lo <= h1 + 2.1;
+    const bool in2 = q.range.lo >= h2 - 0.1 && q.range.lo <= h2 + 2.1;
+    if (!in1 && !in2) ++outside;
+    if (in1) area1_lo = std::min(area1_lo, q.range.lo);
+    if (in2) area2_lo = std::min(area2_lo, q.range.lo);
+  }
+  EXPECT_EQ(outside, 0);
+  EXPECT_LT(area1_lo, 1e9);  // both areas actually used
+  EXPECT_LT(area2_lo, 1e9);
+}
+
+TEST(SkyServerTest, ChangingWorkloadHasFourPhases) {
+  SkyServerConfig cfg;
+  auto w = MakeChangingWorkload(cfg, 200, 4);
+  ASSERT_EQ(w.size(), 200u);
+  // Phases focus on different areas: compare mean lo per 50-query block.
+  std::vector<double> phase_mean(4, 0);
+  for (int p = 0; p < 4; ++p) {
+    for (int i = 0; i < 50; ++i) phase_mean[p] += w[p * 50 + i].range.lo;
+    phase_mean[p] /= 50;
+  }
+  for (int p = 1; p < 4; ++p) {
+    EXPECT_GT(phase_mean[p], phase_mean[p - 1] + 10)
+        << "phases must move across the footprint";
+  }
+}
+
+TEST(TraceTest, SaveLoadRoundtrip) {
+  Workload w{RangeQuery(1.5, 2.5), RangeQuery(-3, 4.25), RangeQuery(0, 0)};
+  const std::string path = ::testing::TempDir() + "/trace_test.txt";
+  ASSERT_TRUE(SaveTrace(w, path).ok());
+  auto loaded = LoadTrace(path);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->size(), w.size());
+  for (size_t i = 0; i < w.size(); ++i) {
+    EXPECT_EQ((*loaded)[i].range.lo, w[i].range.lo);
+    EXPECT_EQ((*loaded)[i].range.hi, w[i].range.hi);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TraceTest, MissingFileIsNotFound) {
+  auto r = LoadTrace("/nonexistent/path/trace.txt");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(GeneratorPolymorphismTest, GenerateProducesN) {
+  UniformRangeGenerator gen(ValueRange(0, 100), 0.1, 9);
+  QueryGenerator& base = gen;
+  auto w = base.Generate(25);
+  EXPECT_EQ(w.size(), 25u);
+  EXPECT_EQ(base.Name(), "uniform");
+}
+
+}  // namespace
+}  // namespace socs
