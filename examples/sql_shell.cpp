@@ -5,7 +5,7 @@
 // range queries visibly reorganize it (the paper's section 3.1 pipeline).
 //
 //   $ ./examples/sql_shell                # run the scripted demo
-//   $ echo "select objid from P where ra between 205.1 and 205.12" | \
+//   $ echo "select objid from P where ra between 205.1 and 205.12" |
 //       ./examples/sql_shell -            # read queries from stdin
 #include <cstdio>
 #include <iostream>

@@ -1,5 +1,8 @@
-// Adaptive replication (paper section 5, "lazy materialization"): query
-// results are retained as partial replicas in a replica tree. Per query:
+// Paper concept: adaptive replication, the lazy-materialization
+// self-organizing strategy (Ivanova, Kersten, Nes, EDBT 2008, section 5).
+//
+// Query results are retained as partial replicas in a replica tree. Per
+// query:
 //   1. find the minimal covering set of materialized segments (Algorithm 3);
 //   2. per covering segment, analyze which replicas to create (Algorithm 4,
 //      model-driven, cases 0-4);

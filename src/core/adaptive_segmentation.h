@@ -1,5 +1,7 @@
-// Adaptive segmentation (paper section 4, "eager materialization"): the
-// column is a list of adjacent, non-overlapping value-range segments,
+// Paper concept: adaptive segmentation, the eager-materialization
+// self-organizing strategy (Ivanova, Kersten, Nes, EDBT 2008, section 4).
+//
+// The column is a list of adjacent, non-overlapping value-range segments,
 // initially one segment holding everything. Each range selection gives every
 // overlapping segment a chance to split; the segmentation model (GD or APM)
 // decides. A split rewrites the whole segment as 2-3 sub-segments, so the

@@ -1,5 +1,6 @@
-// Adaptive Pagination Model (APM), paper section 3.2.2: a deterministic
-// policy with size bounds Mmin < Mmax.
+// Paper concept: the Adaptive Pagination Model (APM) segmentation model
+// (Ivanova, Kersten, Nes, EDBT 2008, section 3.2.2) — a deterministic
+// split policy with size bounds Mmin < Mmax.
 //   rule 1: segments below Mmin are never split;
 //   rule 2: split at the query bounds when every resulting piece is >= Mmin;
 //   rule 3: if the bound-split would create a too-small piece but the segment

@@ -1,8 +1,9 @@
-// Self-tuning APM (paper section 8: "to achieve complete self-organization,
-// the APM segmentation model needs to automatically determine the values of
-// its controlling parameters"). AutoApm tracks an exponential moving average
-// of the selection sizes it is consulted about and derives its bounds from
-// it:
+// Paper concept: self-tuning APM parameters — the future-work direction of
+// Ivanova, Kersten, Nes, EDBT 2008 (section 8: "to achieve complete
+// self-organization, the APM segmentation model needs to automatically
+// determine the values of its controlling parameters"). AutoApm tracks an
+// exponential moving average of the selection sizes it is consulted about
+// and derives its bounds from it:
 //   Mmax = clamp(max_factor * ema, floor, cap),   Mmin = Mmax / divisor.
 // Rationale: Table 1 shows converged per-query reads are bounded below by
 // the segment size (reads ~ Mmax even for tiny selections). Keeping Mmax a

@@ -1,5 +1,9 @@
-// Database cracking comparator (Idreos, Kersten, Manegold, CIDR'07; the
-// paper's closest related work, section 7). Cracking keeps a full in-memory
+// Paper concept: database cracking — the in-memory self-organization
+// baseline the EDBT'08 paper compares its disk-oriented strategies against
+// (Ivanova, Kersten, Nes, EDBT 2008, section 7; originally Idreos, Kersten,
+// Manegold, CIDR'07).
+//
+// Cracking keeps a full in-memory
 // replica of the column (the "cracker column") and physically reorganizes it
 // in place: each range selection partitions the pieces containing the query
 // bounds, so the qualifying values end up contiguous. Contrast with adaptive
