@@ -96,11 +96,11 @@ void RunQuery(const std::string& text, Catalog* cat, bool verbose) {
       std::printf(")");
     }
   }
-  const auto& adapt = interp.last_adapt();
+  const auto& exec = interp.last_execution();
   std::printf("\n-- adaptive work: %llu split(s), %s scanned, %s rewritten\n\n",
-              static_cast<unsigned long long>(adapt.splits),
-              FormatBytes(adapt.read_bytes).c_str(),
-              FormatBytes(adapt.write_bytes).c_str());
+              static_cast<unsigned long long>(exec.splits),
+              FormatBytes(exec.read_bytes).c_str(),
+              FormatBytes(exec.write_bytes).c_str());
 }
 
 }  // namespace

@@ -9,10 +9,10 @@ template <typename T>
 AdaptiveReplication<T>::AdaptiveReplication(
     std::vector<T> values, ValueRange domain,
     std::unique_ptr<SegmentationModel> model, SegmentSpace* space, Options opts)
-    : space_(space), model_(std::move(model)), tree_(domain), opts_(opts),
-      total_bytes_(values.size() * sizeof(T)) {
+    : AccessStrategy<T>(space), model_(std::move(model)), tree_(domain),
+      opts_(opts), total_bytes_(values.size() * sizeof(T)) {
   IoCost setup;  // initial load, not charged to a query
-  SegmentId id = space_->Create(values, &setup);
+  SegmentId id = space->Create(values, &setup);
   tree_.InitColumn(values.size(), id);
 }
 
@@ -34,7 +34,7 @@ void AdaptiveReplication<T>::EnforceBudget(QueryExecution* ex) {
     };
     visit(tree_.sentinel());
     if (victim == nullptr) return;
-    space_->Free(victim->seg);
+    this->space_->Free(victim->seg);
     victim->materialized = false;
     victim->seg = kInvalidSegment;
     ++ex->replicas_evicted;
@@ -142,24 +142,19 @@ void AdaptiveReplication<T>::AnalyzeLeaf(ReplicaNode* n, const ValueRange& q,
 }
 
 template <typename T>
-void AdaptiveReplication<T>::ScanAndMaterialize(
-    ReplicaNode* s, const std::vector<ReplicaNode*>& plan, const ValueRange& q,
-    std::vector<T>* result, QueryExecution* ex) {
-  IoCost scan;
-  auto span = space_->Scan<T>(s->seg, &scan);
-  ex->read_bytes += scan.bytes;
-  ex->selection_seconds += scan.seconds;
-  ++ex->segments_scanned;
-
-  ex->result_count += FilterRange(span, q.Intersect(s->range), result);
-
+void AdaptiveReplication<T>::MaterializePlan(
+    ReplicaNode* s, const std::vector<ReplicaNode*>& plan, QueryExecution* ex) {
+  if (plan.empty()) return;
+  // The scan phase already charged this covering segment's read; Peek feeds
+  // the planned replicas from the same (pool-resident) payload.
+  auto span = this->space_->template Peek<T>(s->seg);
   for (ReplicaNode* node : plan) {
     std::vector<T> values;
     for (const T& v : span) {
       if (node->range.Contains(ValueOf(v))) values.push_back(v);
     }
     IoCost create;
-    SegmentId id = space_->Create(values, &create);
+    SegmentId id = this->space_->Create(values, &create);
     ex->write_bytes += create.bytes;
     ex->adaptation_seconds += create.seconds;
     node->materialized = true;
@@ -172,10 +167,8 @@ void AdaptiveReplication<T>::ScanAndMaterialize(
 }
 
 template <typename T>
-QueryExecution AdaptiveReplication<T>::RunRange(const ValueRange& q,
-                                                std::vector<T>* result) {
+QueryExecution AdaptiveReplication<T>::Reorganize(const ValueRange& q) {
   QueryExecution ex;
-  ex.selection_seconds = space_->model().QueryOverhead();
   if (q.Empty()) return ex;
 
   std::vector<ReplicaNode*> cover;
@@ -187,11 +180,11 @@ QueryExecution AdaptiveReplication<T>::RunRange(const ValueRange& q,
     s->last_access = query_counter_;
     std::vector<ReplicaNode*> plan;
     AnalyzeReplicas(s, q, &plan);
-    ScanAndMaterialize(s, plan, q, result, &ex);
+    MaterializePlan(s, plan, &ex);
     std::vector<SegmentId> freed;
     uint64_t drops = 0;
     tree_.CheckForDrop(s, &freed, &drops);
-    for (SegmentId id : freed) space_->Free(id);
+    for (SegmentId id : freed) this->space_->Free(id);
     ex.segments_dropped += drops;
   }
   EnforceBudget(&ex);

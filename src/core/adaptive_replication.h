@@ -3,12 +3,16 @@
 //
 // Query results are retained as partial replicas in a replica tree. Per
 // query:
-//   1. find the minimal covering set of materialized segments (Algorithm 3);
-//   2. per covering segment, analyze which replicas to create (Algorithm 4,
-//      model-driven, cases 0-4);
-//   3. a single scan of the covering segment materializes the planned
-//      replicas and the query result (piggy-backed reorganization);
-//   4. drop segments fully replicated by their children (Algorithm 5).
+//   1. find the minimal covering set of materialized segments (Algorithm 3)
+//      -- the CoverSegments phase;
+//   2. one metered scan per covering segment answers the selection -- the
+//      ScanSegment phase;
+//   3. Reorganize analyzes which replicas to create (Algorithm 4,
+//      model-driven, cases 0-4) and materializes them from the covering
+//      segments' just-scanned payloads (unmetered Peek: the reorganization
+//      is piggy-backed on the query scan, so only the replica writes are
+//      charged), then drops segments fully replicated by their children
+//      (Algorithm 5) and enforces the storage budget.
 // Lower reorganization overhead than adaptive segmentation at the price of
 // temporarily replicated storage.
 #ifndef SOCS_CORE_ADAPTIVE_REPLICATION_H_
@@ -39,8 +43,10 @@ class AdaptiveReplication : public AccessStrategy<T> {
                       std::unique_ptr<SegmentationModel> model,
                       SegmentSpace* space, Options opts = {});
 
-  QueryExecution RunRange(const ValueRange& q,
-                          std::vector<T>* result = nullptr) override;
+  /// The reorganizing module: plans replicas per covering segment
+  /// (Algorithm 4), materializes them from the covering payloads, drops
+  /// fully-replicated parents (Algorithm 5), and enforces the budget.
+  QueryExecution Reorganize(const ValueRange& q) override;
 
   StorageFootprint Footprint() const override;
   std::vector<SegmentInfo> Segments() const override;
@@ -56,7 +62,7 @@ class AdaptiveReplication : public AccessStrategy<T> {
   /// Algorithm 4: walks from covering segment `s` down to the leaves
   /// overlapping `q` and plans materializations (new replica children and/or
   /// whole virtual leaves). Planned nodes are attached to the tree
-  /// immediately; their data arrives in ScanAndMaterialize.
+  /// immediately; their data arrives in MaterializePlan.
   void AnalyzeReplicas(ReplicaNode* n, const ValueRange& q,
                        std::vector<ReplicaNode*>* plan);
 
@@ -64,17 +70,16 @@ class AdaptiveReplication : public AccessStrategy<T> {
   void AnalyzeLeaf(ReplicaNode* n, const ValueRange& q,
                    std::vector<ReplicaNode*>* plan);
 
-  /// One metered scan of covering segment `s`: extracts the query result and
-  /// fills every planned node's payload.
-  void ScanAndMaterialize(ReplicaNode* s, const std::vector<ReplicaNode*>& plan,
-                          const ValueRange& q, std::vector<T>* result,
-                          QueryExecution* ex);
+  /// Fills every planned node's payload from covering segment `s`'s data
+  /// (unmetered Peek -- the scan phase already charged the read); only the
+  /// replica writes are accounted.
+  void MaterializePlan(ReplicaNode* s, const std::vector<ReplicaNode*>& plan,
+                       QueryExecution* ex);
 
   /// Demotes least-recently-used redundant replicas until the storage budget
   /// is met (no-op without a budget).
   void EnforceBudget(QueryExecution* ex);
 
-  SegmentSpace* space_;
   std::unique_ptr<SegmentationModel> model_;
   ReplicaTree tree_;
   Options opts_;

@@ -13,10 +13,10 @@ template <typename T>
 AdaptiveSegmentation<T>::AdaptiveSegmentation(
     std::vector<T> values, ValueRange domain,
     std::unique_ptr<SegmentationModel> model, SegmentSpace* space, Options opts)
-    : space_(space), model_(std::move(model)), index_(domain), opts_(opts),
-      total_bytes_(values.size() * sizeof(T)) {
+    : AccessStrategy<T>(space), model_(std::move(model)), index_(domain),
+      opts_(opts), total_bytes_(values.size() * sizeof(T)) {
   IoCost setup;  // the initial load is not charged to any query
-  SegmentId id = space_->Create(values, &setup);
+  SegmentId id = space->Create(values, &setup);
   index_.InitSingle(SegmentInfo{domain, values.size(), id});
 }
 
@@ -25,8 +25,8 @@ AdaptiveSegmentation<T>::AdaptiveSegmentation(ValueRange domain,
                                               std::vector<SegmentInfo> segments,
                                               std::unique_ptr<SegmentationModel> model,
                                               SegmentSpace* space, Options opts)
-    : space_(space), model_(std::move(model)), index_(domain), opts_(opts),
-      total_bytes_(0) {
+    : AccessStrategy<T>(space), model_(std::move(model)), index_(domain),
+      opts_(opts), total_bytes_(0) {
   index_.InitTiling(std::move(segments));
   total_bytes_ = index_.TotalCount() * sizeof(T);
 }
@@ -49,7 +49,7 @@ QueryExecution AdaptiveSegmentation<T>::BulkAppend(const std::vector<T>& values)
   for (const auto& [pos, incoming] : buckets) {
     const SegmentInfo seg = index_.At(pos);
     IoCost scan;
-    auto span = space_->Scan<T>(seg.id, &scan);
+    auto span = this->space_->template Scan<T>(seg.id, &scan);
     ex.read_bytes += scan.bytes;
     ex.adaptation_seconds += scan.seconds;
     std::vector<T> merged;
@@ -57,10 +57,10 @@ QueryExecution AdaptiveSegmentation<T>::BulkAppend(const std::vector<T>& values)
     merged.insert(merged.end(), span.begin(), span.end());
     merged.insert(merged.end(), incoming.begin(), incoming.end());
     IoCost create;
-    SegmentId id = space_->Create(merged, &create);
+    SegmentId id = this->space_->Create(merged, &create);
     ex.write_bytes += create.bytes;
     ex.adaptation_seconds += create.seconds;
-    space_->Free(seg.id);
+    this->space_->Free(seg.id);
     index_.Update(pos, SegmentInfo{seg.range, merged.size(), id});
   }
   total_bytes_ = index_.TotalCount() * sizeof(T);
@@ -79,8 +79,8 @@ void AdaptiveSegmentation<T>::Glue(size_t pos, QueryExecution* ex) {
   const SegmentInfo a = index_.At(pos);
   const SegmentInfo b = index_.At(pos + 1);
   IoCost scan_a, scan_b;
-  auto sa = space_->Scan<T>(a.id, &scan_a);
-  auto sb = space_->Scan<T>(b.id, &scan_b);
+  auto sa = this->space_->template Scan<T>(a.id, &scan_a);
+  auto sb = this->space_->template Scan<T>(b.id, &scan_b);
   ex->adaptation_seconds += scan_a.seconds + scan_b.seconds;
   ex->read_bytes += scan_a.bytes + scan_b.bytes;
   std::vector<T> merged;
@@ -88,11 +88,11 @@ void AdaptiveSegmentation<T>::Glue(size_t pos, QueryExecution* ex) {
   merged.insert(merged.end(), sa.begin(), sa.end());
   merged.insert(merged.end(), sb.begin(), sb.end());
   IoCost create;
-  SegmentId id = space_->Create(merged, &create);
+  SegmentId id = this->space_->Create(merged, &create);
   ex->write_bytes += create.bytes;
   ex->adaptation_seconds += create.seconds;
-  space_->Free(a.id);
-  space_->Free(b.id);
+  this->space_->Free(a.id);
+  this->space_->Free(b.id);
   index_.ReplaceSpan(pos, 2,
                      {SegmentInfo{ValueRange(a.range.lo, b.range.hi),
                                   a.count + b.count, id}});
@@ -120,8 +120,8 @@ void AdaptiveSegmentation<T>::MergeAround(const ValueRange& q,
 
 template <typename T>
 typename AdaptiveSegmentation<T>::PieceCounts
-AdaptiveSegmentation<T>::CountPieces(std::span<const T> span, const ValueRange& q,
-                                     std::vector<T>* result) const {
+AdaptiveSegmentation<T>::CountPieces(std::span<const T> span,
+                                     const ValueRange& q) const {
   PieceCounts pc;
   for (const T& v : span) {
     const double d = ValueOf(v);
@@ -131,7 +131,6 @@ AdaptiveSegmentation<T>::CountPieces(std::span<const T> span, const ValueRange& 
       ++pc.right;
     } else {
       ++pc.mid;
-      if (result != nullptr) result->push_back(v);
     }
   }
   return pc;
@@ -205,7 +204,7 @@ bool AdaptiveSegmentation<T>::SplitSegment(size_t pos, const SegmentInfo& seg,
     if (q.lo > seg.range.lo && q.lo < seg.range.hi) cuts.push_back(q.lo);
     if (q.hi < seg.range.hi && q.hi > seg.range.lo) cuts.push_back(q.hi);
   } else {
-    PieceCounts pc = CountPieces(span, q, nullptr);
+    PieceCounts pc = CountPieces(span, q);
     cuts.push_back(ChooseBoundedCut(seg, span, q, pc));
   }
   if (cuts.empty()) return false;
@@ -240,37 +239,29 @@ bool AdaptiveSegmentation<T>::SplitSegment(size_t pos, const SegmentInfo& seg,
   infos.reserve(keep.size());
   for (auto& p : keep) {
     IoCost create;
-    SegmentId id = space_->Create(p.values, &create);
+    SegmentId id = this->space_->Create(p.values, &create);
     ex->write_bytes += create.bytes;
     ex->adaptation_seconds += create.seconds;
     infos.push_back(SegmentInfo{p.range, p.values.size(), id});
   }
-  space_->Free(seg.id);
+  this->space_->Free(seg.id);
   index_.Replace(pos, infos);
   ++ex->splits;
   return true;
 }
 
 template <typename T>
-QueryExecution AdaptiveSegmentation<T>::RunRange(const ValueRange& q,
-                                                 std::vector<T>* result) {
+QueryExecution AdaptiveSegmentation<T>::Reorganize(const ValueRange& q) {
   QueryExecution ex;
-  ex.selection_seconds = space_->model().QueryOverhead();
   if (q.Empty()) return ex;
   auto [first, last] = index_.FindOverlapping(q);
   // Right-to-left: splitting at `pos` only shifts positions > pos, so earlier
-  // positions stay valid.
+  // positions stay valid. The payloads were scanned (and charged) in phase 2;
+  // Peek re-derives the piece geometry without charging them again.
   for (size_t pos = last; pos-- > first;) {
     const SegmentInfo seg = index_.At(pos);
-    IoCost scan;
-    auto span = space_->Scan<T>(seg.id, &scan);
-    ex.read_bytes += scan.bytes;
-    ex.selection_seconds += scan.seconds;
-    ++ex.segments_scanned;
-
-    PieceCounts pc = CountPieces(span, q, result);
-    ex.result_count += pc.mid;
-
+    auto span = this->space_->template Peek<T>(seg.id);
+    PieceCounts pc = CountPieces(span, q);
     SplitGeometry g = MakeGeometry(seg, q, pc);
     SplitAction action = model_->Decide(g);
     if (action != SplitAction::kKeep) {

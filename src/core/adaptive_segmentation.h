@@ -7,6 +7,13 @@
 // decides. A split rewrites the whole segment as 2-3 sub-segments, so the
 // selected sub-segment is piggy-backed on the query scan while complements
 // are materialized eagerly -- high start-up cost, minimal storage.
+//
+// Three-phase protocol: the meta-index provides the cover, the default
+// metered ScanSegment answers the selection, and Reorganize replays the
+// model's split decisions over the just-scanned payloads (unmetered Peek)
+// before executing them -- the segment reads are charged once, in the scan
+// phase, and only the split/merge writes (plus merge glue reads, genuine
+// extra work) appear in the adaptation half.
 #ifndef SOCS_CORE_ADAPTIVE_SEGMENTATION_H_
 #define SOCS_CORE_ADAPTIVE_SEGMENTATION_H_
 
@@ -43,8 +50,10 @@ class AdaptiveSegmentation : public AccessStrategy<T> {
                        std::unique_ptr<SegmentationModel> model,
                        SegmentSpace* space, Options opts = {});
 
-  QueryExecution RunRange(const ValueRange& q,
-                          std::vector<T>* result = nullptr) override;
+  /// The reorganizing module: walks the segments overlapping `q`
+  /// right-to-left, asks the model about each one's split geometry, executes
+  /// the chosen splits, then optionally glues small neighbours.
+  QueryExecution Reorganize(const ValueRange& q) override;
 
   /// Bulk-loads additional values (the paper targets warehouses with "few
   /// large bulk loads and prevailing read-only queries"). Values are routed
@@ -66,10 +75,8 @@ class AdaptiveSegmentation : public AccessStrategy<T> {
     uint64_t left = 0, mid = 0, right = 0;
   };
 
-  /// One pass over the segment: counts values per query-cut piece and
-  /// appends qualifying values to `result`.
-  PieceCounts CountPieces(std::span<const T> span, const ValueRange& q,
-                          std::vector<T>* result) const;
+  /// One pass over the segment: counts values per query-cut piece.
+  PieceCounts CountPieces(std::span<const T> span, const ValueRange& q) const;
 
   SplitGeometry MakeGeometry(const SegmentInfo& seg, const ValueRange& q,
                              const PieceCounts& pc) const;
@@ -94,7 +101,6 @@ class AdaptiveSegmentation : public AccessStrategy<T> {
 
   uint64_t MergeThreshold() const;
 
-  SegmentSpace* space_;
   std::unique_ptr<SegmentationModel> model_;
   SegmentMetaIndex index_;
   Options opts_;

@@ -7,7 +7,29 @@ namespace socs {
 template <typename T>
 CrackingColumn<T>::CrackingColumn(std::vector<T> values, ValueRange domain,
                                   SegmentSpace* space)
-    : space_(space), domain_(domain), cracker_(std::move(values)) {}
+    : AccessStrategy<T>(space), domain_(domain), cracker_(std::move(values)) {}
+
+template <typename T>
+SegmentScan<T> CrackingColumn<T>::ScanSegment(const SegmentInfo& seg,
+                                              const ValueRange& q,
+                                              std::vector<T>* out) {
+  SegmentScan<T> s;
+  size_t start = 0;
+  if (seg.range.lo > domain_.lo) {
+    auto it = index_.find(seg.range.lo);
+    SOCS_CHECK(it != index_.end())
+        << "unknown cracker piece " << seg.range.ToString();
+    start = it->second;
+  }
+  s.payload = std::span<const T>(cracker_.data() + start, seg.count);
+  const uint64_t bytes = seg.count * sizeof(T);
+  s.read_bytes = bytes;
+  s.seconds = this->space_->model().MemRead(bytes);
+  this->space_->mutable_stats().mem_read_bytes += bytes;
+  ++this->space_->mutable_stats().segments_scanned;
+  s.result_count = FilterRange(s.payload, q, out);
+  return s;
+}
 
 template <typename T>
 size_t CrackingColumn<T>::Crack(double bound, QueryExecution* ex) {
@@ -22,7 +44,9 @@ size_t CrackingColumn<T>::Crack(double bound, QueryExecution* ex) {
   if (up != index_.end()) hi_pos = up->second;
   if (up != index_.begin()) lo_pos = std::prev(up)->second;
 
-  // In-place two-pointer partition: values < bound to the left.
+  // In-place two-pointer partition: values < bound to the left. The pass
+  // runs over data the scan phase charged this query; only the swap writes
+  // are new work.
   size_t i = lo_pos, j = hi_pos;
   uint64_t moved = 0;
   while (i < j) {
@@ -36,36 +60,21 @@ size_t CrackingColumn<T>::Crack(double bound, QueryExecution* ex) {
   }
   index_[bound] = i;
 
-  const uint64_t piece_bytes = (hi_pos - lo_pos) * sizeof(T);
   const uint64_t write_bytes = 2 * moved * sizeof(T);  // both swap sides move
-  ex->read_bytes += piece_bytes;
   ex->write_bytes += write_bytes;
-  ex->selection_seconds += space_->model().MemRead(piece_bytes);
-  ex->adaptation_seconds += space_->model().MemWrite(write_bytes);
+  ex->adaptation_seconds += this->space_->model().MemWrite(write_bytes);
   ++ex->splits;
-  space_->mutable_stats().mem_read_bytes += piece_bytes;
-  space_->mutable_stats().mem_write_bytes += write_bytes;
+  this->space_->mutable_stats().mem_write_bytes += write_bytes;
   return i;
 }
 
 template <typename T>
-QueryExecution CrackingColumn<T>::RunRange(const ValueRange& q,
-                                           std::vector<T>* result) {
+QueryExecution CrackingColumn<T>::Reorganize(const ValueRange& q) {
   QueryExecution ex;
-  ex.selection_seconds = space_->model().QueryOverhead();
   if (q.Empty()) return ex;
   const size_t p1 = Crack(q.lo, &ex);
   const size_t p2 = Crack(q.hi, &ex);
   SOCS_CHECK_LE(p1, p2);
-  // Qualifying values are contiguous in [p1, p2).
-  const uint64_t out_bytes = (p2 - p1) * sizeof(T);
-  ex.read_bytes += out_bytes;
-  ex.selection_seconds += space_->model().MemRead(out_bytes);
-  space_->mutable_stats().mem_read_bytes += out_bytes;
-  ex.result_count = p2 - p1;
-  if (result != nullptr) {
-    result->insert(result->end(), cracker_.begin() + p1, cracker_.begin() + p2);
-  }
   return ex;
 }
 

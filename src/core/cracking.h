@@ -9,6 +9,12 @@
 // bounds, so the qualifying values end up contiguous. Contrast with adaptive
 // segmentation, which reorganizes the column itself into disk-manageable
 // segments and keeps only a sparse meta-index in memory.
+//
+// Under the three-phase protocol the cracker pieces overlapping the query
+// are the cover; ScanSegment reads a piece straight from the in-memory
+// array (metering the read); Reorganize then cracks the query bounds
+// in place, piggy-backing the partition pass on the data just scanned so
+// only the swap writes are charged.
 #ifndef SOCS_CORE_CRACKING_H_
 #define SOCS_CORE_CRACKING_H_
 
@@ -24,8 +30,14 @@ class CrackingColumn : public AccessStrategy<T> {
  public:
   CrackingColumn(std::vector<T> values, ValueRange domain, SegmentSpace* space);
 
-  QueryExecution RunRange(const ValueRange& q,
-                          std::vector<T>* result = nullptr) override;
+  /// Reads one cracker piece from the in-memory array: cracking's segments
+  /// have no SegmentSpace payloads, so the metering is charged directly.
+  SegmentScan<T> ScanSegment(const SegmentInfo& seg, const ValueRange& q,
+                             std::vector<T>* out) override;
+
+  /// Cracks both query bounds in place. The partition pass runs over pieces
+  /// the scan phase already charged, so it only accounts the swap writes.
+  QueryExecution Reorganize(const ValueRange& q) override;
 
   StorageFootprint Footprint() const override;
   /// Cracker pieces between consecutive index entries (no segment ids; the
@@ -38,10 +50,9 @@ class CrackingColumn : public AccessStrategy<T> {
  private:
   /// Ensures `bound` is a cracked position: partitions the piece containing
   /// it so that values < bound precede it. Returns the split position and
-  /// accounts the work into `ex`.
+  /// accounts the reorganization writes into `ex`.
   size_t Crack(double bound, QueryExecution* ex);
 
-  SegmentSpace* space_;   // cost model + global stats only
   ValueRange domain_;
   std::vector<T> cracker_;            // the in-memory replica
   std::map<double, size_t> index_;    // bound value -> first position >= bound

@@ -10,11 +10,11 @@ template <typename T>
 DeferredSegmentation<T>::DeferredSegmentation(
     std::vector<T> values, ValueRange domain,
     std::unique_ptr<SegmentationModel> model, SegmentSpace* space, Options opts)
-    : space_(space), model_(std::move(model)), index_(domain), opts_(opts),
-      total_bytes_(values.size() * sizeof(T)) {
+    : AccessStrategy<T>(space), model_(std::move(model)), index_(domain),
+      opts_(opts), total_bytes_(values.size() * sizeof(T)) {
   SOCS_CHECK_GT(opts_.batch_queries, 0u);
   IoCost setup;
-  SegmentId id = space_->Create(values, &setup);
+  SegmentId id = space->Create(values, &setup);
   index_.InitSingle(SegmentInfo{domain, values.size(), id});
 }
 
@@ -28,20 +28,15 @@ uint64_t DeferredSegmentation<T>::TargetBytes() const {
 }
 
 template <typename T>
-QueryExecution DeferredSegmentation<T>::RunRange(const ValueRange& q,
-                                                 std::vector<T>* result) {
+QueryExecution DeferredSegmentation<T>::Reorganize(const ValueRange& q) {
   QueryExecution ex;
-  ex.selection_seconds = space_->model().QueryOverhead();
   if (q.Empty()) return ex;
   auto [first, last] = index_.FindOverlapping(q);
   for (size_t pos = first; pos < last; ++pos) {
     const SegmentInfo& seg = index_.At(pos);
-    IoCost scan;
-    auto span = space_->Scan<T>(seg.id, &scan);
-    ex.read_bytes += scan.bytes;
-    ex.selection_seconds += scan.seconds;
-    ++ex.segments_scanned;
-
+    // The payload was scanned (and charged) in phase 2; Peek re-derives the
+    // piece geometry the model decides on without charging it again.
+    auto span = this->space_->template Peek<T>(seg.id);
     uint64_t left = 0, mid = 0, right = 0;
     for (const T& v : span) {
       const double d = ValueOf(v);
@@ -51,11 +46,8 @@ QueryExecution DeferredSegmentation<T>::RunRange(const ValueRange& q,
         ++right;
       } else {
         ++mid;
-        if (result != nullptr) result->push_back(v);
       }
     }
-    ex.result_count += mid;
-
     SplitGeometry g;
     g.seg_bytes = seg.count * sizeof(T);
     g.total_bytes = total_bytes_;
@@ -69,11 +61,7 @@ QueryExecution DeferredSegmentation<T>::RunRange(const ValueRange& q,
     }
   }
   if (++queries_since_batch_ >= opts_.batch_queries) {
-    QueryExecution batch = Reorganize();
-    ex.write_bytes += batch.write_bytes;
-    ex.read_bytes += batch.read_bytes;
-    ex.adaptation_seconds += batch.adaptation_seconds;
-    ex.splits += batch.splits;
+    ex += FlushBatch();
   }
   return ex;
 }
@@ -88,7 +76,7 @@ void DeferredSegmentation<T>::SplitEquiDepth(size_t pos, QueryExecution* ex) {
   // Deferred reorganization must re-read the segment (paper: "requires all
   // marked segments to be loaded again in memory and scanned").
   IoCost scan;
-  auto span = space_->Scan<T>(seg.id, &scan);
+  auto span = this->space_->template Scan<T>(seg.id, &scan);
   ex->read_bytes += scan.bytes;
   ex->adaptation_seconds += scan.seconds;
 
@@ -97,7 +85,7 @@ void DeferredSegmentation<T>::SplitEquiDepth(size_t pos, QueryExecution* ex) {
   std::sort(sorted.begin(), sorted.end(),
             [](const T& a, const T& b) { return ValueOf(a) < ValueOf(b); });
   ex->adaptation_seconds +=
-      space_->model().MemRead(seg.count * sizeof(T));  // sort pass
+      this->space_->model().MemRead(seg.count * sizeof(T));  // sort pass
   std::vector<double> cuts;
   for (uint64_t k = 1; k < pieces_wanted; ++k) {
     const double cut = ValueOf(sorted[k * seg.count / pieces_wanted]);
@@ -121,23 +109,23 @@ void DeferredSegmentation<T>::SplitEquiDepth(size_t pos, QueryExecution* ex) {
       continue;
     }
     IoCost create;
-    SegmentId id = space_->Create(parts[i], &create);
+    SegmentId id = this->space_->Create(parts[i], &create);
     ex->write_bytes += create.bytes;
     ex->adaptation_seconds += create.seconds;
     infos.push_back(SegmentInfo{ValueRange(lo, hi), parts[i].size(), id});
     lo = hi;
   }
   if (infos.size() < 2) {
-    for (const auto& info : infos) space_->Free(info.id);
+    for (const auto& info : infos) this->space_->Free(info.id);
     return;
   }
-  space_->Free(seg.id);
+  this->space_->Free(seg.id);
   index_.Replace(pos, infos);
   ++ex->splits;
 }
 
 template <typename T>
-QueryExecution DeferredSegmentation<T>::Reorganize() {
+QueryExecution DeferredSegmentation<T>::FlushBatch() {
   QueryExecution ex;
   queries_since_batch_ = 0;
   if (marked_.empty()) return ex;

@@ -7,6 +7,13 @@
 // benefit (queries between batches keep scanning large segments) and re-reads
 // the marked segments, but produces balanced segments independent of the
 // exact query bounds.
+//
+// Three-phase protocol: the default metered ScanSegment answers the
+// selection; Reorganize replays the model's decisions over the just-scanned
+// payloads (unmetered Peek) to mark segments, then runs the batch when due.
+// The batch's re-read of marked segments stays metered -- it is genuine
+// extra work the paper charges ("requires all marked segments to be loaded
+// again in memory and scanned").
 #ifndef SOCS_CORE_DEFERRED_SEGMENTATION_H_
 #define SOCS_CORE_DEFERRED_SEGMENTATION_H_
 
@@ -36,8 +43,9 @@ class DeferredSegmentation : public AccessStrategy<T> {
                        std::unique_ptr<SegmentationModel> model,
                        SegmentSpace* space, Options opts = {});
 
-  QueryExecution RunRange(const ValueRange& q,
-                          std::vector<T>* result = nullptr) override;
+  /// Marks the overlapping segments the model wants split (no data rewrite)
+  /// and, every `batch_queries` queries, executes the pending batch.
+  QueryExecution Reorganize(const ValueRange& q) override;
 
   StorageFootprint Footprint() const override;
   std::vector<SegmentInfo> Segments() const override {
@@ -47,7 +55,7 @@ class DeferredSegmentation : public AccessStrategy<T> {
 
   /// Forces the pending batch to run now (e.g., at an idle point). Returns
   /// the reorganization record.
-  QueryExecution Reorganize();
+  QueryExecution FlushBatch();
 
   size_t pending_marks() const { return marked_.size(); }
   const SegmentMetaIndex& index() const { return index_; }
@@ -57,7 +65,6 @@ class DeferredSegmentation : public AccessStrategy<T> {
   /// Equi-depth split of one segment; appends work to `ex`.
   void SplitEquiDepth(size_t pos, QueryExecution* ex);
 
-  SegmentSpace* space_;
   std::unique_ptr<SegmentationModel> model_;
   SegmentMetaIndex index_;
   Options opts_;

@@ -1,6 +1,8 @@
 // Baseline: positional, non-segmented column. Every range selection scans
 // the entire column (the behaviour of a plain MonetDB BAT, paper section 2);
-// no reorganization ever happens.
+// no reorganization ever happens. Under the three-phase protocol the cover
+// is always the single whole-column segment (no value-based pruning), the
+// default ScanSegment reads it, and Reorganize stays the base-class no-op.
 #ifndef SOCS_CORE_NON_SEGMENTED_H_
 #define SOCS_CORE_NON_SEGMENTED_H_
 
@@ -15,21 +17,15 @@ class NonSegmented : public AccessStrategy<T> {
  public:
   /// Takes ownership of the column values; `space` must outlive the strategy.
   NonSegmented(std::vector<T> values, ValueRange domain, SegmentSpace* space)
-      : space_(space), domain_(domain), count_(values.size()) {
+      : AccessStrategy<T>(space), domain_(domain), count_(values.size()) {
     IoCost setup;  // initial load is not attributed to any query
-    id_ = space_->Create(values, &setup);
+    id_ = space->Create(values, &setup);
   }
 
-  QueryExecution RunRange(const ValueRange& q,
-                          std::vector<T>* result = nullptr) override {
-    QueryExecution ex;
-    IoCost scan;
-    auto span = space_->template Scan<T>(id_, &scan);
-    ex.read_bytes = scan.bytes;
-    ex.selection_seconds = scan.seconds + space_->model().QueryOverhead();
-    ex.segments_scanned = 1;
-    ex.result_count = FilterRange(span, q, result);
-    return ex;
+  /// A positional column cannot prune by value: every query scans the one
+  /// full-column segment, whether or not its range overlaps.
+  std::vector<SegmentInfo> CoverSegments(const ValueRange&) const override {
+    return Segments();
   }
 
   StorageFootprint Footprint() const override {
@@ -43,7 +39,6 @@ class NonSegmented : public AccessStrategy<T> {
   std::string Name() const override { return "NoSegm"; }
 
  private:
-  SegmentSpace* space_;
   ValueRange domain_;
   uint64_t count_;
   SegmentId id_ = kInvalidSegment;

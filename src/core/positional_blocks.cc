@@ -9,7 +9,7 @@ template <typename T>
 PositionalBlocks<T>::PositionalBlocks(std::vector<T> values, ValueRange domain,
                                       uint64_t block_bytes, SegmentSpace* space,
                                       bool use_zone_maps)
-    : space_(space), domain_(domain), block_bytes_(block_bytes),
+    : AccessStrategy<T>(space), domain_(domain), block_bytes_(block_bytes),
       use_zone_maps_(use_zone_maps), total_count_(values.size()) {
   SOCS_CHECK_GE(block_bytes, sizeof(T));
   const size_t per_block = block_bytes / sizeof(T);
@@ -23,31 +23,23 @@ PositionalBlocks<T>::PositionalBlocks(std::vector<T> values, ValueRange domain,
       mx = std::max(mx, ValueOf(v));
     }
     IoCost setup;
-    SegmentId id = space_->Create(chunk, &setup);
+    SegmentId id = space->Create(chunk, &setup);
     blocks_.push_back(Block{id, n, mn, mx});
   }
 }
 
 template <typename T>
-QueryExecution PositionalBlocks<T>::RunRange(const ValueRange& q,
-                                             std::vector<T>* result) {
-  QueryExecution ex;
-  ex.selection_seconds = space_->model().QueryOverhead();
-  if (q.Empty()) return ex;
-  for (const Block& b : blocks_) {
-    if (use_zone_maps_ && (b.max_value < q.lo || b.min_value >= q.hi)) {
-      // Zone map skips the payload but the block header is still visited.
-      ex.selection_seconds += space_->model().SegmentOverhead();
-      continue;
-    }
-    IoCost scan;
-    auto span = space_->Scan<T>(b.id, &scan);
-    ex.read_bytes += scan.bytes;
-    ex.selection_seconds += scan.seconds;
-    ++ex.segments_scanned;
-    ex.result_count += FilterRange(span, q, result);
+SegmentScan<T> PositionalBlocks<T>::ScanSegment(const SegmentInfo& seg,
+                                                const ValueRange& q,
+                                                std::vector<T>* out) {
+  // `seg.range` carries the block's zone map (see Segments()).
+  if (use_zone_maps_ && (seg.range.hi < q.lo || seg.range.lo >= q.hi)) {
+    SegmentScan<T> s;
+    s.scanned = false;  // payload skipped; only the block header is visited
+    s.seconds = this->space_->model().SegmentOverhead();
+    return s;
   }
-  return ex;
+  return AccessStrategy<T>::ScanSegment(seg, q, out);
 }
 
 template <typename T>

@@ -1,8 +1,10 @@
 // Baseline: positional fixed-size blocks (C-Store style, paper section 1:
 // "a column is represented as a sequence of 64KB blocks"). Blocks preserve
-// insertion order, so a range selection must visit every block -- there is
-// no value-based pruning; the per-block min/max sketch (a zone map) can skip
-// a block's *data* only when the workload produced clustered data.
+// insertion order, so a range selection must visit every block -- the cover
+// is always the full block list and there is no value-based pruning; the
+// per-block min/max sketch (a zone map) lets ScanSegment skip a block's
+// *data* (paying only the header overhead) when the workload produced
+// clustered data. Never reorganizes.
 #ifndef SOCS_CORE_POSITIONAL_BLOCKS_H_
 #define SOCS_CORE_POSITIONAL_BLOCKS_H_
 
@@ -20,16 +22,19 @@ class PositionalBlocks : public AccessStrategy<T> {
                    uint64_t block_bytes, SegmentSpace* space,
                    bool use_zone_maps = false);
 
-  QueryExecution RunRange(const ValueRange& q,
-                          std::vector<T>* result = nullptr) override;
-
-  StorageFootprint Footprint() const override;
-  std::vector<SegmentInfo> Segments() const override;
   /// Positional blocks have no value order: every block must be visited.
   std::vector<SegmentInfo> CoverSegments(const ValueRange& q) const override {
     (void)q;
     return Segments();
   }
+
+  /// Zone-map pruning happens at scan time: a skipped block charges only the
+  /// per-segment header overhead and reports `scanned = false`.
+  SegmentScan<T> ScanSegment(const SegmentInfo& seg, const ValueRange& q,
+                             std::vector<T>* out) override;
+
+  StorageFootprint Footprint() const override;
+  std::vector<SegmentInfo> Segments() const override;
   std::string Name() const override;
 
  private:
@@ -39,7 +44,6 @@ class PositionalBlocks : public AccessStrategy<T> {
     double min_value, max_value;  // zone map
   };
 
-  SegmentSpace* space_;
   ValueRange domain_;
   uint64_t block_bytes_;
   bool use_zone_maps_;

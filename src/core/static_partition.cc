@@ -7,7 +7,7 @@ namespace socs {
 template <typename T>
 StaticPartition<T>::StaticPartition(std::vector<T> values, ValueRange domain,
                                     size_t num_parts, SegmentSpace* space)
-    : space_(space), index_(domain), num_parts_(num_parts) {
+    : AccessStrategy<T>(space), index_(domain), num_parts_(num_parts) {
   SOCS_CHECK_GT(num_parts, 0u);
   std::vector<double> cuts;
   cuts.reserve(num_parts - 1);
@@ -22,30 +22,11 @@ StaticPartition<T>::StaticPartition(std::vector<T> values, ValueRange domain,
   for (size_t i = 0; i < pieces.size(); ++i) {
     const double hi = i < cuts.size() ? cuts[i] : domain.hi;
     IoCost setup;
-    SegmentId id = space_->Create(pieces[i], &setup);
+    SegmentId id = space->Create(pieces[i], &setup);
     infos.push_back(SegmentInfo{ValueRange(lo, hi), pieces[i].size(), id});
     lo = hi;
   }
   index_.InitTiling(std::move(infos));
-}
-
-template <typename T>
-QueryExecution StaticPartition<T>::RunRange(const ValueRange& q,
-                                            std::vector<T>* result) {
-  QueryExecution ex;
-  ex.selection_seconds = space_->model().QueryOverhead();
-  if (q.Empty()) return ex;
-  auto [first, last] = index_.FindOverlapping(q);
-  for (size_t pos = first; pos < last; ++pos) {
-    const SegmentInfo& seg = index_.At(pos);
-    IoCost scan;
-    auto span = space_->Scan<T>(seg.id, &scan);
-    ex.read_bytes += scan.bytes;
-    ex.selection_seconds += scan.seconds;
-    ++ex.segments_scanned;
-    ex.result_count += FilterRange(span, q, result);
-  }
-  return ex;
 }
 
 template <typename T>

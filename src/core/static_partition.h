@@ -2,7 +2,8 @@
 // front, into K equal-width value ranges with a sparse index -- what a DBA
 // would configure for a *predicted* workload (paper section 7's "static,
 // non self-organizing" segmentation). Queries scan only overlapping
-// segments; the partitioning never adapts.
+// segments (the default cover + metered scan); the partitioning never
+// adapts, so Reorganize stays the base-class no-op.
 #ifndef SOCS_CORE_STATIC_PARTITION_H_
 #define SOCS_CORE_STATIC_PARTITION_H_
 
@@ -20,15 +21,11 @@ class StaticPartition : public AccessStrategy<T> {
   StaticPartition(std::vector<T> values, ValueRange domain, size_t num_parts,
                   SegmentSpace* space);
 
-  QueryExecution RunRange(const ValueRange& q,
-                          std::vector<T>* result = nullptr) override;
-
   StorageFootprint Footprint() const override;
   std::vector<SegmentInfo> Segments() const override { return index_.segments(); }
   std::string Name() const override;
 
  private:
-  SegmentSpace* space_;
   SegmentMetaIndex index_;
   size_t num_parts_;
 };

@@ -2,12 +2,31 @@
 // in the paper -- non-segmented scan, static partitionings, adaptive
 // segmentation, adaptive replication, and the database-cracking comparator.
 // A strategy owns one column's worth of data (through a SegmentSpace) and
-// answers range selections, possibly reorganizing itself as a side effect.
+// answers range selections through a three-phase, single-pass execution
+// protocol:
+//
+//   1. CoverSegments(q)       -- planning: the disjoint segments a selection
+//      must touch (a meta-index / replica-tree lookup, never the data).
+//   2. ScanSegment(seg, q, out) -- the only metered data access: one scan of
+//      one covering segment, charging its payload bytes to SegmentSpace /
+//      IoStats exactly once and extracting the qualifying values.
+//   3. Reorganize(q)          -- the reorganizing module: only the adaptation
+//      side effects (splits, merges, replication, deferred batching) and
+//      their write/bookkeeping costs. Piece observations are re-derived from
+//      the just-scanned, still-resident payloads via unmetered Peek, so no
+//      segment is ever charged twice for one query.
+//
+// RunRange() is a non-virtual template method composing the three phases;
+// strategies customize the phases, not the composition. The engine's BPM
+// module drives the same phases from MAL (bpm.newIterator/hasMoreElements ->
+// ScanSegment, bpm.adapt -> Reorganize), so the SQL/engine path and the
+// direct core path report identical per-query accounting.
 #ifndef SOCS_CORE_STRATEGY_H_
 #define SOCS_CORE_STRATEGY_H_
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -49,22 +68,34 @@ struct StorageFootprint {
   uint64_t meta_bytes = 0;          // meta-index / replica-tree bookkeeping
 };
 
+/// Outcome of one metered scan of one covering segment (phase 2).
+template <typename T>
+struct SegmentScan {
+  uint64_t read_bytes = 0;    // payload bytes charged (0 when pruned)
+  uint64_t result_count = 0;  // qualifying values seen in this segment
+  double seconds = 0.0;       // simulated selection seconds of this scan
+  bool scanned = true;        // false when pruned without touching the data
+  /// The scanned payload (for the engine's segment-to-BAT delivery); valid
+  /// until the next reorganization or bulk load frees the segment.
+  std::span<const T> payload;
+};
+
 template <typename T>
 class AccessStrategy {
  public:
+  /// `space` must outlive the strategy; it meters every data access and
+  /// provides the cost model.
+  explicit AccessStrategy(SegmentSpace* space) : space_(space) {}
   virtual ~AccessStrategy() = default;
 
-  /// Executes a range selection. When `result` is non-null the qualifying
-  /// values are appended (unordered; value-based organization gives up
-  /// positional order). Returns the per-query execution record.
-  virtual QueryExecution RunRange(const ValueRange& q,
-                                  std::vector<T>* result = nullptr) = 0;
+  /// Executes a range selection end-to-end: plan (CoverSegments), one metered
+  /// scan per covering segment (ScanSegment), then the reorganizing module
+  /// (Reorganize). When `result` is non-null the qualifying values are
+  /// appended (unordered; value-based organization gives up positional
+  /// order). Returns the per-query execution record.
+  QueryExecution RunRange(const ValueRange& q, std::vector<T>* result = nullptr);
 
-  virtual StorageFootprint Footprint() const = 0;
-
-  /// Materialized segments, ordered by range (Table 2 statistics). May be
-  /// empty for strategies without a segment notion (cracking).
-  virtual std::vector<SegmentInfo> Segments() const = 0;
+  // --- phase 1: planning ----------------------------------------------------
 
   /// Disjoint materialized segments whose union covers q's intersection with
   /// the column -- what the engine's segment iterator walks. The default
@@ -79,8 +110,70 @@ class AccessStrategy {
     return out;
   }
 
+  // --- phase 2: the metered scan --------------------------------------------
+
+  /// One metered scan of covering segment `seg`: charges the payload bytes to
+  /// SegmentSpace/IoStats exactly once, appends the values inside `q` to
+  /// `out` (when non-null), and returns the scan record including the raw
+  /// payload. The default reads through SegmentSpace::Scan; strategies
+  /// without segment-space payloads (cracking) or with scan-time pruning
+  /// (zone maps) override it.
+  virtual SegmentScan<T> ScanSegment(const SegmentInfo& seg, const ValueRange& q,
+                                     std::vector<T>* out) {
+    SegmentScan<T> s;
+    IoCost cost;
+    s.payload = space_->template Scan<T>(seg.id, &cost);
+    s.read_bytes = cost.bytes;
+    s.seconds = cost.seconds;
+    s.result_count = FilterRange(s.payload, q, out);
+    return s;
+  }
+
+  // --- phase 3: the reorganizing module --------------------------------------
+
+  /// Performs only the adaptation side effects for query `q` and returns the
+  /// adaptation half of the execution record (write bytes, splits, merges,
+  /// replicas, adaptation seconds). Reads needed to *decide* reuse the
+  /// payloads scanned in phase 2 via unmetered Peek; reads that are genuine
+  /// extra work (e.g. deferred batches re-loading marked segments, merge
+  /// glue) stay metered. The default is the no-op of non-adaptive baselines.
+  virtual QueryExecution Reorganize(const ValueRange& /*q*/) {
+    return QueryExecution{};
+  }
+
+  // --- statistics ------------------------------------------------------------
+
+  virtual StorageFootprint Footprint() const = 0;
+
+  /// Materialized segments, ordered by range (Table 2 statistics). May carry
+  /// invalid segment ids for strategies without a segment-space notion
+  /// (cracking pieces live in one in-memory array).
+  virtual std::vector<SegmentInfo> Segments() const = 0;
+
   virtual std::string Name() const = 0;
+
+  SegmentSpace* space() const { return space_; }
+
+ protected:
+  SegmentSpace* space_;
 };
+
+template <typename T>
+QueryExecution AccessStrategy<T>::RunRange(const ValueRange& q,
+                                           std::vector<T>* result) {
+  QueryExecution ex;
+  ex.selection_seconds = space_->model().QueryOverhead();
+  if (q.Empty()) return ex;
+  for (const SegmentInfo& seg : CoverSegments(q)) {
+    SegmentScan<T> s = ScanSegment(seg, q, result);
+    ex.read_bytes += s.read_bytes;
+    ex.result_count += s.result_count;
+    ex.selection_seconds += s.seconds;
+    if (s.scanned) ++ex.segments_scanned;
+  }
+  ex += Reorganize(q);
+  return ex;
+}
 
 /// Helper shared by strategy implementations: partitions `values` into the
 /// pieces delimited by ascending `cuts` (values < cuts[0] -> piece 0, etc.).

@@ -13,6 +13,8 @@ SegmentedColumn::SegmentedColumn(std::string name, ValType sql_type,
   SOCS_CHECK(sql_type_ != ValType::kVoid);
 }
 
+const CostModel& SegmentedColumn::cost_model() const { return space_->model(); }
+
 ValueRange SegmentedColumn::InclusiveToHalfOpen(double lo, double hi) {
   return ValueRange(lo, std::nextafter(hi, std::numeric_limits<double>::infinity()));
 }
@@ -21,34 +23,50 @@ std::vector<SegmentInfo> SegmentedColumn::CoverSegments(double lo, double hi) co
   return strategy_->CoverSegments(InclusiveToHalfOpen(lo, hi));
 }
 
-Bat SegmentedColumn::SegmentBat(SegmentId id) const {
-  auto span = space_->Peek<OidValue>(id);
-  std::vector<Oid> oids;
-  oids.reserve(span.size());
-  TypedVector values(sql_type_);
-  values.Reserve(span.size());
+void SegmentedColumn::AppendSpan(std::span<const OidValue> span,
+                                 std::vector<Oid>* oids, TypedVector* values) {
   for (const OidValue& v : span) {
-    oids.push_back(v.oid);
-    values.AppendDouble(v.value);
+    oids->push_back(v.oid);
+    values->AppendDouble(v.value);
   }
+}
+
+Bat SegmentedColumn::ScanSegmentBat(const SegmentInfo& seg, double lo, double hi,
+                                    QueryExecution* ex) {
+  SegmentScan<OidValue> scan =
+      strategy_->ScanSegment(seg, InclusiveToHalfOpen(lo, hi), nullptr);
+  if (ex != nullptr) {
+    ex->read_bytes += scan.read_bytes;
+    ex->result_count += scan.result_count;
+    ex->selection_seconds += scan.seconds;
+    if (scan.scanned) ++ex->segments_scanned;
+  }
+  std::vector<Oid> oids;
+  oids.reserve(scan.payload.size());
+  TypedVector values(sql_type_);
+  values.Reserve(scan.payload.size());
+  AppendSpan(scan.payload, &oids, &values);
   return Bat(BatColumn::Materialized(TypedVector::Of(std::move(oids))),
              BatColumn::Materialized(std::move(values)));
 }
 
-QueryExecution SegmentedColumn::Adapt(double lo, double hi) {
-  return strategy_->RunRange(InclusiveToHalfOpen(lo, hi), nullptr);
+QueryExecution SegmentedColumn::Reorganize(double lo, double hi) {
+  return strategy_->Reorganize(InclusiveToHalfOpen(lo, hi));
 }
 
 Bat SegmentedColumn::FullScanBat() const {
+  const std::vector<SegmentInfo> segs = strategy_->Segments();
+  uint64_t total = 0;
+  for (const SegmentInfo& s : segs) {
+    if (s.id != kInvalidSegment) total += s.count;
+  }
   std::vector<Oid> oids;
+  oids.reserve(total);
   TypedVector values(sql_type_);
-  for (const SegmentInfo& s : strategy_->Segments()) {
+  values.Reserve(total);
+  for (const SegmentInfo& s : segs) {
     if (s.id == kInvalidSegment) continue;
-    auto span = space_->Peek<OidValue>(s.id);
-    for (const OidValue& v : span) {
-      oids.push_back(v.oid);
-      values.AppendDouble(v.value);
-    }
+    AppendSpan(space_->Peek<OidValue>(s.id), &oids, &values);
   }
   return Bat(BatColumn::Materialized(TypedVector::Of(std::move(oids))),
              BatColumn::Materialized(std::move(values)));

@@ -4,14 +4,19 @@
 // hasMoreElements drive the predicate-enhanced segment iterator, and
 // bpm.adapt invokes the reorganizing module after the selects.
 //
-// Accounting note: iterator scans deliver segment payloads *unmetered*; the
-// metered scan + reorganization happens in Adapt() (one RunRange of the
-// underlying strategy), so the per-query byte accounting matches the core
-// experiments exactly instead of being charged twice.
+// Single-pass protocol: the iterator delivers each covering segment through
+// the strategy's metered ScanSegment API, so a segment's payload bytes are
+// charged to SegmentSpace/IoStats exactly once -- when it is handed to the
+// plan's select. bpm.adapt then runs only the strategy's Reorganize phase
+// (splits/replicas/merges and their write costs). The MAL interpreter
+// assembles the per-query QueryExecution from both halves, making the
+// engine path report the same numbers as a direct AccessStrategy::RunRange;
+// nothing is scanned twice.
 #ifndef SOCS_ENGINE_BPM_H_
 #define SOCS_ENGINE_BPM_H_
 
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -26,7 +31,7 @@ class SegmentedColumn {
  public:
   /// `sql_type` is the SQL-facing tail type of the column (kDbl, kFlt, ...).
   /// The strategy must manage OidValue elements; `space` is the strategy's
-  /// segment space (used for unmetered payload access).
+  /// segment space (used for the unmetered full-scan fallback).
   SegmentedColumn(std::string name, ValType sql_type,
                   std::unique_ptr<AccessStrategy<OidValue>> strategy,
                   SegmentSpace* space);
@@ -34,18 +39,23 @@ class SegmentedColumn {
   const std::string& name() const { return name_; }
   ValType sql_type() const { return sql_type_; }
   AccessStrategy<OidValue>* strategy() { return strategy_.get(); }
+  const CostModel& cost_model() const;
 
   /// Disjoint segments covering the inclusive selection [lo, hi].
   std::vector<SegmentInfo> CoverSegments(double lo, double hi) const;
 
-  /// Materializes one segment as a [oid, T] BAT (unmetered; see above).
-  Bat SegmentBat(SegmentId id) const;
+  /// Metered delivery of one covering segment as a [oid, T] BAT: one
+  /// ScanSegment call charges the payload bytes exactly once, and the scan's
+  /// metering (reads, seconds, qualifying count) is folded into `*ex`.
+  Bat ScanSegmentBat(const SegmentInfo& seg, double lo, double hi,
+                     QueryExecution* ex);
 
-  /// Runs the reorganizing module: the strategy's metered RunRange.
-  QueryExecution Adapt(double lo, double hi);
+  /// Runs only the reorganizing module: the strategy's Reorganize phase.
+  /// Returns the adaptation half of the query's execution record.
+  QueryExecution Reorganize(double lo, double hi);
 
   /// Whole column as a [oid, T] BAT (the fallback when a plan was not
-  /// rewritten by the segment optimizer).
+  /// rewritten by the segment optimizer; unmetered).
   Bat FullScanBat() const;
 
   /// Estimated bytes a selection must touch (sum of covering segment sizes);
@@ -56,6 +66,11 @@ class SegmentedColumn {
   static ValueRange InclusiveToHalfOpen(double lo, double hi);
 
  private:
+  /// Shared segment-to-BAT conversion: appends one payload span to the
+  /// (oids, values) pair under construction. Callers reserve capacity.
+  static void AppendSpan(std::span<const OidValue> span, std::vector<Oid>* oids,
+                         TypedVector* values);
+
   std::string name_;
   ValType sql_type_;
   std::unique_ptr<AccessStrategy<OidValue>> strategy_;

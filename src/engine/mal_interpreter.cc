@@ -339,9 +339,9 @@ void MalInterpreter::RegisterBuiltins() {
              const int id = static_cast<int>(ctx.iters.size());
              ctx.iters.push_back(std::move(iter));
              BpmIterator* it = ctx.iters.back().get();
-             if (it->next >= it->segments.size()) return EngineValue::Nil();
-             Bat seg = it->column->SegmentBat(it->segments[it->next].id);
-             ++it->next;
+             // One per-query overhead per select, as in the core RunRange.
+             last_exec_.selection_seconds +=
+                 it->column->cost_model().QueryOverhead();
              // The iterator id rides along in the barrier variable; the bat is
              // what the loop body consumes. We pack both: the bat is returned,
              // the id is re-derivable because hasMoreElements uses the same
@@ -349,7 +349,7 @@ void MalInterpreter::RegisterBuiltins() {
              ctx.vars.resize(std::max(ctx.vars.size(),
                                       static_cast<size_t>(in.rets[0]) + 1));
              iter_of_var_[in.rets[0]] = id;
-             return EngineValue::OfBat(std::move(seg));
+             return DeliverNextSegment(it, *lo, *hi);
            });
 
   Register("bpm", "hasMoreElements",
@@ -359,10 +359,11 @@ void MalInterpreter::RegisterBuiltins() {
                return Status::Internal("bpm.hasMoreElements without newIterator");
              }
              BpmIterator* it = ctx.iters[idit->second].get();
-             if (it->next >= it->segments.size()) return EngineValue::Nil();
-             Bat seg = it->column->SegmentBat(it->segments[it->next].id);
-             ++it->next;
-             return EngineValue::OfBat(std::move(seg));
+             auto lo = NumArg(ctx, in, 1);
+             if (!lo.ok()) return lo.status();
+             auto hi = NumArg(ctx, in, 2);
+             if (!hi.ok()) return hi.status();
+             return DeliverNextSegment(it, *lo, *hi);
            });
 
   Register("bpm", "addSegment",
@@ -393,16 +394,18 @@ void MalInterpreter::RegisterBuiltins() {
              if (!lo.ok()) return lo.status();
              auto hi = NumArg(ctx, in, 2);
              if (!hi.ok()) return hi.status();
-             QueryExecution ex = cv->segcol()->Adapt(*lo, *hi);
-             last_adapt_.read_bytes += ex.read_bytes;
-             last_adapt_.write_bytes += ex.write_bytes;
-             last_adapt_.splits += ex.splits;
-             last_adapt_.replicas_created += ex.replicas_created;
-             last_adapt_.segments_dropped += ex.segments_dropped;
-             last_adapt_.selection_seconds += ex.selection_seconds;
-             last_adapt_.adaptation_seconds += ex.adaptation_seconds;
+             last_exec_ += cv->segcol()->Reorganize(*lo, *hi);
              return EngineValue::Nil();
            });
+}
+
+EngineValue MalInterpreter::DeliverNextSegment(BpmIterator* it, double lo,
+                                               double hi) {
+  if (it->next >= it->segments.size()) return EngineValue::Nil();
+  Bat seg = it->column->ScanSegmentBat(it->segments[it->next], lo, hi,
+                                       &last_exec_);
+  ++it->next;
+  return EngineValue::OfBat(std::move(seg));
 }
 
 StatusOr<EngineValue> MalInterpreter::Eval(ExecContext& ctx, const MalInstr& in) {
@@ -414,7 +417,7 @@ StatusOr<EngineValue> MalInterpreter::Eval(ExecContext& ctx, const MalInstr& in)
 }
 
 StatusOr<std::shared_ptr<ResultSet>> MalInterpreter::Run(const MalProgram& prog) {
-  last_adapt_ = QueryExecution{};
+  last_exec_ = QueryExecution{};
   iter_of_var_.clear();
   ExecContext ctx;
   ctx.vars.resize(prog.NumVars());

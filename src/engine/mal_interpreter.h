@@ -71,9 +71,12 @@ class MalInterpreter {
   /// program exports nothing).
   StatusOr<std::shared_ptr<ResultSet>> Run(const MalProgram& prog);
 
-  /// Adaptive-reorganization accounting accumulated by bpm.adapt during the
-  /// last Run().
-  const QueryExecution& last_adapt() const { return last_adapt_; }
+  /// Per-query execution record assembled during the last Run(): the
+  /// selection half comes from the metered segment deliveries of
+  /// bpm.newIterator / hasMoreElements, the adaptation half from bpm.adapt's
+  /// Reorganize call -- together the same totals a direct
+  /// AccessStrategy::RunRange would report.
+  const QueryExecution& last_execution() const { return last_exec_; }
 
  private:
   struct ExecContext {
@@ -91,6 +94,11 @@ class MalInterpreter {
   /// Evaluates one call instruction (assign/barrier/redo bodies).
   StatusOr<EngineValue> Eval(ExecContext& ctx, const MalInstr& in);
 
+  /// Shared delivery step of bpm.newIterator / bpm.hasMoreElements: the next
+  /// covering segment as a BAT through the metered ScanSegment API (folding
+  /// the scan into last_exec_), or Nil when the iterator is exhausted.
+  EngineValue DeliverNextSegment(BpmIterator* it, double lo, double hi);
+
   // Argument helpers (Status-checked).
   static StatusOr<double> NumArg(const ExecContext& ctx, const MalInstr& in,
                                  size_t i);
@@ -102,7 +110,7 @@ class MalInterpreter {
   Catalog* catalog_;
   std::map<std::string, Handler> handlers_;
   std::map<int, int> iter_of_var_;  // barrier var -> iterator id (per Run)
-  QueryExecution last_adapt_;
+  QueryExecution last_exec_;
 };
 
 }  // namespace socs

@@ -14,6 +14,10 @@
 //     bpm.adapt(Y1, lo, hi);                    -- the reorganizing module
 //     Xs := Y2;  (Y2 takes Xs's variable)
 // The leftover sql.bind becomes dead code and is removed by DeadCodeElimPass.
+//
+// The iterator delivers segments through the strategy's metered ScanSegment
+// (selection half), while bpm.adapt runs only the Reorganize phase
+// (adaptation half): each covering segment is scanned exactly once per query.
 #ifndef SOCS_ENGINE_SEGMENT_OPTIMIZER_H_
 #define SOCS_ENGINE_SEGMENT_OPTIMIZER_H_
 

@@ -62,7 +62,11 @@ class SegmentSpace {
     return span;
   }
 
-  /// Unmetered read for verification/tests; never touches stats or the pool.
+  /// Unmetered read; never touches stats or the pool. Used by tests and by
+  /// the strategies' Reorganize phase, which re-derives split/replica
+  /// decisions from payloads the scan phase already charged -- the metering
+  /// hook for the single-pass protocol is Scan(), and it must be hit exactly
+  /// once per covering segment per query.
   template <typename T>
   std::span<const T> Peek(SegmentId id) const {
     return store_.ReadTyped<T>(id);

@@ -269,7 +269,7 @@ TEST(OptimizedPlanTest, AdaptReorganizesOverTime) {
     ASSERT_TRUE(interp.Run(prog).ok());
   }
   EXPECT_GT(segcol->strategy()->Segments().size(), before);
-  EXPECT_GT(interp.last_adapt().read_bytes, 0u);
+  EXPECT_GT(interp.last_execution().read_bytes, 0u);
 }
 
 TEST(FootprintPassTest, EstimatesSelectionBytes) {
@@ -285,17 +285,24 @@ TEST(FootprintPassTest, EstimatesSelectionBytes) {
   EXPECT_EQ(ctx.estimated_scan_bytes, 10000 * sizeof(OidValue));
 }
 
-TEST(BpmTest, SegmentBatCarriesOids) {
+TEST(BpmTest, ScanSegmentBatCarriesOidsAndMetersOnce) {
   Catalog cat;
   SegmentSpace space;
   SetupCatalog(&cat, &space, 1000);
   auto* segcol = cat.GetSegmentedOrNull("P", "ra");
   auto segs = segcol->CoverSegments(0.0, 360.0);
   ASSERT_EQ(segs.size(), 1u);
-  Bat b = segcol->SegmentBat(segs[0].id);
+  const IoStats before = space.stats();
+  QueryExecution ex;
+  Bat b = segcol->ScanSegmentBat(segs[0], 0.0, 360.0, &ex);
   EXPECT_EQ(b.size(), 1000u);
   EXPECT_FALSE(b.head().is_void());
   EXPECT_EQ(b.tail().type(), ValType::kDbl);
+  // Delivery charges the payload exactly once and meters the scan.
+  EXPECT_EQ(ex.read_bytes, 1000 * sizeof(OidValue));
+  EXPECT_EQ(ex.segments_scanned, 1u);
+  EXPECT_EQ(ex.result_count, 1000u);
+  EXPECT_EQ((space.stats() - before).mem_read_bytes, 1000 * sizeof(OidValue));
 }
 
 }  // namespace

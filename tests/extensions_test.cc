@@ -130,7 +130,7 @@ TEST(DeferredSegmentationTest, ExplicitReorganizeDrainsMarks) {
                                       &space, opts);
   strat.RunRange(ValueRange(100000, 200000));
   ASSERT_GT(strat.pending_marks(), 0u);
-  QueryExecution batch = strat.Reorganize();  // e.g. at an idle point
+  QueryExecution batch = strat.FlushBatch();  // e.g. at an idle point
   EXPECT_GT(batch.splits, 0u);
   EXPECT_EQ(strat.pending_marks(), 0u);
 }

@@ -5,9 +5,11 @@
 #include "common/rng.h"
 #include "common/units.h"
 #include "core/adaptive_replication.h"
+#include "core/adaptive_segmentation.h"
 #include "core/apm.h"
 #include "engine/mal_interpreter.h"
 #include "engine/optimizer.h"
+#include "engine/segment_optimizer.h"
 #include "sql/compiler.h"
 #include "sql/parser.h"
 
@@ -242,6 +244,113 @@ TEST_F(SqlEndToEnd, EmptyResultRange) {
   auto rs = Query("select objid from P where ra between 400 and 500");
   ASSERT_TRUE(rs.ok()) << rs.status().ToString();
   EXPECT_EQ((*rs)->NumRows(), 0u);
+}
+
+// --- multi-predicate plans over TWO segmented columns ------------------------
+
+class SqlTwoSegmented : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Rng rng(321);
+    std::vector<OidValue> ra_pairs, dec_pairs;
+    std::vector<int64_t> objid;
+    for (size_t i = 0; i < 20000; ++i) {
+      ra_.push_back(rng.NextUniform(0.0, 360.0));
+      dec_.push_back(rng.NextUniform(-90.0, 90.0));
+      ra_pairs.push_back({i, ra_.back()});
+      dec_pairs.push_back({i, dec_.back()});
+      objid.push_back(static_cast<int64_t>(7000000 + i));
+    }
+    auto add_segmented = [&](const std::string& name,
+                             std::vector<OidValue> pairs, ValueRange domain) {
+      auto strat = std::make_unique<AdaptiveSegmentation<OidValue>>(
+          std::move(pairs), domain, std::make_unique<Apm>(8 * kKiB, 32 * kKiB),
+          &space_);
+      auto col = std::make_unique<SegmentedColumn>(
+          Catalog::SegHandle("P", name), ValType::kDbl, std::move(strat),
+          &space_);
+      ASSERT_TRUE(cat_.AddSegmentedColumn("P", name, std::move(col)).ok());
+    };
+    add_segmented("ra", std::move(ra_pairs), ValueRange(0.0, 360.0));
+    add_segmented("dec", std::move(dec_pairs), ValueRange(-90.0, 90.0));
+    ASSERT_TRUE(cat_.AddColumn("P", "objid", TypedVector::Of(objid)).ok());
+  }
+
+  StatusOr<MalProgram> CompileOnly(const std::string& text) {
+    auto stmt = Parse(text);
+    if (!stmt.ok()) return stmt.status();
+    return sql::Compile(*stmt, cat_);
+  }
+
+  static std::vector<int64_t> Column(const ResultSet& rs, size_t c) {
+    std::vector<int64_t> out;
+    const Bat& b = *rs.cols.at(c).bat;
+    for (size_t i = 0; i < b.size(); ++i) {
+      out.push_back(static_cast<int64_t>(b.tail().DoubleAt(i)));
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+
+  Catalog cat_;
+  SegmentSpace space_;
+  std::vector<double> ra_;
+  std::vector<double> dec_;
+};
+
+TEST_F(SqlTwoSegmented, OptimizerRewritesBothSelections) {
+  auto prog = CompileOnly(
+      "select objid from P where ra between 100 and 200 and dec between 0 and 45");
+  ASSERT_TRUE(prog.ok()) << prog.status().ToString();
+  OptContext ctx;
+  ctx.catalog = &cat_;
+  SegmentOptimizerPass pass;
+  ASSERT_TRUE(pass.Apply(&prog.value(), &ctx).ok());
+  EXPECT_EQ(pass.rewrites(), 2);  // both BETWEEN selections went segment-aware
+  const std::string s = prog->ToString();
+  EXPECT_NE(s.find("bpm.take(\"sys_P_ra\")"), std::string::npos);
+  EXPECT_NE(s.find("bpm.take(\"sys_P_dec\")"), std::string::npos);
+}
+
+TEST_F(SqlTwoSegmented, OptimizedConjunctionMatchesUnoptimizedPlan) {
+  const struct {
+    double ra_lo, ra_hi, dec_lo, dec_hi;
+  } cases[] = {
+      {100, 200, 0, 45}, {0, 360, -90, 90}, {205.1, 205.12, -5, 5},
+      {350, 360, 80, 90},  // narrow corner: small results on both predicates
+  };
+  for (const auto& c : cases) {
+    const std::string text = "select objid from P where ra between " +
+                             std::to_string(c.ra_lo) + " and " +
+                             std::to_string(c.ra_hi) + " and dec between " +
+                             std::to_string(c.dec_lo) + " and " +
+                             std::to_string(c.dec_hi);
+    auto plain = CompileOnly(text);
+    ASSERT_TRUE(plain.ok()) << plain.status().ToString();
+    MalInterpreter interp(&cat_);
+    auto rs_plain = interp.Run(*plain);
+    ASSERT_TRUE(rs_plain.ok()) << rs_plain.status().ToString();
+
+    auto opt = CompileOnly(text);
+    ASSERT_TRUE(opt.ok());
+    OptContext ctx;
+    ctx.catalog = &cat_;
+    PassManager pm = MakeDefaultPipeline();
+    ASSERT_TRUE(pm.Run(&opt.value(), &ctx).ok());
+    auto rs_opt = interp.Run(*opt);
+    ASSERT_TRUE(rs_opt.ok()) << rs_opt.status().ToString();
+
+    std::vector<int64_t> oracle;
+    for (size_t i = 0; i < ra_.size(); ++i) {
+      if (ra_[i] >= c.ra_lo && ra_[i] <= c.ra_hi && dec_[i] >= c.dec_lo &&
+          dec_[i] <= c.dec_hi) {
+        oracle.push_back(7000000 + i);
+      }
+    }
+    std::sort(oracle.begin(), oracle.end());
+    EXPECT_EQ(Column(**rs_plain, 0), oracle) << text;
+    EXPECT_EQ(Column(**rs_opt, 0), Column(**rs_plain, 0)) << text;
+  }
 }
 
 TEST(ParserAggTest, ParsesAggregates) {
