@@ -167,6 +167,41 @@ void AdaptiveReplication<T>::MaterializePlan(
 }
 
 template <typename T>
+void AdaptiveReplication<T>::AppendRec(ReplicaNode* n,
+                                       const std::vector<T>& values,
+                                       QueryExecution* ex) {
+  if (values.empty()) return;
+  if (!n->IsSentinel()) {
+    n->count += values.size();
+    if (n->materialized) {
+      IoCost cost;
+      this->space_->template Append<T>(n->seg, values, &cost);
+      ex->write_bytes += cost.bytes;
+      ex->adaptation_seconds += cost.seconds;
+    }
+  }
+  for (auto& c : n->children) {
+    std::vector<T> slice;
+    for (const T& v : values) {
+      if (c->range.Contains(ValueOf(v))) slice.push_back(v);
+    }
+    AppendRec(c.get(), slice, ex);
+  }
+}
+
+template <typename T>
+QueryExecution AdaptiveReplication<T>::Append(const std::vector<T>& values) {
+  QueryExecution ex;
+  if (values.empty()) return ex;
+  const size_t widened = tree_.WidenDomain(ValueEnvelope(values));
+  ex.adaptation_seconds += this->space_->model().SegmentOverhead(widened);
+  AppendRec(tree_.sentinel(), values, &ex);
+  total_bytes_ += values.size() * sizeof(T);
+  EnforceBudget(&ex);
+  return ex;
+}
+
+template <typename T>
 QueryExecution AdaptiveReplication<T>::Reorganize(const ValueRange& q) {
   QueryExecution ex;
   if (q.Empty()) return ex;

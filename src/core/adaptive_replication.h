@@ -48,6 +48,13 @@ class AdaptiveReplication : public AccessStrategy<T> {
   /// fully-replicated parents (Algorithm 5), and enforces the budget.
   QueryExecution Reorganize(const ValueRange& q) override;
 
+  /// Replica refresh: every materialized node whose range contains an
+  /// incoming value receives it (replicas duplicate data, so one inserted
+  /// row may cost several replica writes -- the price of lazy
+  /// materialization under updates). Virtual nodes' counts stay exact
+  /// because their data lives in the refreshed materialized ancestor.
+  QueryExecution Append(const std::vector<T>& values) override;
+
   StorageFootprint Footprint() const override;
   std::vector<SegmentInfo> Segments() const override;
   std::vector<SegmentInfo> CoverSegments(const ValueRange& q) const override {
@@ -79,6 +86,12 @@ class AdaptiveReplication : public AccessStrategy<T> {
   /// Demotes least-recently-used redundant replicas until the storage budget
   /// is met (no-op without a budget).
   void EnforceBudget(QueryExecution* ex);
+
+  /// Appends `values` (all inside n's range) down the subtree of `n`:
+  /// refreshes n's payload when materialized, then recurses with each
+  /// child's slice of the values.
+  void AppendRec(ReplicaNode* n, const std::vector<T>& values,
+                 QueryExecution* ex);
 
   std::unique_ptr<SegmentationModel> model_;
   ReplicaTree tree_;

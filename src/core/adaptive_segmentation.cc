@@ -35,16 +35,10 @@ template <typename T>
 QueryExecution AdaptiveSegmentation<T>::BulkAppend(const std::vector<T>& values) {
   QueryExecution ex;
   if (values.empty()) return ex;
-  // Route incoming values to their segments.
-  std::map<size_t, std::vector<T>> buckets;  // index position -> new values
-  for (const T& v : values) {
-    const double d = ValueOf(v);
-    auto [first, last] = index_.FindOverlapping(
-        ValueRange(d, std::nextafter(d, std::numeric_limits<double>::max())));
-    SOCS_CHECK_LT(first, last) << "value " << d << " outside the column domain "
-                               << index_.domain().ToString();
-    buckets[first].push_back(v);
-  }
+  // Values outside the column domain widen it (extending the boundary
+  // segments' ranges) instead of dying, and values exactly at the domain's
+  // upper bound clamp into the last segment -- both inside RouteAppend.
+  const auto buckets = RouteAppend(&index_, values, this->space_->model(), &ex);
   // Rewrite each affected segment once (old payload + routed values).
   for (const auto& [pos, incoming] : buckets) {
     const SegmentInfo seg = index_.At(pos);

@@ -58,8 +58,14 @@ class AdaptiveSegmentation : public AccessStrategy<T> {
   /// Bulk-loads additional values (the paper targets warehouses with "few
   /// large bulk loads and prevailing read-only queries"). Values are routed
   /// to their value-range segments; each affected segment is rewritten once.
-  /// Dies if a value falls outside the column's domain.
+  /// Values outside the column's domain widen it (the boundary segment's
+  /// range is extended); the widening cost is part of the returned record.
   QueryExecution BulkAppend(const std::vector<T>& values);
+
+  /// The write-path phase is the segment-rewriting bulk append.
+  QueryExecution Append(const std::vector<T>& values) override {
+    return BulkAppend(values);
+  }
 
   StorageFootprint Footprint() const override;
   std::vector<SegmentInfo> Segments() const override {

@@ -32,6 +32,39 @@ SegmentScan<T> CrackingColumn<T>::ScanSegment(const SegmentInfo& seg,
 }
 
 template <typename T>
+QueryExecution CrackingColumn<T>::Append(const std::vector<T>& values) {
+  QueryExecution ex;
+  if (values.empty()) return ex;
+  const ValueRange env = ValueEnvelope(values);
+  domain_.lo = std::min(domain_.lo, env.lo);
+  domain_.hi = std::max(domain_.hi, env.hi);
+  cracker_.reserve(cracker_.size() + values.size());
+  uint64_t moved = 0;
+  for (const T& v : values) {
+    const double d = ValueOf(v);
+    // Ripple insert: the placeholder opens a hole at the array end; walking
+    // the cracked bounds above `d` from the top, each later piece donates
+    // its front element to its back, until the hole sits at the end of the
+    // piece owning `d`.
+    cracker_.push_back(v);
+    size_t hole = cracker_.size() - 1;
+    for (auto it = index_.rbegin(); it != index_.rend() && it->first > d;
+         ++it) {
+      cracker_[hole] = cracker_[it->second];
+      hole = it->second;
+      ++it->second;  // the piece starting at this bound shifts right by one
+      ++moved;
+    }
+    cracker_[hole] = v;
+  }
+  const uint64_t write_bytes = (moved + values.size()) * sizeof(T);
+  ex.write_bytes += write_bytes;
+  ex.adaptation_seconds += this->space_->model().MemWrite(write_bytes);
+  this->space_->mutable_stats().mem_write_bytes += write_bytes;
+  return ex;
+}
+
+template <typename T>
 size_t CrackingColumn<T>::Crack(double bound, QueryExecution* ex) {
   if (bound <= domain_.lo) return 0;
   if (bound >= domain_.hi) return cracker_.size();

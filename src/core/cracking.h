@@ -39,6 +39,13 @@ class CrackingColumn : public AccessStrategy<T> {
   /// the scan phase already charged, so it only accounts the swap writes.
   QueryExecution Reorganize(const ValueRange& q) override;
 
+  /// Piece-aware insertion (the cracking-updates "ripple"): each value lands
+  /// at the end of the piece owning it; the hole is made by moving one
+  /// element per later piece from its front to its back, shifting those
+  /// pieces right by one. Charges one element write per moved element plus
+  /// the inserted values.
+  QueryExecution Append(const std::vector<T>& values) override;
+
   StorageFootprint Footprint() const override;
   /// Cracker pieces between consecutive index entries (no segment ids; the
   /// cracker column is one contiguous in-memory array).

@@ -1,6 +1,7 @@
 #include "core/deferred_segmentation.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "common/units.h"
 
@@ -25,6 +26,28 @@ uint64_t DeferredSegmentation<T>::TargetBytes() const {
     return (model_->min_bytes() + model_->max_bytes()) / 2;
   }
   return 8 * kKiB;
+}
+
+template <typename T>
+uint64_t DeferredSegmentation<T>::MarkThresholdBytes() const {
+  if (model_->max_bytes() != UINT64_MAX) return model_->max_bytes();
+  return 2 * TargetBytes();
+}
+
+template <typename T>
+QueryExecution DeferredSegmentation<T>::Append(const std::vector<T>& values) {
+  QueryExecution ex;
+  if (values.empty()) return ex;
+  const auto buckets = RouteAppend(&index_, values, this->space_->model(), &ex);
+  const uint64_t threshold = MarkThresholdBytes();
+  TailExtendBuckets(&index_, this->space_, buckets, &ex,
+                    [&](const SegmentInfo& seg) {
+                      if (seg.count * sizeof(T) > threshold) {
+                        marked_.insert(seg.id);
+                      }
+                    });
+  total_bytes_ = index_.TotalCount() * sizeof(T);
+  return ex;
 }
 
 template <typename T>
@@ -127,10 +150,13 @@ void DeferredSegmentation<T>::SplitEquiDepth(size_t pos, QueryExecution* ex) {
 template <typename T>
 QueryExecution DeferredSegmentation<T>::FlushBatch() {
   QueryExecution ex;
-  queries_since_batch_ = 0;
+  // An idle flush with nothing marked must not reset the query counter:
+  // doing so would silently push back a batch the threshold already owes.
   if (marked_.empty()) return ex;
-  const std::set<SegmentId> marks = std::move(marked_);
-  marked_.clear();
+  queries_since_batch_ = 0;
+  // std::exchange (not move-then-clear: clearing a moved-from set relies on
+  // an unspecified state) empties marked_ for the marks the batch creates.
+  const std::set<SegmentId> marks = std::exchange(marked_, {});
   // Process right-to-left so Replace() does not shift pending positions.
   for (size_t pos = index_.Size(); pos-- > 0;) {
     if (marks.count(index_.At(pos).id) > 0) SplitEquiDepth(pos, &ex);

@@ -47,6 +47,11 @@ class DeferredSegmentation : public AccessStrategy<T> {
   /// and, every `batch_queries` queries, executes the pending batch.
   QueryExecution Reorganize(const ValueRange& q) override;
 
+  /// Deferred-style append: routes values to their segments and tail-extends
+  /// them in place, marking any segment grown past the model's bounds for
+  /// the next batch -- the rebalancing itself stays off the write path.
+  QueryExecution Append(const std::vector<T>& values) override;
+
   StorageFootprint Footprint() const override;
   std::vector<SegmentInfo> Segments() const override {
     return index_.segments();
@@ -58,10 +63,13 @@ class DeferredSegmentation : public AccessStrategy<T> {
   QueryExecution FlushBatch();
 
   size_t pending_marks() const { return marked_.size(); }
+  size_t queries_since_batch() const { return queries_since_batch_; }
   const SegmentMetaIndex& index() const { return index_; }
 
  private:
   uint64_t TargetBytes() const;
+  /// Size past which an append-grown segment is marked for the next batch.
+  uint64_t MarkThresholdBytes() const;
   /// Equi-depth split of one segment; appends work to `ex`.
   void SplitEquiDepth(size_t pos, QueryExecution* ex);
 

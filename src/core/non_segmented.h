@@ -28,6 +28,22 @@ class NonSegmented : public AccessStrategy<T> {
     return Segments();
   }
 
+  /// Plain tail-append to the single full-column segment: only the appended
+  /// bytes are charged (no reorganization ever happens here).
+  QueryExecution Append(const std::vector<T>& values) override {
+    QueryExecution ex;
+    if (values.empty()) return ex;
+    const ValueRange env = ValueEnvelope(values);
+    domain_.lo = std::min(domain_.lo, env.lo);
+    domain_.hi = std::max(domain_.hi, env.hi);
+    IoCost cost;
+    this->space_->template Append<T>(id_, values, &cost);
+    ex.write_bytes += cost.bytes;
+    ex.adaptation_seconds += cost.seconds;
+    count_ += values.size();
+    return ex;
+  }
+
   StorageFootprint Footprint() const override {
     return {count_ * sizeof(T), 1, sizeof(SegmentInfo)};
   }

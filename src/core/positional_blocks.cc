@@ -43,6 +43,52 @@ SegmentScan<T> PositionalBlocks<T>::ScanSegment(const SegmentInfo& seg,
 }
 
 template <typename T>
+QueryExecution PositionalBlocks<T>::Append(const std::vector<T>& values) {
+  QueryExecution ex;
+  if (values.empty()) return ex;
+  const ValueRange env = ValueEnvelope(values);
+  domain_.lo = std::min(domain_.lo, env.lo);
+  domain_.hi = std::max(domain_.hi, env.hi);
+  const size_t per_block = block_bytes_ / sizeof(T);
+  size_t off = 0;
+  while (off < values.size()) {
+    if (!blocks_.empty() && blocks_.back().count < per_block) {
+      Block& b = blocks_.back();
+      const size_t n =
+          std::min(per_block - b.count, values.size() - off);
+      std::vector<T> chunk(values.begin() + off, values.begin() + off + n);
+      IoCost cost;
+      this->space_->template Append<T>(b.id, chunk, &cost);
+      ex.write_bytes += cost.bytes;
+      ex.adaptation_seconds += cost.seconds;
+      for (const T& v : chunk) {
+        b.min_value = std::min(b.min_value, ValueOf(v));
+        b.max_value = std::max(b.max_value, ValueOf(v));
+      }
+      b.count += n;
+      off += n;
+    } else {
+      const size_t n = std::min(per_block, values.size() - off);
+      std::vector<T> chunk(values.begin() + off, values.begin() + off + n);
+      double mn = ValueOf(chunk.front());
+      double mx = mn;
+      for (const T& v : chunk) {
+        mn = std::min(mn, ValueOf(v));
+        mx = std::max(mx, ValueOf(v));
+      }
+      IoCost create;
+      SegmentId id = this->space_->Create(chunk, &create);
+      ex.write_bytes += create.bytes;
+      ex.adaptation_seconds += create.seconds;
+      blocks_.push_back(Block{id, n, mn, mx});
+      off += n;
+    }
+  }
+  total_count_ += values.size();
+  return ex;
+}
+
+template <typename T>
 StorageFootprint PositionalBlocks<T>::Footprint() const {
   return {total_count_ * sizeof(T), blocks_.size(),
           blocks_.size() * sizeof(Block)};
@@ -70,5 +116,6 @@ template class PositionalBlocks<int32_t>;
 template class PositionalBlocks<int64_t>;
 template class PositionalBlocks<float>;
 template class PositionalBlocks<double>;
+template class PositionalBlocks<OidValue>;
 
 }  // namespace socs

@@ -33,6 +33,11 @@ class PositionalBlocks : public AccessStrategy<T> {
   SegmentScan<T> ScanSegment(const SegmentInfo& seg, const ValueRange& q,
                              std::vector<T>* out) override;
 
+  /// Appends in insertion order: fills the tail block to `block_bytes`, then
+  /// opens fresh blocks. Zone maps of touched blocks are maintained; only the
+  /// appended bytes are charged (C-Store style tail load).
+  QueryExecution Append(const std::vector<T>& values) override;
+
   StorageFootprint Footprint() const override;
   std::vector<SegmentInfo> Segments() const override;
   std::string Name() const override;

@@ -140,6 +140,27 @@ std::vector<SegmentInfo> ReplicaTree::CoverInfos(const ValueRange& q) const {
   return out;
 }
 
+size_t ReplicaTree::WidenDomain(const ValueRange& r) {
+  size_t changed = 0;
+  if (r.lo < domain_.lo) {
+    domain_.lo = r.lo;
+    for (ReplicaNode* n = sentinel_.get(); n != nullptr;
+         n = n->IsLeaf() ? nullptr : n->children.front().get()) {
+      n->range.lo = r.lo;
+    }
+    ++changed;
+  }
+  if (r.hi > domain_.hi) {
+    domain_.hi = r.hi;
+    for (ReplicaNode* n = sentinel_.get(); n != nullptr;
+         n = n->IsLeaf() ? nullptr : n->children.back().get()) {
+      n->range.hi = r.hi;
+    }
+    ++changed;
+  }
+  return changed;
+}
+
 uint64_t ReplicaTree::EstimateCount(const ReplicaNode& n, const ValueRange& sub) {
   if (n.range.Span() <= 0.0) return 0;
   const ValueRange eff = n.range.Intersect(sub);

@@ -77,6 +77,12 @@ class ReplicaTree {
   /// the storage); `*drops` counts dropped nodes.
   void CheckForDrop(ReplicaNode* s, std::vector<SegmentId>* freed, uint64_t* drops);
 
+  /// Widens the domain to include `r`, extending the ranges of the nodes on
+  /// the leftmost/rightmost root-to-leaf paths so appends outside the
+  /// original domain route into the boundary replicas. Returns how many
+  /// sides changed (0, 1 or 2).
+  size_t WidenDomain(const ValueRange& r);
+
   /// Uniform-interpolation size estimate of a sub-range of `n` (the paper
   /// estimates virtual-segment sizes; exact sizes arrive on materialization).
   static uint64_t EstimateCount(const ReplicaNode& n, const ValueRange& sub);

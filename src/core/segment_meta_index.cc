@@ -32,6 +32,17 @@ std::pair<size_t, size_t> SegmentMetaIndex::FindOverlapping(const ValueRange& q)
           static_cast<size_t>(hi_it - segments_.begin())};
 }
 
+size_t SegmentMetaIndex::PositionOf(double d) const {
+  SOCS_CHECK(!segments_.empty());
+  SOCS_CHECK_GE(d, domain_.lo) << "value below the column domain "
+                               << domain_.ToString();
+  auto it = std::upper_bound(
+      segments_.begin(), segments_.end(), d,
+      [](double v, const SegmentInfo& s) { return v < s.range.hi; });
+  if (it == segments_.end()) return segments_.size() - 1;  // clamp to the last
+  return static_cast<size_t>(it - segments_.begin());
+}
+
 void SegmentMetaIndex::Replace(size_t pos, const std::vector<SegmentInfo>& pieces) {
   ReplaceSpan(pos, 1, pieces);
 }
@@ -65,6 +76,22 @@ void SegmentMetaIndex::Update(size_t pos, const SegmentInfo& seg) {
   SOCS_CHECK(segments_[pos].range == seg.range)
       << "Update must preserve the range";
   segments_[pos] = seg;
+}
+
+size_t SegmentMetaIndex::WidenDomain(const ValueRange& r) {
+  SOCS_CHECK(!segments_.empty());
+  size_t changed = 0;
+  if (r.lo < domain_.lo) {
+    domain_.lo = r.lo;
+    segments_.front().range.lo = r.lo;
+    ++changed;
+  }
+  if (r.hi > domain_.hi) {
+    domain_.hi = r.hi;
+    segments_.back().range.hi = r.hi;
+    ++changed;
+  }
+  return changed;
 }
 
 uint64_t SegmentMetaIndex::TotalCount() const {

@@ -30,6 +30,13 @@ class SegmentMetaIndex {
   /// Segments are sorted by range.lo; lookup is binary search.
   std::pair<size_t, size_t> FindOverlapping(const ValueRange& q) const;
 
+  /// Index position of the segment owning value `d` under the half-open
+  /// convention. A value at (or beyond) the domain's upper bound clamps into
+  /// the last segment -- the append path's boundary case, which a naive
+  /// FindOverlapping probe would map to no segment. Dies when `d` is below
+  /// the domain.
+  size_t PositionOf(double d) const;
+
   /// Replaces the segment at `pos` with `pieces` (ordered, tiling the
   /// replaced segment's range). Dies on invariant violations.
   void Replace(size_t pos, const std::vector<SegmentInfo>& pieces);
@@ -41,6 +48,11 @@ class SegmentMetaIndex {
   /// Swaps the descriptor at `pos` for one covering the same range but a
   /// possibly different count/payload (bulk appends). Dies on range change.
   void Update(size_t pos, const SegmentInfo& seg);
+
+  /// Widens the domain to include `r`, extending the boundary segments'
+  /// ranges so appends outside the original domain route into them instead
+  /// of crashing. Returns how many boundary segments changed (0, 1 or 2).
+  size_t WidenDomain(const ValueRange& r);
 
   const SegmentInfo& At(size_t pos) const { return segments_[pos]; }
   size_t Size() const { return segments_.size(); }

@@ -30,6 +30,16 @@ StaticPartition<T>::StaticPartition(std::vector<T> values, ValueRange domain,
 }
 
 template <typename T>
+QueryExecution StaticPartition<T>::Append(const std::vector<T>& values) {
+  QueryExecution ex;
+  if (values.empty()) return ex;
+  const auto buckets = RouteAppend(&index_, values, this->space_->model(), &ex);
+  TailExtendBuckets(&index_, this->space_, buckets, &ex,
+                    [](const SegmentInfo&) {});
+  return ex;
+}
+
+template <typename T>
 StorageFootprint StaticPartition<T>::Footprint() const {
   return {index_.TotalCount() * sizeof(T), index_.Size(), index_.IndexBytes()};
 }

@@ -24,7 +24,11 @@
 #ifndef SOCS_CORE_STRATEGY_H_
 #define SOCS_CORE_STRATEGY_H_
 
+#include <algorithm>
+#include <cmath>
 #include <cstdint>
+#include <limits>
+#include <map>
 #include <memory>
 #include <span>
 #include <string>
@@ -33,6 +37,7 @@
 #include "core/oid_value.h"
 #include "core/range.h"
 #include "core/segment.h"
+#include "core/segment_meta_index.h"
 #include "storage/segment_space.h"
 
 namespace socs {
@@ -141,6 +146,17 @@ class AccessStrategy {
     return QueryExecution{};
   }
 
+  // --- the write path --------------------------------------------------------
+
+  /// Appends `values` to the column as an adaptation side effect: the
+  /// appended payload bytes (plus any reorganization the strategy performs --
+  /// segment rewrites, replica refreshes, cracked-piece shifting) are charged
+  /// to the adaptation half of the returned record (write_bytes /
+  /// adaptation_seconds). Values outside the column's domain widen it instead
+  /// of failing. The engine's bpm.append op drives exactly this phase, so the
+  /// SQL INSERT path and a direct core Append report identical accounting.
+  virtual QueryExecution Append(const std::vector<T>& values) = 0;
+
   // --- statistics ------------------------------------------------------------
 
   virtual StorageFootprint Footprint() const = 0;
@@ -188,6 +204,59 @@ std::vector<std::vector<T>> PartitionByCuts(std::span<const T> values,
     pieces[p].push_back(v);
   }
   return pieces;
+}
+
+/// Smallest half-open range containing every value of `values` (the upper
+/// bound is nudged one ulp past the maximum). Used by the Append phase to
+/// widen a column's domain before routing incoming values; empty input
+/// yields an empty range that never widens anything.
+template <typename T>
+ValueRange ValueEnvelope(const std::vector<T>& values) {
+  if (values.empty()) return ValueRange();
+  double lo = ValueOf(values.front());
+  double hi = lo;
+  for (const T& v : values) {
+    const double d = ValueOf(v);
+    lo = std::min(lo, d);
+    hi = std::max(hi, d);
+  }
+  return ValueRange(lo, std::nextafter(hi, std::numeric_limits<double>::max()));
+}
+
+/// Shared write-path routing over a SegmentMetaIndex: widens the domain to
+/// cover `values` (charging the boundary meta updates as adaptation
+/// bookkeeping into `ex`) and groups the values by owning index position.
+template <typename T>
+std::map<size_t, std::vector<T>> RouteAppend(SegmentMetaIndex* index,
+                                             const std::vector<T>& values,
+                                             const CostModel& model,
+                                             QueryExecution* ex) {
+  const size_t widened = index->WidenDomain(ValueEnvelope(values));
+  ex->adaptation_seconds += model.SegmentOverhead(widened);
+  std::map<size_t, std::vector<T>> buckets;
+  for (const T& v : values) {
+    buckets[index->PositionOf(ValueOf(v))].push_back(v);
+  }
+  return buckets;
+}
+
+/// Tail-extends each routed bucket's segment in place, charging the appended
+/// bytes into `ex` and updating the index counts. `on_segment` observes each
+/// updated descriptor (deferred segmentation marks oversized ones there).
+template <typename T, typename OnSegment>
+void TailExtendBuckets(SegmentMetaIndex* index, SegmentSpace* space,
+                       const std::map<size_t, std::vector<T>>& buckets,
+                       QueryExecution* ex, OnSegment&& on_segment) {
+  for (const auto& [pos, incoming] : buckets) {
+    const SegmentInfo seg = index->At(pos);
+    IoCost cost;
+    space->template Append<T>(seg.id, incoming, &cost);
+    ex->write_bytes += cost.bytes;
+    ex->adaptation_seconds += cost.seconds;
+    const SegmentInfo updated{seg.range, seg.count + incoming.size(), seg.id};
+    index->Update(pos, updated);
+    on_segment(updated);
+  }
 }
 
 /// Appends the values of `span` falling inside `q` to `out`; returns count.

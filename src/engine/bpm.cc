@@ -54,6 +54,16 @@ QueryExecution SegmentedColumn::Reorganize(double lo, double hi) {
   return strategy_->Reorganize(InclusiveToHalfOpen(lo, hi));
 }
 
+QueryExecution SegmentedColumn::Append(const std::vector<double>& values,
+                                       uint64_t oid_base) {
+  std::vector<OidValue> pairs;
+  pairs.reserve(values.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    pairs.push_back({oid_base + i, values[i]});
+  }
+  return strategy_->Append(pairs);
+}
+
 Bat SegmentedColumn::FullScanBat() const {
   const std::vector<SegmentInfo> segs = strategy_->Segments();
   uint64_t total = 0;

@@ -54,6 +54,13 @@ class SegmentedColumn {
   /// Returns the adaptation half of the query's execution record.
   QueryExecution Reorganize(double lo, double hi);
 
+  /// The write path (bpm.append): appends `values` as rows
+  /// oid_base .. oid_base+n-1 through the strategy's Append phase. The
+  /// returned record carries only adaptation-side costs (write bytes,
+  /// adaptation seconds), so an engine INSERT reports exactly what a direct
+  /// core Append would.
+  QueryExecution Append(const std::vector<double>& values, uint64_t oid_base);
+
   /// Whole column as a [oid, T] BAT (the fallback when a plan was not
   /// rewritten by the segment optimizer; unmetered).
   Bat FullScanBat() const;

@@ -24,6 +24,7 @@ Status Catalog::AddColumn(const std::string& table, const std::string& column,
   e.segmented = false;
   e.plain = std::move(values);
   t.columns.emplace(column, std::move(e));
+  t.column_order.push_back(column);
   return Status::OK();
 }
 
@@ -47,6 +48,7 @@ Status Catalog::AddSegmentedColumn(const std::string& table,
   e.seg = std::move(sc);
   seg_handles_[SegHandle(table, column)] = e.seg.get();
   t.columns.emplace(column, std::move(e));
+  t.column_order.push_back(column);
   return Status::OK();
 }
 
@@ -93,11 +95,35 @@ SegmentedColumn* Catalog::GetSegmentedOrNull(const std::string& table,
 }
 
 std::vector<std::string> Catalog::ColumnNames(const std::string& table) const {
-  std::vector<std::string> out;
   auto it = tables_.find(table);
-  if (it == tables_.end()) return out;
-  for (const auto& [name, entry] : it->second.columns) out.push_back(name);
-  return out;
+  if (it == tables_.end()) return {};
+  return it->second.column_order;
+}
+
+Status Catalog::AppendPlain(const std::string& table, const std::string& column,
+                            const std::vector<double>& values) {
+  auto it = tables_.find(table);
+  if (it == tables_.end()) return Status::NotFound("table " + table);
+  auto cit = it->second.columns.find(column);
+  if (cit == it->second.columns.end()) {
+    return Status::NotFound(table + "." + column);
+  }
+  if (cit->second.segmented) {
+    return Status::InvalidArgument(table + "." + column +
+                                   " is segmented; append through bpm.append");
+  }
+  for (double v : values) cit->second.plain.AppendDouble(v);
+  return Status::OK();
+}
+
+Status Catalog::Grow(const std::string& table, uint64_t delta) {
+  auto it = tables_.find(table);
+  if (it == tables_.end()) return Status::NotFound("table " + table);
+  if (!it->second.rows_known) {
+    return Status::FailedPrecondition("table " + table + " has no columns");
+  }
+  it->second.rows += delta;
+  return Status::OK();
 }
 
 StatusOr<uint64_t> Catalog::RowCount(const std::string& table) const {

@@ -44,8 +44,22 @@ class Catalog {
     return "sys_" + table + "_" + column;
   }
 
+  /// Column names in declaration order -- the positional order a
+  /// column-list-free INSERT binds its VALUES to.
   std::vector<std::string> ColumnNames(const std::string& table) const;
   StatusOr<uint64_t> RowCount(const std::string& table) const;
+
+  // --- the write path (INSERT bookkeeping) -----------------------------------
+
+  /// sql.append: appends `values` to a plain column's tail (segmented
+  /// columns take the bpm.append path instead). The table's row count is NOT
+  /// bumped here -- Grow() commits it once per INSERT after every column of
+  /// the table received its values.
+  Status AppendPlain(const std::string& table, const std::string& column,
+                     const std::vector<double>& values);
+
+  /// sql.grow: commits an INSERT's row-count growth (+delta rows).
+  Status Grow(const std::string& table, uint64_t delta);
 
  private:
   struct ColumnEntry {
@@ -55,6 +69,7 @@ class Catalog {
   };
   struct TableEntry {
     std::map<std::string, ColumnEntry> columns;
+    std::vector<std::string> column_order;  // declaration order
     uint64_t rows = 0;
     bool rows_known = false;
   };

@@ -258,6 +258,50 @@ void MalInterpreter::RegisterBuiltins() {
              return EngineValue::OfBat(std::move(b.value()));
            });
 
+  Register("sql", "rowCount",
+           [this](ExecContext& ctx, const MalInstr& in) -> StatusOr<EngineValue> {
+             // sql.rowCount("sys", table): the INSERT path's oid base.
+             auto table = StrArg(ctx, in, 1);
+             if (!table.ok()) return table.status();
+             auto rows = catalog_->RowCount(*table);
+             if (!rows.ok()) return rows.status();
+             return EngineValue::Number(static_cast<double>(*rows));
+           });
+
+  Register("sql", "append",
+           [this](ExecContext& ctx, const MalInstr& in) -> StatusOr<EngineValue> {
+             // sql.append("sys", table, column, v0, v1, ...): plain-column
+             // tail append (unmetered positional storage).
+             auto table = StrArg(ctx, in, 1);
+             if (!table.ok()) return table.status();
+             auto column = StrArg(ctx, in, 2);
+             if (!column.ok()) return column.status();
+             std::vector<double> values;
+             values.reserve(in.args.size() - 3);
+             for (size_t i = 3; i < in.args.size(); ++i) {
+               auto v = NumArg(ctx, in, i);
+               if (!v.ok()) return v.status();
+               values.push_back(*v);
+             }
+             Status st = catalog_->AppendPlain(*table, *column, values);
+             if (!st.ok()) return st;
+             return EngineValue::Number(static_cast<double>(values.size()));
+           });
+
+  Register("sql", "grow",
+           [this](ExecContext& ctx, const MalInstr& in) -> StatusOr<EngineValue> {
+             // sql.grow("sys", table, n): commits the row-count growth.
+             auto table = StrArg(ctx, in, 1);
+             if (!table.ok()) return table.status();
+             auto n = NumArg(ctx, in, 2);
+             if (!n.ok()) return n.status();
+             Status st = catalog_->Grow(*table, static_cast<uint64_t>(*n));
+             if (!st.ok()) return st;
+             auto rows = catalog_->RowCount(*table);
+             if (!rows.ok()) return rows.status();
+             return EngineValue::Number(static_cast<double>(*rows));
+           });
+
   Register("sql", "resultSet",
            [](ExecContext&, const MalInstr&) -> StatusOr<EngineValue> {
              return EngineValue::RSet(std::make_shared<ResultSet>());
@@ -381,6 +425,33 @@ void MalInterpreter::RegisterBuiltins() {
              if (!merged.ok()) return merged.status();
              ctx.vars[in.args[0].var] = EngineValue::OfBat(std::move(merged.value()));
              return EngineValue::Nil();
+           });
+
+  Register("bpm", "append",
+           [this](ExecContext& ctx, const MalInstr& in) -> StatusOr<EngineValue> {
+             // bpm.append(col, oid_base, v0, v1, ...): the write path. The
+             // append runs as an adaptation side effect; its record folds
+             // into last_execution like bpm.adapt's does.
+             if (in.args.empty() || in.args[0].kind != MalArg::Kind::kVar) {
+               return Status::InvalidArgument("bpm.append: bad args");
+             }
+             const EngineValue* cv = VarValue(ctx.vars, in.args[0].var);
+             if (cv == nullptr || cv->kind() != EngineValue::Kind::kSegCol) {
+               return Status::InvalidArgument(
+                   "bpm.append: arg 0 not a segmented column");
+             }
+             auto base = NumArg(ctx, in, 1);
+             if (!base.ok()) return base.status();
+             std::vector<double> values;
+             values.reserve(in.args.size() - 2);
+             for (size_t i = 2; i < in.args.size(); ++i) {
+               auto v = NumArg(ctx, in, i);
+               if (!v.ok()) return v.status();
+               values.push_back(*v);
+             }
+             last_exec_ += cv->segcol()->Append(
+                 values, static_cast<uint64_t>(*base));
+             return EngineValue::Number(static_cast<double>(values.size()));
            });
 
   Register("bpm", "adapt",

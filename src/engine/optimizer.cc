@@ -19,7 +19,11 @@ bool DeadCodeElimPass::HasSideEffects(const MalInstr& in) {
   if (in.module == "sql" && (in.op == "rsColumn" || in.op == "exportResult")) {
     return true;
   }
-  if (in.module == "bpm" && (in.op == "addSegment" || in.op == "adapt")) {
+  if (in.module == "bpm" &&
+      (in.op == "addSegment" || in.op == "adapt" || in.op == "append")) {
+    return true;
+  }
+  if (in.module == "sql" && (in.op == "append" || in.op == "grow")) {
     return true;
   }
   if (in.module == "io") return true;

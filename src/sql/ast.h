@@ -1,4 +1,5 @@
-// AST of the mini SQL dialect: single-table SELECT with BETWEEN predicates.
+// AST of the mini SQL dialect: single-table SELECT with BETWEEN predicates,
+// plus multi-row INSERT INTO ... VALUES (the engine's write path).
 #ifndef SOCS_SQL_AST_H_
 #define SOCS_SQL_AST_H_
 
@@ -55,6 +56,48 @@ struct SelectStmt {
          << predicates[i].lo << " and " << predicates[i].hi;
     }
     return os.str();
+  }
+};
+
+/// INSERT INTO t [(c1, c2, ...)] VALUES (v, ...), (v, ...), ...
+/// Every column of the table must receive a value in each row (columns stay
+/// positionally aligned); omitting the column list uses the catalog order.
+struct InsertStmt {
+  std::string table;
+  std::vector<std::string> columns;       // empty = catalog column order
+  std::vector<std::vector<double>> rows;  // one entry per VALUES tuple
+
+  std::string ToString() const {
+    std::ostringstream os;
+    os << "insert into " << table;
+    if (!columns.empty()) {
+      os << " (";
+      for (size_t i = 0; i < columns.size(); ++i) {
+        os << columns[i] << (i + 1 < columns.size() ? ", " : "");
+      }
+      os << ")";
+    }
+    os << " values ";
+    for (size_t r = 0; r < rows.size(); ++r) {
+      os << (r == 0 ? "(" : ", (");
+      for (size_t i = 0; i < rows[r].size(); ++i) {
+        os << rows[r][i] << (i + 1 < rows[r].size() ? ", " : "");
+      }
+      os << ")";
+    }
+    return os.str();
+  }
+};
+
+/// A parsed statement of either kind (ParseStatement's result).
+struct Statement {
+  enum class Kind { kSelect, kInsert };
+  Kind kind = Kind::kSelect;
+  SelectStmt select;  // valid when kind == kSelect
+  InsertStmt insert;  // valid when kind == kInsert
+
+  std::string ToString() const {
+    return kind == Kind::kSelect ? select.ToString() : insert.ToString();
   }
 };
 

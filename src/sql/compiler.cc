@@ -1,5 +1,7 @@
 #include "sql/compiler.h"
 
+#include <algorithm>
+
 #include "engine/mal_builder.h"
 
 namespace socs::sql {
@@ -105,6 +107,92 @@ StatusOr<MalProgram> Compile(const SelectStmt& stmt, const Catalog& catalog) {
   }
   b.CallVoid("sql", "exportResult", {MalArg::Var(rs)});
   return prog;
+}
+
+StatusOr<MalProgram> Compile(const InsertStmt& stmt, const Catalog& catalog) {
+  if (!catalog.HasTable(stmt.table)) {
+    return Status::NotFound("unknown table " + stmt.table);
+  }
+  if (stmt.rows.empty()) {
+    return Status::InvalidArgument("INSERT without VALUES");
+  }
+  // Column order: the explicit list, or the table's catalog order. Every
+  // column must receive a value per row -- columns stay positionally
+  // aligned, there are no NULLs in this dialect.
+  const std::vector<std::string> all = catalog.ColumnNames(stmt.table);
+  std::vector<std::string> order = stmt.columns.empty() ? all : stmt.columns;
+  if (order.size() != all.size()) {
+    return Status::InvalidArgument(
+        "INSERT must provide a value for every column of " + stmt.table +
+        " (" + std::to_string(all.size()) + " columns)");
+  }
+  for (const auto& col : order) {
+    if (!catalog.HasColumn(stmt.table, col)) {
+      return Status::NotFound("unknown column " + stmt.table + "." + col);
+    }
+  }
+  {
+    std::vector<std::string> sorted = order;
+    std::sort(sorted.begin(), sorted.end());
+    if (std::adjacent_find(sorted.begin(), sorted.end()) != sorted.end()) {
+      return Status::InvalidArgument("duplicate column in INSERT column list");
+    }
+  }
+  for (const auto& row : stmt.rows) {
+    if (row.size() != order.size()) {
+      return Status::InvalidArgument(
+          "VALUES arity " + std::to_string(row.size()) + " != " +
+          std::to_string(order.size()) + " columns of " + stmt.table);
+    }
+  }
+
+  MalProgram prog;
+  MalBuilder b(&prog);
+  const double n = static_cast<double>(stmt.rows.size());
+
+  // The oid base of the new rows: the pre-insert row count. All bpm.append
+  // calls of this statement share it; sql.grow commits it afterwards.
+  int base = -1;
+  for (size_t c = 0; c < order.size(); ++c) {
+    if (!catalog.IsSegmented(stmt.table, order[c])) continue;
+    base = b.Call("sql", "rowCount",
+                  {MalArg::Str("sys"), MalArg::Str(stmt.table)}, "B");
+    break;
+  }
+
+  for (size_t c = 0; c < order.size(); ++c) {
+    std::vector<MalArg> vals;
+    vals.reserve(stmt.rows.size());
+    for (const auto& row : stmt.rows) vals.push_back(MalArg::Num(row[c]));
+    if (catalog.IsSegmented(stmt.table, order[c])) {
+      const int col = b.Call(
+          "bpm", "take",
+          {MalArg::Str(Catalog::SegHandle(stmt.table, order[c]))}, "Y");
+      std::vector<MalArg> args = {MalArg::Var(col), MalArg::Var(base)};
+      args.insert(args.end(), vals.begin(), vals.end());
+      b.Call("bpm", "append", std::move(args));
+    } else {
+      std::vector<MalArg> args = {MalArg::Str("sys"), MalArg::Str(stmt.table),
+                                  MalArg::Str(order[c])};
+      args.insert(args.end(), vals.begin(), vals.end());
+      b.Call("sql", "append", std::move(args));
+    }
+  }
+  const int total = b.Call("sql", "grow",
+                           {MalArg::Str("sys"), MalArg::Str(stmt.table),
+                            MalArg::Num(n)});
+  (void)total;
+
+  const int rs = b.Call("sql", "resultSet", {}, "X");
+  b.CallVoid("sql", "rsColumn",
+             {MalArg::Var(rs), MalArg::Str("inserted"), MalArg::Num(n)});
+  b.CallVoid("sql", "exportResult", {MalArg::Var(rs)});
+  return prog;
+}
+
+StatusOr<MalProgram> Compile(const Statement& stmt, const Catalog& catalog) {
+  return stmt.kind == Statement::Kind::kInsert ? Compile(stmt.insert, catalog)
+                                               : Compile(stmt.select, catalog);
 }
 
 }  // namespace socs::sql

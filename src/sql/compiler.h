@@ -15,6 +15,16 @@ namespace socs::sql {
 
 StatusOr<MalProgram> Compile(const SelectStmt& stmt, const Catalog& catalog);
 
+/// Lowers an INSERT to the write-path plan: sql.rowCount fetches the oid
+/// base, each segmented column appends through bpm.take + bpm.append (the
+/// strategy's Append phase, charged as adaptation), each plain column
+/// through sql.append, and sql.grow commits the table's row count. Every
+/// column of the table must receive values (columns stay aligned).
+StatusOr<MalProgram> Compile(const InsertStmt& stmt, const Catalog& catalog);
+
+/// Dispatches on the statement kind.
+StatusOr<MalProgram> Compile(const Statement& stmt, const Catalog& catalog);
+
 }  // namespace socs::sql
 
 #endif  // SOCS_SQL_COMPILER_H_

@@ -25,6 +25,9 @@ const char* TokenTypeName(TokenType t) {
     case TokenType::kMin: return "MIN";
     case TokenType::kMax: return "MAX";
     case TokenType::kAvg: return "AVG";
+    case TokenType::kInsert: return "INSERT";
+    case TokenType::kInto: return "INTO";
+    case TokenType::kValues: return "VALUES";
     case TokenType::kEnd: return "<end>";
   }
   return "?";
@@ -49,6 +52,9 @@ TokenType KeywordOrIdent(const std::string& word) {
   if (w == "min") return TokenType::kMin;
   if (w == "max") return TokenType::kMax;
   if (w == "avg") return TokenType::kAvg;
+  if (w == "insert") return TokenType::kInsert;
+  if (w == "into") return TokenType::kInto;
+  if (w == "values") return TokenType::kValues;
   return TokenType::kIdent;
 }
 }  // namespace

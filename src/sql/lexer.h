@@ -31,6 +31,9 @@ enum class TokenType {
   kMin,
   kMax,
   kAvg,
+  kInsert,
+  kInto,
+  kValues,
   kEnd,
 };
 

@@ -10,6 +10,67 @@ class Parser {
  public:
   explicit Parser(std::vector<Token> toks) : toks_(std::move(toks)) {}
 
+  StatusOr<Statement> RunStatement() {
+    Statement out;
+    if (Peek().type == TokenType::kInsert) {
+      out.kind = Statement::Kind::kInsert;
+      auto ins = RunInsert();
+      if (!ins.ok()) return ins.status();
+      out.insert = std::move(ins.value());
+      return out;
+    }
+    out.kind = Statement::Kind::kSelect;
+    auto sel = Run();
+    if (!sel.ok()) return sel.status();
+    out.select = std::move(sel.value());
+    return out;
+  }
+
+  StatusOr<InsertStmt> RunInsert() {
+    InsertStmt stmt;
+    SOCS_RETURN_IF_ERROR(Expect(TokenType::kInsert));
+    SOCS_RETURN_IF_ERROR(Expect(TokenType::kInto));
+    if (Peek().type != TokenType::kIdent) return Err("table name");
+    stmt.table = Advance().text;
+    if (Peek().type == TokenType::kLParen) {
+      Advance();
+      while (true) {
+        if (Peek().type != TokenType::kIdent) return Err("column name");
+        stmt.columns.push_back(Advance().text);
+        if (Peek().type != TokenType::kComma) break;
+        Advance();
+      }
+      SOCS_RETURN_IF_ERROR(Expect(TokenType::kRParen));
+    }
+    SOCS_RETURN_IF_ERROR(Expect(TokenType::kValues));
+    while (true) {
+      SOCS_RETURN_IF_ERROR(Expect(TokenType::kLParen));
+      std::vector<double> row;
+      while (true) {
+        if (Peek().type != TokenType::kNumber) return Err("value");
+        row.push_back(Advance().number);
+        if (Peek().type != TokenType::kComma) break;
+        Advance();
+      }
+      SOCS_RETURN_IF_ERROR(Expect(TokenType::kRParen));
+      if (!stmt.rows.empty() && row.size() != stmt.rows.front().size()) {
+        return Status::InvalidArgument(
+            "VALUES tuples have inconsistent arity for " + stmt.table);
+      }
+      stmt.rows.push_back(std::move(row));
+      if (Peek().type != TokenType::kComma) break;
+      Advance();
+    }
+    if (!stmt.columns.empty() &&
+        stmt.rows.front().size() != stmt.columns.size()) {
+      return Status::InvalidArgument(
+          "VALUES arity does not match the column list for " + stmt.table);
+    }
+    if (Peek().type == TokenType::kSemicolon) Advance();
+    SOCS_RETURN_IF_ERROR(Expect(TokenType::kEnd));
+    return stmt;
+  }
+
   StatusOr<SelectStmt> Run() {
     SelectStmt stmt;
     SOCS_RETURN_IF_ERROR(Expect(TokenType::kSelect));
@@ -103,6 +164,13 @@ StatusOr<SelectStmt> Parse(const std::string& query) {
   if (!toks.ok()) return toks.status();
   Parser p(std::move(toks.value()));
   return p.Run();
+}
+
+StatusOr<Statement> ParseStatement(const std::string& query) {
+  auto toks = Lex(query);
+  if (!toks.ok()) return toks.status();
+  Parser p(std::move(toks.value()));
+  return p.RunStatement();
 }
 
 }  // namespace socs::sql

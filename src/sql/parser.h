@@ -2,6 +2,7 @@
 //   SELECT col [, col]... | COUNT(*)
 //   FROM table
 //   [WHERE col BETWEEN num AND num [AND col BETWEEN num AND num]...] [;]
+// | INSERT INTO table [(col [, col]...)] VALUES (num [, num]...) [, (...)] [;]
 #ifndef SOCS_SQL_PARSER_H_
 #define SOCS_SQL_PARSER_H_
 
@@ -13,7 +14,11 @@
 
 namespace socs::sql {
 
+/// Parses a SELECT (the historical entry point; INSERTs are rejected).
 StatusOr<SelectStmt> Parse(const std::string& query);
+
+/// Parses either statement kind -- what the shell and the engine use.
+StatusOr<Statement> ParseStatement(const std::string& query);
 
 }  // namespace socs::sql
 

@@ -20,6 +20,32 @@ bool BufferPool::Touch(SegmentId id, uint64_t bytes) {
   return false;
 }
 
+void BufferPool::Grow(SegmentId id, uint64_t delta_bytes) {
+  auto it = entries_.find(id);
+  if (it == entries_.end()) return;
+  it->second.bytes += delta_bytes;
+  resident_bytes_ += delta_bytes;
+  lru_.erase(it->second.lru_pos);
+  lru_.push_front(id);
+  it->second.lru_pos = lru_.begin();
+  if (capacity_bytes_ == 0) return;
+  if (it->second.bytes > capacity_bytes_) {
+    // Grew past the whole pool: it streams from now on (same rule as
+    // Touch), leaving the other residents undisturbed.
+    Drop(id);
+    return;
+  }
+  while (resident_bytes_ > capacity_bytes_) {
+    // The grown segment is hottest and fits, so the victim is never it.
+    SegmentId victim = lru_.back();
+    auto vit = entries_.find(victim);
+    resident_bytes_ -= vit->second.bytes;
+    lru_.pop_back();
+    entries_.erase(vit);
+    ++evictions_;
+  }
+}
+
 void BufferPool::Drop(SegmentId id) {
   auto it = entries_.find(id);
   if (it == entries_.end()) return;

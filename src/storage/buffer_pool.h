@@ -30,6 +30,12 @@ class BufferPool {
   /// Admits a freshly created segment as hottest (it was just written).
   void Admit(SegmentId id, uint64_t bytes) { (void)Touch(id, bytes); }
 
+  /// Grows a resident segment's tracked size after a tail append and marks
+  /// it hottest (it was just written). Evicts colder segments until the pool
+  /// fits again; a segment grown past the whole pool is dropped (it streams).
+  /// No-op when the segment is not resident.
+  void Grow(SegmentId id, uint64_t delta_bytes);
+
   /// Removes the segment if resident (called when a segment is freed).
   void Drop(SegmentId id);
 

@@ -11,6 +11,17 @@ SegmentId SecondaryStore::Create(const void* data, size_t bytes) {
   return id;
 }
 
+void SecondaryStore::Append(SegmentId id, const void* data, size_t bytes) {
+  auto it = blobs_.find(id);
+  SOCS_CHECK(it != blobs_.end()) << "append to unknown segment " << id;
+  if (bytes == 0) return;
+  std::vector<std::byte>& blob = it->second;
+  const size_t old_size = blob.size();
+  blob.resize(old_size + bytes);
+  std::memcpy(blob.data() + old_size, data, bytes);
+  total_bytes_ += bytes;
+}
+
 size_t SecondaryStore::SizeOf(SegmentId id) const {
   auto it = blobs_.find(id);
   SOCS_CHECK(it != blobs_.end()) << "unknown segment " << id;

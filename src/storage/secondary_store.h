@@ -35,6 +35,16 @@ class SecondaryStore {
     return Create(values.data(), values.size() * sizeof(T));
   }
 
+  /// Extends an existing segment's payload in place (tail append). Dies if
+  /// the id is unknown. Invalidates spans previously returned by Read().
+  void Append(SegmentId id, const void* data, size_t bytes);
+
+  /// Typed convenience wrapper for Append.
+  template <typename T>
+  void AppendTyped(SegmentId id, const std::vector<T>& values) {
+    Append(id, values.data(), values.size() * sizeof(T));
+  }
+
   bool Contains(SegmentId id) const { return blobs_.count(id) > 0; }
 
   /// Size in bytes of a stored segment. Dies if the id is unknown.

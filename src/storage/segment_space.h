@@ -52,6 +52,24 @@ class SegmentSpace {
     return id;
   }
 
+  /// Tail-extends an existing segment with `values`, charging only the
+  /// appended bytes as a memory write (plus a disk write when the cost model
+  /// is write-through) -- the cost basis of the strategies' Append phase.
+  /// Invalidates spans previously returned by Scan/Peek for this segment.
+  template <typename T>
+  void Append(SegmentId id, const std::vector<T>& values, IoCost* cost) {
+    const uint64_t bytes = values.size() * sizeof(T);
+    if (bytes == 0) return;
+    store_.AppendTyped(id, values);
+    stats_.mem_write_bytes += bytes;
+    stats_.disk_write_bytes += bytes;  // eventually flushed either way
+    pool_.Grow(id, bytes);
+    if (cost != nullptr) {
+      cost->bytes += bytes;
+      cost->seconds += model().SegmentWrite(bytes) + model().SegmentOverhead();
+    }
+  }
+
   /// Scans a segment: returns its typed payload, charging a memory read and,
   /// on a buffer-pool miss, a secondary-store read.
   template <typename T>

@@ -1,0 +1,457 @@
+// The write path: AccessStrategy::Append across all seven strategies
+// (correctness of append + reread, cost accounting with write bytes charged
+// exactly once), the BulkAppend boundary bugfixes, the deferred FlushBatch
+// fixes, and the SQL INSERT path through the engine for every strategy.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/units.h"
+#include "core/adaptive_replication.h"
+#include "core/adaptive_segmentation.h"
+#include "core/apm.h"
+#include "core/cracking.h"
+#include "core/deferred_segmentation.h"
+#include "core/non_segmented.h"
+#include "core/positional_blocks.h"
+#include "core/static_partition.h"
+#include "engine/mal_interpreter.h"
+#include "engine/optimizer.h"
+#include "sql/compiler.h"
+#include "sql/parser.h"
+#include "test_util.h"
+#include "workload/range_generator.h"
+
+namespace socs {
+namespace {
+
+using testing::BruteForce;
+using testing::SortedValues;
+
+// ---------------------------------------------------------------------------
+// Per-strategy append + reread correctness and accounting
+// ---------------------------------------------------------------------------
+
+constexpr const char* kStrategyNames[] = {
+    "NonSegmented", "StaticPartition", "PositionalBlocks", "Cracking",
+    "AdaptiveSegmentation", "DeferredSegmentation", "AdaptiveReplication",
+};
+constexpr size_t kNumStrategies = 7;
+
+std::unique_ptr<AccessStrategy<int32_t>> MakeStrategy(size_t kind,
+                                                      std::vector<int32_t> data,
+                                                      const ValueRange& domain,
+                                                      SegmentSpace* space) {
+  auto model = std::make_unique<Apm>(3 * kKiB, 12 * kKiB);
+  switch (kind) {
+    case 0:
+      return std::make_unique<NonSegmented<int32_t>>(std::move(data), domain,
+                                                     space);
+    case 1:
+      return std::make_unique<StaticPartition<int32_t>>(std::move(data), domain,
+                                                        8, space);
+    case 2:
+      return std::make_unique<PositionalBlocks<int32_t>>(
+          std::move(data), domain, 4 * kKiB, space, /*use_zone_maps=*/true);
+    case 3:
+      return std::make_unique<CrackingColumn<int32_t>>(std::move(data), domain,
+                                                       space);
+    case 4:
+      return std::make_unique<AdaptiveSegmentation<int32_t>>(
+          std::move(data), domain, std::move(model), space);
+    case 5: {
+      DeferredSegmentation<int32_t>::Options opts;
+      opts.batch_queries = 8;
+      return std::make_unique<DeferredSegmentation<int32_t>>(
+          std::move(data), domain, std::move(model), space, opts);
+    }
+    default:
+      return std::make_unique<AdaptiveReplication<int32_t>>(
+          std::move(data), domain, std::move(model), space);
+  }
+}
+
+TEST(AppendAllStrategies, AppendedValuesAreQueryable) {
+  const ValueRange domain(0, 100000);
+  for (size_t kind = 0; kind < kNumStrategies; ++kind) {
+    SCOPED_TRACE(kStrategyNames[kind]);
+    auto data = MakeUniformIntColumn(20000, 100000, 21);
+    SegmentSpace space;
+    auto strat = MakeStrategy(kind, data, domain, &space);
+
+    // Warm up: let adaptive strategies fragment before the appends arrive.
+    UniformRangeGenerator gen(domain, 0.05, 22);
+    for (int i = 0; i < 60; ++i) strat->RunRange(gen.Next().range);
+
+    auto extra = MakeUniformIntColumn(5000, 100000, 23);
+    auto all = data;
+    all.insert(all.end(), extra.begin(), extra.end());
+    const QueryExecution ex = strat->Append(extra);
+    EXPECT_GE(ex.write_bytes, extra.size() * sizeof(int32_t));
+    EXPECT_GT(ex.adaptation_seconds, 0.0);
+    EXPECT_EQ(ex.read_bytes + ex.result_count + ex.segments_scanned,
+              kind == 4 ? ex.read_bytes : 0u);  // only segm. rewrites re-read
+
+    Rng rng(24);
+    for (int i = 0; i < 40; ++i) {
+      const double lo = rng.NextUniform(0, 90000);
+      const ValueRange q(lo, lo + rng.NextUniform(500, 15000));
+      std::vector<int32_t> result;
+      strat->RunRange(q, &result);
+      ASSERT_EQ(SortedValues(result), BruteForce(all, q)) << "query " << i;
+    }
+  }
+}
+
+TEST(AppendAllStrategies, WriteBytesChargedExactlyOnce) {
+  const ValueRange domain(0, 100000);
+  for (size_t kind = 0; kind < kNumStrategies; ++kind) {
+    SCOPED_TRACE(kStrategyNames[kind]);
+    auto data = MakeUniformIntColumn(20000, 100000, 31);
+    SegmentSpace space;
+    auto strat = MakeStrategy(kind, data, domain, &space);
+    UniformRangeGenerator gen(domain, 0.05, 32);
+    for (int i = 0; i < 40; ++i) strat->RunRange(gen.Next().range);
+
+    auto extra = MakeUniformIntColumn(3000, 100000, 33);
+    const IoStats before = space.stats();
+    const QueryExecution ex = strat->Append(extra);
+    const IoStats delta = space.stats() - before;
+
+    // The execution record and the storage counters agree byte for byte:
+    // nothing is written (or read) behind the record's back, and nothing is
+    // double-charged.
+    EXPECT_EQ(delta.mem_write_bytes, ex.write_bytes);
+    EXPECT_EQ(delta.mem_read_bytes, ex.read_bytes);
+    // Selection-side fields stay untouched by the write path.
+    EXPECT_EQ(ex.selection_seconds, 0.0);
+    EXPECT_EQ(ex.result_count, 0u);
+  }
+}
+
+TEST(AppendAllStrategies, TailAppendStrategiesChargeOnlyAppendedBytes) {
+  // The non-reorganizing appenders (NoSegm, static partitions, positional
+  // blocks, deferred) pay exactly the appended payload -- no rewrite
+  // amplification.
+  const ValueRange domain(0, 100000);
+  for (size_t kind : {0u, 1u, 2u, 5u}) {
+    SCOPED_TRACE(kStrategyNames[kind]);
+    auto data = MakeUniformIntColumn(20000, 100000, 41);
+    SegmentSpace space;
+    auto strat = MakeStrategy(kind, data, domain, &space);
+    auto extra = MakeUniformIntColumn(3000, 100000, 42);
+    const QueryExecution ex = strat->Append(extra);
+    EXPECT_EQ(ex.write_bytes, extra.size() * sizeof(int32_t));
+    EXPECT_EQ(ex.read_bytes, 0u);
+  }
+}
+
+TEST(AppendAllStrategies, EmptyAppendIsFree) {
+  const ValueRange domain(0, 1000);
+  for (size_t kind = 0; kind < kNumStrategies; ++kind) {
+    SCOPED_TRACE(kStrategyNames[kind]);
+    SegmentSpace space;
+    auto strat =
+        MakeStrategy(kind, MakeUniformIntColumn(1000, 1000, 51), domain, &space);
+    const QueryExecution ex = strat->Append({});
+    EXPECT_EQ(ex.write_bytes, 0u);
+    EXPECT_EQ(ex.adaptation_seconds, 0.0);
+  }
+}
+
+TEST(AppendAllStrategies, OutOfDomainValuesWidenInsteadOfDying) {
+  const ValueRange domain(0, 1000);
+  for (size_t kind = 0; kind < kNumStrategies; ++kind) {
+    SCOPED_TRACE(kStrategyNames[kind]);
+    SegmentSpace space;
+    auto data = MakeUniformIntColumn(2000, 1000, 61);
+    auto strat = MakeStrategy(kind, data, domain, &space);
+    const std::vector<int32_t> extra = {-250, 1500, 2000};
+    strat->Append(extra);
+    auto all = data;
+    all.insert(all.end(), extra.begin(), extra.end());
+    std::vector<int32_t> result;
+    strat->RunRange(ValueRange(-300, 2100), &result);
+    ASSERT_EQ(SortedValues(result), BruteForce(all, ValueRange(-300, 2100)));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// BulkAppend boundary bugfixes (adaptive segmentation)
+// ---------------------------------------------------------------------------
+
+TEST(BulkAppendBoundary, ValueAtDomainUpperBoundLandsInLastSegment) {
+  // Regression: a FindOverlapping probe with [hi, nextafter(hi)) maps a
+  // value exactly at the domain's upper bound to *no* segment under the
+  // half-open convention; PositionOf clamps it into the last segment.
+  SegmentSpace space;
+  std::vector<int32_t> data = MakeUniformIntColumn(5000, 1000, 71);
+  AdaptiveSegmentation<int32_t> strat(data, ValueRange(0, 1000),
+                                      std::make_unique<Apm>(1 * kKiB, 4 * kKiB),
+                                      &space);
+  UniformRangeGenerator gen(ValueRange(0, 1000), 0.1, 72);
+  for (int i = 0; i < 50; ++i) strat.RunRange(gen.Next().range);
+  ASSERT_GT(strat.Segments().size(), 1u);
+
+  const QueryExecution ex = strat.BulkAppend({1000});  // == domain.hi
+  EXPECT_GT(ex.write_bytes, 0u);
+  EXPECT_TRUE(strat.index().Validate().ok());
+  EXPECT_EQ(strat.index().TotalCount(), 5001u);
+  // The value went into the *last* segment, whose range was extended past it.
+  EXPECT_GT(strat.Segments().back().range.hi, 1000.0);
+  std::vector<int32_t> result;
+  strat.RunRange(ValueRange(999.5, 1001), &result);
+  ASSERT_EQ(result.size(), 1u);
+  EXPECT_EQ(result[0], 1000);
+}
+
+TEST(BulkAppendBoundary, MetaIndexPositionOfClampsBoundary) {
+  SegmentMetaIndex index(ValueRange(0, 10));
+  index.InitTiling({SegmentInfo{ValueRange(0, 4), 1, 1},
+                    SegmentInfo{ValueRange(4, 10), 1, 2}});
+  EXPECT_EQ(index.PositionOf(0.0), 0u);
+  EXPECT_EQ(index.PositionOf(3.999), 0u);
+  EXPECT_EQ(index.PositionOf(4.0), 1u);
+  EXPECT_EQ(index.PositionOf(10.0), 1u);  // the boundary clamp
+  EXPECT_EQ(index.PositionOf(12.0), 1u);  // beyond: still the last segment
+}
+
+TEST(BulkAppendBoundary, OutOfDomainAppendWidensAndCharges) {
+  // Regression: this used to die with "value outside the column domain".
+  SegmentSpace space;
+  std::vector<int32_t> data = MakeUniformIntColumn(5000, 1000, 81);
+  AdaptiveSegmentation<int32_t> strat(data, ValueRange(0, 1000),
+                                      std::make_unique<Apm>(1 * kKiB, 4 * kKiB),
+                                      &space);
+  const QueryExecution ex = strat.BulkAppend({-50, 1200});
+  EXPECT_GT(ex.write_bytes, 0u);
+  EXPECT_GT(ex.adaptation_seconds, 0.0);
+  EXPECT_TRUE(strat.index().Validate().ok());
+  EXPECT_LE(strat.index().domain().lo, -50.0);
+  EXPECT_GT(strat.index().domain().hi, 1200.0);
+  std::vector<int32_t> result;
+  strat.RunRange(ValueRange(-100, 1300), &result);
+  auto all = data;
+  all.push_back(-50);
+  all.push_back(1200);
+  ASSERT_EQ(SortedValues(result), BruteForce(all, ValueRange(-100, 1300)));
+}
+
+// ---------------------------------------------------------------------------
+// DeferredSegmentation::FlushBatch fixes
+// ---------------------------------------------------------------------------
+
+TEST(DeferredFlush, IdleFlushWithNoMarksKeepsPendingThreshold) {
+  // A scheduler calling FlushBatch at an idle point with nothing marked must
+  // not reset the query counter -- that would silently push back the batch
+  // the threshold already owes.
+  SegmentSpace space;
+  DeferredSegmentation<int32_t>::Options opts;
+  opts.batch_queries = 100;
+  // 4KB column with Mmin=8KB: the model never wants a split, nothing marks.
+  DeferredSegmentation<int32_t> strat(
+      MakeUniformIntColumn(1000, 10000, 91), ValueRange(0, 10000),
+      std::make_unique<Apm>(8 * kKiB, 32 * kKiB), &space, opts);
+  UniformRangeGenerator gen(ValueRange(0, 10000), 0.1, 92);
+  for (int i = 0; i < 3; ++i) strat.RunRange(gen.Next().range);
+  ASSERT_EQ(strat.pending_marks(), 0u);
+  ASSERT_EQ(strat.queries_since_batch(), 3u);
+  const QueryExecution ex = strat.FlushBatch();  // idle, nothing to do
+  EXPECT_EQ(ex.write_bytes, 0u);
+  EXPECT_EQ(strat.queries_since_batch(), 3u);  // not masked
+}
+
+TEST(DeferredFlush, FlushWithMarksRunsOnceAndResets) {
+  SegmentSpace space;
+  DeferredSegmentation<int32_t>::Options opts;
+  opts.batch_queries = 1000;  // only explicit flushes run the batch
+  DeferredSegmentation<int32_t> strat(
+      MakeUniformIntColumn(50000, 100000, 93), ValueRange(0, 100000),
+      std::make_unique<Apm>(3 * kKiB, 12 * kKiB), &space, opts);
+  UniformRangeGenerator gen(ValueRange(0, 100000), 0.05, 94);
+  for (int i = 0; i < 20; ++i) strat.RunRange(gen.Next().range);
+  ASSERT_GT(strat.pending_marks(), 0u);
+  const size_t before = strat.Segments().size();
+
+  const QueryExecution first = strat.FlushBatch();
+  EXPECT_GT(first.splits, 0u);
+  EXPECT_GT(strat.Segments().size(), before);
+  EXPECT_EQ(strat.pending_marks(), 0u);
+  EXPECT_EQ(strat.queries_since_batch(), 0u);  // a real batch resets
+
+  // The marks were consumed exactly once: a second flush is free.
+  const QueryExecution second = strat.FlushBatch();
+  EXPECT_EQ(second.splits, 0u);
+  EXPECT_EQ(second.write_bytes, 0u);
+  EXPECT_EQ(second.read_bytes, 0u);
+}
+
+TEST(DeferredFlush, AppendMarksOversizedSegmentsForNextBatch) {
+  SegmentSpace space;
+  DeferredSegmentation<int32_t>::Options opts;
+  opts.batch_queries = 1000;
+  DeferredSegmentation<int32_t> strat(
+      MakeUniformIntColumn(1000, 100000, 95), ValueRange(0, 100000),
+      std::make_unique<Apm>(3 * kKiB, 12 * kKiB), &space, opts);
+  ASSERT_EQ(strat.pending_marks(), 0u);
+  // Quadruple the column: the single segment grows far past Mmax.
+  strat.Append(MakeUniformIntColumn(4000, 100000, 96));
+  EXPECT_GT(strat.pending_marks(), 0u);
+  const size_t before = strat.Segments().size();
+  strat.FlushBatch();
+  EXPECT_GT(strat.Segments().size(), before);  // the batch rebalanced it
+  EXPECT_TRUE(strat.index().Validate().ok());
+}
+
+// ---------------------------------------------------------------------------
+// SQL INSERT end-to-end through the engine, for every strategy
+// ---------------------------------------------------------------------------
+
+std::unique_ptr<AccessStrategy<OidValue>> MakeOidStrategy(
+    size_t kind, std::vector<OidValue> pairs, const ValueRange& domain,
+    SegmentSpace* space) {
+  auto model = std::make_unique<Apm>(8 * kKiB, 32 * kKiB);
+  switch (kind) {
+    case 0:
+      return std::make_unique<NonSegmented<OidValue>>(std::move(pairs), domain,
+                                                      space);
+    case 1:
+      return std::make_unique<StaticPartition<OidValue>>(std::move(pairs),
+                                                         domain, 8, space);
+    case 2:
+      return std::make_unique<PositionalBlocks<OidValue>>(
+          std::move(pairs), domain, 16 * kKiB, space, /*use_zone_maps=*/true);
+    case 3:
+      return std::make_unique<CrackingColumn<OidValue>>(std::move(pairs),
+                                                        domain, space);
+    case 4:
+      return std::make_unique<AdaptiveSegmentation<OidValue>>(
+          std::move(pairs), domain, std::move(model), space);
+    case 5:
+      return std::make_unique<DeferredSegmentation<OidValue>>(
+          std::move(pairs), domain, std::move(model), space);
+    default:
+      return std::make_unique<AdaptiveReplication<OidValue>>(
+          std::move(pairs), domain, std::move(model), space);
+  }
+}
+
+class SqlInsertAllStrategies : public ::testing::TestWithParam<size_t> {
+ protected:
+  void SetUp() override {
+    Rng rng(777);
+    std::vector<OidValue> pairs;
+    std::vector<int64_t> objid;
+    for (size_t i = 0; i < 10000; ++i) {
+      const double v = rng.NextUniform(0.0, 360.0);
+      ra_.push_back(v);
+      pairs.push_back({i, v});
+      objid.push_back(static_cast<int64_t>(1000000 + i));
+    }
+    auto col = std::make_unique<SegmentedColumn>(
+        Catalog::SegHandle("P", "ra"), ValType::kDbl,
+        MakeOidStrategy(GetParam(), std::move(pairs), ValueRange(0.0, 360.0),
+                        &space_),
+        &space_);
+    ASSERT_TRUE(cat_.AddSegmentedColumn("P", "ra", std::move(col)).ok());
+    ASSERT_TRUE(cat_.AddColumn("P", "objid", TypedVector::Of(objid)).ok());
+  }
+
+  StatusOr<std::shared_ptr<ResultSet>> Exec(const std::string& text) {
+    auto stmt = sql::ParseStatement(text);
+    if (!stmt.ok()) return stmt.status();
+    auto prog = sql::Compile(*stmt, cat_);
+    if (!prog.ok()) return prog.status();
+    OptContext ctx;
+    ctx.catalog = &cat_;
+    PassManager pm = MakeDefaultPipeline();
+    if (Status st = pm.Run(&prog.value(), &ctx); !st.ok()) return st;
+    MalInterpreter interp(&cat_);
+    auto rs = interp.Run(*prog);
+    if (rs.ok()) last_exec_ = interp.last_execution();
+    return rs;
+  }
+
+  Catalog cat_;
+  SegmentSpace space_;
+  std::vector<double> ra_;
+  QueryExecution last_exec_;
+};
+
+TEST_P(SqlInsertAllStrategies, InsertedRowsAreVisibleToSelects) {
+  // Count in a narrow band, insert three rows into it, count again.
+  auto rs = Exec("select count(*) from P where ra between 100 and 101");
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  const auto before =
+      static_cast<int64_t>((*rs)->cols[0].bat->tail().DoubleAt(0));
+
+  // No column list: VALUES bind in declaration order (ra first, then objid).
+  rs = Exec(
+      "insert into P values (100.25, 9000001), (100.5, 9000002), "
+      "(100.75, 9000003)");
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  EXPECT_EQ((*rs)->cols[0].name, "inserted");
+  EXPECT_EQ((*rs)->cols[0].bat->tail().DoubleAt(0), 3.0);
+  EXPECT_GT(last_exec_.write_bytes, 0u);        // charged as adaptation
+  EXPECT_GT(last_exec_.adaptation_seconds, 0.0);
+  EXPECT_EQ(last_exec_.selection_seconds, 0.0);  // no scan half
+
+  rs = Exec("select count(*) from P where ra between 100 and 101");
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  EXPECT_EQ(static_cast<int64_t>((*rs)->cols[0].bat->tail().DoubleAt(0)),
+            before + 3);
+  EXPECT_EQ(*cat_.RowCount("P"), 10003u);
+
+  // The reconstructed projection sees the new oids joined to objid.
+  rs = Exec("select objid from P where ra between 100.2 and 100.8");
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  std::vector<int64_t> got;
+  for (size_t i = 0; i < (*rs)->NumRows(); ++i) {
+    got.push_back(
+        static_cast<int64_t>((*rs)->cols[0].bat->tail().DoubleAt(i)));
+  }
+  int found = 0;
+  for (int64_t v : got) {
+    if (v >= 9000001 && v <= 9000003) ++found;
+  }
+  EXPECT_EQ(found, 3);
+}
+
+TEST_P(SqlInsertAllStrategies, ExplicitColumnListReorders) {
+  auto rs = Exec("insert into P (ra, objid) values (200.125, 9000009)");
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  rs = Exec("select objid from P where ra between 200.12 and 200.13");
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  ASSERT_EQ((*rs)->NumRows(), 1u);
+  EXPECT_EQ((*rs)->cols[0].bat->tail().DoubleAt(0), 9000009.0);
+}
+
+TEST_P(SqlInsertAllStrategies, InsertOutsideDomainWidensColumn) {
+  auto rs = Exec("insert into P values (400.5, 9000010)");  // ra domain is 360
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  rs = Exec("select count(*) from P where ra between 400 and 401");
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  EXPECT_EQ((*rs)->cols[0].bat->tail().DoubleAt(0), 1.0);
+}
+
+TEST_P(SqlInsertAllStrategies, InsertErrors) {
+  EXPECT_FALSE(Exec("insert into NoSuch values (1, 2)").ok());
+  EXPECT_FALSE(Exec("insert into P values (1)").ok());        // arity
+  EXPECT_FALSE(Exec("insert into P (ra) values (1)").ok());   // missing column
+  EXPECT_FALSE(Exec("insert into P (ra, ra) values (1, 2)").ok());  // dup
+  EXPECT_FALSE(Exec("insert into P (ra, nope) values (1, 2)").ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllStrategies, SqlInsertAllStrategies,
+                         ::testing::Range<size_t>(0, kNumStrategies),
+                         [](const ::testing::TestParamInfo<size_t>& info) {
+                           return kStrategyNames[info.param];
+                         });
+
+}  // namespace
+}  // namespace socs

@@ -106,6 +106,56 @@ TEST(ParserTest, ToStringRoundtrips) {
   EXPECT_EQ(again->predicates.size(), 1u);
 }
 
+TEST(ParserInsertTest, SimpleInsert) {
+  auto s = sql::ParseStatement("insert into P values (9000001, 205.5);");
+  ASSERT_TRUE(s.ok()) << s.status().ToString();
+  ASSERT_EQ(s->kind, sql::Statement::Kind::kInsert);
+  EXPECT_EQ(s->insert.table, "P");
+  EXPECT_TRUE(s->insert.columns.empty());
+  ASSERT_EQ(s->insert.rows.size(), 1u);
+  ASSERT_EQ(s->insert.rows[0].size(), 2u);
+  EXPECT_DOUBLE_EQ(s->insert.rows[0][1], 205.5);
+}
+
+TEST(ParserInsertTest, MultiRowWithColumnList) {
+  auto s = sql::ParseStatement(
+      "INSERT INTO t (a, b) VALUES (1, 2), (3, 4), (-5, 6.5)");
+  ASSERT_TRUE(s.ok()) << s.status().ToString();
+  ASSERT_EQ(s->kind, sql::Statement::Kind::kInsert);
+  ASSERT_EQ(s->insert.columns.size(), 2u);
+  EXPECT_EQ(s->insert.columns[1], "b");
+  ASSERT_EQ(s->insert.rows.size(), 3u);
+  EXPECT_DOUBLE_EQ(s->insert.rows[2][0], -5.0);
+}
+
+TEST(ParserInsertTest, SelectStillParsesThroughParseStatement) {
+  auto s = sql::ParseStatement("select a from t where x between 1 and 2");
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->kind, sql::Statement::Kind::kSelect);
+  EXPECT_EQ(s->select.table, "t");
+}
+
+TEST(ParserInsertTest, Errors) {
+  EXPECT_FALSE(sql::ParseStatement("insert into t").ok());
+  EXPECT_FALSE(sql::ParseStatement("insert into t values").ok());
+  EXPECT_FALSE(sql::ParseStatement("insert into t values ()").ok());
+  EXPECT_FALSE(sql::ParseStatement("insert t values (1)").ok());
+  EXPECT_FALSE(sql::ParseStatement("insert into t values (1), (1, 2)").ok());
+  EXPECT_FALSE(sql::ParseStatement("insert into t (a, b) values (1)").ok());
+  EXPECT_FALSE(sql::ParseStatement("insert into t values (1) extra").ok());
+  // The historical SELECT-only entry point rejects INSERTs.
+  EXPECT_FALSE(Parse("insert into t values (1)").ok());
+}
+
+TEST(ParserInsertTest, ToStringRoundtrips) {
+  auto s = sql::ParseStatement("insert into t (a, b) values (1, 2), (3, 4)");
+  ASSERT_TRUE(s.ok());
+  auto again = sql::ParseStatement(s->ToString());
+  ASSERT_TRUE(again.ok()) << again.status().ToString();
+  EXPECT_EQ(again->insert.rows, s->insert.rows);
+  EXPECT_EQ(again->insert.columns, s->insert.columns);
+}
+
 // --- end-to-end through the full stack --------------------------------------
 
 class SqlEndToEnd : public ::testing::Test {
