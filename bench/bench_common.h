@@ -15,6 +15,7 @@
 
 #include <cmath>
 #include <cstdlib>
+#include <cstring>
 #include <memory>
 #include <string>
 #include <vector>
@@ -26,10 +27,20 @@
 #include "core/gaussian_dice.h"
 #include "core/non_segmented.h"
 #include "core/run_stats.h"
+#include "exec/thread_pool.h"
+#include "exec/threads_flag.h"
 #include "workload/range_generator.h"
 #include "workload/skyserver.h"
 
 namespace socs::bench {
+
+// --- shared driver flags -----------------------------------------------------
+
+/// `--threads N` / `--threads=N` for the bench drivers (the shared parser
+/// lives in exec/threads_flag.h; sql_shell uses it too).
+inline size_t ThreadsFlag(int argc, char** argv, size_t default_threads = 1) {
+  return ParseThreadsFlag(argc, argv, default_threads);
+}
 
 // --- simulation setting ------------------------------------------------------
 
@@ -98,12 +109,15 @@ inline std::unique_ptr<QueryGenerator> MakeSimGen(bool zipf, double selectivity)
                                                  kSimSeed + 17);
 }
 
-/// Runs a workload against a strategy, recording per-query series.
+/// Runs a workload against a strategy, recording per-query series. A
+/// non-null `pool` fans each query's scan phase across the workers (the
+/// recorded metrics are byte-identical either way).
 template <typename T>
-RunRecorder RunWorkload(AccessStrategy<T>& strat, const Workload& w) {
+RunRecorder RunWorkload(AccessStrategy<T>& strat, const Workload& w,
+                        ThreadPool* pool = nullptr) {
   RunRecorder rec;
   for (const RangeQuery& q : w) {
-    rec.Record(strat.RunRange(q.range), strat.Footprint());
+    rec.Record(strat.RunRange(q.range, nullptr, pool), strat.Footprint());
   }
   return rec;
 }
@@ -187,11 +201,12 @@ struct SkyRun {
 
 /// Runs one workload, charging tuple reconstruction (objid fetch: 8B oid +
 /// 8B objid per result row) at gather bandwidth on top of the strategy time.
+/// A non-null `pool` parallelizes each query's scan phase.
 inline SkyRun RunSkyWorkload(AccessStrategy<float>& strat, const Workload& w,
-                             const CostModel& model) {
+                             const CostModel& model, ThreadPool* pool = nullptr) {
   SkyRun run;
   for (const RangeQuery& q : w) {
-    QueryExecution ex = strat.RunRange(q.range);
+    QueryExecution ex = strat.RunRange(q.range, nullptr, pool);
     const double reconstruct_s = model.Gather(ex.result_count * 16);
     run.selection_ms.push_back((ex.selection_seconds + reconstruct_s) * 1e3);
     run.adaptation_ms.push_back(ex.adaptation_seconds * 1e3);
@@ -202,9 +217,11 @@ inline SkyRun RunSkyWorkload(AccessStrategy<float>& strat, const Workload& w,
 
 /// Shared driver for Figs. 11-16: runs the four schemes on one workload and
 /// prints cumulative time (Figs. 11/13/15) and the moving-average per-query
-/// time (Figs. 12/14/16, window 20).
+/// time (Figs. 12/14/16, window 20). `threads > 1` runs the scan phases on a
+/// worker pool; the figures stay byte-identical, only wall time changes.
 void PrintSkyTimeFigures(const std::string& workload_name, const Workload& w,
-                         const char* cum_fig, const char* avg_fig);
+                         const char* cum_fig, const char* avg_fig,
+                         size_t threads = 1);
 
 }  // namespace socs::bench
 

@@ -1,0 +1,175 @@
+// Concurrent metered scans: wall-clock throughput of the scan-phase fan-out
+// (AccessStrategy::RunRange over a ThreadPool) at 1/2/4/N workers, with a
+// built-in byte-parity guard -- every threaded run must report exactly the
+// IoStats totals and summed execution records of the 1-thread run, or the
+// bench aborts. Registered as a ctest smoke (tiny scale via
+// SOCS_BENCH_SCALE) so the parallel path is exercised on every tier-1 run.
+//
+//   $ ./bench/bench_concurrent_scans [--threads N]   # add an N-worker row
+#include <iostream>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/logging.h"
+#include "common/series.h"
+#include "common/stopwatch.h"
+#include "common/units.h"
+#include "core/apm.h"
+#include "core/static_partition.h"
+#include "core/background_maintenance.h"
+#include "core/deferred_segmentation.h"
+#include "exec/task_scheduler.h"
+
+using namespace socs;
+using namespace socs::bench;
+
+namespace {
+
+struct RunTotals {
+  QueryExecution ex;
+  IoStats stats;
+  double wall_s = 0.0;
+};
+
+std::unique_ptr<AccessStrategy<int32_t>> MakeBenchStrategy(
+    bool adaptive, const std::vector<int32_t>& data, SegmentSpace* space) {
+  if (!adaptive) {
+    return std::make_unique<StaticPartition<int32_t>>(
+        data, ValueRange(0, kSimDomain), 64, space);
+  }
+  // APM bounds scale with the column (~1/64 .. ~1/16 of it) so a covering
+  // set spans a handful of segments big enough that one segment is a
+  // meaningful unit of parallel work -- the SkyServer geometry (1-25MB
+  // segments on a 180MB column), not the simulation's 3-12KB micro-segments.
+  const uint64_t min_b = std::max<uint64_t>(4 * kKiB,
+                                            data.size() * sizeof(int32_t) / 64);
+  return std::make_unique<AdaptiveSegmentation<int32_t>>(
+      data, ValueRange(0, kSimDomain), std::make_unique<Apm>(min_b, 4 * min_b),
+      space);
+}
+
+RunTotals RunAt(size_t threads, bool adaptive, const std::vector<int32_t>& data,
+                const Workload& w) {
+  SegmentSpace space;
+  auto strat = MakeBenchStrategy(adaptive, data, &space);
+  ThreadPool pool(threads);
+  Stopwatch sw;
+  RunTotals t;
+  for (const RangeQuery& q : w) {
+    std::vector<int32_t> result;
+    t.ex += strat->RunRange(q.range, &result, &pool);
+  }
+  t.wall_s = sw.ElapsedSeconds();
+  t.stats = space.stats();
+  return t;
+}
+
+void CheckParity(const RunTotals& base, const RunTotals& run, size_t threads) {
+  SOCS_CHECK_EQ(base.ex.read_bytes, run.ex.read_bytes) << threads << " threads";
+  SOCS_CHECK_EQ(base.ex.write_bytes, run.ex.write_bytes) << threads << " threads";
+  SOCS_CHECK_EQ(base.ex.result_count, run.ex.result_count) << threads << " threads";
+  SOCS_CHECK_EQ(base.ex.splits, run.ex.splits) << threads << " threads";
+  SOCS_CHECK_EQ(base.ex.selection_seconds, run.ex.selection_seconds)
+      << threads << " threads";
+  SOCS_CHECK_EQ(base.ex.adaptation_seconds, run.ex.adaptation_seconds)
+      << threads << " threads";
+  SOCS_CHECK_EQ(base.stats.mem_read_bytes, run.stats.mem_read_bytes)
+      << threads << " threads";
+  SOCS_CHECK_EQ(base.stats.mem_write_bytes, run.stats.mem_write_bytes)
+      << threads << " threads";
+  SOCS_CHECK_EQ(base.stats.segments_scanned, run.stats.segments_scanned)
+      << threads << " threads";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // SOCS_BENCH_SCALE shrinks the column/workload for the ctest smoke.
+  const char* scale_env = std::getenv("SOCS_BENCH_SCALE");
+  const double scale = scale_env != nullptr ? std::atof(scale_env) : 1.0;
+  const size_t n =
+      static_cast<size_t>(2'000'000 * (scale > 0 && scale <= 1.0 ? scale : 1.0));
+  const size_t num_queries =
+      static_cast<size_t>(600 * (scale > 0 && scale <= 1.0 ? scale : 1.0)) + 20;
+
+  const auto data = MakeUniformIntColumn(n, kSimDomain, kSimSeed);
+  auto gen = MakeSimGen(/*zipf=*/false, /*selectivity=*/0.2);
+  Workload w;
+  for (size_t i = 0; i < num_queries; ++i) w.push_back(gen->Next());
+
+  std::cout << "column: " << n << " int32 values ("
+            << FormatBytes(n * sizeof(int32_t)) << "), " << w.size()
+            << " uniform selections, selectivity 0.2\n"
+            << "hardware threads: " << std::thread::hardware_concurrency()
+            << " (speedup is hardware-bound; the byte-parity checks are "
+               "not)\n\n";
+
+  std::vector<size_t> thread_counts{1, 2, 4};
+  const size_t flag = ThreadsFlag(argc, argv, /*default_threads=*/0);
+  if (flag > 0) thread_counts.push_back(flag);
+  const size_t hw = std::thread::hardware_concurrency();
+  if (flag == 0 && hw > 4) thread_counts.push_back(hw);
+
+  // Static partitioning is the read-mostly showcase: Reorganize is a no-op,
+  // so the whole query is the parallel scan phase. Adaptive segmentation
+  // shows the Amdahl cost of the reorganizing module: its decision pass
+  // re-reads the cover under the exclusive latch, serializing a large slice
+  // of every query (the motivation for the background lane below). On a
+  // single-core host both tables degenerate to ~1x -- the parity checks are
+  // what must hold everywhere.
+  for (const bool adaptive : {false, true}) {
+    ResultTable table(std::string(adaptive ? "APM adaptive segmentation"
+                                           : "Static 64-way partitioning") +
+                          " (byte-parity enforced per row)",
+                      {"threads", "wall_s", "speedup", "mem_read", "splits",
+                       "sim_select_s"});
+    RunTotals base;
+    for (size_t threads : thread_counts) {
+      const RunTotals t = RunAt(threads, adaptive, data, w);
+      if (threads == 1) {
+        base = t;
+      } else {
+        CheckParity(base, t, threads);  // N-thread == 1-thread, byte for byte
+      }
+      table.AddRow(threads, FormatNumber(t.wall_s),
+                   FormatNumber(base.wall_s / t.wall_s),
+                   FormatBytes(t.ex.read_bytes), t.ex.splits,
+                   FormatNumber(t.ex.selection_seconds));
+    }
+    table.Print(std::cout);
+  }
+
+  // Background reorganization: the deferred batch on the scheduler's
+  // background lane, entirely off the (timed) query path.
+  SegmentSpace space;
+  DeferredSegmentation<int32_t>::Options opts;
+  opts.batch_queries = 1 << 30;  // only the background lane flushes
+  DeferredSegmentation<int32_t> deferred(
+      data, ValueRange(0, kSimDomain), MakeSimModel(Scheme::kApmSegm), &space,
+      opts);
+  TaskScheduler sched(2);
+  BackgroundMaintenance<int32_t> maint(&deferred);
+  Stopwatch sw;
+  QueryExecution fg;
+  for (const RangeQuery& q : w) {
+    fg += deferred.RunRange(q.range);
+    maint.Schedule(&sched);
+  }
+  const double fg_wall = sw.ElapsedSeconds();
+  sched.DrainBackground();
+
+  ResultTable bg("Deferred segmentation with background FlushBatch",
+                 {"where", "splits", "sim_adapt_s", "wall_s"});
+  bg.AddRow("query path (foreground)", fg.splits,
+            FormatNumber(fg.adaptation_seconds), FormatNumber(fg_wall));
+  bg.AddRow("background lane", maint.total().splits,
+            FormatNumber(maint.total().adaptation_seconds),
+            std::string("off the query path"));
+  bg.Print(std::cout);
+  SOCS_CHECK_GT(maint.total().splits, 0u)
+      << "background lane never reorganized";
+  std::cout << "note: every reorganization ran off-thread; the foreground "
+               "adaptation seconds\ncover only the mark bookkeeping.\n";
+  return 0;
+}

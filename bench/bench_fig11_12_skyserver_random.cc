@@ -2,10 +2,11 @@
 // random SkyServer workload (200 queries over the whole footprint).
 #include "bench_sky_driver.inc"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace socs::bench;
   const auto cfg = SkyConfig();
-  PrintSkyTimeFigures("random", socs::MakeRandomWorkload(cfg, 200), "11", "12");
+  PrintSkyTimeFigures("random", socs::MakeRandomWorkload(cfg, 200), "11", "12",
+                      ThreadsFlag(argc, argv));
   std::cout << "Expected shape (paper): adaptive schemes start slower (re-\n"
                "organization) but cross below NoSegm within a few tens of\n"
                "queries; APM 1-25 amortizes first.\n";

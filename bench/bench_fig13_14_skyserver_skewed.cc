@@ -2,10 +2,11 @@
 // skewed SkyServer workload (200 queries in two very limited areas).
 #include "bench_sky_driver.inc"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace socs::bench;
   const auto cfg = SkyConfig();
-  PrintSkyTimeFigures("skewed", socs::MakeSkewedWorkload(cfg, 200), "13", "14");
+  PrintSkyTimeFigures("skewed", socs::MakeSkewedWorkload(cfg, 200), "13", "14",
+                      ThreadsFlag(argc, argv));
   std::cout << "Expected shape (paper): APM overhead is smaller than under\n"
                "the random load (reorganization touches a very limited area);\n"
                "GD hits its worst case, fragmenting the hot areas into many\n"

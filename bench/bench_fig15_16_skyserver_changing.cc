@@ -2,11 +2,11 @@
 // changing SkyServer workload (four 50-query phases with moving focus).
 #include "bench_sky_driver.inc"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace socs::bench;
   const auto cfg = SkyConfig();
   PrintSkyTimeFigures("changing", socs::MakeChangingWorkload(cfg, 200), "15",
-                      "16");
+                      "16", ThreadsFlag(argc, argv));
   std::cout << "Expected shape (paper): shifting the point of interest at\n"
                "queries 50/100/150 triggers reorganization of untouched\n"
                "segments -- visible as temporary bumps in the moving average\n"

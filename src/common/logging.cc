@@ -1,12 +1,15 @@
 #include "common/logging.h"
 
+#include <unistd.h>
+
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 
 namespace socs {
 
 namespace {
-LogLevel g_level = LogLevel::kInfo;
+std::atomic<LogLevel> g_level{LogLevel::kInfo};
 
 char LevelChar(LogLevel level) {
   switch (level) {
@@ -17,21 +20,40 @@ char LevelChar(LogLevel level) {
   }
   return '?';
 }
+
+/// One atomic write(2) per line: workers logging concurrently can interleave
+/// whole lines but never bytes within a line (stdio would buffer in chunks).
+void EmitLine(char tag, const char* file, int line, const std::string& msg) {
+  char prefix[32];
+  const int n = std::snprintf(prefix, sizeof(prefix), "[%c] ", tag);
+  std::string out;
+  out.reserve(static_cast<size_t>(n) + msg.size() + 64);
+  out.append(prefix, static_cast<size_t>(n));
+  out += file;
+  out += ':';
+  out += std::to_string(line);
+  out += ' ';
+  out += msg;
+  out += '\n';
+  ssize_t written = ::write(STDERR_FILENO, out.data(), out.size());
+  (void)written;  // best effort: nowhere to report a failing stderr
+}
 }  // namespace
 
-void SetLogLevel(LogLevel level) { g_level = level; }
-LogLevel GetLogLevel() { return g_level; }
+void SetLogLevel(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
+LogLevel GetLogLevel() { return g_level.load(std::memory_order_relaxed); }
 
 namespace internal {
 
 void LogMessage(LogLevel level, const char* file, int line, const std::string& msg) {
-  if (level < g_level) return;
-  std::fprintf(stderr, "[%c] %s:%d %s\n", LevelChar(level), file, line, msg.c_str());
+  if (level < g_level.load(std::memory_order_relaxed)) return;
+  EmitLine(LevelChar(level), file, line, msg);
 }
 
 void FailCheck(const char* file, int line, const char* expr, const std::string& msg) {
-  std::fprintf(stderr, "[F] %s:%d CHECK failed: %s %s\n", file, line, expr,
-               msg.c_str());
+  EmitLine('F', file, line, std::string("CHECK failed: ") + expr + " " + msg);
   std::abort();
 }
 

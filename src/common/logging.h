@@ -17,8 +17,10 @@ LogLevel GetLogLevel();
 
 namespace internal {
 
-/// Emits one log line to stderr ("[I] file:line message"). Thread-safe enough
-/// for this single-threaded simulator (one write() per line).
+/// Emits one log line to stderr ("[I] file:line message"). Thread-safe: the
+/// line is assembled off to the side and emitted with a single write(2), so
+/// concurrent workers never interleave within a line; the level threshold is
+/// an atomic.
 void LogMessage(LogLevel level, const char* file, int line, const std::string& msg);
 
 [[noreturn]] void FailCheck(const char* file, int line, const char* expr,

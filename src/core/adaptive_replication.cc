@@ -190,7 +190,7 @@ void AdaptiveReplication<T>::AppendRec(ReplicaNode* n,
 }
 
 template <typename T>
-QueryExecution AdaptiveReplication<T>::Append(const std::vector<T>& values) {
+QueryExecution AdaptiveReplication<T>::AppendImpl(const std::vector<T>& values) {
   QueryExecution ex;
   if (values.empty()) return ex;
   const size_t widened = tree_.WidenDomain(ValueEnvelope(values));

@@ -48,13 +48,6 @@ class AdaptiveReplication : public AccessStrategy<T> {
   /// fully-replicated parents (Algorithm 5), and enforces the budget.
   QueryExecution Reorganize(const ValueRange& q) override;
 
-  /// Replica refresh: every materialized node whose range contains an
-  /// incoming value receives it (replicas duplicate data, so one inserted
-  /// row may cost several replica writes -- the price of lazy
-  /// materialization under updates). Virtual nodes' counts stay exact
-  /// because their data lives in the refreshed materialized ancestor.
-  QueryExecution Append(const std::vector<T>& values) override;
-
   StorageFootprint Footprint() const override;
   std::vector<SegmentInfo> Segments() const override;
   std::vector<SegmentInfo> CoverSegments(const ValueRange& q) const override {
@@ -64,6 +57,14 @@ class AdaptiveReplication : public AccessStrategy<T> {
 
   ReplicaTree& tree() { return tree_; }
   const ReplicaTree& tree() const { return tree_; }
+
+ protected:
+  /// Replica refresh: every materialized node whose range contains an
+  /// incoming value receives it (replicas duplicate data, so one inserted
+  /// row may cost several replica writes -- the price of lazy
+  /// materialization under updates). Virtual nodes' counts stay exact
+  /// because their data lives in the refreshed materialized ancestor.
+  QueryExecution AppendImpl(const std::vector<T>& values) override;
 
  private:
   /// Algorithm 4: walks from covering segment `s` down to the leaves

@@ -32,7 +32,8 @@ AdaptiveSegmentation<T>::AdaptiveSegmentation(ValueRange domain,
 }
 
 template <typename T>
-QueryExecution AdaptiveSegmentation<T>::BulkAppend(const std::vector<T>& values) {
+QueryExecution AdaptiveSegmentation<T>::BulkAppendLocked(
+    const std::vector<T>& values) {
   QueryExecution ex;
   if (values.empty()) return ex;
   // Values outside the column domain widen it (extending the boundary

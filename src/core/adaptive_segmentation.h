@@ -60,11 +60,10 @@ class AdaptiveSegmentation : public AccessStrategy<T> {
   /// to their value-range segments; each affected segment is rewritten once.
   /// Values outside the column's domain widen it (the boundary segment's
   /// range is extended); the widening cost is part of the returned record.
-  QueryExecution BulkAppend(const std::vector<T>& values);
-
-  /// The write-path phase is the segment-rewriting bulk append.
-  QueryExecution Append(const std::vector<T>& values) override {
-    return BulkAppend(values);
+  /// Takes the column's exclusive latch -- safe alongside concurrent scans.
+  QueryExecution BulkAppend(const std::vector<T>& values) {
+    ExclusiveColumnGuard guard(this->latch_);
+    return BulkAppendLocked(values);
   }
 
   StorageFootprint Footprint() const override;
@@ -76,7 +75,15 @@ class AdaptiveSegmentation : public AccessStrategy<T> {
   const SegmentMetaIndex& index() const { return index_; }
   const SegmentationModel& model() const { return *model_; }
 
+ protected:
+  /// The write-path phase is the segment-rewriting bulk append (the caller,
+  /// Append, already holds the exclusive latch).
+  QueryExecution AppendImpl(const std::vector<T>& values) override {
+    return BulkAppendLocked(values);
+  }
+
  private:
+  QueryExecution BulkAppendLocked(const std::vector<T>& values);
   struct PieceCounts {
     uint64_t left = 0, mid = 0, right = 0;
   };

@@ -1,0 +1,61 @@
+// Background reorganization wiring: hands a strategy's idle work (deferred
+// segmentation's pending batch, see DeferredSegmentation::IdleWork) to a
+// TaskScheduler so batches run off the query path entirely -- the paper's
+// post-processing reorganization executed the way Hyrise runs automatic
+// clustering as a background plugin. Jobs take the column's exclusive latch
+// (AccessStrategy::RunIdleWork), so they serialize against queries and
+// appends without any cooperation from the query threads; their execution
+// records accumulate in a ledger here instead of any query's record.
+#ifndef SOCS_CORE_BACKGROUND_MAINTENANCE_H_
+#define SOCS_CORE_BACKGROUND_MAINTENANCE_H_
+
+#include <cstdint>
+#include <mutex>
+
+#include "core/strategy.h"
+#include "exec/task_scheduler.h"
+
+namespace socs {
+
+template <typename T>
+class BackgroundMaintenance {
+ public:
+  /// `strategy` must outlive this object and any scheduled jobs (drain the
+  /// scheduler before tearing either down).
+  explicit BackgroundMaintenance(AccessStrategy<T>* strategy)
+      : strategy_(strategy) {}
+  BackgroundMaintenance(const BackgroundMaintenance&) = delete;
+  BackgroundMaintenance& operator=(const BackgroundMaintenance&) = delete;
+
+  /// Enqueues one idle-work pass on `sched` (an idle point, e.g. "query
+  /// finished"). A pass with nothing pending is a cheap latched no-op.
+  void Schedule(TaskScheduler* sched) {
+    sched->ScheduleBackground([this] {
+      const QueryExecution ex = strategy_->RunIdleWork();
+      std::lock_guard<std::mutex> lk(mu_);
+      total_ += ex;
+      ++runs_;
+    });
+  }
+
+  /// Sum of all background execution records so far.
+  QueryExecution total() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return total_;
+  }
+  /// Background passes completed (including no-op passes).
+  uint64_t runs() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return runs_;
+  }
+
+ private:
+  AccessStrategy<T>* strategy_;
+  mutable std::mutex mu_;
+  QueryExecution total_;
+  uint64_t runs_ = 0;
+};
+
+}  // namespace socs
+
+#endif  // SOCS_CORE_BACKGROUND_MAINTENANCE_H_

@@ -12,7 +12,8 @@ CrackingColumn<T>::CrackingColumn(std::vector<T> values, ValueRange domain,
 template <typename T>
 SegmentScan<T> CrackingColumn<T>::ScanSegment(const SegmentInfo& seg,
                                               const ValueRange& q,
-                                              std::vector<T>* out) {
+                                              std::vector<T>* out,
+                                              IoLane* lane) {
   SegmentScan<T> s;
   size_t start = 0;
   if (seg.range.lo > domain_.lo) {
@@ -25,14 +26,13 @@ SegmentScan<T> CrackingColumn<T>::ScanSegment(const SegmentInfo& seg,
   const uint64_t bytes = seg.count * sizeof(T);
   s.read_bytes = bytes;
   s.seconds = this->space_->model().MemRead(bytes);
-  this->space_->mutable_stats().mem_read_bytes += bytes;
-  ++this->space_->mutable_stats().segments_scanned;
+  this->space_->ChargeScanBytes(bytes, lane);
   s.result_count = FilterRange(s.payload, q, out);
   return s;
 }
 
 template <typename T>
-QueryExecution CrackingColumn<T>::Append(const std::vector<T>& values) {
+QueryExecution CrackingColumn<T>::AppendImpl(const std::vector<T>& values) {
   QueryExecution ex;
   if (values.empty()) return ex;
   const ValueRange env = ValueEnvelope(values);
@@ -60,7 +60,7 @@ QueryExecution CrackingColumn<T>::Append(const std::vector<T>& values) {
   const uint64_t write_bytes = (moved + values.size()) * sizeof(T);
   ex.write_bytes += write_bytes;
   ex.adaptation_seconds += this->space_->model().MemWrite(write_bytes);
-  this->space_->mutable_stats().mem_write_bytes += write_bytes;
+  this->space_->ChargeWriteBytes(write_bytes);
   return ex;
 }
 
@@ -97,7 +97,7 @@ size_t CrackingColumn<T>::Crack(double bound, QueryExecution* ex) {
   ex->write_bytes += write_bytes;
   ex->adaptation_seconds += this->space_->model().MemWrite(write_bytes);
   ++ex->splits;
-  this->space_->mutable_stats().mem_write_bytes += write_bytes;
+  this->space_->ChargeWriteBytes(write_bytes);
   return i;
 }
 

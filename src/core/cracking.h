@@ -31,20 +31,15 @@ class CrackingColumn : public AccessStrategy<T> {
   CrackingColumn(std::vector<T> values, ValueRange domain, SegmentSpace* space);
 
   /// Reads one cracker piece from the in-memory array: cracking's segments
-  /// have no SegmentSpace payloads, so the metering is charged directly.
+  /// have no SegmentSpace payloads, so the metering is charged through the
+  /// space's unpooled scan charge (into `lane` when the scan fans out).
   SegmentScan<T> ScanSegment(const SegmentInfo& seg, const ValueRange& q,
-                             std::vector<T>* out) override;
+                             std::vector<T>* out,
+                             IoLane* lane = nullptr) override;
 
   /// Cracks both query bounds in place. The partition pass runs over pieces
   /// the scan phase already charged, so it only accounts the swap writes.
   QueryExecution Reorganize(const ValueRange& q) override;
-
-  /// Piece-aware insertion (the cracking-updates "ripple"): each value lands
-  /// at the end of the piece owning it; the hole is made by moving one
-  /// element per later piece from its front to its back, shifting those
-  /// pieces right by one. Charges one element write per moved element plus
-  /// the inserted values.
-  QueryExecution Append(const std::vector<T>& values) override;
 
   StorageFootprint Footprint() const override;
   /// Cracker pieces between consecutive index entries (no segment ids; the
@@ -53,6 +48,14 @@ class CrackingColumn : public AccessStrategy<T> {
   std::string Name() const override { return "Cracking"; }
 
   size_t NumPieces() const { return index_.size() + 1; }
+
+ protected:
+  /// Piece-aware insertion (the cracking-updates "ripple"): each value lands
+  /// at the end of the piece owning it; the hole is made by moving one
+  /// element per later piece from its front to its back, shifting those
+  /// pieces right by one. Charges one element write per moved element plus
+  /// the inserted values.
+  QueryExecution AppendImpl(const std::vector<T>& values) override;
 
  private:
   /// Ensures `bound` is a cracked position: partitions the piece containing

@@ -35,7 +35,7 @@ uint64_t DeferredSegmentation<T>::MarkThresholdBytes() const {
 }
 
 template <typename T>
-QueryExecution DeferredSegmentation<T>::Append(const std::vector<T>& values) {
+QueryExecution DeferredSegmentation<T>::AppendImpl(const std::vector<T>& values) {
   QueryExecution ex;
   if (values.empty()) return ex;
   const auto buckets = RouteAppend(&index_, values, this->space_->model(), &ex);
@@ -84,7 +84,7 @@ QueryExecution DeferredSegmentation<T>::Reorganize(const ValueRange& q) {
     }
   }
   if (++queries_since_batch_ >= opts_.batch_queries) {
-    ex += FlushBatch();
+    ex += FlushBatchLocked();
   }
   return ex;
 }
@@ -148,7 +148,7 @@ void DeferredSegmentation<T>::SplitEquiDepth(size_t pos, QueryExecution* ex) {
 }
 
 template <typename T>
-QueryExecution DeferredSegmentation<T>::FlushBatch() {
+QueryExecution DeferredSegmentation<T>::FlushBatchLocked() {
   QueryExecution ex;
   // An idle flush with nothing marked must not reset the query counter:
   // doing so would silently push back a batch the threshold already owes.

@@ -47,26 +47,41 @@ class DeferredSegmentation : public AccessStrategy<T> {
   /// and, every `batch_queries` queries, executes the pending batch.
   QueryExecution Reorganize(const ValueRange& q) override;
 
-  /// Deferred-style append: routes values to their segments and tail-extends
-  /// them in place, marking any segment grown past the model's bounds for
-  /// the next batch -- the rebalancing itself stays off the write path.
-  QueryExecution Append(const std::vector<T>& values) override;
-
   StorageFootprint Footprint() const override;
   std::vector<SegmentInfo> Segments() const override {
     return index_.segments();
   }
   std::string Name() const override { return "Post/" + model_->Name(); }
 
-  /// Forces the pending batch to run now (e.g., at an idle point). Returns
-  /// the reorganization record.
-  QueryExecution FlushBatch();
+  /// Forces the pending batch to run now (e.g., at an idle point). Takes the
+  /// column's exclusive latch -- safe to call while other threads scan the
+  /// column. Returns the reorganization record.
+  QueryExecution FlushBatch() {
+    ExclusiveColumnGuard guard(this->latch_);
+    return FlushBatchLocked();
+  }
+
+  /// The pending batch is this strategy's idle work: a TaskScheduler
+  /// background job (RunIdleWork / core/background_maintenance.h) flushes it
+  /// off the query path entirely, under the column's exclusive latch.
+  bool HasIdleWork() const override { return !marked_.empty(); }
+  QueryExecution IdleWork() override { return FlushBatchLocked(); }
 
   size_t pending_marks() const { return marked_.size(); }
   size_t queries_since_batch() const { return queries_since_batch_; }
   const SegmentMetaIndex& index() const { return index_; }
 
+ protected:
+  /// Deferred-style append: routes values to their segments and tail-extends
+  /// them in place, marking any segment grown past the model's bounds for
+  /// the next batch -- the rebalancing itself stays off the write path.
+  QueryExecution AppendImpl(const std::vector<T>& values) override;
+
  private:
+  /// The batch itself; callers hold the exclusive latch (the FlushBatch
+  /// wrapper, IdleWork via RunIdleWork, Reorganize via RunRange).
+  QueryExecution FlushBatchLocked();
+
   uint64_t TargetBytes() const;
   /// Size past which an append-grown segment is marked for the next batch.
   uint64_t MarkThresholdBytes() const;

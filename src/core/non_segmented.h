@@ -28,9 +28,20 @@ class NonSegmented : public AccessStrategy<T> {
     return Segments();
   }
 
+  StorageFootprint Footprint() const override {
+    return {count_ * sizeof(T), 1, sizeof(SegmentInfo)};
+  }
+
+  std::vector<SegmentInfo> Segments() const override {
+    return {SegmentInfo{domain_, count_, id_}};
+  }
+
+  std::string Name() const override { return "NoSegm"; }
+
+ protected:
   /// Plain tail-append to the single full-column segment: only the appended
   /// bytes are charged (no reorganization ever happens here).
-  QueryExecution Append(const std::vector<T>& values) override {
+  QueryExecution AppendImpl(const std::vector<T>& values) override {
     QueryExecution ex;
     if (values.empty()) return ex;
     const ValueRange env = ValueEnvelope(values);
@@ -43,16 +54,6 @@ class NonSegmented : public AccessStrategy<T> {
     count_ += values.size();
     return ex;
   }
-
-  StorageFootprint Footprint() const override {
-    return {count_ * sizeof(T), 1, sizeof(SegmentInfo)};
-  }
-
-  std::vector<SegmentInfo> Segments() const override {
-    return {SegmentInfo{domain_, count_, id_}};
-  }
-
-  std::string Name() const override { return "NoSegm"; }
 
  private:
   ValueRange domain_;

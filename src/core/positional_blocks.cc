@@ -31,7 +31,8 @@ PositionalBlocks<T>::PositionalBlocks(std::vector<T> values, ValueRange domain,
 template <typename T>
 SegmentScan<T> PositionalBlocks<T>::ScanSegment(const SegmentInfo& seg,
                                                 const ValueRange& q,
-                                                std::vector<T>* out) {
+                                                std::vector<T>* out,
+                                                IoLane* lane) {
   // `seg.range` carries the block's zone map (see Segments()).
   if (use_zone_maps_ && (seg.range.hi < q.lo || seg.range.lo >= q.hi)) {
     SegmentScan<T> s;
@@ -39,11 +40,11 @@ SegmentScan<T> PositionalBlocks<T>::ScanSegment(const SegmentInfo& seg,
     s.seconds = this->space_->model().SegmentOverhead();
     return s;
   }
-  return AccessStrategy<T>::ScanSegment(seg, q, out);
+  return AccessStrategy<T>::ScanSegment(seg, q, out, lane);
 }
 
 template <typename T>
-QueryExecution PositionalBlocks<T>::Append(const std::vector<T>& values) {
+QueryExecution PositionalBlocks<T>::AppendImpl(const std::vector<T>& values) {
   QueryExecution ex;
   if (values.empty()) return ex;
   const ValueRange env = ValueEnvelope(values);

@@ -31,16 +31,18 @@ class PositionalBlocks : public AccessStrategy<T> {
   /// Zone-map pruning happens at scan time: a skipped block charges only the
   /// per-segment header overhead and reports `scanned = false`.
   SegmentScan<T> ScanSegment(const SegmentInfo& seg, const ValueRange& q,
-                             std::vector<T>* out) override;
-
-  /// Appends in insertion order: fills the tail block to `block_bytes`, then
-  /// opens fresh blocks. Zone maps of touched blocks are maintained; only the
-  /// appended bytes are charged (C-Store style tail load).
-  QueryExecution Append(const std::vector<T>& values) override;
+                             std::vector<T>* out,
+                             IoLane* lane = nullptr) override;
 
   StorageFootprint Footprint() const override;
   std::vector<SegmentInfo> Segments() const override;
   std::string Name() const override;
+
+ protected:
+  /// Appends in insertion order: fills the tail block to `block_bytes`, then
+  /// opens fresh blocks. Zone maps of touched blocks are maintained; only the
+  /// appended bytes are charged (C-Store style tail load).
+  QueryExecution AppendImpl(const std::vector<T>& values) override;
 
  private:
   struct Block {

@@ -30,7 +30,7 @@ StaticPartition<T>::StaticPartition(std::vector<T> values, ValueRange domain,
 }
 
 template <typename T>
-QueryExecution StaticPartition<T>::Append(const std::vector<T>& values) {
+QueryExecution StaticPartition<T>::AppendImpl(const std::vector<T>& values) {
   QueryExecution ex;
   if (values.empty()) return ex;
   const auto buckets = RouteAppend(&index_, values, this->space_->model(), &ex);

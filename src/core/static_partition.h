@@ -21,14 +21,15 @@ class StaticPartition : public AccessStrategy<T> {
   StaticPartition(std::vector<T> values, ValueRange domain, size_t num_parts,
                   SegmentSpace* space);
 
-  /// Routes each value to its partition and tail-extends the affected
-  /// partitions in place; the partitioning itself never changes (a DBA's
-  /// static layout degrades under appends -- that is the point).
-  QueryExecution Append(const std::vector<T>& values) override;
-
   StorageFootprint Footprint() const override;
   std::vector<SegmentInfo> Segments() const override { return index_.segments(); }
   std::string Name() const override;
+
+ protected:
+  /// Routes each value to its partition and tail-extends the affected
+  /// partitions in place; the partitioning itself never changes (a DBA's
+  /// static layout degrades under appends -- that is the point).
+  QueryExecution AppendImpl(const std::vector<T>& values) override;
 
  private:
   SegmentMetaIndex index_;

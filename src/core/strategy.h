@@ -21,6 +21,16 @@
 // module drives the same phases from MAL (bpm.newIterator/hasMoreElements ->
 // ScanSegment, bpm.adapt -> Reorganize), so the SQL/engine path and the
 // direct core path report identical per-query accounting.
+//
+// Concurrency: because the scan phase is read-only, RunRange can fan it out
+// across a ThreadPool -- one lane-metered ScanSegment per covering segment,
+// folded back in cover order so the execution record, the result vector and
+// the IoStats totals are byte-identical to a single-threaded run. The phases
+// synchronize on the per-column ColumnLatch: CoverSegments + ScanSegment
+// under the shared latch, Reorganize / Append / IdleWork under the exclusive
+// latch. The virtual phase methods themselves are unlatched; only the
+// non-virtual entry points (RunRange, Append, RunIdleWork -- and the
+// engine's SegmentedColumn) acquire the latch.
 #ifndef SOCS_CORE_STRATEGY_H_
 #define SOCS_CORE_STRATEGY_H_
 
@@ -38,6 +48,9 @@
 #include "core/range.h"
 #include "core/segment.h"
 #include "core/segment_meta_index.h"
+#include "exec/column_latch.h"
+#include "exec/thread_pool.h"
+#include "sim/io_lane.h"
 #include "storage/segment_space.h"
 
 namespace socs {
@@ -85,6 +98,17 @@ struct SegmentScan {
   std::span<const T> payload;
 };
 
+/// Folds one scan record into the selection half of an execution record --
+/// the single fold used by RunRange and the engine's segment delivery, so
+/// both paths accumulate in the same order with the same arithmetic.
+template <typename T>
+inline void FoldScanIntoExecution(const SegmentScan<T>& s, QueryExecution* ex) {
+  ex->read_bytes += s.read_bytes;
+  ex->result_count += s.result_count;
+  ex->selection_seconds += s.seconds;
+  if (s.scanned) ++ex->segments_scanned;
+}
+
 template <typename T>
 class AccessStrategy {
  public:
@@ -97,8 +121,13 @@ class AccessStrategy {
   /// scan per covering segment (ScanSegment), then the reorganizing module
   /// (Reorganize). When `result` is non-null the qualifying values are
   /// appended (unordered; value-based organization gives up positional
-  /// order). Returns the per-query execution record.
-  QueryExecution RunRange(const ValueRange& q, std::vector<T>* result = nullptr);
+  /// order). With a non-inline `pool` the scan phase fans out across the
+  /// workers; the per-segment records, lane stats and result chunks are
+  /// folded back in cover order, so the returned record, `*result` and the
+  /// space's IoStats are byte-identical to the single-threaded run. Returns
+  /// the per-query execution record.
+  QueryExecution RunRange(const ValueRange& q, std::vector<T>* result = nullptr,
+                          ThreadPool* pool = nullptr);
 
   // --- phase 1: planning ----------------------------------------------------
 
@@ -106,7 +135,7 @@ class AccessStrategy {
   /// the column -- what the engine's segment iterator walks. The default
   /// (all overlapping segments) is correct for strategies whose segments
   /// tile the domain; adaptive replication overrides it with the replica
-  /// tree's minimal cover.
+  /// tree's minimal cover. Callers hold at least the shared latch.
   virtual std::vector<SegmentInfo> CoverSegments(const ValueRange& q) const {
     std::vector<SegmentInfo> out;
     for (const SegmentInfo& s : Segments()) {
@@ -120,14 +149,17 @@ class AccessStrategy {
   /// One metered scan of covering segment `seg`: charges the payload bytes to
   /// SegmentSpace/IoStats exactly once, appends the values inside `q` to
   /// `out` (when non-null), and returns the scan record including the raw
-  /// payload. The default reads through SegmentSpace::Scan; strategies
-  /// without segment-space payloads (cracking) or with scan-time pruning
-  /// (zone maps) override it.
+  /// payload. With a non-null `lane` the charge accumulates there instead of
+  /// the shared stats (the parallel fan-out path; the caller commits lanes
+  /// in cover order). The default reads through SegmentSpace::Scan;
+  /// strategies without segment-space payloads (cracking) or with scan-time
+  /// pruning (zone maps) override it. Callers hold at least the shared latch.
   virtual SegmentScan<T> ScanSegment(const SegmentInfo& seg, const ValueRange& q,
-                                     std::vector<T>* out) {
+                                     std::vector<T>* out,
+                                     IoLane* lane = nullptr) {
     SegmentScan<T> s;
     IoCost cost;
-    s.payload = space_->template Scan<T>(seg.id, &cost);
+    s.payload = space_->template Scan<T>(seg.id, &cost, lane);
     s.read_bytes = cost.bytes;
     s.seconds = cost.seconds;
     s.result_count = FilterRange(s.payload, q, out);
@@ -142,6 +174,7 @@ class AccessStrategy {
   /// payloads scanned in phase 2 via unmetered Peek; reads that are genuine
   /// extra work (e.g. deferred batches re-loading marked segments, merge
   /// glue) stay metered. The default is the no-op of non-adaptive baselines.
+  /// Callers hold the exclusive latch.
   virtual QueryExecution Reorganize(const ValueRange& /*q*/) {
     return QueryExecution{};
   }
@@ -155,7 +188,31 @@ class AccessStrategy {
   /// adaptation_seconds). Values outside the column's domain widen it instead
   /// of failing. The engine's bpm.append op drives exactly this phase, so the
   /// SQL INSERT path and a direct core Append report identical accounting.
-  virtual QueryExecution Append(const std::vector<T>& values) = 0;
+  /// Non-virtual: takes the exclusive latch and runs the strategy's
+  /// AppendImpl.
+  QueryExecution Append(const std::vector<T>& values) {
+    ExclusiveColumnGuard guard(latch_);
+    return AppendImpl(values);
+  }
+
+  // --- idle-time maintenance --------------------------------------------------
+
+  /// True when the strategy has reorganization work it could run off the
+  /// query path (deferred segmentation's pending batch). Callers hold the
+  /// exclusive latch (the pending set is mutated by Reorganize/Append).
+  virtual bool HasIdleWork() const { return false; }
+
+  /// Runs the pending idle work and returns its execution record (the
+  /// background ledger's unit of accounting). Callers hold the exclusive
+  /// latch; background jobs go through RunIdleWork instead.
+  virtual QueryExecution IdleWork() { return QueryExecution{}; }
+
+  /// Latched idle-work entry point: what a TaskScheduler background job
+  /// calls (exec/task_scheduler.h, core/background_maintenance.h).
+  QueryExecution RunIdleWork() {
+    ExclusiveColumnGuard guard(latch_);
+    return IdleWork();
+  }
 
   // --- statistics ------------------------------------------------------------
 
@@ -170,24 +227,60 @@ class AccessStrategy {
 
   SegmentSpace* space() const { return space_; }
 
+  /// The column's reader/writer latch (scan phase shared, reorganization /
+  /// write path exclusive). Exposed so the engine's SegmentedColumn and the
+  /// background scheduler synchronize on the same latch as RunRange.
+  ColumnLatch& latch() const { return latch_; }
+
  protected:
+  /// The strategy-specific write path (see Append). Implementations run
+  /// under the exclusive latch.
+  virtual QueryExecution AppendImpl(const std::vector<T>& values) = 0;
+
   SegmentSpace* space_;
+  mutable ColumnLatch latch_;
 };
 
 template <typename T>
 QueryExecution AccessStrategy<T>::RunRange(const ValueRange& q,
-                                           std::vector<T>* result) {
+                                           std::vector<T>* result,
+                                           ThreadPool* pool) {
   QueryExecution ex;
   ex.selection_seconds = space_->model().QueryOverhead();
   if (q.Empty()) return ex;
-  for (const SegmentInfo& seg : CoverSegments(q)) {
-    SegmentScan<T> s = ScanSegment(seg, q, result);
-    ex.read_bytes += s.read_bytes;
-    ex.result_count += s.result_count;
-    ex.selection_seconds += s.seconds;
-    if (s.scanned) ++ex.segments_scanned;
+  {
+    SharedColumnGuard guard(latch_);
+    const std::vector<SegmentInfo> cover = CoverSegments(q);
+    if (pool == nullptr || pool->inline_mode() || cover.size() < 2) {
+      for (const SegmentInfo& seg : cover) {
+        FoldScanIntoExecution(ScanSegment(seg, q, result), &ex);
+      }
+    } else {
+      // Scan fan-out: one lane-metered scan per covering segment, results in
+      // per-segment chunks. The fold below walks the slots in cover order, so
+      // stats commit order, seconds accumulation order and result order all
+      // match the sequential loop above exactly.
+      std::vector<SegmentScan<T>> scans(cover.size());
+      std::vector<IoLane> lanes(cover.size());
+      std::vector<std::vector<T>> chunks(result != nullptr ? cover.size() : 0);
+      pool->ParallelFor(cover.size(), [&](size_t i) {
+        scans[i] = ScanSegment(cover[i], q,
+                               result != nullptr ? &chunks[i] : nullptr,
+                               &lanes[i]);
+      });
+      for (size_t i = 0; i < cover.size(); ++i) {
+        space_->CommitLane(&lanes[i]);
+        FoldScanIntoExecution(scans[i], &ex);
+        if (result != nullptr) {
+          result->insert(result->end(), chunks[i].begin(), chunks[i].end());
+        }
+      }
+    }
   }
-  ex += Reorganize(q);
+  {
+    ExclusiveColumnGuard guard(latch_);
+    ex += Reorganize(q);
+  }
   return ex;
 }
 

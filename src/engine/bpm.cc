@@ -9,7 +9,7 @@ SegmentedColumn::SegmentedColumn(std::string name, ValType sql_type,
                                  std::unique_ptr<AccessStrategy<OidValue>> strategy,
                                  SegmentSpace* space)
     : name_(std::move(name)), sql_type_(sql_type), strategy_(std::move(strategy)),
-      space_(space) {
+      space_(space), maintenance_(strategy_.get()) {
   SOCS_CHECK(sql_type_ != ValType::kVoid);
 }
 
@@ -20,6 +20,7 @@ ValueRange SegmentedColumn::InclusiveToHalfOpen(double lo, double hi) {
 }
 
 std::vector<SegmentInfo> SegmentedColumn::CoverSegments(double lo, double hi) const {
+  SharedColumnGuard guard(strategy_->latch());
   return strategy_->CoverSegments(InclusiveToHalfOpen(lo, hi));
 }
 
@@ -31,26 +32,39 @@ void SegmentedColumn::AppendSpan(std::span<const OidValue> span,
   }
 }
 
-Bat SegmentedColumn::ScanSegmentBat(const SegmentInfo& seg, double lo, double hi,
-                                    QueryExecution* ex) {
-  SegmentScan<OidValue> scan =
-      strategy_->ScanSegment(seg, InclusiveToHalfOpen(lo, hi), nullptr);
-  if (ex != nullptr) {
-    ex->read_bytes += scan.read_bytes;
-    ex->result_count += scan.result_count;
-    ex->selection_seconds += scan.seconds;
-    if (scan.scanned) ++ex->segments_scanned;
-  }
+Bat SegmentedColumn::ScanToBat(const SegmentInfo& seg, double lo, double hi,
+                               SegmentScan<OidValue>* scan, IoLane* lane) {
+  *scan = strategy_->ScanSegment(seg, InclusiveToHalfOpen(lo, hi), nullptr, lane);
   std::vector<Oid> oids;
-  oids.reserve(scan.payload.size());
+  oids.reserve(scan->payload.size());
   TypedVector values(sql_type_);
-  values.Reserve(scan.payload.size());
-  AppendSpan(scan.payload, &oids, &values);
+  values.Reserve(scan->payload.size());
+  AppendSpan(scan->payload, &oids, &values);
   return Bat(BatColumn::Materialized(TypedVector::Of(std::move(oids))),
              BatColumn::Materialized(std::move(values)));
 }
 
+Bat SegmentedColumn::ScanSegmentBat(const SegmentInfo& seg, double lo, double hi,
+                                    QueryExecution* ex) {
+  // No latch here: the driving BpmIterator holds the shared latch for its
+  // whole lifetime (see bpm.h), which also pins the cached cover.
+  SegmentScan<OidValue> scan;
+  Bat bat = ScanToBat(seg, lo, hi, &scan, nullptr);
+  if (ex != nullptr) FoldScanIntoExecution(scan, ex);
+  return bat;
+}
+
+Bat SegmentedColumn::PrefetchSegmentBat(const SegmentInfo& seg, double lo,
+                                        double hi, SegmentScan<OidValue>* scan,
+                                        IoLane* lane) {
+  // No latch here either -- same contract as ScanSegmentBat.
+  return ScanToBat(seg, lo, hi, scan, lane);
+}
+
+void SegmentedColumn::CommitScanLane(IoLane* lane) { space_->CommitLane(lane); }
+
 QueryExecution SegmentedColumn::Reorganize(double lo, double hi) {
+  ExclusiveColumnGuard guard(strategy_->latch());
   return strategy_->Reorganize(InclusiveToHalfOpen(lo, hi));
 }
 
@@ -61,10 +75,11 @@ QueryExecution SegmentedColumn::Append(const std::vector<double>& values,
   for (size_t i = 0; i < values.size(); ++i) {
     pairs.push_back({oid_base + i, values[i]});
   }
-  return strategy_->Append(pairs);
+  return strategy_->Append(pairs);  // takes the exclusive latch
 }
 
 Bat SegmentedColumn::FullScanBat() const {
+  SharedColumnGuard guard(strategy_->latch());
   const std::vector<SegmentInfo> segs = strategy_->Segments();
   uint64_t total = 0;
   for (const SegmentInfo& s : segs) {
@@ -88,6 +103,33 @@ uint64_t SegmentedColumn::EstimateSelectionBytes(double lo, double hi) const {
     bytes += s.count * sizeof(OidValue);
   }
   return bytes;
+}
+
+void BpmIterator::Open(SegmentedColumn* col, double lo_incl, double hi_incl) {
+  column = col;
+  lo = lo_incl;
+  hi = hi_incl;
+  // Hold the shared latch until exhaustion: the cover computed here stays
+  // valid across deliveries (no exclusive-latch holder can free or rewrite
+  // a covered segment mid-iteration), and the prefetch tasks inherit the
+  // protection without taking the latch themselves.
+  column->strategy()->latch().LockShared();
+  holds_latch = true;
+  segments = column->strategy()->CoverSegments(
+      SegmentedColumn::InclusiveToHalfOpen(lo_incl, hi_incl));
+}
+
+void BpmIterator::ReleaseLatch() {
+  if (!holds_latch) return;
+  holds_latch = false;
+  column->strategy()->latch().UnlockShared();
+}
+
+BpmIterator::~BpmIterator() {
+  for (auto& slot : prefetch) {
+    if (slot != nullptr && slot->ready.valid()) slot->ready.wait();
+  }
+  ReleaseLatch();
 }
 
 }  // namespace socs

@@ -12,16 +12,30 @@
 // assembles the per-query QueryExecution from both halves, making the
 // engine path report the same numbers as a direct AccessStrategy::RunRange;
 // nothing is scanned twice.
+//
+// Concurrency: segment delivery runs under the column's shared latch and
+// Reorganize/Append under the exclusive latch -- the same ColumnLatch the
+// core RunRange uses, so engine queries, direct core queries and background
+// maintenance all serialize correctly on one column. When the interpreter
+// has a ThreadPool, deliveries are *prefetched*: every covering segment is
+// scanned (and its BAT built) off-thread into a lane, and the sequential
+// delivery loop commits the lanes in cover order -- byte-identical
+// accounting to the single-threaded engine.
 #ifndef SOCS_ENGINE_BPM_H_
 #define SOCS_ENGINE_BPM_H_
 
+#include <future>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <string>
 #include <vector>
 
 #include "bat/bat.h"
+#include "core/background_maintenance.h"
 #include "core/strategy.h"
+#include "exec/task_scheduler.h"
+#include "sim/io_lane.h"
 
 namespace socs {
 
@@ -41,25 +55,57 @@ class SegmentedColumn {
   AccessStrategy<OidValue>* strategy() { return strategy_.get(); }
   const CostModel& cost_model() const;
 
-  /// Disjoint segments covering the inclusive selection [lo, hi].
+  /// Disjoint segments covering the inclusive selection [lo, hi] (under the
+  /// shared latch).
   std::vector<SegmentInfo> CoverSegments(double lo, double hi) const;
 
   /// Metered delivery of one covering segment as a [oid, T] BAT: one
   /// ScanSegment call charges the payload bytes exactly once, and the scan's
   /// metering (reads, seconds, qualifying count) is folded into `*ex`.
+  /// The caller (the BPM iterator) already holds the column's shared latch
+  /// -- see BpmIterator: the latch pins the iterator's cached cover, so no
+  /// exclusive-latch holder can free or rewrite a covered segment between
+  /// deliveries.
   Bat ScanSegmentBat(const SegmentInfo& seg, double lo, double hi,
                      QueryExecution* ex);
 
-  /// Runs only the reorganizing module: the strategy's Reorganize phase.
-  /// Returns the adaptation half of the query's execution record.
+  /// Off-thread delivery variant for the iterator prefetch: meters into
+  /// `lane` (committed later, in delivery order, via CommitScanLane) and
+  /// reports the scan record in `*scan` instead of folding it. Safe from
+  /// pool workers: the dispatching iterator holds the shared latch for its
+  /// whole lifetime (and the pool's queue handoff provides the
+  /// happens-before edge from the latch acquisition).
+  Bat PrefetchSegmentBat(const SegmentInfo& seg, double lo, double hi,
+                         SegmentScan<OidValue>* scan, IoLane* lane);
+
+  /// Merges one prefetch lane into the space's IoStats / buffer pool. The
+  /// interpreter calls this in delivery (= cover) order, which keeps the
+  /// parallel engine's accounting byte-identical to the sequential one.
+  void CommitScanLane(IoLane* lane);
+
+  /// Runs only the reorganizing module: the strategy's Reorganize phase,
+  /// under the column's exclusive latch. Returns the adaptation half of the
+  /// query's execution record.
   QueryExecution Reorganize(double lo, double hi);
 
   /// The write path (bpm.append): appends `values` as rows
-  /// oid_base .. oid_base+n-1 through the strategy's Append phase. The
-  /// returned record carries only adaptation-side costs (write bytes,
-  /// adaptation seconds), so an engine INSERT reports exactly what a direct
-  /// core Append would.
+  /// oid_base .. oid_base+n-1 through the strategy's Append phase (which
+  /// takes the exclusive latch). The returned record carries only
+  /// adaptation-side costs (write bytes, adaptation seconds), so an engine
+  /// INSERT reports exactly what a direct core Append would.
   QueryExecution Append(const std::vector<double>& values, uint64_t oid_base);
+
+  /// Enqueues one idle-maintenance pass for this column (deferred batch
+  /// flushing) on the scheduler's background lane; the pass takes the
+  /// exclusive latch and its record lands in the background ledger below,
+  /// never in a query's last_execution.
+  void ScheduleIdleMaintenance(TaskScheduler* sched) {
+    maintenance_.Schedule(sched);
+  }
+
+  /// Background-ledger accessors: work done off the query path so far.
+  QueryExecution background_execution() const { return maintenance_.total(); }
+  uint64_t background_runs() const { return maintenance_.runs(); }
 
   /// Whole column as a [oid, T] BAT (the fallback when a plan was not
   /// rewritten by the segment optimizer; unmetered).
@@ -78,17 +124,61 @@ class SegmentedColumn {
   static void AppendSpan(std::span<const OidValue> span, std::vector<Oid>* oids,
                          TypedVector* values);
 
+  /// Unlatched scan-to-BAT core shared by the sequential and prefetch paths.
+  Bat ScanToBat(const SegmentInfo& seg, double lo, double hi,
+                SegmentScan<OidValue>* scan, IoLane* lane);
+
   std::string name_;
   ValType sql_type_;
   std::unique_ptr<AccessStrategy<OidValue>> strategy_;
   SegmentSpace* space_;
+  BackgroundMaintenance<OidValue> maintenance_;
 };
 
-/// Iterator state for one barrier block instance.
+/// Iterator state for one barrier block instance. The iterator holds the
+/// column's *shared latch from creation until exhaustion* (or destruction):
+/// its segment cover is computed once, so a concurrent exclusive-latch
+/// holder (another query's Reorganize, an Append, a background flush) must
+/// not free or rewrite covered segments mid-iteration. The generated plans
+/// always drain the iterator before bpm.adapt, so the same thread never
+/// asks for the exclusive latch while still holding the iterator's shared
+/// one.
 struct BpmIterator {
   SegmentedColumn* column = nullptr;
   std::vector<SegmentInfo> segments;
   size_t next = 0;
+  double lo = 0.0, hi = 0.0;
+  bool holds_latch = false;
+
+  /// Prefetch slot: one covering segment scanned off-thread. The lane holds
+  /// its deferred metering until the slot is delivered.
+  struct Prefetched {
+    Bat bat;
+    SegmentScan<OidValue> scan;
+    IoLane lane;
+    std::future<void> ready;
+  };
+  /// Sized to segments.size() iff the interpreter dispatched this iterator
+  /// through the pool; slot i corresponds to segments[i]. Slots are
+  /// submitted a bounded window ahead of delivery (never the whole cover at
+  /// once), so peak memory stays O(window), not O(column).
+  std::vector<std::unique_ptr<Prefetched>> prefetch;
+  size_t next_to_submit = 0;
+
+  /// Acquires the column's shared latch and plans the cover. Constraint for
+  /// hand-built MAL programs: at most ONE open iterator per column per
+  /// thread, and drain it (deliveries until Nil) before bpm.adapt /
+  /// bpm.append on that column -- a second same-thread Open on the same
+  /// column is recursive shared locking (UB on writer-priority
+  /// implementations, and a deadlock if a background flush is already
+  /// waiting for the exclusive latch). Optimizer-generated plans satisfy
+  /// this by construction: each barrier loop drains before the next block.
+  void Open(SegmentedColumn* col, double lo_incl, double hi_incl);
+  /// Drops the shared latch (idempotent; called at exhaustion).
+  void ReleaseLatch();
+  /// Waits out any undelivered prefetch tasks (they write into the slots),
+  /// then releases the latch if still held.
+  ~BpmIterator();
 };
 
 }  // namespace socs

@@ -377,15 +377,19 @@ void MalInterpreter::RegisterBuiltins() {
              auto hi = NumArg(ctx, in, 2);
              if (!hi.ok()) return hi.status();
              auto iter = std::make_unique<BpmIterator>();
-             iter->column = cv->segcol();
-             iter->segments = iter->column->CoverSegments(*lo, *hi);
-             iter->next = 0;
+             iter->Open(cv->segcol(), *lo, *hi);
              const int id = static_cast<int>(ctx.iters.size());
              ctx.iters.push_back(std::move(iter));
              BpmIterator* it = ctx.iters.back().get();
              // One per-query overhead per select, as in the core RunRange.
              last_exec_.selection_seconds +=
                  it->column->cost_model().QueryOverhead();
+             // With a threaded scheduler, scan every covering segment across
+             // the pool now; deliveries below just wait on their slot.
+             if (sched_ != nullptr && !sched_->pool().inline_mode() &&
+                 it->segments.size() > 1) {
+               PrefetchSegments(it);
+             }
              // The iterator id rides along in the barrier variable; the bat is
              // what the loop body consumes. We pack both: the bat is returned,
              // the id is re-derivable because hasMoreElements uses the same
@@ -466,13 +470,63 @@ void MalInterpreter::RegisterBuiltins() {
              auto hi = NumArg(ctx, in, 2);
              if (!hi.ok()) return hi.status();
              last_exec_ += cv->segcol()->Reorganize(*lo, *hi);
+             // The query's adaptation is done -- an idle point: hand any
+             // deferred batch work to the background lane, off the query
+             // path (its record lands in the column's background ledger,
+             // never in last_execution).
+             if (sched_ != nullptr) {
+               cv->segcol()->ScheduleIdleMaintenance(sched_);
+             }
              return EngineValue::Nil();
            });
 }
 
+void MalInterpreter::PrefetchSegments(BpmIterator* it) {
+  // Null slots; tasks are submitted a bounded window ahead of delivery so
+  // peak memory is O(window) materialized BATs, not the whole cover. The
+  // selection bounds come from the iterator itself (recorded by Open).
+  it->prefetch.resize(it->segments.size());
+  const size_t window = 2 * sched_->pool().threads();
+  while (it->next_to_submit < it->segments.size() &&
+         it->next_to_submit < window) {
+    SubmitPrefetchSlot(it, it->next_to_submit++);
+  }
+}
+
+void MalInterpreter::SubmitPrefetchSlot(BpmIterator* it, size_t i) {
+  auto slot = std::make_unique<BpmIterator::Prefetched>();
+  BpmIterator::Prefetched* s = slot.get();
+  SegmentedColumn* column = it->column;
+  const SegmentInfo seg = it->segments[i];
+  const double lo = it->lo, hi = it->hi;
+  s->ready = sched_->pool().SubmitTask([s, column, seg, lo, hi] {
+    s->bat = column->PrefetchSegmentBat(seg, lo, hi, &s->scan, &s->lane);
+  });
+  it->prefetch[i] = std::move(slot);
+}
+
 EngineValue MalInterpreter::DeliverNextSegment(BpmIterator* it, double lo,
                                                double hi) {
-  if (it->next >= it->segments.size()) return EngineValue::Nil();
+  if (it->next >= it->segments.size()) {
+    // Exhausted: drop the shared latch so bpm.adapt (exclusive) can run.
+    it->ReleaseLatch();
+    return EngineValue::Nil();
+  }
+  if (!it->prefetch.empty()) {
+    // Parallel path: the scan already ran off-thread; commit its metering
+    // lane here, in delivery (= cover) order, then fold the scan record --
+    // the same order and arithmetic as the sequential branch below. Keep
+    // the prefetch window full by submitting one more slot per delivery.
+    BpmIterator::Prefetched& slot = *it->prefetch[it->next];
+    slot.ready.get();
+    it->column->CommitScanLane(&slot.lane);
+    FoldScanIntoExecution(slot.scan, &last_exec_);
+    ++it->next;
+    if (it->next_to_submit < it->segments.size()) {
+      SubmitPrefetchSlot(it, it->next_to_submit++);
+    }
+    return EngineValue::OfBat(std::move(slot.bat));
+  }
   Bat seg = it->column->ScanSegmentBat(it->segments[it->next], lo, hi,
                                        &last_exec_);
   ++it->next;

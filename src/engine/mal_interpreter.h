@@ -16,6 +16,7 @@
 #include "engine/bpm.h"
 #include "engine/catalog.h"
 #include "engine/mal_program.h"
+#include "exec/task_scheduler.h"
 
 namespace socs {
 
@@ -67,6 +68,15 @@ class MalInterpreter {
  public:
   explicit MalInterpreter(Catalog* catalog);
 
+  /// Attaches the parallel execution subsystem. With a threaded scheduler
+  /// the bpm iterator prefetches every covering segment across the pool
+  /// (committing the metering lanes in delivery order, so last_execution()
+  /// and the IoStats totals stay byte-identical to a single-threaded run),
+  /// and bpm.adapt enqueues idle maintenance (deferred batch flushes) on the
+  /// background lane. Pass nullptr (the default state) for the sequential
+  /// engine.
+  void set_exec(TaskScheduler* sched) { sched_ = sched; }
+
   /// Executes the program. Returns the exported result set (empty set if the
   /// program exports nothing).
   StatusOr<std::shared_ptr<ResultSet>> Run(const MalProgram& prog);
@@ -107,10 +117,17 @@ class MalInterpreter {
   static StatusOr<BatPtr> BatArg(const ExecContext& ctx, const MalInstr& in,
                                  size_t i);
 
+  /// Fans the iterator's segments out across the scheduler's pool (called
+  /// at newIterator when a threaded scheduler is attached), bounded to a
+  /// window of in-flight slots; DeliverNextSegment refills the window.
+  void PrefetchSegments(BpmIterator* it);
+  void SubmitPrefetchSlot(BpmIterator* it, size_t i);
+
   Catalog* catalog_;
   std::map<std::string, Handler> handlers_;
   std::map<int, int> iter_of_var_;  // barrier var -> iterator id (per Run)
   QueryExecution last_exec_;
+  TaskScheduler* sched_ = nullptr;
 };
 
 }  // namespace socs

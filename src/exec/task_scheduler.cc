@@ -1,0 +1,73 @@
+#include "exec/task_scheduler.h"
+
+namespace socs {
+
+TaskScheduler::TaskScheduler(size_t threads) : pool_(threads) {
+  if (!pool_.inline_mode()) {
+    bg_worker_ = std::thread([this] { BackgroundLoop(); });
+  }
+}
+
+TaskScheduler::~TaskScheduler() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (bg_worker_.joinable()) bg_worker_.join();
+}
+
+void TaskScheduler::BackgroundLoop() {
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_.wait(lk, [this] { return stop_ || !bg_queue_.empty(); });
+      if (bg_queue_.empty()) return;  // stop_ with a drained queue
+      job = std::move(bg_queue_.front());
+      bg_queue_.pop_front();
+      bg_busy_ = true;
+    }
+    job();
+    background_runs_.fetch_add(1, std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      bg_busy_ = false;
+    }
+    idle_cv_.notify_all();
+  }
+}
+
+void TaskScheduler::ScheduleBackground(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    bg_queue_.push_back(std::move(fn));
+  }
+  cv_.notify_one();
+}
+
+void TaskScheduler::DrainBackground() {
+  if (!bg_worker_.joinable()) {
+    // Single-threaded scheduler: this call *is* the idle point.
+    for (;;) {
+      std::function<void()> job;
+      {
+        std::lock_guard<std::mutex> lk(mu_);
+        if (bg_queue_.empty()) return;
+        job = std::move(bg_queue_.front());
+        bg_queue_.pop_front();
+      }
+      job();
+      background_runs_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  std::unique_lock<std::mutex> lk(mu_);
+  idle_cv_.wait(lk, [this] { return bg_queue_.empty() && !bg_busy_; });
+}
+
+size_t TaskScheduler::background_pending() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return bg_queue_.size() + (bg_busy_ ? 1 : 0);
+}
+
+}  // namespace socs

@@ -1,0 +1,72 @@
+// Two-lane task scheduler: a foreground ThreadPool for query fan-out and a
+// background lane for idle-time maintenance -- the place deferred
+// reorganization batches (DeferredSegmentation::FlushBatch) run so they stay
+// off the query path entirely (paper section 3.3's post-processing
+// alternative, executed like Hyrise's background clustering plugin).
+//
+// Background jobs run FIFO on a dedicated background worker when the
+// scheduler is threaded; a single-threaded scheduler queues them until an
+// explicit idle point calls DrainBackground(), which keeps single-threaded
+// runs deterministic. Jobs synchronize with queries through the per-column
+// ColumnLatch (a background flush takes the column's exclusive latch), never
+// through the scheduler itself.
+#ifndef SOCS_EXEC_TASK_SCHEDULER_H_
+#define SOCS_EXEC_TASK_SCHEDULER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+
+#include "exec/thread_pool.h"
+
+namespace socs {
+
+class TaskScheduler {
+ public:
+  /// `threads` sizes the foreground pool; any value > 1 also starts the
+  /// dedicated background worker.
+  explicit TaskScheduler(size_t threads = 1);
+  TaskScheduler(const TaskScheduler&) = delete;
+  TaskScheduler& operator=(const TaskScheduler&) = delete;
+  ~TaskScheduler();
+
+  /// The foreground fan-out pool (scan-phase parallelism).
+  ThreadPool& pool() { return pool_; }
+
+  /// Enqueues an idle-time job. Threaded schedulers run it on the background
+  /// worker as soon as it is free; single-threaded schedulers hold it until
+  /// DrainBackground(). Jobs must not throw.
+  void ScheduleBackground(std::function<void()> fn);
+
+  /// An explicit idle point: blocks until every job scheduled so far has
+  /// finished (running them inline on a single-threaded scheduler).
+  void DrainBackground();
+
+  /// Background jobs completed so far.
+  uint64_t background_runs() const {
+    return background_runs_.load(std::memory_order_relaxed);
+  }
+  /// Jobs scheduled but not yet finished.
+  size_t background_pending() const;
+
+ private:
+  void BackgroundLoop();
+
+  ThreadPool pool_;
+  std::thread bg_worker_;
+  std::deque<std::function<void()>> bg_queue_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;       // wakes the background worker
+  std::condition_variable idle_cv_;  // wakes DrainBackground waiters
+  bool stop_ = false;
+  bool bg_busy_ = false;
+  std::atomic<uint64_t> background_runs_{0};
+};
+
+}  // namespace socs
+
+#endif  // SOCS_EXEC_TASK_SCHEDULER_H_

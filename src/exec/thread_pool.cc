@@ -1,0 +1,109 @@
+#include "exec/thread_pool.h"
+
+#include <memory>
+
+#include "common/logging.h"
+
+namespace socs {
+
+ThreadPool::ThreadPool(size_t threads) : threads_(threads == 0 ? 1 : threads) {
+  workers_.reserve(threads_ > 1 ? threads_ - 1 : 0);
+  for (size_t i = 1; i < threads_; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_.wait(lk, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ with a drained queue
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::Enqueue(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    SOCS_CHECK(!stop_) << "Submit on a stopped ThreadPool";
+    queue_.push_back(std::move(fn));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::Submit(std::function<void()> fn) {
+  if (inline_mode()) {
+    fn();
+    tasks_run_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  // Count at execution, not in WorkerLoop: ParallelFor's helper runners go
+  // through the raw Enqueue and are counted per *chunk* (below), not per
+  // runner, so tasks_run() is deterministic.
+  Enqueue([this, fn = std::move(fn)] {
+    fn();
+    tasks_run_.fetch_add(1, std::memory_order_relaxed);
+  });
+}
+
+std::future<void> ThreadPool::SubmitTask(std::function<void()> fn) {
+  auto task = std::make_shared<std::packaged_task<void()>>(std::move(fn));
+  std::future<void> ready = task->get_future();
+  Submit([task] { (*task)(); });
+  return ready;
+}
+
+void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  if (inline_mode() || n == 1) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    tasks_run_.fetch_add(n, std::memory_order_relaxed);
+    return;
+  }
+  // Each call gets its own group; workers and the caller pull indices from
+  // the group's counter, so concurrent ParallelFor calls never interleave
+  // their iteration spaces.
+  struct Group {
+    std::atomic<size_t> next{0};
+    std::atomic<size_t> done{0};
+    std::mutex mu;
+    std::condition_variable cv;
+  };
+  auto group = std::make_shared<Group>();
+  auto runner = [group, n, &fn] {
+    for (;;) {
+      const size_t i = group->next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) break;
+      fn(i);
+      if (group->done.fetch_add(1, std::memory_order_acq_rel) + 1 == n) {
+        std::lock_guard<std::mutex> lk(group->mu);
+        group->cv.notify_all();
+      }
+    }
+  };
+  // The caller claims indices too, so cap the helpers at n - 1. The `&fn`
+  // capture stays valid: this frame outlives every helper's runner call
+  // because it waits for done == n below.
+  const size_t helpers = std::min(n - 1, workers_.size());
+  for (size_t i = 0; i < helpers; ++i) Enqueue(runner);
+  runner();
+  std::unique_lock<std::mutex> lk(group->mu);
+  group->cv.wait(lk, [&] { return group->done.load(std::memory_order_acquire) == n; });
+  tasks_run_.fetch_add(n, std::memory_order_relaxed);
+}
+
+}  // namespace socs

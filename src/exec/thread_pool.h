@@ -1,0 +1,73 @@
+// Worker pool for the parallel execution subsystem. Queries fan their scan
+// phase out across the workers (AccessStrategy::RunRange, the BPM segment
+// iterator); the calling thread always participates in its own fan-out, so a
+// pool is never a bottleneck for the query that owns it.
+//
+// A pool constructed with threads <= 1 is an *inline* pool: it spawns no
+// workers and runs every task immediately on the caller's thread, in
+// submission order. The default execution mode everywhere is an inline pool
+// (or no pool at all), so single-threaded runs stay byte-identical to the
+// pre-parallel engine.
+#ifndef SOCS_EXEC_THREAD_POOL_H_
+#define SOCS_EXEC_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace socs {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads - 1` workers (the caller is the remaining lane);
+  /// threads <= 1 yields an inline pool with no workers at all.
+  explicit ThreadPool(size_t threads = 1);
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+  ~ThreadPool();
+
+  /// The parallelism this pool was built for (>= 1).
+  size_t threads() const { return threads_; }
+  /// True when the pool runs everything on the caller's thread.
+  bool inline_mode() const { return workers_.empty(); }
+
+  /// Schedules `fn`. Inline pools run it before returning; threaded pools
+  /// enqueue it for the next free worker. Tasks must not throw.
+  void Submit(std::function<void()> fn);
+
+  /// Submit with a completion handle (the BPM iterator's segment prefetch
+  /// waits per-slot, in delivery order).
+  std::future<void> SubmitTask(std::function<void()> fn);
+
+  /// Runs fn(0) .. fn(n-1), returning once all completed. The caller
+  /// participates, so this makes progress even when every worker is busy
+  /// with other groups, and concurrent ParallelFor calls from different
+  /// threads are safe. Inline pools run the iterations sequentially in
+  /// index order -- byte-identical to a plain loop.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+  /// Tasks executed so far (Submit/SubmitTask bodies + ParallelFor chunks).
+  uint64_t tasks_run() const { return tasks_run_.load(std::memory_order_relaxed); }
+
+ private:
+  void WorkerLoop();
+  void Enqueue(std::function<void()> fn);
+
+  size_t threads_;
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::atomic<uint64_t> tasks_run_{0};
+};
+
+}  // namespace socs
+
+#endif  // SOCS_EXEC_THREAD_POOL_H_

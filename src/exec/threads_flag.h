@@ -1,0 +1,33 @@
+// Shared `--threads N` flag parsing for every driver that sizes the
+// execution subsystem (examples/sql_shell, the bench drivers). The default
+// of 1 keeps published figures byte-reproducible; any N is safe because the
+// scan fan-out is metering-deterministic (sim/io_lane.h).
+#ifndef SOCS_EXEC_THREADS_FLAG_H_
+#define SOCS_EXEC_THREADS_FLAG_H_
+
+#include <cstddef>
+#include <cstdlib>
+#include <cstring>
+
+namespace socs {
+
+/// Accepts `--threads N` and `--threads=N`; non-positive or missing values
+/// fall back to `default_threads`.
+inline size_t ParseThreadsFlag(int argc, char** argv,
+                               size_t default_threads = 1) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      const long n = std::atol(argv[i + 1]);
+      return n > 0 ? static_cast<size_t>(n) : default_threads;
+    }
+    if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      const long n = std::atol(argv[i] + 10);
+      return n > 0 ? static_cast<size_t>(n) : default_threads;
+    }
+  }
+  return default_threads;
+}
+
+}  // namespace socs
+
+#endif  // SOCS_EXEC_THREADS_FLAG_H_

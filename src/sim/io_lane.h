@@ -1,0 +1,59 @@
+// Per-worker metering lane for parallel scan fan-out. Under the single-pass
+// protocol every covering segment is charged exactly once; when the scan
+// phase runs across workers, each scan charges a *lane* instead of the
+// shared IoStats, and the lanes are merged back deterministically -- in
+// cover order, at the query's fold point -- so an N-thread run reports
+// byte-identical IoStats totals (and bit-identical simulated seconds) to the
+// single-threaded run.
+//
+// The lane also journals its buffer-pool touches: the pool's LRU bookkeeping
+// cannot be mutated mid-fan-out without racing other scanners, so the touch
+// (with the hit/miss outcome observed against the pool's resident set at
+// scan time) is recorded here and replayed by SegmentSpace::CommitLane in
+// the same deterministic order the stats merge in.
+//
+// Scope of the byte-identity guarantee: it holds unconditionally for the
+// *unbounded* buffer pool (capacity 0, the paper's simulation setting and
+// the default everywhere), where every probe is a hit. With a
+// capacity-bounded pool, a probe observes the resident set as of whichever
+// lane commits preceded it -- the fan-out start for the core RunRange
+// barrier path, possibly mid-delivery state for the engine's pipelined
+// prefetch -- rather than the exact mid-query evolution a sequential run
+// would see, so hit/miss attribution (disk bytes/seconds) can differ from
+// the 1-thread interleaving while remaining internally consistent and
+// race-free. Run bounded-pool experiments single-threaded when exact
+// sequential equivalence matters.
+#ifndef SOCS_SIM_IO_LANE_H_
+#define SOCS_SIM_IO_LANE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/io_stats.h"
+
+namespace socs {
+
+/// One deferred buffer-pool touch (segment ids are storage-layer uint64s).
+struct PoolTouch {
+  uint64_t segment_id = 0;
+  uint64_t bytes = 0;
+  bool hit = false;  // outcome observed at scan time
+};
+
+struct IoLane {
+  IoStats stats;
+  std::vector<PoolTouch> touches;
+
+  bool Empty() const {
+    return touches.empty() && stats.mem_read_bytes == 0 &&
+           stats.mem_write_bytes == 0 && stats.segments_scanned == 0;
+  }
+  void Clear() {
+    stats.Clear();
+    touches.clear();
+  }
+};
+
+}  // namespace socs
+
+#endif  // SOCS_SIM_IO_LANE_H_

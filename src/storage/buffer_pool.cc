@@ -3,6 +3,11 @@
 namespace socs {
 
 bool BufferPool::Touch(SegmentId id, uint64_t bytes) {
+  std::lock_guard<std::mutex> lk(mu_);
+  return TouchLocked(id, bytes);
+}
+
+bool BufferPool::TouchLocked(SegmentId id, uint64_t bytes) {
   auto it = entries_.find(id);
   if (it != entries_.end()) {
     ++hits_;
@@ -20,7 +25,35 @@ bool BufferPool::Touch(SegmentId id, uint64_t bytes) {
   return false;
 }
 
+bool BufferPool::WouldHit(SegmentId id, uint64_t bytes) const {
+  (void)bytes;
+  std::lock_guard<std::mutex> lk(mu_);
+  return entries_.count(id) > 0;
+}
+
+void BufferPool::ReplayTouch(SegmentId id, uint64_t bytes, bool was_hit) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (was_hit) {
+    ++hits_;
+    auto it = entries_.find(id);
+    if (it != entries_.end()) {
+      lru_.erase(it->second.lru_pos);
+      lru_.push_front(id);
+      it->second.lru_pos = lru_.begin();
+    }
+    return;
+  }
+  ++misses_;
+  if (capacity_bytes_ != 0 && bytes > capacity_bytes_) return;  // streams
+  if (entries_.count(id) > 0) return;  // admitted meanwhile (another replay)
+  EvictUntilFits(bytes);
+  lru_.push_front(id);
+  entries_.emplace(id, Entry{bytes, lru_.begin()});
+  resident_bytes_ += bytes;
+}
+
 void BufferPool::Grow(SegmentId id, uint64_t delta_bytes) {
+  std::lock_guard<std::mutex> lk(mu_);
   auto it = entries_.find(id);
   if (it == entries_.end()) return;
   it->second.bytes += delta_bytes;
@@ -32,7 +65,7 @@ void BufferPool::Grow(SegmentId id, uint64_t delta_bytes) {
   if (it->second.bytes > capacity_bytes_) {
     // Grew past the whole pool: it streams from now on (same rule as
     // Touch), leaving the other residents undisturbed.
-    Drop(id);
+    DropLocked(id);
     return;
   }
   while (resident_bytes_ > capacity_bytes_) {
@@ -47,11 +80,41 @@ void BufferPool::Grow(SegmentId id, uint64_t delta_bytes) {
 }
 
 void BufferPool::Drop(SegmentId id) {
+  std::lock_guard<std::mutex> lk(mu_);
+  DropLocked(id);
+}
+
+void BufferPool::DropLocked(SegmentId id) {
   auto it = entries_.find(id);
   if (it == entries_.end()) return;
   resident_bytes_ -= it->second.bytes;
   lru_.erase(it->second.lru_pos);
   entries_.erase(it);
+}
+
+bool BufferPool::IsResident(SegmentId id) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return entries_.count(id) > 0;
+}
+
+uint64_t BufferPool::resident_bytes() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return resident_bytes_;
+}
+
+uint64_t BufferPool::hits() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return hits_;
+}
+
+uint64_t BufferPool::misses() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return misses_;
+}
+
+uint64_t BufferPool::evictions() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return evictions_;
 }
 
 void BufferPool::EvictUntilFits(uint64_t incoming_bytes) {

@@ -3,11 +3,22 @@
 // the SecondaryStore, so eviction is pure bookkeeping. A Touch() outcome
 // tells the caller whether a scan is served from memory or must be charged
 // as a secondary-store read.
+//
+// Concurrency: all bookkeeping is guarded by an internal mutex, so scanners
+// of different columns may hit the pool concurrently. During a parallel scan
+// fan-out the LRU is not mutated at all: workers observe residency read-only
+// (WouldHit) and journal their touches into an IoLane, which SegmentSpace
+// replays in cover order through ReplayTouch -- keeping the LRU evolution of
+// an N-thread run identical to the single-threaded one for the unbounded
+// pool (capacity 0, the default; io_lane.h scopes the guarantee for
+// capacity-bounded pools, where the probes see the fan-out-start resident
+// set).
 #ifndef SOCS_STORAGE_BUFFER_POOL_H_
 #define SOCS_STORAGE_BUFFER_POOL_H_
 
 #include <cstdint>
 #include <list>
+#include <mutex>
 #include <unordered_map>
 
 #include "storage/secondary_store.h"
@@ -19,6 +30,8 @@ class BufferPool {
   /// capacity_bytes == 0 means "unbounded" (everything stays resident).
   explicit BufferPool(uint64_t capacity_bytes = 0)
       : capacity_bytes_(capacity_bytes) {}
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
 
   /// Marks the segment as accessed. Returns true on a hit (already resident);
   /// on a miss the segment is admitted and colder segments are evicted until
@@ -26,6 +39,16 @@ class BufferPool {
   /// it streams through (every access is a miss) without disturbing the
   /// resident set.
   bool Touch(SegmentId id, uint64_t bytes);
+
+  /// Read-only residency probe: the hit/miss outcome Touch would report,
+  /// without mutating the LRU or the counters. Parallel scanners decide
+  /// their read cost with this and journal the touch for ReplayTouch.
+  bool WouldHit(SegmentId id, uint64_t bytes) const;
+
+  /// Replays a journaled touch with the outcome `was_hit` observed at scan
+  /// time: counts the hit/miss and applies the same LRU/admission bookkeeping
+  /// Touch would have, keeping the replayed pool state deterministic.
+  void ReplayTouch(SegmentId id, uint64_t bytes, bool was_hit);
 
   /// Admits a freshly created segment as hottest (it was just written).
   void Admit(SegmentId id, uint64_t bytes) { (void)Touch(id, bytes); }
@@ -39,14 +62,16 @@ class BufferPool {
   /// Removes the segment if resident (called when a segment is freed).
   void Drop(SegmentId id);
 
-  bool IsResident(SegmentId id) const { return entries_.count(id) > 0; }
-  uint64_t resident_bytes() const { return resident_bytes_; }
+  bool IsResident(SegmentId id) const;
+  uint64_t resident_bytes() const;
   uint64_t capacity_bytes() const { return capacity_bytes_; }
-  uint64_t hits() const { return hits_; }
-  uint64_t misses() const { return misses_; }
-  uint64_t evictions() const { return evictions_; }
+  uint64_t hits() const;
+  uint64_t misses() const;
+  uint64_t evictions() const;
 
  private:
+  bool TouchLocked(SegmentId id, uint64_t bytes);
+  void DropLocked(SegmentId id);
   void EvictUntilFits(uint64_t incoming_bytes);
 
   struct Entry {
@@ -54,7 +79,8 @@ class BufferPool {
     std::list<SegmentId>::iterator lru_pos;
   };
 
-  uint64_t capacity_bytes_;
+  const uint64_t capacity_bytes_;
+  mutable std::mutex mu_;
   uint64_t resident_bytes_ = 0;
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;

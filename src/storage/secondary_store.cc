@@ -1,8 +1,11 @@
 #include "storage/secondary_store.h"
 
+#include <mutex>
+
 namespace socs {
 
 SegmentId SecondaryStore::Create(const void* data, size_t bytes) {
+  std::unique_lock<std::shared_mutex> lk(mu_);
   SegmentId id = next_id_++;
   std::vector<std::byte> blob(bytes);
   if (bytes > 0) std::memcpy(blob.data(), data, bytes);
@@ -12,6 +15,7 @@ SegmentId SecondaryStore::Create(const void* data, size_t bytes) {
 }
 
 void SecondaryStore::Append(SegmentId id, const void* data, size_t bytes) {
+  std::unique_lock<std::shared_mutex> lk(mu_);
   auto it = blobs_.find(id);
   SOCS_CHECK(it != blobs_.end()) << "append to unknown segment " << id;
   if (bytes == 0) return;
@@ -22,23 +26,41 @@ void SecondaryStore::Append(SegmentId id, const void* data, size_t bytes) {
   total_bytes_ += bytes;
 }
 
+bool SecondaryStore::Contains(SegmentId id) const {
+  std::shared_lock<std::shared_mutex> lk(mu_);
+  return blobs_.count(id) > 0;
+}
+
 size_t SecondaryStore::SizeOf(SegmentId id) const {
+  std::shared_lock<std::shared_mutex> lk(mu_);
   auto it = blobs_.find(id);
   SOCS_CHECK(it != blobs_.end()) << "unknown segment " << id;
   return it->second.size();
 }
 
 std::span<const std::byte> SecondaryStore::Read(SegmentId id) const {
+  std::shared_lock<std::shared_mutex> lk(mu_);
   auto it = blobs_.find(id);
   SOCS_CHECK(it != blobs_.end()) << "unknown segment " << id;
   return {it->second.data(), it->second.size()};
 }
 
 void SecondaryStore::Free(SegmentId id) {
+  std::unique_lock<std::shared_mutex> lk(mu_);
   auto it = blobs_.find(id);
   SOCS_CHECK(it != blobs_.end()) << "double free of segment " << id;
   total_bytes_ -= it->second.size();
   blobs_.erase(it);
+}
+
+uint64_t SecondaryStore::total_bytes() const {
+  std::shared_lock<std::shared_mutex> lk(mu_);
+  return total_bytes_;
+}
+
+size_t SecondaryStore::segment_count() const {
+  std::shared_lock<std::shared_mutex> lk(mu_);
+  return blobs_.size();
 }
 
 }  // namespace socs

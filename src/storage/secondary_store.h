@@ -2,12 +2,20 @@
 // payloads. In MonetDB segments would live in memory-mapped files; here a
 // blob map stands in, so the buffer pool can "evict" without losing data and
 // the experiments stay laptop-scale.
+//
+// Concurrency: the blob map is guarded by a reader/writer mutex, so any
+// number of concurrent scanners may Read while Create/Append/Free are
+// exclusive. Returned spans escape the lock on purpose: the map is
+// node-based, so a span stays valid until Append/Free of *that* id -- and
+// the per-column latch (exec/column_latch.h) guarantees no writer touches a
+// column's segments while its scanners hold the shared latch.
 #ifndef SOCS_STORAGE_SECONDARY_STORE_H_
 #define SOCS_STORAGE_SECONDARY_STORE_H_
 
 #include <cstddef>
 #include <cstdint>
 #include <cstring>
+#include <shared_mutex>
 #include <span>
 #include <unordered_map>
 #include <vector>
@@ -45,12 +53,12 @@ class SecondaryStore {
     Append(id, values.data(), values.size() * sizeof(T));
   }
 
-  bool Contains(SegmentId id) const { return blobs_.count(id) > 0; }
+  bool Contains(SegmentId id) const;
 
   /// Size in bytes of a stored segment. Dies if the id is unknown.
   size_t SizeOf(SegmentId id) const;
 
-  /// Read-only view of the payload. Valid until Free(id).
+  /// Read-only view of the payload. Valid until Append(id)/Free(id).
   std::span<const std::byte> Read(SegmentId id) const;
 
   /// Typed read-only view; payload size must be a multiple of sizeof(T).
@@ -64,10 +72,11 @@ class SecondaryStore {
   /// Releases the payload. Dies if the id is unknown (double free is a bug).
   void Free(SegmentId id);
 
-  uint64_t total_bytes() const { return total_bytes_; }
-  size_t segment_count() const { return blobs_.size(); }
+  uint64_t total_bytes() const;
+  size_t segment_count() const;
 
  private:
+  mutable std::shared_mutex mu_;
   std::unordered_map<SegmentId, std::vector<std::byte>> blobs_;
   SegmentId next_id_ = 1;
   uint64_t total_bytes_ = 0;

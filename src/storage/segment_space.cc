@@ -5,24 +5,80 @@ namespace socs {
 void SegmentSpace::Free(SegmentId id) {
   pool_.Drop(id);
   store_.Free(id);
+  std::lock_guard<std::mutex> lk(stats_mu_);
   ++stats_.segments_freed;
 }
 
-void SegmentSpace::AccountScan(SegmentId id, uint64_t bytes, IoCost* cost) {
-  const bool hit = pool_.Touch(id, bytes);
-  stats_.mem_read_bytes += bytes;
-  ++stats_.segments_scanned;
+void SegmentSpace::AccountScan(SegmentId id, uint64_t bytes, IoCost* cost,
+                               IoLane* lane) {
+  if (lane == nullptr) {
+    // Sequential path: live pool touch, direct charge.
+    const bool hit = pool_.Touch(id, bytes);
+    double seconds = model().SegmentOverhead();
+    {
+      std::lock_guard<std::mutex> lk(stats_mu_);
+      stats_.mem_read_bytes += bytes;
+      ++stats_.segments_scanned;
+      if (!hit) stats_.disk_read_bytes += bytes;
+    }
+    seconds += hit ? model().MemRead(bytes) : model().DiskRead(bytes);
+    if (cost != nullptr) {
+      cost->bytes += bytes;
+      cost->seconds += seconds;
+    }
+    return;
+  }
+  // Parallel path: the resident set is only mutated at lane commit points.
+  // With the unbounded pool (the default) the probe therefore observes
+  // exactly what a sequential Touch at this cover position would -- always
+  // a hit. With a bounded pool the probe sees whichever commits happened to
+  // precede it (the core barrier path commits only after the whole fan-out;
+  // the engine's pipelined delivery commits earlier lanes while later slots
+  // still probe), so hit/miss attribution can differ from the sequential
+  // interleaving -- see io_lane.h for the guarantee's scope.
+  const bool hit = pool_.WouldHit(id, bytes);
+  lane->stats.mem_read_bytes += bytes;
+  ++lane->stats.segments_scanned;
   double seconds = model().SegmentOverhead();
   if (hit) {
     seconds += model().MemRead(bytes);
   } else {
-    stats_.disk_read_bytes += bytes;
+    lane->stats.disk_read_bytes += bytes;
     seconds += model().DiskRead(bytes);
   }
+  lane->touches.push_back({id, bytes, hit});
   if (cost != nullptr) {
     cost->bytes += bytes;
     cost->seconds += seconds;
   }
+}
+
+void SegmentSpace::CommitLane(IoLane* lane) {
+  if (lane->Empty()) return;
+  {
+    std::lock_guard<std::mutex> lk(stats_mu_);
+    stats_ += lane->stats;
+  }
+  for (const PoolTouch& t : lane->touches) {
+    pool_.ReplayTouch(t.segment_id, t.bytes, t.hit);
+  }
+  lane->Clear();
+}
+
+void SegmentSpace::ChargeScanBytes(uint64_t bytes, IoLane* lane) {
+  if (lane != nullptr) {
+    lane->stats.mem_read_bytes += bytes;
+    ++lane->stats.segments_scanned;
+    return;
+  }
+  std::lock_guard<std::mutex> lk(stats_mu_);
+  stats_.mem_read_bytes += bytes;
+  ++stats_.segments_scanned;
+}
+
+void SegmentSpace::ChargeWriteBytes(uint64_t bytes) {
+  std::lock_guard<std::mutex> lk(stats_mu_);
+  stats_.mem_write_bytes += bytes;
 }
 
 }  // namespace socs

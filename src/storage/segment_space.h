@@ -2,13 +2,26 @@
 // free segments. Every operation is metered: bytes flow into IoStats and the
 // cost model converts them into simulated seconds, which the strategies
 // attribute to either "selection" or "adaptation" work (paper Fig. 10).
+//
+// Concurrency & deterministic metering: the space may be shared by many
+// columns and scanned from many workers at once. Mutating operations
+// (Create/Append/Free and direct-metered scans) serialize on the internal
+// stats mutex plus the store/pool locks. A *parallel* scan charges an IoLane
+// instead: the worker observes the pool read-only, accumulates its bytes and
+// journals its pool touch in the lane, and the query's fold point replays
+// the lanes in cover order through CommitLane -- so an N-thread scan phase
+// produces byte-identical IoStats (and identical buffer-pool evolution) to
+// the sequential one with the unbounded pool (the default; see io_lane.h
+// for the exact scope of the guarantee under a capacity-bounded pool).
 #ifndef SOCS_STORAGE_SEGMENT_SPACE_H_
 #define SOCS_STORAGE_SEGMENT_SPACE_H_
 
+#include <mutex>
 #include <span>
 #include <vector>
 
 #include "sim/cost_model.h"
+#include "sim/io_lane.h"
 #include "sim/io_stats.h"
 #include "storage/buffer_pool.h"
 #include "storage/secondary_store.h"
@@ -34,16 +47,22 @@ class SegmentSpace {
   explicit SegmentSpace(CostParams cost = CostParams{},
                         uint64_t pool_capacity_bytes = 0)
       : cost_(cost), pool_(pool_capacity_bytes) {}
+  SegmentSpace(const SegmentSpace&) = delete;
+  SegmentSpace& operator=(const SegmentSpace&) = delete;
 
   /// Materializes a new segment from `values`; charges a memory write (plus
-  /// a disk write when the cost model is write-through).
+  /// a disk write when the cost model is write-through). Callers must hold
+  /// the owning column's exclusive latch when the space is shared.
   template <typename T>
   SegmentId Create(const std::vector<T>& values, IoCost* cost) {
     SegmentId id = store_.CreateTyped(values);
     const uint64_t bytes = values.size() * sizeof(T);
-    stats_.mem_write_bytes += bytes;
-    stats_.disk_write_bytes += bytes;  // eventually flushed either way
-    ++stats_.segments_created;
+    {
+      std::lock_guard<std::mutex> lk(stats_mu_);
+      stats_.mem_write_bytes += bytes;
+      stats_.disk_write_bytes += bytes;  // eventually flushed either way
+      ++stats_.segments_created;
+    }
     pool_.Admit(id, bytes);
     if (cost != nullptr) {
       cost->bytes += bytes;
@@ -55,14 +74,18 @@ class SegmentSpace {
   /// Tail-extends an existing segment with `values`, charging only the
   /// appended bytes as a memory write (plus a disk write when the cost model
   /// is write-through) -- the cost basis of the strategies' Append phase.
-  /// Invalidates spans previously returned by Scan/Peek for this segment.
+  /// Invalidates spans previously returned by Scan/Peek for this segment;
+  /// callers must hold the owning column's exclusive latch.
   template <typename T>
   void Append(SegmentId id, const std::vector<T>& values, IoCost* cost) {
     const uint64_t bytes = values.size() * sizeof(T);
     if (bytes == 0) return;
     store_.AppendTyped(id, values);
-    stats_.mem_write_bytes += bytes;
-    stats_.disk_write_bytes += bytes;  // eventually flushed either way
+    {
+      std::lock_guard<std::mutex> lk(stats_mu_);
+      stats_.mem_write_bytes += bytes;
+      stats_.disk_write_bytes += bytes;  // eventually flushed either way
+    }
     pool_.Grow(id, bytes);
     if (cost != nullptr) {
       cost->bytes += bytes;
@@ -71,12 +94,15 @@ class SegmentSpace {
   }
 
   /// Scans a segment: returns its typed payload, charging a memory read and,
-  /// on a buffer-pool miss, a secondary-store read.
+  /// on a buffer-pool miss, a secondary-store read. With `lane == nullptr`
+  /// the charge lands directly in the shared stats/pool (the sequential
+  /// path); with a lane it lands in the lane, to be merged at the query's
+  /// fold point via CommitLane -- the parallel scan-phase path.
   template <typename T>
-  std::span<const T> Scan(SegmentId id, IoCost* cost) {
+  std::span<const T> Scan(SegmentId id, IoCost* cost, IoLane* lane = nullptr) {
     auto span = store_.ReadTyped<T>(id);
     const uint64_t bytes = span.size() * sizeof(T);
-    AccountScan(id, bytes, cost);
+    AccountScan(id, bytes, cost, lane);
     return span;
   }
 
@@ -90,6 +116,21 @@ class SegmentSpace {
     return store_.ReadTyped<T>(id);
   }
 
+  /// Merges a lane's accumulated stats into the shared IoStats and replays
+  /// its journaled pool touches. Queries commit their lanes in cover order,
+  /// which keeps the merged stats byte-identical (and the pool's LRU
+  /// evolution identical) to a sequential scan phase.
+  void CommitLane(IoLane* lane);
+
+  /// Metered scan charge for payload bytes that live outside the segment
+  /// store (cracking's in-memory cracker array): a memory read that never
+  /// touches the buffer pool.
+  void ChargeScanBytes(uint64_t bytes, IoLane* lane = nullptr);
+
+  /// Metered write charge for bytes outside the segment store (cracked-piece
+  /// shifting / ripple inserts).
+  void ChargeWriteBytes(uint64_t bytes);
+
   /// Releases a segment (adaptive replication drops fully-replicated parents).
   void Free(SegmentId id);
 
@@ -97,17 +138,24 @@ class SegmentSpace {
   uint64_t total_bytes() const { return store_.total_bytes(); }
   size_t segment_count() const { return store_.segment_count(); }
 
-  const IoStats& stats() const { return stats_; }
+  /// Snapshot of the shared counters (taken under the stats mutex).
+  IoStats stats() const {
+    std::lock_guard<std::mutex> lk(stats_mu_);
+    return stats_;
+  }
+  /// Unsynchronized access for single-threaded callers (tests resetting
+  /// counters); do not use while scanners are running.
   IoStats& mutable_stats() { return stats_; }
   const CostModel& model() const { return cost_; }
   const BufferPool& pool() const { return pool_; }
 
  private:
-  void AccountScan(SegmentId id, uint64_t bytes, IoCost* cost);
+  void AccountScan(SegmentId id, uint64_t bytes, IoCost* cost, IoLane* lane);
 
   CostModel cost_;
   SecondaryStore store_;
   BufferPool pool_;
+  mutable std::mutex stats_mu_;
   IoStats stats_;
 };
 

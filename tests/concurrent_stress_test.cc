@@ -1,0 +1,417 @@
+// Concurrency stress for the parallel execution subsystem: mixed
+// INSERT/SELECT streams running on N threads against one shared SegmentSpace
+// (and one shared worker pool) must report byte-for-byte the per-statement
+// records of the single-threaded baseline -- across all seven strategies --
+// and the shared space's IoStats must equal the sum of the baselines'.
+// Everything here is also the ThreadSanitizer workload for the storage,
+// exec, core and engine layers.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "common/units.h"
+#include "core/adaptive_replication.h"
+#include "core/adaptive_segmentation.h"
+#include "core/apm.h"
+#include "core/background_maintenance.h"
+#include "core/cracking.h"
+#include "core/deferred_segmentation.h"
+#include "core/non_segmented.h"
+#include "core/positional_blocks.h"
+#include "core/static_partition.h"
+#include "engine/catalog.h"
+#include "engine/mal_builder.h"
+#include "engine/mal_interpreter.h"
+#include "engine/optimizer.h"
+#include "exec/task_scheduler.h"
+#include "sql/compiler.h"
+#include "workload/range_generator.h"
+
+namespace socs {
+namespace {
+
+constexpr size_t kValues = 12000;
+constexpr int32_t kDomainHi = 1'000'000;
+constexpr int kSteps = 75;
+
+enum class Kind {
+  kNonSegmented,
+  kStaticPartition,
+  kPositionalBlocks,
+  kCracking,
+  kAdaptiveSegmentation,
+  kDeferredSegmentation,
+  kAdaptiveReplication,
+};
+
+const std::vector<Kind> kAllKinds{
+    Kind::kNonSegmented,        Kind::kStaticPartition,
+    Kind::kPositionalBlocks,    Kind::kCracking,
+    Kind::kAdaptiveSegmentation, Kind::kDeferredSegmentation,
+    Kind::kAdaptiveReplication,
+};
+
+std::unique_ptr<AccessStrategy<int32_t>> MakeStrategy(Kind kind,
+                                                      std::vector<int32_t> data,
+                                                      const ValueRange& domain,
+                                                      SegmentSpace* space) {
+  switch (kind) {
+    case Kind::kNonSegmented:
+      return std::make_unique<NonSegmented<int32_t>>(std::move(data), domain,
+                                                     space);
+    case Kind::kStaticPartition:
+      return std::make_unique<StaticPartition<int32_t>>(std::move(data), domain,
+                                                        16, space);
+    case Kind::kPositionalBlocks:
+      return std::make_unique<PositionalBlocks<int32_t>>(
+          std::move(data), domain, 8 * kKiB, space, /*use_zone_maps=*/true);
+    case Kind::kCracking:
+      return std::make_unique<CrackingColumn<int32_t>>(std::move(data), domain,
+                                                       space);
+    case Kind::kAdaptiveSegmentation:
+      return std::make_unique<AdaptiveSegmentation<int32_t>>(
+          std::move(data), domain, std::make_unique<Apm>(3 * kKiB, 12 * kKiB),
+          space);
+    case Kind::kDeferredSegmentation:
+      return std::make_unique<DeferredSegmentation<int32_t>>(
+          std::move(data), domain, std::make_unique<Apm>(3 * kKiB, 12 * kKiB),
+          space);
+    case Kind::kAdaptiveReplication:
+      return std::make_unique<AdaptiveReplication<int32_t>>(
+          std::move(data), domain, std::make_unique<Apm>(3 * kKiB, 12 * kKiB),
+          space);
+  }
+  return nullptr;
+}
+
+/// One stream's pre-generated statement sequence (identical for the baseline
+/// run and the concurrent run) and its recorded outcomes.
+struct Stream {
+  Kind kind;
+  std::vector<int32_t> initial;
+  // Step i: queries[i] when !is_insert[i], else inserts[i].
+  std::vector<bool> is_insert;
+  std::vector<ValueRange> queries;
+  std::vector<std::vector<int32_t>> inserts;
+
+  std::vector<QueryExecution> records;
+  std::vector<std::vector<int32_t>> results;
+};
+
+Stream MakeStream(Kind kind, uint64_t seed) {
+  Stream s;
+  s.kind = kind;
+  Rng data_rng(seed);
+  s.initial.reserve(kValues);
+  for (size_t i = 0; i < kValues; ++i) {
+    s.initial.push_back(static_cast<int32_t>(data_rng.NextInt(0, kDomainHi - 1)));
+  }
+  UniformRangeGenerator gen(ValueRange(0, kDomainHi), 0.05, seed + 13);
+  Rng ins_rng(seed + 29);
+  for (int step = 0; step < kSteps; ++step) {
+    const bool insert = step % 3 == 2;
+    s.is_insert.push_back(insert);
+    s.queries.push_back(insert ? ValueRange() : gen.Next().range);
+    std::vector<int32_t> batch;
+    if (insert) {
+      const size_t n = 1 + static_cast<size_t>(ins_rng.NextInt(0, 3));
+      for (size_t i = 0; i < n; ++i) {
+        batch.push_back(static_cast<int32_t>(ins_rng.NextInt(0, kDomainHi - 1)));
+      }
+    }
+    s.inserts.push_back(std::move(batch));
+  }
+  return s;
+}
+
+/// Runs the stream against a strategy, recording every statement's record
+/// and result vector. `pool` parallelizes the scan phases when non-null.
+void RunStream(Stream* s, AccessStrategy<int32_t>* strat, ThreadPool* pool) {
+  s->records.clear();
+  s->results.clear();
+  for (int step = 0; step < kSteps; ++step) {
+    if (s->is_insert[step]) {
+      s->records.push_back(strat->Append(s->inserts[step]));
+      s->results.emplace_back();
+    } else {
+      std::vector<int32_t> result;
+      s->records.push_back(strat->RunRange(s->queries[step], &result, pool));
+      s->results.push_back(std::move(result));
+    }
+  }
+}
+
+void ExpectStreamsEqual(const Stream& base, const Stream& conc) {
+  ASSERT_EQ(base.records.size(), conc.records.size());
+  for (int step = 0; step < kSteps; ++step) {
+    const QueryExecution& a = base.records[step];
+    const QueryExecution& b = conc.records[step];
+    ASSERT_EQ(a.read_bytes, b.read_bytes) << "step " << step;
+    ASSERT_EQ(a.write_bytes, b.write_bytes) << "step " << step;
+    ASSERT_EQ(a.result_count, b.result_count) << "step " << step;
+    ASSERT_EQ(a.segments_scanned, b.segments_scanned) << "step " << step;
+    ASSERT_EQ(a.splits, b.splits) << "step " << step;
+    ASSERT_EQ(a.merges, b.merges) << "step " << step;
+    ASSERT_EQ(a.replicas_created, b.replicas_created) << "step " << step;
+    ASSERT_EQ(a.segments_dropped, b.segments_dropped) << "step " << step;
+    ASSERT_EQ(a.selection_seconds, b.selection_seconds) << "step " << step;
+    ASSERT_EQ(a.adaptation_seconds, b.adaptation_seconds) << "step " << step;
+    ASSERT_EQ(base.results[step], conc.results[step]) << "step " << step;
+  }
+}
+
+// Seven concurrent mixed INSERT/SELECT streams -- one per strategy -- on one
+// shared SegmentSpace and one shared pool. Each stream's per-statement
+// records and result vectors must be byte-identical to its single-threaded
+// baseline (own space, no pool), and the shared space's final IoStats must
+// equal the sum of the baseline spaces' (metering never leaks across
+// streams, no matter the interleaving).
+TEST(ConcurrentStress, MixedStreamsAcrossAllSevenStrategies) {
+  const ValueRange domain(0, kDomainHi);
+
+  // Baselines: sequential, isolated spaces.
+  std::vector<Stream> baselines;
+  IoStats baseline_total;
+  for (size_t i = 0; i < kAllKinds.size(); ++i) {
+    baselines.push_back(MakeStream(kAllKinds[i], 1000 + i));
+    SegmentSpace space;
+    auto strat = MakeStrategy(kAllKinds[i], baselines[i].initial, domain, &space);
+    RunStream(&baselines[i], strat.get(), nullptr);
+    baseline_total += space.stats();
+  }
+
+  // Concurrent run: same streams, one thread each, one shared space, every
+  // scan phase fanned out across one shared 4-worker pool.
+  SegmentSpace shared_space;
+  TaskScheduler sched(4);
+  std::vector<Stream> streams;
+  std::vector<std::unique_ptr<AccessStrategy<int32_t>>> strategies;
+  for (size_t i = 0; i < kAllKinds.size(); ++i) {
+    streams.push_back(MakeStream(kAllKinds[i], 1000 + i));
+    strategies.push_back(
+        MakeStrategy(kAllKinds[i], streams[i].initial, domain, &shared_space));
+  }
+  std::vector<std::thread> threads;
+  for (size_t i = 0; i < kAllKinds.size(); ++i) {
+    threads.emplace_back([&, i] {
+      RunStream(&streams[i], strategies[i].get(), &sched.pool());
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  for (size_t i = 0; i < kAllKinds.size(); ++i) {
+    SCOPED_TRACE(strategies[i]->Name());
+    ExpectStreamsEqual(baselines[i], streams[i]);
+  }
+
+  const IoStats total = shared_space.stats();
+  EXPECT_EQ(total.mem_read_bytes, baseline_total.mem_read_bytes);
+  EXPECT_EQ(total.mem_write_bytes, baseline_total.mem_write_bytes);
+  EXPECT_EQ(total.disk_read_bytes, baseline_total.disk_read_bytes);
+  EXPECT_EQ(total.disk_write_bytes, baseline_total.disk_write_bytes);
+  EXPECT_EQ(total.segments_created, baseline_total.segments_created);
+  EXPECT_EQ(total.segments_freed, baseline_total.segments_freed);
+  EXPECT_EQ(total.segments_scanned, baseline_total.segments_scanned);
+}
+
+// Background reorganization racing the query stream: a deferred column whose
+// batch only ever runs on the scheduler's background lane must keep every
+// query's results correct (counts match a plain-array oracle) no matter when
+// the flushes interleave, and the flush work must land in the maintenance
+// ledger, not in any query's record.
+TEST(ConcurrentStress, BackgroundFlushKeepsQueriesCorrect) {
+  const ValueRange domain(0, kDomainHi);
+  Rng rng(77);
+  std::vector<int32_t> data;
+  for (size_t i = 0; i < kValues; ++i) {
+    data.push_back(static_cast<int32_t>(rng.NextInt(0, kDomainHi - 1)));
+  }
+  std::vector<int32_t> oracle = data;
+
+  SegmentSpace space;
+  DeferredSegmentation<int32_t>::Options opts;
+  opts.batch_queries = 1 << 30;  // the query path never flushes ...
+  DeferredSegmentation<int32_t> strat(data, domain,
+                                      std::make_unique<Apm>(3 * kKiB, 12 * kKiB),
+                                      &space, opts);
+  TaskScheduler sched(2);  // ... only the background lane does
+  BackgroundMaintenance<int32_t> maint(&strat);
+
+  UniformRangeGenerator gen(domain, 0.05, 5);
+  Rng ins(6);
+  for (int step = 0; step < 120; ++step) {
+    if (step % 4 == 3) {
+      std::vector<int32_t> batch;
+      for (int i = 0; i < 3; ++i) {
+        batch.push_back(static_cast<int32_t>(ins.NextInt(0, kDomainHi - 1)));
+      }
+      strat.Append(batch);
+      oracle.insert(oracle.end(), batch.begin(), batch.end());
+    } else {
+      const ValueRange q = gen.Next().range;
+      const QueryExecution ex = strat.RunRange(q);
+      const auto expect = static_cast<uint64_t>(std::count_if(
+          oracle.begin(), oracle.end(), [&](int32_t v) {
+            return v >= q.lo && v < q.hi;
+          }));
+      ASSERT_EQ(ex.result_count, expect) << "step " << step;
+    }
+    maint.Schedule(&sched);  // statement finished -- an idle point
+  }
+  sched.DrainBackground();
+
+  EXPECT_EQ(maint.runs(), 120u);
+  // The whole-column segment violates the APM bounds immediately, so the
+  // background lane must have actually reorganized...
+  EXPECT_GT(maint.total().splits, 0u);
+  EXPECT_GT(strat.Segments().size(), 1u);
+  // ... and after the final drain nothing is left pending.
+  EXPECT_FALSE(strat.HasIdleWork());
+  // Row conservation across splits, appends and flushes.
+  EXPECT_EQ(strat.index().TotalCount(), oracle.size());
+}
+
+/// The Fig.-1-style plan `select objid from P where ra between lo and hi`.
+MalProgram BuildSelectPlan(double lo, double hi) {
+  MalProgram prog;
+  MalBuilder b(&prog);
+  const int ra = b.Call("sql", "bind",
+                        {MalArg::Str("sys"), MalArg::Str("P"), MalArg::Str("ra"),
+                         MalArg::Num(0)});
+  const int cand = b.Call("algebra", "uselect",
+                          {MalArg::Var(ra), MalArg::Num(lo), MalArg::Num(hi),
+                           MalArg::Num(1), MalArg::Num(1)});
+  const int zero = b.Call("calc", "oid", {MalArg::Num(0)});
+  const int marked =
+      b.Call("algebra", "markT", {MalArg::Var(cand), MalArg::Var(zero)});
+  const int renum = b.Call("bat", "reverse", {MalArg::Var(marked)});
+  const int objid = b.Call("sql", "bind",
+                           {MalArg::Str("sys"), MalArg::Str("P"),
+                            MalArg::Str("objid"), MalArg::Num(0)});
+  const int joined =
+      b.Call("algebra", "join", {MalArg::Var(renum), MalArg::Var(objid)});
+  const int rs = b.Call("sql", "resultSet", {});
+  b.CallVoid("sql", "rsColumn",
+             {MalArg::Var(rs), MalArg::Str("P.objid"), MalArg::Var(joined)});
+  b.CallVoid("sql", "exportResult", {MalArg::Var(rs)});
+  return prog;
+}
+
+struct EngineStream {
+  std::vector<ValueRange> queries;
+  std::vector<QueryExecution> records;
+  std::vector<uint64_t> rows;
+};
+
+/// One engine session: its own catalog + interpreter + segmented column, the
+/// space and scheduler shared with the other sessions.
+void RunEngineStream(EngineStream* s, uint64_t seed, SegmentSpace* space,
+                     TaskScheduler* sched) {
+  const ValueRange domain(0.0, 360.0);
+  const size_t n = 15000;
+  Rng rng(seed);
+  std::vector<OidValue> pairs;
+  std::vector<int64_t> objid;
+  for (size_t i = 0; i < n; ++i) {
+    pairs.push_back({i, rng.NextUniform(domain.lo, domain.hi)});
+    objid.push_back(static_cast<int64_t>(1000000 + i));
+  }
+  Catalog cat;
+  auto strat = std::make_unique<AdaptiveSegmentation<OidValue>>(
+      pairs, domain, std::make_unique<Apm>(8 * kKiB, 32 * kKiB), space);
+  auto col = std::make_unique<SegmentedColumn>(Catalog::SegHandle("P", "ra"),
+                                               ValType::kDbl, std::move(strat),
+                                               space);
+  ASSERT_TRUE(cat.AddSegmentedColumn("P", "ra", std::move(col)).ok());
+  ASSERT_TRUE(cat.AddColumn("P", "objid", TypedVector::Of(objid)).ok());
+
+  MalInterpreter interp(&cat);
+  if (sched != nullptr) interp.set_exec(sched);
+  s->records.clear();
+  s->rows.clear();
+  for (const ValueRange& q : s->queries) {
+    MalProgram prog = BuildSelectPlan(q.lo, q.hi);
+    OptContext ctx;
+    ctx.catalog = &cat;
+    PassManager pm = MakeDefaultPipeline();
+    ASSERT_TRUE(pm.Run(&prog, &ctx).ok());
+    auto rs = interp.Run(prog);
+    ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+    s->records.push_back(interp.last_execution());
+    s->rows.push_back((*rs)->NumRows());
+  }
+  // All prefetch/background work for this session must settle before the
+  // catalog goes out of scope.
+  if (sched != nullptr) sched->DrainBackground();
+}
+
+// Three engine sessions on three threads, sharing one SegmentSpace and one
+// threaded scheduler (prefetched segment delivery + background lane): every
+// session must report the per-query records of its own single-threaded,
+// isolated baseline.
+TEST(ConcurrentStress, EngineSessionsShareSpaceAndScheduler) {
+  constexpr size_t kSessions = 3;
+  std::vector<EngineStream> baselines(kSessions), streams(kSessions);
+  for (size_t i = 0; i < kSessions; ++i) {
+    UniformRangeGenerator gen(ValueRange(0.0, 360.0), 0.05, 400 + i);
+    for (int q = 0; q < 50; ++q) baselines[i].queries.push_back(gen.Next().range);
+    streams[i].queries = baselines[i].queries;
+  }
+
+  for (size_t i = 0; i < kSessions; ++i) {
+    SegmentSpace space;
+    RunEngineStream(&baselines[i], 500 + i, &space, nullptr);
+  }
+
+  SegmentSpace shared_space;
+  TaskScheduler sched(4);
+  std::vector<std::thread> threads;
+  for (size_t i = 0; i < kSessions; ++i) {
+    threads.emplace_back(
+        [&, i] { RunEngineStream(&streams[i], 500 + i, &shared_space, &sched); });
+  }
+  for (auto& t : threads) t.join();
+
+  for (size_t i = 0; i < kSessions; ++i) {
+    SCOPED_TRACE("session " + std::to_string(i));
+    ASSERT_EQ(baselines[i].records.size(), streams[i].records.size());
+    for (size_t q = 0; q < baselines[i].records.size(); ++q) {
+      const QueryExecution& a = baselines[i].records[q];
+      const QueryExecution& b = streams[i].records[q];
+      ASSERT_EQ(a.read_bytes, b.read_bytes) << "query " << q;
+      ASSERT_EQ(a.write_bytes, b.write_bytes) << "query " << q;
+      ASSERT_EQ(a.result_count, b.result_count) << "query " << q;
+      ASSERT_EQ(a.segments_scanned, b.segments_scanned) << "query " << q;
+      ASSERT_EQ(a.splits, b.splits) << "query " << q;
+      ASSERT_EQ(a.selection_seconds, b.selection_seconds) << "query " << q;
+      ASSERT_EQ(a.adaptation_seconds, b.adaptation_seconds) << "query " << q;
+      ASSERT_EQ(baselines[i].rows[q], streams[i].rows[q]) << "query " << q;
+    }
+  }
+}
+
+// Concurrent logging: one atomic write per line from any worker (the TSan
+// job watches the level atomics and the line assembly).
+TEST(ConcurrentStress, LoggingFromManyThreads) {
+  const LogLevel before = GetLogLevel();
+  SetLogLevel(LogLevel::kError);  // keep the test log quiet
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([t] {
+      for (int i = 0; i < 200; ++i) {
+        SOCS_LOG(Info) << "worker " << t << " line " << i;  // filtered
+        if (i == 99) SetLogLevel(LogLevel::kError);         // racing writers
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  SetLogLevel(before);
+}
+
+}  // namespace
+}  // namespace socs

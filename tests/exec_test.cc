@@ -1,0 +1,146 @@
+// Unit tests for the parallel execution subsystem: ThreadPool fan-out
+// semantics (inline determinism, full index coverage, concurrent groups),
+// the TaskScheduler's background lane, and the ColumnLatch discipline.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "exec/column_latch.h"
+#include "exec/task_scheduler.h"
+#include "exec/thread_pool.h"
+
+namespace socs {
+namespace {
+
+TEST(ThreadPool, InlineModeRunsInOrder) {
+  ThreadPool pool(1);
+  EXPECT_TRUE(pool.inline_mode());
+  EXPECT_EQ(pool.threads(), 1u);
+  std::vector<size_t> order;
+  pool.ParallelFor(5, [&](size_t i) { order.push_back(i); });
+  EXPECT_EQ(order, (std::vector<size_t>{0, 1, 2, 3, 4}));
+  bool ran = false;
+  pool.Submit([&] { ran = true; });
+  EXPECT_TRUE(ran);  // inline Submit runs before returning
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  EXPECT_FALSE(pool.inline_mode());
+  constexpr size_t kN = 1000;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.ParallelFor(kN, [&](size_t i) { hits[i].fetch_add(1); });
+  for (size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, ParallelForZeroAndOne) {
+  ThreadPool pool(4);
+  pool.ParallelFor(0, [&](size_t) { FAIL() << "no iterations expected"; });
+  std::atomic<int> n{0};
+  pool.ParallelFor(1, [&](size_t) { n.fetch_add(1); });
+  EXPECT_EQ(n.load(), 1);
+}
+
+TEST(ThreadPool, ConcurrentParallelForGroupsDoNotInterleave) {
+  ThreadPool pool(4);
+  constexpr size_t kCallers = 6, kN = 400;
+  std::vector<std::atomic<uint64_t>> sums(kCallers);
+  std::vector<std::thread> callers;
+  for (size_t c = 0; c < kCallers; ++c) {
+    callers.emplace_back([&, c] {
+      pool.ParallelFor(kN, [&, c](size_t i) { sums[c].fetch_add(i + 1); });
+    });
+  }
+  for (auto& t : callers) t.join();
+  const uint64_t expect = kN * (kN + 1) / 2;
+  for (size_t c = 0; c < kCallers; ++c) {
+    EXPECT_EQ(sums[c].load(), expect) << "caller " << c;
+  }
+}
+
+TEST(ThreadPool, SubmitTaskFutureCompletes) {
+  ThreadPool pool(3);
+  std::atomic<int> done{0};
+  std::vector<std::future<void>> ready;
+  for (int i = 0; i < 32; ++i) {
+    ready.push_back(pool.SubmitTask([&] { done.fetch_add(1); }));
+  }
+  for (auto& f : ready) f.get();
+  EXPECT_EQ(done.load(), 32);
+  EXPECT_GE(pool.tasks_run(), 32u);
+}
+
+TEST(TaskScheduler, SingleThreadedQueuesUntilDrain) {
+  TaskScheduler sched(1);
+  int runs = 0;
+  sched.ScheduleBackground([&] { ++runs; });
+  sched.ScheduleBackground([&] { ++runs; });
+  EXPECT_EQ(runs, 0);  // deferred to the explicit idle point
+  EXPECT_EQ(sched.background_pending(), 2u);
+  sched.DrainBackground();
+  EXPECT_EQ(runs, 2);
+  EXPECT_EQ(sched.background_runs(), 2u);
+  EXPECT_EQ(sched.background_pending(), 0u);
+}
+
+TEST(TaskScheduler, ThreadedRunsInBackgroundAndDrains) {
+  TaskScheduler sched(2);
+  std::atomic<int> runs{0};
+  for (int i = 0; i < 16; ++i) {
+    sched.ScheduleBackground([&] { runs.fetch_add(1); });
+  }
+  sched.DrainBackground();
+  EXPECT_EQ(runs.load(), 16);
+  EXPECT_EQ(sched.background_runs(), 16u);
+}
+
+TEST(TaskScheduler, DestructorDrainsPendingJobs) {
+  std::atomic<int> runs{0};
+  {
+    TaskScheduler sched(2);
+    for (int i = 0; i < 8; ++i) {
+      sched.ScheduleBackground([&] { runs.fetch_add(1); });
+    }
+  }
+  EXPECT_EQ(runs.load(), 8);
+}
+
+TEST(ColumnLatch, SharedReadersCoexistExclusiveWriterAlone) {
+  ColumnLatch latch;
+  std::atomic<int> readers{0};
+  std::atomic<int> max_readers{0};
+  std::atomic<bool> writer_in{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 200; ++i) {
+        SharedColumnGuard guard(latch);
+        ASSERT_FALSE(writer_in.load());
+        const int now = readers.fetch_add(1) + 1;
+        int prev = max_readers.load();
+        while (prev < now && !max_readers.compare_exchange_weak(prev, now)) {
+        }
+        readers.fetch_sub(1);
+      }
+    });
+  }
+  threads.emplace_back([&] {
+    for (int i = 0; i < 100; ++i) {
+      ExclusiveColumnGuard guard(latch);
+      writer_in.store(true);
+      ASSERT_EQ(readers.load(), 0);
+      writer_in.store(false);
+    }
+  });
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(latch.shared_acquisitions(), 800u);
+  EXPECT_EQ(latch.exclusive_acquisitions(), 100u);
+}
+
+}  // namespace
+}  // namespace socs

@@ -4,6 +4,14 @@
 // acceptance test of the single-pass execution protocol: the engine meters
 // segment delivery through ScanSegment and runs only Reorganize in
 // bpm.adapt, so nothing is scanned twice and the two harnesses agree.
+//
+// The parity requirement extends to the parallel execution subsystem: an
+// engine running its scan phase across a 4-worker pool, and a core RunRange
+// fanning out across a 4-worker pool, must both stay byte-identical --
+// results, per-query records (bit-identical seconds included) and
+// end-of-query IoStats totals -- to the single-threaded runs. The threaded
+// variants below assert exactly that by comparing a threads=4 run against a
+// threads=1 oracle.
 #include <gtest/gtest.h>
 
 #include <memory>
@@ -18,6 +26,8 @@
 #include "engine/mal_builder.h"
 #include "engine/mal_interpreter.h"
 #include "engine/optimizer.h"
+#include "exec/task_scheduler.h"
+#include "exec/thread_pool.h"
 #include "sql/compiler.h"
 #include "workload/range_generator.h"
 
@@ -77,8 +87,11 @@ MalProgram BuildSelectPlan(double lo, double hi) {
 
 /// Drives the same workload through the engine path (optimized MAL plans
 /// against one strategy instance) and the direct RunRange path (an identical
-/// second instance), asserting identical per-query execution records.
-void ExpectEngineCoreParity(StratKind kind, bool zipf) {
+/// second instance), asserting identical per-query execution records. With
+/// `engine_threads > 1` the engine scans fan out across a worker pool while
+/// the core oracle stays single-threaded -- so the assertions below prove
+/// the threads=N engine is byte-identical to the threads=1 baseline.
+void ExpectEngineCoreParity(StratKind kind, bool zipf, size_t engine_threads = 1) {
   const ValueRange domain(0.0, 360.0);
   const size_t n = 20000;
   auto pairs = MakePairs(n, domain, 99);
@@ -98,6 +111,8 @@ void ExpectEngineCoreParity(StratKind kind, bool zipf) {
   auto direct = MakeStrategy(kind, pairs, domain, &core_space);
 
   MalInterpreter interp(&cat);
+  TaskScheduler sched(engine_threads);
+  if (engine_threads > 1) interp.set_exec(&sched);
   std::unique_ptr<QueryGenerator> gen;
   if (zipf) {
     gen = std::make_unique<ZipfRangeGenerator>(domain, 0.05, 7);
@@ -165,12 +180,111 @@ TEST(EngineCoreParity, ReplicationZipf) {
   ExpectEngineCoreParity(StratKind::kReplication, /*zipf=*/true);
 }
 
+// The parallel-engine acceptance criterion: with a 4-worker scheduler the
+// engine's per-query records, result counts and storage-layer IoStats remain
+// byte-identical to the single-threaded core oracle.
+TEST(EngineThreadParity, SegmentationUniformThreads4) {
+  ExpectEngineCoreParity(StratKind::kSegmentation, /*zipf=*/false, 4);
+}
+
+TEST(EngineThreadParity, SegmentationZipfThreads4) {
+  ExpectEngineCoreParity(StratKind::kSegmentation, /*zipf=*/true, 4);
+}
+
+TEST(EngineThreadParity, ReplicationUniformThreads4) {
+  ExpectEngineCoreParity(StratKind::kReplication, /*zipf=*/false, 4);
+}
+
+TEST(EngineThreadParity, ReplicationZipfThreads4) {
+  ExpectEngineCoreParity(StratKind::kReplication, /*zipf=*/true, 4);
+}
+
+// Core-side thread parity: RunRange with a 4-worker pool must be
+// byte-identical to RunRange without one -- per-query records (bit-identical
+// seconds), the *order and content* of the result vectors, and the space's
+// final IoStats totals.
+void ExpectCoreThreadParity(StratKind kind, bool zipf) {
+  const ValueRange domain(0.0, 360.0);
+  const size_t n = 20000;
+  auto pairs = MakePairs(n, domain, 7);
+
+  SegmentSpace seq_space, par_space;
+  auto seq = MakeStrategy(kind, pairs, domain, &seq_space);
+  auto par = MakeStrategy(kind, pairs, domain, &par_space);
+  ThreadPool pool(4);
+
+  std::unique_ptr<QueryGenerator> gen;
+  if (zipf) {
+    gen = std::make_unique<ZipfRangeGenerator>(domain, 0.05, 31);
+  } else {
+    gen = std::make_unique<UniformRangeGenerator>(domain, 0.05, 31);
+  }
+
+  for (int i = 0; i < 80; ++i) {
+    const ValueRange q = gen->Next().range;
+    std::vector<OidValue> seq_result, par_result;
+    const QueryExecution a = seq->RunRange(q, &seq_result);
+    const QueryExecution b = par->RunRange(q, &par_result, &pool);
+
+    ASSERT_EQ(a.read_bytes, b.read_bytes) << "query " << i;
+    ASSERT_EQ(a.write_bytes, b.write_bytes) << "query " << i;
+    ASSERT_EQ(a.result_count, b.result_count) << "query " << i;
+    ASSERT_EQ(a.segments_scanned, b.segments_scanned) << "query " << i;
+    ASSERT_EQ(a.splits, b.splits) << "query " << i;
+    ASSERT_EQ(a.replicas_created, b.replicas_created) << "query " << i;
+    // Bit-identical, not approximately equal: the parallel fold must run in
+    // cover order with the same arithmetic as the sequential loop.
+    ASSERT_EQ(a.selection_seconds, b.selection_seconds) << "query " << i;
+    ASSERT_EQ(a.adaptation_seconds, b.adaptation_seconds) << "query " << i;
+
+    ASSERT_EQ(seq_result.size(), par_result.size()) << "query " << i;
+    for (size_t r = 0; r < seq_result.size(); ++r) {
+      ASSERT_EQ(seq_result[r].oid, par_result[r].oid) << "query " << i;
+      ASSERT_EQ(seq_result[r].value, par_result[r].value) << "query " << i;
+    }
+  }
+
+  // End-of-workload IoStats totals: byte-identical under parallelism.
+  const IoStats a = seq_space.stats();
+  const IoStats b = par_space.stats();
+  EXPECT_EQ(a.mem_read_bytes, b.mem_read_bytes);
+  EXPECT_EQ(a.mem_write_bytes, b.mem_write_bytes);
+  EXPECT_EQ(a.disk_read_bytes, b.disk_read_bytes);
+  EXPECT_EQ(a.disk_write_bytes, b.disk_write_bytes);
+  EXPECT_EQ(a.segments_created, b.segments_created);
+  EXPECT_EQ(a.segments_freed, b.segments_freed);
+  EXPECT_EQ(a.segments_scanned, b.segments_scanned);
+  // The buffer pool evolved identically too (touches replay in cover order).
+  EXPECT_EQ(seq_space.pool().hits(), par_space.pool().hits());
+  EXPECT_EQ(seq_space.pool().misses(), par_space.pool().misses());
+  // The fan-out actually ran: scans took the shared latch, reorganization
+  // the exclusive one.
+  EXPECT_GT(par->latch().shared_acquisitions(), 0u);
+  EXPECT_GT(par->latch().exclusive_acquisitions(), 0u);
+}
+
+TEST(CoreThreadParity, SegmentationUniform) {
+  ExpectCoreThreadParity(StratKind::kSegmentation, /*zipf=*/false);
+}
+
+TEST(CoreThreadParity, SegmentationZipf) {
+  ExpectCoreThreadParity(StratKind::kSegmentation, /*zipf=*/true);
+}
+
+TEST(CoreThreadParity, ReplicationUniform) {
+  ExpectCoreThreadParity(StratKind::kReplication, /*zipf=*/false);
+}
+
+TEST(CoreThreadParity, ReplicationZipf) {
+  ExpectCoreThreadParity(StratKind::kReplication, /*zipf=*/true);
+}
+
 // Write-path parity: an interleaved insert/select stream through the SQL
 // engine (INSERT -> bpm.append, SELECT -> segment iterator + bpm.adapt) and
 // the same stream through direct core calls (Append / RunRange) must report
 // byte-for-byte identical per-statement accounting -- appends are just
 // another adaptation side effect.
-void ExpectInsertSelectParity(StratKind kind) {
+void ExpectInsertSelectParity(StratKind kind, size_t engine_threads = 1) {
   const ValueRange domain(0.0, 360.0);
   const size_t n = 20000;
   auto pairs = MakePairs(n, domain, 123);
@@ -190,6 +304,8 @@ void ExpectInsertSelectParity(StratKind kind) {
   auto direct = MakeStrategy(kind, pairs, domain, &core_space);
 
   MalInterpreter interp(&cat);
+  TaskScheduler sched(engine_threads);
+  if (engine_threads > 1) interp.set_exec(&sched);
   UniformRangeGenerator gen(domain, 0.05, 17);
   Rng rng(18);
   uint64_t core_rows = n;
@@ -270,6 +386,17 @@ TEST(InsertSelectParity, Segmentation) {
 
 TEST(InsertSelectParity, Replication) {
   ExpectInsertSelectParity(StratKind::kReplication);
+}
+
+// The write path under the parallel engine: INSERTs stay exclusive behind
+// the column latch and SELECT fan-outs commit lanes in cover order, so the
+// interleaved stream still matches the single-threaded core byte-for-byte.
+TEST(InsertSelectParity, SegmentationThreads4) {
+  ExpectInsertSelectParity(StratKind::kSegmentation, 4);
+}
+
+TEST(InsertSelectParity, ReplicationThreads4) {
+  ExpectInsertSelectParity(StratKind::kReplication, 4);
 }
 
 // The acceptance criterion of the refactor: one engine-path query charges
