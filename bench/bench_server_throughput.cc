@@ -1,0 +1,227 @@
+// Server throughput: N concurrent TCP clients replay SkyServer query
+// streams against ONE socs SqlServer over loopback -- one shared deferred-
+// segmentation store, one shared scheduler, background FlushBatch racing the
+// live query stream (the Automatic-Clustering-in-Hyrise shape from
+// PAPERS.md). Reports aggregate and per-client statements/sec (wall clock),
+// the simulated per-query work, and the background-maintenance ledger
+// (passes run off the query path vs. skipped by the load watermark).
+//
+//   $ ./bench/bench_server_throughput                  # 8 clients x 200
+//   $ ./bench/bench_server_throughput --clients 16 --queries 500 --threads 8
+//   $ ./bench/bench_server_throughput --smoke          # tiny self-checking
+//                                                      # run (the ctest smoke)
+//
+// --smoke shrinks the store and stream, then *fails* (non-zero exit) unless
+// every reply succeeded, the per-client counts match a sequential oracle
+// replay, and the shutdown drain left the maintenance ledger balanced.
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/stopwatch.h"
+#include "common/units.h"
+#include "core/apm.h"
+#include "core/deferred_segmentation.h"
+#include "engine/catalog.h"
+#include "exec/task_scheduler.h"
+#include "exec/threads_flag.h"
+#include "server/client.h"
+#include "server/server.h"
+#include "workload/skyserver.h"
+
+namespace {
+
+using namespace socs;
+
+bool HasFlag(int argc, char** argv, const char* name) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return true;
+  }
+  return false;
+}
+
+std::string BetweenQuery(const ValueRange& q) {
+  // The workload generator hands out half-open [lo, hi); BETWEEN is
+  // inclusive, so nudge hi just below the bound.
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "select count(*) from P where ra between %.17g and %.17g",
+                q.lo, std::nextafter(q.hi, q.lo));
+  return buf;
+}
+
+struct ClientResult {
+  uint64_t statements = 0;
+  uint64_t failures = 0;
+  uint64_t rows_total = 0;  // sum of count(*) results
+  double wall_seconds = 0.0;
+  double simulated_seconds = 0.0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke = HasFlag(argc, argv, "--smoke");
+  const size_t threads =
+      ParseThreadsFlag(argc, argv, /*default_threads=*/smoke ? 4 : 4);
+  const size_t clients =
+      static_cast<size_t>(ParseLongFlag(argc, argv, "--clients", smoke ? 3 : 8));
+  const size_t queries =
+      static_cast<size_t>(ParseLongFlag(argc, argv, "--queries", smoke ? 40 : 200));
+  const size_t num_values = smoke ? 60'000 : 2'000'000;
+
+  // One shared store: the SkyServer ra column under *deferred* segmentation,
+  // so reorganization batches ride the background lane while clients query.
+  SkyServerConfig cfg;
+  cfg.num_objects = num_values;
+  std::vector<float> ra = MakeRaColumn(cfg);
+  std::vector<OidValue> pairs;
+  pairs.reserve(ra.size());
+  for (size_t i = 0; i < ra.size(); ++i) pairs.push_back({i, ra[i]});
+
+  Catalog cat;
+  SegmentSpace space;
+  TaskScheduler sched(threads);
+  // APM bounds small enough that the initial column violates them: the
+  // background lane has real splitting to do while clients query.
+  auto apm = smoke ? std::make_unique<Apm>(16 * kKiB, 64 * kKiB)
+                   : std::make_unique<Apm>(256 * kKiB, 1 * kMiB);
+  auto strat = std::make_unique<DeferredSegmentation<OidValue>>(
+      std::move(pairs), cfg.footprint, std::move(apm), &space);
+  auto col = std::make_unique<SegmentedColumn>(Catalog::SegHandle("P", "ra"),
+                                               ValType::kDbl, std::move(strat),
+                                               &space);
+  if (!cat.AddSegmentedColumn("P", "ra", std::move(col)).ok()) return 1;
+
+  server::SqlServer::Options opts;
+  opts.executors = std::max<size_t>(2, threads / 2);
+  server::SqlServer srv(&cat, &sched, opts);
+  if (Status st = srv.Start(); !st.ok()) {
+    std::fprintf(stderr, "start failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  // Per-client query streams: same generator family as the paper's
+  // SkyServer runs (random placement), distinct seeds per client.
+  std::vector<std::vector<std::string>> streams(clients);
+  std::vector<std::vector<ValueRange>> ranges(clients);
+  for (size_t c = 0; c < clients; ++c) {
+    SkyServerConfig ccfg = cfg;
+    ccfg.seed = cfg.seed + 101 * c;
+    Workload w = MakeRandomWorkload(ccfg, queries);
+    for (const auto& q : w) {
+      ranges[c].push_back(q.range);
+      streams[c].push_back(BetweenQuery(q.range));
+    }
+  }
+
+  std::printf("bench_server_throughput: %zu client(s) x %zu quer%s, "
+              "%zu-value shared ra column, exec threads %zu, %zu executor(s)\n",
+              clients, queries, queries == 1 ? "y" : "ies", num_values,
+              threads, opts.executors);
+
+  Stopwatch wall;
+  std::vector<ClientResult> results(clients);
+  std::atomic<bool> connect_failed{false};
+  std::vector<std::thread> workers;
+  for (size_t c = 0; c < clients; ++c) {
+    workers.emplace_back([&, c] {
+      auto conn = client::Connection::Connect("127.0.0.1", srv.port());
+      if (!conn.ok()) {
+        connect_failed.store(true);
+        return;
+      }
+      Stopwatch sw;
+      for (const std::string& stmt : streams[c]) {
+        auto reply = conn->Execute(stmt);
+        ++results[c].statements;
+        if (!reply.ok() || !reply->ok || reply->rows.size() != 1) {
+          ++results[c].failures;
+          continue;
+        }
+        results[c].rows_total +=
+            std::strtoull(reply->rows[0].c_str(), nullptr, 10);
+        results[c].simulated_seconds += reply->stats.TotalSeconds();
+      }
+      results[c].wall_seconds = sw.ElapsedSeconds();
+    });
+  }
+  for (auto& t : workers) t.join();
+  const double total_wall = wall.ElapsedSeconds();
+
+  srv.Stop();
+  const auto ledger = srv.Ledger();
+
+  uint64_t total_stmts = 0, total_failures = 0, total_rows = 0;
+  double total_sim = 0.0;
+  for (size_t c = 0; c < clients; ++c) {
+    total_stmts += results[c].statements;
+    total_failures += results[c].failures;
+    total_rows += results[c].rows_total;
+    total_sim += results[c].simulated_seconds;
+  }
+  std::printf("\n  aggregate: %llu statement(s) in %.3f s wall  ->  %.0f stmt/s\n",
+              static_cast<unsigned long long>(total_stmts), total_wall,
+              total_wall > 0 ? total_stmts / total_wall : 0.0);
+  for (size_t c = 0; c < clients; ++c) {
+    std::printf("  client %2zu: %llu stmt, %.3f s wall (%.0f stmt/s), "
+                "%.3f s simulated, %llu qualifying row(s)\n",
+                c, static_cast<unsigned long long>(results[c].statements),
+                results[c].wall_seconds,
+                results[c].wall_seconds > 0
+                    ? results[c].statements / results[c].wall_seconds
+                    : 0.0,
+                results[c].simulated_seconds,
+                static_cast<unsigned long long>(results[c].rows_total));
+  }
+  std::printf("  simulated query work: %.3f s across all clients\n", total_sim);
+  std::printf("  background maintenance: %llu idle point(s) -> %llu pass(es) "
+              "run, %llu skipped by the load watermark; %llu split(s), %s "
+              "rewritten off the query path; %llu column(s) pending after "
+              "stop\n",
+              static_cast<unsigned long long>(ledger.schedules),
+              static_cast<unsigned long long>(ledger.runs),
+              static_cast<unsigned long long>(ledger.skips),
+              static_cast<unsigned long long>(ledger.background_total.splits),
+              FormatBytes(ledger.background_total.write_bytes).c_str(),
+              static_cast<unsigned long long>(ledger.columns_with_pending_work));
+  std::printf("  admission: peak session queue %zu, %llu blocked submit(s)\n",
+              srv.peak_session_queue(),
+              static_cast<unsigned long long>(srv.admission_waits()));
+
+  if (!smoke) return connect_failed.load() ? 1 : 0;
+
+  // --- smoke self-checks (the ctest gate) ----------------------------------
+  int rc = 0;
+  const auto fail = [&rc](const char* what) {
+    std::fprintf(stderr, "SMOKE FAIL: %s\n", what);
+    rc = 1;
+  };
+  if (connect_failed.load()) fail("a client failed to connect");
+  if (total_failures != 0) fail("a statement reply failed");
+  if (total_stmts != clients * queries) fail("statement count mismatch");
+  // Oracle: replay every client's ranges against the raw column.
+  for (size_t c = 0; c < clients && rc == 0; ++c) {
+    uint64_t expect = 0;
+    for (const ValueRange& q : ranges[c]) {
+      for (const float v : ra) {
+        if (v >= q.lo && v < q.hi) ++expect;
+      }
+    }
+    if (expect != results[c].rows_total) fail("count(*) oracle mismatch");
+  }
+  if (ledger.schedules != ledger.runs + ledger.skips) {
+    fail("maintenance ledger unbalanced after stop");
+  }
+  if (ledger.columns_with_pending_work != 0) {
+    fail("pending idle work left after graceful stop");
+  }
+  if (ledger.runs == 0) fail("background lane never ran");
+  std::printf("  smoke: %s\n", rc == 0 ? "OK" : "FAILED");
+  return rc;
+}

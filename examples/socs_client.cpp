@@ -1,0 +1,44 @@
+// socs_client: the blocking command-line client of the socs SQL server.
+// Reads one SQL statement per line from stdin, sends it over the wire
+// protocol (src/server/wire.h) and prints the reply -- rows plus the
+// per-query adaptive-work trailer the server attaches to every statement.
+//
+//   $ ./examples/socs_client                      # 127.0.0.1:5433
+//   $ ./examples/socs_client 127.0.0.1:5433
+//   $ echo "select count(*) from P where ra between 200 and 210" |
+//       ./examples/socs_client
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "server/client.h"
+
+int main(int argc, char** argv) {
+  std::string host = "127.0.0.1";
+  uint16_t port = socs::client::kDefaultPort;
+  if (argc > 1) socs::client::ParseHostPort(argv[1], &host, &port);
+
+  auto conn = socs::client::Connection::Connect(host, port);
+  if (!conn.ok()) {
+    std::fprintf(stderr, "connect %s:%u failed: %s\n", host.c_str(), port,
+                 conn.status().ToString().c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "connected to %s:%u; one statement per line\n",
+               host.c_str(), port);
+
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    if (line.empty()) continue;
+    auto reply = conn->Execute(line);
+    if (!reply.ok()) {
+      std::fprintf(stderr, "connection lost: %s\n",
+                   reply.status().ToString().c_str());
+      return 1;
+    }
+    std::fputs(socs::server::FormatReplyForDisplay(*reply).c_str(), stdout);
+    std::fflush(stdout);
+  }
+  return 0;
+}

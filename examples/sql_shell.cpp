@@ -9,11 +9,19 @@
 //                                         # reorganization lane
 //   $ echo "select objid from P where ra between 205.1 and 205.12" |
 //       ./examples/sql_shell -            # read queries from stdin
+//   $ ./examples/sql_shell --connect 127.0.0.1:5433
+//                                         # drive a running socs_server
+//                                         # instead of the in-process engine
 //
 // --threads N (default 1) sizes the execution subsystem: segment deliveries
 // fan out across N workers and deferred reorganization runs on the
 // scheduler's background lane. The reported per-query numbers are
 // byte-identical at any N.
+//
+// --connect host:port turns the shell into a thin client of the SQL server:
+// statements go over the wire protocol through the same socs::client
+// library socs_client uses; the demo script (or stdin with `-`) is replayed
+// against the server's shared store.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -29,6 +37,7 @@
 #include "engine/optimizer.h"
 #include "exec/task_scheduler.h"
 #include "exec/threads_flag.h"
+#include "server/client.h"
 #include "sql/compiler.h"
 #include "sql/parser.h"
 
@@ -57,6 +66,25 @@ void BuildDemoCatalog(Catalog* cat, SegmentSpace* space) {
   (void)cat->AddColumn("P", "dec", TypedVector::Of(dec));
   (void)cat->AddColumn("P", "objid", TypedVector::Of(objid));
 }
+
+/// The scripted demo, shared by the in-process run and the --connect
+/// replay: the paper's example query, repeats that trigger and then profit
+/// from reorganization, plus an INSERT riding the write path. `verbose`
+/// (in-process only) prints the MAL plans around the statement.
+struct DemoStep {
+  const char* sql;
+  bool verbose;
+};
+constexpr DemoStep kDemoScript[] = {
+    {"select objid from P where ra between 205.1 and 205.12", true},
+    {"select count(*) from P where ra between 200 and 210", false},
+    {"select objid, dec from P where ra between 204 and 206 and "
+     "dec between -10 and 10",
+     false},
+    {"select objid from P where ra between 205.1 and 205.12", true},
+    {"insert into P (ra, dec, objid) values (205.11, 0.5, 999999999)", true},
+    {"select objid from P where ra between 205.1 and 205.12", false},
+};
 
 void RunQuery(const std::string& text, Catalog* cat, TaskScheduler* sched,
               bool verbose) {
@@ -116,14 +144,61 @@ void RunQuery(const std::string& text, Catalog* cat, TaskScheduler* sched,
               FormatBytes(exec.write_bytes).c_str());
 }
 
+/// The --connect client mode: every statement rides the wire protocol to a
+/// running socs_server (shared store, remote adaptive work in the trailer).
+int RunConnected(const std::string& target, bool from_stdin) {
+  std::string host = "127.0.0.1";
+  uint16_t port = client::kDefaultPort;
+  client::ParseHostPort(target, &host, &port);
+  auto conn = client::Connection::Connect(host, port);
+  if (!conn.ok()) {
+    std::printf("connect %s:%u failed: %s\n", host.c_str(), port,
+                conn.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("connected to socs_server at %s:%u\n\n", host.c_str(), port);
+  const auto run = [&](const std::string& text) -> bool {
+    std::printf("sql> %s\n", text.c_str());
+    auto reply = conn->Execute(text);
+    if (!reply.ok()) {
+      std::printf("connection lost: %s\n", reply.status().ToString().c_str());
+      return false;
+    }
+    std::fputs(server::FormatReplyForDisplay(*reply).c_str(), stdout);
+    std::printf("\n");
+    return true;
+  };
+  if (from_stdin) {
+    std::string line;
+    while (std::getline(std::cin, line)) {
+      if (line.empty()) continue;
+      if (!run(line)) return 1;
+    }
+    return 0;
+  }
+  // The scripted demo, replayed against the server's shared store.
+  for (const DemoStep& step : kDemoScript) {
+    if (!run(step.sql)) return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const size_t threads = ParseThreadsFlag(argc, argv);
   bool from_stdin = false;
+  std::string connect_target;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "-") == 0) from_stdin = true;
+    if (std::strcmp(argv[i], "--connect") == 0 && i + 1 < argc) {
+      connect_target = argv[i + 1];
+    }
+    if (std::strncmp(argv[i], "--connect=", 10) == 0) {
+      connect_target = argv[i] + 10;
+    }
   }
+  if (!connect_target.empty()) return RunConnected(connect_target, from_stdin);
 
   Catalog cat;
   SegmentSpace space;
@@ -146,23 +221,14 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  // Scripted demo: the paper's example query, then repeats that trigger and
-  // then profit from reorganization, plus an INSERT riding the write path.
-  RunQuery("select objid from P where ra between 205.1 and 205.12", &cat, sp,
-           true);
-  RunQuery("select count(*) from P where ra between 200 and 210", &cat, sp,
-           false);
-  RunQuery("select objid, dec from P where ra between 204 and 206 and "
-           "dec between -10 and 10",
-           &cat, sp, false);
-  RunQuery("select objid from P where ra between 205.1 and 205.12", &cat, sp,
-           true);
-  std::printf("note: the second run of the same query iterates far smaller "
-              "segments.\n\n");
-  RunQuery("insert into P (ra, dec, objid) values (205.11, 0.5, 999999999)",
-           &cat, sp, true);
-  RunQuery("select objid from P where ra between 205.1 and 205.12", &cat, sp,
-           false);
+  // The scripted demo (kDemoScript, shared with the --connect replay).
+  for (size_t i = 0; i < std::size(kDemoScript); ++i) {
+    RunQuery(kDemoScript[i].sql, &cat, sp, kDemoScript[i].verbose);
+    if (i == 3) {
+      std::printf("note: the second run of the same query iterates far "
+                  "smaller segments.\n\n");
+    }
+  }
   std::printf("note: the inserted row went through bpm.append (an adaptation "
               "side effect)\nand is already visible to the segment scan.\n");
   if (sp != nullptr) {

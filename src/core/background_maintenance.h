@@ -27,15 +27,30 @@ class BackgroundMaintenance {
   BackgroundMaintenance(const BackgroundMaintenance&) = delete;
   BackgroundMaintenance& operator=(const BackgroundMaintenance&) = delete;
 
-  /// Enqueues one idle-work pass on `sched` (an idle point, e.g. "query
-  /// finished"). A pass with nothing pending is a cheap latched no-op.
-  void Schedule(TaskScheduler* sched) {
+  /// Requests one idle-work pass on `sched` (an idle point, e.g. "query
+  /// finished"). The request is *gated on the scheduler's load watermark*:
+  /// while the foreground lanes are saturated with query work the pass is
+  /// skipped (counted in the ledger, see skips()) instead of queued behind
+  /// the traffic -- maintenance only rides genuinely idle capacity. Passing
+  /// `force` bypasses the watermark (the graceful-shutdown drain uses it so
+  /// no pending batch is ever dropped). Returns whether a pass was enqueued.
+  /// A pass with nothing pending is a cheap latched no-op.
+  bool Schedule(TaskScheduler* sched, bool force = false) {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      ++schedules_;
+      if (!force && sched->ForegroundSaturated()) {
+        ++skips_;
+        return false;
+      }
+    }
     sched->ScheduleBackground([this] {
       const QueryExecution ex = strategy_->RunIdleWork();
       std::lock_guard<std::mutex> lk(mu_);
       total_ += ex;
       ++runs_;
     });
+    return true;
   }
 
   /// Sum of all background execution records so far.
@@ -48,12 +63,25 @@ class BackgroundMaintenance {
     std::lock_guard<std::mutex> lk(mu_);
     return runs_;
   }
+  /// Idle points observed (Schedule calls, enqueued or skipped).
+  uint64_t schedules() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return schedules_;
+  }
+  /// Passes skipped by the load watermark. After a DrainBackground the
+  /// ledger balances: schedules() == runs() + skips().
+  uint64_t skips() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return skips_;
+  }
 
  private:
   AccessStrategy<T>* strategy_;
   mutable std::mutex mu_;
   QueryExecution total_;
   uint64_t runs_ = 0;
+  uint64_t schedules_ = 0;
+  uint64_t skips_ = 0;
 };
 
 }  // namespace socs

@@ -95,17 +95,29 @@ class SegmentedColumn {
   /// INSERT reports exactly what a direct core Append would.
   QueryExecution Append(const std::vector<double>& values, uint64_t oid_base);
 
-  /// Enqueues one idle-maintenance pass for this column (deferred batch
+  /// Requests one idle-maintenance pass for this column (deferred batch
   /// flushing) on the scheduler's background lane; the pass takes the
   /// exclusive latch and its record lands in the background ledger below,
-  /// never in a query's last_execution.
-  void ScheduleIdleMaintenance(TaskScheduler* sched) {
-    maintenance_.Schedule(sched);
+  /// never in a query's last_execution. Gated on the scheduler's load
+  /// watermark unless `force` (see BackgroundMaintenance::Schedule); the
+  /// server's graceful shutdown forces a final pass so nothing stays pending.
+  bool ScheduleIdleMaintenance(TaskScheduler* sched, bool force = false) {
+    return maintenance_.Schedule(sched, force);
   }
 
   /// Background-ledger accessors: work done off the query path so far.
   QueryExecution background_execution() const { return maintenance_.total(); }
   uint64_t background_runs() const { return maintenance_.runs(); }
+  uint64_t background_schedules() const { return maintenance_.schedules(); }
+  uint64_t background_skips() const { return maintenance_.skips(); }
+
+  /// True while the strategy still has reorganization work it could run off
+  /// the query path (takes the exclusive latch briefly). After a graceful
+  /// server stop this must be false for every column.
+  bool HasPendingIdleWork() const {
+    ExclusiveColumnGuard guard(strategy_->latch());
+    return strategy_->HasIdleWork();
+  }
 
   /// Whole column as a [oid, T] BAT (the fallback when a plan was not
   /// rewritten by the segment optimizer; unmetered).

@@ -15,6 +15,7 @@ Status Catalog::CheckRowCount(TableEntry& t, uint64_t rows,
 
 Status Catalog::AddColumn(const std::string& table, const std::string& column,
                           TypedVector values) {
+  std::unique_lock<std::shared_mutex> lk(mu_);
   TableEntry& t = tables_[table];
   if (t.columns.count(column)) {
     return Status::AlreadyExists(table + "." + column);
@@ -31,6 +32,7 @@ Status Catalog::AddColumn(const std::string& table, const std::string& column,
 Status Catalog::AddSegmentedColumn(const std::string& table,
                                    const std::string& column,
                                    std::unique_ptr<SegmentedColumn> sc) {
+  std::unique_lock<std::shared_mutex> lk(mu_);
   TableEntry& t = tables_[table];
   if (t.columns.count(column)) {
     return Status::AlreadyExists(table + "." + column);
@@ -53,15 +55,18 @@ Status Catalog::AddSegmentedColumn(const std::string& table,
 }
 
 bool Catalog::HasTable(const std::string& table) const {
+  std::shared_lock<std::shared_mutex> lk(mu_);
   return tables_.count(table) > 0;
 }
 
 bool Catalog::HasColumn(const std::string& table, const std::string& column) const {
+  std::shared_lock<std::shared_mutex> lk(mu_);
   auto it = tables_.find(table);
   return it != tables_.end() && it->second.columns.count(column) > 0;
 }
 
 bool Catalog::IsSegmented(const std::string& table, const std::string& column) const {
+  std::shared_lock<std::shared_mutex> lk(mu_);
   auto it = tables_.find(table);
   if (it == tables_.end()) return false;
   auto cit = it->second.columns.find(column);
@@ -70,17 +75,30 @@ bool Catalog::IsSegmented(const std::string& table, const std::string& column) c
 
 StatusOr<Bat> Catalog::Bind(const std::string& table,
                             const std::string& column) const {
-  auto it = tables_.find(table);
-  if (it == tables_.end()) return Status::NotFound("table " + table);
-  auto cit = it->second.columns.find(column);
-  if (cit == it->second.columns.end()) {
-    return Status::NotFound(table + "." + column);
+  SegmentedColumn* seg = nullptr;
+  {
+    std::shared_lock<std::shared_mutex> lk(mu_);
+    auto it = tables_.find(table);
+    if (it == tables_.end()) return Status::NotFound("table " + table);
+    auto cit = it->second.columns.find(column);
+    if (cit == it->second.columns.end()) {
+      return Status::NotFound(table + "." + column);
+    }
+    // Plain columns snapshot under the catalog mutex (DenseTyped copies the
+    // payload AppendPlain mutates), so the returned BAT is immune to later
+    // appends.
+    if (!cit->second.segmented) return Bat::DenseTyped(cit->second.plain);
+    seg = cit->second.seg.get();
   }
-  if (cit->second.segmented) return cit->second.seg->FullScanBat();
-  return Bat::DenseTyped(cit->second.plain);
+  // Segmented columns materialize OUTSIDE the catalog mutex -- the column
+  // pointer is stable for the catalog's lifetime and FullScanBat snapshots
+  // under the column's own latch, which can wait behind a background flush;
+  // holding mu_ across that would stall every concurrent INSERT commit.
+  return seg->FullScanBat();
 }
 
 StatusOr<SegmentedColumn*> Catalog::GetSegmented(const std::string& handle) const {
+  std::shared_lock<std::shared_mutex> lk(mu_);
   auto it = seg_handles_.find(handle);
   if (it == seg_handles_.end()) {
     return Status::NotFound("segmented column " + handle);
@@ -90,18 +108,40 @@ StatusOr<SegmentedColumn*> Catalog::GetSegmented(const std::string& handle) cons
 
 SegmentedColumn* Catalog::GetSegmentedOrNull(const std::string& table,
                                              const std::string& column) const {
+  std::shared_lock<std::shared_mutex> lk(mu_);
   auto it = seg_handles_.find(SegHandle(table, column));
   return it == seg_handles_.end() ? nullptr : it->second;
 }
 
 std::vector<std::string> Catalog::ColumnNames(const std::string& table) const {
+  std::shared_lock<std::shared_mutex> lk(mu_);
   auto it = tables_.find(table);
   if (it == tables_.end()) return {};
   return it->second.column_order;
 }
 
+std::vector<SegmentedColumn*> Catalog::SegmentedColumns() const {
+  std::shared_lock<std::shared_mutex> lk(mu_);
+  std::vector<SegmentedColumn*> out;
+  out.reserve(seg_handles_.size());
+  for (const auto& [handle, col] : seg_handles_) out.push_back(col);
+  return out;
+}
+
+std::unique_lock<std::mutex> Catalog::LockTableWrites(const std::string& table) {
+  std::mutex* mu = nullptr;
+  {
+    std::shared_lock<std::shared_mutex> lk(mu_);
+    auto it = tables_.find(table);
+    if (it != tables_.end()) mu = it->second.write_mu.get();
+  }
+  if (mu == nullptr) return std::unique_lock<std::mutex>();
+  return std::unique_lock<std::mutex>(*mu);
+}
+
 Status Catalog::AppendPlain(const std::string& table, const std::string& column,
                             const std::vector<double>& values) {
+  std::unique_lock<std::shared_mutex> lk(mu_);
   auto it = tables_.find(table);
   if (it == tables_.end()) return Status::NotFound("table " + table);
   auto cit = it->second.columns.find(column);
@@ -117,6 +157,7 @@ Status Catalog::AppendPlain(const std::string& table, const std::string& column,
 }
 
 Status Catalog::Grow(const std::string& table, uint64_t delta) {
+  std::unique_lock<std::shared_mutex> lk(mu_);
   auto it = tables_.find(table);
   if (it == tables_.end()) return Status::NotFound("table " + table);
   if (!it->second.rows_known) {
@@ -127,6 +168,7 @@ Status Catalog::Grow(const std::string& table, uint64_t delta) {
 }
 
 StatusOr<uint64_t> Catalog::RowCount(const std::string& table) const {
+  std::shared_lock<std::shared_mutex> lk(mu_);
   auto it = tables_.find(table);
   if (it == tables_.end()) return Status::NotFound("table " + table);
   return it->second.rows;

@@ -2,11 +2,25 @@
 // compiler maps relational tables into collections of BATs whose head is an
 // oid (paper section 2); columns under adaptive management are registered as
 // SegmentedColumn handles the segment optimizer can discover.
+//
+// Concurrency: one catalog is shared by every server session, so the catalog
+// maps and the plain-column payloads are guarded by a reader/writer mutex --
+// reads (Bind, RowCount, lookups) take it shared, registration and the
+// plain-column write path (AppendPlain/Grow) exclusive. Bind *snapshots* a
+// plain column (the returned BAT owns a copy), so an executing plan never
+// reads a vector another session is appending to. Segmented columns
+// synchronize on their own per-column latch; the catalog mutex only covers
+// the handle lookup. Statement-level write atomicity (the oid base a
+// compiled INSERT captured staying the tail until its appends land) is the
+// per-table write lock, held by a session for the whole INSERT execution --
+// see LockTableWrites.
 #ifndef SOCS_ENGINE_CATALOG_H_
 #define SOCS_ENGINE_CATALOG_H_
 
 #include <map>
 #include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -49,6 +63,19 @@ class Catalog {
   std::vector<std::string> ColumnNames(const std::string& table) const;
   StatusOr<uint64_t> RowCount(const std::string& table) const;
 
+  /// Every registered segmented column (stable order). The server's shutdown
+  /// drain walks these to force a final maintenance pass per column.
+  std::vector<SegmentedColumn*> SegmentedColumns() const;
+
+  /// Statement-scoped write lock for `table`: a session executing an INSERT
+  /// holds this from before sql.rowCount until after sql.grow, so concurrent
+  /// sessions inserting into one table cannot interleave their oid-base
+  /// reads with each other's appends (which would assign duplicate row ids).
+  /// Reads never take it -- a SELECT racing an INSERT sees each column's
+  /// committed prefix. Returns an unlocked dummy for unknown tables (the
+  /// statement will fail cleanly at compile/execute time instead).
+  std::unique_lock<std::mutex> LockTableWrites(const std::string& table);
+
   // --- the write path (INSERT bookkeeping) -----------------------------------
 
   /// sql.append: appends `values` to a plain column's tail (segmented
@@ -72,10 +99,18 @@ class Catalog {
     std::vector<std::string> column_order;  // declaration order
     uint64_t rows = 0;
     bool rows_known = false;
+    // Statement-scoped INSERT serialization (LockTableWrites). Behind a
+    // unique_ptr so TableEntry stays movable; the map node gives it a
+    // stable address.
+    std::unique_ptr<std::mutex> write_mu = std::make_unique<std::mutex>();
   };
 
   Status CheckRowCount(TableEntry& t, uint64_t rows, const std::string& what);
 
+  // Guards tables_/seg_handles_ and the plain payloads within (see the file
+  // comment). Sessions holding it never call back into the catalog, so the
+  // catalog -> column-latch lock order is acyclic.
+  mutable std::shared_mutex mu_;
   std::map<std::string, TableEntry> tables_;
   std::map<std::string, SegmentedColumn*> seg_handles_;
 };

@@ -37,6 +37,16 @@ class TaskScheduler {
   /// The foreground fan-out pool (scan-phase parallelism).
   ThreadPool& pool() { return pool_; }
 
+  /// Load watermark for idle detection: true while the foreground lanes are
+  /// saturated (at least as many queued+running tasks as worker lanes).
+  /// BackgroundMaintenance::Schedule consults this to *skip* enqueuing
+  /// maintenance passes while query traffic already occupies the machine --
+  /// the "schedule on pool idleness" refinement over scheduling after every
+  /// statement. Advisory: the load can change right after the call.
+  bool ForegroundSaturated() const {
+    return pool_.backlog() >= pool_.threads();
+  }
+
   /// Enqueues an idle-time job. Threaded schedulers run it on the background
   /// worker as soon as it is free; single-threaded schedulers hold it until
   /// DrainBackground(). Jobs must not throw.

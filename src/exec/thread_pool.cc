@@ -33,6 +33,9 @@ void ThreadPool::WorkerLoop() {
       queue_.pop_front();
     }
     task();
+    // A queued unit counts toward the backlog from Enqueue until its
+    // execution finishes, so backlog() covers running tasks too.
+    backlog_.fetch_sub(1, std::memory_order_relaxed);
   }
 }
 
@@ -40,6 +43,9 @@ void ThreadPool::Enqueue(std::function<void()> fn) {
   {
     std::lock_guard<std::mutex> lk(mu_);
     SOCS_CHECK(!stop_) << "Submit on a stopped ThreadPool";
+    // Count before the task becomes visible to workers: a worker could
+    // otherwise pop, run and decrement first, wrapping the counter.
+    backlog_.fetch_add(1, std::memory_order_relaxed);
     queue_.push_back(std::move(fn));
   }
   cv_.notify_one();
@@ -47,7 +53,9 @@ void ThreadPool::Enqueue(std::function<void()> fn) {
 
 void ThreadPool::Submit(std::function<void()> fn) {
   if (inline_mode()) {
+    backlog_.fetch_add(1, std::memory_order_relaxed);
     fn();
+    backlog_.fetch_sub(1, std::memory_order_relaxed);
     tasks_run_.fetch_add(1, std::memory_order_relaxed);
     return;
   }
@@ -70,7 +78,9 @@ std::future<void> ThreadPool::SubmitTask(std::function<void()> fn) {
 void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
   if (n == 0) return;
   if (inline_mode() || n == 1) {
+    backlog_.fetch_add(1, std::memory_order_relaxed);
     for (size_t i = 0; i < n; ++i) fn(i);
+    backlog_.fetch_sub(1, std::memory_order_relaxed);
     tasks_run_.fetch_add(n, std::memory_order_relaxed);
     return;
   }
@@ -98,9 +108,14 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
   // The caller claims indices too, so cap the helpers at n - 1. The `&fn`
   // capture stays valid: this frame outlives every helper's runner call
   // because it waits for done == n below.
+  // Each busy runner (helpers via Enqueue, the caller here) counts as one
+  // backlog unit -- "lanes occupied", the granularity the saturation
+  // watermark cares about.
   const size_t helpers = std::min(n - 1, workers_.size());
   for (size_t i = 0; i < helpers; ++i) Enqueue(runner);
+  backlog_.fetch_add(1, std::memory_order_relaxed);
   runner();
+  backlog_.fetch_sub(1, std::memory_order_relaxed);
   std::unique_lock<std::mutex> lk(group->mu);
   group->cv.wait(lk, [&] { return group->done.load(std::memory_order_acquire) == n; });
   tasks_run_.fetch_add(n, std::memory_order_relaxed);

@@ -55,6 +55,12 @@ class ThreadPool {
   /// Tasks executed so far (Submit/SubmitTask bodies + ParallelFor chunks).
   uint64_t tasks_run() const { return tasks_run_.load(std::memory_order_relaxed); }
 
+  /// Foreground load right now: tasks queued plus tasks being executed
+  /// (including the chunks of in-flight ParallelFor groups). An advisory
+  /// snapshot -- the value can change before the caller acts on it -- used by
+  /// the TaskScheduler's idle-detection watermark.
+  size_t backlog() const { return backlog_.load(std::memory_order_relaxed); }
+
  private:
   void WorkerLoop();
   void Enqueue(std::function<void()> fn);
@@ -66,6 +72,7 @@ class ThreadPool {
   std::condition_variable cv_;
   bool stop_ = false;
   std::atomic<uint64_t> tasks_run_{0};
+  std::atomic<size_t> backlog_{0};
 };
 
 }  // namespace socs

@@ -11,21 +11,29 @@
 
 namespace socs {
 
+/// Generic numeric driver flag: accepts `<name> N` and `<name>=N`, falling
+/// back to `fallback` when absent (socs_server's --port/--executors, the
+/// server bench's --clients/--queries, ...).
+inline long ParseLongFlag(int argc, char** argv, const char* name,
+                          long fallback) {
+  const size_t len = std::strlen(name);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0 && i + 1 < argc) {
+      return std::atol(argv[i + 1]);
+    }
+    if (std::strncmp(argv[i], name, len) == 0 && argv[i][len] == '=') {
+      return std::atol(argv[i] + len + 1);
+    }
+  }
+  return fallback;
+}
+
 /// Accepts `--threads N` and `--threads=N`; non-positive or missing values
 /// fall back to `default_threads`.
 inline size_t ParseThreadsFlag(int argc, char** argv,
                                size_t default_threads = 1) {
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
-      const long n = std::atol(argv[i + 1]);
-      return n > 0 ? static_cast<size_t>(n) : default_threads;
-    }
-    if (std::strncmp(argv[i], "--threads=", 10) == 0) {
-      const long n = std::atol(argv[i] + 10);
-      return n > 0 ? static_cast<size_t>(n) : default_threads;
-    }
-  }
-  return default_threads;
+  const long n = ParseLongFlag(argc, argv, "--threads", 0);
+  return n > 0 ? static_cast<size_t>(n) : default_threads;
 }
 
 }  // namespace socs

@@ -1,0 +1,53 @@
+#include "server/client.h"
+
+#include <cstdlib>
+
+namespace socs::client {
+
+void ParseHostPort(const std::string& target, std::string* host,
+                   uint16_t* port) {
+  const size_t colon = target.rfind(':');
+  if (colon == std::string::npos) {
+    if (!target.empty()) *host = target;
+    return;
+  }
+  if (colon > 0) *host = target.substr(0, colon);
+  if (colon + 1 < target.size()) {
+    *port = static_cast<uint16_t>(std::atoi(target.c_str() + colon + 1));
+  }
+}
+
+StatusOr<Connection> Connection::Connect(const std::string& host,
+                                         uint16_t port) {
+  auto fd = server::ConnectTcp(host, port);
+  if (!fd.ok()) return fd.status();
+  return Connection(*fd);
+}
+
+Status Connection::Send(const std::string& statement) {
+  if (!valid()) return Status::FailedPrecondition("not connected");
+  // The protocol is one statement per line: an embedded newline would split
+  // into two requests and desync every later reply, and an empty line is
+  // skipped by the server (the reply would never come).
+  if (statement.empty()) {
+    return Status::InvalidArgument("empty statement");
+  }
+  if (statement.find('\n') != std::string::npos ||
+      statement.find('\r') != std::string::npos) {
+    return Status::InvalidArgument("statement contains a line break");
+  }
+  return ch_.Write(statement + "\n");
+}
+
+StatusOr<WireReply> Connection::ReadReply() {
+  if (!valid()) return Status::FailedPrecondition("not connected");
+  return server::ParseReply(
+      [this](std::string* line) { return ch_.ReadLine(line); });
+}
+
+StatusOr<WireReply> Connection::Execute(const std::string& statement) {
+  SOCS_RETURN_IF_ERROR(Send(statement));
+  return ReadReply();
+}
+
+}  // namespace socs::client

@@ -1,0 +1,64 @@
+// Blocking client for the socs SQL server: connect, send one statement per
+// line, read one reply block per statement (server/wire.h). Used by the
+// socs_client example, the sql_shell's --connect mode, the throughput bench
+// and the server tests -- all speaking the exact protocol the server's
+// sessions serialize.
+#ifndef SOCS_SERVER_CLIENT_H_
+#define SOCS_SERVER_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "server/wire.h"
+
+namespace socs::client {
+
+using server::WireReply;
+
+/// The conventional socs_server port (what the example binaries default to
+/// on both ends of the wire).
+inline constexpr uint16_t kDefaultPort = 5433;
+
+/// Splits "host:port" / "host" / ":port" around the LAST colon (every
+/// client-side entry point -- socs_client, sql_shell --connect -- parses
+/// targets with this). Missing halves keep the passed-in defaults.
+void ParseHostPort(const std::string& target, std::string* host,
+                   uint16_t* port);
+
+class Connection {
+ public:
+  Connection() = default;  // invalid until Connect
+  Connection(Connection&&) = default;
+  Connection& operator=(Connection&&) = default;
+
+  /// Blocking TCP connect.
+  static StatusOr<Connection> Connect(const std::string& host, uint16_t port);
+
+  bool valid() const { return ch_.valid(); }
+
+  /// Sends one statement and blocks for its reply. An ERR reply is returned
+  /// as an OK StatusOr whose WireReply has ok == false (the statement
+  /// failed, the connection is fine); a non-OK Status means the connection
+  /// itself broke.
+  StatusOr<WireReply> Execute(const std::string& statement);
+
+  /// Pipelining halves of Execute: queue statements without waiting, then
+  /// collect replies in order. The server bounds the pipeline depth through
+  /// admission control (TCP backpressure), not by failing.
+  Status Send(const std::string& statement);
+  StatusOr<WireReply> ReadReply();
+
+  /// Closes the socket (abruptly: any pipelined, unread replies are lost --
+  /// the disconnect-mid-stream tests rely on this).
+  void Close() { ch_.Close(); }
+
+ private:
+  explicit Connection(int fd) : ch_(fd) {}
+
+  server::LineChannel ch_;
+};
+
+}  // namespace socs::client
+
+#endif  // SOCS_SERVER_CLIENT_H_

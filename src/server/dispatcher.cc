@@ -1,0 +1,140 @@
+#include "server/dispatcher.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace socs::server {
+
+class Dispatcher::SessionQueue {
+ public:
+  explicit SessionQueue(std::string name) : name_(std::move(name)) {}
+
+ private:
+  friend class Dispatcher;
+  std::string name_;
+  std::deque<Job> jobs_;
+  bool running_ = false;  // an executor is inside one of this session's jobs
+  bool in_ring_ = false;
+  bool closed_ = false;   // Unregister started; no further Submits
+};
+
+Dispatcher::Dispatcher(const Options& opts) : opts_(opts) {
+  const size_t n = std::max<size_t>(1, opts_.executors);
+  executors_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    executors_.emplace_back([this] { ExecutorLoop(); });
+  }
+}
+
+Dispatcher::~Dispatcher() { Stop(); }
+
+Dispatcher::SessionQueue* Dispatcher::Register(std::string name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  sessions_.push_back(std::make_unique<SessionQueue>(std::move(name)));
+  return sessions_.back().get();
+}
+
+bool Dispatcher::Submit(SessionQueue* q, Job job) {
+  std::unique_lock<std::mutex> lk(mu_);
+  while (true) {
+    if (stop_ || q->closed_) return false;
+    if (q->jobs_.size() < opts_.max_pending_per_session) break;
+    ++admission_waits_;
+    room_cv_.wait(lk);
+  }
+  q->jobs_.push_back(std::move(job));
+  peak_queue_ = std::max(peak_queue_, q->jobs_.size());
+  if (!q->running_ && !q->in_ring_) {
+    ring_.push_back(q);
+    q->in_ring_ = true;
+  }
+  work_cv_.notify_one();
+  return true;
+}
+
+void Dispatcher::ExecutorLoop() {
+  std::unique_lock<std::mutex> lk(mu_);
+  for (;;) {
+    work_cv_.wait(lk, [this] { return stop_ || !ring_.empty(); });
+    if (ring_.empty()) return;  // stop_ with a drained ring
+    SessionQueue* q = ring_.front();
+    ring_.pop_front();
+    q->in_ring_ = false;
+    Job job = std::move(q->jobs_.front());
+    q->jobs_.pop_front();
+    q->running_ = true;
+    ++running_jobs_;
+    lk.unlock();
+    room_cv_.notify_all();  // the session's queue just gained room
+    job();
+    lk.lock();
+    q->running_ = false;
+    --running_jobs_;
+    ++executed_;
+    if (!q->jobs_.empty()) {
+      // Round-robin: back of the ring after ONE statement, so other
+      // sessions' pending statements go first.
+      ring_.push_back(q);
+      q->in_ring_ = true;
+      work_cv_.notify_one();
+    }
+    idle_cv_.notify_all();
+  }
+}
+
+void Dispatcher::Unregister(SessionQueue* q) {
+  std::unique_lock<std::mutex> lk(mu_);
+  q->closed_ = true;  // fail any racing Submit; queued jobs still run
+  idle_cv_.wait(lk, [q] { return q->jobs_.empty() && !q->running_; });
+  if (q->in_ring_) {
+    ring_.erase(std::find(ring_.begin(), ring_.end(), q));
+  }
+  for (auto it = sessions_.begin(); it != sessions_.end(); ++it) {
+    if (it->get() == q) {
+      sessions_.erase(it);
+      break;
+    }
+  }
+  room_cv_.notify_all();
+}
+
+void Dispatcher::Drain() {
+  std::unique_lock<std::mutex> lk(mu_);
+  idle_cv_.wait(lk, [this] {
+    if (running_jobs_ > 0) return false;
+    for (const auto& s : sessions_) {
+      if (!s->jobs_.empty()) return false;
+    }
+    return true;
+  });
+}
+
+void Dispatcher::Stop() {
+  Drain();
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (stop_) return;
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  room_cv_.notify_all();
+  for (std::thread& t : executors_) t.join();
+}
+
+uint64_t Dispatcher::statements_executed() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return executed_;
+}
+
+uint64_t Dispatcher::admission_waits() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return admission_waits_;
+}
+
+size_t Dispatcher::peak_session_queue() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return peak_queue_;
+}
+
+}  // namespace socs::server

@@ -1,0 +1,101 @@
+// Admission and fairness layer of the SQL server. Every connection gets a
+// bounded FIFO of pending statements; a small crew of executor threads
+// drains the queues in strict round-robin over the sessions, one statement
+// at a time per session. The two properties the server needs fall out:
+//
+//   admission   -- Submit blocks once a session has `max_pending_per_session`
+//                  statements outstanding (TCP backpressure: the connection's
+//                  reader thread stops pulling lines off the socket), so a
+//                  pipelining flood occupies bounded server memory;
+//   fairness    -- after executing ONE statement the session goes to the
+//                  *back* of the ready ring, so a flood from one client costs
+//                  every other client at most one statement of latency per
+//                  round, no matter how deep the flooder's queue is.
+//
+// Statements of one session never run concurrently or out of order (a
+// session's INSERT must be visible to its next SELECT); statements of
+// different sessions run in parallel up to the executor count, all on the
+// one shared store, serialized per column by the ColumnLatch discipline
+// underneath.
+#ifndef SOCS_SERVER_DISPATCHER_H_
+#define SOCS_SERVER_DISPATCHER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace socs::server {
+
+class Dispatcher {
+ public:
+  /// A queued unit of work: executes one statement and writes its reply.
+  using Job = std::function<void()>;
+
+  struct Options {
+    size_t executors = 2;
+    size_t max_pending_per_session = 8;
+  };
+
+  /// Opaque per-session handle (owned by the dispatcher).
+  class SessionQueue;
+
+  explicit Dispatcher(const Options& opts);
+  Dispatcher(const Dispatcher&) = delete;
+  Dispatcher& operator=(const Dispatcher&) = delete;
+  ~Dispatcher();  // Stop()
+
+  /// Adds a session to the round-robin. `name` is for logs/stats only.
+  SessionQueue* Register(std::string name);
+
+  /// Enqueues one statement job for the session, blocking while the
+  /// session's queue is at the admission bound. Returns false (job not
+  /// enqueued) when the dispatcher is stopping or the session was closed.
+  bool Submit(SessionQueue* q, Job job);
+
+  /// Waits until the session's queued and running jobs have finished, then
+  /// removes it from the round-robin and frees it. The caller must not use
+  /// `q` afterwards.
+  void Unregister(SessionQueue* q);
+
+  /// Waits until every session's queue is empty and no job is running.
+  void Drain();
+
+  /// Drain, then stop the executor threads. Submit fails afterwards.
+  void Stop();
+
+  // --- stats ---------------------------------------------------------------
+  uint64_t statements_executed() const;
+  /// Times a Submit had to block on the admission bound (flood evidence).
+  uint64_t admission_waits() const;
+  /// Deepest per-session queue ever observed; never exceeds
+  /// max_pending_per_session.
+  size_t peak_session_queue() const;
+
+ private:
+  void ExecutorLoop();
+
+  const Options opts_;
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;  // wakes executors
+  std::condition_variable room_cv_;  // wakes admission-blocked Submits
+  std::condition_variable idle_cv_;  // wakes Drain/Unregister waiters
+  std::list<std::unique_ptr<SessionQueue>> sessions_;
+  std::deque<SessionQueue*> ring_;  // sessions with pending work, FIFO
+  std::vector<std::thread> executors_;
+  bool stop_ = false;
+  size_t running_jobs_ = 0;
+  uint64_t executed_ = 0;
+  uint64_t admission_waits_ = 0;
+  size_t peak_queue_ = 0;
+};
+
+}  // namespace socs::server
+
+#endif  // SOCS_SERVER_DISPATCHER_H_

@@ -1,0 +1,183 @@
+#include "server/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/logging.h"
+#include "server/session.h"
+#include "server/wire.h"
+
+namespace socs::server {
+
+SqlServer::SqlServer(Catalog* catalog, TaskScheduler* sched,
+                     const Options& opts)
+    : catalog_(catalog),
+      sched_(sched),
+      opts_(opts),
+      dispatcher_(Dispatcher::Options{opts.executors,
+                                      opts.max_pending_per_session}) {}
+
+SqlServer::~SqlServer() { Stop(); }
+
+Status SqlServer::Start() {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::Internal(std::string("socket: ") + std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(opts_.port);
+  if (::bind(listen_fd_, reinterpret_cast<struct sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::Internal(std::string("bind: ") + std::strerror(errno));
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<struct sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+  if (::listen(listen_fd_, opts_.listen_backlog) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::Internal(std::string("listen: ") + std::strerror(errno));
+  }
+  started_ = true;
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  SOCS_LOG(Info) << "socs_server listening on 127.0.0.1:" << port_;
+  return Status::OK();
+}
+
+void SqlServer::AcceptLoop() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // listener closed by Stop()
+    }
+    ReapFinishedConnections();
+    std::lock_guard<std::mutex> lk(conns_mu_);
+    conns_.push_back(std::make_unique<Conn>());
+    Conn* conn = conns_.back().get();
+    conn->fd = fd;
+    ++sessions_accepted_;
+    conn->reader = std::thread([this, conn] { ServeConnection(conn); });
+  }
+}
+
+void SqlServer::ReapFinishedConnections() {
+  std::lock_guard<std::mutex> lk(conns_mu_);
+  for (auto it = conns_.begin(); it != conns_.end();) {
+    if ((*it)->done) {
+      (*it)->reader.join();
+      ::close((*it)->fd);
+      it = conns_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void SqlServer::ServeConnection(Conn* conn) {
+  Session session(catalog_, sched_);
+  Dispatcher::SessionQueue* queue =
+      dispatcher_.Register("fd" + std::to_string(conn->fd));
+  // The reader owns the channel's buffer but NOT the fd (Stop/reap close
+  // it), hence the release at the end.
+  LineChannel ch(conn->fd);
+  std::string line;
+  while (ch.ReadLine(&line)) {
+    if (line.empty()) continue;
+    const std::string statement = line;
+    const bool admitted = dispatcher_.Submit(queue, [this, conn, &session,
+                                                    statement] {
+      const std::string reply = session.ExecuteToWire(statement);
+      std::lock_guard<std::mutex> wl(conn->write_mu);
+      // A peer that disconnected mid-stream makes this fail; the statement
+      // already executed (its adaptation work is real), the reply is
+      // dropped.
+      if (Status st = WriteAll(conn->fd, reply); !st.ok()) {
+        SOCS_LOG(Debug) << "reply dropped: " << st.ToString();
+      }
+    });
+    if (!admitted) break;  // server stopping
+  }
+  // Runs every admitted statement of this session before returning, so
+  // `session` (and this frame) outlive all its jobs.
+  dispatcher_.Unregister(queue);
+  ch.Release();  // the fd belongs to Stop()/reap, not the reader
+  std::lock_guard<std::mutex> lk(conns_mu_);
+  conn->done = true;
+}
+
+void SqlServer::Stop() {
+  if (!started_ || stopped_) return;
+  stopped_ = true;
+  // 1. Stop accepting: shutdown wakes the blocked accept; the close waits
+  // until the accept thread is joined so the fd number cannot be reused
+  // under a racing ::accept call.
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  // 2. Wake every reader; admitted statements still run and reply. Join
+  // outside conns_mu_ -- a finishing reader takes it to mark itself done.
+  std::list<std::unique_ptr<Conn>> taken;
+  {
+    std::lock_guard<std::mutex> lk(conns_mu_);
+    for (auto& c : conns_) {
+      if (!c->done) ::shutdown(c->fd, SHUT_RD);
+    }
+    taken.swap(conns_);
+  }
+  for (auto& c : taken) {
+    if (c->reader.joinable()) c->reader.join();
+    ::close(c->fd);
+  }
+  // 3. Drain the statement queues and stop the executors.
+  dispatcher_.Stop();
+  // 4. No FlushBatch left behind: force a final maintenance pass per column
+  // (bypassing the load watermark) and drain the background lane. A pass
+  // can in principle uncover more work, so loop until every column reports
+  // clean (bounded; idle work never grows under a quiesced server).
+  for (int round = 0; round < 4; ++round) {
+    bool pending = false;
+    for (SegmentedColumn* col : catalog_->SegmentedColumns()) {
+      if (col->HasPendingIdleWork()) {
+        pending = true;
+        col->ScheduleIdleMaintenance(sched_, /*force=*/true);
+      }
+    }
+    sched_->DrainBackground();
+    if (!pending) break;
+  }
+  SOCS_LOG(Info) << "socs_server stopped; statements="
+                 << dispatcher_.statements_executed();
+}
+
+SqlServer::MaintenanceLedger SqlServer::Ledger() const {
+  MaintenanceLedger ledger;
+  for (SegmentedColumn* col : catalog_->SegmentedColumns()) {
+    ledger.schedules += col->background_schedules();
+    ledger.runs += col->background_runs();
+    ledger.skips += col->background_skips();
+    ledger.background_total += col->background_execution();
+    if (col->HasPendingIdleWork()) ++ledger.columns_with_pending_work;
+  }
+  return ledger;
+}
+
+uint64_t SqlServer::sessions_accepted() const {
+  std::lock_guard<std::mutex> lk(conns_mu_);
+  return sessions_accepted_;
+}
+
+}  // namespace socs::server

@@ -1,0 +1,122 @@
+// SqlServer: a TCP SQL server multiplexing many concurrent client sessions
+// over ONE shared self-organizing store -- the first place the paper's
+// premise (a database reorganizing itself *while serving queries*) meets
+// real concurrent traffic end-to-end. Every connection gets its own Session
+// (parser state + MAL interpreter + per-statement record); all sessions
+// share one Catalog, one SegmentSpace/BufferPool and one TaskScheduler, so
+// concurrent scans ride the shared latch discipline and deferred
+// reorganization rides the shared background lane while clients keep
+// querying.
+//
+// Threading: one accept thread, one reader thread per connection (blocking
+// line reads; admission backpressure propagates to TCP), and the
+// Dispatcher's executor crew actually running statements round-robin across
+// sessions. Replies go back on the connection in statement order under a
+// per-connection write lock.
+//
+// Graceful shutdown (Stop): stop accepting, wake every reader (statements
+// already admitted still execute and reply), drain the dispatcher, then
+// force one final maintenance pass per segmented column and drain the
+// scheduler's background lane -- so no deferred FlushBatch is ever dropped
+// mid-flight and every column latch is released. The maintenance ledger
+// (schedules == runs + skips, no pending idle work) balances afterwards;
+// tests assert it.
+#ifndef SOCS_SERVER_SERVER_H_
+#define SOCS_SERVER_SERVER_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "common/status.h"
+#include "engine/catalog.h"
+#include "exec/task_scheduler.h"
+#include "server/dispatcher.h"
+
+namespace socs::server {
+
+class SqlServer {
+ public:
+  struct Options {
+    /// TCP port on loopback; 0 picks an ephemeral port (see port()).
+    uint16_t port = 0;
+    /// Statement executor threads (the Dispatcher crew).
+    size_t executors = 2;
+    /// Admission bound: pending statements per session before the reader
+    /// stops pulling lines off the socket.
+    size_t max_pending_per_session = 8;
+    int listen_backlog = 64;
+  };
+
+  /// Aggregated background-maintenance ledger across every segmented column
+  /// of the shared catalog (plus the scheduler's global run counter).
+  struct MaintenanceLedger {
+    uint64_t schedules = 0;  // idle points observed (enqueued + skipped)
+    uint64_t runs = 0;       // passes completed on the background lane
+    uint64_t skips = 0;      // passes skipped by the load watermark
+    uint64_t columns_with_pending_work = 0;  // must be 0 after Stop()
+    QueryExecution background_total;         // work done off the query path
+  };
+
+  /// `catalog` and `sched` are shared with any in-process users and must
+  /// outlive the server. A threaded scheduler (threads > 1) gives sessions
+  /// the prefetching scan path and a live background lane; with a
+  /// single-threaded scheduler maintenance runs at Stop() only.
+  SqlServer(Catalog* catalog, TaskScheduler* sched, const Options& opts);
+  SqlServer(const SqlServer&) = delete;
+  SqlServer& operator=(const SqlServer&) = delete;
+  ~SqlServer();  // Stop()
+
+  /// Binds and starts accepting. Fails if the port is taken.
+  Status Start();
+
+  /// The bound port (after Start; resolves ephemeral binds).
+  uint16_t port() const { return port_; }
+
+  /// Graceful shutdown; idempotent. See the file comment.
+  void Stop();
+
+  /// Snapshot of the background-maintenance ledger (Stop() leaves it
+  /// balanced: schedules == runs + skips, no pending work).
+  MaintenanceLedger Ledger() const;
+
+  // --- stats ---------------------------------------------------------------
+  uint64_t sessions_accepted() const;
+  uint64_t statements_executed() const { return dispatcher_.statements_executed(); }
+  uint64_t admission_waits() const { return dispatcher_.admission_waits(); }
+  size_t peak_session_queue() const { return dispatcher_.peak_session_queue(); }
+
+ private:
+  struct Conn {
+    int fd = -1;
+    std::thread reader;
+    std::mutex write_mu;  // replies are whole blocks, in statement order
+    bool done = false;    // reader exited; joined by reap/Stop
+  };
+
+  void AcceptLoop();
+  void ServeConnection(Conn* conn);
+  void ReapFinishedConnections();  // accept thread only
+
+  Catalog* catalog_;
+  TaskScheduler* sched_;
+  const Options opts_;
+  Dispatcher dispatcher_;
+
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::thread accept_thread_;
+  bool started_ = false;
+  bool stopped_ = false;
+
+  mutable std::mutex conns_mu_;
+  std::list<std::unique_ptr<Conn>> conns_;
+  uint64_t sessions_accepted_ = 0;
+};
+
+}  // namespace socs::server
+
+#endif  // SOCS_SERVER_SERVER_H_

@@ -1,0 +1,42 @@
+#include "server/session.h"
+
+#include <mutex>
+
+#include "engine/optimizer.h"
+#include "sql/compiler.h"
+#include "sql/parser.h"
+
+namespace socs::server {
+
+WireReply Session::Execute(const std::string& text) {
+  ++statements_;
+  auto stmt = sql::ParseStatement(text);
+  if (!stmt.ok()) {
+    return MakeErrorReply("parse: " + stmt.status().ToString());
+  }
+  // Statement-scoped write atomicity: an INSERT holds the table's write lock
+  // from before its compiled plan reads the oid base (sql.rowCount) until
+  // sql.grow commits, so two sessions inserting into one table can never
+  // hand out the same row ids. SELECTs skip the lock entirely.
+  std::unique_lock<std::mutex> write_lock;
+  if (stmt->kind == sql::Statement::Kind::kInsert) {
+    write_lock = catalog_->LockTableWrites(stmt->insert.table);
+  }
+  auto prog = sql::Compile(*stmt, *catalog_);
+  if (!prog.ok()) {
+    return MakeErrorReply("compile: " + prog.status().ToString());
+  }
+  OptContext octx;
+  octx.catalog = catalog_;
+  PassManager pm = MakeDefaultPipeline();
+  if (Status st = pm.Run(&prog.value(), &octx); !st.ok()) {
+    return MakeErrorReply("optimize: " + st.ToString());
+  }
+  auto rs = interp_.Run(*prog);
+  if (!rs.ok()) {
+    return MakeErrorReply("execute: " + rs.status().ToString());
+  }
+  return MakeResultReply(**rs, interp_.last_execution());
+}
+
+}  // namespace socs::server

@@ -1,0 +1,59 @@
+// One SQL session: the per-connection execution state of the server. Each
+// session owns its own parser use, MAL interpreter and per-statement
+// execution record, while the Catalog, the SegmentSpace/BufferPool behind it
+// and the TaskScheduler are shared with every other session -- the paper's
+// self-organizing store serving many clients at once. Statement execution is
+// the same pipeline the sql_shell runs in-process (parse -> compile ->
+// tactical optimizer -> interpreter), which is what makes the server's
+// replies byte-comparable to a single in-process session in the parity
+// tests.
+#ifndef SOCS_SERVER_SESSION_H_
+#define SOCS_SERVER_SESSION_H_
+
+#include <cstdint>
+#include <string>
+
+#include "engine/catalog.h"
+#include "engine/mal_interpreter.h"
+#include "exec/task_scheduler.h"
+#include "server/wire.h"
+
+namespace socs::server {
+
+class Session {
+ public:
+  /// `catalog` is the shared store; `sched` (nullable) attaches the shared
+  /// execution subsystem -- segment-delivery prefetch across the pool and
+  /// idle maintenance on the background lane, exactly like
+  /// MalInterpreter::set_exec.
+  Session(Catalog* catalog, TaskScheduler* sched)
+      : catalog_(catalog), sched_(sched), interp_(catalog) {
+    if (sched_ != nullptr) interp_.set_exec(sched_);
+  }
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  /// Executes one statement end-to-end and returns the reply block.
+  WireReply Execute(const std::string& text);
+
+  /// Execute + Serialize: what the server writes back on the wire.
+  std::string ExecuteToWire(const std::string& text) {
+    return Execute(text).Serialize();
+  }
+
+  /// Statements executed (counting failed ones).
+  uint64_t statements() const { return statements_; }
+
+  /// The execution record of the last successful statement.
+  const QueryExecution& last_execution() const { return interp_.last_execution(); }
+
+ private:
+  Catalog* catalog_;
+  TaskScheduler* sched_;
+  MalInterpreter interp_;
+  uint64_t statements_ = 0;
+};
+
+}  // namespace socs::server
+
+#endif  // SOCS_SERVER_SESSION_H_

@@ -1,0 +1,291 @@
+#include "server/wire.h"
+
+#include <netdb.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+
+namespace socs::server {
+
+namespace {
+
+std::string FormatDouble(double v, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*g", digits, v);
+  return buf;
+}
+
+}  // namespace
+
+std::string FormatCell(const BatColumn& tail, size_t i) {
+  char buf[64];
+  switch (tail.type()) {
+    case ValType::kVoid:
+    case ValType::kOid:
+      std::snprintf(buf, sizeof(buf), "%" PRIu64, tail.OidAt(i));
+      return buf;
+    case ValType::kInt:
+      std::snprintf(buf, sizeof(buf), "%" PRId32, tail.vec().Get<int32_t>()[i]);
+      return buf;
+    case ValType::kLng:
+      std::snprintf(buf, sizeof(buf), "%" PRId64, tail.vec().Get<int64_t>()[i]);
+      return buf;
+    case ValType::kFlt:
+      return FormatDouble(tail.vec().Get<float>()[i], 9);
+    case ValType::kDbl:
+      return FormatDouble(tail.vec().Get<double>()[i], 17);
+  }
+  return "?";
+}
+
+std::string FormatStatsTrailer(const QueryExecution& ex) {
+  std::ostringstream os;
+  os << "#stats result_count=" << ex.result_count
+     << " read_bytes=" << ex.read_bytes << " write_bytes=" << ex.write_bytes
+     << " segments_scanned=" << ex.segments_scanned << " splits=" << ex.splits
+     << " merges=" << ex.merges << " replicas_created=" << ex.replicas_created
+     << " segments_dropped=" << ex.segments_dropped
+     << " replicas_evicted=" << ex.replicas_evicted
+     << " selection_seconds=" << FormatDouble(ex.selection_seconds, 17)
+     << " adaptation_seconds=" << FormatDouble(ex.adaptation_seconds, 17);
+  return os.str();
+}
+
+StatusOr<QueryExecution> ParseStatsTrailer(const std::string& line) {
+  if (line.rfind("#stats", 0) != 0) {
+    return Status::InvalidArgument("not a #stats trailer: " + line);
+  }
+  QueryExecution ex;
+  std::istringstream is(line.substr(6));
+  std::string kv;
+  while (is >> kv) {
+    const size_t eq = kv.find('=');
+    if (eq == std::string::npos) {
+      return Status::InvalidArgument("malformed stats field: " + kv);
+    }
+    const std::string key = kv.substr(0, eq);
+    const char* val = kv.c_str() + eq + 1;
+    if (key == "result_count") ex.result_count = std::strtoull(val, nullptr, 10);
+    else if (key == "read_bytes") ex.read_bytes = std::strtoull(val, nullptr, 10);
+    else if (key == "write_bytes") ex.write_bytes = std::strtoull(val, nullptr, 10);
+    else if (key == "segments_scanned") ex.segments_scanned = std::strtoull(val, nullptr, 10);
+    else if (key == "splits") ex.splits = std::strtoull(val, nullptr, 10);
+    else if (key == "merges") ex.merges = std::strtoull(val, nullptr, 10);
+    else if (key == "replicas_created") ex.replicas_created = std::strtoull(val, nullptr, 10);
+    else if (key == "segments_dropped") ex.segments_dropped = std::strtoull(val, nullptr, 10);
+    else if (key == "replicas_evicted") ex.replicas_evicted = std::strtoull(val, nullptr, 10);
+    else if (key == "selection_seconds") ex.selection_seconds = std::strtod(val, nullptr);
+    else if (key == "adaptation_seconds") ex.adaptation_seconds = std::strtod(val, nullptr);
+    // Unknown keys are skipped: older clients tolerate newer servers.
+  }
+  return ex;
+}
+
+std::string WireReply::Serialize() const {
+  std::ostringstream os;
+  if (!ok) {
+    os << "ERR " << error << "\n" << kEndOfReply << "\n";
+    return os.str();
+  }
+  os << "OK " << rows.size() << " " << columns.size() << "\n";
+  if (!columns.empty()) {
+    for (size_t i = 0; i < columns.size(); ++i) {
+      os << columns[i] << (i + 1 < columns.size() ? "," : "");
+    }
+    os << "\n";
+  }
+  for (const std::string& r : rows) os << r << "\n";
+  os << FormatStatsTrailer(stats) << "\n" << kEndOfReply << "\n";
+  return os.str();
+}
+
+WireReply MakeResultReply(const ResultSet& rs, const QueryExecution& ex) {
+  WireReply r;
+  r.ok = true;
+  r.stats = ex;
+  for (const auto& col : rs.cols) r.columns.push_back(col.name);
+  const uint64_t nrows = rs.NumRows();
+  r.rows.reserve(nrows);
+  for (uint64_t i = 0; i < nrows; ++i) {
+    std::string line;
+    for (size_t c = 0; c < rs.cols.size(); ++c) {
+      if (c > 0) line += ',';
+      line += FormatCell(rs.cols[c].bat->tail(), i);
+    }
+    r.rows.push_back(std::move(line));
+  }
+  return r;
+}
+
+WireReply MakeErrorReply(const std::string& message) {
+  WireReply r;
+  r.ok = false;
+  r.error = message;
+  for (char& c : r.error) {
+    if (c == '\n' || c == '\r') c = ' ';
+  }
+  return r;
+}
+
+StatusOr<WireReply> ParseReply(
+    const std::function<bool(std::string*)>& next_line) {
+  std::string line;
+  if (!next_line(&line)) return Status::Internal("connection closed");
+  WireReply r;
+  if (line.rfind("ERR ", 0) == 0 || line == "ERR") {
+    r.ok = false;
+    r.error = line.size() > 4 ? line.substr(4) : "";
+    if (!next_line(&line) || line != kEndOfReply) {
+      return Status::Internal("missing end-of-reply terminator");
+    }
+    return r;
+  }
+  uint64_t nrows = 0, ncols = 0;
+  if (std::sscanf(line.c_str(), "OK %" SCNu64 " %" SCNu64, &nrows, &ncols) != 2) {
+    return Status::Internal("malformed reply header: " + line);
+  }
+  r.ok = true;
+  if (ncols > 0) {
+    if (!next_line(&line)) return Status::Internal("truncated column header");
+    size_t start = 0;
+    while (true) {
+      const size_t comma = line.find(',', start);
+      r.columns.push_back(line.substr(start, comma - start));
+      if (comma == std::string::npos) break;
+      start = comma + 1;
+    }
+    if (r.columns.size() != ncols) {
+      return Status::Internal("column header count mismatch: " + line);
+    }
+  }
+  r.rows.reserve(nrows);
+  for (uint64_t i = 0; i < nrows; ++i) {
+    if (!next_line(&line)) return Status::Internal("truncated data rows");
+    r.rows.push_back(line);
+  }
+  if (!next_line(&line)) return Status::Internal("truncated stats trailer");
+  auto stats = ParseStatsTrailer(line);
+  if (!stats.ok()) return stats.status();
+  r.stats = *stats;
+  if (!next_line(&line) || line != kEndOfReply) {
+    return Status::Internal("missing end-of-reply terminator");
+  }
+  return r;
+}
+
+std::string FormatReplyForDisplay(const WireReply& reply, size_t max_rows) {
+  std::ostringstream os;
+  if (!reply.ok) {
+    os << "error: " << reply.error << "\n";
+    return os.str();
+  }
+  os << "-- " << reply.rows.size() << " row(s)";
+  if (!reply.rows.empty()) {
+    os << "  [";
+    for (size_t i = 0; i < reply.columns.size(); ++i) {
+      os << reply.columns[i] << (i + 1 < reply.columns.size() ? ", " : "");
+    }
+    os << "]";
+  }
+  os << "\n";
+  const size_t show = std::min(max_rows, reply.rows.size());
+  for (size_t i = 0; i < show; ++i) os << "   " << reply.rows[i] << "\n";
+  if (show < reply.rows.size()) {
+    os << "   ... " << (reply.rows.size() - show) << " more\n";
+  }
+  const QueryExecution& ex = reply.stats;
+  os << "-- adaptive work: " << ex.splits << " split(s), " << ex.read_bytes
+     << " B scanned, " << ex.write_bytes << " B rewritten, "
+     << FormatDouble(ex.TotalSeconds(), 6) << " s simulated\n";
+  return os.str();
+}
+
+Status WriteAll(int fd, const std::string& data) {
+  size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n =
+        ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal(std::string("send: ") + std::strerror(errno));
+    }
+    off += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+LineChannel& LineChannel::operator=(LineChannel&& o) noexcept {
+  if (this != &o) {
+    Close();
+    fd_ = o.fd_;
+    buf_ = std::move(o.buf_);
+    o.fd_ = -1;
+    o.buf_.clear();
+  }
+  return *this;
+}
+
+bool LineChannel::ReadLine(std::string* line) {
+  for (;;) {
+    const size_t nl = buf_.find('\n');
+    if (nl != std::string::npos) {
+      size_t end = nl;
+      if (end > 0 && buf_[end - 1] == '\r') --end;
+      line->assign(buf_, 0, end);
+      buf_.erase(0, nl + 1);
+      return true;
+    }
+    char chunk[4096];
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) return false;  // EOF or error; drop any unterminated tail
+    buf_.append(chunk, static_cast<size_t>(n));
+  }
+}
+
+void LineChannel::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+StatusOr<int> ConnectTcp(const std::string& host, uint16_t port) {
+  struct addrinfo hints;
+  std::memset(&hints, 0, sizeof(hints));
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  struct addrinfo* res = nullptr;
+  const std::string service = std::to_string(port);
+  const int rc = ::getaddrinfo(host.c_str(), service.c_str(), &hints, &res);
+  if (rc != 0) {
+    return Status::InvalidArgument(std::string("resolve ") + host + ": " +
+                                   ::gai_strerror(rc));
+  }
+  Status last = Status::Internal("no addresses for " + host);
+  for (struct addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
+    const int fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) {
+      last = Status::Internal(std::string("socket: ") + std::strerror(errno));
+      continue;
+    }
+    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) {
+      ::freeaddrinfo(res);
+      return fd;
+    }
+    last = Status::Internal(std::string("connect: ") + std::strerror(errno));
+    ::close(fd);
+  }
+  ::freeaddrinfo(res);
+  return last;
+}
+
+}  // namespace socs::server

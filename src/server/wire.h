@@ -1,0 +1,131 @@
+// Wire protocol of the SQL server: a line-based text protocol shared by the
+// server (src/server/server.h), the blocking client library
+// (src/server/client.h) and the sql_shell's --connect mode, so every peer
+// formats and parses replies with the same code.
+//
+// Request: one SQL statement per '\n'-terminated line (blank lines ignored).
+// Reply: one block per statement, in request order --
+//
+//   OK <nrows> <ncols>
+//   <name1>,<name2>,...            column-name header (only when ncols > 0)
+//   <v1>,<v2>,...                  nrows CSV data rows
+//   #stats result_count=... read_bytes=... ... adaptation_seconds=...
+//   .
+//
+// or, when the statement failed to parse/compile/execute,
+//
+//   ERR <message>
+//   .
+//
+// The "#stats" trailer carries the per-query execution record (the paper's
+// IoStats-derived metrics: bytes scanned, bytes rewritten, splits, simulated
+// seconds) so a remote client sees exactly the adaptive work its statement
+// caused. The terminating "." line cannot collide with data: every cell is a
+// formatted number. Numeric cells are formatted round-trippably (%.17g for
+// dbl), which makes replies byte-deterministic -- the server parity tests
+// compare whole serialized blocks against an in-process session.
+#ifndef SOCS_SERVER_WIRE_H_
+#define SOCS_SERVER_WIRE_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/strategy.h"
+#include "engine/mal_interpreter.h"
+
+namespace socs::server {
+
+/// The terminator line of every reply block.
+inline constexpr const char* kEndOfReply = ".";
+
+/// A parsed (or to-be-serialized) reply block.
+struct WireReply {
+  bool ok = false;
+  std::string error;                  // when !ok
+  std::vector<std::string> columns;   // column names, when ok
+  std::vector<std::string> rows;      // raw CSV data lines, when ok
+  QueryExecution stats;               // the #stats trailer, when ok
+
+  uint64_t NumRows() const { return rows.size(); }
+
+  /// The exact wire block, terminator included.
+  std::string Serialize() const;
+};
+
+/// Formats one result cell (row `i` of a result column's tail) without
+/// precision loss: integers as integers, flt/dbl shortest-round-trip.
+std::string FormatCell(const BatColumn& tail, size_t i);
+
+/// Builds the reply block for a successful statement.
+WireReply MakeResultReply(const ResultSet& rs, const QueryExecution& ex);
+
+/// Builds the reply block for a failed statement (newlines in the message
+/// are flattened so the block stays line-structured).
+WireReply MakeErrorReply(const std::string& message);
+
+/// The "#stats ..." trailer line (no newline) for an execution record.
+std::string FormatStatsTrailer(const QueryExecution& ex);
+
+/// Parses a "#stats ..." trailer line back into an execution record.
+StatusOr<QueryExecution> ParseStatsTrailer(const std::string& line);
+
+/// Reads one reply block from `next_line` (a callable yielding successive
+/// lines, false on EOF). Fails on EOF mid-block or a malformed header.
+StatusOr<WireReply> ParseReply(const std::function<bool(std::string*)>& next_line);
+
+/// Human-oriented rendering of a reply (socs_client and the sql_shell
+/// --connect mode): column header, up to `max_rows` rows, and the adaptive
+/// work summary from the stats trailer.
+std::string FormatReplyForDisplay(const WireReply& reply, size_t max_rows = 5);
+
+// --- minimal socket plumbing shared by server and client --------------------
+
+/// Writes the whole buffer to `fd` (SIGPIPE-safe); fails on a closed peer.
+Status WriteAll(int fd, const std::string& data);
+
+/// Buffered line reader over a socket. Reading and writing may happen from
+/// different threads (the server's reader thread vs. executor replies); only
+/// the reading side goes through the channel's buffer.
+class LineChannel {
+ public:
+  LineChannel() = default;
+  explicit LineChannel(int fd) : fd_(fd) {}
+  LineChannel(const LineChannel&) = delete;
+  LineChannel& operator=(const LineChannel&) = delete;
+  LineChannel(LineChannel&& o) noexcept { *this = std::move(o); }
+  LineChannel& operator=(LineChannel&& o) noexcept;
+  ~LineChannel() { Close(); }
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+  /// Next '\n'-terminated line, stripped of "\n" / "\r\n". False on EOF or a
+  /// read error (a final unterminated fragment is discarded).
+  bool ReadLine(std::string* line);
+
+  Status Write(const std::string& data) { return WriteAll(fd_, data); }
+
+  /// Detaches the fd without closing it (for channels over an fd someone
+  /// else owns, like the server's per-connection sockets).
+  int Release() {
+    const int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+
+  void Close();
+
+ private:
+  int fd_ = -1;
+  std::string buf_;
+};
+
+/// Blocking TCP connect ("localhost"/numeric host). Returns the socket fd.
+StatusOr<int> ConnectTcp(const std::string& host, uint16_t port);
+
+}  // namespace socs::server
+
+#endif  // SOCS_SERVER_WIRE_H_

@@ -1,0 +1,616 @@
+// The multi-session SQL server: wire-protocol round trips, the admission /
+// round-robin fairness dispatcher, and the headline acceptance -- 8
+// concurrent TCP clients over loopback against ONE shared self-organizing
+// store report byte-identical replies to the same statements run through a
+// single in-process session, across all seven strategies, with interleaved
+// INSERT/SELECT streams, a session disconnecting mid-stream, and background
+// maintenance live during the run. Also the TSan workload for src/server.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/units.h"
+#include "core/adaptive_replication.h"
+#include "core/adaptive_segmentation.h"
+#include "core/apm.h"
+#include "core/background_maintenance.h"
+#include "core/cracking.h"
+#include "core/deferred_segmentation.h"
+#include "core/non_segmented.h"
+#include "core/positional_blocks.h"
+#include "core/static_partition.h"
+#include "engine/catalog.h"
+#include "exec/task_scheduler.h"
+#include "server/client.h"
+#include "server/dispatcher.h"
+#include "server/server.h"
+#include "server/session.h"
+#include "server/wire.h"
+#include "workload/range_generator.h"
+
+namespace socs {
+namespace {
+
+using client::Connection;
+using server::Dispatcher;
+using server::MakeErrorReply;
+using server::ParseReply;
+using server::Session;
+using server::SqlServer;
+using server::WireReply;
+
+// ---------------------------------------------------------------------------
+// Wire protocol
+// ---------------------------------------------------------------------------
+
+std::function<bool(std::string*)> LineSource(const std::string& text,
+                                             std::istringstream* is) {
+  is->str(text);
+  return [is](std::string* line) { return static_cast<bool>(std::getline(*is, *line)); };
+}
+
+TEST(WireProtocol, ResultReplyRoundTripsByteExactly) {
+  WireReply r;
+  r.ok = true;
+  r.columns = {"P.objid", "P.dec"};
+  r.rows = {"587722981742084097,-12.25", "587722981742084105,88.5"};
+  r.stats.result_count = 2;
+  r.stats.read_bytes = 4096;
+  r.stats.write_bytes = 128;
+  r.stats.segments_scanned = 3;
+  r.stats.splits = 1;
+  r.stats.selection_seconds = 0.1;       // not exactly representable
+  r.stats.adaptation_seconds = 3.25e-05;
+  const std::string wire = r.Serialize();
+
+  std::istringstream is;
+  auto parsed = ParseReply(LineSource(wire, &is));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_TRUE(parsed->ok);
+  EXPECT_EQ(parsed->columns, r.columns);
+  EXPECT_EQ(parsed->rows, r.rows);
+  EXPECT_EQ(parsed->stats.result_count, 2u);
+  EXPECT_EQ(parsed->stats.read_bytes, 4096u);
+  EXPECT_EQ(parsed->stats.splits, 1u);
+  EXPECT_EQ(parsed->stats.selection_seconds, 0.1);       // %.17g round trip
+  EXPECT_EQ(parsed->stats.adaptation_seconds, 3.25e-05);
+  // Parse -> serialize is the identity: the parity tests below may compare
+  // re-serialized client replies against server-side blocks byte-for-byte.
+  EXPECT_EQ(parsed->Serialize(), wire);
+}
+
+TEST(WireProtocol, ErrorReplyRoundTripsAndFlattensNewlines) {
+  const WireReply r = MakeErrorReply("parse failed\non two lines");
+  const std::string wire = r.Serialize();
+  std::istringstream is;
+  auto parsed = ParseReply(LineSource(wire, &is));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_FALSE(parsed->ok);
+  EXPECT_EQ(parsed->error, "parse failed on two lines");
+  EXPECT_EQ(parsed->Serialize(), wire);
+}
+
+TEST(WireProtocol, TruncatedReplyFailsCleanly) {
+  std::istringstream is;
+  auto parsed = ParseReply(LineSource("OK 3 1\nid\n42\n", &is));
+  EXPECT_FALSE(parsed.ok());
+}
+
+// ---------------------------------------------------------------------------
+// Dispatcher: round-robin fairness + admission bounds
+// ---------------------------------------------------------------------------
+
+TEST(DispatcherTest, RoundRobinPreventsFloodStarvation) {
+  Dispatcher d(Dispatcher::Options{/*executors=*/1,
+                                   /*max_pending_per_session=*/8});
+  auto* a = d.Register("flooder");
+  auto* b = d.Register("victim");
+
+  std::mutex mu;
+  std::condition_variable cv;
+  bool started = false, go = false;
+  std::vector<std::string> order;
+
+  // Job a0 parks the only executor so the queues below build deterministically.
+  d.Submit(a, [&] {
+    std::unique_lock<std::mutex> lk(mu);
+    started = true;
+    cv.notify_all();
+    cv.wait(lk, [&] { return go; });
+    order.push_back("a0");
+  });
+  {
+    std::unique_lock<std::mutex> lk(mu);
+    cv.wait(lk, [&] { return started; });
+  }
+  // The flood: three more statements from a, then ONE from b.
+  for (int i = 1; i <= 3; ++i) {
+    d.Submit(a, [&, i] {
+      std::lock_guard<std::mutex> lk(mu);
+      order.push_back("a" + std::to_string(i));
+    });
+  }
+  d.Submit(b, [&] {
+    std::lock_guard<std::mutex> lk(mu);
+    order.push_back("b0");
+  });
+  {
+    std::lock_guard<std::mutex> lk(mu);
+    go = true;
+  }
+  cv.notify_all();
+  d.Drain();
+
+  // b's statement runs right after the flooder's ONE in-flight statement --
+  // round-robin, not FIFO over the flood.
+  EXPECT_EQ(order,
+            (std::vector<std::string>{"a0", "b0", "a1", "a2", "a3"}));
+  EXPECT_EQ(d.statements_executed(), 5u);
+  d.Stop();
+}
+
+TEST(DispatcherTest, AdmissionBoundBlocksPipelineFloods) {
+  Dispatcher d(Dispatcher::Options{/*executors=*/1,
+                                   /*max_pending_per_session=*/2});
+  auto* a = d.Register("flooder");
+
+  std::mutex mu;
+  std::condition_variable cv;
+  bool started = false, go = false;
+  int ran = 0;
+  d.Submit(a, [&] {
+    std::unique_lock<std::mutex> lk(mu);
+    started = true;
+    cv.notify_all();
+    cv.wait(lk, [&] { return go; });
+    ++ran;
+  });
+  {
+    std::unique_lock<std::mutex> lk(mu);
+    cv.wait(lk, [&] { return started; });
+  }
+  // Two fit in the queue; the third Submit must block until the executor
+  // frees a slot.
+  std::thread flooder([&] {
+    for (int i = 0; i < 3; ++i) {
+      d.Submit(a, [&] {
+        std::lock_guard<std::mutex> lk(mu);
+        ++ran;
+      });
+    }
+  });
+  // Wait (bounded) until the flooder is provably parked on admission.
+  for (int spin = 0; spin < 500 && d.admission_waits() == 0; ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_GE(d.admission_waits(), 1u);
+  {
+    std::lock_guard<std::mutex> lk(mu);
+    go = true;
+  }
+  cv.notify_all();
+  flooder.join();
+  d.Drain();
+  EXPECT_EQ(ran, 4);
+  EXPECT_LE(d.peak_session_queue(), 2u);
+  d.Stop();
+}
+
+// ---------------------------------------------------------------------------
+// The shared-store catalog: one table per client, all seven strategies
+// ---------------------------------------------------------------------------
+
+constexpr size_t kNumStrategies = 7;
+constexpr size_t kClients = 8;  // the 8th repeats adaptive segmentation
+constexpr size_t kRows = 6000;
+const ValueRange kDomain(0.0, 360.0);
+
+std::unique_ptr<AccessStrategy<OidValue>> MakeOidStrategy(
+    size_t kind, std::vector<OidValue> pairs, SegmentSpace* space) {
+  auto model = std::make_unique<Apm>(8 * kKiB, 32 * kKiB);
+  switch (kind) {
+    case 0:
+      return std::make_unique<NonSegmented<OidValue>>(std::move(pairs), kDomain,
+                                                      space);
+    case 1:
+      return std::make_unique<StaticPartition<OidValue>>(std::move(pairs),
+                                                         kDomain, 8, space);
+    case 2:
+      return std::make_unique<PositionalBlocks<OidValue>>(
+          std::move(pairs), kDomain, 16 * kKiB, space, /*use_zone_maps=*/true);
+    case 3:
+      return std::make_unique<CrackingColumn<OidValue>>(std::move(pairs),
+                                                        kDomain, space);
+    case 4:
+      return std::make_unique<AdaptiveSegmentation<OidValue>>(
+          std::move(pairs), kDomain, std::move(model), space);
+    case 5:
+      return std::make_unique<DeferredSegmentation<OidValue>>(
+          std::move(pairs), kDomain, std::move(model), space);
+    default:
+      return std::make_unique<AdaptiveReplication<OidValue>>(
+          std::move(pairs), kDomain, std::move(model), space);
+  }
+}
+
+/// Client i's strategy: the seven kinds, then adaptive segmentation again
+/// for the eighth connection.
+size_t KindOf(size_t client) { return client < kNumStrategies ? client : 4; }
+
+/// Deferred segmentation's reply bytes depend on *when* the background lane
+/// flushed relative to each statement, so its stream gets set-equality
+/// instead of byte-equality.
+bool TimingSensitive(size_t client) { return KindOf(client) == 5; }
+
+std::string TableOf(size_t client) { return "T" + std::to_string(client); }
+
+/// Registers client i's table Ti(v segmented by its strategy, id plain lng).
+void AddClientTable(size_t client, Catalog* cat, SegmentSpace* space) {
+  Rng rng(900 + client);
+  std::vector<OidValue> pairs;
+  std::vector<int64_t> ids;
+  for (size_t j = 0; j < kRows; ++j) {
+    pairs.push_back({j, rng.NextUniform(kDomain.lo, kDomain.hi)});
+    ids.push_back(static_cast<int64_t>(5'000'000 * client + j));
+  }
+  const std::string table = TableOf(client);
+  auto col = std::make_unique<SegmentedColumn>(
+      Catalog::SegHandle(table, "v"), ValType::kDbl,
+      MakeOidStrategy(KindOf(client), std::move(pairs), space), space);
+  ASSERT_TRUE(cat->AddSegmentedColumn(table, "v", std::move(col)).ok());
+  ASSERT_TRUE(cat->AddColumn(table, "id", TypedVector::Of(ids)).ok());
+}
+
+/// Client i's statement script: interleaved SELECT (projection + count) and
+/// INSERT statements, deterministic per client.
+std::vector<std::string> MakeScript(size_t client, size_t steps = 36) {
+  const std::string table = TableOf(client);
+  UniformRangeGenerator gen(kDomain, 0.05, 40 + client);
+  Rng ins(70 + client);
+  std::vector<std::string> script;
+  char buf[256];
+  for (size_t s = 0; s < steps; ++s) {
+    if (s % 3 == 2) {
+      const double v = ins.NextUniform(kDomain.lo, kDomain.hi);
+      const long id = 9'000'000 + static_cast<long>(client) * 10'000 +
+                      static_cast<long>(s);
+      std::snprintf(buf, sizeof(buf),
+                    "insert into %s (v, id) values (%.17g, %ld)",
+                    table.c_str(), v, id);
+    } else {
+      const ValueRange q = gen.Next().range;
+      // BETWEEN is inclusive; the generator's ranges are half-open.
+      const double hi = std::nextafter(q.hi, q.lo);
+      if (s % 6 < 3) {
+        std::snprintf(buf, sizeof(buf),
+                      "select id from %s where v between %.17g and %.17g",
+                      table.c_str(), q.lo, hi);
+      } else {
+        std::snprintf(buf, sizeof(buf),
+                      "select count(*) from %s where v between %.17g and %.17g",
+                      table.c_str(), q.lo, hi);
+      }
+    }
+    script.emplace_back(buf);
+  }
+  return script;
+}
+
+/// Sequential oracle: the same script through ONE in-process session on an
+/// isolated catalog/space (no scheduler), returning serialized reply blocks.
+std::vector<std::string> RunBaseline(size_t client) {
+  Catalog cat;
+  SegmentSpace space;
+  AddClientTable(client, &cat, &space);
+  Session session(&cat, /*sched=*/nullptr);
+  std::vector<std::string> replies;
+  for (const std::string& stmt : MakeScript(client)) {
+    replies.push_back(session.ExecuteToWire(stmt));
+  }
+  return replies;
+}
+
+void ExpectReplyParity(size_t client, const std::vector<std::string>& baseline,
+                       const std::vector<std::string>& got) {
+  ASSERT_EQ(baseline.size(), got.size());
+  for (size_t s = 0; s < baseline.size(); ++s) {
+    if (!TimingSensitive(client)) {
+      // Byte-exact: rows, order, and the whole stats trailer.
+      ASSERT_EQ(baseline[s], got[s]) << "client " << client << " statement " << s;
+      continue;
+    }
+    // Deferred segmentation: the reply's row SET and result count must
+    // match; row order and scan costs legitimately shift with flush timing.
+    std::istringstream bis, gis;
+    auto b = ParseReply(LineSource(baseline[s], &bis));
+    auto g = ParseReply(LineSource(got[s], &gis));
+    ASSERT_TRUE(b.ok() && g.ok()) << "client " << client << " statement " << s;
+    ASSERT_EQ(b->ok, g->ok) << "client " << client << " statement " << s;
+    std::vector<std::string> brows = b->rows, grows = g->rows;
+    std::sort(brows.begin(), brows.end());
+    std::sort(grows.begin(), grows.end());
+    ASSERT_EQ(brows, grows) << "client " << client << " statement " << s;
+    ASSERT_EQ(b->stats.result_count, g->stats.result_count)
+        << "client " << client << " statement " << s;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// The acceptance test: 8 concurrent TCP clients == sequential baselines
+// ---------------------------------------------------------------------------
+
+TEST(SqlServerTest, EightConcurrentClientsMatchSequentialBaselines) {
+  // Sequential baselines first (isolated stores, in-process sessions).
+  std::vector<std::vector<std::string>> baselines(kClients);
+  for (size_t c = 0; c < kClients; ++c) baselines[c] = RunBaseline(c);
+
+  // One shared store for everything: 8 tables, one space, one scheduler.
+  Catalog cat;
+  SegmentSpace space;
+  TaskScheduler sched(4);
+  for (size_t c = 0; c < kClients; ++c) AddClientTable(c, &cat, &space);
+
+  SqlServer::Options opts;
+  opts.executors = 3;
+  opts.max_pending_per_session = 4;
+  SqlServer srv(&cat, &sched, opts);
+  ASSERT_TRUE(srv.Start().ok());
+
+  std::vector<std::vector<std::string>> got(kClients);
+  std::vector<std::thread> clients;
+  for (size_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      auto conn = Connection::Connect("127.0.0.1", srv.port());
+      ASSERT_TRUE(conn.ok()) << conn.status().ToString();
+      for (const std::string& stmt : MakeScript(c)) {
+        auto reply = conn->Execute(stmt);
+        ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+        got[c].push_back(reply->Serialize());
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+
+  srv.Stop();
+
+  for (size_t c = 0; c < kClients; ++c) {
+    SCOPED_TRACE("client " + std::to_string(c) + " (" + TableOf(c) + ")");
+    ExpectReplyParity(c, baselines[c], got[c]);
+  }
+
+  // Background maintenance was live during the run and the shutdown drain
+  // left the ledger balanced with nothing pending.
+  const auto ledger = srv.Ledger();
+  EXPECT_GT(ledger.schedules, 0u);
+  EXPECT_EQ(ledger.schedules, ledger.runs + ledger.skips);
+  EXPECT_GT(ledger.runs, 0u);
+  EXPECT_EQ(ledger.columns_with_pending_work, 0u);
+  EXPECT_EQ(srv.sessions_accepted(), kClients);
+  EXPECT_EQ(srv.statements_executed(), kClients * MakeScript(0).size());
+}
+
+// ---------------------------------------------------------------------------
+// Shared-table writes: statement-level INSERT atomicity across sessions
+// ---------------------------------------------------------------------------
+
+TEST(SqlServerTest, ConcurrentInsertsIntoOneTableNeverCollideOnRowIds) {
+  Catalog cat;
+  SegmentSpace space;
+  TaskScheduler sched(4);
+  AddClientTable(/*client=*/4, &cat, &space);  // T4: adaptive segmentation
+  const std::string table = TableOf(4);
+
+  SqlServer::Options opts;
+  opts.executors = 4;
+  SqlServer srv(&cat, &sched, opts);
+  ASSERT_TRUE(srv.Start().ok());
+
+  // Each writer inserts 10 rows with unique ids into its own narrow band of
+  // v; a torn oid base would break the candidate->id join below.
+  constexpr size_t kWriters = 4, kPerWriter = 10;
+  std::vector<std::thread> writers;
+  for (size_t w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&, w] {
+      auto conn = Connection::Connect("127.0.0.1", srv.port());
+      ASSERT_TRUE(conn.ok());
+      char buf[256];
+      for (size_t i = 0; i < kPerWriter; ++i) {
+        const double v = 350.0 + w + 0.01 * static_cast<double>(i);
+        const long id = 7'000'000 + 1000 * static_cast<long>(w) +
+                        static_cast<long>(i);
+        std::snprintf(buf, sizeof(buf),
+                      "insert into %s (v, id) values (%.17g, %ld)",
+                      table.c_str(), v, id);
+        auto reply = conn->Execute(buf);
+        ASSERT_TRUE(reply.ok());
+        ASSERT_TRUE(reply->ok) << reply->error;
+      }
+    });
+  }
+  for (auto& t : writers) t.join();
+
+  // A fresh session must see every writer's ids, exactly once, via the
+  // reconstruction join.
+  auto conn = Connection::Connect("127.0.0.1", srv.port());
+  ASSERT_TRUE(conn.ok());
+  for (size_t w = 0; w < kWriters; ++w) {
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "select id from %s where v between %.17g and %.17g",
+                  table.c_str(), 350.0 + w - 0.001,
+                  350.0 + w + 0.01 * (kPerWriter - 1) + 0.001);
+    auto reply = conn->Execute(buf);
+    ASSERT_TRUE(reply.ok());
+    ASSERT_TRUE(reply->ok) << reply->error;
+    // Every one of the writer's ids must come back exactly once (a torn oid
+    // base would lose one to a mis-aligned join). The band may also contain
+    // pre-seeded rows; those don't matter here.
+    for (size_t i = 0; i < kPerWriter; ++i) {
+      const std::string id = std::to_string(7'000'000 + 1000 * w + i);
+      EXPECT_EQ(std::count(reply->rows.begin(), reply->rows.end(), id), 1)
+          << "writer " << w << " id " << id;
+    }
+  }
+  srv.Stop();
+}
+
+// ---------------------------------------------------------------------------
+// Disconnect mid-stream + graceful shutdown
+// ---------------------------------------------------------------------------
+
+TEST(SqlServerTest, DisconnectMidStreamLeavesOtherSessionsAndLedgerIntact) {
+  Catalog cat;
+  SegmentSpace space;
+  TaskScheduler sched(4);
+  AddClientTable(/*client=*/5, &cat, &space);  // T5: deferred segmentation
+  const std::string table = TableOf(5);
+
+  SqlServer::Options opts;
+  opts.executors = 2;
+  opts.max_pending_per_session = 4;
+  SqlServer srv(&cat, &sched, opts);
+  ASSERT_TRUE(srv.Start().ok());
+
+  // The rude client pipelines statements without ever reading a reply, then
+  // slams the connection.
+  {
+    auto rude = Connection::Connect("127.0.0.1", srv.port());
+    ASSERT_TRUE(rude.ok());
+    char buf[256];
+    for (int i = 0; i < 6; ++i) {
+      std::snprintf(buf, sizeof(buf),
+                    "select count(*) from %s where v between %d and %d",
+                    table.c_str(), 10 * i, 10 * i + 30);
+      ASSERT_TRUE(rude->Send(buf).ok());
+    }
+    rude->Close();
+  }
+
+  // A polite client keeps querying throughout and must stay fully served.
+  auto polite = Connection::Connect("127.0.0.1", srv.port());
+  ASSERT_TRUE(polite.ok());
+  char buf[256];
+  for (int i = 0; i < 12; ++i) {
+    std::snprintf(buf, sizeof(buf),
+                  "select count(*) from %s where v between %d and %d",
+                  table.c_str(), 5 * i, 5 * i + 40);
+    auto reply = polite->Execute(buf);
+    ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+    ASSERT_TRUE(reply->ok) << reply->error;
+  }
+  polite->Close();
+
+  srv.Stop();
+
+  // Every statement the server admitted before the disconnect executed;
+  // none wedged a latch or dropped a flush: the ledger balances and the
+  // deferred column has nothing pending after the drain.
+  const auto ledger = srv.Ledger();
+  EXPECT_EQ(ledger.schedules, ledger.runs + ledger.skips);
+  EXPECT_EQ(ledger.columns_with_pending_work, 0u);
+  EXPECT_GE(srv.statements_executed(), 12u);
+  EXPECT_EQ(srv.sessions_accepted(), 2u);
+}
+
+TEST(SqlServerTest, StopDrainsDeferredBatchesSoNoFlushIsDropped) {
+  Catalog cat;
+  SegmentSpace space;
+  TaskScheduler sched(2);
+  AddClientTable(/*client=*/5, &cat, &space);  // deferred segmentation
+  SegmentedColumn* col = cat.SegmentedColumns().at(0);
+
+  SqlServer::Options opts;
+  opts.executors = 1;
+  SqlServer srv(&cat, &sched, opts);
+  ASSERT_TRUE(srv.Start().ok());
+
+  auto conn = Connection::Connect("127.0.0.1", srv.port());
+  ASSERT_TRUE(conn.ok());
+  char buf[256];
+  for (int i = 0; i < 10; ++i) {
+    std::snprintf(buf, sizeof(buf),
+                  "select id from %s where v between %d and %d",
+                  TableOf(5).c_str(), 30 * i, 30 * i + 18);
+    auto reply = conn->Execute(buf);
+    ASSERT_TRUE(reply.ok());
+    ASSERT_TRUE(reply->ok) << reply->error;
+  }
+  conn->Close();
+
+  srv.Stop();
+  // The whole-column segment violates the APM bounds, so SOME pass must
+  // have reorganized -- on the background lane or in the forced shutdown
+  // drain -- and afterwards nothing may be pending.
+  EXPECT_FALSE(col->HasPendingIdleWork());
+  EXPECT_GT(col->background_runs(), 0u);
+  EXPECT_EQ(col->background_schedules(),
+            col->background_runs() + col->background_skips());
+  EXPECT_GT(col->background_execution().splits, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// The idle-detection watermark (satellite): saturated pool => skip, counted
+// ---------------------------------------------------------------------------
+
+TEST(IdleWatermark, SaturatedForegroundSkipsMaintenanceAndCountsIt) {
+  SegmentSpace space;
+  Rng rng(31);
+  std::vector<int32_t> data;
+  for (size_t i = 0; i < 4000; ++i) {
+    data.push_back(static_cast<int32_t>(rng.NextInt(0, 999)));
+  }
+  DeferredSegmentation<int32_t> strat(data, ValueRange(0, 1000),
+                                      std::make_unique<Apm>(kKiB, 4 * kKiB),
+                                      &space);
+  BackgroundMaintenance<int32_t> maint(&strat);
+  TaskScheduler sched(2);  // 1 worker + the caller lane
+
+  // Saturate the foreground: one task occupies the worker, one sits queued.
+  std::mutex mu;
+  std::condition_variable cv;
+  bool go = false;
+  auto parked = [&] {
+    std::unique_lock<std::mutex> lk(mu);
+    cv.wait(lk, [&] { return go; });
+  };
+  auto f1 = sched.pool().SubmitTask(parked);
+  auto f2 = sched.pool().SubmitTask(parked);
+  for (int spin = 0; spin < 500 && !sched.ForegroundSaturated(); ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_TRUE(sched.ForegroundSaturated());
+
+  EXPECT_FALSE(maint.Schedule(&sched));  // skipped by the watermark
+  EXPECT_EQ(maint.skips(), 1u);
+  EXPECT_EQ(maint.schedules(), 1u);
+  EXPECT_TRUE(maint.Schedule(&sched, /*force=*/true));  // shutdown-style pass
+
+  {
+    std::lock_guard<std::mutex> lk(mu);
+    go = true;
+  }
+  cv.notify_all();
+  f1.wait();
+  f2.wait();
+  sched.DrainBackground();
+
+  EXPECT_FALSE(sched.ForegroundSaturated());
+  EXPECT_TRUE(maint.Schedule(&sched));  // idle again: enqueued normally
+  sched.DrainBackground();
+
+  EXPECT_EQ(maint.schedules(), 3u);
+  EXPECT_EQ(maint.skips(), 1u);
+  EXPECT_EQ(maint.runs(), 2u);
+  EXPECT_EQ(maint.schedules(), maint.runs() + maint.skips());
+}
+
+}  // namespace
+}  // namespace socs
