@@ -63,6 +63,80 @@ struct ClientResult {
   double simulated_seconds = 0.0;
 };
 
+// --- hot-column phase: cooperative shared scans under pipelined floods ------
+
+struct HotResult {
+  uint64_t statements = 0;
+  uint64_t failures = 0;
+  uint64_t count_mismatches = 0;  // replies disagreeing with the oracle
+  double wall_seconds = 0.0;
+  uint64_t batches = 0;
+  uint64_t batched_statements = 0;
+  uint64_t scans_saved = 0;
+};
+
+/// Every client pipelines the SAME hot-range count(*) `per_client` times --
+/// the dispatcher's scan batches absorb the concurrently admitted floods
+/// when `shared_scans` is on; off is the per-statement baseline.
+HotResult RunHotPhase(Catalog* cat, TaskScheduler* sched, size_t executors,
+                      size_t clients, size_t per_client,
+                      const std::string& stmt, uint64_t expected_count,
+                      bool shared_scans) {
+  HotResult out;
+  server::SqlServer::Options opts;
+  opts.executors = executors;
+  opts.shared_scans = shared_scans;
+  server::SqlServer srv(cat, sched, opts);
+  if (!srv.Start().ok()) {
+    out.failures = clients * per_client;
+    return out;
+  }
+
+  std::vector<HotResult> per(clients);
+  Stopwatch wall;
+  std::vector<std::thread> workers;
+  for (size_t c = 0; c < clients; ++c) {
+    workers.emplace_back([&, c] {
+      auto conn = client::Connection::Connect("127.0.0.1", srv.port());
+      if (!conn.ok()) {
+        per[c].failures = per_client;
+        return;
+      }
+      for (size_t i = 0; i < per_client; ++i) {
+        if (!conn->Send(stmt).ok()) {
+          ++per[c].failures;
+          return;
+        }
+      }
+      for (size_t i = 0; i < per_client; ++i) {
+        auto reply = conn->ReadReply();
+        ++per[c].statements;
+        if (!reply.ok() || !reply->ok || reply->rows.size() != 1) {
+          ++per[c].failures;
+          continue;
+        }
+        if (std::strtoull(reply->rows[0].c_str(), nullptr, 10) !=
+            expected_count) {
+          ++per[c].count_mismatches;
+        }
+      }
+    });
+  }
+  for (auto& t : workers) t.join();
+  out.wall_seconds = wall.ElapsedSeconds();
+  srv.Stop();
+
+  for (const HotResult& r : per) {
+    out.statements += r.statements;
+    out.failures += r.failures;
+    out.count_mismatches += r.count_mismatches;
+  }
+  out.batches = srv.scan_batches();
+  out.batched_statements = srv.batched_statements();
+  out.scans_saved = srv.shared_scans_saved();
+  return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -194,6 +268,41 @@ int main(int argc, char** argv) {
               srv.peak_session_queue(),
               static_cast<unsigned long long>(srv.admission_waits()));
 
+  // --- hot-column phase: 64 pipelining clients hammer one popular range ----
+  // Shared scans ON vs OFF over the same (by now adapted) store: the ON run
+  // must save physical filter passes; both runs must agree with the oracle.
+  const size_t hot_clients = 64;
+  const size_t hot_per_client = smoke ? 4 : 50;
+  const double span = cfg.footprint.hi - cfg.footprint.lo;
+  const ValueRange hot_range(cfg.footprint.lo + 0.30 * span,
+                             cfg.footprint.lo + 0.35 * span);
+  uint64_t hot_expected = 0;
+  for (const float v : ra) {
+    if (v >= hot_range.lo && v < hot_range.hi) ++hot_expected;
+  }
+  const std::string hot_stmt = BetweenQuery(hot_range);
+  const HotResult hot_on =
+      RunHotPhase(&cat, &sched, opts.executors, hot_clients, hot_per_client,
+                  hot_stmt, hot_expected, /*shared_scans=*/true);
+  const HotResult hot_off =
+      RunHotPhase(&cat, &sched, opts.executors, hot_clients, hot_per_client,
+                  hot_stmt, hot_expected, /*shared_scans=*/false);
+  std::printf("\n  hot column (%zu clients x %zu pipelined, one %.1f%%-"
+              "selectivity range):\n",
+              hot_clients, hot_per_client, 100.0 * 0.05);
+  const auto hot_line = [](const char* label, const HotResult& r) {
+    std::printf("    shared scans %s: %llu stmt in %.3f s  ->  %.0f stmt/s; "
+                "%llu batch(es), %llu batched stmt(s), %llu scan(s) saved\n",
+                label, static_cast<unsigned long long>(r.statements),
+                r.wall_seconds,
+                r.wall_seconds > 0 ? r.statements / r.wall_seconds : 0.0,
+                static_cast<unsigned long long>(r.batches),
+                static_cast<unsigned long long>(r.batched_statements),
+                static_cast<unsigned long long>(r.scans_saved));
+  };
+  hot_line("ON ", hot_on);
+  hot_line("off", hot_off);
+
   if (!smoke) return connect_failed.load() ? 1 : 0;
 
   // --- smoke self-checks (the ctest gate) ----------------------------------
@@ -222,6 +331,22 @@ int main(int argc, char** argv) {
     fail("pending idle work left after graceful stop");
   }
   if (ledger.runs == 0) fail("background lane never ran");
+  // Hot-column gates: every pipelined statement got its (correct) reply on
+  // both servers, and the cooperative batches provably shared work.
+  if (hot_on.failures != 0 || hot_off.failures != 0) {
+    fail("hot-column phase dropped a statement");
+  }
+  if (hot_on.statements != hot_clients * hot_per_client ||
+      hot_off.statements != hot_clients * hot_per_client) {
+    fail("hot-column statement count mismatch");
+  }
+  if (hot_on.count_mismatches != 0 || hot_off.count_mismatches != 0) {
+    fail("hot-column count(*) oracle mismatch");
+  }
+  if (hot_on.scans_saved == 0) fail("shared scans saved nothing at 64 clients");
+  if (hot_off.batches != 0 || hot_off.scans_saved != 0) {
+    fail("baseline server formed scan batches with sharing off");
+  }
   std::printf("  smoke: %s\n", rc == 0 ? "OK" : "FAILED");
   return rc;
 }

@@ -12,8 +12,8 @@ CrackingColumn<T>::CrackingColumn(std::vector<T> values, ValueRange domain,
 template <typename T>
 SegmentScan<T> CrackingColumn<T>::ScanSegment(const SegmentInfo& seg,
                                               const ValueRange& q,
-                                              std::vector<T>* out,
-                                              IoLane* lane) {
+                                              std::vector<T>* out, IoLane* lane,
+                                              const std::vector<T>* precomputed) {
   SegmentScan<T> s;
   size_t start = 0;
   if (seg.range.lo > domain_.lo) {
@@ -27,7 +27,14 @@ SegmentScan<T> CrackingColumn<T>::ScanSegment(const SegmentInfo& seg,
   s.read_bytes = bytes;
   s.seconds = this->space_->model().MemRead(bytes);
   this->space_->ChargeScanBytes(bytes, lane);
-  s.result_count = FilterRange(s.payload, q, out);
+  if (precomputed != nullptr) {
+    s.result_count = precomputed->size();
+    if (out != nullptr) {
+      out->insert(out->end(), precomputed->begin(), precomputed->end());
+    }
+  } else {
+    s.result_count = FilterRange(s.payload, q, out);
+  }
   return s;
 }
 

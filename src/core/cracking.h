@@ -34,8 +34,8 @@ class CrackingColumn : public AccessStrategy<T> {
   /// have no SegmentSpace payloads, so the metering is charged through the
   /// space's unpooled scan charge (into `lane` when the scan fans out).
   SegmentScan<T> ScanSegment(const SegmentInfo& seg, const ValueRange& q,
-                             std::vector<T>* out,
-                             IoLane* lane = nullptr) override;
+                             std::vector<T>* out, IoLane* lane = nullptr,
+                             const std::vector<T>* precomputed = nullptr) override;
 
   /// Cracks both query bounds in place. The partition pass runs over pieces
   /// the scan phase already charged, so it only accounts the swap writes.

@@ -32,15 +32,17 @@ template <typename T>
 SegmentScan<T> PositionalBlocks<T>::ScanSegment(const SegmentInfo& seg,
                                                 const ValueRange& q,
                                                 std::vector<T>* out,
-                                                IoLane* lane) {
-  // `seg.range` carries the block's zone map (see Segments()).
+                                                IoLane* lane,
+                                                const std::vector<T>* precomputed) {
+  // `seg.range` carries the block's zone map (see Segments()). A pruned
+  // block has an empty qualifying set, so `precomputed` is irrelevant here.
   if (use_zone_maps_ && (seg.range.hi < q.lo || seg.range.lo >= q.hi)) {
     SegmentScan<T> s;
     s.scanned = false;  // payload skipped; only the block header is visited
     s.seconds = this->space_->model().SegmentOverhead();
     return s;
   }
-  return AccessStrategy<T>::ScanSegment(seg, q, out, lane);
+  return AccessStrategy<T>::ScanSegment(seg, q, out, lane, precomputed);
 }
 
 template <typename T>

@@ -31,8 +31,8 @@ class PositionalBlocks : public AccessStrategy<T> {
   /// Zone-map pruning happens at scan time: a skipped block charges only the
   /// per-segment header overhead and reports `scanned = false`.
   SegmentScan<T> ScanSegment(const SegmentInfo& seg, const ValueRange& q,
-                             std::vector<T>* out,
-                             IoLane* lane = nullptr) override;
+                             std::vector<T>* out, IoLane* lane = nullptr,
+                             const std::vector<T>* precomputed = nullptr) override;
 
   StorageFootprint Footprint() const override;
   std::vector<SegmentInfo> Segments() const override;

@@ -1,0 +1,167 @@
+// SharedScanPass: the cooperative-scan cache behind the server's scan
+// batches. When the dispatcher groups K concurrently admitted selections on
+// one segmented column into a batch, every member registers its predicate
+// here and the batch executes the members in admission order against ONE
+// physical pass over each covering segment: the first member to deliver a
+// segment filters its own payload (the strategy's metered ScanSegment, as
+// always) and then *co-evaluates every other registered predicate over the
+// same still-hot payload span* -- predicate fan-out at delivery time. Later
+// members find their qualifying set cached and hand it back to ScanSegment
+// as `precomputed`, which replays the exact simulated charge (bytes,
+// seconds, buffer-pool touch) without re-walking the payload.
+//
+// The accounting invariant: sharing is purely *physical*. Every member still
+// charges its own metered scan, still runs its own Reorganize in admission
+// order, and still reports the per-query record it would have reported
+// alone -- byte-identical replies and #stats, proven by the shared-scan and
+// differential-fuzz suites. What a batch saves is the O(n) filter pass per
+// segment per member, which is exactly the work the paper's hot-column
+// traffic multiplies.
+//
+// Cache coherence: entries are keyed by (segment id, segment range, count,
+// column data epoch). AccessStrategy bumps its data epoch whenever a
+// Reorganize/Append/IdleWork actually mutates payloads (splits, merges,
+// replicas, writes), so a member whose predecessor reorganized the column
+// simply misses the stale entries and re-scans -- correctness never depends
+// on the cache being warm.
+//
+// Thread safety: Lookup/Publish are mutex-guarded; the co-evaluation pass
+// itself runs outside the lock so parallel prefetch workers of one member
+// don't serialize on the cache. Distinct segments have distinct keys, so
+// concurrent publishes never collide on an entry (first writer wins).
+#ifndef SOCS_CORE_SHARED_SCAN_H_
+#define SOCS_CORE_SHARED_SCAN_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <tuple>
+#include <vector>
+
+#include "core/range.h"
+#include "core/segment.h"
+
+namespace socs {
+
+template <typename T>
+class SharedScanPass {
+ public:
+  /// Cache key of one delivered segment. `epoch` is the owning strategy's
+  /// data epoch at delivery time; cracking pieces share kInvalidSegment ids,
+  /// so the piece range + count disambiguate them.
+  struct SegKey {
+    SegmentId id = kInvalidSegment;
+    double lo = 0.0;
+    double hi = 0.0;
+    uint64_t count = 0;
+    uint64_t epoch = 0;
+
+    bool operator<(const SegKey& o) const {
+      return std::tie(id, lo, hi, count, epoch) <
+             std::tie(o.id, o.lo, o.hi, o.count, o.epoch);
+    }
+  };
+
+  /// Registers one batch member's predicate (half-open, the engine's
+  /// iterator range). Members register in admission order, before any
+  /// member executes; the returned index is the member's consumer id.
+  size_t RegisterConsumer(const ValueRange& q) {
+    std::lock_guard<std::mutex> lk(mu_);
+    consumers_.push_back(q);
+    return consumers_.size() - 1;
+  }
+
+  size_t consumers() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return consumers_.size();
+  }
+
+  /// The qualifying set a predecessor co-evaluated for `consumer` on this
+  /// segment, or null on a miss. `q` must equal the registered predicate
+  /// (an engine/analysis mismatch degrades to a miss, never to a wrong
+  /// result). A hit means one physical filter pass was saved.
+  std::shared_ptr<const std::vector<T>> Lookup(const SegKey& key,
+                                               size_t consumer,
+                                               const ValueRange& q) {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (consumer >= consumers_.size() || !(consumers_[consumer] == q)) {
+      return nullptr;
+    }
+    auto it = cache_.find(key);
+    if (it == cache_.end()) return nullptr;
+    std::shared_ptr<const std::vector<T>> hit = it->second[consumer];
+    if (hit != nullptr) ++hits_;
+    return hit;
+  }
+
+  /// Predicate fan-out: one pass over `payload` evaluating every registered
+  /// predicate other than the producer's own `q` (whose qualifying set is
+  /// `own`, just computed by the metered scan). Consumers registered with
+  /// exactly `q` alias `own` without another pass -- the hot-column case of
+  /// K identical selections costs ONE filter pass total per segment.
+  void Publish(const SegKey& key, const ValueRange& q,
+               std::span<const T> payload,
+               std::shared_ptr<const std::vector<T>> own) {
+    std::vector<ValueRange> ranges;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (cache_.count(key) != 0) return;  // a concurrent pass won
+      ranges = consumers_;
+    }
+    std::vector<std::shared_ptr<const std::vector<T>>> entry(ranges.size());
+    std::vector<std::vector<T>*> fill(ranges.size(), nullptr);
+    std::vector<std::shared_ptr<std::vector<T>>> fresh(ranges.size());
+    bool any_fresh = false;
+    for (size_t k = 0; k < ranges.size(); ++k) {
+      if (ranges[k] == q) {
+        entry[k] = own;
+      } else {
+        fresh[k] = std::make_shared<std::vector<T>>();
+        fill[k] = fresh[k].get();
+        any_fresh = true;
+      }
+    }
+    if (any_fresh) {
+      for (const T& v : payload) {
+        const double d = ValueOf(v);
+        for (size_t k = 0; k < ranges.size(); ++k) {
+          if (fill[k] != nullptr && d >= ranges[k].lo && d < ranges[k].hi) {
+            fill[k]->push_back(v);
+          }
+        }
+      }
+      for (size_t k = 0; k < ranges.size(); ++k) {
+        if (fill[k] != nullptr) entry[k] = std::move(fresh[k]);
+      }
+    }
+    std::lock_guard<std::mutex> lk(mu_);
+    auto [it, inserted] = cache_.emplace(key, std::move(entry));
+    if (inserted) ++passes_;
+  }
+
+  /// Physical filter passes avoided so far (Lookup hits): the batch's
+  /// measured win, aggregated into the dispatcher's scans-saved counter.
+  uint64_t scans_saved() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return hits_;
+  }
+
+  /// Co-evaluation passes run (segments published to the cache).
+  uint64_t passes_run() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return passes_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<ValueRange> consumers_;  // registered predicates, batch order
+  std::map<SegKey, std::vector<std::shared_ptr<const std::vector<T>>>> cache_;
+  uint64_t hits_ = 0;
+  uint64_t passes_ = 0;
+};
+
+}  // namespace socs
+
+#endif  // SOCS_CORE_SHARED_SCAN_H_

@@ -35,6 +35,7 @@
 #define SOCS_CORE_STRATEGY_H_
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <cstdint>
 #include <limits>
@@ -151,18 +152,29 @@ class AccessStrategy {
   /// `out` (when non-null), and returns the scan record including the raw
   /// payload. With a non-null `lane` the charge accumulates there instead of
   /// the shared stats (the parallel fan-out path; the caller commits lanes
-  /// in cover order). The default reads through SegmentSpace::Scan;
-  /// strategies without segment-space payloads (cracking) or with scan-time
-  /// pruning (zone maps) override it. Callers hold at least the shared latch.
+  /// in cover order). With a non-null `precomputed` (a shared scan batch
+  /// already filtered this segment against q -- see core/shared_scan.h) the
+  /// metered charge is identical but the O(n) filter pass is skipped: the
+  /// qualifying set is taken from `precomputed` verbatim. The default reads
+  /// through SegmentSpace::Scan; strategies without segment-space payloads
+  /// (cracking) or with scan-time pruning (zone maps) override it. Callers
+  /// hold at least the shared latch.
   virtual SegmentScan<T> ScanSegment(const SegmentInfo& seg, const ValueRange& q,
-                                     std::vector<T>* out,
-                                     IoLane* lane = nullptr) {
+                                     std::vector<T>* out, IoLane* lane = nullptr,
+                                     const std::vector<T>* precomputed = nullptr) {
     SegmentScan<T> s;
     IoCost cost;
     s.payload = space_->template Scan<T>(seg.id, &cost, lane);
     s.read_bytes = cost.bytes;
     s.seconds = cost.seconds;
-    s.result_count = FilterRange(s.payload, q, out);
+    if (precomputed != nullptr) {
+      s.result_count = precomputed->size();
+      if (out != nullptr) {
+        out->insert(out->end(), precomputed->begin(), precomputed->end());
+      }
+    } else {
+      s.result_count = FilterRange(s.payload, q, out);
+    }
     return s;
   }
 
@@ -192,6 +204,9 @@ class AccessStrategy {
   /// AppendImpl.
   QueryExecution Append(const std::vector<T>& values) {
     ExclusiveColumnGuard guard(latch_);
+    if (!values.empty()) {
+      data_epoch_.fetch_add(1, std::memory_order_release);
+    }
     return AppendImpl(values);
   }
 
@@ -211,7 +226,37 @@ class AccessStrategy {
   /// calls (exec/task_scheduler.h, core/background_maintenance.h).
   QueryExecution RunIdleWork() {
     ExclusiveColumnGuard guard(latch_);
-    return IdleWork();
+    const QueryExecution r = IdleWork();
+    NoteReorganization(r);
+    return r;
+  }
+
+  // --- data-epoch coherence ---------------------------------------------------
+
+  /// Monotonic counter bumped whenever segment payloads may have changed
+  /// (non-empty Append, or a Reorganize/IdleWork record showing mutation).
+  /// Shared scan batches key their per-segment caches on it, so a member
+  /// running after a predecessor's reorganization misses the stale entries
+  /// and re-scans instead of delivering moved data.
+  uint64_t data_epoch() const {
+    return data_epoch_.load(std::memory_order_acquire);
+  }
+
+  /// True when `r` indicates payload mutation (writes, splits, merges,
+  /// replica churn) as opposed to pure bookkeeping.
+  static bool MutatesData(const QueryExecution& r) {
+    return r.write_bytes != 0 || r.splits != 0 || r.merges != 0 ||
+           r.replicas_created != 0 || r.segments_dropped != 0 ||
+           r.replicas_evicted != 0;
+  }
+
+  /// Bumps the data epoch if the reorganization record shows mutation.
+  /// Called by RunRange/RunIdleWork and the engine's adaptation driver after
+  /// every Reorganize, under the exclusive latch.
+  void NoteReorganization(const QueryExecution& r) {
+    if (MutatesData(r)) {
+      data_epoch_.fetch_add(1, std::memory_order_release);
+    }
   }
 
   // --- statistics ------------------------------------------------------------
@@ -239,6 +284,9 @@ class AccessStrategy {
 
   SegmentSpace* space_;
   mutable ColumnLatch latch_;
+
+ private:
+  std::atomic<uint64_t> data_epoch_{0};
 };
 
 template <typename T>
@@ -279,7 +327,9 @@ QueryExecution AccessStrategy<T>::RunRange(const ValueRange& q,
   }
   {
     ExclusiveColumnGuard guard(latch_);
-    ex += Reorganize(q);
+    const QueryExecution reorg = Reorganize(q);
+    NoteReorganization(reorg);
+    ex += reorg;
   }
   return ex;
 }

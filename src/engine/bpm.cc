@@ -32,40 +32,90 @@ void SegmentedColumn::AppendSpan(std::span<const OidValue> span,
   }
 }
 
-Bat SegmentedColumn::ScanToBat(const SegmentInfo& seg, double lo, double hi,
-                               SegmentScan<OidValue>* scan, IoLane* lane) {
-  *scan = strategy_->ScanSegment(seg, InclusiveToHalfOpen(lo, hi), nullptr, lane);
+Bat SegmentedColumn::FilteredBat(const std::vector<OidValue>& vals,
+                                 int mode) const {
   std::vector<Oid> oids;
-  oids.reserve(scan->payload.size());
+  oids.reserve(vals.size());
+  if (mode == 2) {
+    for (const OidValue& v : vals) oids.push_back(v.oid);
+    return Bat::OidList(std::move(oids));
+  }
   TypedVector values(sql_type_);
-  values.Reserve(scan->payload.size());
-  AppendSpan(scan->payload, &oids, &values);
+  values.Reserve(vals.size());
+  AppendSpan(vals, &oids, &values);
   return Bat(BatColumn::Materialized(TypedVector::Of(std::move(oids))),
              BatColumn::Materialized(std::move(values)));
 }
 
+Bat SegmentedColumn::ScanToBat(const SegmentInfo& seg, double lo, double hi,
+                               SegmentScan<OidValue>* scan, IoLane* lane,
+                               int mode, SharedScanPass<OidValue>* shared,
+                               size_t consumer) {
+  const ValueRange q = InclusiveToHalfOpen(lo, hi);
+  if (mode == 0) {
+    // Raw delivery: the plan's own select re-filters the full segment.
+    *scan = strategy_->ScanSegment(seg, q, nullptr, lane);
+    std::vector<Oid> oids;
+    oids.reserve(scan->payload.size());
+    TypedVector values(sql_type_);
+    values.Reserve(scan->payload.size());
+    AppendSpan(scan->payload, &oids, &values);
+    return Bat(BatColumn::Materialized(TypedVector::Of(std::move(oids))),
+               BatColumn::Materialized(std::move(values)));
+  }
+  // Push-down delivery: the metered scan and the delivery filter are one
+  // pass -- ScanSegment extracts the qualifying set we hand to the plan.
+  if (shared != nullptr) {
+    const typename SharedScanPass<OidValue>::SegKey key{
+        seg.id, seg.range.lo, seg.range.hi, seg.count, strategy_->data_epoch()};
+    if (std::shared_ptr<const std::vector<OidValue>> cached =
+            shared->Lookup(key, consumer, q)) {
+      // A batch predecessor already filtered this segment for our predicate:
+      // replay the identical metered charge, skip the walk.
+      *scan = strategy_->ScanSegment(seg, q, nullptr, lane, cached.get());
+      return FilteredBat(*cached, mode);
+    }
+    auto mine = std::make_shared<std::vector<OidValue>>();
+    *scan = strategy_->ScanSegment(seg, q, mine.get(), lane);
+    if (scan->scanned) {
+      // Predicate fan-out for the rest of the batch over the hot payload.
+      shared->Publish(key, q, scan->payload, mine);
+    }
+    return FilteredBat(*mine, mode);
+  }
+  std::vector<OidValue> mine;
+  *scan = strategy_->ScanSegment(seg, q, &mine, lane);
+  return FilteredBat(mine, mode);
+}
+
 Bat SegmentedColumn::ScanSegmentBat(const SegmentInfo& seg, double lo, double hi,
-                                    QueryExecution* ex) {
+                                    QueryExecution* ex, int mode,
+                                    SharedScanPass<OidValue>* shared,
+                                    size_t consumer) {
   // No latch here: the driving BpmIterator holds the shared latch for its
   // whole lifetime (see bpm.h), which also pins the cached cover.
   SegmentScan<OidValue> scan;
-  Bat bat = ScanToBat(seg, lo, hi, &scan, nullptr);
+  Bat bat = ScanToBat(seg, lo, hi, &scan, nullptr, mode, shared, consumer);
   if (ex != nullptr) FoldScanIntoExecution(scan, ex);
   return bat;
 }
 
 Bat SegmentedColumn::PrefetchSegmentBat(const SegmentInfo& seg, double lo,
                                         double hi, SegmentScan<OidValue>* scan,
-                                        IoLane* lane) {
+                                        IoLane* lane, int mode,
+                                        SharedScanPass<OidValue>* shared,
+                                        size_t consumer) {
   // No latch here either -- same contract as ScanSegmentBat.
-  return ScanToBat(seg, lo, hi, scan, lane);
+  return ScanToBat(seg, lo, hi, scan, lane, mode, shared, consumer);
 }
 
 void SegmentedColumn::CommitScanLane(IoLane* lane) { space_->CommitLane(lane); }
 
 QueryExecution SegmentedColumn::Reorganize(double lo, double hi) {
   ExclusiveColumnGuard guard(strategy_->latch());
-  return strategy_->Reorganize(InclusiveToHalfOpen(lo, hi));
+  const QueryExecution r = strategy_->Reorganize(InclusiveToHalfOpen(lo, hi));
+  strategy_->NoteReorganization(r);
+  return r;
 }
 
 QueryExecution SegmentedColumn::Append(const std::vector<double>& values,

@@ -33,6 +33,7 @@
 
 #include "bat/bat.h"
 #include "core/background_maintenance.h"
+#include "core/shared_scan.h"
 #include "core/strategy.h"
 #include "exec/task_scheduler.h"
 #include "sim/io_lane.h"
@@ -59,15 +60,29 @@ class SegmentedColumn {
   /// shared latch).
   std::vector<SegmentInfo> CoverSegments(double lo, double hi) const;
 
-  /// Metered delivery of one covering segment as a [oid, T] BAT: one
-  /// ScanSegment call charges the payload bytes exactly once, and the scan's
-  /// metering (reads, seconds, qualifying count) is folded into `*ex`.
+  /// Metered delivery of one covering segment as a BAT: one ScanSegment call
+  /// charges the payload bytes exactly once, and the scan's metering (reads,
+  /// seconds, qualifying count) is folded into `*ex`.
   /// The caller (the BPM iterator) already holds the column's shared latch
   /// -- see BpmIterator: the latch pins the iterator's cached cover, so no
   /// exclusive-latch holder can free or rewrite a covered segment between
   /// deliveries.
+  ///
+  /// `mode` selects the delivery shape (the bpm.newIterator mode argument):
+  ///   0 -- the raw full-segment [oid, value] BAT (the plan re-filters);
+  ///   1 -- filtered [oid, value] pairs inside [lo, hi] (selection push-down
+  ///        of algebra.select: the plan's body select is skipped);
+  ///   2 -- filtered candidate oids as an oid list (push-down of
+  ///        algebra.uselect).
+  /// With a non-null `shared` pass (a dispatcher scan batch; modes 1-2 only),
+  /// the filtered set is looked up in / published to the batch's cooperative
+  /// cache under `consumer`'s registered predicate -- a hit replays the
+  /// metered charge via ScanSegment's `precomputed` path without re-walking
+  /// the payload.
   Bat ScanSegmentBat(const SegmentInfo& seg, double lo, double hi,
-                     QueryExecution* ex);
+                     QueryExecution* ex, int mode = 0,
+                     SharedScanPass<OidValue>* shared = nullptr,
+                     size_t consumer = 0);
 
   /// Off-thread delivery variant for the iterator prefetch: meters into
   /// `lane` (committed later, in delivery order, via CommitScanLane) and
@@ -76,7 +91,10 @@ class SegmentedColumn {
   /// whole lifetime (and the pool's queue handoff provides the
   /// happens-before edge from the latch acquisition).
   Bat PrefetchSegmentBat(const SegmentInfo& seg, double lo, double hi,
-                         SegmentScan<OidValue>* scan, IoLane* lane);
+                         SegmentScan<OidValue>* scan, IoLane* lane,
+                         int mode = 0,
+                         SharedScanPass<OidValue>* shared = nullptr,
+                         size_t consumer = 0);
 
   /// Merges one prefetch lane into the space's IoStats / buffer pool. The
   /// interpreter calls this in delivery (= cover) order, which keeps the
@@ -138,7 +156,12 @@ class SegmentedColumn {
 
   /// Unlatched scan-to-BAT core shared by the sequential and prefetch paths.
   Bat ScanToBat(const SegmentInfo& seg, double lo, double hi,
-                SegmentScan<OidValue>* scan, IoLane* lane);
+                SegmentScan<OidValue>* scan, IoLane* lane, int mode,
+                SharedScanPass<OidValue>* shared, size_t consumer);
+
+  /// Builds the push-down delivery BAT from a filtered qualifying set:
+  /// mode 2 -> candidate oid list, mode 1 -> [oid, value] pairs.
+  Bat FilteredBat(const std::vector<OidValue>& vals, int mode) const;
 
   std::string name_;
   ValType sql_type_;
@@ -161,6 +184,8 @@ struct BpmIterator {
   size_t next = 0;
   double lo = 0.0, hi = 0.0;
   bool holds_latch = false;
+  /// Delivery mode of this iterator's segments (see ScanSegmentBat).
+  int mode = 0;
 
   /// Prefetch slot: one covering segment scanned off-thread. The lane holds
   /// its deferred metering until the slot is delivered.

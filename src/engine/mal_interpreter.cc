@@ -377,6 +377,13 @@ void MalInterpreter::RegisterBuiltins() {
              auto hi = NumArg(ctx, in, 2);
              if (!hi.ok()) return hi.status();
              auto iter = std::make_unique<BpmIterator>();
+             // Optional 4th arg: the delivery mode the segment optimizer
+             // selected (0 raw, 1 filtered pairs, 2 candidate oids).
+             if (in.args.size() >= 4) {
+               auto mode = NumArg(ctx, in, 3);
+               if (!mode.ok()) return mode.status();
+               iter->mode = static_cast<int>(*mode);
+             }
              iter->Open(cv->segcol(), *lo, *hi);
              const int id = static_cast<int>(ctx.iters.size());
              ctx.iters.push_back(std::move(iter));
@@ -499,8 +506,13 @@ void MalInterpreter::SubmitPrefetchSlot(BpmIterator* it, size_t i) {
   SegmentedColumn* column = it->column;
   const SegmentInfo seg = it->segments[i];
   const double lo = it->lo, hi = it->hi;
-  s->ready = sched_->pool().SubmitTask([s, column, seg, lo, hi] {
-    s->bat = column->PrefetchSegmentBat(seg, lo, hi, &s->scan, &s->lane);
+  const int mode = it->mode;
+  SharedScanPass<OidValue>* shared = mode != 0 ? shared_pass_ : nullptr;
+  const size_t consumer = shared_consumer_;
+  s->ready = sched_->pool().SubmitTask([s, column, seg, lo, hi, mode, shared,
+                                        consumer] {
+    s->bat = column->PrefetchSegmentBat(seg, lo, hi, &s->scan, &s->lane, mode,
+                                        shared, consumer);
   });
   it->prefetch[i] = std::move(slot);
 }
@@ -527,8 +539,9 @@ EngineValue MalInterpreter::DeliverNextSegment(BpmIterator* it, double lo,
     }
     return EngineValue::OfBat(std::move(slot.bat));
   }
-  Bat seg = it->column->ScanSegmentBat(it->segments[it->next], lo, hi,
-                                       &last_exec_);
+  Bat seg = it->column->ScanSegmentBat(
+      it->segments[it->next], lo, hi, &last_exec_, it->mode,
+      it->mode != 0 ? shared_pass_ : nullptr, shared_consumer_);
   ++it->next;
   return EngineValue::OfBat(std::move(seg));
 }

@@ -77,6 +77,17 @@ class MalInterpreter {
   /// engine.
   void set_exec(TaskScheduler* sched) { sched_ = sched; }
 
+  /// Attaches (or detaches, with nullptr) a dispatcher scan batch: push-down
+  /// segment deliveries (bpm.newIterator mode != 0) look up / publish their
+  /// filtered sets in the batch's cooperative cache under `consumer`'s
+  /// registered predicate. Raw deliveries (mode 0) never touch the pass, so
+  /// a mis-analyzed statement degrades to the per-query path. The pass must
+  /// outlive the Run() calls made while attached.
+  void set_shared_scan(SharedScanPass<OidValue>* pass, size_t consumer) {
+    shared_pass_ = pass;
+    shared_consumer_ = consumer;
+  }
+
   /// Executes the program. Returns the exported result set (empty set if the
   /// program exports nothing).
   StatusOr<std::shared_ptr<ResultSet>> Run(const MalProgram& prog);
@@ -128,6 +139,8 @@ class MalInterpreter {
   std::map<int, int> iter_of_var_;  // barrier var -> iterator id (per Run)
   QueryExecution last_exec_;
   TaskScheduler* sched_ = nullptr;
+  SharedScanPass<OidValue>* shared_pass_ = nullptr;
+  size_t shared_consumer_ = 0;
 };
 
 }  // namespace socs

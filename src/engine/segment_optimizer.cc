@@ -60,10 +60,29 @@ Status SegmentOptimizerPass::Apply(MalProgram* prog, OptContext* ctx) {
     std::vector<MalArg> bound_args;  // (lo, hi [, incl flags]) pass-through
     for (size_t a = 1; a < in.args.size(); ++a) bound_args.push_back(in.args[a]);
 
+    // Selection push-down: when the bounds are plainly inclusive (the 3-arg
+    // form, or literal non-zero inclusive flags) and the column's SQL type
+    // is double (filtered delivery compares raw doubles; other tail types
+    // re-compare post-truncation values in the body select), ask the
+    // iterator for filtered delivery and drop the MAL-side re-filter: mode 2
+    // (candidate oids) for uselect, mode 1 ([oid,value] pairs) for select.
+    const bool inclusive =
+        in.args.size() == 3 ||
+        (in.args.size() >= 5 && in.args[3].kind == MalArg::Kind::kNum &&
+         in.args[3].num != 0 && in.args[4].kind == MalArg::Kind::kNum &&
+         in.args[4].num != 0);
+    int mode = 0;
+    if (inclusive) {
+      auto col = ctx->catalog->GetSegmented(handle);
+      if (col.ok() && (*col)->sql_type() == ValType::kDbl) {
+        mode = in.Is("algebra", "uselect") ? 2 : 1;
+      }
+    }
+
     const int y1 = prog->NewVar("Y");
     const int result = in.rets[0];  // the accumulator takes the select's var
     const int rseg = prog->NewVar("rseg");
-    const int t1 = prog->NewVar("T");
+    const int t1 = mode == 0 ? prog->NewVar("T") : -1;
 
     MalInstr take;
     take.module = "bpm";
@@ -83,20 +102,25 @@ Status SegmentOptimizerPass::Apply(MalProgram* prog, OptContext* ctx) {
     barrier.module = "bpm";
     barrier.op = "newIterator";
     barrier.rets = {rseg};
-    barrier.args = {MalArg::Var(y1), lo, hi};
+    barrier.args = {MalArg::Var(y1), lo, hi, MalArg::Num(mode)};
     out.push_back(barrier);
 
-    MalInstr body = in;  // same select op and bound args, over the segment
-    body.rets = {t1};
-    body.args.clear();
-    body.args.push_back(MalArg::Var(rseg));
-    for (const MalArg& a : bound_args) body.args.push_back(a);
-    out.push_back(body);
+    if (mode == 0) {
+      MalInstr body = in;  // same select op and bound args, over the segment
+      body.rets = {t1};
+      body.args.clear();
+      body.args.push_back(MalArg::Var(rseg));
+      for (const MalArg& a : bound_args) body.args.push_back(a);
+      out.push_back(body);
+    }
 
     MalInstr add;
     add.module = "bpm";
     add.op = "addSegment";
-    add.args = {MalArg::Var(result), MalArg::Var(t1)};
+    // With push-down the delivered segment IS the filtered result; there is
+    // no body select output to accumulate.
+    add.args = {MalArg::Var(result),
+                MalArg::Var(mode == 0 ? t1 : rseg)};
     out.push_back(add);
 
     MalInstr redo;
@@ -104,7 +128,7 @@ Status SegmentOptimizerPass::Apply(MalProgram* prog, OptContext* ctx) {
     redo.module = "bpm";
     redo.op = "hasMoreElements";
     redo.rets = {rseg};
-    redo.args = {MalArg::Var(y1), lo, hi};
+    redo.args = {MalArg::Var(y1), lo, hi, MalArg::Num(mode)};
     out.push_back(redo);
 
     MalInstr exit_i;

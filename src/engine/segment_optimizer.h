@@ -6,14 +6,21 @@
 // becomes
 //     Y1 := bpm.take("sys_T_C");
 //     Y2 := bpm.new();
-//     barrier rseg := bpm.newIterator(Y1, lo, hi);
-//       T1 := algebra.(u)select(rseg, lo, hi...);
-//       bpm.addSegment(Y2, T1);
-//     redo rseg := bpm.hasMoreElements(Y1, lo, hi);
+//     barrier rseg := bpm.newIterator(Y1, lo, hi, mode);
+//       T1 := algebra.(u)select(rseg, lo, hi...);   -- only when mode = 0
+//       bpm.addSegment(Y2, T1);                     -- (Y2, rseg) when mode != 0
+//     redo rseg := bpm.hasMoreElements(Y1, lo, hi, mode);
 //     exit rseg;
 //     bpm.adapt(Y1, lo, hi);                    -- the reorganizing module
 //     Xs := Y2;  (Y2 takes Xs's variable)
 // The leftover sql.bind becomes dead code and is removed by DeadCodeElimPass.
+//
+// Selection push-down: for plainly inclusive bounds over a double-typed
+// column the pass sets mode != 0 (1 for select, 2 for uselect), asking the
+// iterator for *filtered* delivery -- the metered scan and the predicate
+// filter become one pass and the MAL-side body select disappears. The
+// filtered BAT shapes match the body select's outputs exactly, so plans,
+// results and accounting are indistinguishable downstream.
 //
 // The iterator delivers segments through the strategy's metered ScanSegment
 // (selection half), while bpm.adapt runs only the Reorganize phase

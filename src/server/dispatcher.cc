@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "engine/bpm.h"
 
 namespace socs::server {
 
@@ -13,7 +14,7 @@ class Dispatcher::SessionQueue {
  private:
   friend class Dispatcher;
   std::string name_;
-  std::deque<Job> jobs_;
+  std::deque<Entry> jobs_;
   bool running_ = false;  // an executor is inside one of this session's jobs
   bool in_ring_ = false;
   bool closed_ = false;   // Unregister started; no further Submits
@@ -35,7 +36,7 @@ Dispatcher::SessionQueue* Dispatcher::Register(std::string name) {
   return sessions_.back().get();
 }
 
-bool Dispatcher::Submit(SessionQueue* q, Job job) {
+bool Dispatcher::Submit(SessionQueue* q, Job job, BatchTag tag) {
   std::unique_lock<std::mutex> lk(mu_);
   while (true) {
     if (stop_ || q->closed_) return false;
@@ -43,7 +44,7 @@ bool Dispatcher::Submit(SessionQueue* q, Job job) {
     ++admission_waits_;
     room_cv_.wait(lk);
   }
-  q->jobs_.push_back(std::move(job));
+  q->jobs_.push_back(Entry{std::move(job), std::move(tag)});
   peak_queue_ = std::max(peak_queue_, q->jobs_.size());
   if (!q->running_ && !q->in_ring_) {
     ring_.push_back(q);
@@ -51,6 +52,38 @@ bool Dispatcher::Submit(SessionQueue* q, Job job) {
   }
   work_cv_.notify_one();
   return true;
+}
+
+bool Dispatcher::Submit(SessionQueue* q, std::function<void()> job) {
+  return Submit(
+      q, [f = std::move(job)](const SharedScanRef* /*shared*/) { f(); });
+}
+
+uint64_t Dispatcher::RunBatch(std::vector<Member>* members) {
+  if (members->size() == 1) {
+    (*members)[0].job(nullptr);  // the unchanged per-statement path
+    return 0;
+  }
+  // One cooperative pass for the whole batch, on this executor's stack: it
+  // outlives every member's Run (members execute synchronously below).
+  SharedScanPass<OidValue> pass;
+  std::vector<SharedScanRef> refs(members->size());
+  for (size_t i = 0; i < members->size(); ++i) {
+    const BatchTag& tag = (*members)[i].tag;
+    // Register the engine's half-open form of the inclusive SQL bounds, so
+    // the iterator's Lookup finds the predicate verbatim.
+    refs[i] = SharedScanRef{
+        &pass, pass.RegisterConsumer(
+                   SegmentedColumn::InclusiveToHalfOpen(tag.lo, tag.hi))};
+  }
+  // Admission order: members run sequentially, so each member's Reorganize
+  // (and its data-epoch bump) lands between deliveries exactly as on the
+  // per-statement path -- the batch is a scheduling change, not a semantic
+  // one.
+  for (size_t i = 0; i < members->size(); ++i) {
+    (*members)[i].job(&refs[i]);
+  }
+  return pass.scans_saved();
 }
 
 void Dispatcher::ExecutorLoop() {
@@ -61,23 +94,71 @@ void Dispatcher::ExecutorLoop() {
     SessionQueue* q = ring_.front();
     ring_.pop_front();
     q->in_ring_ = false;
-    Job job = std::move(q->jobs_.front());
-    q->jobs_.pop_front();
     q->running_ = true;
-    ++running_jobs_;
+
+    std::vector<Member> batch;
+    batch.push_back(Member{q, std::move(q->jobs_.front().job),
+                           q->jobs_.front().tag});
+    q->jobs_.pop_front();
+
+    if (opts_.shared_scans && batch[0].tag.batchable) {
+      // Batch-window formation: absorb each contributing session's
+      // *front prefix* of batchable statements on the same column --
+      // a non-batchable front statement (e.g. an INSERT) cuts the prefix,
+      // acting as a barrier that flushes the batch before it.
+      // By value: push_back below reallocates `batch`, so a reference into
+      // batch[0] would dangle mid-walk.
+      const std::string column = batch[0].tag.column;
+      auto take_prefix = [&](SessionQueue* s) {
+        size_t taken = 0;
+        while (batch.size() < opts_.max_batch && !s->jobs_.empty() &&
+               s->jobs_.front().tag.batchable &&
+               s->jobs_.front().tag.column == column) {
+          batch.push_back(Member{s, std::move(s->jobs_.front().job),
+                                 s->jobs_.front().tag});
+          s->jobs_.pop_front();
+          ++taken;
+        }
+        return taken;
+      };
+      take_prefix(q);  // the dequeued session's own same-column run
+      for (auto it = ring_.begin();
+           it != ring_.end() && batch.size() < opts_.max_batch;) {
+        SessionQueue* s = *it;
+        if (take_prefix(s) > 0) {
+          // s now has a statement in this batch: its remaining queue must
+          // wait behind it (session order), so s leaves the ready ring.
+          s->running_ = true;
+          s->in_ring_ = false;
+          it = ring_.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    }
+
+    running_jobs_ += batch.size();
     lk.unlock();
-    room_cv_.notify_all();  // the session's queue just gained room
-    job();
+    room_cv_.notify_all();  // contributing queues just gained room
+    const uint64_t local_saved = RunBatch(&batch);
     lk.lock();
-    q->running_ = false;
-    --running_jobs_;
-    ++executed_;
-    if (!q->jobs_.empty()) {
-      // Round-robin: back of the ring after ONE statement, so other
-      // sessions' pending statements go first.
-      ring_.push_back(q);
-      q->in_ring_ = true;
-      work_cv_.notify_one();
+    for (const Member& m : batch) {
+      SessionQueue* s = m.session;
+      s->running_ = false;
+      if (!s->jobs_.empty() && !s->in_ring_) {
+        // Round-robin: back of the ring after its turn, so other sessions'
+        // pending statements go first.
+        ring_.push_back(s);
+        s->in_ring_ = true;
+        work_cv_.notify_one();
+      }
+    }
+    running_jobs_ -= batch.size();
+    executed_ += batch.size();
+    if (batch.size() > 1) {
+      ++batches_;
+      batched_stmts_ += batch.size();
+      saved_ += local_saved;
     }
     idle_cv_.notify_all();
   }
@@ -135,6 +216,21 @@ uint64_t Dispatcher::admission_waits() const {
 size_t Dispatcher::peak_session_queue() const {
   std::lock_guard<std::mutex> lk(mu_);
   return peak_queue_;
+}
+
+uint64_t Dispatcher::scan_batches() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return batches_;
+}
+
+uint64_t Dispatcher::batched_statements() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return batched_stmts_;
+}
+
+uint64_t Dispatcher::shared_scans_saved() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return saved_;
 }
 
 }  // namespace socs::server

@@ -17,6 +17,23 @@
 // different sessions run in parallel up to the executor count, all on the
 // one shared store, serialized per column by the ColumnLatch discipline
 // underneath.
+//
+// Shared scans (batch-mode execution): when an executor dequeues a
+// statement tagged as a single-column range selection, it widens the unit of
+// work from one statement to a *scan batch* -- the longest prefix of
+// same-column batchable statements from the same session, plus each ready
+// session's batchable same-column front prefix, walked in ring order up to
+// `max_batch`. The batch runs on that one executor, sequentially and in
+// admission order, with all members registered against one cooperative
+// SharedScanPass: the first member to deliver each covering segment filters
+// it for everyone (predicate fan-out), later members replay their metered
+// charges from the cached qualifying sets without re-walking the payload.
+// Replies and per-query stats stay byte-identical to the per-query path;
+// only duplicate physical filter passes disappear (`shared_scans_saved`).
+// A non-batchable front statement (an INSERT, a multi-predicate or
+// non-segmented selection) cuts the prefix, so writes act as batch barriers
+// and session order is never reordered. Sparse traffic -- a batch of one --
+// runs exactly the old per-statement path.
 #ifndef SOCS_SERVER_DISPATCHER_H_
 #define SOCS_SERVER_DISPATCHER_H_
 
@@ -31,16 +48,42 @@
 #include <thread>
 #include <vector>
 
+#include "core/oid_value.h"
+#include "core/shared_scan.h"
+
 namespace socs::server {
 
 class Dispatcher {
  public:
+  /// Handed to a job running inside a scan batch: the batch's cooperative
+  /// pass and the job's registered consumer slot. Null for jobs running on
+  /// the per-statement path (including batches of one).
+  struct SharedScanRef {
+    SharedScanPass<OidValue>* pass = nullptr;
+    size_t consumer = 0;
+  };
+
   /// A queued unit of work: executes one statement and writes its reply.
-  using Job = std::function<void()>;
+  /// `shared` is non-null iff the job runs as part of a scan batch.
+  using Job = std::function<void(const SharedScanRef* shared)>;
+
+  /// Admission-time classification of a statement (see Server's
+  /// AnalyzeForSharedScan): batchable means "single range predicate over
+  /// one segmented column", the shape a scan batch can co-execute.
+  struct BatchTag {
+    bool batchable = false;
+    std::string column;  // segmented-column handle the selection covers
+    double lo = 0.0, hi = 0.0;  // inclusive SQL bounds of the predicate
+  };
 
   struct Options {
     size_t executors = 2;
     size_t max_pending_per_session = 8;
+    /// Master switch for cooperative scan batches; off = always the
+    /// per-statement path (the differential baseline).
+    bool shared_scans = true;
+    /// Most statements one scan batch may absorb.
+    size_t max_batch = 32;
   };
 
   /// Opaque per-session handle (owned by the dispatcher).
@@ -57,7 +100,14 @@ class Dispatcher {
   /// Enqueues one statement job for the session, blocking while the
   /// session's queue is at the admission bound. Returns false (job not
   /// enqueued) when the dispatcher is stopping or the session was closed.
-  bool Submit(SessionQueue* q, Job job);
+  bool Submit(SessionQueue* q, Job job, BatchTag tag);
+  bool Submit(SessionQueue* q, Job job) {
+    return Submit(q, std::move(job), BatchTag{});
+  }
+
+  /// Convenience overload for jobs that ignore the shared-scan seam
+  /// (equivalent to a never-batchable tag).
+  bool Submit(SessionQueue* q, std::function<void()> job);
 
   /// Waits until the session's queued and running jobs have finished, then
   /// removes it from the round-robin and frees it. The caller must not use
@@ -77,9 +127,29 @@ class Dispatcher {
   /// Deepest per-session queue ever observed; never exceeds
   /// max_pending_per_session.
   size_t peak_session_queue() const;
+  /// Scan batches executed (only batches of 2+ statements are counted).
+  uint64_t scan_batches() const;
+  /// Statements that ran inside those batches.
+  uint64_t batched_statements() const;
+  /// Physical filter passes avoided by batch members replaying cached
+  /// qualifying sets (summed over all batches' SharedScanPass counters).
+  uint64_t shared_scans_saved() const;
 
  private:
+  struct Entry {
+    Job job;
+    BatchTag tag;
+  };
+  struct Member {
+    SessionQueue* session = nullptr;
+    Job job;
+    BatchTag tag;
+  };
+
   void ExecutorLoop();
+  /// Runs `members` (size >= 1) outside the lock; returns filter passes
+  /// saved by the batch's cooperative cache.
+  uint64_t RunBatch(std::vector<Member>* members);
 
   const Options opts_;
   mutable std::mutex mu_;
@@ -94,6 +164,9 @@ class Dispatcher {
   uint64_t executed_ = 0;
   uint64_t admission_waits_ = 0;
   size_t peak_queue_ = 0;
+  uint64_t batches_ = 0;
+  uint64_t batched_stmts_ = 0;
+  uint64_t saved_ = 0;
 };
 
 }  // namespace socs::server

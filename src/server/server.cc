@@ -11,8 +11,26 @@
 #include "common/logging.h"
 #include "server/session.h"
 #include "server/wire.h"
+#include "sql/parser.h"
 
 namespace socs::server {
+
+Dispatcher::BatchTag AnalyzeForSharedScan(const std::string& statement,
+                                          const Catalog& catalog) {
+  Dispatcher::BatchTag tag;
+  auto parsed = sql::ParseStatement(statement);
+  if (!parsed.ok() || parsed->kind != sql::Statement::Kind::kSelect) return tag;
+  const sql::SelectStmt& sel = parsed->select;
+  if (sel.predicates.size() != 1) return tag;
+  const sql::BetweenPred& pred = sel.predicates[0];
+  if (!(pred.lo <= pred.hi)) return tag;  // empty/invalid range: leave alone
+  if (!catalog.IsSegmented(sel.table, pred.column)) return tag;
+  tag.batchable = true;
+  tag.column = Catalog::SegHandle(sel.table, pred.column);
+  tag.lo = pred.lo;
+  tag.hi = pred.hi;
+  return tag;
+}
 
 SqlServer::SqlServer(Catalog* catalog, TaskScheduler* sched,
                      const Options& opts)
@@ -20,7 +38,8 @@ SqlServer::SqlServer(Catalog* catalog, TaskScheduler* sched,
       sched_(sched),
       opts_(opts),
       dispatcher_(Dispatcher::Options{opts.executors,
-                                      opts.max_pending_per_session}) {}
+                                      opts.max_pending_per_session,
+                                      opts.shared_scans, opts.max_batch}) {}
 
 SqlServer::~SqlServer() { Stop(); }
 
@@ -97,17 +116,27 @@ void SqlServer::ServeConnection(Conn* conn) {
   while (ch.ReadLine(&line)) {
     if (line.empty()) continue;
     const std::string statement = line;
-    const bool admitted = dispatcher_.Submit(queue, [this, conn, &session,
-                                                    statement] {
-      const std::string reply = session.ExecuteToWire(statement);
-      std::lock_guard<std::mutex> wl(conn->write_mu);
-      // A peer that disconnected mid-stream makes this fail; the statement
-      // already executed (its adaptation work is real), the reply is
-      // dropped.
-      if (Status st = WriteAll(conn->fd, reply); !st.ok()) {
-        SOCS_LOG(Debug) << "reply dropped: " << st.ToString();
-      }
-    });
+    const bool admitted = dispatcher_.Submit(
+        queue,
+        [this, conn, &session,
+         statement](const Dispatcher::SharedScanRef* shared) {
+          // Inside a scan batch, attach the batch's cooperative pass for
+          // exactly this statement; the reply and #stats are byte-identical
+          // either way (the batch only skips duplicate filter passes).
+          if (shared != nullptr) {
+            session.set_shared_scan(shared->pass, shared->consumer);
+          }
+          const std::string reply = session.ExecuteToWire(statement);
+          if (shared != nullptr) session.clear_shared_scan();
+          std::lock_guard<std::mutex> wl(conn->write_mu);
+          // A peer that disconnected mid-stream makes this fail; the
+          // statement already executed (its adaptation work is real), the
+          // reply is dropped.
+          if (Status st = WriteAll(conn->fd, reply); !st.ok()) {
+            SOCS_LOG(Debug) << "reply dropped: " << st.ToString();
+          }
+        },
+        AnalyzeForSharedScan(statement, *catalog_));
     if (!admitted) break;  // server stopping
   }
   // Runs every admitted statement of this session before returning, so

@@ -49,6 +49,11 @@ class SqlServer {
     /// stops pulling lines off the socket.
     size_t max_pending_per_session = 8;
     int listen_backlog = 64;
+    /// Cooperative scan batches across sessions (see Dispatcher). Off =
+    /// always the per-statement path, the differential-testing baseline.
+    bool shared_scans = true;
+    /// Most statements one scan batch may absorb.
+    size_t max_batch = 32;
   };
 
   /// Aggregated background-maintenance ledger across every segmented column
@@ -88,6 +93,9 @@ class SqlServer {
   uint64_t statements_executed() const { return dispatcher_.statements_executed(); }
   uint64_t admission_waits() const { return dispatcher_.admission_waits(); }
   size_t peak_session_queue() const { return dispatcher_.peak_session_queue(); }
+  uint64_t scan_batches() const { return dispatcher_.scan_batches(); }
+  uint64_t batched_statements() const { return dispatcher_.batched_statements(); }
+  uint64_t shared_scans_saved() const { return dispatcher_.shared_scans_saved(); }
 
  private:
   struct Conn {
@@ -116,6 +124,15 @@ class SqlServer {
   std::list<std::unique_ptr<Conn>> conns_;
   uint64_t sessions_accepted_ = 0;
 };
+
+/// Admission-time statement classification for the dispatcher's scan
+/// batches: a SELECT whose WHERE is exactly one BETWEEN over a segmented
+/// column of `catalog` (with lo <= hi) gets a batchable tag carrying the
+/// column handle and the inclusive bounds; everything else -- INSERTs,
+/// multi-predicate or non-segmented selections, unparsable text -- is
+/// non-batchable and acts as a batch barrier in its session's queue.
+Dispatcher::BatchTag AnalyzeForSharedScan(const std::string& statement,
+                                          const Catalog& catalog);
 
 }  // namespace socs::server
 

@@ -41,6 +41,15 @@ class Session {
     return Execute(text).Serialize();
   }
 
+  /// Attaches the dispatcher's scan-batch seam for the NEXT Execute call:
+  /// push-down deliveries look up / publish their filtered sets in `pass`
+  /// under `consumer`'s registered predicate (see Dispatcher). The server
+  /// clears it right after the batched statement runs.
+  void set_shared_scan(SharedScanPass<OidValue>* pass, size_t consumer) {
+    interp_.set_shared_scan(pass, consumer);
+  }
+  void clear_shared_scan() { interp_.set_shared_scan(nullptr, 0); }
+
   /// Statements executed (counting failed ones).
   uint64_t statements() const { return statements_; }
 

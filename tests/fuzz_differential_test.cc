@@ -1,0 +1,473 @@
+// Differential fuzzing of the execution stack. Two oracles, both driven by
+// seeded randomized SQL streams (interleaved SELECT/INSERT, uniform and Zipf
+// predicate placement, random strategy kinds and thread counts):
+//
+//   A. engine vs core -- the SQL->MAL engine path (segment optimizer with
+//      selection push-down + BPM iterator + bpm.adapt) against the direct
+//      AccessStrategy::RunRange/Append path on a twin store: per-statement
+//      execution records and end-of-stream IoStats must match byte for byte.
+//   B. batched vs unbatched -- the same client traffic against two fresh SQL
+//      servers, one with cooperative shared scans ON and one OFF (the
+//      per-statement baseline): serialized wire replies, #stats trailers
+//      included, must be byte-identical (single client: per statement;
+//      concurrent identical clients: as multisets).
+//
+// Every failure prints the SOCS_FUZZ_SEED that reproduces it. ctest runs the
+// fixed-seed smoke mode; override SOCS_FUZZ_SEED / SOCS_FUZZ_ITERS to fuzz
+// wider:
+//
+//   SOCS_FUZZ_SEED=12345 SOCS_FUZZ_ITERS=200 ./fuzz_differential_test
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/units.h"
+#include "core/adaptive_replication.h"
+#include "core/adaptive_segmentation.h"
+#include "core/apm.h"
+#include "core/cracking.h"
+#include "core/deferred_segmentation.h"
+#include "core/non_segmented.h"
+#include "core/positional_blocks.h"
+#include "core/static_partition.h"
+#include "engine/catalog.h"
+#include "engine/mal_builder.h"
+#include "engine/mal_interpreter.h"
+#include "engine/optimizer.h"
+#include "exec/task_scheduler.h"
+#include "server/client.h"
+#include "server/server.h"
+#include "sql/compiler.h"
+#include "workload/range_generator.h"
+
+namespace socs {
+namespace {
+
+using client::Connection;
+using server::SqlServer;
+
+constexpr size_t kNumStrategies = 7;
+const ValueRange kDomain(0.0, 360.0);
+
+uint64_t EnvU64(const char* name, uint64_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  return std::strtoull(v, nullptr, 10);
+}
+
+std::unique_ptr<AccessStrategy<OidValue>> MakeOidStrategy(
+    size_t kind, std::vector<OidValue> pairs, SegmentSpace* space) {
+  auto model = std::make_unique<Apm>(8 * kKiB, 32 * kKiB);
+  switch (kind) {
+    case 0:
+      return std::make_unique<NonSegmented<OidValue>>(std::move(pairs), kDomain,
+                                                      space);
+    case 1:
+      return std::make_unique<StaticPartition<OidValue>>(std::move(pairs),
+                                                         kDomain, 8, space);
+    case 2:
+      return std::make_unique<PositionalBlocks<OidValue>>(
+          std::move(pairs), kDomain, 16 * kKiB, space, /*use_zone_maps=*/true);
+    case 3:
+      return std::make_unique<CrackingColumn<OidValue>>(std::move(pairs),
+                                                        kDomain, space);
+    case 4:
+      return std::make_unique<AdaptiveSegmentation<OidValue>>(
+          std::move(pairs), kDomain, std::move(model), space);
+    case 5:
+      return std::make_unique<DeferredSegmentation<OidValue>>(
+          std::move(pairs), kDomain, std::move(model), space);
+    default:
+      return std::make_unique<AdaptiveReplication<OidValue>>(
+          std::move(pairs), kDomain, std::move(model), space);
+  }
+}
+
+std::vector<OidValue> MakePairs(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<OidValue> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back({i, rng.NextUniform(kDomain.lo, kDomain.hi)});
+  }
+  return out;
+}
+
+std::unique_ptr<QueryGenerator> MakeGenerator(bool zipf, double selectivity,
+                                              uint64_t seed) {
+  if (zipf) {
+    return std::make_unique<ZipfRangeGenerator>(kDomain, selectivity, seed);
+  }
+  return std::make_unique<UniformRangeGenerator>(kDomain, selectivity, seed);
+}
+
+// ---------------------------------------------------------------------------
+// Part A: engine vs core, randomized streams
+// ---------------------------------------------------------------------------
+
+/// The hand-built Fig.-1-style plan (identical to parity_test's): inclusive
+/// uselect over a segmented dbl column -- the shape the segment optimizer
+/// rewrites into filtered (mode-2) segment delivery.
+MalProgram BuildSelectPlan(double lo, double hi) {
+  MalProgram prog;
+  MalBuilder b(&prog);
+  const int ra = b.Call("sql", "bind",
+                        {MalArg::Str("sys"), MalArg::Str("P"), MalArg::Str("ra"),
+                         MalArg::Num(0)});
+  const int cand = b.Call("algebra", "uselect",
+                          {MalArg::Var(ra), MalArg::Num(lo), MalArg::Num(hi),
+                           MalArg::Num(1), MalArg::Num(1)});
+  const int zero = b.Call("calc", "oid", {MalArg::Num(0)});
+  const int marked =
+      b.Call("algebra", "markT", {MalArg::Var(cand), MalArg::Var(zero)});
+  const int renum = b.Call("bat", "reverse", {MalArg::Var(marked)});
+  const int objid = b.Call("sql", "bind",
+                           {MalArg::Str("sys"), MalArg::Str("P"),
+                            MalArg::Str("objid"), MalArg::Num(0)});
+  const int joined =
+      b.Call("algebra", "join", {MalArg::Var(renum), MalArg::Var(objid)});
+  const int rs = b.Call("sql", "resultSet", {});
+  b.CallVoid("sql", "rsColumn",
+             {MalArg::Var(rs), MalArg::Str("P.objid"), MalArg::Var(joined)});
+  b.CallVoid("sql", "exportResult", {MalArg::Var(rs)});
+  return prog;
+}
+
+void CheckRecordParity(const QueryExecution& eng, const QueryExecution& core,
+                       int step) {
+  ASSERT_EQ(eng.read_bytes, core.read_bytes) << "step " << step;
+  ASSERT_EQ(eng.write_bytes, core.write_bytes) << "step " << step;
+  ASSERT_EQ(eng.splits, core.splits) << "step " << step;
+  ASSERT_EQ(eng.segments_scanned, core.segments_scanned) << "step " << step;
+  ASSERT_EQ(eng.result_count, core.result_count) << "step " << step;
+  ASSERT_EQ(eng.merges, core.merges) << "step " << step;
+  ASSERT_EQ(eng.replicas_created, core.replicas_created) << "step " << step;
+  ASSERT_EQ(eng.segments_dropped, core.segments_dropped) << "step " << step;
+  ASSERT_EQ(eng.replicas_evicted, core.replicas_evicted) << "step " << step;
+  EXPECT_DOUBLE_EQ(eng.selection_seconds, core.selection_seconds)
+      << "step " << step;
+  EXPECT_DOUBLE_EQ(eng.adaptation_seconds, core.adaptation_seconds)
+      << "step " << step;
+}
+
+/// One randomized engine-vs-core round: a random strategy kind, random
+/// scheduler width, random predicate placement (uniform/Zipf) and
+/// selectivity, random insert cadence -- per-statement record parity plus
+/// end-of-stream storage parity.
+void FuzzEngineCoreOnce(uint64_t seed) {
+  SCOPED_TRACE("reproduce with SOCS_FUZZ_SEED=" + std::to_string(seed));
+  Rng meta(seed);
+  const size_t kind = static_cast<size_t>(meta.NextInt(0, kNumStrategies - 1));
+  // A threaded engine gets a background lane, and the interpreter hands
+  // deferred batches to it after bpm.adapt -- work the core twin (which has
+  // no lane) runs on the query path instead. Deferred segmentation (kind 5)
+  // therefore only has record parity against the unthreaded engine.
+  const size_t threads = kind != 5 && meta.NextInt(0, 1) == 1 ? 4 : 1;
+  const bool zipf = meta.NextInt(0, 1) == 1;
+  const double selectivity = meta.NextUniform(0.01, 0.15);
+  const int insert_every = static_cast<int>(meta.NextInt(3, 6));
+  const size_t n = 6000;
+  const int steps = 60;
+  SCOPED_TRACE("kind=" + std::to_string(kind) +
+               " threads=" + std::to_string(threads) +
+               " zipf=" + std::to_string(zipf));
+
+  auto pairs = MakePairs(n, seed ^ 0xda7a5eedULL);
+  std::vector<int64_t> objid;
+  objid.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    objid.push_back(static_cast<int64_t>(1'000'000 + i));
+  }
+
+  SegmentSpace engine_space, core_space;
+  Catalog cat;
+  auto col = std::make_unique<SegmentedColumn>(
+      Catalog::SegHandle("P", "ra"), ValType::kDbl,
+      MakeOidStrategy(kind, pairs, &engine_space), &engine_space);
+  ASSERT_TRUE(cat.AddSegmentedColumn("P", "ra", std::move(col)).ok());
+  ASSERT_TRUE(cat.AddColumn("P", "objid", TypedVector::Of(objid)).ok());
+  auto direct = MakeOidStrategy(kind, pairs, &core_space);
+
+  MalInterpreter interp(&cat);
+  TaskScheduler sched(threads);
+  if (threads > 1) interp.set_exec(&sched);
+  auto gen = MakeGenerator(zipf, selectivity, seed ^ 0x9e3779b9ULL);
+  Rng ins(seed ^ 0x1235813ULL);
+  uint64_t core_rows = n;
+
+  for (int step = 0; step < steps; ++step) {
+    if (step % insert_every == insert_every - 1) {
+      sql::InsertStmt stmt;
+      stmt.table = "P";  // VALUES bind in declaration order: (ra, objid)
+      const size_t batch = 1 + static_cast<size_t>(ins.NextInt(0, 3));
+      std::vector<OidValue> core_pairs;
+      for (size_t r = 0; r < batch; ++r) {
+        // Occasionally stray past the domain to exercise widening parity.
+        const double hi = ins.NextInt(0, 9) == 0 ? 380.0 : kDomain.hi;
+        const double v = ins.NextUniform(kDomain.lo, hi);
+        stmt.rows.push_back({v, static_cast<double>(2'000'000 + step)});
+        core_pairs.push_back({core_rows + r, v});
+      }
+      auto prog = sql::Compile(stmt, cat);
+      ASSERT_TRUE(prog.ok()) << prog.status().ToString();
+      OptContext ctx;
+      ctx.catalog = &cat;
+      PassManager pm = MakeDefaultPipeline();
+      ASSERT_TRUE(pm.Run(&prog.value(), &ctx).ok());
+      auto rs = interp.Run(*prog);
+      ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+      const QueryExecution core = direct->Append(core_pairs);
+      core_rows += batch;
+      ASSERT_EQ(*cat.RowCount("P"), core_rows) << "step " << step;
+      CheckRecordParity(interp.last_execution(), core, step);
+    } else {
+      const ValueRange q = gen->Next().range;
+      MalProgram prog = BuildSelectPlan(q.lo, q.hi);
+      OptContext ctx;
+      ctx.catalog = &cat;
+      PassManager pm = MakeDefaultPipeline();
+      ASSERT_TRUE(pm.Run(&prog, &ctx).ok());
+      auto rs = interp.Run(prog);
+      ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+      const QueryExecution core =
+          direct->RunRange(SegmentedColumn::InclusiveToHalfOpen(q.lo, q.hi));
+      CheckRecordParity(interp.last_execution(), core, step);
+      ASSERT_EQ((*rs)->NumRows(), core.result_count) << "step " << step;
+    }
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+
+  // End-of-stream: the storage layers saw identical traffic, byte for byte.
+  EXPECT_EQ(engine_space.stats().mem_read_bytes,
+            core_space.stats().mem_read_bytes);
+  EXPECT_EQ(engine_space.stats().mem_write_bytes,
+            core_space.stats().mem_write_bytes);
+  EXPECT_EQ(engine_space.stats().segments_created,
+            core_space.stats().segments_created);
+  EXPECT_EQ(engine_space.stats().segments_scanned,
+            core_space.stats().segments_scanned);
+}
+
+TEST(FuzzDifferential, EngineVsCoreRandomizedStreams) {
+  const uint64_t base = EnvU64("SOCS_FUZZ_SEED", 20260808);
+  const uint64_t iters = EnvU64("SOCS_FUZZ_ITERS", 5);
+  for (uint64_t i = 0; i < iters; ++i) {
+    FuzzEngineCoreOnce(base + i);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Part B: batched vs unbatched server, randomized client traffic
+// ---------------------------------------------------------------------------
+
+std::string FuzzTableOf(size_t kind) { return "F" + std::to_string(kind); }
+
+void AddFuzzTable(size_t kind, uint64_t seed, Catalog* cat,
+                  SegmentSpace* space) {
+  auto pairs = MakePairs(4000, seed ^ 0x0ddba11ULL);
+  std::vector<int64_t> ids;
+  ids.reserve(pairs.size());
+  for (size_t j = 0; j < pairs.size(); ++j) {
+    ids.push_back(static_cast<int64_t>(6'000'000 + j));
+  }
+  const std::string table = FuzzTableOf(kind);
+  auto col = std::make_unique<SegmentedColumn>(
+      Catalog::SegHandle(table, "v"), ValType::kDbl,
+      MakeOidStrategy(kind, std::move(pairs), space), space);
+  ASSERT_TRUE(cat->AddSegmentedColumn(table, "v", std::move(col)).ok());
+  ASSERT_TRUE(cat->AddColumn(table, "id", TypedVector::Of(ids)).ok());
+}
+
+/// Seed-determined single-client script: batchable SELECT runs, count(*)
+/// variants, INSERT barriers, an occasional unparsable line (ERR replies
+/// must be identical too).
+std::vector<std::string> MakeFuzzScript(size_t kind, uint64_t seed,
+                                        size_t steps) {
+  const std::string table = FuzzTableOf(kind);
+  Rng meta(seed ^ 0xf00dULL);
+  const bool zipf = meta.NextInt(0, 1) == 1;
+  auto gen = MakeGenerator(zipf, meta.NextUniform(0.02, 0.12), seed ^ 0xbeefULL);
+  Rng ins(seed ^ 0xca11ULL);
+  std::vector<std::string> script;
+  char buf[256];
+  for (size_t s = 0; s < steps; ++s) {
+    const int roll = static_cast<int>(ins.NextInt(0, 9));
+    if (roll == 0) {
+      script.push_back("select nonsense from nowhere");  // deterministic ERR
+      continue;
+    }
+    if (roll <= 2) {
+      const double v = ins.NextUniform(kDomain.lo, kDomain.hi);
+      std::snprintf(buf, sizeof(buf),
+                    "insert into %s (v, id) values (%.17g, %ld)", table.c_str(),
+                    v, 7'000'000 + static_cast<long>(s));
+      script.emplace_back(buf);
+      continue;
+    }
+    const ValueRange q = gen->Next().range;
+    const double hi = std::nextafter(q.hi, q.lo);  // inclusive form
+    if (roll <= 6) {
+      std::snprintf(buf, sizeof(buf),
+                    "select id from %s where v between %.17g and %.17g",
+                    table.c_str(), q.lo, hi);
+    } else {
+      std::snprintf(buf, sizeof(buf),
+                    "select count(*) from %s where v between %.17g and %.17g",
+                    table.c_str(), q.lo, hi);
+    }
+    script.emplace_back(buf);
+  }
+  return script;
+}
+
+struct ServerRun {
+  std::vector<std::string> replies;  // ordered (1 client) or arrival order
+  uint64_t batches = 0;
+  uint64_t saved = 0;
+};
+
+/// Runs the given traffic against a fresh store + server. Single-threaded
+/// scheduler: background maintenance only runs at Stop(), so the query-time
+/// stream is deterministic and the ON/OFF comparison is exact for every
+/// strategy, the deferred one included.
+ServerRun RunServer(size_t kind, uint64_t seed, bool shared_scans,
+                    size_t clients, size_t executors,
+                    const std::vector<std::string>& script) {
+  ServerRun out;
+  Catalog cat;
+  SegmentSpace space;
+  TaskScheduler sched(1);
+  AddFuzzTable(kind, seed, &cat, &space);
+  if (::testing::Test::HasFatalFailure()) return out;
+
+  SqlServer::Options opts;
+  opts.executors = executors;
+  opts.max_pending_per_session = 6;
+  opts.shared_scans = shared_scans;
+  SqlServer srv(&cat, &sched, opts);
+  EXPECT_TRUE(srv.Start().ok());
+
+  if (clients == 1) {
+    // void lambda so ASSERT_* (which returns) is usable here.
+    [&] {
+      auto conn = Connection::Connect("127.0.0.1", srv.port());
+      ASSERT_TRUE(conn.ok()) << conn.status().ToString();
+      size_t in_flight = 0;
+      for (const std::string& stmt : script) {
+        ASSERT_TRUE(conn->Send(stmt).ok());
+        if (++in_flight == 4) {
+          auto reply = conn->ReadReply();
+          ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+          out.replies.push_back(reply->Serialize());
+          --in_flight;
+        }
+      }
+      while (out.replies.size() < script.size()) {
+        auto reply = conn->ReadReply();
+        ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+        out.replies.push_back(reply->Serialize());
+      }
+    }();
+  } else {
+    // Concurrent clients all pipeline the SAME statement sequence, so the
+    // global execution order is some interleaving of identical statements
+    // and reply multisets are comparable across servers.
+    std::mutex mu;
+    std::vector<std::thread> threads;
+    for (size_t c = 0; c < clients; ++c) {
+      threads.emplace_back([&] {
+        auto conn = Connection::Connect("127.0.0.1", srv.port());
+        ASSERT_TRUE(conn.ok()) << conn.status().ToString();
+        for (const std::string& stmt : script) {
+          ASSERT_TRUE(conn->Send(stmt).ok());
+        }
+        for (size_t i = 0; i < script.size(); ++i) {
+          auto reply = conn->ReadReply();
+          ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+          std::lock_guard<std::mutex> lk(mu);
+          out.replies.push_back(reply->Serialize());
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+  }
+  srv.Stop();
+  out.batches = srv.scan_batches();
+  out.saved = srv.shared_scans_saved();
+
+  // The maintenance ledger balances whether or not batching ran.
+  const auto ledger = srv.Ledger();
+  EXPECT_EQ(ledger.schedules, ledger.runs + ledger.skips);
+  EXPECT_EQ(ledger.columns_with_pending_work, 0u);
+  return out;
+}
+
+/// One randomized batched-vs-unbatched round.
+void FuzzServerPairOnce(uint64_t seed) {
+  SCOPED_TRACE("reproduce with SOCS_FUZZ_SEED=" + std::to_string(seed));
+  Rng meta(seed);
+  const size_t kind = static_cast<size_t>(meta.NextInt(0, kNumStrategies - 1));
+  const size_t clients =
+      static_cast<size_t>(1) << static_cast<size_t>(meta.NextInt(0, 2));
+  SCOPED_TRACE("kind=" + std::to_string(kind) +
+               " clients=" + std::to_string(clients));
+
+  if (clients == 1) {
+    // Varied stream, random executor crew: one session serializes its own
+    // statements, so replies are byte-comparable per index.
+    const size_t executors = static_cast<size_t>(meta.NextInt(1, 3));
+    const std::vector<std::string> script = MakeFuzzScript(kind, seed, 40);
+    const ServerRun on = RunServer(kind, seed, true, 1, executors, script);
+    if (::testing::Test::HasFatalFailure()) return;
+    const ServerRun off = RunServer(kind, seed, false, 1, executors, script);
+    if (::testing::Test::HasFatalFailure()) return;
+    ASSERT_EQ(on.replies.size(), off.replies.size());
+    for (size_t i = 0; i < on.replies.size(); ++i) {
+      ASSERT_EQ(on.replies[i], off.replies[i])
+          << "statement " << i << ": " << script[i];
+    }
+    EXPECT_EQ(off.batches, 0u);
+    EXPECT_EQ(off.saved, 0u);
+  } else {
+    // Identical hot statements from every client, ONE executor on both
+    // servers: the global order is the same statement multiset either way,
+    // so serialized replies must agree as multisets -- batched or not.
+    const double lo = meta.NextUniform(kDomain.lo, kDomain.hi - 40.0);
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "select id from %s where v between %.17g and %.17g",
+                  FuzzTableOf(kind).c_str(), lo, lo + 40.0);
+    const std::vector<std::string> script(5, std::string(buf));
+    const ServerRun on = RunServer(kind, seed, true, clients, 1, script);
+    if (::testing::Test::HasFatalFailure()) return;
+    const ServerRun off = RunServer(kind, seed, false, clients, 1, script);
+    if (::testing::Test::HasFatalFailure()) return;
+    ASSERT_EQ(on.replies.size(), off.replies.size());
+    std::vector<std::string> a = on.replies, b = off.replies;
+    std::sort(a.begin(), a.end());
+    std::sort(b.begin(), b.end());
+    ASSERT_EQ(a, b);
+    EXPECT_EQ(off.batches, 0u);
+  }
+}
+
+TEST(FuzzDifferential, BatchedVsUnbatchedServerRandomizedTraffic) {
+  const uint64_t base = EnvU64("SOCS_FUZZ_SEED", 20260808);
+  const uint64_t iters = EnvU64("SOCS_FUZZ_ITERS", 6);
+  for (uint64_t i = 0; i < iters; ++i) {
+    FuzzServerPairOnce(base + 1000 + i);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+}  // namespace
+}  // namespace socs

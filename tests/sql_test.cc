@@ -7,6 +7,7 @@
 #include "core/adaptive_replication.h"
 #include "core/adaptive_segmentation.h"
 #include "core/apm.h"
+#include "engine/mal_builder.h"
 #include "engine/mal_interpreter.h"
 #include "engine/optimizer.h"
 #include "engine/segment_optimizer.h"
@@ -401,6 +402,74 @@ TEST_F(SqlTwoSegmented, OptimizedConjunctionMatchesUnoptimizedPlan) {
     EXPECT_EQ(Column(**rs_plain, 0), oracle) << text;
     EXPECT_EQ(Column(**rs_opt, 0), Column(**rs_plain, 0)) << text;
   }
+}
+
+// --- selection push-down into segment delivery -------------------------------
+
+TEST_F(SqlEndToEnd, PushdownDropsMalSideRefilterAndMatchesOracle) {
+  auto stmt = Parse("select objid from P where ra between 120 and 180");
+  ASSERT_TRUE(stmt.ok());
+  auto prog = sql::Compile(*stmt, cat_);
+  ASSERT_TRUE(prog.ok()) << prog.status().ToString();
+  OptContext ctx;
+  ctx.catalog = &cat_;
+  PassManager pm = MakeDefaultPipeline();
+  ASSERT_TRUE(pm.Run(&prog.value(), &ctx).ok());
+
+  // The rewritten loop asks the iterator for filtered delivery (the SQL
+  // BETWEEN is inclusive, the column is dbl) and carries NO algebra
+  // re-filter in the redo body: the metering filter pass is the only one.
+  int iterators = 0, refilters = 0;
+  double mode = -1;
+  for (const MalInstr& in : prog->instrs) {
+    if (in.Is("bpm", "newIterator")) {
+      ++iterators;
+      ASSERT_GE(in.args.size(), 4u);
+      ASSERT_EQ(in.args[3].kind, MalArg::Kind::kNum);
+      mode = in.args[3].num;
+    }
+    if (in.Is("algebra", "select") || in.Is("algebra", "uselect")) ++refilters;
+  }
+  EXPECT_EQ(iterators, 1);
+  EXPECT_EQ(mode, 2);  // uselect shape: filtered candidate-oid delivery
+  EXPECT_EQ(refilters, 0);
+
+  MalInterpreter interp(&cat_);
+  auto rs = interp.Run(*prog);
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  EXPECT_EQ(Column(**rs, 0), Oracle(120, 180));
+}
+
+TEST_F(SqlEndToEnd, PushdownSkipsBoundsItCannotProveInclusive) {
+  // Hand-built 4-arg uselect (bounds without inclusive flags): the optimizer
+  // cannot prove the range inclusive, so it must fall back to raw delivery
+  // (mode 0) and keep the per-segment re-filter in the loop body.
+  MalProgram prog;
+  MalBuilder b(&prog);
+  const int ra = b.Call("sql", "bind",
+                        {MalArg::Str("sys"), MalArg::Str("P"),
+                         MalArg::Str("ra"), MalArg::Num(0)});
+  b.Call("algebra", "uselect",
+         {MalArg::Var(ra), MalArg::Num(100), MalArg::Num(200), MalArg::Num(0)});
+  OptContext ctx;
+  ctx.catalog = &cat_;
+  SegmentOptimizerPass pass;
+  ASSERT_TRUE(pass.Apply(&prog, &ctx).ok());
+  EXPECT_EQ(pass.rewrites(), 1);
+
+  int iterators = 0, refilters = 0;
+  double mode = -1;
+  for (const MalInstr& in : prog.instrs) {
+    if (in.Is("bpm", "newIterator")) {
+      ++iterators;
+      ASSERT_GE(in.args.size(), 4u);
+      mode = in.args[3].num;
+    }
+    if (in.Is("algebra", "uselect")) ++refilters;
+  }
+  EXPECT_EQ(iterators, 1);
+  EXPECT_EQ(mode, 0);
+  EXPECT_EQ(refilters, 1);  // the body re-filter survives
 }
 
 TEST(ParserAggTest, ParsesAggregates) {
