@@ -5,7 +5,17 @@
 // bench aborts. Registered as a ctest smoke (tiny scale via
 // SOCS_BENCH_SCALE) so the parallel path is exercised on every tier-1 run.
 //
+// The reader-stall phase at the end races long scans against FlushBatch
+// reorganizations under both disciplines -- the old shared/exclusive latch
+// (set_snapshot_scans(false): every flush stalls every reader) and the
+// epoch-versioned covers (scans pin a snapshot and never block) -- and
+// writes the p50/p99 scan latencies plus maintenance wall time to
+// BENCH_scan_stall.json.
+//
 //   $ ./bench/bench_concurrent_scans [--threads N]   # add an N-worker row
+#include <algorithm>
+#include <atomic>
+#include <fstream>
 #include <iostream>
 #include <thread>
 #include <vector>
@@ -80,6 +90,84 @@ void CheckParity(const RunTotals& base, const RunTotals& run, size_t threads) {
       << threads << " threads";
   SOCS_CHECK_EQ(base.stats.segments_scanned, run.stats.segments_scanned)
       << threads << " threads";
+}
+
+// --- reader-stall phase ------------------------------------------------------
+
+struct StallRun {
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double maintenance_s = 0.0;  // wall time spent inside FlushBatch
+  uint64_t flushes = 0;
+  uint64_t rows_last_scan = 0;
+};
+
+double PercentileMs(std::vector<double> lat, double p) {
+  std::sort(lat.begin(), lat.end());
+  const size_t idx = std::min(lat.size() - 1,
+                              static_cast<size_t>(p * (lat.size() - 1)));
+  return lat[idx] * 1e3;
+}
+
+/// One reader issuing `scans` full-range selections while a writer keeps
+/// appending and flushing batches. With `snapshot` off the scans take the
+/// shared latch and every flush (exclusive) stalls them -- the old
+/// discipline; with it on they pin an epoch cover and never wait.
+StallRun RunStallPhase(bool snapshot, size_t scans,
+                       const std::vector<int32_t>& data) {
+  SegmentSpace space;
+  DeferredSegmentation<int32_t>::Options opts;
+  opts.batch_queries = 1 << 30;  // flushes only via the writer thread below
+  DeferredSegmentation<int32_t> strat(
+      data, ValueRange(0, kSimDomain),
+      std::make_unique<Apm>(std::max<uint64_t>(4 * kKiB, data.size() / 16),
+                            std::max<uint64_t>(16 * kKiB, data.size() / 4)),
+      &space, opts);
+  strat.set_snapshot_scans(snapshot);
+
+  StallRun out;
+  std::atomic<bool> done{false};
+  std::thread writer([&] {
+    Rng rng(kSimSeed + 7);
+    Stopwatch flush_sw;
+    while (!done.load(std::memory_order_relaxed)) {
+      std::vector<int32_t> batch;
+      for (int i = 0; i < 64; ++i) {
+        batch.push_back(static_cast<int32_t>(rng.NextInt(0, kSimDomain - 1)));
+      }
+      strat.Append(batch);
+      if (strat.HasIdleWork()) {
+        flush_sw.Restart();
+        strat.RunIdleWork();  // exclusive-latch reorganization
+        out.maintenance_s += flush_sw.ElapsedSeconds();
+        ++out.flushes;
+      }
+    }
+  });
+
+  std::vector<double> lat;
+  lat.reserve(scans);
+  const ValueRange full(0, kSimDomain);
+  Stopwatch sw;
+  for (size_t i = 0; i < scans; ++i) {
+    sw.Restart();
+    const QueryExecution ex = strat.RunRange(full);
+    lat.push_back(sw.ElapsedSeconds());
+    out.rows_last_scan = ex.result_count;
+  }
+  done.store(true);
+  writer.join();
+
+  // Scans under either discipline must observe whole appends only.
+  SOCS_CHECK_EQ((out.rows_last_scan - data.size()) % 64, 0u)
+      << "torn scan: partial append visible";
+  if (snapshot) {
+    SOCS_CHECK_GT(strat.epochs().pins(), 0u);
+    SOCS_CHECK_EQ(strat.PendingRetired(), 0u) << "retire list did not drain";
+  }
+  out.p50_ms = PercentileMs(lat, 0.50);
+  out.p99_ms = PercentileMs(lat, 0.99);
+  return out;
 }
 
 }  // namespace
@@ -171,5 +259,39 @@ int main(int argc, char** argv) {
       << "background lane never reorganized";
   std::cout << "note: every reorganization ran off-thread; the foreground "
                "adaptation seconds\ncover only the mark bookkeeping.\n";
+
+  // Reader-stall phase: long scans racing FlushBatch under the old latch
+  // discipline vs epoch-versioned covers. On a single-core host the latency
+  // gap narrows (the threads time-slice anyway); the isolation checks inside
+  // RunStallPhase are what must hold everywhere.
+  const size_t stall_scans = 50;
+  const StallRun old_run = RunStallPhase(/*snapshot=*/false, stall_scans, data);
+  const StallRun new_run = RunStallPhase(/*snapshot=*/true, stall_scans, data);
+
+  ResultTable stall("Reader stall under concurrent FlushBatch (" +
+                        std::to_string(stall_scans) + " full scans)",
+                    {"discipline", "p50_ms", "p99_ms", "maint_s", "flushes"});
+  stall.AddRow("latched scans (old)", FormatNumber(old_run.p50_ms),
+               FormatNumber(old_run.p99_ms), FormatNumber(old_run.maintenance_s),
+               old_run.flushes);
+  stall.AddRow("epoch covers (new)", FormatNumber(new_run.p50_ms),
+               FormatNumber(new_run.p99_ms), FormatNumber(new_run.maintenance_s),
+               new_run.flushes);
+  stall.Print(std::cout);
+
+  std::ofstream json("BENCH_scan_stall.json");
+  json << "{\n"
+       << "  \"scans\": " << stall_scans << ",\n"
+       << "  \"column_bytes\": " << data.size() * sizeof(int32_t) << ",\n"
+       << "  \"old_latched\": {\"p50_ms\": " << old_run.p50_ms
+       << ", \"p99_ms\": " << old_run.p99_ms
+       << ", \"maintenance_s\": " << old_run.maintenance_s
+       << ", \"flushes\": " << old_run.flushes << "},\n"
+       << "  \"new_epoch_covers\": {\"p50_ms\": " << new_run.p50_ms
+       << ", \"p99_ms\": " << new_run.p99_ms
+       << ", \"maintenance_s\": " << new_run.maintenance_s
+       << ", \"flushes\": " << new_run.flushes << "}\n"
+       << "}\n";
+  std::cout << "wrote BENCH_scan_stall.json\n";
   return 0;
 }

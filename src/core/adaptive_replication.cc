@@ -34,7 +34,7 @@ void AdaptiveReplication<T>::EnforceBudget(QueryExecution* ex) {
     };
     visit(tree_.sentinel());
     if (victim == nullptr) return;
-    this->space_->Free(victim->seg);
+    this->RetireSegment(victim->seg);
     victim->materialized = false;
     victim->seg = kInvalidSegment;
     ++ex->replicas_evicted;
@@ -175,7 +175,10 @@ void AdaptiveReplication<T>::AppendRec(ReplicaNode* n,
     n->count += values.size();
     if (n->materialized) {
       IoCost cost;
-      this->space_->template Append<T>(n->seg, values, &cost);
+      const SegmentId fresh =
+          this->space_->template AppendCow<T>(n->seg, values, &cost);
+      this->RetireSegment(n->seg);
+      n->seg = fresh;
       ex->write_bytes += cost.bytes;
       ex->adaptation_seconds += cost.seconds;
     }
@@ -219,7 +222,7 @@ QueryExecution AdaptiveReplication<T>::Reorganize(const ValueRange& q) {
     std::vector<SegmentId> freed;
     uint64_t drops = 0;
     tree_.CheckForDrop(s, &freed, &drops);
-    for (SegmentId id : freed) this->space_->Free(id);
+    for (SegmentId id : freed) this->RetireSegment(id);
     ex.segments_dropped += drops;
   }
   EnforceBudget(&ex);

@@ -66,6 +66,13 @@ class AdaptiveReplication : public AccessStrategy<T> {
   /// because their data lives in the refreshed materialized ancestor.
   QueryExecution AppendImpl(const std::vector<T>& values) override;
 
+  /// The replica tree's cover is a hierarchy walk, not a tiled overlap
+  /// filter: freeze the whole tree so pinned readers replay Algorithm 3
+  /// against publish-time state (see ReplicaCoverSnapshot).
+  std::shared_ptr<const ColumnCover> BuildCover(uint64_t epoch) const override {
+    return std::make_shared<ReplicaCoverSnapshot>(epoch, tree_);
+  }
+
  private:
   /// Algorithm 4: walks from covering segment `s` down to the leaves
   /// overlapping `q` and plans materializations (new replica children and/or

@@ -55,7 +55,7 @@ QueryExecution AdaptiveSegmentation<T>::BulkAppendLocked(
     SegmentId id = this->space_->Create(merged, &create);
     ex.write_bytes += create.bytes;
     ex.adaptation_seconds += create.seconds;
-    this->space_->Free(seg.id);
+    this->RetireSegment(seg.id);
     index_.Update(pos, SegmentInfo{seg.range, merged.size(), id});
   }
   total_bytes_ = index_.TotalCount() * sizeof(T);
@@ -86,8 +86,8 @@ void AdaptiveSegmentation<T>::Glue(size_t pos, QueryExecution* ex) {
   SegmentId id = this->space_->Create(merged, &create);
   ex->write_bytes += create.bytes;
   ex->adaptation_seconds += create.seconds;
-  this->space_->Free(a.id);
-  this->space_->Free(b.id);
+  this->RetireSegment(a.id);
+  this->RetireSegment(b.id);
   index_.ReplaceSpan(pos, 2,
                      {SegmentInfo{ValueRange(a.range.lo, b.range.hi),
                                   a.count + b.count, id}});
@@ -239,7 +239,7 @@ bool AdaptiveSegmentation<T>::SplitSegment(size_t pos, const SegmentInfo& seg,
     ex->adaptation_seconds += create.seconds;
     infos.push_back(SegmentInfo{p.range, p.values.size(), id});
   }
-  this->space_->Free(seg.id);
+  this->RetireSegment(seg.id);
   index_.Replace(pos, infos);
   ++ex->splits;
   return true;

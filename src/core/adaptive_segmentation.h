@@ -63,7 +63,9 @@ class AdaptiveSegmentation : public AccessStrategy<T> {
   /// Takes the column's exclusive latch -- safe alongside concurrent scans.
   QueryExecution BulkAppend(const std::vector<T>& values) {
     ExclusiveColumnGuard guard(this->latch_);
-    return BulkAppendLocked(values);
+    const QueryExecution r = BulkAppendLocked(values);
+    this->NoteReorganization(r);  // publish: retired segments await it
+    return r;
   }
 
   StorageFootprint Footprint() const override;

@@ -1,0 +1,71 @@
+// Versioned segment covers: the immutable planning snapshot a scan walks
+// while reorganization publishes new structure off to the side.
+//
+// A ColumnCover freezes one column's segmentation as of one published epoch
+// (see exec/epoch_manager.h). AccessStrategy::PublishCover() builds a fresh
+// cover at the end of every mutating Reorganize/Append/FlushBatch and
+// installs it with a single atomic epoch flip; readers pin the epoch, load
+// the cover, and answer Cover(q) from the frozen state -- no latch, no
+// visibility into in-progress mutations. Segment payloads referenced by a
+// cover are copy-on-write (SegmentSpace::AppendCow) and retired rather than
+// freed, so every SegmentInfo a cover hands out stays scannable until the
+// last reader pinned at or before its epoch unpins.
+#ifndef SOCS_CORE_COLUMN_COVER_H_
+#define SOCS_CORE_COLUMN_COVER_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "core/range.h"
+#include "core/segment.h"
+
+namespace socs {
+
+class ColumnCover {
+ public:
+  explicit ColumnCover(uint64_t epoch) : epoch_(epoch) {}
+  virtual ~ColumnCover() = default;
+
+  /// The published epoch this snapshot describes.
+  uint64_t epoch() const { return epoch_; }
+
+  /// Disjoint materialized segments whose union covers q's intersection with
+  /// the column, exactly as the strategy's live CoverSegments() would have
+  /// answered at publish time.
+  virtual std::vector<SegmentInfo> Cover(const ValueRange& q) const = 0;
+
+ private:
+  uint64_t epoch_;
+};
+
+/// The cover of every strategy whose segments tile the domain (and of the
+/// positional baselines): a frozen, range-ordered segment list. With
+/// `prune_by_range` the cover is the overlapping subset (the base
+/// CoverSegments policy); without it every segment is always visited
+/// (positional layouts cannot prune by value -- zone-map skipping happens at
+/// scan time against the SegmentInfo ranges carried here).
+class TiledCover : public ColumnCover {
+ public:
+  TiledCover(uint64_t epoch, std::vector<SegmentInfo> segments,
+             bool prune_by_range)
+      : ColumnCover(epoch), segments_(std::move(segments)),
+        prune_by_range_(prune_by_range) {}
+
+  std::vector<SegmentInfo> Cover(const ValueRange& q) const override {
+    if (!prune_by_range_) return segments_;
+    std::vector<SegmentInfo> out;
+    for (const SegmentInfo& s : segments_) {
+      if (s.range.Overlaps(q)) out.push_back(s);
+    }
+    return out;
+  }
+
+ private:
+  std::vector<SegmentInfo> segments_;
+  bool prune_by_range_;
+};
+
+}  // namespace socs
+
+#endif  // SOCS_CORE_COLUMN_COVER_H_

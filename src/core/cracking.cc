@@ -7,7 +7,12 @@ namespace socs {
 template <typename T>
 CrackingColumn<T>::CrackingColumn(std::vector<T> values, ValueRange domain,
                                   SegmentSpace* space)
-    : AccessStrategy<T>(space), domain_(domain), cracker_(std::move(values)) {}
+    : AccessStrategy<T>(space), domain_(domain), cracker_(std::move(values)) {
+  // Cracking reorganizes the in-memory cracker array in place -- a scan
+  // cannot survive a concurrent mutation on an epoch-pinned snapshot, so it
+  // keeps the classic shared-latch discipline.
+  this->set_snapshot_scans(false);
+}
 
 template <typename T>
 SegmentScan<T> CrackingColumn<T>::ScanSegment(const SegmentInfo& seg,

@@ -40,10 +40,16 @@ QueryExecution DeferredSegmentation<T>::AppendImpl(const std::vector<T>& values)
   if (values.empty()) return ex;
   const auto buckets = RouteAppend(&index_, values, this->space_->model(), &ex);
   const uint64_t threshold = MarkThresholdBytes();
-  TailExtendBuckets(&index_, this->space_, buckets, &ex,
-                    [&](const SegmentInfo& seg) {
-                      if (seg.count * sizeof(T) > threshold) {
-                        marked_.insert(seg.id);
+  TailExtendBuckets(&index_, this, buckets, &ex,
+                    [&](const SegmentInfo& before, const SegmentInfo& after) {
+                      // Marks are keyed by segment id; the copy-on-write
+                      // extend retired `before` for a successor, so a pending
+                      // mark must follow the payload to the fresh id.
+                      if (marked_.erase(before.id) > 0) {
+                        marked_.insert(after.id);
+                      }
+                      if (after.count * sizeof(T) > threshold) {
+                        marked_.insert(after.id);
                       }
                     });
   total_bytes_ = index_.TotalCount() * sizeof(T);
@@ -139,10 +145,12 @@ void DeferredSegmentation<T>::SplitEquiDepth(size_t pos, QueryExecution* ex) {
     lo = hi;
   }
   if (infos.size() < 2) {
+    // Degenerate split: the scratch pieces were never published in any
+    // cover, so no reader can hold them -- free directly, no retirement.
     for (const auto& info : infos) this->space_->Free(info.id);
     return;
   }
-  this->space_->Free(seg.id);
+  this->RetireSegment(seg.id);
   index_.Replace(pos, infos);
   ++ex->splits;
 }

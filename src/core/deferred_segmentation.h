@@ -58,7 +58,9 @@ class DeferredSegmentation : public AccessStrategy<T> {
   /// column. Returns the reorganization record.
   QueryExecution FlushBatch() {
     ExclusiveColumnGuard guard(this->latch_);
-    return FlushBatchLocked();
+    const QueryExecution r = FlushBatchLocked();
+    this->NoteReorganization(r);  // publish: retired segments await it
+    return r;
   }
 
   /// The pending batch is this strategy's idle work: a TaskScheduler

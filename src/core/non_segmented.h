@@ -40,7 +40,8 @@ class NonSegmented : public AccessStrategy<T> {
 
  protected:
   /// Plain tail-append to the single full-column segment: only the appended
-  /// bytes are charged (no reorganization ever happens here).
+  /// bytes are charged (no reorganization ever happens here). Copy-on-write
+  /// so epoch-pinned scans keep reading the pre-append payload.
   QueryExecution AppendImpl(const std::vector<T>& values) override {
     QueryExecution ex;
     if (values.empty()) return ex;
@@ -48,12 +49,18 @@ class NonSegmented : public AccessStrategy<T> {
     domain_.lo = std::min(domain_.lo, env.lo);
     domain_.hi = std::max(domain_.hi, env.hi);
     IoCost cost;
-    this->space_->template Append<T>(id_, values, &cost);
+    const SegmentId fresh =
+        this->space_->template AppendCow<T>(id_, values, &cost);
+    this->RetireSegment(id_);
+    id_ = fresh;
     ex.write_bytes += cost.bytes;
     ex.adaptation_seconds += cost.seconds;
     count_ += values.size();
     return ex;
   }
+
+  /// Positional baseline: the cover never prunes by value (see CoverSegments).
+  bool PruneCoverByRange() const override { return false; }
 
  private:
   ValueRange domain_;

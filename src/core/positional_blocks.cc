@@ -61,7 +61,10 @@ QueryExecution PositionalBlocks<T>::AppendImpl(const std::vector<T>& values) {
           std::min(per_block - b.count, values.size() - off);
       std::vector<T> chunk(values.begin() + off, values.begin() + off + n);
       IoCost cost;
-      this->space_->template Append<T>(b.id, chunk, &cost);
+      const SegmentId fresh =
+          this->space_->template AppendCow<T>(b.id, chunk, &cost);
+      this->RetireSegment(b.id);
+      b.id = fresh;
       ex.write_bytes += cost.bytes;
       ex.adaptation_seconds += cost.seconds;
       for (const T& v : chunk) {

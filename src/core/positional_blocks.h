@@ -39,10 +39,15 @@ class PositionalBlocks : public AccessStrategy<T> {
   std::string Name() const override;
 
  protected:
-  /// Appends in insertion order: fills the tail block to `block_bytes`, then
-  /// opens fresh blocks. Zone maps of touched blocks are maintained; only the
+  /// Appends in insertion order: fills the tail block to `block_bytes`
+  /// (copy-on-write, retiring the old tail for pinned readers), then opens
+  /// fresh blocks. Zone maps of touched blocks are maintained; only the
   /// appended bytes are charged (C-Store style tail load).
   QueryExecution AppendImpl(const std::vector<T>& values) override;
+
+  /// Positional cover: every block is always visited (see CoverSegments);
+  /// zone-map pruning happens inside ScanSegment, not in the cover.
+  bool PruneCoverByRange() const override { return false; }
 
  private:
   struct Block {

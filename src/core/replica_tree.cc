@@ -253,4 +253,50 @@ Status ReplicaTree::Validate() const {
   return status;
 }
 
+ReplicaCoverSnapshot::ReplicaCoverSnapshot(uint64_t epoch,
+                                           const ReplicaTree& tree)
+    : ColumnCover(epoch), domain_(tree.domain()) {
+  Flatten(*tree.sentinel());
+}
+
+size_t ReplicaCoverSnapshot::Flatten(const ReplicaNode& n) {
+  const size_t idx = nodes_.size();
+  nodes_.push_back(Node{n.range, n.count, n.seg, n.materialized, {}});
+  std::vector<size_t> kids;
+  kids.reserve(n.children.size());
+  for (const auto& c : n.children) kids.push_back(Flatten(*c));
+  nodes_[idx].children = std::move(kids);
+  return idx;
+}
+
+std::vector<SegmentInfo> ReplicaCoverSnapshot::Cover(const ValueRange& q) const {
+  std::vector<SegmentInfo> out;
+  const ValueRange eff = q.Intersect(domain_);
+  if (eff.Empty()) return out;
+  const bool ok = CoverRec(0, eff, &out);
+  SOCS_CHECK(ok) << "replica cover snapshot lost coverage for " << q.ToString();
+  return out;
+}
+
+bool ReplicaCoverSnapshot::CoverRec(size_t idx, const ValueRange& q,
+                                    std::vector<SegmentInfo>* out) const {
+  const Node& s = nodes_[idx];
+  if (s.children.empty()) {
+    if (!s.materialized) return false;
+    out->push_back(SegmentInfo{s.range, s.count, s.seg});
+    return true;
+  }
+  const size_t start = out->size();
+  for (const size_t child : s.children) {
+    if (!nodes_[child].range.Overlaps(q)) continue;
+    if (!CoverRec(child, q, out)) {
+      out->resize(start);  // backtrack: cover this subtree with s itself
+      if (!s.materialized) return false;
+      out->push_back(SegmentInfo{s.range, s.count, s.seg});
+      return true;
+    }
+  }
+  return true;
+}
+
 }  // namespace socs

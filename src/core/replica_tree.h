@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "core/column_cover.h"
 #include "core/segment.h"
 
 namespace socs {
@@ -112,6 +113,35 @@ class ReplicaTree {
 
   ValueRange domain_;
   std::unique_ptr<ReplicaNode> sentinel_;
+};
+
+/// Epoch-published cover snapshot of a replica tree: a frozen, flattened copy
+/// of the hierarchy taken at publish time (under the column's exclusive
+/// latch). Cover(q) replays Algorithm 3 (GetCoverRec, with its backtrack rule)
+/// against the frozen nodes, so an epoch-pinned reader gets exactly the
+/// minimal covering set the live tree would have produced at publish time --
+/// while the live tree mutates freely underneath.
+class ReplicaCoverSnapshot : public ColumnCover {
+ public:
+  ReplicaCoverSnapshot(uint64_t epoch, const ReplicaTree& tree);
+
+  std::vector<SegmentInfo> Cover(const ValueRange& q) const override;
+
+ private:
+  struct Node {
+    ValueRange range;
+    uint64_t count = 0;
+    SegmentId seg = kInvalidSegment;
+    bool materialized = false;
+    std::vector<size_t> children;  // indices into nodes_, sorted by range.lo
+  };
+
+  size_t Flatten(const ReplicaNode& n);
+  bool CoverRec(size_t idx, const ValueRange& q,
+                std::vector<SegmentInfo>* out) const;
+
+  ValueRange domain_;
+  std::vector<Node> nodes_;  // nodes_[0] = the sentinel
 };
 
 }  // namespace socs

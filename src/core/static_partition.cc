@@ -34,8 +34,8 @@ QueryExecution StaticPartition<T>::AppendImpl(const std::vector<T>& values) {
   QueryExecution ex;
   if (values.empty()) return ex;
   const auto buckets = RouteAppend(&index_, values, this->space_->model(), &ex);
-  TailExtendBuckets(&index_, this->space_, buckets, &ex,
-                    [](const SegmentInfo&) {});
+  TailExtendBuckets(&index_, this, buckets, &ex,
+                    [](const SegmentInfo&, const SegmentInfo&) {});
   return ex;
 }
 

@@ -25,12 +25,25 @@
 // Concurrency: because the scan phase is read-only, RunRange can fan it out
 // across a ThreadPool -- one lane-metered ScanSegment per covering segment,
 // folded back in cover order so the execution record, the result vector and
-// the IoStats totals are byte-identical to a single-threaded run. The phases
-// synchronize on the per-column ColumnLatch: CoverSegments + ScanSegment
-// under the shared latch, Reorganize / Append / IdleWork under the exclusive
-// latch. The virtual phase methods themselves are unlatched; only the
-// non-virtual entry points (RunRange, Append, RunIdleWork -- and the
-// engine's SegmentedColumn) acquire the latch.
+// the IoStats totals are byte-identical to a single-threaded run.
+//
+// Readers and writers synchronize through versioned covers, not a latch:
+// every structural mutation (Reorganize / Append / FlushBatch / BulkAppend)
+// runs under the column's exclusive ColumnLatch (the write-write path),
+// builds the new segmentation off to the side -- copy-on-write payload
+// rewrites via SegmentSpace::AppendCow, retired (not freed) predecessors --
+// and finishes by PublishCover(): install an immutable ColumnCover snapshot,
+// flip the EpochManager's published epoch. The scan phase pins the epoch,
+// walks the pinned cover latch-free, and unpins; a scan that started before
+// a mutation finishes on the pre-mutation cover with byte-identical results
+// and metering to a solo run, because every segment it covers stays alive
+// (and buffer-pool resident) until the minimum active reader epoch passes
+// the segment's retire epoch (see RetireSegment/TryReclaim). Cracking opts
+// out (snapshot_scans() == false -- it reorganizes its in-memory array in
+// place, so its scans retain the classic shared-latch discipline). The
+// virtual phase methods themselves are unlatched; only the non-virtual
+// entry points (RunRange, Append, RunIdleWork -- and the engine's
+// SegmentedColumn) pin epochs or acquire the latch.
 #ifndef SOCS_CORE_STRATEGY_H_
 #define SOCS_CORE_STRATEGY_H_
 
@@ -41,15 +54,18 @@
 #include <limits>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <string>
 #include <vector>
 
+#include "core/column_cover.h"
 #include "core/oid_value.h"
 #include "core/range.h"
 #include "core/segment.h"
 #include "core/segment_meta_index.h"
 #include "exec/column_latch.h"
+#include "exec/epoch_manager.h"
 #include "exec/thread_pool.h"
 #include "sim/io_lane.h"
 #include "storage/segment_space.h"
@@ -200,14 +216,14 @@ class AccessStrategy {
   /// adaptation_seconds). Values outside the column's domain widen it instead
   /// of failing. The engine's bpm.append op drives exactly this phase, so the
   /// SQL INSERT path and a direct core Append report identical accounting.
-  /// Non-virtual: takes the exclusive latch and runs the strategy's
-  /// AppendImpl.
+  /// Non-virtual: takes the exclusive latch, runs the strategy's AppendImpl,
+  /// and publishes the post-append cover (appends always mutate payloads, so
+  /// in-flight pinned scans keep reading the pre-append cover).
   QueryExecution Append(const std::vector<T>& values) {
     ExclusiveColumnGuard guard(latch_);
-    if (!values.empty()) {
-      data_epoch_.fetch_add(1, std::memory_order_release);
-    }
-    return AppendImpl(values);
+    const QueryExecution r = AppendImpl(values);
+    if (!values.empty()) PublishCover();
+    return r;
   }
 
   // --- idle-time maintenance --------------------------------------------------
@@ -231,16 +247,29 @@ class AccessStrategy {
     return r;
   }
 
-  // --- data-epoch coherence ---------------------------------------------------
+  // --- versioned covers (epoch-published snapshots) --------------------------
 
-  /// Monotonic counter bumped whenever segment payloads may have changed
-  /// (non-empty Append, or a Reorganize/IdleWork record showing mutation).
-  /// Shared scan batches key their per-segment caches on it, so a member
-  /// running after a predecessor's reorganization misses the stale entries
-  /// and re-scans instead of delivering moved data.
-  uint64_t data_epoch() const {
-    return data_epoch_.load(std::memory_order_acquire);
-  }
+  /// The published epoch: a monotonic counter advanced whenever segment
+  /// payloads may have changed (non-empty Append, or a Reorganize/IdleWork
+  /// record showing mutation) -- each advance publishing the matching cover
+  /// snapshot. Shared scan batches key their per-segment caches on it, so a
+  /// member running after a predecessor's reorganization misses the stale
+  /// entries and re-scans instead of delivering moved data. Non-mutating
+  /// reorganizations (pure bookkeeping) deliberately do NOT advance it.
+  uint64_t data_epoch() const { return epochs_.published(); }
+
+  /// The column's epoch manager: per-reader pin slots plus the published
+  /// epoch. Exposed so the engine's iterator and tests/benches observe the
+  /// same pin/retire/reclaim counters RunRange drives.
+  EpochManager& epochs() const { return epochs_; }
+
+  /// True when scans read epoch-pinned cover snapshots latch-free (the
+  /// default). Cracking turns this off in its constructor: it reorganizes
+  /// the in-memory cracker array in place, so its scans cannot survive a
+  /// concurrent mutation and retain the shared-latch discipline. Benches
+  /// also force it off to measure the old reader-stall behaviour.
+  bool snapshot_scans() const { return snapshot_scans_; }
+  void set_snapshot_scans(bool on) { snapshot_scans_ = on; }
 
   /// True when `r` indicates payload mutation (writes, splits, merges,
   /// replica churn) as opposed to pure bookkeeping.
@@ -250,13 +279,99 @@ class AccessStrategy {
            r.replicas_evicted != 0;
   }
 
-  /// Bumps the data epoch if the reorganization record shows mutation.
-  /// Called by RunRange/RunIdleWork and the engine's adaptation driver after
-  /// every Reorganize, under the exclusive latch.
+  /// Publishes the post-mutation cover if the reorganization record shows
+  /// mutation. Called by RunRange/RunIdleWork and the engine's adaptation
+  /// driver after every Reorganize, under the exclusive latch.
   void NoteReorganization(const QueryExecution& r) {
-    if (MutatesData(r)) {
-      data_epoch_.fetch_add(1, std::memory_order_release);
+    if (MutatesData(r)) PublishCover();
+  }
+
+  /// Builds the current cover snapshot and installs it under the next
+  /// epoch, then attempts reclamation of retired segments whose epoch every
+  /// active reader has passed. Callers hold the exclusive latch. Invariant:
+  /// every mutation that called RetireSegment() must reach a PublishCover()
+  /// before releasing the latch -- retirement epochs are assigned against
+  /// the upcoming publish.
+  void PublishCover() {
+    std::shared_ptr<const ColumnCover> fresh = BuildCover(epochs_.published() + 1);
+    {
+      std::lock_guard<std::mutex> lk(cover_mu_);
+      cover_ = std::move(fresh);
     }
+    epochs_.Advance();
+    TryReclaim();
+  }
+
+  /// Hands a previously published segment to epoch-based reclamation instead
+  /// of freeing it: readers pinned before the enclosing mutation publishes
+  /// may still scan it. Callers hold the exclusive latch and must publish
+  /// before releasing it (see PublishCover). Segments created and discarded
+  /// within one mutation (never visible to any cover) are freed directly.
+  void RetireSegment(SegmentId id) {
+    if (id == kInvalidSegment) return;
+    epochs_.NoteRetire();
+    std::lock_guard<std::mutex> lk(retire_mu_);
+    retired_.push_back(RetiredSegment{id, epochs_.published() + 1});
+  }
+
+  /// Frees every retired segment whose retire epoch has been published AND
+  /// is at or below the minimum active reader epoch -- the reclamation rule:
+  /// a reader pinned at E-1 may still walk the cover that referenced a
+  /// segment retired at E; readers pinned at >= E only see the successor
+  /// cover. Runs after every publish and after every scan unpin.
+  void TryReclaim() {
+    std::lock_guard<std::mutex> lk(retire_mu_);
+    if (retired_.empty()) return;
+    const uint64_t published = epochs_.published();
+    const uint64_t min_active = epochs_.MinActive();
+    size_t kept = 0;
+    for (const RetiredSegment& r : retired_) {
+      if (r.epoch <= published && r.epoch <= min_active) {
+        space_->Free(r.id);
+        epochs_.NoteReclaim();
+      } else {
+        retired_[kept++] = r;
+      }
+    }
+    retired_.resize(kept);
+  }
+
+  /// Retired segments not yet reclaimed (test/diagnostic hook).
+  size_t PendingRetired() const {
+    std::lock_guard<std::mutex> lk(retire_mu_);
+    return retired_.size();
+  }
+
+  /// Pins the published epoch and returns the matching cover snapshot (the
+  /// reader half of the protocol; pair with UnpinCover). The first call on a
+  /// freshly constructed/restored column publishes the initial cover under
+  /// the exclusive latch -- construction cannot, because BuildCover is
+  /// virtual.
+  std::shared_ptr<const ColumnCover> PinCover(size_t* slot) {
+    *slot = epochs_.Pin();
+    std::shared_ptr<const ColumnCover> cover = CurrentCover();
+    if (cover == nullptr) {
+      epochs_.Unpin(*slot);
+      EnsureCoverPublished();
+      *slot = epochs_.Pin();
+      cover = CurrentCover();
+    }
+    return cover;
+  }
+
+  /// Releases a PinCover slot and attempts reclamation (this reader may have
+  /// been the last one holding a retired segment's epoch back).
+  void UnpinCover(size_t slot) {
+    epochs_.Unpin(slot);
+    TryReclaim();
+  }
+
+  /// The currently published cover (nullptr before the first publish).
+  /// Never pins: the shared_ptr keeps the snapshot alive, but the segments
+  /// it references are only guaranteed scannable under a pin.
+  std::shared_ptr<const ColumnCover> CurrentCover() const {
+    std::lock_guard<std::mutex> lk(cover_mu_);
+    return cover_;
   }
 
   // --- statistics ------------------------------------------------------------
@@ -272,9 +387,12 @@ class AccessStrategy {
 
   SegmentSpace* space() const { return space_; }
 
-  /// The column's reader/writer latch (scan phase shared, reorganization /
-  /// write path exclusive). Exposed so the engine's SegmentedColumn and the
-  /// background scheduler synchronize on the same latch as RunRange.
+  /// The column's latch. Under versioned covers this is the write-write
+  /// path: Reorganize / Append / IdleWork and the full-scan fallback
+  /// serialize on it, while the epoch-pinned scan phase never touches it
+  /// (except for cracking, whose scans still take it shared). Exposed so the
+  /// engine's SegmentedColumn and the background scheduler synchronize on
+  /// the same latch as RunRange.
   ColumnLatch& latch() const { return latch_; }
 
  protected:
@@ -282,11 +400,74 @@ class AccessStrategy {
   /// under the exclusive latch.
   virtual QueryExecution AppendImpl(const std::vector<T>& values) = 0;
 
+  /// Freezes the current segmentation as an immutable cover snapshot for
+  /// `epoch`. The default (a range-pruning TiledCover over Segments())
+  /// matches the base CoverSegments(); strategies that never prune by value
+  /// override PruneCoverByRange(), and adaptive replication overrides
+  /// BuildCover with a frozen replica-tree walk. Callers hold the exclusive
+  /// latch (or constructor-time quiescence).
+  virtual std::shared_ptr<const ColumnCover> BuildCover(uint64_t epoch) const {
+    return std::make_shared<TiledCover>(epoch, Segments(), PruneCoverByRange());
+  }
+
+  /// Whether the default cover prunes segments by range overlap (value-based
+  /// layouts) or always visits every segment (positional layouts).
+  virtual bool PruneCoverByRange() const { return true; }
+
+  /// Publishes the initial cover exactly once (first reader; double-checked
+  /// under the exclusive latch).
+  void EnsureCoverPublished() {
+    ExclusiveColumnGuard guard(latch_);
+    if (CurrentCover() != nullptr) return;
+    std::shared_ptr<const ColumnCover> fresh = BuildCover(epochs_.published());
+    std::lock_guard<std::mutex> lk(cover_mu_);
+    cover_ = std::move(fresh);
+  }
+
   SegmentSpace* space_;
   mutable ColumnLatch latch_;
+  /// See snapshot_scans(); cracking clears this in its constructor.
+  bool snapshot_scans_ = true;
 
  private:
-  std::atomic<uint64_t> data_epoch_{0};
+  /// The scan half of RunRange over an already-planned cover: sequential, or
+  /// fanned out with per-segment lanes folded back in cover order so record,
+  /// result and IoStats are byte-identical to the sequential loop.
+  void ScanCover(const std::vector<SegmentInfo>& cover, const ValueRange& q,
+                 std::vector<T>* result, ThreadPool* pool, QueryExecution* ex) {
+    if (pool == nullptr || pool->inline_mode() || cover.size() < 2) {
+      for (const SegmentInfo& seg : cover) {
+        FoldScanIntoExecution(ScanSegment(seg, q, result), ex);
+      }
+      return;
+    }
+    std::vector<SegmentScan<T>> scans(cover.size());
+    std::vector<IoLane> lanes(cover.size());
+    std::vector<std::vector<T>> chunks(result != nullptr ? cover.size() : 0);
+    pool->ParallelFor(cover.size(), [&](size_t i) {
+      scans[i] = ScanSegment(cover[i], q,
+                             result != nullptr ? &chunks[i] : nullptr,
+                             &lanes[i]);
+    });
+    for (size_t i = 0; i < cover.size(); ++i) {
+      space_->CommitLane(&lanes[i]);
+      FoldScanIntoExecution(scans[i], ex);
+      if (result != nullptr) {
+        result->insert(result->end(), chunks[i].begin(), chunks[i].end());
+      }
+    }
+  }
+
+  struct RetiredSegment {
+    SegmentId id;
+    uint64_t epoch;  // the publish that made the segment unreachable
+  };
+
+  mutable EpochManager epochs_;
+  mutable std::mutex cover_mu_;
+  std::shared_ptr<const ColumnCover> cover_;  // guarded by cover_mu_
+  mutable std::mutex retire_mu_;
+  std::vector<RetiredSegment> retired_;  // guarded by retire_mu_
 };
 
 template <typename T>
@@ -296,34 +477,23 @@ QueryExecution AccessStrategy<T>::RunRange(const ValueRange& q,
   QueryExecution ex;
   ex.selection_seconds = space_->model().QueryOverhead();
   if (q.Empty()) return ex;
-  {
+  if (snapshot_scans_) {
+    // Snapshot read: pin the published epoch, plan against the immutable
+    // cover, scan latch-free. A concurrent Reorganize/Append/FlushBatch
+    // publishes its successor cover without disturbing this scan; the
+    // segments covered here stay alive (and pool-resident) until the pin is
+    // released, so results and metering are byte-identical to a solo run.
+    size_t slot = 0;
+    const std::shared_ptr<const ColumnCover> snapshot = PinCover(&slot);
+    const std::vector<SegmentInfo> cover = snapshot->Cover(q);
+    ScanCover(cover, q, result, pool, &ex);
+    UnpinCover(slot);
+  } else {
+    // Classic discipline (cracking): scans share the latch with each other
+    // and exclude writers.
     SharedColumnGuard guard(latch_);
     const std::vector<SegmentInfo> cover = CoverSegments(q);
-    if (pool == nullptr || pool->inline_mode() || cover.size() < 2) {
-      for (const SegmentInfo& seg : cover) {
-        FoldScanIntoExecution(ScanSegment(seg, q, result), &ex);
-      }
-    } else {
-      // Scan fan-out: one lane-metered scan per covering segment, results in
-      // per-segment chunks. The fold below walks the slots in cover order, so
-      // stats commit order, seconds accumulation order and result order all
-      // match the sequential loop above exactly.
-      std::vector<SegmentScan<T>> scans(cover.size());
-      std::vector<IoLane> lanes(cover.size());
-      std::vector<std::vector<T>> chunks(result != nullptr ? cover.size() : 0);
-      pool->ParallelFor(cover.size(), [&](size_t i) {
-        scans[i] = ScanSegment(cover[i], q,
-                               result != nullptr ? &chunks[i] : nullptr,
-                               &lanes[i]);
-      });
-      for (size_t i = 0; i < cover.size(); ++i) {
-        space_->CommitLane(&lanes[i]);
-        FoldScanIntoExecution(scans[i], &ex);
-        if (result != nullptr) {
-          result->insert(result->end(), chunks[i].begin(), chunks[i].end());
-        }
-      }
-    }
+    ScanCover(cover, q, result, pool, &ex);
   }
   {
     ExclusiveColumnGuard guard(latch_);
@@ -383,22 +553,28 @@ std::map<size_t, std::vector<T>> RouteAppend(SegmentMetaIndex* index,
   return buckets;
 }
 
-/// Tail-extends each routed bucket's segment in place, charging the appended
-/// bytes into `ex` and updating the index counts. `on_segment` observes each
-/// updated descriptor (deferred segmentation marks oversized ones there).
+/// Tail-extends each routed bucket's segment, charging the appended bytes
+/// into `ex` and updating the index counts. The extend is copy-on-write
+/// (SegmentSpace::AppendCow): the bucket's values land in a successor
+/// segment under a fresh id while the predecessor is retired for any
+/// epoch-pinned reader still scanning it. `on_segment` observes each
+/// (predecessor, successor) descriptor pair -- deferred segmentation
+/// translates its pending marks and flags oversized successors there.
 template <typename T, typename OnSegment>
-void TailExtendBuckets(SegmentMetaIndex* index, SegmentSpace* space,
+void TailExtendBuckets(SegmentMetaIndex* index, AccessStrategy<T>* strategy,
                        const std::map<size_t, std::vector<T>>& buckets,
                        QueryExecution* ex, OnSegment&& on_segment) {
   for (const auto& [pos, incoming] : buckets) {
     const SegmentInfo seg = index->At(pos);
     IoCost cost;
-    space->template Append<T>(seg.id, incoming, &cost);
+    const SegmentId fresh =
+        strategy->space()->template AppendCow<T>(seg.id, incoming, &cost);
     ex->write_bytes += cost.bytes;
     ex->adaptation_seconds += cost.seconds;
-    const SegmentInfo updated{seg.range, seg.count + incoming.size(), seg.id};
+    const SegmentInfo updated{seg.range, seg.count + incoming.size(), fresh};
     index->Update(pos, updated);
-    on_segment(updated);
+    strategy->RetireSegment(seg.id);
+    on_segment(seg, updated);
   }
 }
 

@@ -20,8 +20,16 @@ ValueRange SegmentedColumn::InclusiveToHalfOpen(double lo, double hi) {
 }
 
 std::vector<SegmentInfo> SegmentedColumn::CoverSegments(double lo, double hi) const {
+  const ValueRange q = InclusiveToHalfOpen(lo, hi);
+  if (strategy_->snapshot_scans()) {
+    size_t slot = 0;
+    const std::shared_ptr<const ColumnCover> cover = strategy_->PinCover(&slot);
+    std::vector<SegmentInfo> out = cover->Cover(q);
+    strategy_->UnpinCover(slot);
+    return out;
+  }
   SharedColumnGuard guard(strategy_->latch());
-  return strategy_->CoverSegments(InclusiveToHalfOpen(lo, hi));
+  return strategy_->CoverSegments(q);
 }
 
 void SegmentedColumn::AppendSpan(std::span<const OidValue> span,
@@ -50,7 +58,7 @@ Bat SegmentedColumn::FilteredBat(const std::vector<OidValue>& vals,
 Bat SegmentedColumn::ScanToBat(const SegmentInfo& seg, double lo, double hi,
                                SegmentScan<OidValue>* scan, IoLane* lane,
                                int mode, SharedScanPass<OidValue>* shared,
-                               size_t consumer) {
+                               size_t consumer, uint64_t epoch) {
   const ValueRange q = InclusiveToHalfOpen(lo, hi);
   if (mode == 0) {
     // Raw delivery: the plan's own select re-filters the full segment.
@@ -66,8 +74,11 @@ Bat SegmentedColumn::ScanToBat(const SegmentInfo& seg, double lo, double hi,
   // Push-down delivery: the metered scan and the delivery filter are one
   // pass -- ScanSegment extracts the qualifying set we hand to the plan.
   if (shared != nullptr) {
+    // Keyed by the iterator's PINNED epoch, never the live data_epoch(): a
+    // writer may publish mid-iteration, and an old-cover payload cached
+    // under the new epoch would serve stale rows to a member pinned later.
     const typename SharedScanPass<OidValue>::SegKey key{
-        seg.id, seg.range.lo, seg.range.hi, seg.count, strategy_->data_epoch()};
+        seg.id, seg.range.lo, seg.range.hi, seg.count, epoch};
     if (std::shared_ptr<const std::vector<OidValue>> cached =
             shared->Lookup(key, consumer, q)) {
       // A batch predecessor already filtered this segment for our predicate:
@@ -91,22 +102,72 @@ Bat SegmentedColumn::ScanToBat(const SegmentInfo& seg, double lo, double hi,
 Bat SegmentedColumn::ScanSegmentBat(const SegmentInfo& seg, double lo, double hi,
                                     QueryExecution* ex, int mode,
                                     SharedScanPass<OidValue>* shared,
-                                    size_t consumer) {
-  // No latch here: the driving BpmIterator holds the shared latch for its
-  // whole lifetime (see bpm.h), which also pins the cached cover.
+                                    size_t consumer, uint64_t epoch) {
+  // No latch here: the driving BpmIterator holds its epoch pin (or shared
+  // latch) for its whole lifetime (see bpm.h), keeping the cover scannable.
   SegmentScan<OidValue> scan;
-  Bat bat = ScanToBat(seg, lo, hi, &scan, nullptr, mode, shared, consumer);
+  Bat bat = ScanToBat(seg, lo, hi, &scan, nullptr, mode, shared, consumer, epoch);
   if (ex != nullptr) FoldScanIntoExecution(scan, ex);
   return bat;
+}
+
+Bat SegmentedColumn::ScanCoverBat(const std::vector<SegmentInfo>& cover,
+                                  double lo, double hi, QueryExecution* ex,
+                                  int mode, SharedScanPass<OidValue>* shared,
+                                  size_t consumer, uint64_t epoch) {
+  const ValueRange q = InclusiveToHalfOpen(lo, hi);
+  if (mode == 0) {
+    // Raw coalesced delivery: every payload lands in one [oid, value] BAT,
+    // reserved once (the per-iteration path re-copies the accumulator on
+    // every bpm.addSegment).
+    uint64_t total = 0;
+    for (const SegmentInfo& s : cover) total += s.count;
+    std::vector<Oid> oids;
+    oids.reserve(total);
+    TypedVector values(sql_type_);
+    values.Reserve(total);
+    for (const SegmentInfo& seg : cover) {
+      SegmentScan<OidValue> scan = strategy_->ScanSegment(seg, q, nullptr);
+      AppendSpan(scan.payload, &oids, &values);
+      if (ex != nullptr) FoldScanIntoExecution(scan, ex);
+    }
+    return Bat(BatColumn::Materialized(TypedVector::Of(std::move(oids))),
+               BatColumn::Materialized(std::move(values)));
+  }
+  // Push-down coalesced delivery: the per-segment metered charges and the
+  // shared-cache interplay are identical to per-iteration delivery; only the
+  // qualifying rows are concatenated into one BAT.
+  std::vector<OidValue> all;
+  for (const SegmentInfo& seg : cover) {
+    SegmentScan<OidValue> scan;
+    if (shared != nullptr) {
+      const typename SharedScanPass<OidValue>::SegKey key{
+          seg.id, seg.range.lo, seg.range.hi, seg.count, epoch};
+      if (std::shared_ptr<const std::vector<OidValue>> cached =
+              shared->Lookup(key, consumer, q)) {
+        scan = strategy_->ScanSegment(seg, q, nullptr, nullptr, cached.get());
+        all.insert(all.end(), cached->begin(), cached->end());
+      } else {
+        auto mine = std::make_shared<std::vector<OidValue>>();
+        scan = strategy_->ScanSegment(seg, q, mine.get(), nullptr);
+        if (scan.scanned) shared->Publish(key, q, scan.payload, mine);
+        all.insert(all.end(), mine->begin(), mine->end());
+      }
+    } else {
+      scan = strategy_->ScanSegment(seg, q, &all, nullptr);
+    }
+    if (ex != nullptr) FoldScanIntoExecution(scan, ex);
+  }
+  return FilteredBat(all, mode);
 }
 
 Bat SegmentedColumn::PrefetchSegmentBat(const SegmentInfo& seg, double lo,
                                         double hi, SegmentScan<OidValue>* scan,
                                         IoLane* lane, int mode,
                                         SharedScanPass<OidValue>* shared,
-                                        size_t consumer) {
+                                        size_t consumer, uint64_t epoch) {
   // No latch here either -- same contract as ScanSegmentBat.
-  return ScanToBat(seg, lo, hi, scan, lane, mode, shared, consumer);
+  return ScanToBat(seg, lo, hi, scan, lane, mode, shared, consumer, epoch);
 }
 
 void SegmentedColumn::CommitScanLane(IoLane* lane) { space_->CommitLane(lane); }
@@ -147,39 +208,59 @@ Bat SegmentedColumn::FullScanBat() const {
              BatColumn::Materialized(std::move(values)));
 }
 
-uint64_t SegmentedColumn::EstimateSelectionBytes(double lo, double hi) const {
-  uint64_t bytes = 0;
+SegmentedColumn::SelectionEstimate SegmentedColumn::EstimateSelection(
+    double lo, double hi) const {
+  SelectionEstimate est;
   for (const SegmentInfo& s : CoverSegments(lo, hi)) {
-    bytes += s.count * sizeof(OidValue);
+    est.bytes += s.count * sizeof(OidValue);
+    ++est.segments;
   }
-  return bytes;
+  return est;
 }
 
 void BpmIterator::Open(SegmentedColumn* col, double lo_incl, double hi_incl) {
   column = col;
   lo = lo_incl;
   hi = hi_incl;
-  // Hold the shared latch until exhaustion: the cover computed here stays
-  // valid across deliveries (no exclusive-latch holder can free or rewrite
-  // a covered segment mid-iteration), and the prefetch tasks inherit the
-  // protection without taking the latch themselves.
-  column->strategy()->latch().LockShared();
+  AccessStrategy<OidValue>* strat = column->strategy();
+  const ValueRange q = SegmentedColumn::InclusiveToHalfOpen(lo_incl, hi_incl);
+  if (strat->snapshot_scans()) {
+    // Pin the published epoch until exhaustion: the cover planned here is an
+    // immutable snapshot, and every segment it references stays alive (and
+    // pool-resident) until ReleaseRead -- writers publish successor covers
+    // concurrently without disturbing the deliveries. Prefetch tasks inherit
+    // the protection without pinning themselves.
+    const std::shared_ptr<const ColumnCover> cover = strat->PinCover(&pin_slot);
+    holds_pin = true;
+    epoch = cover->epoch();
+    segments = cover->Cover(q);
+    return;
+  }
+  // Latch-discipline column (cracking): hold the shared latch until
+  // exhaustion so no exclusive-latch holder can rewrite covered state
+  // mid-iteration.
+  strat->latch().LockShared();
   holds_latch = true;
-  segments = column->strategy()->CoverSegments(
-      SegmentedColumn::InclusiveToHalfOpen(lo_incl, hi_incl));
+  epoch = strat->data_epoch();
+  segments = strat->CoverSegments(q);
 }
 
-void BpmIterator::ReleaseLatch() {
-  if (!holds_latch) return;
-  holds_latch = false;
-  column->strategy()->latch().UnlockShared();
+void BpmIterator::ReleaseRead() {
+  if (holds_pin) {
+    holds_pin = false;
+    column->strategy()->UnpinCover(pin_slot);
+  }
+  if (holds_latch) {
+    holds_latch = false;
+    column->strategy()->latch().UnlockShared();
+  }
 }
 
 BpmIterator::~BpmIterator() {
   for (auto& slot : prefetch) {
     if (slot != nullptr && slot->ready.valid()) slot->ready.wait();
   }
-  ReleaseLatch();
+  ReleaseRead();
 }
 
 }  // namespace socs

@@ -13,10 +13,14 @@
 // engine path report the same numbers as a direct AccessStrategy::RunRange;
 // nothing is scanned twice.
 //
-// Concurrency: segment delivery runs under the column's shared latch and
-// Reorganize/Append under the exclusive latch -- the same ColumnLatch the
-// core RunRange uses, so engine queries, direct core queries and background
-// maintenance all serialize correctly on one column. When the interpreter
+// Concurrency: segment delivery is a snapshot read -- the iterator pins the
+// column's published epoch at Open and walks the pinned cover latch-free,
+// exactly as the core RunRange does, so a concurrent Reorganize/Append/
+// background flush publishes its new segmentation without disturbing
+// deliveries in flight (covered segments stay alive until the pin is
+// released). Reorganize/Append still serialize on the column's exclusive
+// ColumnLatch (the write-write path); cracking columns opt out of snapshot
+// scans and keep the classic shared-latch delivery. When the interpreter
 // has a ThreadPool, deliveries are *prefetched*: every covering segment is
 // scanned (and its BAT built) off-thread into a lane, and the sequential
 // delivery loop commits the lanes in cover order -- byte-identical
@@ -56,17 +60,18 @@ class SegmentedColumn {
   AccessStrategy<OidValue>* strategy() { return strategy_.get(); }
   const CostModel& cost_model() const;
 
-  /// Disjoint segments covering the inclusive selection [lo, hi] (under the
-  /// shared latch).
+  /// Disjoint segments covering the inclusive selection [lo, hi] (from a
+  /// briefly pinned cover snapshot; under the shared latch for strategies
+  /// that opted out of snapshot scans).
   std::vector<SegmentInfo> CoverSegments(double lo, double hi) const;
 
   /// Metered delivery of one covering segment as a BAT: one ScanSegment call
   /// charges the payload bytes exactly once, and the scan's metering (reads,
   /// seconds, qualifying count) is folded into `*ex`.
-  /// The caller (the BPM iterator) already holds the column's shared latch
-  /// -- see BpmIterator: the latch pins the iterator's cached cover, so no
-  /// exclusive-latch holder can free or rewrite a covered segment between
-  /// deliveries.
+  /// The caller (the BPM iterator) already holds an epoch pin (or, for
+  /// latch-discipline columns, the shared latch) -- see BpmIterator: the pin
+  /// keeps every covered segment alive and pool-resident between deliveries
+  /// while writers publish new covers concurrently.
   ///
   /// `mode` selects the delivery shape (the bpm.newIterator mode argument):
   ///   0 -- the raw full-segment [oid, value] BAT (the plan re-filters);
@@ -78,23 +83,37 @@ class SegmentedColumn {
   /// the filtered set is looked up in / published to the batch's cooperative
   /// cache under `consumer`'s registered predicate -- a hit replays the
   /// metered charge via ScanSegment's `precomputed` path without re-walking
-  /// the payload.
+  /// the payload. `epoch` is the iterator's *pinned* epoch, keying the
+  /// shared cache so payloads filtered against an old cover are never served
+  /// to a member pinned after a reorganization published (0 = no iterator,
+  /// test/diagnostic callers without a shared pass).
   Bat ScanSegmentBat(const SegmentInfo& seg, double lo, double hi,
                      QueryExecution* ex, int mode = 0,
                      SharedScanPass<OidValue>* shared = nullptr,
-                     size_t consumer = 0);
+                     size_t consumer = 0, uint64_t epoch = 0);
+
+  /// Coalesced delivery (the cost-based plan choice for degenerate covers):
+  /// every covering segment is scanned sequentially in cover order -- each
+  /// through the same metered ScanSegment charge as per-segment delivery --
+  /// and the rows land in ONE combined BAT, skipping the per-iteration
+  /// barrier-loop overhead and the O(n^2) accumulator copies of bpm.addSegment.
+  /// Byte-identical accounting and row order to draining the iterator.
+  Bat ScanCoverBat(const std::vector<SegmentInfo>& cover, double lo, double hi,
+                   QueryExecution* ex, int mode = 0,
+                   SharedScanPass<OidValue>* shared = nullptr,
+                   size_t consumer = 0, uint64_t epoch = 0);
 
   /// Off-thread delivery variant for the iterator prefetch: meters into
   /// `lane` (committed later, in delivery order, via CommitScanLane) and
   /// reports the scan record in `*scan` instead of folding it. Safe from
-  /// pool workers: the dispatching iterator holds the shared latch for its
-  /// whole lifetime (and the pool's queue handoff provides the
-  /// happens-before edge from the latch acquisition).
+  /// pool workers: the dispatching iterator holds its epoch pin (or shared
+  /// latch) for its whole lifetime (and the pool's queue handoff provides
+  /// the happens-before edge from the pin acquisition).
   Bat PrefetchSegmentBat(const SegmentInfo& seg, double lo, double hi,
                          SegmentScan<OidValue>* scan, IoLane* lane,
                          int mode = 0,
                          SharedScanPass<OidValue>* shared = nullptr,
-                         size_t consumer = 0);
+                         size_t consumer = 0, uint64_t epoch = 0);
 
   /// Merges one prefetch lane into the space's IoStats / buffer pool. The
   /// interpreter calls this in delivery (= cover) order, which keeps the
@@ -141,9 +160,20 @@ class SegmentedColumn {
   /// rewritten by the segment optimizer; unmetered).
   Bat FullScanBat() const;
 
+  /// Planning estimate of a selection: covering-segment bytes and count.
+  /// Drives the optimizer's footprint annotation and the cost-based plan
+  /// choice (coalesced delivery when the cover degenerates to ~the column).
+  struct SelectionEstimate {
+    uint64_t bytes = 0;
+    uint64_t segments = 0;
+  };
+  SelectionEstimate EstimateSelection(double lo, double hi) const;
+
   /// Estimated bytes a selection must touch (sum of covering segment sizes);
   /// used by the optimizer's footprint estimation.
-  uint64_t EstimateSelectionBytes(double lo, double hi) const;
+  uint64_t EstimateSelectionBytes(double lo, double hi) const {
+    return EstimateSelection(lo, hi).bytes;
+  }
 
   /// Converts an inclusive SQL range to the core's half-open range.
   static ValueRange InclusiveToHalfOpen(double lo, double hi);
@@ -157,7 +187,8 @@ class SegmentedColumn {
   /// Unlatched scan-to-BAT core shared by the sequential and prefetch paths.
   Bat ScanToBat(const SegmentInfo& seg, double lo, double hi,
                 SegmentScan<OidValue>* scan, IoLane* lane, int mode,
-                SharedScanPass<OidValue>* shared, size_t consumer);
+                SharedScanPass<OidValue>* shared, size_t consumer,
+                uint64_t epoch);
 
   /// Builds the push-down delivery BAT from a filtered qualifying set:
   /// mode 2 -> candidate oid list, mode 1 -> [oid, value] pairs.
@@ -170,22 +201,31 @@ class SegmentedColumn {
   BackgroundMaintenance<OidValue> maintenance_;
 };
 
-/// Iterator state for one barrier block instance. The iterator holds the
-/// column's *shared latch from creation until exhaustion* (or destruction):
-/// its segment cover is computed once, so a concurrent exclusive-latch
-/// holder (another query's Reorganize, an Append, a background flush) must
-/// not free or rewrite covered segments mid-iteration. The generated plans
-/// always drain the iterator before bpm.adapt, so the same thread never
-/// asks for the exclusive latch while still holding the iterator's shared
-/// one.
+/// Iterator state for one barrier block instance. The iterator *pins the
+/// column's published epoch from creation until exhaustion* (or
+/// destruction): its segment cover is the pinned epoch's immutable snapshot,
+/// so a concurrent writer (another query's Reorganize, an Append, a
+/// background flush) publishes new structure without freeing or rewriting a
+/// covered segment mid-iteration -- retired predecessors are reclaimed only
+/// after the pin is released. Columns that opted out of snapshot scans
+/// (cracking) fall back to holding the shared latch for the same window.
 struct BpmIterator {
   SegmentedColumn* column = nullptr;
   std::vector<SegmentInfo> segments;
   size_t next = 0;
   double lo = 0.0, hi = 0.0;
   bool holds_latch = false;
+  /// Epoch-pin state (the snapshot-scan read protocol).
+  bool holds_pin = false;
+  size_t pin_slot = 0;
+  /// The pinned published epoch (under holds_latch: the live data epoch at
+  /// Open). Keys the dispatcher's shared-scan cache for every delivery.
+  uint64_t epoch = 0;
   /// Delivery mode of this iterator's segments (see ScanSegmentBat).
   int mode = 0;
+  /// Cost-based plan choice: deliver the whole cover as ONE BAT in a single
+  /// iteration (see ScanCoverBat) instead of one segment per iteration.
+  bool coalesce = false;
 
   /// Prefetch slot: one covering segment scanned off-thread. The lane holds
   /// its deferred metering until the slot is delivered.
@@ -202,19 +242,20 @@ struct BpmIterator {
   std::vector<std::unique_ptr<Prefetched>> prefetch;
   size_t next_to_submit = 0;
 
-  /// Acquires the column's shared latch and plans the cover. Constraint for
-  /// hand-built MAL programs: at most ONE open iterator per column per
-  /// thread, and drain it (deliveries until Nil) before bpm.adapt /
-  /// bpm.append on that column -- a second same-thread Open on the same
-  /// column is recursive shared locking (UB on writer-priority
-  /// implementations, and a deadlock if a background flush is already
-  /// waiting for the exclusive latch). Optimizer-generated plans satisfy
+  /// Pins the published epoch (or, for latch-discipline columns, acquires
+  /// the shared latch) and plans the cover from the pinned snapshot.
+  /// Constraint for hand-built MAL programs on latch-discipline columns:
+  /// at most ONE open iterator per column per thread, drained before
+  /// bpm.adapt / bpm.append on that column -- recursive shared locking is UB
+  /// on writer-priority implementations. Optimizer-generated plans satisfy
   /// this by construction: each barrier loop drains before the next block.
   void Open(SegmentedColumn* col, double lo_incl, double hi_incl);
-  /// Drops the shared latch (idempotent; called at exhaustion).
-  void ReleaseLatch();
+  /// Releases the epoch pin and/or shared latch (idempotent; called at
+  /// exhaustion). Releasing the pin may reclaim retired segments this
+  /// iterator was holding back.
+  void ReleaseRead();
   /// Waits out any undelivered prefetch tasks (they write into the slots),
-  /// then releases the latch if still held.
+  /// then releases the pin/latch if still held.
   ~BpmIterator();
 };
 

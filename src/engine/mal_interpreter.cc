@@ -384,6 +384,14 @@ void MalInterpreter::RegisterBuiltins() {
                if (!mode.ok()) return mode.status();
                iter->mode = static_cast<int>(*mode);
              }
+             // Optional 5th arg: the plan-choice pass decided the cover
+             // degenerates to ~the whole column -- deliver it coalesced, as
+             // one BAT in a single iteration (see ScanCoverBat).
+             if (in.args.size() >= 5) {
+               auto coal = NumArg(ctx, in, 4);
+               if (!coal.ok()) return coal.status();
+               iter->coalesce = *coal != 0.0;
+             }
              iter->Open(cv->segcol(), *lo, *hi);
              const int id = static_cast<int>(ctx.iters.size());
              ctx.iters.push_back(std::move(iter));
@@ -392,9 +400,11 @@ void MalInterpreter::RegisterBuiltins() {
              last_exec_.selection_seconds +=
                  it->column->cost_model().QueryOverhead();
              // With a threaded scheduler, scan every covering segment across
-             // the pool now; deliveries below just wait on their slot.
+             // the pool now; deliveries below just wait on their slot. A
+             // coalesced iterator scans everything in its one delivery --
+             // prefetching would double-charge the cover.
              if (sched_ != nullptr && !sched_->pool().inline_mode() &&
-                 it->segments.size() > 1) {
+                 it->segments.size() > 1 && !it->coalesce) {
                PrefetchSegments(it);
              }
              // The iterator id rides along in the barrier variable; the bat is
@@ -509,10 +519,11 @@ void MalInterpreter::SubmitPrefetchSlot(BpmIterator* it, size_t i) {
   const int mode = it->mode;
   SharedScanPass<OidValue>* shared = mode != 0 ? shared_pass_ : nullptr;
   const size_t consumer = shared_consumer_;
+  const uint64_t epoch = it->epoch;
   s->ready = sched_->pool().SubmitTask([s, column, seg, lo, hi, mode, shared,
-                                        consumer] {
+                                        consumer, epoch] {
     s->bat = column->PrefetchSegmentBat(seg, lo, hi, &s->scan, &s->lane, mode,
-                                        shared, consumer);
+                                        shared, consumer, epoch);
   });
   it->prefetch[i] = std::move(slot);
 }
@@ -520,9 +531,20 @@ void MalInterpreter::SubmitPrefetchSlot(BpmIterator* it, size_t i) {
 EngineValue MalInterpreter::DeliverNextSegment(BpmIterator* it, double lo,
                                                double hi) {
   if (it->next >= it->segments.size()) {
-    // Exhausted: drop the shared latch so bpm.adapt (exclusive) can run.
-    it->ReleaseLatch();
+    // Exhausted: release the epoch pin (or shared latch) so retired
+    // segments can reclaim and bpm.adapt (exclusive) can run.
+    it->ReleaseRead();
     return EngineValue::Nil();
+  }
+  if (it->coalesce) {
+    // Cost-based coalesced delivery: the whole cover in one BAT, one
+    // barrier iteration -- per-segment metered charges identical to the
+    // per-iteration path below.
+    Bat all = it->column->ScanCoverBat(
+        it->segments, lo, hi, &last_exec_, it->mode,
+        it->mode != 0 ? shared_pass_ : nullptr, shared_consumer_, it->epoch);
+    it->next = it->segments.size();
+    return EngineValue::OfBat(std::move(all));
   }
   if (!it->prefetch.empty()) {
     // Parallel path: the scan already ran off-thread; commit its metering
@@ -541,7 +563,7 @@ EngineValue MalInterpreter::DeliverNextSegment(BpmIterator* it, double lo,
   }
   Bat seg = it->column->ScanSegmentBat(
       it->segments[it->next], lo, hi, &last_exec_, it->mode,
-      it->mode != 0 ? shared_pass_ : nullptr, shared_consumer_);
+      it->mode != 0 ? shared_pass_ : nullptr, shared_consumer_, it->epoch);
   ++it->next;
   return EngineValue::OfBat(std::move(seg));
 }

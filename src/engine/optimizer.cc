@@ -1,5 +1,6 @@
 #include "engine/optimizer.h"
 
+#include <limits>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -55,29 +56,74 @@ Status DeadCodeElimPass::Apply(MalProgram* prog, OptContext* ctx) {
   return Status::OK();
 }
 
-Status EstimateFootprintPass::Apply(MalProgram* prog, OptContext* ctx) {
-  if (ctx->catalog == nullptr) return Status::OK();
+namespace {
+
+/// Resolves a bpm.newIterator instruction (with numeric bounds) back to its
+/// segmented column through the def-map of bpm.take handles. Returns nullptr
+/// when the shape does not match.
+SegmentedColumn* ResolveIteratorColumn(
+    const MalInstr& in, const std::unordered_map<int, const MalInstr*>& def,
+    Catalog* catalog) {
+  if (!in.Is("bpm", "newIterator") || in.args.size() < 3) return nullptr;
+  if (in.args[0].kind != MalArg::Kind::kVar) return nullptr;
+  auto dit = def.find(in.args[0].var);
+  if (dit == def.end() || !dit->second->Is("bpm", "take")) return nullptr;
+  if (dit->second->args.empty() ||
+      dit->second->args[0].kind != MalArg::Kind::kStr) {
+    return nullptr;
+  }
+  if (in.args[1].kind != MalArg::Kind::kNum ||
+      in.args[2].kind != MalArg::Kind::kNum) {
+    return nullptr;
+  }
+  auto col = catalog->GetSegmented(dit->second->args[0].str);
+  if (!col.ok()) return nullptr;
+  return col.value();
+}
+
+std::unordered_map<int, const MalInstr*> BuildDefMap(const MalProgram& prog) {
   std::unordered_map<int, const MalInstr*> def;
-  for (const MalInstr& in : prog->instrs) {
+  for (const MalInstr& in : prog.instrs) {
     for (int r : in.rets) def[r] = &in;
   }
+  return def;
+}
+
+}  // namespace
+
+Status EstimateFootprintPass::Apply(MalProgram* prog, OptContext* ctx) {
+  if (ctx->catalog == nullptr) return Status::OK();
+  const auto def = BuildDefMap(*prog);
   for (const MalInstr& in : prog->instrs) {
-    if (!in.Is("bpm", "newIterator") || in.args.size() < 3) continue;
-    if (in.args[0].kind != MalArg::Kind::kVar) continue;
-    auto dit = def.find(in.args[0].var);
-    if (dit == def.end() || !dit->second->Is("bpm", "take")) continue;
-    if (dit->second->args.empty() ||
-        dit->second->args[0].kind != MalArg::Kind::kStr) {
-      continue;
-    }
-    auto col = ctx->catalog->GetSegmented(dit->second->args[0].str);
-    if (!col.ok()) continue;
-    if (in.args[1].kind != MalArg::Kind::kNum ||
-        in.args[2].kind != MalArg::Kind::kNum) {
-      continue;
-    }
+    SegmentedColumn* col = ResolveIteratorColumn(in, def, ctx->catalog);
+    if (col == nullptr) continue;
     ctx->estimated_scan_bytes +=
-        col.value()->EstimateSelectionBytes(in.args[1].num, in.args[2].num);
+        col->EstimateSelectionBytes(in.args[1].num, in.args[2].num);
+  }
+  return Status::OK();
+}
+
+Status PlanChoicePass::Apply(MalProgram* prog, OptContext* ctx) {
+  if (ctx->catalog == nullptr) return Status::OK();
+  const auto def = BuildDefMap(*prog);
+  for (MalInstr& in : prog->instrs) {
+    SegmentedColumn* col = ResolveIteratorColumn(in, def, ctx->catalog);
+    if (col == nullptr) continue;
+    // Only annotate the canonical 4-arg shape the segment optimizer emits
+    // (col, lo, hi, mode); hand-built programs keep their own arity.
+    if (in.args.size() != 4) continue;
+    const SegmentedColumn::SelectionEstimate est =
+        col->EstimateSelection(in.args[1].num, in.args[2].num);
+    const SegmentedColumn::SelectionEstimate total = col->EstimateSelection(
+        -std::numeric_limits<double>::infinity(),
+        std::numeric_limits<double>::infinity());
+    if (total.bytes == 0 || est.segments < kMinCoverSegments) continue;
+    if (static_cast<double>(est.bytes) <
+        kCoalesceFraction * static_cast<double>(total.bytes)) {
+      continue;
+    }
+    in.args.push_back(MalArg::Num(1));  // 5th arg: coalesced delivery
+    ++coalesced_;
   }
   return Status::OK();
 }
@@ -86,6 +132,7 @@ PassManager MakeDefaultPipeline() {
   PassManager pm;
   pm.Add(std::make_unique<SegmentOptimizerPass>());
   pm.Add(std::make_unique<EstimateFootprintPass>());
+  pm.Add(std::make_unique<PlanChoicePass>());
   pm.Add(std::make_unique<DeadCodeElimPass>());
   return pm;
 }

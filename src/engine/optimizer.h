@@ -60,8 +60,33 @@ class EstimateFootprintPass : public OptimizerPass {
   Status Apply(MalProgram* prog, OptContext* ctx) override;
 };
 
+/// Cost-based plan choice over the same meta-index estimates: when a
+/// select's cover degenerates to ~the whole column split across several
+/// segments, per-iteration segment delivery buys no pruning -- it only pays
+/// the barrier-loop interpreter overhead and the O(n^2) bpm.addSegment
+/// accumulator copies. This pass flags such iterators for *coalesced*
+/// delivery (bpm.newIterator 5th arg; see SegmentedColumn::ScanCoverBat):
+/// the whole cover arrives as one BAT in one iteration, with byte-identical
+/// per-segment metered accounting.
+class PlanChoicePass : public OptimizerPass {
+ public:
+  /// Coalesce when the cover's estimated bytes reach this fraction of the
+  /// whole column and span at least kMinCoverSegments segments.
+  static constexpr double kCoalesceFraction = 0.9;
+  static constexpr uint64_t kMinCoverSegments = 2;
+
+  std::string Name() const override { return "planchoice"; }
+  Status Apply(MalProgram* prog, OptContext* ctx) override;
+
+  /// Iterators flagged for coalesced delivery so far (test/diagnostic hook).
+  uint64_t coalesced() const { return coalesced_; }
+
+ private:
+  uint64_t coalesced_ = 0;
+};
+
 /// Builds the default tactical pipeline: segment optimizer, footprint
-/// estimation, dead-code elimination.
+/// estimation, cost-based plan choice, dead-code elimination.
 PassManager MakeDefaultPipeline();
 
 }  // namespace socs

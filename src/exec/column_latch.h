@@ -1,12 +1,21 @@
-// Per-column latch of the parallel execution subsystem. The single-pass
-// execution protocol (strategy.h) makes the scan phase read-only and confines
-// all mutation to Reorganize/Append, so the locking discipline is a classic
-// reader/writer latch per column:
+// Per-column latch of the parallel execution subsystem. Under the versioned
+// cover discipline (strategy.h, exec/epoch_manager.h) this latch is the
+// WRITE-WRITE path only: scans pin the published epoch and walk an immutable
+// cover snapshot latch-free, so the latch serializes just the mutators
+// against each other:
 //
-//   shared     -- CoverSegments + the ScanSegment fan-out (any number of
-//                 concurrent scanners, across workers and across queries);
-//   exclusive  -- Reorganize, the Append write path, and background
-//                 maintenance (deferred batch flushes).
+//   exclusive  -- Reorganize, the Append write path, background maintenance
+//                 (deferred batch flushes), and the first-cover publish;
+//   shared     -- retained solely by strategies that opted out of snapshot
+//                 scans (cracking reorganizes its in-memory array in place)
+//                 and by the engine's unmetered full-scan fallback, whose
+//                 reads have no cover to pin.
+//
+// Counter semantics match the discipline: shared_acquisitions counts only
+// those opt-out/fallback reads (an ordinary snapshot workload leaves it at
+// 0), while scans are proven by EpochManager::pins() and mutation safety by
+// its retire/reclaim counters. exclusive_acquisitions keeps counting every
+// writer entry.
 //
 // The latch is deliberately not recursive: the virtual phase methods are
 // unlatched, and only the non-virtual entry points (RunRange, Append,

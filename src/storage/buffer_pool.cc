@@ -79,6 +79,18 @@ void BufferPool::Grow(SegmentId id, uint64_t delta_bytes) {
   }
 }
 
+void BufferPool::AdoptRewrite(SegmentId old_id, SegmentId new_id,
+                              uint64_t total_bytes) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (entries_.count(old_id) == 0) return;
+  if (capacity_bytes_ != 0 && total_bytes > capacity_bytes_) return;  // streams
+  if (entries_.count(new_id) > 0) return;
+  EvictUntilFits(total_bytes);
+  lru_.push_front(new_id);
+  entries_.emplace(new_id, Entry{total_bytes, lru_.begin()});
+  resident_bytes_ += total_bytes;
+}
+
 void BufferPool::Drop(SegmentId id) {
   std::lock_guard<std::mutex> lk(mu_);
   DropLocked(id);

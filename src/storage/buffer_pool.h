@@ -59,6 +59,15 @@ class BufferPool {
   /// No-op when the segment is not resident.
   void Grow(SegmentId id, uint64_t delta_bytes);
 
+  /// Installs the copy-on-write successor of a rewritten segment
+  /// (SegmentSpace::AppendCow): admits `new_id` as hottest with the merged
+  /// payload size, evicting colder segments until the pool fits -- the same
+  /// bookkeeping Grow applies to an in-place tail extend, with no hit/miss
+  /// counted. The retired original stays resident (pinned readers still
+  /// scan it) until reclamation Drops it. No-op when the original was not
+  /// resident; a successor larger than the whole pool streams instead.
+  void AdoptRewrite(SegmentId old_id, SegmentId new_id, uint64_t total_bytes);
+
   /// Removes the segment if resident (called when a segment is freed).
   void Drop(SegmentId id);
 

@@ -93,6 +93,39 @@ class SegmentSpace {
     }
   }
 
+  /// Copy-on-write tail extend: materializes a successor segment holding the
+  /// original payload plus `values` under a fresh id and returns it, leaving
+  /// the original untouched for readers pinned on pre-mutation covers (the
+  /// caller retires the original; reclamation frees it once the last such
+  /// reader unpins). Charges exactly what the in-place Append charges -- the
+  /// appended bytes only -- so the Append-phase cost basis is unchanged by
+  /// the snapshot discipline. Returns `id` unchanged when `values` is empty.
+  /// Callers must hold the owning column's exclusive latch.
+  template <typename T>
+  SegmentId AppendCow(SegmentId id, const std::vector<T>& values,
+                      IoCost* cost) {
+    const uint64_t bytes = values.size() * sizeof(T);
+    if (bytes == 0) return id;
+    auto old_span = store_.ReadTyped<T>(id);
+    std::vector<T> merged;
+    merged.reserve(old_span.size() + values.size());
+    merged.insert(merged.end(), old_span.begin(), old_span.end());
+    merged.insert(merged.end(), values.begin(), values.end());
+    SegmentId fresh = store_.CreateTyped(merged);
+    {
+      std::lock_guard<std::mutex> lk(stats_mu_);
+      stats_.mem_write_bytes += bytes;
+      stats_.disk_write_bytes += bytes;  // eventually flushed either way
+      ++stats_.segments_created;
+    }
+    pool_.AdoptRewrite(id, fresh, merged.size() * sizeof(T));
+    if (cost != nullptr) {
+      cost->bytes += bytes;
+      cost->seconds += model().SegmentWrite(bytes) + model().SegmentOverhead();
+    }
+    return fresh;
+  }
+
   /// Scans a segment: returns its typed payload, charging a memory read and,
   /// on a buffer-pool miss, a secondary-store read. With `lane == nullptr`
   /// the charge lands directly in the shared stats/pool (the sequential

@@ -395,6 +395,79 @@ TEST(ConcurrentStress, EngineSessionsShareSpaceAndScheduler) {
   }
 }
 
+// Long snapshot scans racing reorganization: readers pin a cover and walk
+// it slowly (yielding between segments, so publishes land mid-scan) while a
+// writer interleaves appends with reorganizing selects. Every scan must see
+// a row count that existed at some published epoch -- initial plus a whole
+// number of append batches, never a torn intermediate -- and once all sides
+// join, the retire list must have drained and the space's live-segment
+// accounting must match the index.
+TEST(ConcurrentStress, LongScansVsReorganizeInterleavings) {
+  const ValueRange domain(0, kDomainHi);
+  constexpr size_t kInitial = 6000;
+  constexpr size_t kBatch = 5;
+  constexpr int kWriterSteps = 80;
+
+  SegmentSpace space;
+  AdaptiveSegmentation<int32_t> strat(
+      [] {
+        Rng rng(321);
+        std::vector<int32_t> d;
+        for (size_t i = 0; i < kInitial; ++i) {
+          d.push_back(static_cast<int32_t>(rng.NextInt(0, kDomainHi - 1)));
+        }
+        return d;
+      }(),
+      domain, std::make_unique<Apm>(2 * kKiB, 8 * kKiB), &space);
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> bad_counts{0};
+  std::thread writer([&] {
+    UniformRangeGenerator gen(domain, 0.1, 9);
+    Rng ins(10);
+    for (int step = 0; step < kWriterSteps; ++step) {
+      if (step % 2 == 0) {
+        std::vector<int32_t> batch;
+        for (size_t i = 0; i < kBatch; ++i) {
+          batch.push_back(static_cast<int32_t>(ins.NextInt(0, kDomainHi - 1)));
+        }
+        strat.Append(batch);
+      } else {
+        strat.RunRange(gen.Next().range);  // splits/merges under the pins
+      }
+    }
+    stop.store(true);
+  });
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 3; ++t) {
+    readers.emplace_back([&] {
+      do {
+        size_t slot = 0;
+        const auto cover = strat.PinCover(&slot);
+        uint64_t rows = 0;
+        for (const SegmentInfo& seg : cover->Cover(domain)) {
+          rows += strat.ScanSegment(seg, domain, nullptr).result_count;
+          std::this_thread::yield();  // let publishes land mid-walk
+        }
+        if (rows < kInitial || (rows - kInitial) % kBatch != 0 ||
+            rows > kInitial + (kWriterSteps / 2) * kBatch) {
+          bad_counts.fetch_add(1);
+        }
+        strat.UnpinCover(slot);
+      } while (!stop.load());
+    });
+  }
+  writer.join();
+  for (auto& t : readers) t.join();
+
+  EXPECT_EQ(bad_counts.load(), 0u);
+  EXPECT_EQ(strat.epochs().ActivePins(), 0u);
+  EXPECT_EQ(strat.PendingRetired(), 0u);
+  EXPECT_EQ(strat.epochs().reclaims(), strat.epochs().retires());
+  EXPECT_EQ(space.stats().segments_created - space.stats().segments_freed,
+            strat.Segments().size());
+}
+
 // Concurrent logging: one atomic write per line from any worker (the TSan
 // job watches the level atomics and the line assembly).
 TEST(ConcurrentStress, LoggingFromManyThreads) {

@@ -305,5 +305,84 @@ TEST(BpmTest, ScanSegmentBatCarriesOidsAndMetersOnce) {
   EXPECT_EQ((space.stats() - before).mem_read_bytes, 1000 * sizeof(OidValue));
 }
 
+const MalInstr* FindNewIterator(const MalProgram& prog) {
+  for (const MalInstr& in : prog.instrs) {
+    if (in.Is("bpm", "newIterator")) return &in;
+  }
+  return nullptr;
+}
+
+// Cost-based plan choice: once the meta-index shows a select's cover is
+// ~the whole column across several segments, the optimizer flags the
+// iterator for coalesced delivery (5th newIterator arg); narrow selects
+// keep per-segment delivery. The coalesced plan must return the same rows
+// with the same metered accounting as the per-segment one.
+TEST(PlanChoiceTest, CoalescesWholeColumnSelectsWithIdenticalAccounting) {
+  Catalog cat;
+  SegmentSpace space;
+  auto ra = SetupCatalog(&cat, &space);
+  MalInterpreter interp(&cat);
+
+  // Warm up: narrow selects cut the initial whole-column segment at their
+  // predicate boundaries (a full-domain select has no interior cut points),
+  // then two settle rounds absorb any remaining adaptation.
+  Rng rng(5);
+  for (int i = 0; i < 32; ++i) {
+    const bool wide = i >= 30;  // last two rounds: full-domain settle
+    const double lo = wide ? 0.0 : rng.NextUniform(0.0, 300.0);
+    MalProgram prog = BuildSelectPlan(lo, wide ? 360.0 : lo + 30.0);
+    OptContext ctx;
+    ctx.catalog = &cat;
+    PassManager pm = MakeDefaultPipeline();
+    ASSERT_TRUE(pm.Run(&prog, &ctx).ok());
+    ASSERT_TRUE(interp.Run(prog).ok());
+  }
+  ASSERT_GT(cat.GetSegmentedOrNull("P", "ra")->CoverSegments(0.0, 360.0).size(),
+            1u);
+
+  // Whole-domain select: flagged for coalesced delivery.
+  MalProgram wide = BuildSelectPlan(0.0, 360.0);
+  OptContext ctx;
+  ctx.catalog = &cat;
+  PassManager pm = MakeDefaultPipeline();
+  ASSERT_TRUE(pm.Run(&wide, &ctx).ok());
+  const MalInstr* it = FindNewIterator(wide);
+  ASSERT_NE(it, nullptr);
+  ASSERT_EQ(it->args.size(), 5u);
+  EXPECT_EQ(it->args[4].num, 1.0);
+
+  // Narrow select: per-segment delivery stays.
+  MalProgram narrow = BuildSelectPlan(10.0, 20.0);
+  ASSERT_TRUE(pm.Run(&narrow, &ctx).ok());
+  const MalInstr* nit = FindNewIterator(narrow);
+  ASSERT_NE(nit, nullptr);
+  EXPECT_EQ(nit->args.size(), 4u);
+
+  // Same plan, flag stripped = the per-segment baseline. At steady state
+  // (no further adaptation) both deliveries must agree on rows AND on every
+  // metered byte.
+  MalProgram plain = BuildSelectPlan(0.0, 360.0);
+  ASSERT_TRUE(pm.Run(&plain, &ctx).ok());
+  for (MalInstr& in : plain.instrs) {
+    if (in.Is("bpm", "newIterator")) in.args.pop_back();
+  }
+  auto rs_plain = interp.Run(plain);
+  ASSERT_TRUE(rs_plain.ok());
+  const QueryExecution base = interp.last_execution();
+  ASSERT_EQ(base.splits, 0u) << "structure not steady; parity undefined";
+
+  auto rs_coal = interp.Run(wide);
+  ASSERT_TRUE(rs_coal.ok());
+  const QueryExecution coal = interp.last_execution();
+  EXPECT_EQ(coal.read_bytes, base.read_bytes);
+  EXPECT_EQ(coal.segments_scanned, base.segments_scanned);
+  EXPECT_EQ(coal.result_count, base.result_count);
+  EXPECT_EQ(coal.selection_seconds, base.selection_seconds);
+  EXPECT_EQ(coal.splits, 0u);
+  EXPECT_EQ((*rs_coal)->NumRows(), (*rs_plain)->NumRows());
+  EXPECT_EQ(ResultColumn(**rs_coal), ResultColumn(**rs_plain));
+  EXPECT_EQ(ResultColumn(**rs_coal), OracleObjids(ra, 0.0, 360.0));
+}
+
 }  // namespace
 }  // namespace socs

@@ -1,0 +1,304 @@
+// Versioned segment covers (exec/epoch_manager.h + strategy.h): scans pin
+// the published epoch and finish on an immutable cover snapshot while
+// mutators publish new covers with one atomic epoch flip; segments retired
+// by a mutation are reclaimed only once no reader can still be walking them.
+// These tests pin the protocol: the EpochManager primitive itself, deferred
+// reclamation under an active pin, snapshot isolation of in-flight scans
+// from concurrent appends/flushes, and the retire list draining to empty at
+// every joined idle point.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/units.h"
+#include "core/adaptive_segmentation.h"
+#include "core/apm.h"
+#include "core/cracking.h"
+#include "core/deferred_segmentation.h"
+#include "core/non_segmented.h"
+#include "exec/epoch_manager.h"
+
+namespace socs {
+namespace {
+
+// --- the primitive ----------------------------------------------------------
+
+TEST(EpochManager, PinUnpinLifecycle) {
+  EpochManager em;
+  EXPECT_EQ(em.published(), 1u);
+  EXPECT_EQ(em.MinActive(), EpochManager::kNoReaders);
+  EXPECT_EQ(em.ActivePins(), 0u);
+
+  const size_t slot = em.Pin();
+  EXPECT_EQ(em.PinnedAt(slot), 1u);
+  EXPECT_EQ(em.ActivePins(), 1u);
+  EXPECT_EQ(em.MinActive(), 1u);
+  EXPECT_EQ(em.pins(), 1u);
+
+  // A publish moves the world forward; the pinned reader stays at its epoch.
+  EXPECT_EQ(em.Advance(), 2u);
+  EXPECT_EQ(em.published(), 2u);
+  EXPECT_EQ(em.PinnedAt(slot), 1u);
+  EXPECT_EQ(em.MinActive(), 1u);
+
+  em.Unpin(slot);
+  EXPECT_EQ(em.ActivePins(), 0u);
+  EXPECT_EQ(em.MinActive(), EpochManager::kNoReaders);
+}
+
+TEST(EpochManager, MinActiveIsOldestReader) {
+  EpochManager em;
+  const size_t old_reader = em.Pin();  // epoch 1
+  em.Advance();
+  em.Advance();
+  const size_t new_reader = em.Pin();  // epoch 3
+  EXPECT_EQ(em.PinnedAt(new_reader), 3u);
+  EXPECT_EQ(em.MinActive(), 1u);
+  em.Unpin(old_reader);
+  EXPECT_EQ(em.MinActive(), 3u);
+  em.Unpin(new_reader);
+  EXPECT_EQ(em.MinActive(), EpochManager::kNoReaders);
+  EXPECT_EQ(em.pins(), 2u);
+}
+
+TEST(EpochManager, RetireReclaimCounters) {
+  EpochManager em;
+  em.NoteRetire();
+  em.NoteRetire();
+  em.NoteReclaim();
+  EXPECT_EQ(em.retires(), 2u);
+  EXPECT_EQ(em.reclaims(), 1u);
+}
+
+// The announce race: a reader's pin must either be visible to a concurrent
+// writer's post-Advance MinActive() scan, or the reader must observe the new
+// epoch. Either way MinActive() can never lag the epoch a writer is about to
+// retire under once the writer has advanced past it. Hammer the protocol
+// from both sides and check the invariant a writer relies on: whenever a
+// reader holds a pin, its pinned epoch is at most published() and MinActive()
+// reports an epoch <= its own.
+TEST(EpochManager, ConcurrentPinAdvanceKeepsInvariant) {
+  EpochManager em;
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> violations{0};
+
+  std::thread writer([&] {
+    for (int i = 0; i < 4000; ++i) em.Advance();
+    stop.store(true);
+  });
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&] {
+      while (!stop.load()) {
+        const size_t slot = em.Pin();
+        const uint64_t mine = em.PinnedAt(slot);
+        const uint64_t min = em.MinActive();
+        // Our own pin is visible to ourselves, so MinActive <= mine, and no
+        // pin can be newer than the published epoch.
+        if (min > mine || mine > em.published()) violations.fetch_add(1);
+        em.Unpin(slot);
+      }
+    });
+  }
+  writer.join();
+  for (auto& t : readers) t.join();
+  EXPECT_EQ(violations.load(), 0u);
+  EXPECT_EQ(em.ActivePins(), 0u);
+  EXPECT_EQ(em.published(), 4001u);
+}
+
+// --- deferred reclamation through the strategy ------------------------------
+
+std::vector<int32_t> MakeData(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<int32_t> data;
+  data.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    data.push_back(static_cast<int32_t>(rng.NextInt(0, 999'999)));
+  }
+  return data;
+}
+
+// While a reader holds a pin on the pre-mutation cover, segments retired by
+// a reorganization stay on the retire list and are NOT freed in the segment
+// space; releasing the pin reclaims them all.
+TEST(EpochCovers, RetireUnderPinDefersReclaim) {
+  const ValueRange domain(0, 1'000'000);
+  SegmentSpace space;
+  AdaptiveSegmentation<int32_t> strat(MakeData(8000, 42), domain,
+                                      std::make_unique<Apm>(2 * kKiB, 8 * kKiB),
+                                      &space);
+
+  size_t slot = 0;
+  const auto pinned = strat.PinCover(&slot);
+  ASSERT_NE(pinned, nullptr);
+  const uint64_t pinned_epoch = pinned->epoch();
+
+  // The 32 KiB column violates the 8 KiB APM upper bound, so the first query
+  // splits it -- retiring the whole-column segment while we still hold it.
+  const QueryExecution ex = strat.RunRange(ValueRange(0, 500'000));
+  ASSERT_GT(ex.splits, 0u);
+  EXPECT_GT(strat.data_epoch(), pinned_epoch);
+  EXPECT_GT(strat.PendingRetired(), 0u);
+  EXPECT_EQ(space.stats().segments_freed, 0u)
+      << "a pinned reader's segments must never be freed under it";
+  EXPECT_GT(strat.epochs().retires(), 0u);
+  EXPECT_EQ(strat.epochs().reclaims(), 0u);
+
+  // The pinned cover still scans: every segment it lists is alive.
+  uint64_t rows = 0;
+  for (const SegmentInfo& seg : pinned->Cover(domain)) {
+    rows += strat.ScanSegment(seg, domain, nullptr).result_count;
+  }
+  EXPECT_EQ(rows, 8000u);
+
+  strat.UnpinCover(slot);
+  EXPECT_EQ(strat.PendingRetired(), 0u);
+  EXPECT_GT(space.stats().segments_freed, 0u);
+  EXPECT_EQ(strat.epochs().reclaims(), strat.epochs().retires());
+}
+
+// A cover pinned before an append is a consistent snapshot: it keeps
+// delivering exactly the pre-append rows (with the pre-append metering)
+// while data_epoch() and fresh scans move on to the appended state.
+TEST(EpochCovers, PinnedCoverIsSnapshotAcrossAppend) {
+  const ValueRange domain(0, 1'000'000);
+  const std::vector<int32_t> initial = MakeData(4000, 7);
+
+  // Solo baseline: the same column, never mutated, scanned once.
+  SegmentSpace solo_space;
+  NonSegmented<int32_t> solo(initial, domain, &solo_space);
+  std::vector<int32_t> solo_rows;
+  const QueryExecution solo_ex = solo.RunRange(domain, &solo_rows);
+
+  SegmentSpace space;
+  NonSegmented<int32_t> strat(initial, domain, &space);
+  size_t slot = 0;
+  const auto pinned = strat.PinCover(&slot);
+  ASSERT_NE(pinned, nullptr);
+
+  // COW append: the tail-extend retires the old segment under our pin.
+  const std::vector<int32_t> batch{5, 6, 7, 8, 9};
+  strat.Append(batch);
+  EXPECT_EQ(strat.data_epoch(), pinned->epoch() + 1);
+  EXPECT_EQ(strat.PendingRetired(), 1u);
+
+  // The old cover delivers the pre-append rows, byte-identical to the solo
+  // scan of the never-mutated clone.
+  std::vector<int32_t> old_rows;
+  uint64_t old_bytes = 0;
+  for (const SegmentInfo& seg : pinned->Cover(domain)) {
+    old_bytes += strat.ScanSegment(seg, domain, &old_rows).read_bytes;
+  }
+  EXPECT_EQ(old_rows, solo_rows);
+  EXPECT_EQ(old_bytes, solo_ex.read_bytes);
+
+  // A fresh scan sees the appended state.
+  std::vector<int32_t> new_rows;
+  strat.RunRange(domain, &new_rows);
+  EXPECT_EQ(new_rows.size(), initial.size() + batch.size());
+
+  strat.UnpinCover(slot);
+  EXPECT_EQ(strat.PendingRetired(), 0u);
+}
+
+// Cracking opts out of snapshot covers (it reorganizes its array in place)
+// and keeps the shared-latch discipline; the snapshot strategies leave the
+// shared counter untouched and prove their scans through the pin counter.
+TEST(EpochCovers, CrackingKeepsLatchDiscipline) {
+  const ValueRange domain(0, 1'000'000);
+  SegmentSpace space;
+  CrackingColumn<int32_t> crack(MakeData(2000, 11), domain, &space);
+  EXPECT_FALSE(crack.snapshot_scans());
+  crack.RunRange(ValueRange(100, 5000));
+  EXPECT_GT(crack.latch().shared_acquisitions(), 0u);
+  EXPECT_EQ(crack.epochs().pins(), 0u);
+
+  SegmentSpace space2;
+  AdaptiveSegmentation<int32_t> snap(MakeData(2000, 12), domain,
+                                     std::make_unique<Apm>(2 * kKiB, 8 * kKiB),
+                                     &space2);
+  EXPECT_TRUE(snap.snapshot_scans());
+  snap.RunRange(ValueRange(100, 5000));
+  EXPECT_GT(snap.epochs().pins(), 0u);
+  EXPECT_EQ(snap.latch().shared_acquisitions(), 0u);
+}
+
+// --- scans racing mutation, threaded ----------------------------------------
+
+// Long scans pin a cover and walk it segment by segment while a writer
+// thread keeps appending and flushing batches. Every scan must observe a
+// row count that existed at SOME published epoch (initial + k * batch), and
+// after both sides join, the retire list must have drained: live segments
+// in the space == segments the index still references.
+TEST(EpochCovers, LongScansRaceFlushBatch) {
+  const ValueRange domain(0, 1'000'000);
+  constexpr size_t kInitial = 6000;
+  constexpr size_t kBatch = 7;
+  constexpr int kAppends = 60;
+
+  SegmentSpace space;
+  DeferredSegmentation<int32_t>::Options opts;
+  opts.batch_queries = 1 << 30;  // flush only via RunIdleWork below
+  DeferredSegmentation<int32_t> strat(MakeData(kInitial, 99), domain,
+                                      std::make_unique<Apm>(2 * kKiB, 8 * kKiB),
+                                      &space, opts);
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> bad_counts{0};
+  std::thread writer([&] {
+    Rng rng(5);
+    for (int i = 0; i < kAppends; ++i) {
+      std::vector<int32_t> batch;
+      for (size_t j = 0; j < kBatch; ++j) {
+        batch.push_back(static_cast<int32_t>(rng.NextInt(0, 999'999)));
+      }
+      strat.Append(batch);
+      if (strat.HasIdleWork()) strat.RunIdleWork();
+    }
+    stop.store(true);
+  });
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 3; ++t) {
+    readers.emplace_back([&] {
+      do {
+        size_t slot = 0;
+        const auto cover = strat.PinCover(&slot);
+        uint64_t rows = 0;
+        for (const SegmentInfo& seg : cover->Cover(domain)) {
+          rows += strat.ScanSegment(seg, domain, nullptr).result_count;
+        }
+        // Appends publish atomically, so any pinned cover holds exactly
+        // initial + k*batch rows for a whole number k of appends.
+        if (rows < kInitial || (rows - kInitial) % kBatch != 0 ||
+            rows > kInitial + kAppends * kBatch) {
+          bad_counts.fetch_add(1);
+        }
+        strat.UnpinCover(slot);
+      } while (!stop.load());
+    });
+  }
+  writer.join();
+  for (auto& t : readers) t.join();
+
+  EXPECT_EQ(bad_counts.load(), 0u);
+  EXPECT_EQ(strat.epochs().ActivePins(), 0u);
+
+  // Drain: the last publish or the last unpin ran reclamation with no pins
+  // left, so nothing retired may still be held...
+  EXPECT_EQ(strat.PendingRetired(), 0u);
+  EXPECT_EQ(strat.epochs().reclaims(), strat.epochs().retires());
+  // ... and the space's live-segment accounting must match the index.
+  EXPECT_EQ(space.stats().segments_created - space.stats().segments_freed,
+            strat.Segments().size());
+  // Row conservation through every COW tail-extend and batched split.
+  EXPECT_EQ(strat.index().TotalCount(), kInitial + kAppends * kBatch);
+}
+
+}  // namespace
+}  // namespace socs

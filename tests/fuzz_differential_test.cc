@@ -469,5 +469,124 @@ TEST(FuzzDifferential, BatchedVsUnbatchedServerRandomizedTraffic) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Part C: pinned snapshots vs structure mutation, randomized interleavings
+// ---------------------------------------------------------------------------
+
+/// Snapshot-capable strategy kinds (cracking opts out of versioned covers).
+std::unique_ptr<AccessStrategy<int32_t>> MakeSnapshotStrategy(
+    size_t kind, std::vector<int32_t> data, const ValueRange& domain,
+    SegmentSpace* space) {
+  auto model = std::make_unique<Apm>(2 * kKiB, 8 * kKiB);
+  switch (kind) {
+    case 0:
+      return std::make_unique<NonSegmented<int32_t>>(std::move(data), domain,
+                                                     space);
+    case 1:
+      return std::make_unique<StaticPartition<int32_t>>(std::move(data), domain,
+                                                        8, space);
+    case 2:
+      return std::make_unique<PositionalBlocks<int32_t>>(
+          std::move(data), domain, 8 * kKiB, space, /*use_zone_maps=*/true);
+    case 3:
+      return std::make_unique<AdaptiveSegmentation<int32_t>>(
+          std::move(data), domain, std::move(model), space);
+    case 4:
+      return std::make_unique<DeferredSegmentation<int32_t>>(
+          std::move(data), domain, std::move(model), space);
+    default:
+      return std::make_unique<AdaptiveReplication<int32_t>>(
+          std::move(data), domain, std::move(model), space);
+  }
+}
+
+/// One randomized snapshot-isolation round: pin covers at random points of a
+/// mutating statement stream (appends, reorganizing selects, idle flushes),
+/// release them in random order, and require every stale cover to deliver
+/// exactly the value multiset the column held at its pin time -- then the
+/// retire list to drain once the last pin goes.
+void FuzzSnapshotVsMutationOnce(uint64_t seed) {
+  SCOPED_TRACE("reproduce with SOCS_FUZZ_SEED=" + std::to_string(seed));
+  Rng meta(seed);
+  const size_t kind = static_cast<size_t>(meta.NextInt(0, 5));
+  SCOPED_TRACE("snapshot kind=" + std::to_string(kind));
+  const ValueRange domain(0, 1'000'000);
+
+  Rng data_rng(seed ^ 0x5eedULL);
+  std::vector<int32_t> oracle;
+  for (size_t i = 0; i < 5000; ++i) {
+    oracle.push_back(static_cast<int32_t>(data_rng.NextInt(0, 999'999)));
+  }
+  SegmentSpace space;
+  auto strat = MakeSnapshotStrategy(kind, oracle, domain, &space);
+
+  struct Pinned {
+    size_t slot;
+    std::shared_ptr<const ColumnCover> cover;
+    std::vector<int32_t> expect;  // sorted value multiset at pin time
+  };
+  std::vector<Pinned> pins;
+  const auto verify_and_release = [&](size_t idx) {
+    Pinned p = std::move(pins[idx]);
+    pins.erase(pins.begin() + idx);
+    std::vector<int32_t> rows;
+    for (const SegmentInfo& seg : p.cover->Cover(domain)) {
+      strat->ScanSegment(seg, domain, &rows);
+    }
+    std::sort(rows.begin(), rows.end());
+    ASSERT_EQ(rows, p.expect)
+        << "stale cover at epoch " << p.cover->epoch()
+        << " must deliver exactly the rows present when it was pinned";
+    strat->UnpinCover(p.slot);
+  };
+
+  UniformRangeGenerator gen(domain, meta.NextUniform(0.03, 0.2), seed ^ 0xabcULL);
+  Rng ins(seed ^ 0xdefULL);
+  for (int step = 0; step < 80; ++step) {
+    const int roll = static_cast<int>(ins.NextInt(0, 9));
+    if (roll < 2 && pins.size() < 4) {
+      Pinned p;
+      p.cover = strat->PinCover(&p.slot);
+      ASSERT_NE(p.cover, nullptr);
+      p.expect = oracle;
+      std::sort(p.expect.begin(), p.expect.end());
+      pins.push_back(std::move(p));
+    } else if (roll < 4 && !pins.empty()) {
+      verify_and_release(static_cast<size_t>(ins.NextInt(0, pins.size() - 1)));
+    } else if (roll < 6) {
+      std::vector<int32_t> batch;
+      const size_t n = 1 + static_cast<size_t>(ins.NextInt(0, 4));
+      for (size_t i = 0; i < n; ++i) {
+        batch.push_back(static_cast<int32_t>(ins.NextInt(0, 999'999)));
+      }
+      strat->Append(batch);
+      oracle.insert(oracle.end(), batch.begin(), batch.end());
+    } else if (roll < 9) {
+      strat->RunRange(gen.Next().range);  // may split/merge/replicate
+    } else if (strat->HasIdleWork()) {
+      strat->RunIdleWork();  // deferred batch flush under live pins
+    }
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+  while (!pins.empty()) {
+    verify_and_release(pins.size() - 1);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+
+  // No reader left: everything ever retired must have been reclaimed.
+  EXPECT_EQ(strat->epochs().ActivePins(), 0u);
+  EXPECT_EQ(strat->PendingRetired(), 0u);
+  EXPECT_EQ(strat->epochs().reclaims(), strat->epochs().retires());
+}
+
+TEST(FuzzDifferential, PinnedSnapshotsVsStructureMutation) {
+  const uint64_t base = EnvU64("SOCS_FUZZ_SEED", 20260808);
+  const uint64_t iters = EnvU64("SOCS_FUZZ_ITERS", 6);
+  for (uint64_t i = 0; i < iters; ++i) {
+    FuzzSnapshotVsMutationOnce(base + 2000 + i);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
 }  // namespace
 }  // namespace socs

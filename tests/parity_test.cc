@@ -257,9 +257,10 @@ void ExpectCoreThreadParity(StratKind kind, bool zipf) {
   // The buffer pool evolved identically too (touches replay in cover order).
   EXPECT_EQ(seq_space.pool().hits(), par_space.pool().hits());
   EXPECT_EQ(seq_space.pool().misses(), par_space.pool().misses());
-  // The fan-out actually ran: scans took the shared latch, reorganization
-  // the exclusive one.
-  EXPECT_GT(par->latch().shared_acquisitions(), 0u);
+  // The fan-out actually ran: scans pinned epochs (the snapshot-read
+  // discipline; the shared latch is no longer on the scan path),
+  // reorganization took the exclusive latch.
+  EXPECT_GT(par->epochs().pins(), 0u);
   EXPECT_GT(par->latch().exclusive_acquisitions(), 0u);
 }
 
