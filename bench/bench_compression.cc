@@ -1,0 +1,170 @@
+// Compression ablation: bytes-scanned vs decode-CPU, per strategy, with the
+// store's segment codecs on and off (storage/segment_codec.h, the
+// CompressionAdvisor's cold sweeps). The column is dictionary-friendly
+// (values quantized to a coarse grid, the SkyServer calibration-grid shape),
+// so cold segments encode well; hot segments stay raw.
+//
+// For every scheme x {uniform, Zipf} the bench runs the identical workload
+// twice -- compression off, then on -- and enforces result-set identity
+// (per-query counts and an order-independent value checksum) before
+// reporting. Reorganization decisions are driven by *logical* geometry, so
+// the structural evolution (splits/merges/replicas) must match exactly; the
+// only deltas are physical pool bytes, scanned bytes, and the decode-CPU
+// charge. Writes BENCH_compression.json.
+//
+//   $ ./bench/bench_compression            # full run (2000 queries/cell)
+//   $ ./bench/bench_compression --smoke    # tiny run + the ctest assertions:
+//                                          # Zipf cold-heavy >= 2x physical
+//                                          # reduction, identical results
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/logging.h"
+#include "common/series.h"
+#include "common/units.h"
+
+using namespace socs;
+using namespace socs::bench;
+
+namespace {
+
+/// The simulation column quantized to a 4096-wide grid: ~245 distinct
+/// values, so kDict encodes at one index byte per element (~4x) while the
+/// value *distribution* (uniform over the domain) and every range-query
+/// result keep the original shape.
+std::vector<int32_t> MakeQuantizedColumn() {
+  std::vector<int32_t> data = MakeSimColumn();
+  for (int32_t& v : data) v -= v % 4096;
+  return data;
+}
+
+struct AblationRun {
+  QueryExecution ex;                  // summed execution records
+  IoStats stats;                      // store-side counters (physical bytes)
+  uint64_t logical_bytes = 0;         // live logical bytes at end of run
+  uint64_t physical_bytes = 0;        // live physical (encoded) bytes
+  uint64_t checksum = 0;              // order-independent result checksum
+  std::vector<uint64_t> counts;       // per-query result counts
+};
+
+AblationRun RunCell(Scheme s, bool zipf, bool compression,
+                    const std::vector<int32_t>& data, size_t queries) {
+  SegmentSpace::Options sopts;
+  sopts.compression = compression;
+  SegmentSpace space(CostParams{}, /*pool_capacity_bytes=*/0, sopts);
+  auto strat = MakeSimStrategy(s, data, &space);
+  auto gen = MakeSimGen(zipf, /*selectivity=*/0.01);
+  AblationRun run;
+  run.counts.reserve(queries);
+  for (size_t i = 0; i < queries; ++i) {
+    const RangeQuery q = gen->Next();
+    std::vector<int32_t> result;
+    run.ex += strat->RunRange(q.range, &result);
+    run.counts.push_back(result.size());
+    for (int32_t v : result) {
+      run.checksum += static_cast<uint64_t>(static_cast<uint32_t>(v));
+    }
+  }
+  run.stats = space.stats();
+  run.logical_bytes = space.total_logical_bytes();
+  run.physical_bytes = space.total_physical_bytes();
+  return run;
+}
+
+/// The on-run must be indistinguishable from the off-run at the result and
+/// structure level -- encoding is storage-only.
+void CheckIdentity(const AblationRun& off, const AblationRun& on,
+                   const char* cell) {
+  SOCS_CHECK_EQ(off.ex.result_count, on.ex.result_count) << cell;
+  SOCS_CHECK_EQ(off.checksum, on.checksum) << cell;
+  SOCS_CHECK(off.counts == on.counts) << cell << ": per-query counts differ";
+  SOCS_CHECK_EQ(off.ex.splits, on.ex.splits) << cell;
+  SOCS_CHECK_EQ(off.ex.merges, on.ex.merges) << cell;
+  SOCS_CHECK_EQ(off.ex.replicas_created, on.ex.replicas_created) << cell;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  const size_t queries = smoke ? 400 : 2000;
+  const auto data = MakeQuantizedColumn();
+
+  std::cout << "column: " << data.size() << " int32 values quantized to a "
+            << "4096-grid (" << FormatBytes(data.size() * sizeof(int32_t))
+            << " logical), " << queries
+            << " selections per cell, selectivity 0.01\n\n";
+
+  std::ofstream json("BENCH_compression.json");
+  json << "{\n  \"queries\": " << queries << ",\n"
+       << "  \"column_bytes\": " << data.size() * sizeof(int32_t) << ",\n"
+       << "  \"cells\": [\n";
+  bool first_cell = true;
+
+  for (const bool zipf : {false, true}) {
+    ResultTable table(std::string(zipf ? "Zipf" : "Uniform") +
+                          " workload: compression off vs on "
+                          "(result identity enforced per row)",
+                      {"scheme", "phys_off", "phys_on", "ratio", "scan_off",
+                       "scan_on", "decode", "recompr", "sel_off_s", "sel_on_s"});
+    for (const Scheme s : AllSchemes()) {
+      const AblationRun off = RunCell(s, zipf, /*compression=*/false, data,
+                                      queries);
+      const AblationRun on = RunCell(s, zipf, /*compression=*/true, data,
+                                     queries);
+      const std::string cell = std::string(SchemeName(s)) +
+                               (zipf ? " / zipf" : " / uniform");
+      CheckIdentity(off, on, cell.c_str());
+      SOCS_CHECK_EQ(off.physical_bytes, off.logical_bytes)
+          << cell << ": off-run stored non-raw segments";
+      const double ratio =
+          on.physical_bytes == 0
+              ? 1.0
+              : static_cast<double>(off.physical_bytes) /
+                    static_cast<double>(on.physical_bytes);
+      // The acceptance bar: a cold-heavy Zipf workload must at least halve
+      // the physical pool bytes (cold segments dict-encode ~4x; only the
+      // hot set stays raw).
+      if (zipf) {
+        SOCS_CHECK_GE(off.physical_bytes, 2 * on.physical_bytes)
+            << cell << ": expected >= 2x physical reduction";
+      }
+      table.AddRow(SchemeName(s), FormatBytes(off.physical_bytes),
+                   FormatBytes(on.physical_bytes), FormatNumber(ratio),
+                   FormatBytes(off.ex.read_bytes),
+                   FormatBytes(on.ex.read_bytes),
+                   FormatBytes(on.stats.decode_bytes),
+                   on.stats.segments_recompressed,
+                   FormatNumber(off.ex.selection_seconds),
+                   FormatNumber(on.ex.selection_seconds));
+      json << (first_cell ? "" : ",\n") << "    {\"scheme\": \""
+           << SchemeName(s) << "\", \"workload\": \""
+           << (zipf ? "zipf" : "uniform") << "\""
+           << ", \"logical_bytes\": " << off.logical_bytes
+           << ", \"physical_off\": " << off.physical_bytes
+           << ", \"physical_on\": " << on.physical_bytes
+           << ", \"ratio\": " << ratio
+           << ", \"scan_bytes_off\": " << off.ex.read_bytes
+           << ", \"scan_bytes_on\": " << on.ex.read_bytes
+           << ", \"decode_bytes\": " << on.stats.decode_bytes
+           << ", \"segments_recompressed\": " << on.stats.segments_recompressed
+           << ", \"selection_s_off\": " << off.ex.selection_seconds
+           << ", \"selection_s_on\": " << on.ex.selection_seconds << "}";
+      first_cell = false;
+    }
+    table.Print(std::cout);
+  }
+
+  json << "\n  ]\n}\n";
+  std::cout << "wrote BENCH_compression.json\n";
+  std::cout << "note: scan bytes shrink where cold segments are read encoded; "
+               "the decode-CPU\ncharge (cost-model Decode term) is the "
+               "sel_on_s - sel_off_s gap.\n";
+  return 0;
+}

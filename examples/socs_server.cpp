@@ -10,7 +10,9 @@
 //       ./examples/socs_client 127.0.0.1:5433
 //
 // Flags: --port N (default 5433; 0 = ephemeral), --threads N (execution
-// subsystem, default 4), --executors N (statement executors, default 2).
+// subsystem, default 4), --executors N (statement executors, default 2),
+// --compression (store cold segments encoded; `#compression` on any client
+// connection reports the per-column codec mix).
 // Stops gracefully on SIGINT/SIGTERM: pending statements finish, the
 // background lane drains, no reorganization batch is dropped.
 #include <csignal>
@@ -71,9 +73,13 @@ int main(int argc, char** argv) {
   const size_t threads = ParseThreadsFlag(argc, argv, /*default_threads=*/4);
   const long port = ParseLongFlag(argc, argv, "--port", client::kDefaultPort);
   const long executors = ParseLongFlag(argc, argv, "--executors", 2);
+  SegmentSpace::Options sopts;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--compression") == 0) sopts.compression = true;
+  }
 
   Catalog cat;
-  SegmentSpace space;
+  SegmentSpace space(CostParams{}, /*pool_capacity_bytes=*/0, sopts);
   TaskScheduler sched(threads);
   std::printf("building demo catalog P(ra deferred-segmented, dec, objid), "
               "200K rows (exec threads: %zu)...\n", threads);

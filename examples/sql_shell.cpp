@@ -188,9 +188,11 @@ int RunConnected(const std::string& target, bool from_stdin) {
 int main(int argc, char** argv) {
   const size_t threads = ParseThreadsFlag(argc, argv);
   bool from_stdin = false;
+  bool compression = false;
   std::string connect_target;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "-") == 0) from_stdin = true;
+    if (std::strcmp(argv[i], "--compression") == 0) compression = true;
     if (std::strcmp(argv[i], "--connect") == 0 && i + 1 < argc) {
       connect_target = argv[i + 1];
     }
@@ -201,7 +203,11 @@ int main(int argc, char** argv) {
   if (!connect_target.empty()) return RunConnected(connect_target, from_stdin);
 
   Catalog cat;
-  SegmentSpace space;
+  SegmentSpace::Options sopts;
+  // --compression: store cold segments encoded (see docs/ARCHITECTURE.md,
+  // "Storage encodings"); scans still deliver logical values.
+  sopts.compression = compression;
+  SegmentSpace space(CostParams{}, /*pool_capacity_bytes=*/0, sopts);
   // threads > 1: segment deliveries prefetch across the pool and deferred
   // reorganization rides the background lane; the default stays the
   // byte-reproducible sequential engine.

@@ -12,7 +12,7 @@ AdaptiveReplication<T>::AdaptiveReplication(
     : AccessStrategy<T>(space), model_(std::move(model)), tree_(domain),
       opts_(opts), total_bytes_(values.size() * sizeof(T)) {
   IoCost setup;  // initial load, not charged to a query
-  SegmentId id = space->Create(values, &setup);
+  SegmentId id = space->Create(values, &setup, CompressionHint::kCold);
   tree_.InitColumn(values.size(), id);
 }
 
@@ -180,6 +180,7 @@ void AdaptiveReplication<T>::AppendRec(ReplicaNode* n,
       this->RetireSegment(n->seg);
       n->seg = fresh;
       ex->write_bytes += cost.bytes;
+      ex->decode_bytes += cost.decode_bytes;
       ex->adaptation_seconds += cost.seconds;
     }
   }
@@ -226,13 +227,34 @@ QueryExecution AdaptiveReplication<T>::Reorganize(const ValueRange& q) {
     ex.segments_dropped += drops;
   }
   EnforceBudget(&ex);
+  // Re-encode boundary: replicas (and the root column) the workload stopped
+  // selecting from re-encode copy-on-write. The budget and the replication
+  // estimates stay in logical bytes, so the tree evolves identically with
+  // compression on or off.
+  if (this->compression_advisor() != nullptr) {
+    std::vector<ReplicaNode*> nodes;
+    std::function<void(ReplicaNode*)> visit = [&](ReplicaNode* n) {
+      if (n->materialized) nodes.push_back(n);
+      for (auto& c : n->children) visit(c.get());
+    };
+    visit(tree_.sentinel());
+    std::vector<SegmentInfo> segs;
+    segs.reserve(nodes.size());
+    for (const ReplicaNode* n : nodes) {
+      segs.push_back(SegmentInfo{n->range, n->count, n->seg});
+    }
+    this->SweepCompression(segs, &ex,
+                           [&](size_t i, const SegmentInfo& info) {
+                             nodes[i]->seg = info.id;
+                           });
+  }
   return ex;
 }
 
 template <typename T>
 StorageFootprint AdaptiveReplication<T>::Footprint() const {
   StorageFootprint fp;
-  fp.materialized_bytes = tree_.MaterializedValues() * sizeof(T);
+  fp.materialized_bytes = this->MaterializedPhysicalBytes();
   fp.segment_count = tree_.MaterializedNodeCount();
   fp.meta_bytes = tree_.NodeCount() * sizeof(ReplicaNode);
   return fp;

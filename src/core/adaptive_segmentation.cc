@@ -16,7 +16,7 @@ AdaptiveSegmentation<T>::AdaptiveSegmentation(
     : AccessStrategy<T>(space), model_(std::move(model)), index_(domain),
       opts_(opts), total_bytes_(values.size() * sizeof(T)) {
   IoCost setup;  // the initial load is not charged to any query
-  SegmentId id = space->Create(values, &setup);
+  SegmentId id = space->Create(values, &setup, CompressionHint::kCold);
   index_.InitSingle(SegmentInfo{domain, values.size(), id});
 }
 
@@ -46,6 +46,7 @@ QueryExecution AdaptiveSegmentation<T>::BulkAppendLocked(
     IoCost scan;
     auto span = this->space_->template Scan<T>(seg.id, &scan);
     ex.read_bytes += scan.bytes;
+    ex.decode_bytes += scan.decode_bytes;
     ex.adaptation_seconds += scan.seconds;
     std::vector<T> merged;
     merged.reserve(span.size() + incoming.size());
@@ -78,6 +79,7 @@ void AdaptiveSegmentation<T>::Glue(size_t pos, QueryExecution* ex) {
   auto sb = this->space_->template Scan<T>(b.id, &scan_b);
   ex->adaptation_seconds += scan_a.seconds + scan_b.seconds;
   ex->read_bytes += scan_a.bytes + scan_b.bytes;
+  ex->decode_bytes += scan_a.decode_bytes + scan_b.decode_bytes;
   std::vector<T> merged;
   merged.reserve(sa.size() + sb.size());
   merged.insert(merged.end(), sa.begin(), sa.end());
@@ -264,13 +266,21 @@ QueryExecution AdaptiveSegmentation<T>::Reorganize(const ValueRange& q) {
     }
   }
   if (opts_.merge_small_segments) MergeAround(q, &ex);
+  // Re-encode boundary: segments the workload stopped touching re-encode
+  // copy-on-write; hot segments (anything the splits above just rewrote)
+  // stay raw. Decision geometry above is purely logical-byte-based, so the
+  // structure evolves identically with compression on or off.
+  this->SweepCompression(index_.segments(), &ex,
+                         [&](size_t pos, const SegmentInfo& info) {
+                           index_.Update(pos, info);
+                         });
   return ex;
 }
 
 template <typename T>
 StorageFootprint AdaptiveSegmentation<T>::Footprint() const {
   StorageFootprint fp;
-  fp.materialized_bytes = index_.TotalCount() * sizeof(T);
+  fp.materialized_bytes = this->MaterializedPhysicalBytes();
   fp.segment_count = index_.Size();
   fp.meta_bytes = index_.IndexBytes();
   return fp;

@@ -1,0 +1,88 @@
+// CompressionAdvisor: the self-organizing policy half of the SegmentCodec
+// seam (storage/segment_codec.h holds the mechanism). Following the storage
+// advisor's hot/cold framing, the advisor classifies segments by the access
+// counters the metered scan path already maintains (SegmentSpace::ScanCount)
+// and tells the strategies' re-encode boundaries -- Reorganize, FlushBatch,
+// idle maintenance -- which raw segments went cold and are worth
+// re-encoding. Freshly rewritten segments (splits, merges, appends) were
+// just touched by a query, so they stay raw; initial bulk loads are cold by
+// definition and compress at Create time (CompressionHint::kCold).
+//
+// Cold detection needs no clock: a segment is cold when its scan count is
+// *unchanged* between two consecutive sweeps -- a full sweep period without
+// a single metered scan. That makes the decision a pure function of the
+// metered access sequence, so compressed runs stay deterministic and
+// replayable like everything else in the simulator.
+//
+// Thread safety: none of its own. Every method runs under the owning
+// column's exclusive latch (the write-write path), like the reorganization
+// state it rides along with.
+#ifndef SOCS_CORE_COMPRESSION_ADVISOR_H_
+#define SOCS_CORE_COMPRESSION_ADVISOR_H_
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "storage/segment_space.h"
+
+namespace socs {
+
+class CompressionAdvisor {
+ public:
+  struct Options {
+    /// A sweep runs on every N-th boundary call: spacing observations out
+    /// keeps the probe overhead off the query path and gives busy segments
+    /// time to visibly move their scan counters between observations.
+    uint32_t sweep_period = 8;
+    /// Segments smaller than this are never worth re-encoding.
+    uint64_t min_bytes = 512;
+  };
+
+  explicit CompressionAdvisor(SegmentSpace* space)
+      : space_(space) {}
+  CompressionAdvisor(SegmentSpace* space, Options opts)
+      : space_(space), opts_(opts) {}
+
+  /// Called once per re-encode boundary; true when a cold sweep should run.
+  bool ShouldSweep() { return ++boundary_calls_ % opts_.sweep_period == 0; }
+
+  /// True when `id` is a raw, sweep-worthy segment whose scan count has not
+  /// moved since the previous sweep observed it. The first observation of a
+  /// segment only records a baseline (never cold); a segment that failed a
+  /// re-encode attempt (NoteTried) is not offered again.
+  bool IsColdRawCandidate(SegmentId id, uint64_t logical_bytes) {
+    if (logical_bytes < opts_.min_bytes) return false;
+    if (tried_.count(id) > 0) return false;
+    if (space_->CodecOf(id) != SegmentCodec::kRaw) return false;
+    const uint64_t scans = space_->ScanCount(id);
+    auto [it, first_observation] = last_scan_count_.try_emplace(id, scans);
+    if (first_observation) return false;
+    const bool cold = it->second == scans;
+    it->second = scans;
+    return cold;
+  }
+
+  /// Records a re-encode attempt so incompressible segments are probed at
+  /// most once (ids are never reused, so the set self-limits).
+  void NoteTried(SegmentId id) { tried_.insert(id); }
+
+  /// Drops bookkeeping for a retired segment.
+  void Forget(SegmentId id) {
+    last_scan_count_.erase(id);
+    tried_.erase(id);
+  }
+
+  uint64_t boundary_calls() const { return boundary_calls_; }
+  const Options& options() const { return opts_; }
+
+ private:
+  SegmentSpace* space_;
+  Options opts_;
+  uint64_t boundary_calls_ = 0;
+  std::unordered_map<SegmentId, uint64_t> last_scan_count_;
+  std::unordered_set<SegmentId> tried_;
+};
+
+}  // namespace socs
+
+#endif  // SOCS_CORE_COMPRESSION_ADVISOR_H_

@@ -15,7 +15,7 @@ DeferredSegmentation<T>::DeferredSegmentation(
       opts_(opts), total_bytes_(values.size() * sizeof(T)) {
   SOCS_CHECK_GT(opts_.batch_queries, 0u);
   IoCost setup;
-  SegmentId id = space->Create(values, &setup);
+  SegmentId id = space->Create(values, &setup, CompressionHint::kCold);
   index_.InitSingle(SegmentInfo{domain, values.size(), id});
 }
 
@@ -92,6 +92,16 @@ QueryExecution DeferredSegmentation<T>::Reorganize(const ValueRange& q) {
   if (++queries_since_batch_ >= opts_.batch_queries) {
     ex += FlushBatchLocked();
   }
+  // Re-encode boundary: marks key split work by id, so the sweep's id swaps
+  // must translate pending marks exactly like the copy-on-write append does.
+  this->SweepCompression(index_.segments(), &ex,
+                         [&](size_t pos, const SegmentInfo& info) {
+                           const SegmentId old_id = index_.At(pos).id;
+                           if (marked_.erase(old_id) > 0) {
+                             marked_.insert(info.id);
+                           }
+                           index_.Update(pos, info);
+                         });
   return ex;
 }
 
@@ -107,6 +117,7 @@ void DeferredSegmentation<T>::SplitEquiDepth(size_t pos, QueryExecution* ex) {
   IoCost scan;
   auto span = this->space_->template Scan<T>(seg.id, &scan);
   ex->read_bytes += scan.bytes;
+  ex->decode_bytes += scan.decode_bytes;
   ex->adaptation_seconds += scan.seconds;
 
   // Equi-depth cut points: values at ranks k * n/pieces of the sorted data.
@@ -175,7 +186,7 @@ QueryExecution DeferredSegmentation<T>::FlushBatchLocked() {
 template <typename T>
 StorageFootprint DeferredSegmentation<T>::Footprint() const {
   StorageFootprint fp;
-  fp.materialized_bytes = index_.TotalCount() * sizeof(T);
+  fp.materialized_bytes = this->MaterializedPhysicalBytes();
   fp.segment_count = index_.Size();
   fp.meta_bytes = index_.IndexBytes() + marked_.size() * sizeof(SegmentId);
   return fp;

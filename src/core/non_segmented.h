@@ -19,7 +19,7 @@ class NonSegmented : public AccessStrategy<T> {
   NonSegmented(std::vector<T> values, ValueRange domain, SegmentSpace* space)
       : AccessStrategy<T>(space), domain_(domain), count_(values.size()) {
     IoCost setup;  // initial load is not attributed to any query
-    id_ = space->Create(values, &setup);
+    id_ = space->Create(values, &setup, CompressionHint::kCold);
   }
 
   /// A positional column cannot prune by value: every query scans the one
@@ -29,7 +29,7 @@ class NonSegmented : public AccessStrategy<T> {
   }
 
   StorageFootprint Footprint() const override {
-    return {count_ * sizeof(T), 1, sizeof(SegmentInfo)};
+    return {this->MaterializedPhysicalBytes(), 1, sizeof(SegmentInfo)};
   }
 
   std::vector<SegmentInfo> Segments() const override {
@@ -54,6 +54,7 @@ class NonSegmented : public AccessStrategy<T> {
     this->RetireSegment(id_);
     id_ = fresh;
     ex.write_bytes += cost.bytes;
+    ex.decode_bytes += cost.decode_bytes;
     ex.adaptation_seconds += cost.seconds;
     count_ += values.size();
     return ex;

@@ -23,7 +23,7 @@ PositionalBlocks<T>::PositionalBlocks(std::vector<T> values, ValueRange domain,
       mx = std::max(mx, ValueOf(v));
     }
     IoCost setup;
-    SegmentId id = space->Create(chunk, &setup);
+    SegmentId id = space->Create(chunk, &setup, CompressionHint::kCold);
     blocks_.push_back(Block{id, n, mn, mx});
   }
 }
@@ -66,6 +66,7 @@ QueryExecution PositionalBlocks<T>::AppendImpl(const std::vector<T>& values) {
       this->RetireSegment(b.id);
       b.id = fresh;
       ex.write_bytes += cost.bytes;
+      ex.decode_bytes += cost.decode_bytes;
       ex.adaptation_seconds += cost.seconds;
       for (const T& v : chunk) {
         b.min_value = std::min(b.min_value, ValueOf(v));
@@ -95,8 +96,20 @@ QueryExecution PositionalBlocks<T>::AppendImpl(const std::vector<T>& values) {
 }
 
 template <typename T>
+QueryExecution PositionalBlocks<T>::Reorganize(const ValueRange& /*q*/) {
+  // Blocks never move, but blocks the workload stopped touching re-encode;
+  // zone maps are untouched by a codec swap (same values, same order).
+  QueryExecution ex;
+  this->SweepCompression(Segments(), &ex,
+                         [&](size_t pos, const SegmentInfo& info) {
+                           blocks_[pos].id = info.id;
+                         });
+  return ex;
+}
+
+template <typename T>
 StorageFootprint PositionalBlocks<T>::Footprint() const {
-  return {total_count_ * sizeof(T), blocks_.size(),
+  return {this->MaterializedPhysicalBytes(), blocks_.size(),
           blocks_.size() * sizeof(Block)};
 }
 

@@ -34,6 +34,10 @@ class PositionalBlocks : public AccessStrategy<T> {
                              std::vector<T>* out, IoLane* lane = nullptr,
                              const std::vector<T>* precomputed = nullptr) override;
 
+  /// Blocks never reorganize; Reorganize only runs the compression
+  /// advisor's cold sweep (a no-op when compression is off).
+  QueryExecution Reorganize(const ValueRange& q) override;
+
   StorageFootprint Footprint() const override;
   std::vector<SegmentInfo> Segments() const override;
   std::string Name() const override;

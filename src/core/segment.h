@@ -17,7 +17,9 @@ struct SegmentInfo {
   uint64_t count = 0;      // number of values
   SegmentId id = kInvalidSegment;
 
-  uint64_t Bytes(size_t value_size) const { return count * value_size; }
+  /// Logical payload size: count * element width. The *physical* (possibly
+  /// encoded) size lives with the payload -- SegmentSpace::PhysicalSizeOf.
+  uint64_t LogicalBytes(size_t value_size) const { return count * value_size; }
   std::string ToString() const;
 };
 

@@ -50,17 +50,22 @@ class SharedScanPass {
  public:
   /// Cache key of one delivered segment. `epoch` is the owning strategy's
   /// data epoch at delivery time; cracking pieces share kInvalidSegment ids,
-  /// so the piece range + count disambiguate them.
+  /// so the piece range + count disambiguate them. `encoding` is the
+  /// segment's codec at delivery: a cold sweep re-encodes copy-on-write
+  /// under a fresh id, but the belt-and-braces key keeps a cached
+  /// qualifying set from ever outliving the payload representation it was
+  /// filtered from.
   struct SegKey {
     SegmentId id = kInvalidSegment;
     double lo = 0.0;
     double hi = 0.0;
     uint64_t count = 0;
     uint64_t epoch = 0;
+    uint8_t encoding = 0;
 
     bool operator<(const SegKey& o) const {
-      return std::tie(id, lo, hi, count, epoch) <
-             std::tie(o.id, o.lo, o.hi, o.count, o.epoch);
+      return std::tie(id, lo, hi, count, epoch, encoding) <
+             std::tie(o.id, o.lo, o.hi, o.count, o.epoch, o.encoding);
     }
   };
 

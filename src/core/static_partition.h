@@ -21,6 +21,11 @@ class StaticPartition : public AccessStrategy<T> {
   StaticPartition(std::vector<T> values, ValueRange domain, size_t num_parts,
                   SegmentSpace* space);
 
+  /// The partitioning never changes; Reorganize only runs the compression
+  /// advisor's cold sweep (a no-op when compression is off, preserving the
+  /// baseline's "never adapts" behaviour byte-for-byte).
+  QueryExecution Reorganize(const ValueRange& q) override;
+
   StorageFootprint Footprint() const override;
   std::vector<SegmentInfo> Segments() const override { return index_.segments(); }
   std::string Name() const override;

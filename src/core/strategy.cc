@@ -12,6 +12,8 @@ QueryExecution& operator+=(QueryExecution& a, const QueryExecution& b) {
   a.replicas_created += b.replicas_created;
   a.segments_dropped += b.segments_dropped;
   a.replicas_evicted += b.replicas_evicted;
+  a.segments_recompressed += b.segments_recompressed;
+  a.decode_bytes += b.decode_bytes;
   a.selection_seconds += b.selection_seconds;
   a.adaptation_seconds += b.adaptation_seconds;
   return a;

@@ -60,6 +60,7 @@
 #include <vector>
 
 #include "core/column_cover.h"
+#include "core/compression_advisor.h"
 #include "core/oid_value.h"
 #include "core/range.h"
 #include "core/segment.h"
@@ -85,6 +86,10 @@ struct QueryExecution {
   uint64_t replicas_created = 0;
   uint64_t segments_dropped = 0;
   uint64_t replicas_evicted = 0;  // demoted to virtual by a storage budget
+  /// Segments re-encoded by the compression advisor's cold sweep.
+  uint64_t segments_recompressed = 0;
+  /// Logical bytes decoded from encoded segment payloads along the way.
+  uint64_t decode_bytes = 0;
   /// Simulated seconds answering the query (scans + per-segment overheads).
   double selection_seconds = 0.0;
   /// Simulated seconds reorganizing (segment materialization).
@@ -106,7 +111,8 @@ struct StorageFootprint {
 /// Outcome of one metered scan of one covering segment (phase 2).
 template <typename T>
 struct SegmentScan {
-  uint64_t read_bytes = 0;    // payload bytes charged (0 when pruned)
+  uint64_t read_bytes = 0;    // physical payload bytes charged (0 when pruned)
+  uint64_t decode_bytes = 0;  // logical bytes decoded (encoded payloads only)
   uint64_t result_count = 0;  // qualifying values seen in this segment
   double seconds = 0.0;       // simulated selection seconds of this scan
   bool scanned = true;        // false when pruned without touching the data
@@ -121,6 +127,7 @@ struct SegmentScan {
 template <typename T>
 inline void FoldScanIntoExecution(const SegmentScan<T>& s, QueryExecution* ex) {
   ex->read_bytes += s.read_bytes;
+  ex->decode_bytes += s.decode_bytes;
   ex->result_count += s.result_count;
   ex->selection_seconds += s.seconds;
   if (s.scanned) ++ex->segments_scanned;
@@ -131,7 +138,11 @@ class AccessStrategy {
  public:
   /// `space` must outlive the strategy; it meters every data access and
   /// provides the cost model.
-  explicit AccessStrategy(SegmentSpace* space) : space_(space) {}
+  explicit AccessStrategy(SegmentSpace* space) : space_(space) {
+    if (space_->compression_enabled()) {
+      advisor_ = std::make_unique<CompressionAdvisor>(space_);
+    }
+  }
   virtual ~AccessStrategy() = default;
 
   /// Executes a range selection end-to-end: plan (CoverSegments), one metered
@@ -182,6 +193,7 @@ class AccessStrategy {
     IoCost cost;
     s.payload = space_->template Scan<T>(seg.id, &cost, lane);
     s.read_bytes = cost.bytes;
+    s.decode_bytes = cost.decode_bytes;
     s.seconds = cost.seconds;
     if (precomputed != nullptr) {
       s.result_count = precomputed->size();
@@ -276,7 +288,7 @@ class AccessStrategy {
   static bool MutatesData(const QueryExecution& r) {
     return r.write_bytes != 0 || r.splits != 0 || r.merges != 0 ||
            r.replicas_created != 0 || r.segments_dropped != 0 ||
-           r.replicas_evicted != 0;
+           r.replicas_evicted != 0 || r.segments_recompressed != 0;
   }
 
   /// Publishes the post-mutation cover if the reorganization record shows
@@ -309,6 +321,7 @@ class AccessStrategy {
   /// within one mutation (never visible to any cover) are freed directly.
   void RetireSegment(SegmentId id) {
     if (id == kInvalidSegment) return;
+    if (advisor_ != nullptr) advisor_->Forget(id);
     epochs_.NoteRetire();
     std::lock_guard<std::mutex> lk(retire_mu_);
     retired_.push_back(RetiredSegment{id, epochs_.published() + 1});
@@ -387,6 +400,10 @@ class AccessStrategy {
 
   SegmentSpace* space() const { return space_; }
 
+  /// The compression policy, present only when the space was built with
+  /// compression on (null otherwise -- the off path carries zero overhead).
+  CompressionAdvisor* compression_advisor() const { return advisor_.get(); }
+
   /// The column's latch. Under versioned covers this is the write-write
   /// path: Reorganize / Append / IdleWork and the full-scan fallback
   /// serialize on it, while the epoch-pinned scan phase never touches it
@@ -414,6 +431,54 @@ class AccessStrategy {
   /// layouts) or always visits every segment (positional layouts).
   virtual bool PruneCoverByRange() const { return true; }
 
+  /// Sum of the live segments' *physical* (stored, possibly encoded) bytes
+  /// -- what Footprint reports as materialized storage (Figs. 8-9). Falls
+  /// back to the logical size for segments without a segment-space payload
+  /// (cracking's invalid ids). With compression off this equals the old
+  /// count * sizeof(T) sum exactly.
+  uint64_t MaterializedPhysicalBytes() const {
+    uint64_t total = 0;
+    for (const SegmentInfo& s : Segments()) {
+      total += s.id == kInvalidSegment ? s.count * sizeof(T)
+                                       : space_->PhysicalSizeOf(s.id);
+    }
+    return total;
+  }
+
+  /// Cold-sweep hook for the compression advisor, called by strategies at
+  /// their re-encode boundaries (end of Reorganize / FlushBatch) under the
+  /// exclusive latch. Walks `segs`; every raw segment whose scan counter
+  /// stood still across a full sweep period is re-encoded copy-on-write
+  /// (SegmentSpace::RecompressCow), its raw predecessor retired through the
+  /// epoch machinery, and the swap reported via `replace(i, fresh_info)` so
+  /// the strategy rewrites its meta-index/block entry. All probe and rewrite
+  /// charges land in the adaptation half of `ex`; a non-zero
+  /// ex->segments_recompressed makes MutatesData publish the new cover.
+  template <typename ReplaceFn>
+  void SweepCompression(const std::vector<SegmentInfo>& segs,
+                        QueryExecution* ex, ReplaceFn&& replace) {
+    if (advisor_ == nullptr || !advisor_->ShouldSweep()) return;
+    for (size_t i = 0; i < segs.size(); ++i) {
+      const SegmentInfo& seg = segs[i];
+      if (seg.id == kInvalidSegment || seg.count == 0) continue;
+      if (!advisor_->IsColdRawCandidate(seg.id, seg.count * sizeof(T))) {
+        continue;
+      }
+      advisor_->NoteTried(seg.id);
+      IoCost read, write;
+      const SegmentId fresh =
+          space_->template RecompressCow<T>(seg.id, &read, &write);
+      ex->read_bytes += read.bytes;
+      ex->decode_bytes += read.decode_bytes;
+      ex->write_bytes += write.bytes;
+      ex->adaptation_seconds += read.seconds + write.seconds;
+      if (fresh == seg.id) continue;  // probed, but compression did not win
+      RetireSegment(seg.id);
+      replace(i, SegmentInfo{seg.range, seg.count, fresh});
+      ++ex->segments_recompressed;
+    }
+  }
+
   /// Publishes the initial cover exactly once (first reader; double-checked
   /// under the exclusive latch).
   void EnsureCoverPublished() {
@@ -426,6 +491,8 @@ class AccessStrategy {
 
   SegmentSpace* space_;
   mutable ColumnLatch latch_;
+  /// Non-null iff the space runs with compression (see compression_advisor()).
+  std::unique_ptr<CompressionAdvisor> advisor_;
   /// See snapshot_scans(); cracking clears this in its constructor.
   bool snapshot_scans_ = true;
 
@@ -570,6 +637,7 @@ void TailExtendBuckets(SegmentMetaIndex* index, AccessStrategy<T>* strategy,
     const SegmentId fresh =
         strategy->space()->template AppendCow<T>(seg.id, incoming, &cost);
     ex->write_bytes += cost.bytes;
+    ex->decode_bytes += cost.decode_bytes;
     ex->adaptation_seconds += cost.seconds;
     const SegmentInfo updated{seg.range, seg.count + incoming.size(), fresh};
     index->Update(pos, updated);

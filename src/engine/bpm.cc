@@ -77,8 +77,13 @@ Bat SegmentedColumn::ScanToBat(const SegmentInfo& seg, double lo, double hi,
     // Keyed by the iterator's PINNED epoch, never the live data_epoch(): a
     // writer may publish mid-iteration, and an old-cover payload cached
     // under the new epoch would serve stale rows to a member pinned later.
+    // Cracking pieces carry kInvalidSegment (payloads live outside the
+    // space), so they have no codec to key on.
     const typename SharedScanPass<OidValue>::SegKey key{
-        seg.id, seg.range.lo, seg.range.hi, seg.count, epoch};
+        seg.id, seg.range.lo, seg.range.hi, seg.count, epoch,
+        seg.id == kInvalidSegment
+            ? uint8_t{0}
+            : static_cast<uint8_t>(space_->CodecOf(seg.id))};
     if (std::shared_ptr<const std::vector<OidValue>> cached =
             shared->Lookup(key, consumer, q)) {
       // A batch predecessor already filtered this segment for our predicate:
@@ -142,7 +147,10 @@ Bat SegmentedColumn::ScanCoverBat(const std::vector<SegmentInfo>& cover,
     SegmentScan<OidValue> scan;
     if (shared != nullptr) {
       const typename SharedScanPass<OidValue>::SegKey key{
-          seg.id, seg.range.lo, seg.range.hi, seg.count, epoch};
+          seg.id, seg.range.lo, seg.range.hi, seg.count, epoch,
+          seg.id == kInvalidSegment
+              ? uint8_t{0}
+              : static_cast<uint8_t>(space_->CodecOf(seg.id))};
       if (std::shared_ptr<const std::vector<OidValue>> cached =
               shared->Lookup(key, consumer, q)) {
         scan = strategy_->ScanSegment(seg, q, nullptr, nullptr, cached.get());
@@ -212,10 +220,34 @@ SegmentedColumn::SelectionEstimate SegmentedColumn::EstimateSelection(
     double lo, double hi) const {
   SelectionEstimate est;
   for (const SegmentInfo& s : CoverSegments(lo, hi)) {
-    est.bytes += s.count * sizeof(OidValue);
+    // Physical bytes: a scan of an encoded segment moves the encoded payload
+    // through the pool (decode CPU is charged separately), so the optimizer
+    // should see the post-codec transfer volume. Cracking pieces live
+    // outside the space -- their transfer is the logical piece size.
+    est.bytes += s.id == kInvalidSegment ? s.count * sizeof(OidValue)
+                                         : space_->PhysicalSizeOf(s.id);
     ++est.segments;
   }
   return est;
+}
+
+SegmentedColumn::CompressionStats SegmentedColumn::GetCompressionStats() const {
+  SharedColumnGuard guard(strategy_->latch());
+  CompressionStats cs;
+  for (const SegmentInfo& s : strategy_->Segments()) {
+    if (s.id == kInvalidSegment) {
+      // Cracking pieces live outside the space and are always raw.
+      const uint64_t b = s.count * sizeof(OidValue);
+      cs.logical_bytes += b;
+      cs.physical_bytes += b;
+      ++cs.codec_segments[static_cast<size_t>(SegmentCodec::kRaw)];
+      continue;
+    }
+    cs.logical_bytes += space_->LogicalSizeOf(s.id);
+    cs.physical_bytes += space_->PhysicalSizeOf(s.id);
+    ++cs.codec_segments[static_cast<size_t>(space_->CodecOf(s.id))];
+  }
+  return cs;
 }
 
 void BpmIterator::Open(SegmentedColumn* col, double lo_incl, double hi_incl) {

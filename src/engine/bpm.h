@@ -175,6 +175,22 @@ class SegmentedColumn {
     return EstimateSelection(lo, hi).bytes;
   }
 
+  /// Per-column encoding snapshot: logical vs physical bytes of the
+  /// column's current segments plus a per-codec segment histogram. Feeds
+  /// the server's `#compression` report; takes the shared latch.
+  struct CompressionStats {
+    uint64_t logical_bytes = 0;
+    uint64_t physical_bytes = 0;
+    uint64_t codec_segments[kNumSegmentCodecs] = {};
+    double Ratio() const {
+      return physical_bytes == 0
+                 ? 1.0
+                 : static_cast<double>(logical_bytes) /
+                       static_cast<double>(physical_bytes);
+    }
+  };
+  CompressionStats GetCompressionStats() const;
+
   /// Converts an inclusive SQL range to the core's half-open range.
   static ValueRange InclusiveToHalfOpen(double lo, double hi);
 

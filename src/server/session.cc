@@ -1,15 +1,51 @@
 #include "server/session.h"
 
+#include <cinttypes>
+#include <cstdio>
 #include <mutex>
 
 #include "engine/optimizer.h"
 #include "sql/compiler.h"
 #include "sql/parser.h"
+#include "storage/segment_codec.h"
 
 namespace socs::server {
 
+namespace {
+
+/// "#compression" introspection: one row per segmented column with its
+/// logical/physical byte split, the resulting ratio, and a per-codec segment
+/// histogram. Purely observational (shared latches only).
+WireReply CompressionReport(const Catalog& catalog) {
+  WireReply reply;
+  reply.ok = true;
+  reply.columns = {"column", "logical_bytes", "physical_bytes", "ratio"};
+  for (size_t c = 0; c < kNumSegmentCodecs; ++c) {
+    reply.columns.push_back(
+        std::string("segs_") + SegmentCodecName(static_cast<SegmentCodec>(c)));
+  }
+  for (SegmentedColumn* col : catalog.SegmentedColumns()) {
+    const SegmentedColumn::CompressionStats cs = col->GetCompressionStats();
+    char buf[160];
+    std::snprintf(buf, sizeof(buf), "%s,%" PRIu64 ",%" PRIu64 ",%.3f",
+                  col->name().c_str(), cs.logical_bytes, cs.physical_bytes,
+                  cs.Ratio());
+    std::string row = buf;
+    for (size_t c = 0; c < kNumSegmentCodecs; ++c) {
+      std::snprintf(buf, sizeof(buf), ",%" PRIu64, cs.codec_segments[c]);
+      row += buf;
+    }
+    reply.rows.push_back(std::move(row));
+  }
+  reply.stats.result_count = reply.rows.size();
+  return reply;
+}
+
+}  // namespace
+
 WireReply Session::Execute(const std::string& text) {
   ++statements_;
+  if (text == "#compression") return CompressionReport(*catalog_);
   auto stmt = sql::ParseStatement(text);
   if (!stmt.ok()) {
     return MakeErrorReply("parse: " + stmt.status().ToString());

@@ -56,6 +56,13 @@ std::string FormatStatsTrailer(const QueryExecution& ex) {
      << " replicas_evicted=" << ex.replicas_evicted
      << " selection_seconds=" << FormatDouble(ex.selection_seconds, 17)
      << " adaptation_seconds=" << FormatDouble(ex.adaptation_seconds, 17);
+  // Codec-seam fields ride only on replies that actually touched encoded
+  // payloads, keeping compression-off trailers byte-identical to older
+  // servers (and unknown keys are skipped on parse, so mixed versions work).
+  if (ex.decode_bytes != 0) os << " decode_bytes=" << ex.decode_bytes;
+  if (ex.segments_recompressed != 0) {
+    os << " segments_recompressed=" << ex.segments_recompressed;
+  }
   return os.str();
 }
 
@@ -84,6 +91,8 @@ StatusOr<QueryExecution> ParseStatsTrailer(const std::string& line) {
     else if (key == "replicas_evicted") ex.replicas_evicted = std::strtoull(val, nullptr, 10);
     else if (key == "selection_seconds") ex.selection_seconds = std::strtod(val, nullptr);
     else if (key == "adaptation_seconds") ex.adaptation_seconds = std::strtod(val, nullptr);
+    else if (key == "decode_bytes") ex.decode_bytes = std::strtoull(val, nullptr, 10);
+    else if (key == "segments_recompressed") ex.segments_recompressed = std::strtoull(val, nullptr, 10);
     // Unknown keys are skipped: older clients tolerate newer servers.
   }
   return ex;

@@ -29,6 +29,13 @@ struct CostParams {
   double per_segment_seconds = 20e-6;
   /// Fixed per-query cost (parsing, tactical optimization, result shipping).
   double per_query_seconds = 100e-6;
+  /// CPU bandwidth of decoding an encoded segment back to logical values
+  /// (charged per scan of a non-raw segment, on the *logical* bytes).
+  double decode_bps = 1200.0 * kMiB;
+  /// CPU bandwidth of encoding logical values into a compressed payload
+  /// (trial encodings included -- encoding is deliberately pricier than
+  /// decoding, as in real lightweight compression schemes).
+  double encode_bps = 400.0 * kMiB;
   /// When true, segment materialization is charged at disk_write_bps in
   /// addition to mem_write_bps (write-through). When false the flush is
   /// asynchronous (MonetDB's mmap write-back) and only counted in IoStats.
@@ -50,6 +57,10 @@ class CostModel {
     return segments * p_.per_segment_seconds;
   }
   double QueryOverhead() const { return p_.per_query_seconds; }
+  /// Decode CPU for scanning an encoded segment (bytes = logical size).
+  double Decode(uint64_t bytes) const { return bytes / p_.decode_bps; }
+  /// Encode CPU for compressing a segment (bytes = logical size).
+  double Encode(uint64_t bytes) const { return bytes / p_.encode_bps; }
 
   /// Cost of materializing a new segment of the given size.
   double SegmentWrite(uint64_t bytes) const;

@@ -14,6 +14,9 @@ IoStats& IoStats::operator+=(const IoStats& o) {
   segments_created += o.segments_created;
   segments_freed += o.segments_freed;
   segments_scanned += o.segments_scanned;
+  decode_bytes += o.decode_bytes;
+  encode_bytes += o.encode_bytes;
+  segments_recompressed += o.segments_recompressed;
   return *this;
 }
 
@@ -26,6 +29,9 @@ IoStats IoStats::operator-(const IoStats& o) const {
   d.segments_created = segments_created - o.segments_created;
   d.segments_freed = segments_freed - o.segments_freed;
   d.segments_scanned = segments_scanned - o.segments_scanned;
+  d.decode_bytes = decode_bytes - o.decode_bytes;
+  d.encode_bytes = encode_bytes - o.encode_bytes;
+  d.segments_recompressed = segments_recompressed - o.segments_recompressed;
   return d;
 }
 
@@ -37,6 +43,11 @@ std::string IoStats::ToString() const {
      << " disk_write=" << FormatBytes(disk_write_bytes)
      << " seg_created=" << segments_created << " seg_freed=" << segments_freed
      << " seg_scanned=" << segments_scanned;
+  if (decode_bytes > 0 || encode_bytes > 0 || segments_recompressed > 0) {
+    os << " decode=" << FormatBytes(decode_bytes)
+       << " encode=" << FormatBytes(encode_bytes)
+       << " seg_recompressed=" << segments_recompressed;
+  }
   return os.str();
 }
 

@@ -23,6 +23,13 @@ struct IoStats {
   uint64_t segments_freed = 0;
   uint64_t segments_scanned = 0;
 
+  // Compression traffic (storage/segment_codec.h). Logical bytes produced by
+  // decoding scanned encoded segments / consumed by encoding new ones; the
+  // mem/disk counters above always meter *physical* (encoded) bytes.
+  uint64_t decode_bytes = 0;
+  uint64_t encode_bytes = 0;
+  uint64_t segments_recompressed = 0;
+
   IoStats& operator+=(const IoStats& o);
   IoStats operator-(const IoStats& o) const;
   void Clear() { *this = IoStats(); }

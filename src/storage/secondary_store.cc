@@ -7,9 +7,32 @@ namespace socs {
 SegmentId SecondaryStore::Create(const void* data, size_t bytes) {
   std::unique_lock<std::shared_mutex> lk(mu_);
   SegmentId id = next_id_++;
-  std::vector<std::byte> blob(bytes);
-  if (bytes > 0) std::memcpy(blob.data(), data, bytes);
-  total_bytes_ += bytes;
+  Blob blob;
+  blob.bytes.resize(bytes);
+  if (bytes > 0) std::memcpy(blob.bytes.data(), data, bytes);
+  blob.logical_bytes = bytes;
+  total_physical_bytes_ += bytes;
+  total_logical_bytes_ += bytes;
+  blobs_.emplace(id, std::move(blob));
+  return id;
+}
+
+SegmentId SecondaryStore::CreateEncoded(std::vector<std::byte> encoded,
+                                        SegmentCodec codec,
+                                        uint64_t logical_bytes) {
+  SOCS_CHECK(codec != SegmentCodec::kRaw)
+      << "use Create() for raw payloads";
+  const EncodedInfo info = InspectEncoded(encoded);
+  SOCS_CHECK(info.codec == codec) << "blob header disagrees with codec";
+  SOCS_CHECK_EQ(info.logical_count * info.value_size, logical_bytes);
+  std::unique_lock<std::shared_mutex> lk(mu_);
+  SegmentId id = next_id_++;
+  Blob blob;
+  blob.bytes = std::move(encoded);
+  blob.codec = codec;
+  blob.logical_bytes = logical_bytes;
+  total_physical_bytes_ += blob.bytes.size();
+  total_logical_bytes_ += logical_bytes;
   blobs_.emplace(id, std::move(blob));
   return id;
 }
@@ -18,12 +41,17 @@ void SecondaryStore::Append(SegmentId id, const void* data, size_t bytes) {
   std::unique_lock<std::shared_mutex> lk(mu_);
   auto it = blobs_.find(id);
   SOCS_CHECK(it != blobs_.end()) << "append to unknown segment " << id;
+  SOCS_CHECK(it->second.codec == SegmentCodec::kRaw)
+      << "in-place append to encoded segment " << id
+      << " (rewrite copy-on-write instead)";
   if (bytes == 0) return;
-  std::vector<std::byte>& blob = it->second;
+  std::vector<std::byte>& blob = it->second.bytes;
   const size_t old_size = blob.size();
   blob.resize(old_size + bytes);
   std::memcpy(blob.data() + old_size, data, bytes);
-  total_bytes_ += bytes;
+  it->second.logical_bytes += bytes;
+  total_physical_bytes_ += bytes;
+  total_logical_bytes_ += bytes;
 }
 
 bool SecondaryStore::Contains(SegmentId id) const {
@@ -31,36 +59,91 @@ bool SecondaryStore::Contains(SegmentId id) const {
   return blobs_.count(id) > 0;
 }
 
-size_t SecondaryStore::SizeOf(SegmentId id) const {
+size_t SecondaryStore::PhysicalSizeOf(SegmentId id) const {
   std::shared_lock<std::shared_mutex> lk(mu_);
   auto it = blobs_.find(id);
   SOCS_CHECK(it != blobs_.end()) << "unknown segment " << id;
-  return it->second.size();
+  return it->second.bytes.size();
+}
+
+size_t SecondaryStore::LogicalSizeOf(SegmentId id) const {
+  std::shared_lock<std::shared_mutex> lk(mu_);
+  auto it = blobs_.find(id);
+  SOCS_CHECK(it != blobs_.end()) << "unknown segment " << id;
+  return it->second.logical_bytes;
+}
+
+SegmentCodec SecondaryStore::CodecOf(SegmentId id) const {
+  std::shared_lock<std::shared_mutex> lk(mu_);
+  auto it = blobs_.find(id);
+  SOCS_CHECK(it != blobs_.end()) << "unknown segment " << id;
+  return it->second.codec;
 }
 
 std::span<const std::byte> SecondaryStore::Read(SegmentId id) const {
+  {
+    std::shared_lock<std::shared_mutex> lk(mu_);
+    auto it = blobs_.find(id);
+    SOCS_CHECK(it != blobs_.end()) << "unknown segment " << id;
+    const Blob& b = it->second;
+    if (b.codec == SegmentCodec::kRaw) return {b.bytes.data(), b.bytes.size()};
+    if (b.decoded != nullptr) return {b.decoded->data(), b.decoded->size()};
+  }
+  // First read of an encoded blob: fill the decode cache exclusively, then
+  // hand out the stable cached buffer.
+  std::unique_lock<std::shared_mutex> lk(mu_);
+  auto it = blobs_.find(id);
+  SOCS_CHECK(it != blobs_.end()) << "unknown segment " << id;
+  const Blob& b = it->second;
+  if (b.decoded == nullptr) {
+    auto decoded = std::make_unique<std::vector<std::byte>>(
+        DecodeSegment({b.bytes.data(), b.bytes.size()}));
+    SOCS_CHECK_EQ(decoded->size(), b.logical_bytes)
+        << "decode size disagrees with recorded logical bytes";
+    b.decoded = std::move(decoded);
+  }
+  return {b.decoded->data(), b.decoded->size()};
+}
+
+std::span<const std::byte> SecondaryStore::ReadPhysical(SegmentId id) const {
   std::shared_lock<std::shared_mutex> lk(mu_);
   auto it = blobs_.find(id);
   SOCS_CHECK(it != blobs_.end()) << "unknown segment " << id;
-  return {it->second.data(), it->second.size()};
+  return {it->second.bytes.data(), it->second.bytes.size()};
 }
 
 void SecondaryStore::Free(SegmentId id) {
   std::unique_lock<std::shared_mutex> lk(mu_);
   auto it = blobs_.find(id);
   SOCS_CHECK(it != blobs_.end()) << "double free of segment " << id;
-  total_bytes_ -= it->second.size();
+  total_physical_bytes_ -= it->second.bytes.size();
+  total_logical_bytes_ -= it->second.logical_bytes;
   blobs_.erase(it);
 }
 
-uint64_t SecondaryStore::total_bytes() const {
+uint64_t SecondaryStore::total_physical_bytes() const {
   std::shared_lock<std::shared_mutex> lk(mu_);
-  return total_bytes_;
+  return total_physical_bytes_;
+}
+
+uint64_t SecondaryStore::total_logical_bytes() const {
+  std::shared_lock<std::shared_mutex> lk(mu_);
+  return total_logical_bytes_;
 }
 
 size_t SecondaryStore::segment_count() const {
   std::shared_lock<std::shared_mutex> lk(mu_);
   return blobs_.size();
+}
+
+std::array<uint64_t, kNumSegmentCodecs> SecondaryStore::CodecHistogram()
+    const {
+  std::shared_lock<std::shared_mutex> lk(mu_);
+  std::array<uint64_t, kNumSegmentCodecs> hist{};
+  for (const auto& [id, blob] : blobs_) {
+    hist[static_cast<size_t>(blob.codec)] += 1;
+  }
+  return hist;
 }
 
 }  // namespace socs

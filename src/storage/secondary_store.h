@@ -3,38 +3,52 @@
 // blob map stands in, so the buffer pool can "evict" without losing data and
 // the experiments stay laptop-scale.
 //
+// Since the SegmentCodec seam, a blob is *physical* bytes: either the raw
+// little-endian value array (codec == kRaw, byte-identical to the
+// pre-compression store) or a self-describing encoded payload
+// (storage/segment_codec.h). Read() always returns the *logical* view --
+// encoded blobs decode lazily into a per-blob cache on first read, and the
+// cached buffer's address is stable until Free(id), so spans obey the same
+// lifetime rule as raw ones. Physical and logical byte totals are tracked
+// separately; there is deliberately no method named plain "size" any more,
+// so every caller states which side of the encoding it means.
+//
 // Concurrency: the blob map is guarded by a reader/writer mutex, so any
 // number of concurrent scanners may Read while Create/Append/Free are
 // exclusive. Returned spans escape the lock on purpose: the map is
-// node-based, so a span stays valid until Append/Free of *that* id -- and
-// the per-column latch (exec/column_latch.h) guarantees no writer touches a
-// column's segments while its scanners hold the shared latch.
+// node-based and decode caches live behind stable heap buffers, so a span
+// stays valid until Append/Free of *that* id -- and the epoch machinery
+// (PR 7) guarantees no segment a reader is pinned on gets freed under it.
 #ifndef SOCS_STORAGE_SECONDARY_STORE_H_
 #define SOCS_STORAGE_SECONDARY_STORE_H_
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
 #include <cstring>
+#include <memory>
 #include <shared_mutex>
 #include <span>
 #include <unordered_map>
 #include <vector>
 
 #include "common/logging.h"
+#include "storage/segment_codec.h"
 
 namespace socs {
 
 using SegmentId = uint64_t;
 inline constexpr SegmentId kInvalidSegment = 0;
 
-/// Owns segment payloads as raw byte blobs keyed by SegmentId.
+/// Owns segment payloads as physical byte blobs keyed by SegmentId.
 class SecondaryStore {
  public:
   SecondaryStore() = default;
   SecondaryStore(const SecondaryStore&) = delete;
   SecondaryStore& operator=(const SecondaryStore&) = delete;
 
-  /// Stores a copy of the bytes, returns a fresh id (never kInvalidSegment).
+  /// Stores a copy of the raw bytes, returns a fresh id (never
+  /// kInvalidSegment). Raw blobs have physical == logical size.
   SegmentId Create(const void* data, size_t bytes);
 
   /// Typed convenience wrapper.
@@ -43,8 +57,16 @@ class SecondaryStore {
     return Create(values.data(), values.size() * sizeof(T));
   }
 
-  /// Extends an existing segment's payload in place (tail append). Dies if
-  /// the id is unknown. Invalidates spans previously returned by Read().
+  /// Stores an already-encoded payload (segment_codec.h blob). The blob's
+  /// header must agree with `codec`, and `logical_bytes` is what Decode will
+  /// produce -- checked lazily on first Read.
+  SegmentId CreateEncoded(std::vector<std::byte> encoded, SegmentCodec codec,
+                          uint64_t logical_bytes);
+
+  /// Extends a segment's payload in place (tail append). Dies if the id is
+  /// unknown or the blob is encoded -- in-place growth is a raw-only
+  /// operation; encoded segments are rewritten copy-on-write instead.
+  /// Invalidates spans previously returned by Read().
   void Append(SegmentId id, const void* data, size_t bytes);
 
   /// Typed convenience wrapper for Append.
@@ -55,13 +77,25 @@ class SecondaryStore {
 
   bool Contains(SegmentId id) const;
 
-  /// Size in bytes of a stored segment. Dies if the id is unknown.
-  size_t SizeOf(SegmentId id) const;
+  /// Physical (stored, possibly encoded) size in bytes. Dies on unknown id.
+  size_t PhysicalSizeOf(SegmentId id) const;
 
-  /// Read-only view of the payload. Valid until Append(id)/Free(id).
+  /// Logical (decoded value array) size in bytes. Dies on unknown id.
+  size_t LogicalSizeOf(SegmentId id) const;
+
+  /// Encoding of the stored payload. Dies on unknown id.
+  SegmentCodec CodecOf(SegmentId id) const;
+
+  /// Read-only *logical* view of the payload: raw blobs are returned as
+  /// stored; encoded blobs decode on first read into a cached buffer whose
+  /// address is stable until Free(id). Valid until Append(id)/Free(id).
   std::span<const std::byte> Read(SegmentId id) const;
 
-  /// Typed read-only view; payload size must be a multiple of sizeof(T).
+  /// Read-only view of the stored *physical* bytes (the encoded blob for
+  /// non-raw codecs). Valid until Append(id)/Free(id).
+  std::span<const std::byte> ReadPhysical(SegmentId id) const;
+
+  /// Typed logical view; logical size must be a multiple of sizeof(T).
   template <typename T>
   std::span<const T> ReadTyped(SegmentId id) const {
     auto raw = Read(id);
@@ -72,14 +106,28 @@ class SecondaryStore {
   /// Releases the payload. Dies if the id is unknown (double free is a bug).
   void Free(SegmentId id);
 
-  uint64_t total_bytes() const;
+  uint64_t total_physical_bytes() const;
+  uint64_t total_logical_bytes() const;
   size_t segment_count() const;
 
+  /// Live segment count per codec, indexed by SegmentCodec.
+  std::array<uint64_t, kNumSegmentCodecs> CodecHistogram() const;
+
  private:
+  struct Blob {
+    std::vector<std::byte> bytes;  // physical payload
+    SegmentCodec codec = SegmentCodec::kRaw;
+    uint64_t logical_bytes = 0;
+    // Lazy decode cache for encoded blobs; the heap buffer address is
+    // stable across map rehashes, so logical spans survive the lock.
+    mutable std::unique_ptr<std::vector<std::byte>> decoded;
+  };
+
   mutable std::shared_mutex mu_;
-  std::unordered_map<SegmentId, std::vector<std::byte>> blobs_;
+  std::unordered_map<SegmentId, Blob> blobs_;
   SegmentId next_id_ = 1;
-  uint64_t total_bytes_ = 0;
+  uint64_t total_physical_bytes_ = 0;
+  uint64_t total_logical_bytes_ = 0;
 };
 
 }  // namespace socs

@@ -1,0 +1,334 @@
+#include "storage/segment_codec.h"
+
+#include <cstring>
+#include <string>
+#include <unordered_map>
+
+#include "common/logging.h"
+
+namespace socs {
+namespace {
+
+void PutBytes(std::vector<std::byte>* out, const void* src, size_t n) {
+  const size_t at = out->size();
+  out->resize(at + n);
+  std::memcpy(out->data() + at, src, n);
+}
+
+template <typename U>
+void PutScalar(std::vector<std::byte>* out, U v) {
+  PutBytes(out, &v, sizeof(U));
+}
+
+template <typename U>
+U GetScalar(std::span<const std::byte> in, size_t* at) {
+  SOCS_CHECK_LE(*at + sizeof(U), in.size()) << "truncated encoded segment";
+  U v;
+  std::memcpy(&v, in.data() + *at, sizeof(U));
+  *at += sizeof(U);
+  return v;
+}
+
+void PutHeader(std::vector<std::byte>* out, SegmentCodec codec,
+               size_t value_size, uint64_t count) {
+  EncodedHeader h;
+  h.magic = kEncodedMagic;
+  h.codec = static_cast<uint8_t>(codec);
+  h.value_size = static_cast<uint8_t>(value_size);
+  h.logical_count = count;
+  PutBytes(out, &h, sizeof(h));
+}
+
+// --- zigzag varint (for kDeltaFor deltas) ---
+
+void PutVarint(std::vector<std::byte>* out, uint64_t v) {
+  while (v >= 0x80) {
+    out->push_back(static_cast<std::byte>((v & 0x7f) | 0x80));
+    v >>= 7;
+  }
+  out->push_back(static_cast<std::byte>(v));
+}
+
+uint64_t GetVarint(std::span<const std::byte> in, size_t* at) {
+  uint64_t v = 0;
+  int shift = 0;
+  while (true) {
+    SOCS_CHECK_LT(*at, in.size()) << "truncated varint";
+    const uint8_t b = static_cast<uint8_t>(in[*at]);
+    ++*at;
+    v |= static_cast<uint64_t>(b & 0x7f) << shift;
+    if ((b & 0x80) == 0) return v;
+    shift += 7;
+    SOCS_CHECK_LT(shift, 64) << "varint overruns 64 bits";
+  }
+}
+
+uint64_t ZigZag(int64_t d) {
+  return (static_cast<uint64_t>(d) << 1) ^ static_cast<uint64_t>(d >> 63);
+}
+
+int64_t UnZigZag(uint64_t z) {
+  return static_cast<int64_t>((z >> 1) ^ (~(z & 1) + 1));
+}
+
+// --- kRle ---
+
+std::vector<std::byte> EncodeRle(const std::byte* data, size_t value_size,
+                                 uint64_t count) {
+  std::vector<std::byte> out;
+  PutHeader(&out, SegmentCodec::kRle, value_size, count);
+  uint64_t i = 0;
+  while (i < count) {
+    const std::byte* head = data + i * value_size;
+    uint64_t j = i + 1;
+    while (j < count &&
+           std::memcmp(head, data + j * value_size, value_size) == 0) {
+      ++j;
+    }
+    PutScalar<uint32_t>(&out, static_cast<uint32_t>(j - i));
+    PutBytes(&out, head, value_size);
+    i = j;
+  }
+  return out;
+}
+
+void DecodeRle(std::span<const std::byte> in, size_t at, size_t value_size,
+               uint64_t count, std::vector<std::byte>* out) {
+  uint64_t produced = 0;
+  while (produced < count) {
+    const uint32_t run = GetScalar<uint32_t>(in, &at);
+    SOCS_CHECK_GT(run, 0u) << "zero-length RLE run";
+    SOCS_CHECK_LE(at + value_size, in.size()) << "truncated RLE element";
+    for (uint32_t k = 0; k < run; ++k) {
+      PutBytes(out, in.data() + at, value_size);
+    }
+    at += value_size;
+    produced += run;
+  }
+  SOCS_CHECK_EQ(produced, count) << "RLE run overshoots logical count";
+  SOCS_CHECK_EQ(at, in.size()) << "trailing bytes after RLE body";
+}
+
+// --- kDict ---
+
+std::optional<std::vector<std::byte>> EncodeDict(const std::byte* data,
+                                                 size_t value_size,
+                                                 uint64_t count) {
+  constexpr size_t kMaxDict = 65536;  // past u16 indexes the codec cannot win
+  std::unordered_map<std::string, uint32_t> seen;
+  std::vector<std::byte> dict;
+  std::vector<uint32_t> indexes;
+  indexes.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    const char* p = reinterpret_cast<const char*>(data + i * value_size);
+    auto [it, inserted] =
+        seen.emplace(std::string(p, value_size),
+                     static_cast<uint32_t>(seen.size()));
+    if (inserted) {
+      if (seen.size() > kMaxDict) return std::nullopt;
+      PutBytes(&dict, p, value_size);
+    }
+    indexes.push_back(it->second);
+  }
+  const uint8_t index_width = seen.size() <= 256 ? 1 : 2;
+  std::vector<std::byte> out;
+  PutHeader(&out, SegmentCodec::kDict, value_size, count);
+  PutScalar<uint32_t>(&out, static_cast<uint32_t>(seen.size()));
+  PutBytes(&out, dict.data(), dict.size());
+  PutScalar<uint8_t>(&out, index_width);
+  for (uint32_t idx : indexes) {
+    if (index_width == 1) {
+      PutScalar<uint8_t>(&out, static_cast<uint8_t>(idx));
+    } else {
+      PutScalar<uint16_t>(&out, static_cast<uint16_t>(idx));
+    }
+  }
+  return out;
+}
+
+void DecodeDict(std::span<const std::byte> in, size_t at, size_t value_size,
+                uint64_t count, std::vector<std::byte>* out) {
+  const uint32_t dict_count = GetScalar<uint32_t>(in, &at);
+  SOCS_CHECK_LE(at + static_cast<size_t>(dict_count) * value_size, in.size())
+      << "truncated dictionary";
+  const std::byte* dict = in.data() + at;
+  at += static_cast<size_t>(dict_count) * value_size;
+  const uint8_t index_width = GetScalar<uint8_t>(in, &at);
+  SOCS_CHECK(index_width == 1 || index_width == 2)
+      << "bad dict index width " << int(index_width);
+  for (uint64_t i = 0; i < count; ++i) {
+    const uint32_t idx = index_width == 1
+                             ? GetScalar<uint8_t>(in, &at)
+                             : GetScalar<uint16_t>(in, &at);
+    SOCS_CHECK_LT(idx, dict_count) << "dict index out of range";
+    PutBytes(out, dict + static_cast<size_t>(idx) * value_size, value_size);
+  }
+  SOCS_CHECK_EQ(at, in.size()) << "trailing bytes after dict body";
+}
+
+// --- kDeltaFor ---
+
+// Element width w is split into lanes: w/8 u64 lanes when 8 | w, else one
+// lane of width w for w in {1,2,4}. Each lane stores its first value as a
+// u64 base followed by count-1 zigzag-varint deltas; lanes are concatenated.
+bool DeltaLanes(size_t value_size, size_t* lane_width, size_t* num_lanes) {
+  if (value_size >= 8 && value_size % 8 == 0) {
+    *lane_width = 8;
+    *num_lanes = value_size / 8;
+    return true;
+  }
+  if (value_size == 1 || value_size == 2 || value_size == 4) {
+    *lane_width = value_size;
+    *num_lanes = 1;
+    return true;
+  }
+  return false;
+}
+
+uint64_t LoadLane(const std::byte* elem, size_t lane, size_t lane_width) {
+  uint64_t v = 0;
+  std::memcpy(&v, elem + lane * 8, lane_width == 8 ? 8 : lane_width);
+  return v;
+}
+
+std::optional<std::vector<std::byte>> EncodeDeltaFor(const std::byte* data,
+                                                     size_t value_size,
+                                                     uint64_t count) {
+  size_t lane_width = 0, num_lanes = 0;
+  if (!DeltaLanes(value_size, &lane_width, &num_lanes)) return std::nullopt;
+  std::vector<std::byte> out;
+  PutHeader(&out, SegmentCodec::kDeltaFor, value_size, count);
+  PutScalar<uint8_t>(&out, static_cast<uint8_t>(lane_width));
+  PutScalar<uint8_t>(&out, static_cast<uint8_t>(num_lanes));
+  for (size_t lane = 0; lane < num_lanes; ++lane) {
+    if (count == 0) break;
+    uint64_t prev = LoadLane(data, lane, lane_width);
+    PutScalar<uint64_t>(&out, prev);
+    for (uint64_t i = 1; i < count; ++i) {
+      const uint64_t v = LoadLane(data + i * value_size, lane, lane_width);
+      PutVarint(&out, ZigZag(static_cast<int64_t>(v - prev)));
+      prev = v;
+    }
+  }
+  return out;
+}
+
+void DecodeDeltaFor(std::span<const std::byte> in, size_t at,
+                    size_t value_size, uint64_t count,
+                    std::vector<std::byte>* out) {
+  const uint8_t lane_width = GetScalar<uint8_t>(in, &at);
+  const uint8_t num_lanes = GetScalar<uint8_t>(in, &at);
+  size_t want_width = 0, want_lanes = 0;
+  SOCS_CHECK(DeltaLanes(value_size, &want_width, &want_lanes) &&
+             want_width == lane_width && want_lanes == num_lanes)
+      << "delta lane layout mismatch";
+  out->resize(count * value_size);
+  for (size_t lane = 0; lane < num_lanes; ++lane) {
+    if (count == 0) break;
+    uint64_t prev = GetScalar<uint64_t>(in, &at);
+    const size_t store = lane_width == 8 ? 8 : lane_width;
+    std::memcpy(out->data() + lane * 8, &prev, store);
+    for (uint64_t i = 1; i < count; ++i) {
+      prev += static_cast<uint64_t>(UnZigZag(GetVarint(in, &at)));
+      std::memcpy(out->data() + i * value_size + lane * 8, &prev, store);
+    }
+  }
+  SOCS_CHECK_EQ(at, in.size()) << "trailing bytes after delta body";
+}
+
+}  // namespace
+
+const char* SegmentCodecName(SegmentCodec codec) {
+  switch (codec) {
+    case SegmentCodec::kRaw:
+      return "raw";
+    case SegmentCodec::kRle:
+      return "rle";
+    case SegmentCodec::kDeltaFor:
+      return "delta_for";
+    case SegmentCodec::kDict:
+      return "dict";
+  }
+  return "unknown";
+}
+
+EncodedInfo InspectEncoded(std::span<const std::byte> encoded) {
+  SOCS_CHECK_GE(encoded.size(), sizeof(EncodedHeader))
+      << "encoded blob shorter than header";
+  EncodedHeader h;
+  std::memcpy(&h, encoded.data(), sizeof(h));
+  SOCS_CHECK_EQ(h.magic, kEncodedMagic) << "bad codec magic";
+  SOCS_CHECK(h.codec > 0 && h.codec < kNumSegmentCodecs)
+      << "bad codec id " << int(h.codec);
+  SOCS_CHECK_GT(h.value_size, 0u) << "zero value size";
+  EncodedInfo info;
+  info.codec = static_cast<SegmentCodec>(h.codec);
+  info.value_size = h.value_size;
+  info.logical_count = h.logical_count;
+  return info;
+}
+
+std::optional<std::vector<std::byte>> EncodeSegment(SegmentCodec codec,
+                                                    const std::byte* data,
+                                                    size_t value_size,
+                                                    uint64_t count) {
+  SOCS_CHECK(codec != SegmentCodec::kRaw) << "kRaw payloads are not encoded";
+  SOCS_CHECK_GT(value_size, 0u);
+  SOCS_CHECK_LE(value_size, 255u) << "value width exceeds header field";
+  switch (codec) {
+    case SegmentCodec::kRle:
+      return EncodeRle(data, value_size, count);
+    case SegmentCodec::kDict:
+      return EncodeDict(data, value_size, count);
+    case SegmentCodec::kDeltaFor:
+      return EncodeDeltaFor(data, value_size, count);
+    case SegmentCodec::kRaw:
+      break;
+  }
+  return std::nullopt;
+}
+
+std::vector<std::byte> DecodeSegment(std::span<const std::byte> encoded) {
+  const EncodedInfo info = InspectEncoded(encoded);
+  std::vector<std::byte> out;
+  out.reserve(info.logical_count * info.value_size);
+  const size_t at = sizeof(EncodedHeader);
+  switch (info.codec) {
+    case SegmentCodec::kRle:
+      DecodeRle(encoded, at, info.value_size, info.logical_count, &out);
+      break;
+    case SegmentCodec::kDict:
+      DecodeDict(encoded, at, info.value_size, info.logical_count, &out);
+      break;
+    case SegmentCodec::kDeltaFor:
+      DecodeDeltaFor(encoded, at, info.value_size, info.logical_count, &out);
+      break;
+    case SegmentCodec::kRaw:
+      SOCS_CHECK(false) << "raw blob reached DecodeSegment";
+  }
+  SOCS_CHECK_EQ(out.size(), info.logical_count * info.value_size)
+      << "decode produced wrong logical size";
+  return out;
+}
+
+EncodedPayload ChooseSegmentEncoding(const std::byte* data, size_t value_size,
+                                     uint64_t count, double max_fraction) {
+  EncodedPayload best;  // kRaw
+  const uint64_t raw_bytes = count * value_size;
+  if (raw_bytes == 0) return best;
+  const auto budget =
+      static_cast<uint64_t>(static_cast<double>(raw_bytes) * max_fraction);
+  for (SegmentCodec codec : {SegmentCodec::kRle, SegmentCodec::kDict,
+                             SegmentCodec::kDeltaFor}) {
+    auto enc = EncodeSegment(codec, data, value_size, count);
+    if (!enc.has_value()) continue;
+    if (enc->size() > budget) continue;
+    if (best.codec == SegmentCodec::kRaw || enc->size() < best.bytes.size()) {
+      best.codec = codec;
+      best.bytes = std::move(*enc);
+    }
+  }
+  return best;
+}
+
+}  // namespace socs

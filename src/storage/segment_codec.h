@@ -1,0 +1,98 @@
+// SegmentCodec: the encoding seam between logical values and physical bytes.
+//
+// A segment payload is either *raw* (the little-endian array of T the rest of
+// the system has always stored -- byte-identical to the pre-compression tree)
+// or *encoded*: a self-describing blob that opens with an EncodedHeader
+// naming the codec, the element width and the logical element count, followed
+// by the codec-specific body. Encoded blobs round-trip exactly:
+// Decode(Encode(x)) == x for every input, and every codec preserves element
+// order, so a decoded scan delivers the same rows in the same order as a raw
+// one.
+//
+// Codecs are byte-generic over the element width, so one implementation
+// serves int32_t, double and 16-byte OidValue alike:
+//   kRle      repeated {uint32 run_len, element} pairs -- wins on constant
+//             runs (quantized or low-cardinality data laid out by value).
+//   kDict     first-seen dictionary + narrow indexes (u8/u16) -- wins on
+//             low-cardinality payloads regardless of run structure.
+//   kDeltaFor delta + zigzag-varint per 8-byte lane (an element is split
+//             into width/8 u64 lanes when 8 | width, else one narrow lane)
+//             -- wins on sorted/sequential data; the oid lane of OidValue
+//             collapses to ~1 byte per element.
+//
+// The codec layer is pure: it never meters I/O and never touches the pool.
+// SegmentSpace owns the metering (physical bytes through the pool and stats,
+// decode CPU through CostModel::Decode) and core/compression_advisor.h owns
+// the policy of *when* to encode.
+#ifndef SOCS_STORAGE_SEGMENT_CODEC_H_
+#define SOCS_STORAGE_SEGMENT_CODEC_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace socs {
+
+enum class SegmentCodec : uint8_t {
+  kRaw = 0,
+  kRle = 1,
+  kDeltaFor = 2,
+  kDict = 3,
+};
+inline constexpr size_t kNumSegmentCodecs = 4;
+
+const char* SegmentCodecName(SegmentCodec codec);
+
+/// Leading header of every encoded (non-raw) blob. Raw payloads carry no
+/// header -- they are exactly the value array, as before this seam existed.
+struct EncodedHeader {
+  uint32_t magic = 0;
+  uint8_t codec = 0;
+  uint8_t value_size = 0;
+  uint16_t reserved = 0;
+  uint64_t logical_count = 0;
+};
+static_assert(sizeof(EncodedHeader) == 16, "header must pack to 16 bytes");
+
+inline constexpr uint32_t kEncodedMagic = 0xC0DEC5E6;
+
+struct EncodedInfo {
+  SegmentCodec codec = SegmentCodec::kRaw;
+  size_t value_size = 0;
+  uint64_t logical_count = 0;
+};
+
+/// Parses the header of an encoded blob. Dies on a corrupt header.
+EncodedInfo InspectEncoded(std::span<const std::byte> encoded);
+
+/// Encodes `count` elements of `value_size` bytes each with the given codec.
+/// Returns std::nullopt when the codec does not apply to this element width
+/// (kDeltaFor needs width in {1,2,4} or a multiple of 8; kDict bails past
+/// 65536 distinct values, where narrow indexes cannot win). Never called
+/// with kRaw.
+std::optional<std::vector<std::byte>> EncodeSegment(SegmentCodec codec,
+                                                    const std::byte* data,
+                                                    size_t value_size,
+                                                    uint64_t count);
+
+/// Decodes a self-describing blob back to the raw little-endian value array.
+/// Dies on a corrupt blob (bad magic, truncated body, count mismatch).
+std::vector<std::byte> DecodeSegment(std::span<const std::byte> encoded);
+
+/// One chosen encoding: kRaw means "store the raw array" and bytes is empty.
+struct EncodedPayload {
+  SegmentCodec codec = SegmentCodec::kRaw;
+  std::vector<std::byte> bytes;
+};
+
+/// Trial-encodes every applicable codec and returns the smallest result,
+/// falling back to kRaw unless the winner is at most `max_fraction` of the
+/// raw size -- marginal wins are not worth the decode CPU on later scans.
+EncodedPayload ChooseSegmentEncoding(const std::byte* data, size_t value_size,
+                                     uint64_t count, double max_fraction);
+
+}  // namespace socs
+
+#endif  // SOCS_STORAGE_SEGMENT_CODEC_H_

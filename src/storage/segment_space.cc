@@ -7,9 +7,11 @@ void SegmentSpace::Free(SegmentId id) {
   store_.Free(id);
   std::lock_guard<std::mutex> lk(stats_mu_);
   ++stats_.segments_freed;
+  scan_counts_.erase(id);
 }
 
-void SegmentSpace::AccountScan(SegmentId id, uint64_t bytes, IoCost* cost,
+void SegmentSpace::AccountScan(SegmentId id, uint64_t bytes,
+                               uint64_t decode_bytes, IoCost* cost,
                                IoLane* lane) {
   if (lane == nullptr) {
     // Sequential path: live pool touch, direct charge.
@@ -20,11 +22,15 @@ void SegmentSpace::AccountScan(SegmentId id, uint64_t bytes, IoCost* cost,
       stats_.mem_read_bytes += bytes;
       ++stats_.segments_scanned;
       if (!hit) stats_.disk_read_bytes += bytes;
+      stats_.decode_bytes += decode_bytes;
+      ++scan_counts_[id];
     }
     seconds += hit ? model().MemRead(bytes) : model().DiskRead(bytes);
+    seconds += model().Decode(decode_bytes);
     if (cost != nullptr) {
       cost->bytes += bytes;
       cost->seconds += seconds;
+      cost->decode_bytes += decode_bytes;
     }
     return;
   }
@@ -39,6 +45,7 @@ void SegmentSpace::AccountScan(SegmentId id, uint64_t bytes, IoCost* cost,
   const bool hit = pool_.WouldHit(id, bytes);
   lane->stats.mem_read_bytes += bytes;
   ++lane->stats.segments_scanned;
+  lane->stats.decode_bytes += decode_bytes;
   double seconds = model().SegmentOverhead();
   if (hit) {
     seconds += model().MemRead(bytes);
@@ -46,10 +53,12 @@ void SegmentSpace::AccountScan(SegmentId id, uint64_t bytes, IoCost* cost,
     lane->stats.disk_read_bytes += bytes;
     seconds += model().DiskRead(bytes);
   }
+  seconds += model().Decode(decode_bytes);
   lane->touches.push_back({id, bytes, hit});
   if (cost != nullptr) {
     cost->bytes += bytes;
     cost->seconds += seconds;
+    cost->decode_bytes += decode_bytes;
   }
 }
 
@@ -58,6 +67,9 @@ void SegmentSpace::CommitLane(IoLane* lane) {
   {
     std::lock_guard<std::mutex> lk(stats_mu_);
     stats_ += lane->stats;
+    // Lane scans count toward the per-segment access counters here, at the
+    // cover-ordered commit point, so heat observation is deterministic.
+    for (const PoolTouch& t : lane->touches) ++scan_counts_[t.segment_id];
   }
   for (const PoolTouch& t : lane->touches) {
     pool_.ReplayTouch(t.segment_id, t.bytes, t.hit);

@@ -3,6 +3,15 @@
 // cost model converts them into simulated seconds, which the strategies
 // attribute to either "selection" or "adaptation" work (paper Fig. 10).
 //
+// Logical vs physical bytes: since the SegmentCodec seam a segment's payload
+// may be stored encoded (storage/segment_codec.h). The pool, the IoStats
+// byte counters and the I/O cost terms all meter *physical* (encoded) bytes
+// -- that is the point of compressing -- while Scan/Peek always deliver the
+// *logical* value array, with the decode CPU charged separately through
+// CostModel::Decode and the decode_bytes counters. With compression off (the
+// default) physical == logical everywhere and the charges are byte-identical
+// to the pre-codec tree.
+//
 // Concurrency & deterministic metering: the space may be shared by many
 // columns and scanned from many workers at once. Mutating operations
 // (Create/Append/Free and direct-metered scans) serialize on the internal
@@ -16,8 +25,10 @@
 #ifndef SOCS_STORAGE_SEGMENT_SPACE_H_
 #define SOCS_STORAGE_SEGMENT_SPACE_H_
 
+#include <array>
 #include <mutex>
 #include <span>
+#include <unordered_map>
 #include <vector>
 
 #include "sim/cost_model.h"
@@ -25,48 +36,93 @@
 #include "sim/io_stats.h"
 #include "storage/buffer_pool.h"
 #include "storage/secondary_store.h"
+#include "storage/segment_codec.h"
 
 namespace socs {
 
-/// Outcome of one metered storage operation.
+/// Outcome of one metered storage operation. `bytes` is physical traffic;
+/// `decode_bytes` is the logical size of encoded payloads decoded along the
+/// way (its CPU is already folded into `seconds`).
 struct IoCost {
   uint64_t bytes = 0;
   double seconds = 0.0;
+  uint64_t decode_bytes = 0;
 
   IoCost& operator+=(const IoCost& o) {
     bytes += o.bytes;
     seconds += o.seconds;
+    decode_bytes += o.decode_bytes;
     return *this;
   }
 };
 
+/// Where a freshly materialized segment sits on the hot/cold axis. Initial
+/// bulk loads are cold (nothing has queried them yet -- compress); segments
+/// rewritten by Reorganize/Append were just touched by a query -- keep raw.
+enum class CompressionHint : uint8_t { kHot, kCold };
+
 class SegmentSpace {
  public:
+  struct Options {
+    /// Master switch for the codec seam. Off by default: every payload is
+    /// stored raw and all accounting is byte-identical to the pre-codec
+    /// tree, so existing parity suites are untouched.
+    bool compression = false;
+    /// An encoding only sticks when encoded size <= this fraction of the
+    /// raw size; marginal wins are not worth the per-scan decode CPU.
+    double max_physical_fraction = 0.9;
+    /// Segments smaller than this stay raw (headers would dominate).
+    uint64_t min_encode_bytes = 512;
+  };
+
   /// pool_capacity_bytes == 0 -> unbounded buffer pool (pure in-memory run,
   /// the setting of the paper's simulation section).
   explicit SegmentSpace(CostParams cost = CostParams{},
                         uint64_t pool_capacity_bytes = 0)
       : cost_(cost), pool_(pool_capacity_bytes) {}
+  SegmentSpace(CostParams cost, uint64_t pool_capacity_bytes, Options options)
+      : cost_(cost), pool_(pool_capacity_bytes), options_(options) {}
   SegmentSpace(const SegmentSpace&) = delete;
   SegmentSpace& operator=(const SegmentSpace&) = delete;
 
   /// Materializes a new segment from `values`; charges a memory write (plus
-  /// a disk write when the cost model is write-through). Callers must hold
-  /// the owning column's exclusive latch when the space is shared.
+  /// a disk write when the cost model is write-through) on the physical
+  /// bytes. With compression on and `hint == kCold` the payload is stored
+  /// under the best applicable codec (plus an Encode CPU charge); hot
+  /// segments always land raw. Callers must hold the owning column's
+  /// exclusive latch when the space is shared.
   template <typename T>
-  SegmentId Create(const std::vector<T>& values, IoCost* cost) {
-    SegmentId id = store_.CreateTyped(values);
-    const uint64_t bytes = values.size() * sizeof(T);
+  SegmentId Create(const std::vector<T>& values, IoCost* cost,
+                   CompressionHint hint = CompressionHint::kHot) {
+    const uint64_t logical = values.size() * sizeof(T);
+    SegmentId id = kInvalidSegment;
+    uint64_t physical = logical;
+    double encode_seconds = 0.0;
+    uint64_t encoded_logical = 0;
+    if (ShouldTryEncode(hint, logical)) {
+      EncodedPayload enc = ChooseSegmentEncoding(
+          reinterpret_cast<const std::byte*>(values.data()), sizeof(T),
+          values.size(), options_.max_physical_fraction);
+      if (enc.codec != SegmentCodec::kRaw) {
+        physical = enc.bytes.size();
+        id = store_.CreateEncoded(std::move(enc.bytes), enc.codec, logical);
+        encode_seconds = model().Encode(logical);
+        encoded_logical = logical;
+      }
+    }
+    if (id == kInvalidSegment) id = store_.CreateTyped(values);
     {
       std::lock_guard<std::mutex> lk(stats_mu_);
-      stats_.mem_write_bytes += bytes;
-      stats_.disk_write_bytes += bytes;  // eventually flushed either way
+      stats_.mem_write_bytes += physical;
+      stats_.disk_write_bytes += physical;  // eventually flushed either way
+      stats_.encode_bytes += encoded_logical;
       ++stats_.segments_created;
     }
-    pool_.Admit(id, bytes);
+    pool_.Admit(id, physical);
     if (cost != nullptr) {
-      cost->bytes += bytes;
-      cost->seconds += model().SegmentWrite(bytes) + model().SegmentOverhead();
+      cost->bytes += physical;
+      cost->seconds += model().SegmentWrite(physical) +
+                       model().SegmentOverhead() + encode_seconds;
     }
     return id;
   }
@@ -74,6 +130,7 @@ class SegmentSpace {
   /// Tail-extends an existing segment with `values`, charging only the
   /// appended bytes as a memory write (plus a disk write when the cost model
   /// is write-through) -- the cost basis of the strategies' Append phase.
+  /// Raw segments only (in-place growth of an encoded payload is a rewrite).
   /// Invalidates spans previously returned by Scan/Peek for this segment;
   /// callers must hold the owning column's exclusive latch.
   template <typename T>
@@ -99,43 +156,98 @@ class SegmentSpace {
   /// caller retires the original; reclamation frees it once the last such
   /// reader unpins). Charges exactly what the in-place Append charges -- the
   /// appended bytes only -- so the Append-phase cost basis is unchanged by
-  /// the snapshot discipline. Returns `id` unchanged when `values` is empty.
+  /// the snapshot discipline. An encoded predecessor additionally charges
+  /// its decode (the successor is written raw: an append just proved the
+  /// segment hot). Returns `id` unchanged when `values` is empty.
   /// Callers must hold the owning column's exclusive latch.
   template <typename T>
   SegmentId AppendCow(SegmentId id, const std::vector<T>& values,
                       IoCost* cost) {
     const uint64_t bytes = values.size() * sizeof(T);
     if (bytes == 0) return id;
+    const SegmentCodec old_codec = store_.CodecOf(id);
     auto old_span = store_.ReadTyped<T>(id);
     std::vector<T> merged;
     merged.reserve(old_span.size() + values.size());
     merged.insert(merged.end(), old_span.begin(), old_span.end());
     merged.insert(merged.end(), values.begin(), values.end());
     SegmentId fresh = store_.CreateTyped(merged);
+    const uint64_t decode_bytes =
+        old_codec == SegmentCodec::kRaw ? 0 : old_span.size() * sizeof(T);
     {
       std::lock_guard<std::mutex> lk(stats_mu_);
       stats_.mem_write_bytes += bytes;
       stats_.disk_write_bytes += bytes;  // eventually flushed either way
+      stats_.decode_bytes += decode_bytes;
       ++stats_.segments_created;
     }
     pool_.AdoptRewrite(id, fresh, merged.size() * sizeof(T));
     if (cost != nullptr) {
       cost->bytes += bytes;
-      cost->seconds += model().SegmentWrite(bytes) + model().SegmentOverhead();
+      cost->seconds += model().SegmentWrite(bytes) +
+                       model().SegmentOverhead() +
+                       model().Decode(decode_bytes);
+      cost->decode_bytes += decode_bytes;
     }
     return fresh;
   }
 
-  /// Scans a segment: returns its typed payload, charging a memory read and,
-  /// on a buffer-pool miss, a secondary-store read. With `lane == nullptr`
-  /// the charge lands directly in the shared stats/pool (the sequential
-  /// path); with a lane it lands in the lane, to be merged at the query's
-  /// fold point via CommitLane -- the parallel scan-phase path.
+  /// Copy-on-write re-encode of a cold raw segment: scans it (metered into
+  /// `read`), picks the best codec, and materializes an encoded successor
+  /// under a fresh id (metered into `write`, including the Encode CPU).
+  /// Returns `id` unchanged -- charging only the probe scan -- when the
+  /// segment is already encoded, too small, or compresses poorly. The caller
+  /// retires the raw original through the epoch machinery on success.
+  /// Callers must hold the owning column's exclusive latch.
+  template <typename T>
+  SegmentId RecompressCow(SegmentId id, IoCost* read, IoCost* write) {
+    if (!options_.compression) return id;
+    if (store_.CodecOf(id) != SegmentCodec::kRaw) return id;
+    const uint64_t logical = store_.LogicalSizeOf(id);
+    if (logical < options_.min_encode_bytes) return id;
+    auto span = Scan<T>(id, read);
+    EncodedPayload enc = ChooseSegmentEncoding(
+        reinterpret_cast<const std::byte*>(span.data()), sizeof(T),
+        span.size(), options_.max_physical_fraction);
+    if (enc.codec == SegmentCodec::kRaw) return id;
+    const uint64_t physical = enc.bytes.size();
+    SegmentId fresh = store_.CreateEncoded(std::move(enc.bytes), enc.codec,
+                                           logical);
+    {
+      std::lock_guard<std::mutex> lk(stats_mu_);
+      stats_.mem_write_bytes += physical;
+      stats_.disk_write_bytes += physical;  // eventually flushed either way
+      stats_.encode_bytes += logical;
+      ++stats_.segments_created;
+      ++stats_.segments_recompressed;
+    }
+    pool_.AdoptRewrite(id, fresh, physical);
+    if (write != nullptr) {
+      write->bytes += physical;
+      write->seconds += model().SegmentWrite(physical) +
+                        model().SegmentOverhead() + model().Encode(logical);
+    }
+    return fresh;
+  }
+
+  /// Scans a segment: returns its logical typed payload, charging a memory
+  /// read of the *physical* bytes and, on a buffer-pool miss, a
+  /// secondary-store read -- plus the decode CPU when the payload is
+  /// encoded. With `lane == nullptr` the charge lands directly in the
+  /// shared stats/pool (the sequential path); with a lane it lands in the
+  /// lane, to be merged at the query's fold point via CommitLane -- the
+  /// parallel scan-phase path.
   template <typename T>
   std::span<const T> Scan(SegmentId id, IoCost* cost, IoLane* lane = nullptr) {
+    const SegmentCodec codec = store_.CodecOf(id);
     auto span = store_.ReadTyped<T>(id);
-    const uint64_t bytes = span.size() * sizeof(T);
-    AccountScan(id, bytes, cost, lane);
+    uint64_t physical = span.size() * sizeof(T);
+    uint64_t decode_bytes = 0;
+    if (codec != SegmentCodec::kRaw) {
+      decode_bytes = physical;
+      physical = store_.PhysicalSizeOf(id);
+    }
+    AccountScan(id, physical, decode_bytes, cost, lane);
     return span;
   }
 
@@ -167,9 +279,36 @@ class SegmentSpace {
   /// Releases a segment (adaptive replication drops fully-replicated parents).
   void Free(SegmentId id);
 
-  uint64_t SizeOf(SegmentId id) const { return store_.SizeOf(id); }
-  uint64_t total_bytes() const { return store_.total_bytes(); }
+  /// Physical (stored, possibly encoded) bytes of one segment / all segments.
+  uint64_t PhysicalSizeOf(SegmentId id) const {
+    return store_.PhysicalSizeOf(id);
+  }
+  uint64_t total_physical_bytes() const {
+    return store_.total_physical_bytes();
+  }
+  /// Logical (decoded value array) bytes of one segment / all segments.
+  uint64_t LogicalSizeOf(SegmentId id) const {
+    return store_.LogicalSizeOf(id);
+  }
+  uint64_t total_logical_bytes() const {
+    return store_.total_logical_bytes();
+  }
+  SegmentCodec CodecOf(SegmentId id) const { return store_.CodecOf(id); }
+  std::array<uint64_t, kNumSegmentCodecs> CodecHistogram() const {
+    return store_.CodecHistogram();
+  }
   size_t segment_count() const { return store_.segment_count(); }
+  bool compression_enabled() const { return options_.compression; }
+  const Options& options() const { return options_; }
+
+  /// Metered scans of this segment so far (direct + committed lanes) -- the
+  /// access counter the CompressionAdvisor reads to tell hot from cold.
+  /// Deterministic: lane scans count at their cover-ordered commit point.
+  uint64_t ScanCount(SegmentId id) const {
+    std::lock_guard<std::mutex> lk(stats_mu_);
+    auto it = scan_counts_.find(id);
+    return it == scan_counts_.end() ? 0 : it->second;
+  }
 
   /// Snapshot of the shared counters (taken under the stats mutex).
   IoStats stats() const {
@@ -183,13 +322,21 @@ class SegmentSpace {
   const BufferPool& pool() const { return pool_; }
 
  private:
-  void AccountScan(SegmentId id, uint64_t bytes, IoCost* cost, IoLane* lane);
+  bool ShouldTryEncode(CompressionHint hint, uint64_t logical_bytes) const {
+    return options_.compression && hint == CompressionHint::kCold &&
+           logical_bytes >= options_.min_encode_bytes;
+  }
+
+  void AccountScan(SegmentId id, uint64_t bytes, uint64_t decode_bytes,
+                   IoCost* cost, IoLane* lane);
 
   CostModel cost_;
   SecondaryStore store_;
   BufferPool pool_;
+  Options options_;
   mutable std::mutex stats_mu_;
   IoStats stats_;
+  std::unordered_map<SegmentId, uint64_t> scan_counts_;
 };
 
 }  // namespace socs

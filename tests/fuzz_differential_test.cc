@@ -341,10 +341,13 @@ struct ServerRun {
 /// strategy, the deferred one included.
 ServerRun RunServer(size_t kind, uint64_t seed, bool shared_scans,
                     size_t clients, size_t executors,
-                    const std::vector<std::string>& script) {
+                    const std::vector<std::string>& script,
+                    bool compression = false) {
   ServerRun out;
   Catalog cat;
-  SegmentSpace space;
+  SegmentSpace::Options sopts;
+  sopts.compression = compression;
+  SegmentSpace space(CostParams{}, /*pool_capacity_bytes=*/0, sopts);
   TaskScheduler sched(1);
   AddFuzzTable(kind, seed, &cat, &space);
   if (::testing::Test::HasFatalFailure()) return out;
@@ -465,6 +468,55 @@ TEST(FuzzDifferential, BatchedVsUnbatchedServerRandomizedTraffic) {
   const uint64_t iters = EnvU64("SOCS_FUZZ_ITERS", 6);
   for (uint64_t i = 0; i < iters; ++i) {
     FuzzServerPairOnce(base + 1000 + i);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+/// One randomized compressed-vs-raw round: the same single-client traffic
+/// against a compression-ON and a compression-OFF server. Reply ROWS and
+/// result counts must be identical -- the codec seam may change physical
+/// bytes and add decode CPU (so #stats trailers legitimately differ), but
+/// it must never change what a query returns.
+void FuzzCompressedVsRawOnce(uint64_t seed) {
+  SCOPED_TRACE("reproduce with SOCS_FUZZ_SEED=" + std::to_string(seed));
+  Rng meta(seed);
+  const size_t kind = static_cast<size_t>(meta.NextInt(0, kNumStrategies - 1));
+  const bool shared = meta.NextInt(0, 1) == 1;
+  SCOPED_TRACE("kind=" + std::to_string(kind) +
+               " shared=" + std::to_string(shared));
+  const std::vector<std::string> script = MakeFuzzScript(kind, seed, 40);
+  const ServerRun raw =
+      RunServer(kind, seed, shared, 1, 2, script, /*compression=*/false);
+  if (::testing::Test::HasFatalFailure()) return;
+  const ServerRun comp =
+      RunServer(kind, seed, shared, 1, 2, script, /*compression=*/true);
+  if (::testing::Test::HasFatalFailure()) return;
+  ASSERT_EQ(raw.replies.size(), comp.replies.size());
+  for (size_t i = 0; i < raw.replies.size(); ++i) {
+    // Parse both reply blocks and compare the result-bearing parts.
+    std::istringstream r2(raw.replies[i]), c2(comp.replies[i]);
+    auto pr = server::ParseReply(
+        [&](std::string* l) { return static_cast<bool>(std::getline(r2, *l)); });
+    auto pc = server::ParseReply(
+        [&](std::string* l) { return static_cast<bool>(std::getline(c2, *l)); });
+    ASSERT_TRUE(pr.ok() && pc.ok()) << "statement " << i;
+    ASSERT_EQ(pr->ok, pc->ok) << "statement " << i << ": " << script[i];
+    ASSERT_EQ(pr->error, pc->error) << "statement " << i;
+    ASSERT_EQ(pr->columns, pc->columns) << "statement " << i;
+    std::vector<std::string> rrows = pr->rows, crows = pc->rows;
+    std::sort(rrows.begin(), rrows.end());
+    std::sort(crows.begin(), crows.end());
+    ASSERT_EQ(rrows, crows) << "statement " << i << ": " << script[i];
+    ASSERT_EQ(pr->stats.result_count, pc->stats.result_count)
+        << "statement " << i;
+  }
+}
+
+TEST(FuzzDifferential, CompressedVsRawServerRandomizedTraffic) {
+  const uint64_t base = EnvU64("SOCS_FUZZ_SEED", 20260808);
+  const uint64_t iters = EnvU64("SOCS_FUZZ_ITERS", 6);
+  for (uint64_t i = 0; i < iters; ++i) {
+    FuzzCompressedVsRawOnce(base + 2000 + i);
     if (::testing::Test::HasFatalFailure()) return;
   }
 }

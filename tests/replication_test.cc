@@ -161,7 +161,7 @@ TEST(AdaptiveReplicationTest, FootprintMatchesSegmentSpace) {
   UniformRangeGenerator gen(ValueRange(0, 100000), 0.05, 14);
   for (int i = 0; i < 200; ++i) strat.RunRange(gen.Next().range);
   // Every live segment byte is tracked by the space, and vice versa.
-  EXPECT_EQ(strat.Footprint().materialized_bytes, space.total_bytes());
+  EXPECT_EQ(strat.Footprint().materialized_bytes, space.total_physical_bytes());
 }
 
 TEST(AdaptiveReplicationTest, EmptyAndOutsideQueries) {

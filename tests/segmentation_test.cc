@@ -184,7 +184,7 @@ TEST(AdaptiveSegmentationTest, StorageFootprintConstant) {
   for (int i = 0; i < 100; ++i) strat.RunRange(gen.Next().range);
   // In-place reorganization: no extra payload storage, only the sparse index.
   EXPECT_EQ(strat.Footprint().materialized_bytes, 200000u);
-  EXPECT_EQ(space.total_bytes(), 200000u);
+  EXPECT_EQ(space.total_logical_bytes(), 200000u);
   EXPECT_LT(strat.Footprint().meta_bytes, 100 * kKiB);
 }
 

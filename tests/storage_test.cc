@@ -13,14 +13,14 @@ TEST(SecondaryStoreTest, CreateReadFree) {
   SegmentId id = store.CreateTyped(v);
   EXPECT_NE(id, kInvalidSegment);
   EXPECT_TRUE(store.Contains(id));
-  EXPECT_EQ(store.SizeOf(id), 12u);
+  EXPECT_EQ(store.LogicalSizeOf(id), 12u);
   auto span = store.ReadTyped<int32_t>(id);
   ASSERT_EQ(span.size(), 3u);
   EXPECT_EQ(span[1], 2);
-  EXPECT_EQ(store.total_bytes(), 12u);
+  EXPECT_EQ(store.total_logical_bytes(), 12u);
   store.Free(id);
   EXPECT_FALSE(store.Contains(id));
-  EXPECT_EQ(store.total_bytes(), 0u);
+  EXPECT_EQ(store.total_logical_bytes(), 0u);
 }
 
 TEST(SecondaryStoreTest, IdsAreUnique) {
@@ -36,7 +36,7 @@ TEST(SecondaryStoreTest, EmptySegmentAllowed) {
   SecondaryStore store;
   std::vector<double> v;
   SegmentId id = store.CreateTyped(v);
-  EXPECT_EQ(store.SizeOf(id), 0u);
+  EXPECT_EQ(store.LogicalSizeOf(id), 0u);
   EXPECT_EQ(store.ReadTyped<double>(id).size(), 0u);
 }
 
@@ -92,7 +92,7 @@ TEST(SegmentSpaceTest, CreateChargesWrites) {
   EXPECT_GT(cost.seconds, 0.0);
   EXPECT_EQ(space.stats().mem_write_bytes, 1024u);
   EXPECT_EQ(space.stats().segments_created, 1u);
-  EXPECT_EQ(space.SizeOf(id), 1024u);
+  EXPECT_EQ(space.LogicalSizeOf(id), 1024u);
 }
 
 TEST(SegmentSpaceTest, ScanHitChargesMemoryOnly) {
@@ -139,7 +139,7 @@ TEST(SegmentSpaceTest, FreeUpdatesStats) {
   space.Free(id);
   EXPECT_EQ(space.segment_count(), 0u);
   EXPECT_EQ(space.stats().segments_freed, 1u);
-  EXPECT_EQ(space.total_bytes(), 0u);
+  EXPECT_EQ(space.total_logical_bytes(), 0u);
 }
 
 TEST(SegmentSpaceTest, WriteThroughChargesDisk) {
