@@ -12,7 +12,9 @@
 // Flags: --port N (default 5433; 0 = ephemeral), --threads N (execution
 // subsystem, default 4), --executors N (statement executors, default 2),
 // --compression (store cold segments encoded; `#compression` on any client
-// connection reports the per-column codec mix).
+// connection reports the per-column codec mix), --kernels / --no-kernels
+// (predicate kernels over encoded segments, default on; `#stats` trailers
+// show the decode_bytes savings).
 // Stops gracefully on SIGINT/SIGTERM: pending statements finish, the
 // background lane drains, no reorganization batch is dropped.
 #include <csignal>
@@ -76,6 +78,12 @@ int main(int argc, char** argv) {
   SegmentSpace::Options sopts;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--compression") == 0) sopts.compression = true;
+    // Scan kernels (on by default): range predicates filter encoded
+    // segments without decoding them. --no-kernels restores the
+    // decode-then-filter path for A/B runs; `#stats` shows the difference
+    // in decode_bytes.
+    if (std::strcmp(argv[i], "--kernels") == 0) sopts.kernels = true;
+    if (std::strcmp(argv[i], "--no-kernels") == 0) sopts.kernels = false;
   }
 
   Catalog cat;

@@ -189,10 +189,13 @@ int main(int argc, char** argv) {
   const size_t threads = ParseThreadsFlag(argc, argv);
   bool from_stdin = false;
   bool compression = false;
+  bool kernels = true;
   std::string connect_target;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "-") == 0) from_stdin = true;
     if (std::strcmp(argv[i], "--compression") == 0) compression = true;
+    if (std::strcmp(argv[i], "--kernels") == 0) kernels = true;
+    if (std::strcmp(argv[i], "--no-kernels") == 0) kernels = false;
     if (std::strcmp(argv[i], "--connect") == 0 && i + 1 < argc) {
       connect_target = argv[i + 1];
     }
@@ -206,7 +209,10 @@ int main(int argc, char** argv) {
   SegmentSpace::Options sopts;
   // --compression: store cold segments encoded (see docs/ARCHITECTURE.md,
   // "Storage encodings"); scans still deliver logical values.
+  // --no-kernels: disable the predicate kernels that filter encoded
+  // segments without decoding them (docs/ARCHITECTURE.md, "Scan kernels").
   sopts.compression = compression;
+  sopts.kernels = kernels;
   SegmentSpace space(CostParams{}, /*pool_capacity_bytes=*/0, sopts);
   // threads > 1: segment deliveries prefetch across the pool and deferred
   // reorganization rides the background lane; the default stays the

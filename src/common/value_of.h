@@ -1,0 +1,18 @@
+// ValueOf: the customization point mapping an element to the double sort key
+// a strategy organizes it by. The generic overload (any arithmetic element is
+// its own key) lives here, below core, so the storage layer's scan kernels
+// can evaluate range predicates on typed payloads; core/oid_value.h adds the
+// OidValue overload, found by ADL wherever kernels are instantiated.
+#ifndef SOCS_COMMON_VALUE_OF_H_
+#define SOCS_COMMON_VALUE_OF_H_
+
+namespace socs {
+
+template <typename T>
+inline double ValueOf(const T& v) {
+  return static_cast<double>(v);
+}
+
+}  // namespace socs
+
+#endif  // SOCS_COMMON_VALUE_OF_H_

@@ -257,6 +257,7 @@ StorageFootprint AdaptiveReplication<T>::Footprint() const {
   fp.materialized_bytes = this->MaterializedPhysicalBytes();
   fp.segment_count = tree_.MaterializedNodeCount();
   fp.meta_bytes = tree_.NodeCount() * sizeof(ReplicaNode);
+  fp.decode_cache_bytes = this->DecodedCacheBytes();
   return fp;
 }
 

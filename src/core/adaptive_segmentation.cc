@@ -283,6 +283,7 @@ StorageFootprint AdaptiveSegmentation<T>::Footprint() const {
   fp.materialized_bytes = this->MaterializedPhysicalBytes();
   fp.segment_count = index_.Size();
   fp.meta_bytes = index_.IndexBytes();
+  fp.decode_cache_bytes = this->DecodedCacheBytes();
   return fp;
 }
 

@@ -46,10 +46,13 @@ class CompressionAdvisor {
   /// Called once per re-encode boundary; true when a cold sweep should run.
   bool ShouldSweep() { return ++boundary_calls_ % opts_.sweep_period == 0; }
 
-  /// True when `id` is a raw, sweep-worthy segment whose scan count has not
-  /// moved since the previous sweep observed it. The first observation of a
-  /// segment only records a baseline (never cold); a segment that failed a
-  /// re-encode attempt (NoteTried) is not offered again.
+  /// True when `id` is a raw, sweep-worthy segment whose scan count moved by
+  /// at most the heat tolerance since the previous sweep observed it --
+  /// strictly unmoved with kernels off, the space's kernel_heat_tolerance
+  /// otherwise (mildly warm segments are still worth encoding when kernels
+  /// make encoded scans cheap). The first observation of a segment only
+  /// records a baseline (never cold); a segment that failed a re-encode
+  /// attempt (NoteTried) is not offered again.
   bool IsColdRawCandidate(SegmentId id, uint64_t logical_bytes) {
     if (logical_bytes < opts_.min_bytes) return false;
     if (tried_.count(id) > 0) return false;
@@ -57,9 +60,12 @@ class CompressionAdvisor {
     const uint64_t scans = space_->ScanCount(id);
     auto [it, first_observation] = last_scan_count_.try_emplace(id, scans);
     if (first_observation) return false;
-    const bool cold = it->second == scans;
+    const uint64_t moved = scans - it->second;
     it->second = scans;
-    return cold;
+    const uint64_t tolerance = space_->kernels_enabled()
+                                   ? space_->options().kernel_heat_tolerance
+                                   : 0;
+    return moved <= tolerance;
   }
 
   /// Records a re-encode attempt so incompressible segments are probed at

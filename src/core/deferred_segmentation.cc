@@ -189,6 +189,7 @@ StorageFootprint DeferredSegmentation<T>::Footprint() const {
   fp.materialized_bytes = this->MaterializedPhysicalBytes();
   fp.segment_count = index_.Size();
   fp.meta_bytes = index_.IndexBytes() + marked_.size() * sizeof(SegmentId);
+  fp.decode_cache_bytes = this->DecodedCacheBytes();
   return fp;
 }
 

@@ -29,7 +29,8 @@ class NonSegmented : public AccessStrategy<T> {
   }
 
   StorageFootprint Footprint() const override {
-    return {this->MaterializedPhysicalBytes(), 1, sizeof(SegmentInfo)};
+    return {this->MaterializedPhysicalBytes(), 1, sizeof(SegmentInfo),
+            this->DecodedCacheBytes()};
   }
 
   std::vector<SegmentInfo> Segments() const override {

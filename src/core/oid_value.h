@@ -7,6 +7,8 @@
 
 #include <cstdint>
 
+#include "common/value_of.h"
+
 namespace socs {
 
 struct OidValue {
@@ -18,13 +20,9 @@ struct OidValue {
   }
 };
 
-/// Customization point: the sort key a strategy organizes elements by.
+/// Customization point (see common/value_of.h for the generic overload): the
+/// sort key a strategy organizes [oid, value] pairs by is the value half.
 inline double ValueOf(const OidValue& v) { return v.value; }
-
-template <typename T>
-inline double ValueOf(const T& v) {
-  return static_cast<double>(v);
-}
 
 }  // namespace socs
 

@@ -110,7 +110,7 @@ QueryExecution PositionalBlocks<T>::Reorganize(const ValueRange& /*q*/) {
 template <typename T>
 StorageFootprint PositionalBlocks<T>::Footprint() const {
   return {this->MaterializedPhysicalBytes(), blocks_.size(),
-          blocks_.size() * sizeof(Block)};
+          blocks_.size() * sizeof(Block), this->DecodedCacheBytes()};
 }
 
 template <typename T>

@@ -146,6 +146,50 @@ class SharedScanPass {
     if (inserted) ++passes_;
   }
 
+  /// Kernel-path variant of Publish for producers that never materialized
+  /// the payload (the scan ran a predicate kernel on the encoded blob, so
+  /// there is no span to co-evaluate over). Sibling predicates are instead
+  /// served by `filter(range, out)` -- an *unmetered* refilter of the same
+  /// segment, typically SegmentSpace::PeekFiltered -- once per distinct
+  /// non-producer predicate. Consumers registered with exactly `q` still
+  /// alias `own`; the accounting invariant is untouched because each
+  /// consumer's metered charge replays through ScanSegment's count-only
+  /// kernel run at its own delivery.
+  template <typename Filter>
+  void PublishWithFilter(const SegKey& key, const ValueRange& q,
+                         std::shared_ptr<const std::vector<T>> own,
+                         Filter&& filter) {
+    std::vector<ValueRange> ranges;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (cache_.count(key) != 0) return;  // a concurrent pass won
+      ranges = consumers_;
+    }
+    std::vector<std::shared_ptr<const std::vector<T>>> entry(ranges.size());
+    for (size_t k = 0; k < ranges.size(); ++k) {
+      if (ranges[k] == q) {
+        entry[k] = own;
+        continue;
+      }
+      // Reuse a sibling's set when an earlier consumer had the same
+      // predicate, mirroring Publish's one-pass-per-distinct-range shape.
+      for (size_t j = 0; j < k; ++j) {
+        if (ranges[j] == ranges[k]) {
+          entry[k] = entry[j];
+          break;
+        }
+      }
+      if (entry[k] == nullptr) {
+        auto fresh = std::make_shared<std::vector<T>>();
+        filter(ranges[k], fresh.get());
+        entry[k] = std::move(fresh);
+      }
+    }
+    std::lock_guard<std::mutex> lk(mu_);
+    auto [it, inserted] = cache_.emplace(key, std::move(entry));
+    if (inserted) ++passes_;
+  }
+
   /// Physical filter passes avoided so far (Lookup hits): the batch's
   /// measured win, aggregated into the dispatcher's scans-saved counter.
   uint64_t scans_saved() const {

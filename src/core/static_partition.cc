@@ -54,7 +54,7 @@ QueryExecution StaticPartition<T>::Reorganize(const ValueRange& /*q*/) {
 template <typename T>
 StorageFootprint StaticPartition<T>::Footprint() const {
   return {this->MaterializedPhysicalBytes(), index_.Size(),
-          index_.IndexBytes()};
+          index_.IndexBytes(), this->DecodedCacheBytes()};
 }
 
 template <typename T>

@@ -106,6 +106,10 @@ struct StorageFootprint {
   uint64_t materialized_bytes = 0;  // payload bytes of live segments/replicas
   uint64_t segment_count = 0;       // materialized segments
   uint64_t meta_bytes = 0;          // meta-index / replica-tree bookkeeping
+  // Decode-cache buffers the secondary store holds for this strategy's live
+  // encoded segments (full-decode reads cache their logical array). Real
+  // memory on top of materialized_bytes; kernels keep it near zero.
+  uint64_t decode_cache_bytes = 0;
 };
 
 /// Outcome of one metered scan of one covering segment (phase 2).
@@ -186,23 +190,55 @@ class AccessStrategy {
   /// through SegmentSpace::Scan; strategies without segment-space payloads
   /// (cracking) or with scan-time pruning (zone maps) override it. Callers
   /// hold at least the shared latch.
+  ///
+  /// Kernel routing: when the caller asked for *filtered* delivery (`out` or
+  /// `precomputed` non-null) and the segment is kernel-eligible (encoded,
+  /// kernels on), the predicate runs directly on the encoded payload via
+  /// SegmentSpace::ScanFiltered -- same result bytes, decode CPU only for
+  /// the bytes actually inflated -- and `s.payload` stays empty (nothing was
+  /// materialized). Full-payload delivery (`out == nullptr` without a
+  /// precomputed batch, e.g. the engine's whole-segment BAT mode) keeps the
+  /// decode-then-filter path, as does every raw segment.
   virtual SegmentScan<T> ScanSegment(const SegmentInfo& seg, const ValueRange& q,
                                      std::vector<T>* out, IoLane* lane = nullptr,
                                      const std::vector<T>* precomputed = nullptr) {
     SegmentScan<T> s;
     IoCost cost;
-    s.payload = space_->template Scan<T>(seg.id, &cost, lane);
+    const bool kernel = (out != nullptr || precomputed != nullptr) &&
+                        space_->KernelEligible(seg.id);
+    if (kernel) {
+      if (precomputed != nullptr) {
+        // A shared batch already holds the qualifying set; run the kernel in
+        // count-only mode so the replayed charges are byte-identical to the
+        // producing scan's (KernelStats is a function of (blob, q) only).
+        space_->template ScanFiltered<T>(seg.id, q.lo, q.hi, nullptr, &cost,
+                                         lane);
+        s.result_count = precomputed->size();
+        if (out != nullptr) {
+          out->insert(out->end(), precomputed->begin(), precomputed->end());
+        }
+      } else {
+        s.result_count = space_->template ScanFiltered<T>(seg.id, q.lo, q.hi,
+                                                          out, &cost, lane);
+      }
+    } else {
+      s.payload = space_->template Scan<T>(seg.id, &cost, lane);
+      if (precomputed != nullptr) {
+        s.result_count = precomputed->size();
+        if (out != nullptr) {
+          out->insert(out->end(), precomputed->begin(), precomputed->end());
+        }
+      } else if (out != nullptr && space_->kernels_enabled()) {
+        // Raw segment with kernels on: the branch-free raw kernel replaces
+        // the branching filter loop. Identical results and charges.
+        s.result_count = ScanRawSegment(s.payload, q.lo, q.hi, out);
+      } else {
+        s.result_count = FilterRange(s.payload, q, out);
+      }
+    }
     s.read_bytes = cost.bytes;
     s.decode_bytes = cost.decode_bytes;
     s.seconds = cost.seconds;
-    if (precomputed != nullptr) {
-      s.result_count = precomputed->size();
-      if (out != nullptr) {
-        out->insert(out->end(), precomputed->begin(), precomputed->end());
-      }
-    } else {
-      s.result_count = FilterRange(s.payload, q, out);
-    }
     return s;
   }
 
@@ -441,6 +477,18 @@ class AccessStrategy {
     for (const SegmentInfo& s : Segments()) {
       total += s.id == kInvalidSegment ? s.count * sizeof(T)
                                        : space_->PhysicalSizeOf(s.id);
+    }
+    return total;
+  }
+
+  /// Decode-cache bytes held for the live segments -- the companion of
+  /// MaterializedPhysicalBytes for StorageFootprint::decode_cache_bytes.
+  /// Zero with compression off and near zero with kernels on (the kernel
+  /// path never fills the cache).
+  uint64_t DecodedCacheBytes() const {
+    uint64_t total = 0;
+    for (const SegmentInfo& s : Segments()) {
+      if (s.id != kInvalidSegment) total += space_->DecodedCacheBytesOf(s.id);
     }
     return total;
   }

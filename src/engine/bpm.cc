@@ -94,14 +94,30 @@ Bat SegmentedColumn::ScanToBat(const SegmentInfo& seg, double lo, double hi,
     auto mine = std::make_shared<std::vector<OidValue>>();
     *scan = strategy_->ScanSegment(seg, q, mine.get(), lane);
     if (scan->scanned) {
-      // Predicate fan-out for the rest of the batch over the hot payload.
-      shared->Publish(key, q, scan->payload, mine);
+      if (!scan->payload.empty() || seg.count == 0) {
+        // Predicate fan-out for the rest of the batch over the hot payload.
+        shared->Publish(key, q, scan->payload, mine);
+      } else {
+        // Kernel scan: no payload was materialized. Siblings' qualifying
+        // sets come from unmetered refilters of the encoded blob; their
+        // metered charges replay at their own deliveries as always.
+        shared->PublishWithFilter(
+            key, q, mine,
+            [this, &seg](const ValueRange& r, std::vector<OidValue>* out) {
+              space_->PeekFiltered<OidValue>(seg.id, r.lo, r.hi, out);
+            });
+      }
     }
     return FilteredBat(*mine, mode);
   }
-  std::vector<OidValue> mine;
-  *scan = strategy_->ScanSegment(seg, q, &mine, lane);
-  return FilteredBat(mine, mode);
+  // Per-worker scratch arena: the hot-column workloads hit this path once
+  // per segment per query per client, and a fresh vector each time is an
+  // allocation storm. The shared-path `mine` above must NOT use it -- that
+  // buffer escapes into the batch cache.
+  thread_local std::vector<OidValue> scratch;
+  scratch.clear();
+  *scan = strategy_->ScanSegment(seg, q, &scratch, lane);
+  return FilteredBat(scratch, mode);
 }
 
 Bat SegmentedColumn::ScanSegmentBat(const SegmentInfo& seg, double lo, double hi,
@@ -158,7 +174,17 @@ Bat SegmentedColumn::ScanCoverBat(const std::vector<SegmentInfo>& cover,
       } else {
         auto mine = std::make_shared<std::vector<OidValue>>();
         scan = strategy_->ScanSegment(seg, q, mine.get(), nullptr);
-        if (scan.scanned) shared->Publish(key, q, scan.payload, mine);
+        if (scan.scanned) {
+          if (!scan.payload.empty() || seg.count == 0) {
+            shared->Publish(key, q, scan.payload, mine);
+          } else {
+            shared->PublishWithFilter(
+                key, q, mine,
+                [this, &seg](const ValueRange& r, std::vector<OidValue>* out) {
+                  space_->PeekFiltered<OidValue>(seg.id, r.lo, r.hi, out);
+                });
+          }
+        }
         all.insert(all.end(), mine->begin(), mine->end());
       }
     } else {
@@ -245,6 +271,7 @@ SegmentedColumn::CompressionStats SegmentedColumn::GetCompressionStats() const {
     }
     cs.logical_bytes += space_->LogicalSizeOf(s.id);
     cs.physical_bytes += space_->PhysicalSizeOf(s.id);
+    cs.decode_cache_bytes += space_->DecodedCacheBytesOf(s.id);
     ++cs.codec_segments[static_cast<size_t>(space_->CodecOf(s.id))];
   }
   return cs;

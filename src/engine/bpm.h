@@ -181,6 +181,9 @@ class SegmentedColumn {
   struct CompressionStats {
     uint64_t logical_bytes = 0;
     uint64_t physical_bytes = 0;
+    // Secondary-store decode caches held for this column's live encoded
+    // segments (full-decode reads; near zero with kernels on).
+    uint64_t decode_cache_bytes = 0;
     uint64_t codec_segments[kNumSegmentCodecs] = {};
     double Ratio() const {
       return physical_bytes == 0

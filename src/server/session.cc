@@ -24,6 +24,7 @@ WireReply CompressionReport(const Catalog& catalog) {
     reply.columns.push_back(
         std::string("segs_") + SegmentCodecName(static_cast<SegmentCodec>(c)));
   }
+  reply.columns.push_back("decode_cache_bytes");
   for (SegmentedColumn* col : catalog.SegmentedColumns()) {
     const SegmentedColumn::CompressionStats cs = col->GetCompressionStats();
     char buf[160];
@@ -35,6 +36,8 @@ WireReply CompressionReport(const Catalog& catalog) {
       std::snprintf(buf, sizeof(buf), ",%" PRIu64, cs.codec_segments[c]);
       row += buf;
     }
+    std::snprintf(buf, sizeof(buf), ",%" PRIu64, cs.decode_cache_bytes);
+    row += buf;
     reply.rows.push_back(std::move(row));
   }
   reply.stats.result_count = reply.rows.size();

@@ -17,6 +17,7 @@ IoStats& IoStats::operator+=(const IoStats& o) {
   decode_bytes += o.decode_bytes;
   encode_bytes += o.encode_bytes;
   segments_recompressed += o.segments_recompressed;
+  kernel_scans += o.kernel_scans;
   return *this;
 }
 
@@ -32,6 +33,7 @@ IoStats IoStats::operator-(const IoStats& o) const {
   d.decode_bytes = decode_bytes - o.decode_bytes;
   d.encode_bytes = encode_bytes - o.encode_bytes;
   d.segments_recompressed = segments_recompressed - o.segments_recompressed;
+  d.kernel_scans = kernel_scans - o.kernel_scans;
   return d;
 }
 
@@ -48,6 +50,7 @@ std::string IoStats::ToString() const {
        << " encode=" << FormatBytes(encode_bytes)
        << " seg_recompressed=" << segments_recompressed;
   }
+  if (kernel_scans > 0) os << " kernel_scans=" << kernel_scans;
   return os.str();
 }
 

@@ -29,6 +29,10 @@ struct IoStats {
   uint64_t decode_bytes = 0;
   uint64_t encode_bytes = 0;
   uint64_t segments_recompressed = 0;
+  // Metered scans served by a predicate kernel (storage/scan_kernels.h),
+  // i.e. encoded segments filtered without a full decode. Subset of
+  // segments_scanned.
+  uint64_t kernel_scans = 0;
 
   IoStats& operator+=(const IoStats& o);
   IoStats operator-(const IoStats& o) const;

@@ -1,0 +1,51 @@
+// Varint / zigzag primitives shared by the segment codec (encode + full
+// decode, storage/segment_codec.cc) and the scan kernels (partial decode,
+// storage/scan_kernels.h). Kept header-only and branch-light: the kernels
+// walk these in their innermost loops.
+#ifndef SOCS_STORAGE_CODEC_VARINT_H_
+#define SOCS_STORAGE_CODEC_VARINT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace socs {
+namespace codec_detail {
+
+inline void PutVarint(std::vector<std::byte>* out, uint64_t v) {
+  while (v >= 0x80) {
+    out->push_back(static_cast<std::byte>((v & 0x7f) | 0x80));
+    v >>= 7;
+  }
+  out->push_back(static_cast<std::byte>(v));
+}
+
+inline uint64_t GetVarint(std::span<const std::byte> in, size_t* at) {
+  uint64_t v = 0;
+  int shift = 0;
+  while (true) {
+    SOCS_CHECK_LT(*at, in.size()) << "truncated varint";
+    const uint8_t b = static_cast<uint8_t>(in[*at]);
+    ++*at;
+    v |= static_cast<uint64_t>(b & 0x7f) << shift;
+    if ((b & 0x80) == 0) return v;
+    shift += 7;
+    SOCS_CHECK_LT(shift, 64) << "varint overruns 64 bits";
+  }
+}
+
+inline uint64_t ZigZag(int64_t d) {
+  return (static_cast<uint64_t>(d) << 1) ^ static_cast<uint64_t>(d >> 63);
+}
+
+inline int64_t UnZigZag(uint64_t z) {
+  return static_cast<int64_t>((z >> 1) ^ (~(z & 1) + 1));
+}
+
+}  // namespace codec_detail
+}  // namespace socs
+
+#endif  // SOCS_STORAGE_CODEC_VARINT_H_

@@ -1,0 +1,95 @@
+#include "storage/scan_kernels.h"
+
+#include <cstring>
+
+namespace socs {
+namespace kernel_detail {
+
+namespace {
+
+// Mirrors the lane split in storage/segment_codec.cc: width w becomes w/8
+// u64 lanes when 8 | w, else a single lane of width w for w in {1,2,4}.
+bool DeltaLanes(size_t value_size, size_t* lane_width, size_t* num_lanes) {
+  if (value_size >= 8 && value_size % 8 == 0) {
+    *lane_width = 8;
+    *num_lanes = value_size / 8;
+    return true;
+  }
+  if (value_size == 1 || value_size == 2 || value_size == 4) {
+    *lane_width = value_size;
+    *num_lanes = 1;
+    return true;
+  }
+  return false;
+}
+
+template <typename U>
+U GetScalar(std::span<const std::byte> in, size_t* at) {
+  SOCS_CHECK_LE(*at + sizeof(U), in.size()) << "truncated encoded segment";
+  U v;
+  std::memcpy(&v, in.data() + *at, sizeof(U));
+  *at += sizeof(U);
+  return v;
+}
+
+}  // namespace
+
+void ParseDeltaForLayout(std::span<const std::byte> encoded,
+                         DeltaForLayout* layout) {
+  const EncodedInfo info = InspectEncoded(encoded);
+  SOCS_CHECK(info.codec == SegmentCodec::kDeltaFor)
+      << "non-delta blob reached ParseDeltaForLayout";
+  layout->value_size = info.value_size;
+  layout->count = info.logical_count;
+  size_t at = sizeof(EncodedHeader);
+  const uint8_t lane_width = GetScalar<uint8_t>(encoded, &at);
+  const uint8_t num_lanes = GetScalar<uint8_t>(encoded, &at);
+  size_t want_width = 0, want_lanes = 0;
+  SOCS_CHECK(DeltaLanes(info.value_size, &want_width, &want_lanes) &&
+             want_width == lane_width && want_lanes == num_lanes)
+      << "delta lane layout mismatch";
+  layout->lane_width = lane_width;
+  layout->num_lanes = num_lanes;
+  const uint8_t has_zones = GetScalar<uint8_t>(encoded, &at);
+  const uint32_t blocks = GetScalar<uint32_t>(encoded, &at);
+  SOCS_CHECK_EQ(blocks,
+                (layout->count + kDeltaForBlock - 1) / kDeltaForBlock)
+      << "delta block count disagrees with logical count";
+  layout->blocks = blocks;
+  layout->zone_bytes = nullptr;
+  if (has_zones != 0) {
+    const size_t zone_bytes = static_cast<size_t>(blocks) * 2 * sizeof(float);
+    SOCS_CHECK_LE(at + zone_bytes, encoded.size()) << "truncated zone map";
+    layout->zone_bytes = encoded.data() + at;
+    at += zone_bytes;
+  }
+  layout->bases.assign(static_cast<size_t>(num_lanes) * blocks, 0);
+  layout->offsets.assign(static_cast<size_t>(num_lanes) * blocks, 0);
+  for (size_t lane = 0; lane < num_lanes; ++lane) {
+    if (layout->count == 0) break;
+    uint64_t* bases = layout->bases.data() + lane * blocks;
+    size_t* offsets = layout->offsets.data() + lane * blocks;
+    bases[0] = GetScalar<uint64_t>(encoded, &at);
+    for (uint32_t b = 1; b < blocks; ++b) {
+      bases[b] = bases[b - 1] + static_cast<uint64_t>(codec_detail::UnZigZag(
+                                    codec_detail::GetVarint(encoded, &at)));
+    }
+    std::vector<uint64_t> lens(blocks);
+    for (uint32_t b = 0; b < blocks; ++b) {
+      lens[b] = codec_detail::GetVarint(encoded, &at);
+    }
+    // The bodies follow the length table back-to-back; prefix sums turn the
+    // lengths into absolute offsets, which is what gives blocks random access.
+    size_t off = at;
+    for (uint32_t b = 0; b < blocks; ++b) {
+      offsets[b] = off;
+      off += lens[b];
+    }
+    SOCS_CHECK_LE(off, encoded.size()) << "truncated delta bodies";
+    at = off;
+  }
+  SOCS_CHECK_EQ(at, encoded.size()) << "trailing bytes after delta body";
+}
+
+}  // namespace kernel_detail
+}  // namespace socs

@@ -1,0 +1,293 @@
+// Scan kernels: selection over *encoded* segment payloads without
+// materializing them. PR 8's codec seam made scans pay a full decode before
+// the strategies' filter loop; these kernels evaluate the half-open
+// [lo, hi) predicate (over ValueOf, the strategies' sort key) directly on
+// the physical blob:
+//
+//   kRle      compares once per RUN and emits qualifying runs wholesale --
+//             O(runs) predicate work instead of O(elements).
+//   kDict     rewrites the value predicate into a qualifying-code table once
+//             per segment, then filters the u8/u16 index array with a
+//             branch-free count-then-fill loop -- the dictionary is decoded
+//             once, qualifying elements only.
+//   kDeltaFor walks the per-block skip tables (block bases + body lengths,
+//             see storage/segment_codec.cc) and the embedded f32 zone map,
+//             unpacking only blocks whose zone overlaps the predicate.
+//   raw       ScanRawSegment: a branch-free count-then-fill pass over the
+//             decoded span, replacing the branching filter loop.
+//
+// The kernel contract:
+//   * Result bytes are identical to decode-then-filter: qualifying elements
+//     are appended to `out` in logical order, so kernels-on and kernels-off
+//     runs produce byte-identical result sets.
+//   * KernelStats is a pure function of (blob, lo, hi) -- passing a null
+//     `out` (count/metering-only mode, used by shared-scan replays) yields
+//     the same matched count and decode_bytes as an emitting run.
+//   * decode_bytes meters only the logical bytes actually inflated: emitted
+//     run elements (RLE), dictionary + emitted elements (dict), elements of
+//     unpacked blocks (delta-FOR). SegmentSpace charges CostModel::Decode on
+//     exactly this number, which is where partial-decode savings surface in
+//     #stats and the cost ledgers.
+//
+// Kernels are unmetered and pool-blind, like the codec layer; the metering
+// wrapper is SegmentSpace::ScanFiltered.
+#ifndef SOCS_STORAGE_SCAN_KERNELS_H_
+#define SOCS_STORAGE_SCAN_KERNELS_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/value_of.h"
+#include "storage/codec_varint.h"
+#include "storage/segment_codec.h"
+
+namespace socs {
+
+/// Outcome of one kernel pass over one segment. Independent of whether the
+/// pass emitted output (see the contract above).
+struct KernelStats {
+  uint64_t matched = 0;         // elements satisfying [lo, hi)
+  uint64_t decode_bytes = 0;    // logical bytes actually inflated
+  uint64_t blocks_skipped = 0;  // delta-FOR blocks pruned by the zone map
+  uint64_t blocks_scanned = 0;  // delta-FOR blocks unpacked
+  uint64_t runs_scanned = 0;    // RLE runs inspected
+};
+
+/// Branch-free raw kernel: counts qualifying elements of `payload`, then
+/// fills them into `out` (when non-null) with an unconditional-store loop.
+/// Appends in payload order; returns the qualifying count.
+template <typename T>
+uint64_t ScanRawSegment(std::span<const T> payload, double lo, double hi,
+                        std::vector<T>* out) {
+  uint64_t n = 0;
+  for (const T& v : payload) {
+    const double d = ValueOf(v);
+    n += static_cast<uint64_t>(d >= lo && d < hi);
+  }
+  if (out != nullptr && n != 0) {
+    const size_t base = out->size();
+    // One slot of slack: the fill loop stores every element at dst[k] and
+    // lets qualifying elements commit the slot by advancing k, so the final
+    // non-qualifying tail writes land one past the last real slot.
+    out->resize(base + n + 1);
+    T* dst = out->data() + base;
+    size_t k = 0;
+    for (const T& v : payload) {
+      const double d = ValueOf(v);
+      dst[k] = v;
+      k += static_cast<size_t>(d >= lo && d < hi);
+    }
+    out->resize(base + n);
+  }
+  return n;
+}
+
+/// Per-block min/max of ValueOf over `data` -- the zone map the typed layer
+/// (SegmentSpace::Create / RecompressCow) attaches to kDeltaFor encodings.
+/// One entry per kDeltaForBlock elements; empty input yields no zones.
+template <typename T>
+std::vector<ValueZone> BuildValueZones(const T* data, uint64_t count) {
+  std::vector<ValueZone> zones((count + kDeltaForBlock - 1) / kDeltaForBlock);
+  for (size_t b = 0; b < zones.size(); ++b) {
+    const uint64_t first = b * kDeltaForBlock;
+    const uint64_t end = std::min(count, first + kDeltaForBlock);
+    double mn = ValueOf(data[first]);
+    double mx = mn;
+    for (uint64_t i = first + 1; i < end; ++i) {
+      const double d = ValueOf(data[i]);
+      mn = std::min(mn, d);
+      mx = std::max(mx, d);
+    }
+    zones[b] = ValueZone{mn, mx};
+  }
+  return zones;
+}
+
+namespace kernel_detail {
+
+/// Random-access view of a kDeltaFor blob: per-lane block bases and absolute
+/// body offsets, decoded upfront in O(blocks) -- 1/kDeltaForBlock of the
+/// element count -- so individual blocks unpack independently.
+struct DeltaForLayout {
+  size_t value_size = 0;
+  size_t lane_width = 0;
+  size_t num_lanes = 0;
+  uint64_t count = 0;
+  uint32_t blocks = 0;
+  const std::byte* zone_bytes = nullptr;  // 2 x f32 per block; null = none
+  std::vector<uint64_t> bases;            // [lane * blocks + b]
+  std::vector<size_t> offsets;            // [lane * blocks + b], absolute
+};
+
+/// Parses the layout of a kDeltaFor blob (dies on corruption, like decode).
+void ParseDeltaForLayout(std::span<const std::byte> encoded,
+                         DeltaForLayout* layout);
+
+template <typename T>
+void RleKernel(std::span<const std::byte> in, uint64_t count, double lo,
+               double hi, std::vector<T>* out, KernelStats* ks) {
+  size_t at = sizeof(EncodedHeader);
+  uint64_t produced = 0;
+  while (produced < count) {
+    SOCS_CHECK_LE(at + sizeof(uint32_t) + sizeof(T), in.size())
+        << "truncated RLE run";
+    uint32_t run = 0;
+    std::memcpy(&run, in.data() + at, sizeof(uint32_t));
+    at += sizeof(uint32_t);
+    SOCS_CHECK_GT(run, 0u) << "zero-length RLE run";
+    T v;
+    std::memcpy(&v, in.data() + at, sizeof(T));
+    at += sizeof(T);
+    produced += run;
+    ++ks->runs_scanned;
+    const double d = ValueOf(v);
+    if (d >= lo && d < hi) {
+      ks->matched += run;
+      if (out != nullptr) out->insert(out->end(), run, v);
+    }
+  }
+  SOCS_CHECK_EQ(produced, count) << "RLE run overshoots logical count";
+  SOCS_CHECK_EQ(at, in.size()) << "trailing bytes after RLE body";
+  ks->decode_bytes = ks->matched * sizeof(T);
+}
+
+template <typename T>
+void DictKernel(std::span<const std::byte> in, uint64_t count, double lo,
+                double hi, std::vector<T>* out, KernelStats* ks) {
+  size_t at = sizeof(EncodedHeader);
+  SOCS_CHECK_LE(at + sizeof(uint32_t), in.size()) << "truncated dict header";
+  uint32_t dict_count = 0;
+  std::memcpy(&dict_count, in.data() + at, sizeof(uint32_t));
+  at += sizeof(uint32_t);
+  SOCS_CHECK_LE(at + static_cast<size_t>(dict_count) * sizeof(T), in.size())
+      << "truncated dictionary";
+  // Decode the dictionary once and rewrite the value predicate into a
+  // qualifying-code table; the index walk below never evaluates ValueOf.
+  std::vector<T> vals(dict_count);
+  std::vector<uint8_t> qual(dict_count);
+  for (uint32_t i = 0; i < dict_count; ++i) {
+    std::memcpy(&vals[i], in.data() + at + i * sizeof(T), sizeof(T));
+    const double d = ValueOf(vals[i]);
+    qual[i] = static_cast<uint8_t>(d >= lo && d < hi);
+  }
+  at += static_cast<size_t>(dict_count) * sizeof(T);
+  SOCS_CHECK_LE(at + 1, in.size()) << "truncated dict index width";
+  const uint8_t index_width = static_cast<uint8_t>(in[at]);
+  ++at;
+  SOCS_CHECK(index_width == 1 || index_width == 2)
+      << "bad dict index width " << int(index_width);
+  SOCS_CHECK_EQ(at + count * index_width, in.size())
+      << "dict index array size mismatch";
+  const std::byte* idx = in.data() + at;
+  // Count pass (validates indexes), then branch-free fill with slack.
+  uint64_t n = 0;
+  for (uint64_t i = 0; i < count; ++i) {
+    uint32_t code = 0;
+    std::memcpy(&code, idx + i * index_width, index_width);
+    SOCS_CHECK_LT(code, dict_count) << "dict index out of range";
+    n += qual[code];
+  }
+  if (out != nullptr && n != 0) {
+    const size_t base = out->size();
+    out->resize(base + n + 1);
+    T* dst = out->data() + base;
+    size_t k = 0;
+    for (uint64_t i = 0; i < count; ++i) {
+      uint32_t code = 0;
+      std::memcpy(&code, idx + i * index_width, index_width);
+      dst[k] = vals[code];
+      k += qual[code];
+    }
+    out->resize(base + n);
+  }
+  ks->matched = n;
+  ks->decode_bytes = (static_cast<uint64_t>(dict_count) + n) * sizeof(T);
+}
+
+template <typename T>
+void DeltaForKernel(std::span<const std::byte> in, uint64_t count, double lo,
+                    double hi, std::vector<T>* out, KernelStats* ks) {
+  DeltaForLayout l;
+  ParseDeltaForLayout(in, &l);
+  SOCS_CHECK_EQ(l.value_size, sizeof(T)) << "kernel element width mismatch";
+  SOCS_CHECK_EQ(l.count, count);
+  const size_t store = l.lane_width == 8 ? 8 : l.lane_width;
+  T buf[kDeltaForBlock];
+  auto* bytes = reinterpret_cast<std::byte*>(buf);
+  for (uint32_t b = 0; b < l.blocks; ++b) {
+    if (l.zone_bytes != nullptr) {
+      float zmin = 0.0f, zmax = 0.0f;
+      std::memcpy(&zmin, l.zone_bytes + b * 2 * sizeof(float), sizeof(float));
+      std::memcpy(&zmax, l.zone_bytes + (b * 2 + 1) * sizeof(float),
+                  sizeof(float));
+      // Conservative skip: the stored zone brackets the true min/max, so a
+      // disjoint zone proves no element of the block can qualify. NaN zones
+      // (NaN payloads) fail both comparisons and fall through to the unpack.
+      if (static_cast<double>(zmax) < lo || static_cast<double>(zmin) >= hi) {
+        ++ks->blocks_skipped;
+        continue;
+      }
+    }
+    const uint64_t first = b * kDeltaForBlock;
+    const uint64_t end = std::min(count, first + kDeltaForBlock);
+    for (size_t lane = 0; lane < l.num_lanes; ++lane) {
+      size_t at = l.offsets[lane * l.blocks + b];
+      uint64_t prev = l.bases[lane * l.blocks + b];
+      std::memcpy(bytes + lane * 8, &prev, store);
+      for (uint64_t i = first + 1; i < end; ++i) {
+        prev += static_cast<uint64_t>(
+            codec_detail::UnZigZag(codec_detail::GetVarint(in, &at)));
+        std::memcpy(bytes + (i - first) * sizeof(T) + lane * 8, &prev, store);
+      }
+    }
+    ++ks->blocks_scanned;
+    ks->decode_bytes += (end - first) * sizeof(T);
+    for (uint64_t j = 0; j < end - first; ++j) {
+      const double d = ValueOf(buf[j]);
+      if (d >= lo && d < hi) {
+        ++ks->matched;
+        if (out != nullptr) out->push_back(buf[j]);
+      }
+    }
+  }
+}
+
+}  // namespace kernel_detail
+
+/// Evaluates [lo, hi) directly on an encoded (non-raw) blob, appending
+/// qualifying elements to `out` in logical order (null `out` = count and
+/// metering only -- same KernelStats either way). sizeof(T) must match the
+/// blob's element width; dies on a corrupt blob, like DecodeSegment.
+template <typename T>
+KernelStats ScanEncodedSegment(std::span<const std::byte> encoded, double lo,
+                               double hi, std::vector<T>* out) {
+  const EncodedInfo info = InspectEncoded(encoded);
+  SOCS_CHECK_EQ(info.value_size, sizeof(T)) << "kernel element width mismatch";
+  KernelStats ks;
+  switch (info.codec) {
+    case SegmentCodec::kRle:
+      kernel_detail::RleKernel<T>(encoded, info.logical_count, lo, hi, out,
+                                  &ks);
+      break;
+    case SegmentCodec::kDict:
+      kernel_detail::DictKernel<T>(encoded, info.logical_count, lo, hi, out,
+                                   &ks);
+      break;
+    case SegmentCodec::kDeltaFor:
+      kernel_detail::DeltaForKernel<T>(encoded, info.logical_count, lo, hi,
+                                       out, &ks);
+      break;
+    case SegmentCodec::kRaw:
+      SOCS_CHECK(false) << "raw blob reached ScanEncodedSegment";
+  }
+  return ks;
+}
+
+}  // namespace socs
+
+#endif  // SOCS_STORAGE_SCAN_KERNELS_H_

@@ -100,6 +100,7 @@ std::span<const std::byte> SecondaryStore::Read(SegmentId id) const {
         DecodeSegment({b.bytes.data(), b.bytes.size()}));
     SOCS_CHECK_EQ(decoded->size(), b.logical_bytes)
         << "decode size disagrees with recorded logical bytes";
+    decoded_cache_bytes_ += decoded->size();
     b.decoded = std::move(decoded);
   }
   return {b.decoded->data(), b.decoded->size()};
@@ -118,6 +119,9 @@ void SecondaryStore::Free(SegmentId id) {
   SOCS_CHECK(it != blobs_.end()) << "double free of segment " << id;
   total_physical_bytes_ -= it->second.bytes.size();
   total_logical_bytes_ -= it->second.logical_bytes;
+  if (it->second.decoded != nullptr) {
+    decoded_cache_bytes_ -= it->second.decoded->size();
+  }
   blobs_.erase(it);
 }
 
@@ -134,6 +138,27 @@ uint64_t SecondaryStore::total_logical_bytes() const {
 size_t SecondaryStore::segment_count() const {
   std::shared_lock<std::shared_mutex> lk(mu_);
   return blobs_.size();
+}
+
+uint64_t SecondaryStore::decoded_cache_bytes() const {
+  std::shared_lock<std::shared_mutex> lk(mu_);
+  return decoded_cache_bytes_;
+}
+
+uint64_t SecondaryStore::DecodedCacheBytesOf(SegmentId id) const {
+  std::shared_lock<std::shared_mutex> lk(mu_);
+  auto it = blobs_.find(id);
+  if (it == blobs_.end() || it->second.decoded == nullptr) return 0;
+  return it->second.decoded->size();
+}
+
+void SecondaryStore::DropDecodedCache(SegmentId id) {
+  std::unique_lock<std::shared_mutex> lk(mu_);
+  auto it = blobs_.find(id);
+  SOCS_CHECK(it != blobs_.end()) << "unknown segment " << id;
+  if (it->second.decoded == nullptr) return;
+  decoded_cache_bytes_ -= it->second.decoded->size();
+  it->second.decoded.reset();
 }
 
 std::array<uint64_t, kNumSegmentCodecs> SecondaryStore::CodecHistogram()

@@ -110,6 +110,22 @@ class SecondaryStore {
   uint64_t total_logical_bytes() const;
   size_t segment_count() const;
 
+  /// Bytes currently held across all per-blob decode caches. The caches are
+  /// real memory the footprint reports must own up to: a fully-decoded store
+  /// occupies physical + logical bytes, not just physical.
+  uint64_t decoded_cache_bytes() const;
+
+  /// Decode-cache bytes held for one segment (0 if none or unknown id).
+  uint64_t DecodedCacheBytesOf(SegmentId id) const;
+
+  /// Drops a blob's decode cache, releasing its memory. ONLY safe when no
+  /// reader can hold a span into the cache -- in practice, never called on a
+  /// live segment (epoch pins protect spans against Free, and Read() spans
+  /// of encoded blobs point into this cache). Retirement paths free the
+  /// whole blob instead; this exists for tests and explicit cache pressure.
+  /// No-op on raw blobs or ids without a cache; dies on unknown id.
+  void DropDecodedCache(SegmentId id);
+
   /// Live segment count per codec, indexed by SegmentCodec.
   std::array<uint64_t, kNumSegmentCodecs> CodecHistogram() const;
 
@@ -128,6 +144,10 @@ class SecondaryStore {
   SegmentId next_id_ = 1;
   uint64_t total_physical_bytes_ = 0;
   uint64_t total_logical_bytes_ = 0;
+  // Gauge over all live decode caches; updated wherever a cache is filled
+  // (Read) or released (Free / DropDecodedCache). Mutable because filling
+  // the cache happens on the const Read path.
+  mutable uint64_t decoded_cache_bytes_ = 0;
 };
 
 }  // namespace socs

@@ -1,12 +1,21 @@
 #include "storage/segment_codec.h"
 
+#include <cmath>
 #include <cstring>
+#include <limits>
 #include <string>
 #include <unordered_map>
 
 #include "common/logging.h"
+#include "storage/codec_varint.h"
 
 namespace socs {
+
+using codec_detail::GetVarint;
+using codec_detail::PutVarint;
+using codec_detail::UnZigZag;
+using codec_detail::ZigZag;
+
 namespace {
 
 void PutBytes(std::vector<std::byte>* out, const void* src, size_t n) {
@@ -37,38 +46,6 @@ void PutHeader(std::vector<std::byte>* out, SegmentCodec codec,
   h.value_size = static_cast<uint8_t>(value_size);
   h.logical_count = count;
   PutBytes(out, &h, sizeof(h));
-}
-
-// --- zigzag varint (for kDeltaFor deltas) ---
-
-void PutVarint(std::vector<std::byte>* out, uint64_t v) {
-  while (v >= 0x80) {
-    out->push_back(static_cast<std::byte>((v & 0x7f) | 0x80));
-    v >>= 7;
-  }
-  out->push_back(static_cast<std::byte>(v));
-}
-
-uint64_t GetVarint(std::span<const std::byte> in, size_t* at) {
-  uint64_t v = 0;
-  int shift = 0;
-  while (true) {
-    SOCS_CHECK_LT(*at, in.size()) << "truncated varint";
-    const uint8_t b = static_cast<uint8_t>(in[*at]);
-    ++*at;
-    v |= static_cast<uint64_t>(b & 0x7f) << shift;
-    if ((b & 0x80) == 0) return v;
-    shift += 7;
-    SOCS_CHECK_LT(shift, 64) << "varint overruns 64 bits";
-  }
-}
-
-uint64_t ZigZag(int64_t d) {
-  return (static_cast<uint64_t>(d) << 1) ^ static_cast<uint64_t>(d >> 63);
-}
-
-int64_t UnZigZag(uint64_t z) {
-  return static_cast<int64_t>((z >> 1) ^ (~(z & 1) + 1));
 }
 
 // --- kRle ---
@@ -169,8 +146,15 @@ void DecodeDict(std::span<const std::byte> in, size_t at, size_t value_size,
 // --- kDeltaFor ---
 
 // Element width w is split into lanes: w/8 u64 lanes when 8 | w, else one
-// lane of width w for w in {1,2,4}. Each lane stores its first value as a
-// u64 base followed by count-1 zigzag-varint deltas; lanes are concatenated.
+// lane of width w for w in {1,2,4}. The element stream is framed in blocks
+// of kDeltaForBlock elements; each lane stores
+//   u64 base0                                  (value of element 0)
+//   (blocks-1) zigzag varints                  (block-base deltas B[b]-B[b-1])
+//   blocks varints                             (byte length of each body)
+//   concatenated bodies: block b = zigzag varints of v[i]-v[i-1] for the
+//   elements after the block's first (whose value is B[b]).
+// Bases + lengths give random access per block, so the scan kernels can skip
+// whole blocks the (optional, f32-rounded) zone map proves outside a range.
 bool DeltaLanes(size_t value_size, size_t* lane_width, size_t* num_lanes) {
   if (value_size >= 8 && value_size % 8 == 0) {
     *lane_width = 8;
@@ -191,24 +175,83 @@ uint64_t LoadLane(const std::byte* elem, size_t lane, size_t lane_width) {
   return v;
 }
 
-std::optional<std::vector<std::byte>> EncodeDeltaFor(const std::byte* data,
-                                                     size_t value_size,
-                                                     uint64_t count) {
+// Conservative f32 rounding for stored zones: the stored min never exceeds
+// the true min and the stored max never undercuts the true max, so a skip
+// decided from the stored pair can only keep extra blocks, never drop rows.
+float ZoneFloor(double v) {
+  if (v >= std::numeric_limits<float>::max()) {
+    return std::numeric_limits<float>::max();
+  }
+  if (v <= -std::numeric_limits<float>::max()) {
+    return -std::numeric_limits<float>::infinity();
+  }
+  float f = static_cast<float>(v);
+  if (static_cast<double>(f) > v) {
+    f = std::nextafterf(f, -std::numeric_limits<float>::infinity());
+  }
+  return f;
+}
+
+float ZoneCeil(double v) {
+  if (v <= -std::numeric_limits<float>::max()) {
+    return -std::numeric_limits<float>::max();
+  }
+  if (v >= std::numeric_limits<float>::max()) {
+    return std::numeric_limits<float>::infinity();
+  }
+  float f = static_cast<float>(v);
+  if (static_cast<double>(f) < v) {
+    f = std::nextafterf(f, std::numeric_limits<float>::infinity());
+  }
+  return f;
+}
+
+std::optional<std::vector<std::byte>> EncodeDeltaFor(
+    const std::byte* data, size_t value_size, uint64_t count,
+    std::span<const ValueZone> zones) {
   size_t lane_width = 0, num_lanes = 0;
   if (!DeltaLanes(value_size, &lane_width, &num_lanes)) return std::nullopt;
+  const uint64_t blocks = (count + kDeltaForBlock - 1) / kDeltaForBlock;
+  SOCS_CHECK(zones.empty() || zones.size() == blocks)
+      << "zone map must carry one entry per " << kDeltaForBlock
+      << "-element block";
   std::vector<std::byte> out;
   PutHeader(&out, SegmentCodec::kDeltaFor, value_size, count);
   PutScalar<uint8_t>(&out, static_cast<uint8_t>(lane_width));
   PutScalar<uint8_t>(&out, static_cast<uint8_t>(num_lanes));
+  PutScalar<uint8_t>(&out, zones.empty() ? 0 : 1);
+  PutScalar<uint32_t>(&out, static_cast<uint32_t>(blocks));
+  for (const ValueZone& z : zones) {
+    PutScalar<float>(&out, ZoneFloor(z.min));
+    PutScalar<float>(&out, ZoneCeil(z.max));
+  }
+  std::vector<std::byte> bodies;
+  std::vector<uint64_t> lens(blocks);
   for (size_t lane = 0; lane < num_lanes; ++lane) {
     if (count == 0) break;
-    uint64_t prev = LoadLane(data, lane, lane_width);
-    PutScalar<uint64_t>(&out, prev);
-    for (uint64_t i = 1; i < count; ++i) {
-      const uint64_t v = LoadLane(data + i * value_size, lane, lane_width);
-      PutVarint(&out, ZigZag(static_cast<int64_t>(v - prev)));
-      prev = v;
+    uint64_t prev_base = LoadLane(data, lane, lane_width);
+    PutScalar<uint64_t>(&out, prev_base);
+    for (uint64_t b = 1; b < blocks; ++b) {
+      const uint64_t base =
+          LoadLane(data + b * kDeltaForBlock * value_size, lane, lane_width);
+      PutVarint(&out, ZigZag(static_cast<int64_t>(base - prev_base)));
+      prev_base = base;
     }
+    bodies.clear();
+    for (uint64_t b = 0; b < blocks; ++b) {
+      const size_t start = bodies.size();
+      const uint64_t end = std::min(count, (b + 1) * kDeltaForBlock);
+      uint64_t prev =
+          LoadLane(data + b * kDeltaForBlock * value_size, lane, lane_width);
+      for (uint64_t i = b * kDeltaForBlock + 1; i < end; ++i) {
+        const uint64_t v = LoadLane(data + i * value_size, lane, lane_width);
+        PutVarint(&bodies, ZigZag(static_cast<int64_t>(v - prev)));
+        prev = v;
+      }
+      lens[b] = bodies.size() - start;
+    }
+    for (uint64_t b = 0; b < blocks; ++b) PutVarint(&out, lens[b]);
+    PutBytes(&out, bodies.data(), bodies.size());
   }
   return out;
 }
@@ -222,15 +265,38 @@ void DecodeDeltaFor(std::span<const std::byte> in, size_t at,
   SOCS_CHECK(DeltaLanes(value_size, &want_width, &want_lanes) &&
              want_width == lane_width && want_lanes == num_lanes)
       << "delta lane layout mismatch";
+  const uint8_t has_zones = GetScalar<uint8_t>(in, &at);
+  const uint32_t blocks = GetScalar<uint32_t>(in, &at);
+  SOCS_CHECK_EQ(blocks, (count + kDeltaForBlock - 1) / kDeltaForBlock)
+      << "delta block count disagrees with logical count";
+  if (has_zones != 0) {
+    const size_t zone_bytes = static_cast<size_t>(blocks) * 2 * sizeof(float);
+    SOCS_CHECK_LE(at + zone_bytes, in.size()) << "truncated zone map";
+    at += zone_bytes;
+  }
   out->resize(count * value_size);
+  const size_t store = lane_width == 8 ? 8 : lane_width;
+  std::vector<uint64_t> bases(blocks);
+  std::vector<uint64_t> lens(blocks);
   for (size_t lane = 0; lane < num_lanes; ++lane) {
     if (count == 0) break;
-    uint64_t prev = GetScalar<uint64_t>(in, &at);
-    const size_t store = lane_width == 8 ? 8 : lane_width;
-    std::memcpy(out->data() + lane * 8, &prev, store);
-    for (uint64_t i = 1; i < count; ++i) {
-      prev += static_cast<uint64_t>(UnZigZag(GetVarint(in, &at)));
-      std::memcpy(out->data() + i * value_size + lane * 8, &prev, store);
+    bases[0] = GetScalar<uint64_t>(in, &at);
+    for (uint32_t b = 1; b < blocks; ++b) {
+      bases[b] =
+          bases[b - 1] + static_cast<uint64_t>(UnZigZag(GetVarint(in, &at)));
+    }
+    for (uint32_t b = 0; b < blocks; ++b) lens[b] = GetVarint(in, &at);
+    for (uint32_t b = 0; b < blocks; ++b) {
+      const uint64_t first = b * kDeltaForBlock;
+      const uint64_t end = std::min(count, first + kDeltaForBlock);
+      const size_t body_start = at;
+      uint64_t prev = bases[b];
+      std::memcpy(out->data() + first * value_size + lane * 8, &prev, store);
+      for (uint64_t i = first + 1; i < end; ++i) {
+        prev += static_cast<uint64_t>(UnZigZag(GetVarint(in, &at)));
+        std::memcpy(out->data() + i * value_size + lane * 8, &prev, store);
+      }
+      SOCS_CHECK_EQ(at - body_start, lens[b]) << "delta block length mismatch";
     }
   }
   SOCS_CHECK_EQ(at, in.size()) << "trailing bytes after delta body";
@@ -268,10 +334,9 @@ EncodedInfo InspectEncoded(std::span<const std::byte> encoded) {
   return info;
 }
 
-std::optional<std::vector<std::byte>> EncodeSegment(SegmentCodec codec,
-                                                    const std::byte* data,
-                                                    size_t value_size,
-                                                    uint64_t count) {
+std::optional<std::vector<std::byte>> EncodeSegment(
+    SegmentCodec codec, const std::byte* data, size_t value_size,
+    uint64_t count, std::span<const ValueZone> zones) {
   SOCS_CHECK(codec != SegmentCodec::kRaw) << "kRaw payloads are not encoded";
   SOCS_CHECK_GT(value_size, 0u);
   SOCS_CHECK_LE(value_size, 255u) << "value width exceeds header field";
@@ -281,7 +346,7 @@ std::optional<std::vector<std::byte>> EncodeSegment(SegmentCodec codec,
     case SegmentCodec::kDict:
       return EncodeDict(data, value_size, count);
     case SegmentCodec::kDeltaFor:
-      return EncodeDeltaFor(data, value_size, count);
+      return EncodeDeltaFor(data, value_size, count, zones);
     case SegmentCodec::kRaw:
       break;
   }
@@ -312,7 +377,8 @@ std::vector<std::byte> DecodeSegment(std::span<const std::byte> encoded) {
 }
 
 EncodedPayload ChooseSegmentEncoding(const std::byte* data, size_t value_size,
-                                     uint64_t count, double max_fraction) {
+                                     uint64_t count, double max_fraction,
+                                     std::span<const ValueZone> zones) {
   EncodedPayload best;  // kRaw
   const uint64_t raw_bytes = count * value_size;
   if (raw_bytes == 0) return best;
@@ -320,7 +386,7 @@ EncodedPayload ChooseSegmentEncoding(const std::byte* data, size_t value_size,
       static_cast<uint64_t>(static_cast<double>(raw_bytes) * max_fraction);
   for (SegmentCodec codec : {SegmentCodec::kRle, SegmentCodec::kDict,
                              SegmentCodec::kDeltaFor}) {
-    auto enc = EncodeSegment(codec, data, value_size, count);
+    auto enc = EncodeSegment(codec, data, value_size, count, zones);
     if (!enc.has_value()) continue;
     if (enc->size() > budget) continue;
     if (best.codec == SegmentCodec::kRaw || enc->size() < best.bytes.size()) {

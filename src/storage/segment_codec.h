@@ -18,7 +18,14 @@
 //   kDeltaFor delta + zigzag-varint per 8-byte lane (an element is split
 //             into width/8 u64 lanes when 8 | width, else one narrow lane)
 //             -- wins on sorted/sequential data; the oid lane of OidValue
-//             collapses to ~1 byte per element.
+//             collapses to ~1 byte per element. The body is framed in
+//             blocks of kDeltaForBlock elements: each lane stores its
+//             per-block first values (delta-chained) and per-block body
+//             byte lengths ahead of the delta stream, and the caller may
+//             attach a per-block min/max zone map over the sort key
+//             (conservatively rounded to f32) -- together these give the
+//             scan kernels random access, so blocks wholly outside a range
+//             predicate are skipped without unpacking a single varint.
 //
 // The codec layer is pure: it never meters I/O and never touches the pool.
 // SegmentSpace owns the metering (physical bytes through the pool and stats,
@@ -67,15 +74,30 @@ struct EncodedInfo {
 /// Parses the header of an encoded blob. Dies on a corrupt header.
 EncodedInfo InspectEncoded(std::span<const std::byte> encoded);
 
+/// kDeltaFor block granularity: the zone map and the kernels' skip tables
+/// frame the delta stream in runs of this many consecutive elements (one
+/// SIMD register's worth of 8-byte lanes).
+inline constexpr uint64_t kDeltaForBlock = 8;
+
+/// Min/max of the sort key (ValueOf) over one kDeltaForBlock-element block,
+/// computed by the typed caller (the codec itself is byte-blind and cannot
+/// evaluate the key). Embedded f32-rounded outward, so a skip decision made
+/// from the stored zone is always conservative.
+struct ValueZone {
+  double min = 0.0;
+  double max = 0.0;
+};
+
 /// Encodes `count` elements of `value_size` bytes each with the given codec.
 /// Returns std::nullopt when the codec does not apply to this element width
 /// (kDeltaFor needs width in {1,2,4} or a multiple of 8; kDict bails past
 /// 65536 distinct values, where narrow indexes cannot win). Never called
-/// with kRaw.
-std::optional<std::vector<std::byte>> EncodeSegment(SegmentCodec codec,
-                                                    const std::byte* data,
-                                                    size_t value_size,
-                                                    uint64_t count);
+/// with kRaw. `zones` (optional, kDeltaFor only) is the per-block sort-key
+/// zone map -- ceil(count / kDeltaForBlock) entries or empty; blobs encoded
+/// without zones decode identically but range scans cannot skip blocks.
+std::optional<std::vector<std::byte>> EncodeSegment(
+    SegmentCodec codec, const std::byte* data, size_t value_size,
+    uint64_t count, std::span<const ValueZone> zones = {});
 
 /// Decodes a self-describing blob back to the raw little-endian value array.
 /// Dies on a corrupt blob (bad magic, truncated body, count mismatch).
@@ -90,8 +112,10 @@ struct EncodedPayload {
 /// Trial-encodes every applicable codec and returns the smallest result,
 /// falling back to kRaw unless the winner is at most `max_fraction` of the
 /// raw size -- marginal wins are not worth the decode CPU on later scans.
+/// `zones` is forwarded to the kDeltaFor trial (see EncodeSegment).
 EncodedPayload ChooseSegmentEncoding(const std::byte* data, size_t value_size,
-                                     uint64_t count, double max_fraction);
+                                     uint64_t count, double max_fraction,
+                                     std::span<const ValueZone> zones = {});
 
 }  // namespace socs
 

@@ -12,7 +12,7 @@ void SegmentSpace::Free(SegmentId id) {
 
 void SegmentSpace::AccountScan(SegmentId id, uint64_t bytes,
                                uint64_t decode_bytes, IoCost* cost,
-                               IoLane* lane) {
+                               IoLane* lane, bool kernel) {
   if (lane == nullptr) {
     // Sequential path: live pool touch, direct charge.
     const bool hit = pool_.Touch(id, bytes);
@@ -23,6 +23,7 @@ void SegmentSpace::AccountScan(SegmentId id, uint64_t bytes,
       ++stats_.segments_scanned;
       if (!hit) stats_.disk_read_bytes += bytes;
       stats_.decode_bytes += decode_bytes;
+      if (kernel) ++stats_.kernel_scans;
       ++scan_counts_[id];
     }
     seconds += hit ? model().MemRead(bytes) : model().DiskRead(bytes);
@@ -46,6 +47,7 @@ void SegmentSpace::AccountScan(SegmentId id, uint64_t bytes,
   lane->stats.mem_read_bytes += bytes;
   ++lane->stats.segments_scanned;
   lane->stats.decode_bytes += decode_bytes;
+  if (kernel) ++lane->stats.kernel_scans;
   double seconds = model().SegmentOverhead();
   if (hit) {
     seconds += model().MemRead(bytes);

@@ -35,6 +35,7 @@
 #include "sim/io_lane.h"
 #include "sim/io_stats.h"
 #include "storage/buffer_pool.h"
+#include "storage/scan_kernels.h"
 #include "storage/secondary_store.h"
 #include "storage/segment_codec.h"
 
@@ -73,6 +74,20 @@ class SegmentSpace {
     double max_physical_fraction = 0.9;
     /// Segments smaller than this stay raw (headers would dominate).
     uint64_t min_encode_bytes = 512;
+    /// Scan kernels (storage/scan_kernels.h): range predicates evaluate
+    /// directly on encoded payloads, decoding only qualifying bytes. On by
+    /// default; turning it off restores decode-then-filter on every scan,
+    /// which is the differential oracle the parity suites compare against.
+    /// Irrelevant while `compression` is off (raw charges are identical).
+    bool kernels = true;
+    /// With kernels on, encoded segments are cheap to range-scan (no full
+    /// decode), so the CompressionAdvisor's "cold" test loosens: a raw
+    /// segment may take up to this many metered scans per sweep period and
+    /// still be re-encoded -- trading a little kernel decode CPU for pool
+    /// bytes. Ignored (effective 0: strictly unmoved) when kernels are off.
+    /// Ablations that isolate the kernel effect pin this to 0 so both cells
+    /// encode the identical segment population.
+    uint64_t kernel_heat_tolerance = 2;
   };
 
   /// pool_capacity_bytes == 0 -> unbounded buffer pool (pure in-memory run,
@@ -100,9 +115,11 @@ class SegmentSpace {
     double encode_seconds = 0.0;
     uint64_t encoded_logical = 0;
     if (ShouldTryEncode(hint, logical)) {
+      const std::vector<ValueZone> zones =
+          BuildValueZones(values.data(), values.size());
       EncodedPayload enc = ChooseSegmentEncoding(
           reinterpret_cast<const std::byte*>(values.data()), sizeof(T),
-          values.size(), options_.max_physical_fraction);
+          values.size(), options_.max_physical_fraction, zones);
       if (enc.codec != SegmentCodec::kRaw) {
         physical = enc.bytes.size();
         id = store_.CreateEncoded(std::move(enc.bytes), enc.codec, logical);
@@ -206,9 +223,11 @@ class SegmentSpace {
     const uint64_t logical = store_.LogicalSizeOf(id);
     if (logical < options_.min_encode_bytes) return id;
     auto span = Scan<T>(id, read);
+    const std::vector<ValueZone> zones =
+        BuildValueZones(span.data(), span.size());
     EncodedPayload enc = ChooseSegmentEncoding(
         reinterpret_cast<const std::byte*>(span.data()), sizeof(T),
-        span.size(), options_.max_physical_fraction);
+        span.size(), options_.max_physical_fraction, zones);
     if (enc.codec == SegmentCodec::kRaw) return id;
     const uint64_t physical = enc.bytes.size();
     SegmentId fresh = store_.CreateEncoded(std::move(enc.bytes), enc.codec,
@@ -261,6 +280,55 @@ class SegmentSpace {
     return store_.ReadTyped<T>(id);
   }
 
+  /// True when a scan of this segment would run through a kernel: kernels
+  /// enabled, valid id (cracking scans its own array under kInvalidSegment),
+  /// encoded payload. Callers use this to decide between Scan + filter and
+  /// ScanFiltered, so mode and accounting agree.
+  bool KernelEligible(SegmentId id) const {
+    return options_.kernels && id != kInvalidSegment &&
+           store_.CodecOf(id) != SegmentCodec::kRaw;
+  }
+
+  /// Metered kernel scan: evaluates the half-open [lo, hi) predicate over
+  /// ValueOf directly on the segment's payload, appending qualifying
+  /// elements to `out` in logical order (null `out` = count + charges only,
+  /// the shared-scan replay mode -- charges are identical either way).
+  /// Returns the qualifying count.
+  ///
+  /// Charges a memory read of the physical bytes exactly like Scan (the
+  /// whole encoded blob still travels through the pool) but decode CPU only
+  /// for the bytes the kernel actually inflated -- that difference is the
+  /// point of the kernels and is what the decode_bytes counters surface.
+  /// Falls back to Scan + raw filter (full decode charge, identical result
+  /// bytes) when kernels are off or the payload is raw.
+  template <typename T>
+  uint64_t ScanFiltered(SegmentId id, double lo, double hi,
+                        std::vector<T>* out, IoCost* cost,
+                        IoLane* lane = nullptr) {
+    if (!KernelEligible(id)) {
+      auto span = Scan<T>(id, cost, lane);
+      return ScanRawSegment<T>(span, lo, hi, out);
+    }
+    auto blob = store_.ReadPhysical(id);
+    const KernelStats ks = ScanEncodedSegment<T>(blob, lo, hi, out);
+    AccountScan(id, blob.size(), ks.decode_bytes, cost, lane,
+                /*kernel=*/true);
+    return ks.matched;
+  }
+
+  /// Unmetered counterpart of ScanFiltered; the kernel analog of Peek. Used
+  /// by the shared-scan fan-out to refilter one producer's segment for
+  /// sibling consumers whose predicates differ (their charges were already
+  /// replayed via ScanFiltered's count-only mode).
+  template <typename T>
+  uint64_t PeekFiltered(SegmentId id, double lo, double hi,
+                        std::vector<T>* out) const {
+    if (!KernelEligible(id)) {
+      return ScanRawSegment<T>(store_.ReadTyped<T>(id), lo, hi, out);
+    }
+    return ScanEncodedSegment<T>(store_.ReadPhysical(id), lo, hi, out).matched;
+  }
+
   /// Merges a lane's accumulated stats into the shared IoStats and replays
   /// its journaled pool touches. Queries commit their lanes in cover order,
   /// which keeps the merged stats byte-identical (and the pool's LRU
@@ -299,7 +367,18 @@ class SegmentSpace {
   }
   size_t segment_count() const { return store_.segment_count(); }
   bool compression_enabled() const { return options_.compression; }
+  bool kernels_enabled() const { return options_.kernels; }
   const Options& options() const { return options_; }
+
+  /// Decode-cache bytes (storage/secondary_store.h): logical buffers the
+  /// store holds for encoded blobs that took a full-decode read. Surfaced so
+  /// footprint reports count this memory; kernels shrink it by avoiding the
+  /// full-decode path entirely.
+  uint64_t decoded_cache_bytes() const { return store_.decoded_cache_bytes(); }
+  uint64_t DecodedCacheBytesOf(SegmentId id) const {
+    return store_.DecodedCacheBytesOf(id);
+  }
+  void DropDecodedCache(SegmentId id) { store_.DropDecodedCache(id); }
 
   /// Metered scans of this segment so far (direct + committed lanes) -- the
   /// access counter the CompressionAdvisor reads to tell hot from cold.
@@ -328,7 +407,7 @@ class SegmentSpace {
   }
 
   void AccountScan(SegmentId id, uint64_t bytes, uint64_t decode_bytes,
-                   IoCost* cost, IoLane* lane);
+                   IoCost* cost, IoLane* lane, bool kernel = false);
 
   CostModel cost_;
   SecondaryStore store_;

@@ -287,9 +287,33 @@ TEST(CompressionAdvisorTest, ScannedSegmentsStayHot) {
   CompressionAdvisor advisor(&space);
   EXPECT_FALSE(advisor.IsColdRawCandidate(id, 4000));
   IoCost scan;
-  space.Scan<int32_t>(id, &scan);  // the workload touched it between sweeps
+  // With kernels on (the default), encoded segments are cheap to scan, so
+  // "hot" means more than kernel_heat_tolerance metered scans per sweep.
+  for (int i = 0; i < 3; ++i) space.Scan<int32_t>(id, &scan);
   EXPECT_FALSE(advisor.IsColdRawCandidate(id, 4000));
   EXPECT_TRUE(advisor.IsColdRawCandidate(id, 4000));  // now idle again
+}
+
+TEST(CompressionAdvisorTest, KernelHeatToleranceOnlyWithKernels) {
+  // Kernels off: the strict pre-kernel rule -- any movement keeps it hot.
+  SegmentSpace::Options no_kernels = CompressionOn();
+  no_kernels.kernels = false;
+  SegmentSpace strict(CostParams{}, 0, no_kernels);
+  IoCost c;
+  const SegmentId a = strict.Create(std::vector<int32_t>(1000, 1), &c);
+  CompressionAdvisor strict_adv(&strict);
+  EXPECT_FALSE(strict_adv.IsColdRawCandidate(a, 4000));  // baseline
+  IoCost scan;
+  strict.Scan<int32_t>(a, &scan);
+  EXPECT_FALSE(strict_adv.IsColdRawCandidate(a, 4000));
+  // Kernels on: the same single scan per sweep is within tolerance --
+  // encoding a mildly-warm segment pays off when scans skip the decode.
+  SegmentSpace tolerant(CostParams{}, 0, CompressionOn());
+  const SegmentId b = tolerant.Create(std::vector<int32_t>(1000, 1), &c);
+  CompressionAdvisor tolerant_adv(&tolerant);
+  EXPECT_FALSE(tolerant_adv.IsColdRawCandidate(b, 4000));  // baseline
+  tolerant.Scan<int32_t>(b, &scan);
+  EXPECT_TRUE(tolerant_adv.IsColdRawCandidate(b, 4000));
 }
 
 TEST(CompressionAdvisorTest, TriedAndTinySegmentsAreSkipped) {

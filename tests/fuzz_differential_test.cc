@@ -342,11 +342,12 @@ struct ServerRun {
 ServerRun RunServer(size_t kind, uint64_t seed, bool shared_scans,
                     size_t clients, size_t executors,
                     const std::vector<std::string>& script,
-                    bool compression = false) {
+                    bool compression = false, bool kernels = true) {
   ServerRun out;
   Catalog cat;
   SegmentSpace::Options sopts;
   sopts.compression = compression;
+  sopts.kernels = kernels;
   SegmentSpace space(CostParams{}, /*pool_capacity_bytes=*/0, sopts);
   TaskScheduler sched(1);
   AddFuzzTable(kind, seed, &cat, &space);
@@ -517,6 +518,54 @@ TEST(FuzzDifferential, CompressedVsRawServerRandomizedTraffic) {
   const uint64_t iters = EnvU64("SOCS_FUZZ_ITERS", 6);
   for (uint64_t i = 0; i < iters; ++i) {
     FuzzCompressedVsRawOnce(base + 2000 + i);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+/// One randomized kernels-on-vs-off round: compression ON on both servers,
+/// the scan kernels toggled. Kernels change only *how* encoded segments are
+/// filtered (and therefore the decode-CPU charges in the #stats trailer);
+/// reply rows and result counts must be byte-identical -- the kernels-off
+/// server is the decode-then-filter differential oracle.
+void FuzzKernelsOnVsOffOnce(uint64_t seed) {
+  SCOPED_TRACE("reproduce with SOCS_FUZZ_SEED=" + std::to_string(seed));
+  Rng meta(seed);
+  const size_t kind = static_cast<size_t>(meta.NextInt(0, kNumStrategies - 1));
+  const bool shared = meta.NextInt(0, 1) == 1;
+  SCOPED_TRACE("kind=" + std::to_string(kind) +
+               " shared=" + std::to_string(shared));
+  const std::vector<std::string> script = MakeFuzzScript(kind, seed, 40);
+  const ServerRun off = RunServer(kind, seed, shared, 1, 2, script,
+                                  /*compression=*/true, /*kernels=*/false);
+  if (::testing::Test::HasFatalFailure()) return;
+  const ServerRun on = RunServer(kind, seed, shared, 1, 2, script,
+                                 /*compression=*/true, /*kernels=*/true);
+  if (::testing::Test::HasFatalFailure()) return;
+  ASSERT_EQ(off.replies.size(), on.replies.size());
+  for (size_t i = 0; i < off.replies.size(); ++i) {
+    std::istringstream o2(off.replies[i]), n2(on.replies[i]);
+    auto po = server::ParseReply(
+        [&](std::string* l) { return static_cast<bool>(std::getline(o2, *l)); });
+    auto pn = server::ParseReply(
+        [&](std::string* l) { return static_cast<bool>(std::getline(n2, *l)); });
+    ASSERT_TRUE(po.ok() && pn.ok()) << "statement " << i;
+    ASSERT_EQ(po->ok, pn->ok) << "statement " << i << ": " << script[i];
+    ASSERT_EQ(po->error, pn->error) << "statement " << i;
+    ASSERT_EQ(po->columns, pn->columns) << "statement " << i;
+    std::vector<std::string> orows = po->rows, nrows = pn->rows;
+    std::sort(orows.begin(), orows.end());
+    std::sort(nrows.begin(), nrows.end());
+    ASSERT_EQ(orows, nrows) << "statement " << i << ": " << script[i];
+    ASSERT_EQ(po->stats.result_count, pn->stats.result_count)
+        << "statement " << i;
+  }
+}
+
+TEST(FuzzDifferential, KernelsOnVsOffServerRandomizedTraffic) {
+  const uint64_t base = EnvU64("SOCS_FUZZ_SEED", 20260808);
+  const uint64_t iters = EnvU64("SOCS_FUZZ_ITERS", 6);
+  for (uint64_t i = 0; i < iters; ++i) {
+    FuzzKernelsOnVsOffOnce(base + 3000 + i);
     if (::testing::Test::HasFatalFailure()) return;
   }
 }

@@ -1,0 +1,553 @@
+// Scan kernels (storage/scan_kernels.h): per-codec selection over encoded
+// payloads without materializing them. Covers the kernel contract -- result
+// bytes identical to decode-then-filter, KernelStats a pure function of
+// (blob, lo, hi) -- the per-codec mechanics (RLE run straddling, the dict
+// qualifying-code table and its 65536-distinct bailout, delta-FOR zone-map
+// block skipping with and without zones), the SegmentSpace metering seam
+// (ScanFiltered / PeekFiltered, partial-decode charges, the kernel_scans
+// counter, the decode-cache gauge), and the headline parity: every strategy
+// returns byte-identical result sets with kernels on and off.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/units.h"
+#include "core/adaptive_replication.h"
+#include "core/adaptive_segmentation.h"
+#include "core/apm.h"
+#include "core/cracking.h"
+#include "core/deferred_segmentation.h"
+#include "core/non_segmented.h"
+#include "core/positional_blocks.h"
+#include "core/static_partition.h"
+#include "storage/scan_kernels.h"
+#include "storage/segment_codec.h"
+#include "storage/segment_space.h"
+#include "test_util.h"
+#include "workload/range_generator.h"
+
+namespace socs {
+namespace {
+
+using testing::SortedValues;
+
+const ValueRange kDomain(0.0, 360.0);
+constexpr size_t kNumStrategies = 7;
+
+SegmentSpace::Options SpaceOptions(bool kernels) {
+  SegmentSpace::Options o;
+  o.compression = true;
+  o.kernels = kernels;
+  return o;
+}
+
+/// Decode-then-filter oracle over the original values, preserving order.
+template <typename T>
+std::vector<T> Oracle(const std::vector<T>& values, double lo, double hi) {
+  std::vector<T> out;
+  for (const T& v : values) {
+    const double d = ValueOf(v);
+    if (d >= lo && d < hi) out.push_back(v);
+  }
+  return out;
+}
+
+template <typename T>
+void ExpectSameElements(const std::vector<T>& got, const std::vector<T>& want,
+                        const char* what) {
+  ASSERT_EQ(got.size(), want.size()) << what;
+  if (!want.empty()) {
+    EXPECT_EQ(std::memcmp(got.data(), want.data(), want.size() * sizeof(T)), 0)
+        << what << ": element bytes differ";
+  }
+}
+
+/// Encodes `values` under `codec`, runs the kernel twice (emitting and
+/// count-only), and checks both the result bytes against the oracle and the
+/// stats against the contract (identical with and without `out`). Returns
+/// the stats for codec-specific assertions.
+template <typename T>
+KernelStats CheckKernel(SegmentCodec codec, const std::vector<T>& values,
+                        double lo, double hi,
+                        std::span<const ValueZone> zones = {}) {
+  auto encoded =
+      EncodeSegment(codec, reinterpret_cast<const std::byte*>(values.data()),
+                    sizeof(T), values.size(), zones);
+  EXPECT_TRUE(encoded.has_value()) << SegmentCodecName(codec);
+  if (!encoded.has_value()) return {};
+  const std::vector<T> want = Oracle(values, lo, hi);
+  std::vector<T> got;
+  const KernelStats ks = ScanEncodedSegment<T>(*encoded, lo, hi, &got);
+  ExpectSameElements(got, want, SegmentCodecName(codec));
+  EXPECT_EQ(ks.matched, want.size()) << SegmentCodecName(codec);
+  // Count-only mode must meter identically (the shared-scan replay relies
+  // on this).
+  const KernelStats counted =
+      ScanEncodedSegment<T>(*encoded, lo, hi, /*out=*/nullptr);
+  EXPECT_EQ(counted.matched, ks.matched);
+  EXPECT_EQ(counted.decode_bytes, ks.decode_bytes);
+  EXPECT_EQ(counted.blocks_skipped, ks.blocks_skipped);
+  EXPECT_EQ(counted.blocks_scanned, ks.blocks_scanned);
+  EXPECT_EQ(counted.runs_scanned, ks.runs_scanned);
+  return ks;
+}
+
+// ---------------------------------------------------------------------------
+// Raw kernel
+// ---------------------------------------------------------------------------
+
+TEST(ScanKernelTest, RawKernelMatchesBranchingFilter) {
+  Rng rng(7);
+  std::vector<double> values;
+  for (int i = 0; i < 5000; ++i) values.push_back(rng.NextUniform(0.0, 100.0));
+  values.push_back(25.0);  // exact boundary hits
+  values.push_back(75.0);
+  std::span<const double> span(values);
+  for (auto [lo, hi] : {std::pair{25.0, 75.0}, {0.0, 100.0}, {50.0, 50.0},
+                        {-10.0, 0.0}, {99.999, 200.0}}) {
+    std::vector<double> got;
+    const uint64_t n = ScanRawSegment<double>(span, lo, hi, &got);
+    const std::vector<double> want = Oracle(values, lo, hi);
+    EXPECT_EQ(n, want.size());
+    ExpectSameElements(got, want, "raw kernel");
+    // Null-out mode returns the same count.
+    EXPECT_EQ(ScanRawSegment<double>(span, lo, hi, nullptr), n);
+  }
+  // Half-open semantics at the exact boundaries.
+  EXPECT_EQ(ScanRawSegment<double>(span, 25.0, 25.5, nullptr),
+            Oracle(values, 25.0, 25.5).size());
+  std::vector<double> empty;
+  EXPECT_EQ(ScanRawSegment<double>(std::span<const double>(empty), 0.0, 1.0,
+                                   nullptr),
+            0u);
+}
+
+TEST(ScanKernelTest, RawKernelAppendsAfterExistingOutput) {
+  const std::vector<double> values = {1.0, 5.0, 9.0};
+  std::vector<double> out = {42.0};
+  ScanRawSegment<double>(values, 0.0, 6.0, &out);
+  const std::vector<double> want = {42.0, 1.0, 5.0};
+  ExpectSameElements(out, want, "append");
+}
+
+// ---------------------------------------------------------------------------
+// RLE kernel
+// ---------------------------------------------------------------------------
+
+TEST(ScanKernelTest, RleEmitsQualifyingRunsWholesale) {
+  std::vector<double> values;
+  values.insert(values.end(), 100, 10.0);
+  values.insert(values.end(), 50, 20.0);
+  values.insert(values.end(), 200, 30.0);
+  values.insert(values.end(), 1, 40.0);
+  // A range straddling run boundaries: picks up the 20.0 and 30.0 runs.
+  KernelStats ks = CheckKernel(SegmentCodec::kRle, values, 15.0, 35.0);
+  EXPECT_EQ(ks.matched, 250u);
+  EXPECT_EQ(ks.runs_scanned, 4u);  // every run is inspected...
+  EXPECT_EQ(ks.decode_bytes, 250u * sizeof(double));  // ...matches inflate
+  // Run-interior boundaries: [20.0, 30.0) takes the 20.0 run only.
+  ks = CheckKernel(SegmentCodec::kRle, values, 20.0, 30.0);
+  EXPECT_EQ(ks.matched, 50u);
+  // Empty predicate inflates nothing.
+  ks = CheckKernel(SegmentCodec::kRle, values, 12.0, 13.0);
+  EXPECT_EQ(ks.matched, 0u);
+  EXPECT_EQ(ks.decode_bytes, 0u);
+  // Full-domain predicate emits everything.
+  ks = CheckKernel(SegmentCodec::kRle, values, 0.0, 100.0);
+  EXPECT_EQ(ks.matched, values.size());
+}
+
+TEST(ScanKernelTest, RleHandlesOidValueElements) {
+  std::vector<OidValue> values;
+  for (int r = 0; r < 20; ++r) {
+    for (int i = 0; i < 37; ++i) {
+      values.push_back({static_cast<uint64_t>(r), r * 5.0});
+    }
+  }
+  const KernelStats ks = CheckKernel(SegmentCodec::kRle, values, 25.0, 50.0);
+  EXPECT_EQ(ks.matched, 5u * 37u);
+  EXPECT_EQ(ks.runs_scanned, 20u);
+}
+
+TEST(ScanKernelTest, RleEmptyPayload) {
+  const KernelStats ks =
+      CheckKernel(SegmentCodec::kRle, std::vector<double>{}, 0.0, 1.0);
+  EXPECT_EQ(ks.matched, 0u);
+  EXPECT_EQ(ks.runs_scanned, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Dict kernel
+// ---------------------------------------------------------------------------
+
+TEST(ScanKernelTest, DictFiltersThroughQualifyingCodeTable) {
+  Rng rng(11);
+  std::vector<double> values;
+  for (int i = 0; i < 8000; ++i) {
+    values.push_back(std::floor(rng.NextUniform(0.0, 200.0)));
+  }
+  const KernelStats ks = CheckKernel(SegmentCodec::kDict, values, 50.0, 60.0);
+  // decode_bytes = dictionary + emitted elements, never the full payload.
+  EXPECT_EQ(ks.decode_bytes, (200u + ks.matched) * sizeof(double));
+  EXPECT_LT(ks.decode_bytes, values.size() * sizeof(double));
+  // Boundary and degenerate predicates.
+  CheckKernel(SegmentCodec::kDict, values, 0.0, 200.0);
+  CheckKernel(SegmentCodec::kDict, values, 59.0, 59.0);
+  CheckKernel(SegmentCodec::kDict, values, -5.0, 0.5);
+}
+
+TEST(ScanKernelTest, DictWideIndexesAndOidValues) {
+  // > 256 distinct values forces u16 indexes.
+  std::vector<double> values;
+  for (int i = 0; i < 6000; ++i) values.push_back((i % 500) * 0.5);
+  CheckKernel(SegmentCodec::kDict, values, 100.0, 150.0);
+  // 16-byte elements: distinct (oid, value) pairs repeat in a cycle.
+  std::vector<OidValue> pairs;
+  for (int i = 0; i < 3000; ++i) {
+    pairs.push_back({static_cast<uint64_t>(i % 40), (i % 40) * 9.0});
+  }
+  CheckKernel(SegmentCodec::kDict, pairs, 90.0, 270.0);
+}
+
+TEST(ScanKernelTest, DictBailsOutPast64KDistinct) {
+  std::vector<int32_t> values(70000);
+  for (int i = 0; i < 70000; ++i) values[i] = i;  // all distinct
+  const auto encoded = EncodeSegment(
+      SegmentCodec::kDict, reinterpret_cast<const std::byte*>(values.data()),
+      sizeof(int32_t), values.size());
+  EXPECT_FALSE(encoded.has_value())
+      << "dict must bail past 65536 distinct values";
+}
+
+// ---------------------------------------------------------------------------
+// Delta-FOR kernel
+// ---------------------------------------------------------------------------
+
+TEST(ScanKernelTest, DeltaForSkipsBlocksViaZoneMap) {
+  // Sorted values: each kDeltaForBlock-element block owns a narrow value
+  // interval, so a selective predicate prunes almost all of them.
+  std::vector<double> values;
+  for (int i = 0; i < 800; ++i) values.push_back(i * 0.45);
+  const auto zones = BuildValueZones(values.data(), values.size());
+  const KernelStats ks =
+      CheckKernel(SegmentCodec::kDeltaFor, values, 100.0, 110.0, zones);
+  const uint64_t blocks = (values.size() + kDeltaForBlock - 1) / kDeltaForBlock;
+  EXPECT_EQ(ks.blocks_skipped + ks.blocks_scanned, blocks);
+  EXPECT_GT(ks.blocks_skipped, blocks * 9 / 10);
+  EXPECT_EQ(ks.decode_bytes, ks.blocks_scanned * kDeltaForBlock *
+                                 sizeof(double));
+  // An empty predicate skips every block: nothing is inflated at all.
+  const KernelStats none =
+      CheckKernel(SegmentCodec::kDeltaFor, values, 1000.0, 2000.0, zones);
+  EXPECT_EQ(none.blocks_scanned, 0u);
+  EXPECT_EQ(none.decode_bytes, 0u);
+}
+
+TEST(ScanKernelTest, DeltaForWithoutZonesDecodesEveryBlock) {
+  std::vector<double> values;
+  for (int i = 0; i < 800; ++i) values.push_back(i * 0.45);
+  // Same blob minus the zone map: correctness is unchanged, skipping is off.
+  const KernelStats ks =
+      CheckKernel(SegmentCodec::kDeltaFor, values, 100.0, 110.0);
+  EXPECT_EQ(ks.blocks_skipped, 0u);
+  EXPECT_EQ(ks.blocks_scanned,
+            (values.size() + kDeltaForBlock - 1) / kDeltaForBlock);
+}
+
+TEST(ScanKernelTest, DeltaForUnsortedAndPartialTailBlock) {
+  Rng rng(23);
+  std::vector<double> values;
+  for (int i = 0; i < 1003; ++i) {  // non-multiple of kDeltaForBlock
+    values.push_back(rng.NextUniform(0.0, 360.0));
+  }
+  const auto zones = BuildValueZones(values.data(), values.size());
+  CheckKernel(SegmentCodec::kDeltaFor, values, 90.0, 120.0, zones);
+  CheckKernel(SegmentCodec::kDeltaFor, values, 0.0, 360.0, zones);
+  CheckKernel(SegmentCodec::kDeltaFor, values, 359.9, 360.0, zones);
+}
+
+TEST(ScanKernelTest, DeltaForMultiLaneOidValues) {
+  // 16-byte elements split into two u64 lanes; values sorted so zones bite.
+  std::vector<OidValue> pairs;
+  for (int i = 0; i < 640; ++i) {
+    pairs.push_back({static_cast<uint64_t>(i * 3), i * 0.5});
+  }
+  const auto zones = BuildValueZones(pairs.data(), pairs.size());
+  const KernelStats ks =
+      CheckKernel(SegmentCodec::kDeltaFor, pairs, 40.0, 44.0, zones);
+  EXPECT_GT(ks.blocks_skipped, 0u);
+  CheckKernel(SegmentCodec::kDeltaFor, pairs, 0.0, 1000.0, zones);
+  CheckKernel(SegmentCodec::kDeltaFor, std::vector<OidValue>{}, 0.0, 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// SegmentSpace::ScanFiltered / PeekFiltered metering
+// ---------------------------------------------------------------------------
+
+std::vector<double> QuantizedDoubles(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back(std::floor(rng.NextUniform(kDomain.lo, kDomain.hi)));
+  }
+  return out;
+}
+
+TEST(ScanFilteredTest, MatchesScanPlusFilterAndChargesPartialDecode) {
+  SegmentSpace space(CostParams{}, 0, SpaceOptions(/*kernels=*/true));
+  const auto values = QuantizedDoubles(10000, 31);
+  IoCost create;
+  const SegmentId id =
+      space.Create(values, &create, CompressionHint::kCold);
+  ASSERT_NE(space.CodecOf(id), SegmentCodec::kRaw)
+      << "quantized payload should encode";
+  ASSERT_TRUE(space.KernelEligible(id));
+  const uint64_t logical = space.LogicalSizeOf(id);
+
+  IoCost cost;
+  std::vector<double> got;
+  const uint64_t n = space.ScanFiltered<double>(id, 50.0, 60.0, &got, &cost);
+  const std::vector<double> want = Oracle(values, 50.0, 60.0);
+  EXPECT_EQ(n, want.size());
+  ExpectSameElements(got, want, "ScanFiltered");
+  // Physical bytes still travel in full; decode CPU only for inflated bytes.
+  EXPECT_EQ(cost.bytes, space.PhysicalSizeOf(id));
+  EXPECT_GT(cost.decode_bytes, 0u);
+  EXPECT_LT(cost.decode_bytes, logical);
+  EXPECT_EQ(space.stats().kernel_scans, 1u);
+  EXPECT_EQ(space.stats().decode_bytes, cost.decode_bytes);
+
+  // Count-only mode: same charges, no output (the shared-scan replay path).
+  IoCost replay;
+  EXPECT_EQ(space.ScanFiltered<double>(id, 50.0, 60.0, nullptr, &replay), n);
+  EXPECT_EQ(replay.bytes, cost.bytes);
+  EXPECT_EQ(replay.decode_bytes, cost.decode_bytes);
+  EXPECT_EQ(space.stats().kernel_scans, 2u);
+
+  // The kernel path must never populate the full-decode cache.
+  EXPECT_EQ(space.decoded_cache_bytes(), 0u);
+}
+
+TEST(ScanFilteredTest, KernelsOffFallsBackToFullDecode) {
+  SegmentSpace space(CostParams{}, 0, SpaceOptions(/*kernels=*/false));
+  const auto values = QuantizedDoubles(10000, 31);
+  const SegmentId id = space.Create(values, nullptr, CompressionHint::kCold);
+  ASSERT_NE(space.CodecOf(id), SegmentCodec::kRaw);
+  EXPECT_FALSE(space.KernelEligible(id));
+
+  IoCost cost;
+  std::vector<double> got;
+  const uint64_t n = space.ScanFiltered<double>(id, 50.0, 60.0, &got, &cost);
+  const std::vector<double> want = Oracle(values, 50.0, 60.0);
+  EXPECT_EQ(n, want.size());
+  ExpectSameElements(got, want, "fallback");
+  // Decode-then-filter charges the whole logical payload.
+  EXPECT_EQ(cost.decode_bytes, space.LogicalSizeOf(id));
+  EXPECT_EQ(space.stats().kernel_scans, 0u);
+}
+
+TEST(ScanFilteredTest, RawSegmentsNeverUseTheKernelCounter) {
+  SegmentSpace space(CostParams{}, 0, SpaceOptions(/*kernels=*/true));
+  const auto values = QuantizedDoubles(2000, 5);
+  // Hot hint: stored raw even with compression on.
+  const SegmentId id = space.Create(values, nullptr, CompressionHint::kHot);
+  ASSERT_EQ(space.CodecOf(id), SegmentCodec::kRaw);
+  EXPECT_FALSE(space.KernelEligible(id));
+  IoCost cost;
+  std::vector<double> got;
+  space.ScanFiltered<double>(id, 10.0, 20.0, &got, &cost);
+  ExpectSameElements(got, Oracle(values, 10.0, 20.0), "raw via ScanFiltered");
+  EXPECT_EQ(cost.decode_bytes, 0u);
+  EXPECT_EQ(space.stats().kernel_scans, 0u);
+}
+
+TEST(ScanFilteredTest, PeekFilteredIsUnmetered) {
+  SegmentSpace space(CostParams{}, 0, SpaceOptions(/*kernels=*/true));
+  const auto values = QuantizedDoubles(10000, 43);
+  const SegmentId id = space.Create(values, nullptr, CompressionHint::kCold);
+  const IoStats before = space.stats();
+  std::vector<double> got;
+  const uint64_t n = space.PeekFiltered<double>(id, 100.0, 140.0, &got);
+  ExpectSameElements(got, Oracle(values, 100.0, 140.0), "PeekFiltered");
+  EXPECT_EQ(n, got.size());
+  const IoStats after = space.stats();
+  EXPECT_EQ(after.mem_read_bytes, before.mem_read_bytes);
+  EXPECT_EQ(after.decode_bytes, before.decode_bytes);
+  EXPECT_EQ(after.kernel_scans, before.kernel_scans);
+}
+
+// ---------------------------------------------------------------------------
+// Decode-cache accounting (satellite: SecondaryStore gauge + Footprint)
+// ---------------------------------------------------------------------------
+
+TEST(DecodeCacheTest, FullDecodeFillsDropAndFreeRelease) {
+  SegmentSpace space(CostParams{}, 0, SpaceOptions(/*kernels=*/true));
+  const auto values = QuantizedDoubles(10000, 99);
+  const SegmentId id = space.Create(values, nullptr, CompressionHint::kCold);
+  ASSERT_NE(space.CodecOf(id), SegmentCodec::kRaw);
+  const uint64_t logical = space.LogicalSizeOf(id);
+  EXPECT_EQ(space.decoded_cache_bytes(), 0u);
+
+  // A full-materialization scan (mode-0 delivery shape) decodes and caches.
+  IoCost cost;
+  (void)space.Scan<double>(id, &cost);
+  EXPECT_EQ(space.decoded_cache_bytes(), logical);
+  EXPECT_EQ(space.DecodedCacheBytesOf(id), logical);
+  // Re-scanning reuses the cache; the gauge must not double-count.
+  (void)space.Scan<double>(id, &cost);
+  EXPECT_EQ(space.decoded_cache_bytes(), logical);
+
+  space.DropDecodedCache(id);
+  EXPECT_EQ(space.decoded_cache_bytes(), 0u);
+  EXPECT_EQ(space.DecodedCacheBytesOf(id), 0u);
+  // Dropping an uncached segment is a no-op; a later scan refills.
+  space.DropDecodedCache(id);
+  (void)space.Scan<double>(id, &cost);
+  EXPECT_EQ(space.decoded_cache_bytes(), logical);
+
+  space.Free(id);
+  EXPECT_EQ(space.decoded_cache_bytes(), 0u);
+}
+
+TEST(DecodeCacheTest, RawSegmentsNeverEnterTheGauge) {
+  SegmentSpace space(CostParams{}, 0, SpaceOptions(/*kernels=*/true));
+  const auto values = QuantizedDoubles(2000, 7);
+  const SegmentId id = space.Create(values, nullptr, CompressionHint::kHot);
+  IoCost cost;
+  (void)space.Scan<double>(id, &cost);
+  EXPECT_EQ(space.decoded_cache_bytes(), 0u);
+  EXPECT_EQ(space.DecodedCacheBytesOf(id), 0u);
+}
+
+TEST(DecodeCacheTest, FootprintReportsDecodeCacheBytes) {
+  // Kernels off: strategy scans take the full-decode path and the cache
+  // shows up in the storage footprint. Kernels on: the cache stays empty.
+  for (const bool kernels : {false, true}) {
+    SegmentSpace space(CostParams{}, 0, SpaceOptions(kernels));
+    auto values = QuantizedDoubles(20000, 13);
+    NonSegmented<double> strat(std::move(values), kDomain, &space);
+    std::vector<double> out;
+    (void)strat.RunRange(ValueRange(40.0, 80.0), &out);
+    const StorageFootprint fp = strat.Footprint();
+    EXPECT_EQ(fp.decode_cache_bytes, space.decoded_cache_bytes());
+    if (kernels) {
+      EXPECT_EQ(fp.decode_cache_bytes, 0u)
+          << "kernel scans must not populate the decode cache";
+    } else {
+      EXPECT_GT(fp.decode_cache_bytes, 0u)
+          << "full-decode scans should surface cache bytes in the footprint";
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Strategy parity: kernels ON delivers the same result sets as OFF
+// ---------------------------------------------------------------------------
+
+std::unique_ptr<AccessStrategy<OidValue>> MakeOidStrategy(
+    size_t kind, std::vector<OidValue> pairs, SegmentSpace* space) {
+  auto model = std::make_unique<Apm>(8 * kKiB, 32 * kKiB);
+  switch (kind) {
+    case 0:
+      return std::make_unique<NonSegmented<OidValue>>(std::move(pairs), kDomain,
+                                                      space);
+    case 1:
+      return std::make_unique<StaticPartition<OidValue>>(std::move(pairs),
+                                                         kDomain, 8, space);
+    case 2:
+      return std::make_unique<PositionalBlocks<OidValue>>(
+          std::move(pairs), kDomain, 16 * kKiB, space, /*use_zone_maps=*/true);
+    case 3:
+      return std::make_unique<CrackingColumn<OidValue>>(std::move(pairs),
+                                                        kDomain, space);
+    case 4:
+      return std::make_unique<AdaptiveSegmentation<OidValue>>(
+          std::move(pairs), kDomain, std::move(model), space);
+    case 5:
+      return std::make_unique<DeferredSegmentation<OidValue>>(
+          std::move(pairs), kDomain, std::move(model), space);
+    default:
+      return std::make_unique<AdaptiveReplication<OidValue>>(
+          std::move(pairs), kDomain, std::move(model), space);
+  }
+}
+
+std::vector<OidValue> MakeQuantizedPairs(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<OidValue> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back({i, std::floor(rng.NextUniform(kDomain.lo, kDomain.hi))});
+  }
+  return out;
+}
+
+TEST(KernelParityTest, AllStrategiesSameResultsKernelsOnAndOff) {
+  for (size_t kind = 0; kind < kNumStrategies; ++kind) {
+    // Pin the advisor's kernel heat tolerance to 0 on both sides so the two
+    // spaces re-encode the identical segment population: the sweep isolates
+    // the kernels' filter-on-encoded effect, not the (separate) policy of
+    // encoding mildly-warm segments, whose extra kernel scans would
+    // otherwise add decode charges the off side never pays.
+    SegmentSpace::Options off_opts = SpaceOptions(/*kernels=*/false);
+    SegmentSpace::Options on_opts = SpaceOptions(/*kernels=*/true);
+    off_opts.kernel_heat_tolerance = 0;
+    on_opts.kernel_heat_tolerance = 0;
+    SegmentSpace off_space(CostParams{}, 0, off_opts);
+    SegmentSpace on_space(CostParams{}, 0, on_opts);
+    auto pairs = MakeQuantizedPairs(20000, 321);
+    auto off = MakeOidStrategy(kind, pairs, &off_space);
+    auto on = MakeOidStrategy(kind, pairs, &on_space);
+
+    // Same Zipf + interleaved-append shape as the compression parity sweep:
+    // cold segments encode mid-run, appends exercise the hot rewrite path.
+    ZipfRangeGenerator gen(kDomain, 0.05, 17);
+    Rng ins(71);
+    uint64_t next_oid = pairs.size();
+    for (int i = 0; i < 120; ++i) {
+      if (i % 10 == 9) {
+        std::vector<OidValue> batch;
+        for (int j = 0; j < 50; ++j) {
+          batch.push_back({next_oid++,
+                           std::floor(ins.NextUniform(kDomain.lo, kDomain.hi))});
+        }
+        off->Append(batch);
+        on->Append(batch);
+        continue;
+      }
+      const ValueRange q = gen.Next().range;
+      std::vector<OidValue> off_result, on_result;
+      const QueryExecution off_ex = off->RunRange(q, &off_result);
+      const QueryExecution on_ex = on->RunRange(q, &on_result);
+      ASSERT_EQ(off_ex.result_count, on_ex.result_count)
+          << "kind " << kind << " query " << i;
+      ASSERT_EQ(SortedValues(off_result), SortedValues(on_result))
+          << "kind " << kind << " query " << i;
+      // Reorganization is driven by logical geometry, never by the kernel
+      // seam: identical structural evolution on both sides.
+      ASSERT_EQ(off_ex.splits, on_ex.splits) << "kind " << kind;
+      ASSERT_EQ(off_ex.merges, on_ex.merges) << "kind " << kind;
+      ASSERT_EQ(off_ex.replicas_created, on_ex.replicas_created)
+          << "kind " << kind;
+    }
+    // The point of the kernels: strictly less decode work for the same
+    // results. Cracking (kind 3) scans its own array outside the space, so
+    // it never becomes kernel-eligible.
+    EXPECT_EQ(off_space.stats().kernel_scans, 0u);
+    if (kind != 3) {
+      EXPECT_GT(on_space.stats().kernel_scans, 0u)
+          << "kind " << kind << " never hit a kernel";
+      EXPECT_LT(on_space.stats().decode_bytes, off_space.stats().decode_bytes)
+          << "kind " << kind << " kernels did not reduce decode bytes";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace socs
