@@ -1,0 +1,269 @@
+// Durability-cost benchmark: wall-clock price of the crash-safe segment
+// store (src/persist) on the demo-shaped SkyServer catalog. Measures the
+// four durable phases separately:
+//
+//   mirror      -- building the catalog with the durability sink attached
+//                  (every materialized segment is appended to the size-class
+//                  files and the object-table delta log, fsync'd)
+//   checkpoint  -- first full checkpoint (object-table snapshot + database
+//                  image + superblock flip)
+//   checkpoint2 -- incremental checkpoint after the column adapted under a
+//                  query stream (the steady-state background-lane cost)
+//   recover     -- cold reopen: superblock -> checkpoint parse -> delta-log
+//                  replay -> segment materialization -> strategy rebuild
+//
+// The run is crash-shaped: after the last checkpoint a deterministic query
+// tail reorganizes the column further (delta-log records, no checkpoint) and
+// the store is dropped without a final commit. Recovery must replay the
+// delta tail, resurrect image-referenced segments, and -- the self-check --
+// re-running the same tail must produce byte-identical "#layout" geometry
+// and probe replies. Writes BENCH_recovery.json.
+//
+//   $ ./bench/bench_recovery            # full run (4.5M-row ra column)
+//   $ ./bench/bench_recovery --smoke    # tiny run + ctest assertions
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "common/series.h"
+#include "common/units.h"
+#include "core/adaptive_segmentation.h"
+#include "core/apm.h"
+#include "engine/catalog.h"
+#include "exec/task_scheduler.h"
+#include "persist/bootstrap.h"
+#include "persist/store.h"
+#include "server/session.h"
+#include "workload/skyserver.h"
+
+using namespace socs;
+
+namespace {
+
+double Seconds(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// The demo-shaped catalog: P(ra adaptive-segmented, objid), same build as
+// examples/socs_server and the recovery tests.
+void BuildSkyCatalog(Catalog* cat, SegmentSpace* space,
+                     const SkyServerConfig& cfg) {
+  const std::vector<float> ra_floats = MakeRaColumn(cfg);
+  std::vector<OidValue> ra;
+  std::vector<int64_t> objid;
+  ra.reserve(ra_floats.size());
+  for (size_t i = 0; i < ra_floats.size(); ++i) {
+    ra.push_back({i, static_cast<double>(ra_floats[i])});
+    objid.push_back(static_cast<int64_t>(587722981742084097LL + i));
+  }
+  // APM bounds scale with the column (aiming for tens of segments) so smoke
+  // and full runs keep the same geometry -- and so the post-checkpoint tail
+  // below actually splits, exercising delta-log replay on recovery.
+  const uint64_t col_bytes = ra.size() * sizeof(OidValue);
+  auto strat = std::make_unique<AdaptiveSegmentation<OidValue>>(
+      ra, cfg.footprint,
+      std::make_unique<Apm>(col_bytes / 72 + 1, col_bytes / 18 + 1), space);
+  auto col = std::make_unique<SegmentedColumn>(Catalog::SegHandle("P", "ra"),
+                                               ValType::kDbl, std::move(strat),
+                                               space);
+  SOCS_CHECK(cat->AddSegmentedColumn("P", "ra", std::move(col)).ok());
+  SOCS_CHECK(cat->AddColumn("P", "objid", TypedVector::Of(objid)).ok());
+}
+
+std::vector<std::string> SkyQueries(const SkyServerConfig& cfg, size_t n,
+                                    uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::string> out;
+  for (size_t i = 0; i < n; ++i) {
+    const double width = rng.NextUniform(1.0, 8.0);
+    const double lo =
+        rng.NextUniform(cfg.footprint.lo, cfg.footprint.hi - width);
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "select objid from P where ra between %.6f and %.6f", lo,
+                  lo + width);
+    out.push_back(buf);
+  }
+  return out;
+}
+
+void RunAll(server::Session* session, const std::vector<std::string>& queries) {
+  for (const std::string& q : queries) {
+    const server::WireReply r = session->Execute(q);
+    SOCS_CHECK(r.ok) << q << ": " << r.error;
+  }
+}
+
+StatusOr<std::unique_ptr<persist::PersistentStore>> OpenStore(
+    const std::string& dir) {
+  persist::PersistentStore::Options opts;
+  opts.dir = dir;
+  return persist::PersistentStore::Open(std::move(opts));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  SkyServerConfig cfg;
+  cfg.num_objects = smoke ? 150'000 : 4'500'000;
+  const size_t adapt_queries = smoke ? 60 : 400;
+  const size_t tail_queries = smoke ? 20 : 100;
+
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "socs_bench_recovery").string();
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+
+  const auto adapt = SkyQueries(cfg, adapt_queries, /*seed=*/11);
+  const auto mid = SkyQueries(cfg, tail_queries, /*seed=*/12);
+  const auto tail = SkyQueries(cfg, tail_queries, /*seed=*/13);
+  const std::string probe =
+      "select objid from P where ra between 205.100000 and 205.160000";
+
+  double mirror_s = 0, ckpt_s = 0, ckpt2_s = 0, recover_s = 0;
+  uint64_t ckpt_bytes = 0, delta_records = 0, live_segments = 0;
+  uint64_t live_bytes = 0, last_gen = 0;
+  std::vector<std::string> pre_layout, pre_probe;
+
+  {
+    auto store = OpenStore(dir);
+    SOCS_CHECK(store.ok()) << store.status().ToString();
+    Catalog cat;
+    SegmentSpace space;
+    space.set_durability(store->get());
+    TaskScheduler sched(1);  // query-driven adaptation only: deterministic
+
+    auto t0 = std::chrono::steady_clock::now();
+    BuildSkyCatalog(&cat, &space, cfg);
+    mirror_s = Seconds(t0);
+
+    server::Session session(&cat, &sched);
+    RunAll(&session, adapt);
+
+    t0 = std::chrono::steady_clock::now();
+    auto gen = persist::CheckpointNow(store->get(), cat);
+    ckpt_s = Seconds(t0);
+    SOCS_CHECK(gen.ok()) << gen.status().ToString();
+
+    // Adapt further, then commit again: the steady-state incremental cost.
+    RunAll(&session, mid);
+    t0 = std::chrono::steady_clock::now();
+    gen = persist::CheckpointNow(store->get(), cat);
+    ckpt2_s = Seconds(t0);
+    SOCS_CHECK(gen.ok()) << gen.status().ToString();
+    last_gen = *gen;
+    ckpt_bytes = std::filesystem::file_size(
+        dir + "/checkpoint_" + std::to_string(*gen) + ".ckpt");
+
+    // Crash-shaped epilogue: a deterministic tail reorganizes past the last
+    // checkpoint (delta-log records only), then the process "dies" -- no
+    // final commit. The same tail re-run after recovery must evolve the
+    // restored column identically.
+    RunAll(&session, tail);
+    pre_layout = session.Execute("#layout").rows;
+    pre_probe = session.Execute(probe).rows;
+
+    const persist::PersistentStore::Stats s = (*store)->stats();
+    delta_records = s.delta_records_since_checkpoint;
+    live_segments = s.live_segments;
+    live_bytes = s.live_payload_bytes;
+    SOCS_CHECK_GT(delta_records, 0u)
+        << "post-checkpoint tail logged nothing: recovery would not "
+           "exercise delta replay";
+    space.set_durability(nullptr);
+  }
+
+  {
+    auto t0 = std::chrono::steady_clock::now();
+    auto store = OpenStore(dir);
+    SOCS_CHECK(store.ok()) << store.status().ToString();
+    Catalog cat;
+    SegmentSpace space;
+    space.set_durability(store->get());
+    auto report = persist::RestoreDatabase(store->get(), &space, &cat);
+    SOCS_CHECK(report.ok()) << report.status().ToString();
+    recover_s = Seconds(t0);
+
+    const persist::RecoveryInfo& rec = (*store)->recovery();
+    SOCS_CHECK_EQ(rec.generation, last_gen);
+    SOCS_CHECK(!rec.fell_back);
+
+    TaskScheduler sched(1);
+    server::Session session(&cat, &sched);
+    RunAll(&session, tail);  // the same post-checkpoint tail
+    const std::vector<std::string> post_layout =
+        session.Execute("#layout").rows;
+    const std::vector<std::string> post_probe = session.Execute(probe).rows;
+    if (post_layout != pre_layout) {
+      for (size_t i = 0; i < std::max(post_layout.size(), pre_layout.size());
+           ++i) {
+        const std::string a = i < pre_layout.size() ? pre_layout[i] : "<none>";
+        const std::string b =
+            i < post_layout.size() ? post_layout[i] : "<none>";
+        if (a != b) {
+          std::cerr << "row " << i << ":\n  pre:  " << a << "\n  post: " << b
+                    << "\n";
+        }
+      }
+    }
+    SOCS_CHECK(post_layout == pre_layout)
+        << "recovered #layout differs (" << post_layout.size() << " vs "
+        << pre_layout.size() << " rows)";
+    SOCS_CHECK(post_probe == pre_probe) << "recovered probe reply differs";
+
+    ResultTable table("Durability cost (ra column, " +
+                          std::to_string(cfg.num_objects) + " rows)",
+                      {"phase", "seconds", "notes"});
+    table.AddRow("mirror", FormatNumber(mirror_s),
+                 FormatBytes(live_bytes) + " live in " +
+                     std::to_string(live_segments) + " segment(s)");
+    table.AddRow("checkpoint", FormatNumber(ckpt_s),
+                 FormatBytes(ckpt_bytes) + " checkpoint file");
+    table.AddRow("checkpoint2", FormatNumber(ckpt2_s), "incremental commit");
+    table.AddRow("recover", FormatNumber(recover_s),
+                 std::to_string(report->segments_restored) + " restored, " +
+                     std::to_string(report->segments_swept) + " swept, " +
+                     std::to_string(rec.delta_records) + " delta record(s)");
+    table.Print(std::cout);
+
+    std::ofstream json("BENCH_recovery.json");
+    json << "{\n  \"smoke\": " << (smoke ? "true" : "false")
+         << ",\n  \"rows\": " << cfg.num_objects
+         << ",\n  \"adapt_queries\": " << adapt_queries
+         << ",\n  \"tail_queries\": " << tail_queries
+         << ",\n  \"mirror_s\": " << mirror_s
+         << ",\n  \"checkpoint_s\": " << ckpt_s
+         << ",\n  \"checkpoint2_s\": " << ckpt2_s
+         << ",\n  \"checkpoint_bytes\": " << ckpt_bytes
+         << ",\n  \"live_segments\": " << live_segments
+         << ",\n  \"live_bytes\": " << live_bytes
+         << ",\n  \"delta_records\": " << delta_records
+         << ",\n  \"recover_s\": " << recover_s
+         << ",\n  \"segments_restored\": " << report->segments_restored
+         << ",\n  \"segments_swept\": " << report->segments_swept
+         << ",\n  \"replayed_records\": " << rec.delta_records
+         << ",\n  \"layout_rows\": " << pre_layout.size() << "\n}\n";
+    std::cout << "wrote BENCH_recovery.json\n";
+    std::cout << "self-check: post-recovery #layout and probe replies are "
+                 "byte-identical to the\npre-crash run ("
+              << pre_layout.size() << " layout row(s), " << pre_probe.size()
+              << " probe row(s))\n";
+    space.set_durability(nullptr);
+  }
+
+  std::filesystem::remove_all(dir);
+  return 0;
+}

@@ -14,9 +14,16 @@
 // --compression (store cold segments encoded; `#compression` on any client
 // connection reports the per-column codec mix), --kernels / --no-kernels
 // (predicate kernels over encoded segments, default on; `#stats` trailers
-// show the decode_bytes savings).
+// show the decode_bytes savings), --data-dir DIR (durable store: first boot
+// seeds the demo catalog and mirrors it to DIR; later boots recover the
+// learned layout from DIR instead of rebuilding -- see docs/ARCHITECTURE.md,
+// "Durability"), --checkpoint-every N (statements between scheduled
+// checkpoints, default 256 with --data-dir).
 // Stops gracefully on SIGINT/SIGTERM: pending statements finish, the
-// background lane drains, no reorganization batch is dropped.
+// background lane drains, no reorganization batch is dropped, and with
+// --data-dir a final checkpoint commits the quiesced state.
+#include <sys/stat.h>
+
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -32,6 +39,8 @@
 #include "engine/catalog.h"
 #include "exec/task_scheduler.h"
 #include "exec/threads_flag.h"
+#include "persist/bootstrap.h"
+#include "persist/store.h"
 #include "server/client.h"
 #include "server/server.h"
 
@@ -75,7 +84,9 @@ int main(int argc, char** argv) {
   const size_t threads = ParseThreadsFlag(argc, argv, /*default_threads=*/4);
   const long port = ParseLongFlag(argc, argv, "--port", client::kDefaultPort);
   const long executors = ParseLongFlag(argc, argv, "--executors", 2);
+  const long ckpt_every = ParseLongFlag(argc, argv, "--checkpoint-every", 256);
   SegmentSpace::Options sopts;
+  std::string data_dir;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--compression") == 0) sopts.compression = true;
     // Scan kernels (on by default): range predicates filter encoded
@@ -84,18 +95,81 @@ int main(int argc, char** argv) {
     // in decode_bytes.
     if (std::strcmp(argv[i], "--kernels") == 0) sopts.kernels = true;
     if (std::strcmp(argv[i], "--no-kernels") == 0) sopts.kernels = false;
+    if (std::strcmp(argv[i], "--data-dir") == 0 && i + 1 < argc) {
+      data_dir = argv[i + 1];
+    }
+    if (std::strncmp(argv[i], "--data-dir=", 11) == 0) {
+      data_dir = argv[i] + 11;
+    }
   }
 
   Catalog cat;
   SegmentSpace space(CostParams{}, /*pool_capacity_bytes=*/0, sopts);
   TaskScheduler sched(threads);
-  std::printf("building demo catalog P(ra deferred-segmented, dec, objid), "
-              "200K rows (exec threads: %zu)...\n", threads);
-  BuildDemoCatalog(&cat, &space);
+
+  // --data-dir: open (or initialize) the durable store BEFORE any segment
+  // exists, so the build/restore below is mirrored to disk from the first
+  // materialization on.
+  std::unique_ptr<persist::PersistentStore> store;
+  if (!data_dir.empty()) {
+    ::mkdir(data_dir.c_str(), 0755);  // fine if it already exists
+    persist::PersistentStore::Options popts;
+    popts.dir = data_dir;
+    auto opened = persist::PersistentStore::Open(std::move(popts));
+    if (!opened.ok()) {
+      std::fprintf(stderr, "open --data-dir %s failed: %s\n", data_dir.c_str(),
+                   opened.status().ToString().c_str());
+      return 1;
+    }
+    store = std::move(*opened);
+    space.set_durability(store.get());
+  }
+
+  if (store != nullptr && !store->image().tables.empty()) {
+    const persist::RecoveryInfo& rec = store->recovery();
+    std::printf("recovering from %s (generation %llu, %llu delta record(s)"
+                "%s%s)...\n", data_dir.c_str(),
+                static_cast<unsigned long long>(rec.generation),
+                static_cast<unsigned long long>(rec.delta_records),
+                rec.delta_tail_truncated ? ", torn log tail truncated" : "",
+                rec.fell_back ? ", FELL BACK to an older generation" : "");
+    for (const std::string& note : rec.notes) {
+      std::printf("  recovery: %s\n", note.c_str());
+    }
+    auto report = persist::RestoreDatabase(store.get(), &space, &cat);
+    if (!report.ok()) {
+      std::fprintf(stderr, "restore failed: %s\n",
+                   report.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("restored %llu table(s), %llu column(s), %llu segment(s) "
+                "(%llu swept)\n",
+                static_cast<unsigned long long>(report->tables),
+                static_cast<unsigned long long>(report->columns),
+                static_cast<unsigned long long>(report->segments_restored),
+                static_cast<unsigned long long>(report->segments_swept));
+  } else {
+    std::printf("building demo catalog P(ra deferred-segmented, dec, objid), "
+                "200K rows (exec threads: %zu)...\n", threads);
+    BuildDemoCatalog(&cat, &space);
+    if (store != nullptr) {
+      // Commit the freshly built catalog so a crash before the first
+      // scheduled checkpoint still recovers a complete database.
+      if (auto gen = persist::CheckpointNow(store.get(), cat); !gen.ok()) {
+        std::fprintf(stderr, "initial checkpoint failed: %s\n",
+                     gen.status().ToString().c_str());
+        return 1;
+      }
+    }
+  }
 
   server::SqlServer::Options opts;
   opts.port = static_cast<uint16_t>(port);
   opts.executors = static_cast<size_t>(executors > 0 ? executors : 2);
+  opts.persist = store.get();
+  opts.checkpoint_every =
+      store != nullptr && ckpt_every > 0 ? static_cast<uint64_t>(ckpt_every)
+                                         : 0;
   server::SqlServer srv(&cat, &sched, opts);
   if (Status st = srv.Start(); !st.ok()) {
     std::fprintf(stderr, "start failed: %s\n", st.ToString().c_str());
@@ -123,5 +197,16 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(ledger.skips),
               static_cast<unsigned long long>(ledger.background_total.splits),
               static_cast<unsigned long long>(ledger.columns_with_pending_work));
+  if (store != nullptr) {
+    const persist::PersistentStore::Stats ps = store->stats();
+    std::printf("durable store: generation %llu, %llu live segment(s), "
+                "%llu live byte(s), %llu dead byte(s); health: %s\n",
+                static_cast<unsigned long long>(ps.generation),
+                static_cast<unsigned long long>(ps.live_segments),
+                static_cast<unsigned long long>(ps.live_payload_bytes),
+                static_cast<unsigned long long>(ps.dead_payload_bytes),
+                store->health().ok() ? "ok"
+                                     : store->health().ToString().c_str());
+  }
   return 0;
 }

@@ -12,6 +12,11 @@
 //   $ ./examples/sql_shell --connect 127.0.0.1:5433
 //                                         # drive a running socs_server
 //                                         # instead of the in-process engine
+//   $ ./examples/sql_shell --data-dir /tmp/socs
+//                                         # durable mode: the learned layout
+//                                         # survives across runs (first run
+//                                         # seeds the demo, later runs
+//                                         # recover it and keep adapting)
 //
 // --threads N (default 1) sizes the execution subsystem: segment deliveries
 // fan out across N workers and deferred reorganization runs on the
@@ -22,6 +27,8 @@
 // statements go over the wire protocol through the same socs::client
 // library socs_client uses; the demo script (or stdin with `-`) is replayed
 // against the server's shared store.
+#include <sys/stat.h>
+
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -37,6 +44,8 @@
 #include "engine/optimizer.h"
 #include "exec/task_scheduler.h"
 #include "exec/threads_flag.h"
+#include "persist/bootstrap.h"
+#include "persist/store.h"
 #include "server/client.h"
 #include "sql/compiler.h"
 #include "sql/parser.h"
@@ -191,6 +200,7 @@ int main(int argc, char** argv) {
   bool compression = false;
   bool kernels = true;
   std::string connect_target;
+  std::string data_dir;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "-") == 0) from_stdin = true;
     if (std::strcmp(argv[i], "--compression") == 0) compression = true;
@@ -201,6 +211,12 @@ int main(int argc, char** argv) {
     }
     if (std::strncmp(argv[i], "--connect=", 10) == 0) {
       connect_target = argv[i] + 10;
+    }
+    if (std::strcmp(argv[i], "--data-dir") == 0 && i + 1 < argc) {
+      data_dir = argv[i + 1];
+    }
+    if (std::strncmp(argv[i], "--data-dir=", 11) == 0) {
+      data_dir = argv[i] + 11;
     }
   }
   if (!connect_target.empty()) return RunConnected(connect_target, from_stdin);
@@ -219,9 +235,55 @@ int main(int argc, char** argv) {
   // byte-reproducible sequential engine.
   TaskScheduler sched(threads);
   TaskScheduler* sp = threads > 1 ? &sched : nullptr;
-  std::printf("building demo catalog P(ra segmented, dec, objid), 200K rows"
-              " (exec threads: %zu)...\n\n", threads);
-  BuildDemoCatalog(&cat, &space);
+
+  // --data-dir: attach the durable store before any segment materializes, so
+  // the build (or restore) below is mirrored to disk from the start; a final
+  // checkpoint on exit commits whatever this run's queries learned.
+  std::unique_ptr<persist::PersistentStore> store;
+  if (!data_dir.empty()) {
+    ::mkdir(data_dir.c_str(), 0755);  // fine if it already exists
+    persist::PersistentStore::Options popts;
+    popts.dir = data_dir;
+    auto opened = persist::PersistentStore::Open(std::move(popts));
+    if (!opened.ok()) {
+      std::printf("open --data-dir %s failed: %s\n", data_dir.c_str(),
+                  opened.status().ToString().c_str());
+      return 1;
+    }
+    store = std::move(*opened);
+    space.set_durability(store.get());
+  }
+  const auto commit = [&]() -> int {
+    if (sp != nullptr) sp->DrainBackground();
+    if (store == nullptr) return 0;
+    auto gen = persist::CheckpointNow(store.get(), cat);
+    if (!gen.ok()) {
+      std::printf("final checkpoint failed: %s\n",
+                  gen.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("committed checkpoint generation %llu to %s\n",
+                static_cast<unsigned long long>(*gen), data_dir.c_str());
+    return 0;
+  };
+
+  if (store != nullptr && !store->image().tables.empty()) {
+    std::printf("recovering from %s (generation %llu)...\n", data_dir.c_str(),
+                static_cast<unsigned long long>(store->recovery().generation));
+    auto report = persist::RestoreDatabase(store.get(), &space, &cat);
+    if (!report.ok()) {
+      std::printf("restore failed: %s\n", report.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("restored %llu column(s), %llu segment(s); the layout below "
+                "starts where the last run left off\n\n",
+                static_cast<unsigned long long>(report->columns),
+                static_cast<unsigned long long>(report->segments_restored));
+  } else {
+    std::printf("building demo catalog P(ra segmented, dec, objid), 200K rows"
+                " (exec threads: %zu)...\n\n", threads);
+    BuildDemoCatalog(&cat, &space);
+  }
 
   if (from_stdin) {
     std::string line;
@@ -229,8 +291,7 @@ int main(int argc, char** argv) {
       if (line.empty()) continue;
       RunQuery(line, &cat, sp, /*verbose=*/true);
     }
-    if (sp != nullptr) sp->DrainBackground();
-    return 0;
+    return commit();
   }
 
   // The scripted demo (kDemoScript, shared with the --connect replay).
@@ -248,5 +309,5 @@ int main(int argc, char** argv) {
     std::printf("background maintenance passes run off the query path: %llu\n",
                 static_cast<unsigned long long>(sp->background_runs()));
   }
-  return 0;
+  return commit();
 }

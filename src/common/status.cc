@@ -13,6 +13,7 @@ const char* StatusCodeName(StatusCode code) {
     case StatusCode::kResourceExhausted: return "ResourceExhausted";
     case StatusCode::kInternal: return "Internal";
     case StatusCode::kUnimplemented: return "Unimplemented";
+    case StatusCode::kDataLoss: return "DataLoss";
   }
   return "Unknown";
 }

@@ -19,6 +19,8 @@ enum class StatusCode {
   kResourceExhausted,
   kInternal,
   kUnimplemented,
+  /// Unrecoverable corruption of stored bytes (bad checksum, torn record).
+  kDataLoss,
 };
 
 /// Returns a stable human-readable name for a code ("OK", "InvalidArgument", ...).
@@ -56,6 +58,9 @@ class Status {
   }
   static Status Unimplemented(std::string m) {
     return Status(StatusCode::kUnimplemented, std::move(m));
+  }
+  static Status DataLoss(std::string m) {
+    return Status(StatusCode::kDataLoss, std::move(m));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <functional>
 
+#include "core/strategy_state.h"
+
 namespace socs {
 
 template <typename T>
@@ -14,6 +16,40 @@ AdaptiveReplication<T>::AdaptiveReplication(
   IoCost setup;  // initial load, not charged to a query
   SegmentId id = space->Create(values, &setup, CompressionHint::kCold);
   tree_.InitColumn(values.size(), id);
+}
+
+template <typename T>
+Status AdaptiveReplication<T>::SaveState(StrategyState* out) const {
+  out->PutString("kind", "adaptive_replication");
+  out->PutU64("value_size", sizeof(T));
+  out->PutDouble("domain.lo", tree_.domain().lo);
+  out->PutDouble("domain.hi", tree_.domain().hi);
+  out->PutU64("opts.budget", opts_.storage_budget_bytes);
+  out->PutU64("total_bytes", total_bytes_);
+  out->PutU64("query_counter", query_counter_);
+  // The replica hierarchy as parallel pre-order arrays (sentinel first);
+  // flags packs count_exact (bit 0) and materialized (bit 1).
+  const std::vector<ReplicaNodeImage> images = tree_.Flatten();
+  std::vector<double> lo, hi;
+  std::vector<uint64_t> counts, flags, segs, last, kids;
+  for (const ReplicaNodeImage& img : images) {
+    lo.push_back(img.range.lo);
+    hi.push_back(img.range.hi);
+    counts.push_back(img.count);
+    flags.push_back((img.count_exact ? 1u : 0u) |
+                    (img.materialized ? 2u : 0u));
+    segs.push_back(img.seg);
+    last.push_back(img.last_access);
+    kids.push_back(img.num_children);
+  }
+  out->PutDoubles("tree.lo", lo);
+  out->PutDoubles("tree.hi", hi);
+  out->PutU64s("tree.count", counts);
+  out->PutU64s("tree.flags", flags);
+  out->PutU64s("tree.seg", segs);
+  out->PutU64s("tree.last", last);
+  out->PutU64s("tree.kids", kids);
+  return SaveModel(*model_, out);
 }
 
 template <typename T>

@@ -43,6 +43,16 @@ class AdaptiveReplication : public AccessStrategy<T> {
                       std::unique_ptr<SegmentationModel> model,
                       SegmentSpace* space, Options opts = {});
 
+  /// Restores a previously saved replica hierarchy (ReplicaTree::FromImages)
+  /// with its learned counters.
+  AdaptiveReplication(ReplicaTree tree,
+                      std::unique_ptr<SegmentationModel> model,
+                      SegmentSpace* space, Options opts, uint64_t total_bytes,
+                      uint64_t query_counter)
+      : AccessStrategy<T>(space), model_(std::move(model)),
+        tree_(std::move(tree)), opts_(opts), total_bytes_(total_bytes),
+        query_counter_(query_counter) {}
+
   /// The reorganizing module: plans replicas per covering segment
   /// (Algorithm 4), materializes them from the covering payloads, drops
   /// fully-replicated parents (Algorithm 5), and enforces the budget.
@@ -54,6 +64,7 @@ class AdaptiveReplication : public AccessStrategy<T> {
     return tree_.CoverInfos(q);
   }
   std::string Name() const override { return "Repl/" + model_->Name(); }
+  Status SaveState(StrategyState* out) const override;
 
   ReplicaTree& tree() { return tree_; }
   const ReplicaTree& tree() const { return tree_; }

@@ -6,6 +6,7 @@
 #include <map>
 
 #include "common/units.h"
+#include "core/strategy_state.h"
 
 namespace socs {
 
@@ -29,6 +30,18 @@ AdaptiveSegmentation<T>::AdaptiveSegmentation(ValueRange domain,
       opts_(opts), total_bytes_(0) {
   index_.InitTiling(std::move(segments));
   total_bytes_ = index_.TotalCount() * sizeof(T);
+}
+
+template <typename T>
+Status AdaptiveSegmentation<T>::SaveState(StrategyState* out) const {
+  out->PutString("kind", "adaptive_segmentation");
+  out->PutU64("value_size", sizeof(T));
+  out->PutDouble("domain.lo", index_.domain().lo);
+  out->PutDouble("domain.hi", index_.domain().hi);
+  out->PutU64("opts.merge", opts_.merge_small_segments ? 1 : 0);
+  out->PutU64("opts.merge_threshold", opts_.merge_threshold_bytes);
+  out->PutSegments("segments", index_.segments());
+  return SaveModel(*model_, out);
 }
 
 template <typename T>

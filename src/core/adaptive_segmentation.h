@@ -44,7 +44,7 @@ class AdaptiveSegmentation : public AccessStrategy<T> {
                        std::unique_ptr<SegmentationModel> model,
                        SegmentSpace* space, Options opts = {});
 
-  /// Restores a previously saved layout (core/column_persistence.h): the
+  /// Restores a previously saved layout (core/strategy_restore.h): the
   /// segments must tile `domain` and already live in `space`.
   AdaptiveSegmentation(ValueRange domain, std::vector<SegmentInfo> segments,
                        std::unique_ptr<SegmentationModel> model,
@@ -73,6 +73,7 @@ class AdaptiveSegmentation : public AccessStrategy<T> {
     return index_.segments();
   }
   std::string Name() const override { return "Segm/" + model_->Name(); }
+  Status SaveState(StrategyState* out) const override;
 
   const SegmentMetaIndex& index() const { return index_; }
   const SegmentationModel& model() const { return *model_; }

@@ -33,6 +33,11 @@ class AutoApm : public SegmentationModel {
     SOCS_CHECK_GE(tuning_.divisor, 2u);  // Mmin must stay below Mmax
     SOCS_CHECK_GT(tuning_.floor_bytes, 0u);
   }
+  /// Restore constructor: resumes with a previously learned EMA.
+  AutoApm(Tuning tuning, double ema, bool seeded) : AutoApm(tuning) {
+    ema_ = ema;
+    seeded_ = seeded;
+  }
 
   SplitAction Decide(const SplitGeometry& g) override;
 
@@ -45,6 +50,8 @@ class AutoApm : public SegmentationModel {
 
   /// Current selection-size estimate (bytes); exposed for tests/benches.
   double ema() const { return ema_; }
+  const Tuning& tuning() const { return tuning_; }
+  bool seeded() const { return seeded_; }
 
  private:
   Tuning tuning_;

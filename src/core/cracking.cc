@@ -1,6 +1,9 @@
 #include "core/cracking.h"
 
 #include <algorithm>
+#include <cstring>
+
+#include "core/strategy_state.h"
 
 namespace socs {
 
@@ -12,6 +15,42 @@ CrackingColumn<T>::CrackingColumn(std::vector<T> values, ValueRange domain,
   // cannot survive a concurrent mutation on an epoch-pinned snapshot, so it
   // keeps the classic shared-latch discipline.
   this->set_snapshot_scans(false);
+}
+
+template <typename T>
+CrackingColumn<T>::CrackingColumn(ValueRange domain, std::vector<T> cracker,
+                                  std::map<double, size_t> index,
+                                  SegmentSpace* space)
+    : AccessStrategy<T>(space), domain_(domain), cracker_(std::move(cracker)),
+      index_(std::move(index)) {
+  for (const auto& [bound, pos] : index_) {
+    SOCS_CHECK_LE(pos, cracker_.size()) << "cracked bound past the array";
+  }
+  this->set_snapshot_scans(false);
+}
+
+template <typename T>
+Status CrackingColumn<T>::SaveState(StrategyState* out) const {
+  out->PutString("kind", "cracking");
+  out->PutU64("value_size", sizeof(T));
+  out->PutDouble("domain.lo", domain_.lo);
+  out->PutDouble("domain.hi", domain_.hi);
+  // The cracker array is this strategy's data (its segments have no
+  // SegmentSpace payloads), so the state carries the payload itself.
+  std::vector<std::byte> payload(cracker_.size() * sizeof(T));
+  if (!payload.empty()) {
+    std::memcpy(payload.data(), cracker_.data(), payload.size());
+  }
+  out->PutBytes("payload", std::move(payload));
+  std::vector<double> bounds;
+  std::vector<uint64_t> positions;
+  for (const auto& [bound, pos] : index_) {
+    bounds.push_back(bound);
+    positions.push_back(pos);
+  }
+  out->PutDoubles("index.bounds", bounds);
+  out->PutU64s("index.positions", positions);
+  return Status::OK();
 }
 
 template <typename T>

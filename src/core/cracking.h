@@ -30,6 +30,11 @@ class CrackingColumn : public AccessStrategy<T> {
  public:
   CrackingColumn(std::vector<T> values, ValueRange domain, SegmentSpace* space);
 
+  /// Restores a previously saved cracker column: `cracker` is the reorganized
+  /// in-memory array, `index` the cracked bounds (bound -> first position).
+  CrackingColumn(ValueRange domain, std::vector<T> cracker,
+                 std::map<double, size_t> index, SegmentSpace* space);
+
   /// Reads one cracker piece from the in-memory array: cracking's segments
   /// have no SegmentSpace payloads, so the metering is charged through the
   /// space's unpooled scan charge (into `lane` when the scan fans out).
@@ -46,6 +51,7 @@ class CrackingColumn : public AccessStrategy<T> {
   /// cracker column is one contiguous in-memory array).
   std::vector<SegmentInfo> Segments() const override;
   std::string Name() const override { return "Cracking"; }
+  Status SaveState(StrategyState* out) const override;
 
   size_t NumPieces() const { return index_.size() + 1; }
 

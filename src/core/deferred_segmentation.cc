@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/units.h"
+#include "core/strategy_state.h"
 
 namespace socs {
 
@@ -17,6 +18,34 @@ DeferredSegmentation<T>::DeferredSegmentation(
   IoCost setup;
   SegmentId id = space->Create(values, &setup, CompressionHint::kCold);
   index_.InitSingle(SegmentInfo{domain, values.size(), id});
+}
+
+template <typename T>
+DeferredSegmentation<T>::DeferredSegmentation(
+    ValueRange domain, std::vector<SegmentInfo> segments,
+    std::unique_ptr<SegmentationModel> model, SegmentSpace* space, Options opts,
+    size_t queries_since_batch, std::set<SegmentId> marked)
+    : AccessStrategy<T>(space), model_(std::move(model)), index_(domain),
+      opts_(opts), total_bytes_(0), queries_since_batch_(queries_since_batch),
+      marked_(std::move(marked)) {
+  SOCS_CHECK_GT(opts_.batch_queries, 0u);
+  index_.InitTiling(std::move(segments));
+  total_bytes_ = index_.TotalCount() * sizeof(T);
+}
+
+template <typename T>
+Status DeferredSegmentation<T>::SaveState(StrategyState* out) const {
+  out->PutString("kind", "deferred_segmentation");
+  out->PutU64("value_size", sizeof(T));
+  out->PutDouble("domain.lo", index_.domain().lo);
+  out->PutDouble("domain.hi", index_.domain().hi);
+  out->PutU64("opts.batch_queries", opts_.batch_queries);
+  out->PutU64("opts.target_bytes", opts_.target_bytes);
+  out->PutU64("queries_since_batch", queries_since_batch_);
+  out->PutU64s("marked",
+               std::vector<uint64_t>(marked_.begin(), marked_.end()));
+  out->PutSegments("segments", index_.segments());
+  return SaveModel(*model_, out);
 }
 
 template <typename T>

@@ -43,6 +43,13 @@ class DeferredSegmentation : public AccessStrategy<T> {
                        std::unique_ptr<SegmentationModel> model,
                        SegmentSpace* space, Options opts = {});
 
+  /// Restores a previously saved layout, including the pending batch state
+  /// (marked segments, queries since the last batch).
+  DeferredSegmentation(ValueRange domain, std::vector<SegmentInfo> segments,
+                       std::unique_ptr<SegmentationModel> model,
+                       SegmentSpace* space, Options opts,
+                       size_t queries_since_batch, std::set<SegmentId> marked);
+
   /// Marks the overlapping segments the model wants split (no data rewrite)
   /// and, every `batch_queries` queries, executes the pending batch.
   QueryExecution Reorganize(const ValueRange& q) override;
@@ -52,6 +59,7 @@ class DeferredSegmentation : public AccessStrategy<T> {
     return index_.segments();
   }
   std::string Name() const override { return "Post/" + model_->Name(); }
+  Status SaveState(StrategyState* out) const override;
 
   /// Forces the pending batch to run now (e.g., at an idle point). Takes the
   /// column's exclusive latch -- safe to call while other threads scan the

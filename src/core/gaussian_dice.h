@@ -27,6 +27,11 @@ class GaussianDice : public SegmentationModel {
   /// (exposed for Fig. 2 and for tests).
   static double DecisionProbability(double x, double sigma);
 
+  /// Construction seed. Persistence restores GD from it: the learned layout
+  /// is exact, the dice stream replays from the beginning (common/rng.h's
+  /// generator does not expose its internal state).
+  uint64_t seed() const { return seed_; }
+
  private:
   Rng rng_;
   uint64_t seed_;

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "core/strategy.h"
+#include "core/strategy_state.h"
 
 namespace socs {
 
@@ -21,6 +22,11 @@ class NonSegmented : public AccessStrategy<T> {
     IoCost setup;  // initial load is not attributed to any query
     id_ = space->Create(values, &setup, CompressionHint::kCold);
   }
+
+  /// Restores a previously saved column: `id` must already live in `space`.
+  NonSegmented(ValueRange domain, uint64_t count, SegmentId id,
+               SegmentSpace* space)
+      : AccessStrategy<T>(space), domain_(domain), count_(count), id_(id) {}
 
   /// A positional column cannot prune by value: every query scans the one
   /// full-column segment, whether or not its range overlaps.
@@ -38,6 +44,16 @@ class NonSegmented : public AccessStrategy<T> {
   }
 
   std::string Name() const override { return "NoSegm"; }
+
+  Status SaveState(StrategyState* out) const override {
+    out->PutString("kind", "non_segmented");
+    out->PutU64("value_size", sizeof(T));
+    out->PutDouble("domain.lo", domain_.lo);
+    out->PutDouble("domain.hi", domain_.hi);
+    out->PutU64("count", count_);
+    out->PutU64("segment", id_);
+    return Status::OK();
+  }
 
  protected:
   /// Plain tail-append to the single full-column segment: only the appended

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <sstream>
 
+#include "core/strategy_state.h"
+
 namespace socs {
 
 template <typename T>
@@ -26,6 +28,43 @@ PositionalBlocks<T>::PositionalBlocks(std::vector<T> values, ValueRange domain,
     SegmentId id = space->Create(chunk, &setup, CompressionHint::kCold);
     blocks_.push_back(Block{id, n, mn, mx});
   }
+}
+
+template <typename T>
+PositionalBlocks<T>::PositionalBlocks(ValueRange domain, uint64_t block_bytes,
+                                      bool use_zone_maps,
+                                      std::vector<Block> blocks,
+                                      uint64_t total_count, SegmentSpace* space)
+    : AccessStrategy<T>(space), domain_(domain), block_bytes_(block_bytes),
+      use_zone_maps_(use_zone_maps), blocks_(std::move(blocks)),
+      total_count_(total_count) {
+  SOCS_CHECK_GE(block_bytes, sizeof(T));
+}
+
+template <typename T>
+Status PositionalBlocks<T>::SaveState(StrategyState* out) const {
+  out->PutString("kind", "positional_blocks");
+  out->PutU64("value_size", sizeof(T));
+  out->PutDouble("domain.lo", domain_.lo);
+  out->PutDouble("domain.hi", domain_.hi);
+  out->PutU64("block_bytes", block_bytes_);
+  out->PutU64("zone_maps", use_zone_maps_ ? 1 : 0);
+  out->PutU64("total_count", total_count_);
+  // Blocks as parallel arrays: zone maps are not ValueRanges (an all-equal
+  // block has min == max), so the segment-list encoding does not apply.
+  std::vector<uint64_t> ids, counts;
+  std::vector<double> mins, maxs;
+  for (const Block& b : blocks_) {
+    ids.push_back(b.id);
+    counts.push_back(b.count);
+    mins.push_back(b.min_value);
+    maxs.push_back(b.max_value);
+  }
+  out->PutU64s("blocks.ids", ids);
+  out->PutU64s("blocks.counts", counts);
+  out->PutDoubles("blocks.min", mins);
+  out->PutDoubles("blocks.max", maxs);
+  return Status::OK();
 }
 
 template <typename T>

@@ -18,9 +18,21 @@ namespace socs {
 template <typename T>
 class PositionalBlocks : public AccessStrategy<T> {
  public:
+  struct Block {
+    SegmentId id;
+    uint64_t count;
+    double min_value, max_value;  // zone map
+  };
+
   PositionalBlocks(std::vector<T> values, ValueRange domain,
                    uint64_t block_bytes, SegmentSpace* space,
                    bool use_zone_maps = false);
+
+  /// Restores a previously saved layout: the blocks' segments must already
+  /// live in `space`, in insertion order.
+  PositionalBlocks(ValueRange domain, uint64_t block_bytes, bool use_zone_maps,
+                   std::vector<Block> blocks, uint64_t total_count,
+                   SegmentSpace* space);
 
   /// Positional blocks have no value order: every block must be visited.
   std::vector<SegmentInfo> CoverSegments(const ValueRange& q) const override {
@@ -41,6 +53,7 @@ class PositionalBlocks : public AccessStrategy<T> {
   StorageFootprint Footprint() const override;
   std::vector<SegmentInfo> Segments() const override;
   std::string Name() const override;
+  Status SaveState(StrategyState* out) const override;
 
  protected:
   /// Appends in insertion order: fills the tail block to `block_bytes`
@@ -54,12 +67,6 @@ class PositionalBlocks : public AccessStrategy<T> {
   bool PruneCoverByRange() const override { return false; }
 
  private:
-  struct Block {
-    SegmentId id;
-    uint64_t count;
-    double min_value, max_value;  // zone map
-  };
-
   ValueRange domain_;
   uint64_t block_bytes_;
   bool use_zone_maps_;

@@ -253,6 +253,62 @@ Status ReplicaTree::Validate() const {
   return status;
 }
 
+std::vector<ReplicaNodeImage> ReplicaTree::Flatten() const {
+  std::vector<ReplicaNodeImage> out;
+  PreOrder(sentinel_.get(), 0, [&](const ReplicaNode* n, size_t) {
+    out.push_back(ReplicaNodeImage{n->range, n->count, n->count_exact,
+                                   n->materialized, n->seg, n->last_access,
+                                   n->children.size()});
+  });
+  return out;
+}
+
+StatusOr<std::unique_ptr<ReplicaTree>> ReplicaTree::FromImages(
+    ValueRange domain, const std::vector<ReplicaNodeImage>& images) {
+  if (images.empty()) {
+    return Status::InvalidArgument("replica tree image: no sentinel");
+  }
+  auto tree_ptr = std::make_unique<ReplicaTree>(domain);
+  ReplicaTree& tree = *tree_ptr;
+  // Consume the pre-order stream recursively; each node owns the next
+  // `num_children` subtrees.
+  size_t next = 0;
+  std::function<Status(ReplicaNode*)> build =
+      [&](ReplicaNode* parent) -> Status {
+    const uint64_t kids = images[next - 1].num_children;
+    for (uint64_t i = 0; i < kids; ++i) {
+      if (next >= images.size()) {
+        return Status::DataLoss("replica tree image: truncated pre-order");
+      }
+      const ReplicaNodeImage& img = images[next++];
+      auto node = std::make_unique<ReplicaNode>();
+      node->range = img.range;
+      node->count = img.count;
+      node->count_exact = img.count_exact;
+      node->materialized = img.materialized;
+      node->seg = img.materialized ? img.seg : kInvalidSegment;
+      node->last_access = img.last_access;
+      node->parent = parent;
+      ReplicaNode* raw = node.get();
+      parent->children.push_back(std::move(node));
+      Status st = build(raw);
+      if (!st.ok()) return st;
+    }
+    return Status::OK();
+  };
+  // images[0] is the sentinel: only its child count matters (the fresh
+  // sentinel already carries the domain range).
+  next = 1;
+  Status st = build(tree.sentinel_.get());
+  if (!st.ok()) return st;
+  if (next != images.size()) {
+    return Status::DataLoss("replica tree image: trailing nodes");
+  }
+  st = tree.Validate();
+  if (!st.ok()) return st;
+  return tree_ptr;
+}
+
 ReplicaCoverSnapshot::ReplicaCoverSnapshot(uint64_t epoch,
                                            const ReplicaTree& tree)
     : ColumnCover(epoch), domain_(tree.domain()) {

@@ -50,6 +50,18 @@ struct ReplicaNodeSpec {
   uint64_t estimated_count = 0;
 };
 
+/// Flat pre-order image of one node (sentinel first) -- the unit of the
+/// persistence layer's tree serialization (Flatten / FromImages).
+struct ReplicaNodeImage {
+  ValueRange range;
+  uint64_t count = 0;
+  bool count_exact = false;
+  bool materialized = false;
+  SegmentId seg = kInvalidSegment;
+  uint64_t last_access = 0;
+  uint64_t num_children = 0;
+};
+
 class ReplicaTree {
  public:
   explicit ReplicaTree(ValueRange domain);
@@ -100,6 +112,14 @@ class ReplicaTree {
 
   /// Validates tiling, ordering and the coverage invariant.
   Status Validate() const;
+
+  /// Pre-order flat copy of the whole hierarchy, sentinel first.
+  std::vector<ReplicaNodeImage> Flatten() const;
+
+  /// Rebuilds a tree from a Flatten() image. Validates the tiling and
+  /// coverage invariants before returning.
+  static StatusOr<std::unique_ptr<ReplicaTree>> FromImages(
+      ValueRange domain, const std::vector<ReplicaNodeImage>& images);
 
   const ValueRange& domain() const { return domain_; }
 

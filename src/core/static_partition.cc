@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "core/strategy_state.h"
+
 namespace socs {
 
 template <typename T>
@@ -27,6 +29,26 @@ StaticPartition<T>::StaticPartition(std::vector<T> values, ValueRange domain,
     lo = hi;
   }
   index_.InitTiling(std::move(infos));
+}
+
+template <typename T>
+StaticPartition<T>::StaticPartition(ValueRange domain, size_t num_parts,
+                                    std::vector<SegmentInfo> segments,
+                                    SegmentSpace* space)
+    : AccessStrategy<T>(space), index_(domain), num_parts_(num_parts) {
+  SOCS_CHECK_GT(num_parts, 0u);
+  index_.InitTiling(std::move(segments));
+}
+
+template <typename T>
+Status StaticPartition<T>::SaveState(StrategyState* out) const {
+  out->PutString("kind", "static_partition");
+  out->PutU64("value_size", sizeof(T));
+  out->PutDouble("domain.lo", index_.domain().lo);
+  out->PutDouble("domain.hi", index_.domain().hi);
+  out->PutU64("num_parts", num_parts_);
+  out->PutSegments("segments", index_.segments());
+  return Status::OK();
 }
 
 template <typename T>

@@ -21,6 +21,11 @@ class StaticPartition : public AccessStrategy<T> {
   StaticPartition(std::vector<T> values, ValueRange domain, size_t num_parts,
                   SegmentSpace* space);
 
+  /// Restores a previously saved layout: `segments` must tile `domain` and
+  /// already live in `space`.
+  StaticPartition(ValueRange domain, size_t num_parts,
+                  std::vector<SegmentInfo> segments, SegmentSpace* space);
+
   /// The partitioning never changes; Reorganize only runs the compression
   /// advisor's cold sweep (a no-op when compression is off, preserving the
   /// baseline's "never adapts" behaviour byte-for-byte).
@@ -29,6 +34,7 @@ class StaticPartition : public AccessStrategy<T> {
   StorageFootprint Footprint() const override;
   std::vector<SegmentInfo> Segments() const override { return index_.segments(); }
   std::string Name() const override;
+  Status SaveState(StrategyState* out) const override;
 
  protected:
   /// Routes each value to its partition and tail-extends the affected

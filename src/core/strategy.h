@@ -59,6 +59,7 @@
 #include <string>
 #include <vector>
 
+#include "common/status.h"
 #include "core/column_cover.h"
 #include "core/compression_advisor.h"
 #include "core/oid_value.h"
@@ -72,6 +73,8 @@
 #include "storage/segment_space.h"
 
 namespace socs {
+
+class StrategyState;
 
 /// Per-query execution record: the paper's metrics for one range selection.
 struct QueryExecution {
@@ -433,6 +436,14 @@ class AccessStrategy {
   virtual std::vector<SegmentInfo> Segments() const = 0;
 
   virtual std::string Name() const = 0;
+
+  /// Captures the strategy's learned structure -- segment geometry, model
+  /// parameters, counters -- into `out` for the persistence layer (see
+  /// core/strategy_state.h). The inverse is RestoreStrategy<T>
+  /// (core/strategy_restore.h). Callers hold at least the shared latch.
+  virtual Status SaveState(StrategyState* /*out*/) const {
+    return Status::Unimplemented(Name() + ": no persistence support");
+  }
 
   SegmentSpace* space() const { return space_; }
 

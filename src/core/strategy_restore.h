@@ -1,0 +1,274 @@
+// RestoreStrategy<T>: the inverse of AccessStrategy::SaveState. Given a
+// parsed StrategyState and a SegmentSpace already holding the referenced
+// segment payloads (the persistence layer materializes them first), rebuilds
+// the strategy with its learned structure -- segment geometry, model
+// parameters, counters -- exactly as captured. Every referenced segment id
+// is checked against the space before construction, so a checkpoint that
+// disagrees with its segment files surfaces as a Status, not a crash.
+#ifndef SOCS_CORE_STRATEGY_RESTORE_H_
+#define SOCS_CORE_STRATEGY_RESTORE_H_
+
+#include <cstring>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "core/adaptive_replication.h"
+#include "core/adaptive_segmentation.h"
+#include "core/cracking.h"
+#include "core/deferred_segmentation.h"
+#include "core/non_segmented.h"
+#include "core/positional_blocks.h"
+#include "core/static_partition.h"
+#include "core/strategy.h"
+#include "core/strategy_state.h"
+
+namespace socs {
+
+namespace restore_detail {
+
+inline Status CheckLive(SegmentSpace* space, SegmentId id) {
+  if (id == kInvalidSegment || !space->Contains(id)) {
+    return Status::DataLoss("restored state references missing segment " +
+                            std::to_string(id));
+  }
+  return Status::OK();
+}
+
+inline Status CheckLive(SegmentSpace* space,
+                        const std::vector<SegmentInfo>& segs) {
+  for (const SegmentInfo& s : segs) {
+    Status st = CheckLive(space, s.id);
+    if (!st.ok()) return st;
+  }
+  return Status::OK();
+}
+
+inline StatusOr<ValueRange> GetDomain(const StrategyState& st) {
+  auto lo = st.GetDouble("domain.lo");
+  auto hi = st.GetDouble("domain.hi");
+  if (!lo.ok()) return lo.status();
+  if (!hi.ok()) return hi.status();
+  if (!(*lo <= *hi)) return Status::DataLoss("restored state: bad domain");
+  return ValueRange(*lo, *hi);
+}
+
+}  // namespace restore_detail
+
+/// Rebuilds the strategy captured in `st`. The referenced segments must
+/// already live in `space`; fails with DataLoss/NotFound when the state is
+/// incomplete or disagrees with the space, and InvalidArgument when the
+/// element type does not match the caller's T.
+template <typename T>
+StatusOr<std::unique_ptr<AccessStrategy<T>>> RestoreStrategy(
+    const StrategyState& st, SegmentSpace* space) {
+  using restore_detail::CheckLive;
+  auto kind = st.GetString("kind");
+  if (!kind.ok()) return kind.status();
+  auto vsize = st.GetU64("value_size");
+  if (!vsize.ok()) return vsize.status();
+  if (*vsize != sizeof(T)) {
+    return Status::InvalidArgument("restored state holds " +
+                                   std::to_string(*vsize) +
+                                   "-byte values, caller expects " +
+                                   std::to_string(sizeof(T)));
+  }
+  auto domain = restore_detail::GetDomain(st);
+  if (!domain.ok()) return domain.status();
+
+  if (*kind == "non_segmented") {
+    auto count = st.GetU64("count");
+    auto seg = st.GetU64("segment");
+    if (!count.ok()) return count.status();
+    if (!seg.ok()) return seg.status();
+    Status live = CheckLive(space, *seg);
+    if (!live.ok()) return live;
+    return std::unique_ptr<AccessStrategy<T>>(
+        std::make_unique<NonSegmented<T>>(*domain, *count, *seg, space));
+  }
+
+  if (*kind == "static_partition") {
+    auto parts = st.GetU64("num_parts");
+    auto segs = st.GetSegments("segments");
+    if (!parts.ok()) return parts.status();
+    if (!segs.ok()) return segs.status();
+    Status live = CheckLive(space, *segs);
+    if (!live.ok()) return live;
+    return std::unique_ptr<AccessStrategy<T>>(
+        std::make_unique<StaticPartition<T>>(*domain, *parts, std::move(*segs),
+                                             space));
+  }
+
+  if (*kind == "positional_blocks") {
+    auto block_bytes = st.GetU64("block_bytes");
+    auto zone_maps = st.GetU64("zone_maps");
+    auto total = st.GetU64("total_count");
+    auto ids = st.GetU64s("blocks.ids");
+    auto counts = st.GetU64s("blocks.counts");
+    auto mins = st.GetDoubles("blocks.min");
+    auto maxs = st.GetDoubles("blocks.max");
+    if (!block_bytes.ok()) return block_bytes.status();
+    if (!zone_maps.ok()) return zone_maps.status();
+    if (!total.ok()) return total.status();
+    if (!ids.ok()) return ids.status();
+    if (!counts.ok()) return counts.status();
+    if (!mins.ok()) return mins.status();
+    if (!maxs.ok()) return maxs.status();
+    if (ids->size() != counts->size() || ids->size() != mins->size() ||
+        ids->size() != maxs->size()) {
+      return Status::DataLoss("positional blocks: ragged block arrays");
+    }
+    std::vector<typename PositionalBlocks<T>::Block> blocks;
+    blocks.reserve(ids->size());
+    for (size_t i = 0; i < ids->size(); ++i) {
+      Status live = CheckLive(space, (*ids)[i]);
+      if (!live.ok()) return live;
+      blocks.push_back(typename PositionalBlocks<T>::Block{
+          (*ids)[i], (*counts)[i], (*mins)[i], (*maxs)[i]});
+    }
+    return std::unique_ptr<AccessStrategy<T>>(
+        std::make_unique<PositionalBlocks<T>>(*domain, *block_bytes,
+                                              *zone_maps != 0,
+                                              std::move(blocks), *total,
+                                              space));
+  }
+
+  if (*kind == "cracking") {
+    auto payload = st.GetBytes("payload");
+    auto bounds = st.GetDoubles("index.bounds");
+    auto positions = st.GetU64s("index.positions");
+    if (!payload.ok()) return payload.status();
+    if (!bounds.ok()) return bounds.status();
+    if (!positions.ok()) return positions.status();
+    if (payload->size() % sizeof(T) != 0) {
+      return Status::DataLoss("cracking: payload not a whole value array");
+    }
+    if (bounds->size() != positions->size()) {
+      return Status::DataLoss("cracking: ragged index arrays");
+    }
+    std::vector<T> cracker(payload->size() / sizeof(T));
+    if (!cracker.empty()) {
+      std::memcpy(cracker.data(), payload->data(), payload->size());
+    }
+    std::map<double, size_t> index;
+    for (size_t i = 0; i < bounds->size(); ++i) {
+      if ((*positions)[i] > cracker.size()) {
+        return Status::DataLoss("cracking: cracked bound past the array");
+      }
+      index[(*bounds)[i]] = (*positions)[i];
+    }
+    return std::unique_ptr<AccessStrategy<T>>(
+        std::make_unique<CrackingColumn<T>>(*domain, std::move(cracker),
+                                            std::move(index), space));
+  }
+
+  if (*kind == "adaptive_segmentation") {
+    auto segs = st.GetSegments("segments");
+    auto merge = st.GetU64("opts.merge");
+    auto threshold = st.GetU64("opts.merge_threshold");
+    if (!segs.ok()) return segs.status();
+    if (!merge.ok()) return merge.status();
+    if (!threshold.ok()) return threshold.status();
+    auto model = RestoreModel(st);
+    if (!model.ok()) return model.status();
+    Status live = CheckLive(space, *segs);
+    if (!live.ok()) return live;
+    typename AdaptiveSegmentation<T>::Options opts;
+    opts.merge_small_segments = *merge != 0;
+    opts.merge_threshold_bytes = *threshold;
+    return std::unique_ptr<AccessStrategy<T>>(
+        std::make_unique<AdaptiveSegmentation<T>>(*domain, std::move(*segs),
+                                                  std::move(*model), space,
+                                                  opts));
+  }
+
+  if (*kind == "deferred_segmentation") {
+    auto segs = st.GetSegments("segments");
+    auto batch = st.GetU64("opts.batch_queries");
+    auto target = st.GetU64("opts.target_bytes");
+    auto since = st.GetU64("queries_since_batch");
+    auto marked = st.GetU64s("marked");
+    if (!segs.ok()) return segs.status();
+    if (!batch.ok()) return batch.status();
+    if (!target.ok()) return target.status();
+    if (!since.ok()) return since.status();
+    if (!marked.ok()) return marked.status();
+    auto model = RestoreModel(st);
+    if (!model.ok()) return model.status();
+    Status live = CheckLive(space, *segs);
+    if (!live.ok()) return live;
+    if (*batch == 0) return Status::DataLoss("deferred: zero batch_queries");
+    typename DeferredSegmentation<T>::Options opts;
+    opts.batch_queries = *batch;
+    opts.target_bytes = *target;
+    return std::unique_ptr<AccessStrategy<T>>(
+        std::make_unique<DeferredSegmentation<T>>(
+            *domain, std::move(*segs), std::move(*model), space, opts, *since,
+            std::set<SegmentId>(marked->begin(), marked->end())));
+  }
+
+  if (*kind == "adaptive_replication") {
+    auto budget = st.GetU64("opts.budget");
+    auto total = st.GetU64("total_bytes");
+    auto queries = st.GetU64("query_counter");
+    auto lo = st.GetDoubles("tree.lo");
+    auto hi = st.GetDoubles("tree.hi");
+    auto counts = st.GetU64s("tree.count");
+    auto flags = st.GetU64s("tree.flags");
+    auto segs = st.GetU64s("tree.seg");
+    auto last = st.GetU64s("tree.last");
+    auto kids = st.GetU64s("tree.kids");
+    if (!budget.ok()) return budget.status();
+    if (!total.ok()) return total.status();
+    if (!queries.ok()) return queries.status();
+    if (!lo.ok()) return lo.status();
+    if (!hi.ok()) return hi.status();
+    if (!counts.ok()) return counts.status();
+    if (!flags.ok()) return flags.status();
+    if (!segs.ok()) return segs.status();
+    if (!last.ok()) return last.status();
+    if (!kids.ok()) return kids.status();
+    const size_t n = lo->size();
+    if (hi->size() != n || counts->size() != n || flags->size() != n ||
+        segs->size() != n || last->size() != n || kids->size() != n) {
+      return Status::DataLoss("adaptive replication: ragged tree arrays");
+    }
+    std::vector<ReplicaNodeImage> images;
+    images.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      ReplicaNodeImage img;
+      img.range = ValueRange((*lo)[i], (*hi)[i]);
+      img.count = (*counts)[i];
+      img.count_exact = ((*flags)[i] & 1u) != 0;
+      img.materialized = ((*flags)[i] & 2u) != 0;
+      img.seg = (*segs)[i];
+      img.last_access = (*last)[i];
+      img.num_children = (*kids)[i];
+      if (img.materialized) {
+        Status live = CheckLive(space, img.seg);
+        if (!live.ok()) return live;
+      }
+      images.push_back(img);
+    }
+    auto model = RestoreModel(st);
+    if (!model.ok()) return model.status();
+    auto tree = ReplicaTree::FromImages(*domain, images);
+    if (!tree.ok()) return tree.status();
+    typename AdaptiveReplication<T>::Options opts;
+    opts.storage_budget_bytes = *budget;
+    return std::unique_ptr<AccessStrategy<T>>(
+        std::make_unique<AdaptiveReplication<T>>(std::move(**tree),
+                                                 std::move(*model), space,
+                                                 opts, *total, *queries));
+  }
+
+  return Status::InvalidArgument("unknown strategy kind '" + *kind + "'");
+}
+
+}  // namespace socs
+
+#endif  // SOCS_CORE_STRATEGY_RESTORE_H_

@@ -1,0 +1,295 @@
+#include "core/strategy_state.h"
+
+#include <cstring>
+
+#include "core/apm.h"
+#include "core/auto_apm.h"
+#include "core/gaussian_dice.h"
+#include "core/model.h"
+
+namespace socs {
+
+namespace {
+
+void AppendU64(std::vector<std::byte>* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<std::byte>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void AppendU32(std::vector<std::byte>* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<std::byte>((v >> (8 * i)) & 0xff));
+  }
+}
+
+uint64_t ReadU64(const std::byte* p) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(std::to_integer<uint8_t>(p[i])) << (8 * i);
+  }
+  return v;
+}
+
+uint32_t ReadU32(const std::byte* p) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(std::to_integer<uint8_t>(p[i])) << (8 * i);
+  }
+  return v;
+}
+
+uint64_t DoubleBits(double d) {
+  uint64_t bits;
+  std::memcpy(&bits, &d, sizeof(bits));
+  return bits;
+}
+
+double BitsDouble(uint64_t bits) {
+  double d;
+  std::memcpy(&d, &bits, sizeof(d));
+  return d;
+}
+
+}  // namespace
+
+void StrategyState::PutU64(const std::string& key, uint64_t v) {
+  std::vector<std::byte> bytes;
+  AppendU64(&bytes, v);
+  fields_[key] = std::move(bytes);
+}
+
+void StrategyState::PutDouble(const std::string& key, double v) {
+  PutU64(key, DoubleBits(v));
+}
+
+void StrategyState::PutString(const std::string& key, std::string v) {
+  std::vector<std::byte> bytes(v.size());
+  std::memcpy(bytes.data(), v.data(), v.size());
+  fields_[key] = std::move(bytes);
+}
+
+void StrategyState::PutBytes(const std::string& key, std::vector<std::byte> v) {
+  fields_[key] = std::move(v);
+}
+
+void StrategyState::PutU64s(const std::string& key,
+                            const std::vector<uint64_t>& v) {
+  std::vector<std::byte> bytes;
+  bytes.reserve(v.size() * 8);
+  for (uint64_t x : v) AppendU64(&bytes, x);
+  fields_[key] = std::move(bytes);
+}
+
+void StrategyState::PutDoubles(const std::string& key,
+                               const std::vector<double>& v) {
+  std::vector<std::byte> bytes;
+  bytes.reserve(v.size() * 8);
+  for (double d : v) AppendU64(&bytes, DoubleBits(d));
+  fields_[key] = std::move(bytes);
+}
+
+void StrategyState::PutSegments(const std::string& key,
+                                const std::vector<SegmentInfo>& v) {
+  std::vector<std::byte> bytes;
+  bytes.reserve(v.size() * 32);
+  for (const SegmentInfo& s : v) {
+    AppendU64(&bytes, DoubleBits(s.range.lo));
+    AppendU64(&bytes, DoubleBits(s.range.hi));
+    AppendU64(&bytes, s.count);
+    AppendU64(&bytes, s.id);
+  }
+  fields_[key] = std::move(bytes);
+}
+
+const std::vector<std::byte>* StrategyState::Find(const std::string& key) const {
+  auto it = fields_.find(key);
+  return it == fields_.end() ? nullptr : &it->second;
+}
+
+StatusOr<uint64_t> StrategyState::GetU64(const std::string& key) const {
+  const auto* f = Find(key);
+  if (f == nullptr) return Status::NotFound("state field " + key);
+  if (f->size() != 8) return Status::DataLoss("field " + key + ": bad size");
+  return ReadU64(f->data());
+}
+
+StatusOr<double> StrategyState::GetDouble(const std::string& key) const {
+  auto bits = GetU64(key);
+  if (!bits.ok()) return bits.status();
+  return BitsDouble(*bits);
+}
+
+StatusOr<std::string> StrategyState::GetString(const std::string& key) const {
+  const auto* f = Find(key);
+  if (f == nullptr) return Status::NotFound("state field " + key);
+  return std::string(reinterpret_cast<const char*>(f->data()), f->size());
+}
+
+StatusOr<std::vector<std::byte>> StrategyState::GetBytes(
+    const std::string& key) const {
+  const auto* f = Find(key);
+  if (f == nullptr) return Status::NotFound("state field " + key);
+  return *f;
+}
+
+StatusOr<std::vector<uint64_t>> StrategyState::GetU64s(
+    const std::string& key) const {
+  const auto* f = Find(key);
+  if (f == nullptr) return Status::NotFound("state field " + key);
+  if (f->size() % 8 != 0) return Status::DataLoss("field " + key + ": bad size");
+  std::vector<uint64_t> out(f->size() / 8);
+  for (size_t i = 0; i < out.size(); ++i) out[i] = ReadU64(f->data() + 8 * i);
+  return out;
+}
+
+StatusOr<std::vector<double>> StrategyState::GetDoubles(
+    const std::string& key) const {
+  auto raw = GetU64s(key);
+  if (!raw.ok()) return raw.status();
+  std::vector<double> out(raw->size());
+  for (size_t i = 0; i < out.size(); ++i) out[i] = BitsDouble((*raw)[i]);
+  return out;
+}
+
+StatusOr<std::vector<SegmentInfo>> StrategyState::GetSegments(
+    const std::string& key) const {
+  const auto* f = Find(key);
+  if (f == nullptr) return Status::NotFound("state field " + key);
+  if (f->size() % 32 != 0) return Status::DataLoss("field " + key + ": bad size");
+  std::vector<SegmentInfo> out;
+  out.reserve(f->size() / 32);
+  for (size_t off = 0; off < f->size(); off += 32) {
+    const double lo = BitsDouble(ReadU64(f->data() + off));
+    const double hi = BitsDouble(ReadU64(f->data() + off + 8));
+    if (!(lo <= hi)) return Status::DataLoss("field " + key + ": bad range");
+    SegmentInfo s;
+    s.range = ValueRange(lo, hi);
+    s.count = ReadU64(f->data() + off + 16);
+    s.id = ReadU64(f->data() + off + 24);
+    out.push_back(s);
+  }
+  return out;
+}
+
+std::vector<std::byte> StrategyState::Serialize() const {
+  std::vector<std::byte> out;
+  AppendU32(&out, static_cast<uint32_t>(fields_.size()));
+  for (const auto& [key, value] : fields_) {
+    AppendU32(&out, static_cast<uint32_t>(key.size()));
+    for (char c : key) out.push_back(static_cast<std::byte>(c));
+    AppendU64(&out, value.size());
+    out.insert(out.end(), value.begin(), value.end());
+  }
+  return out;
+}
+
+StatusOr<StrategyState> StrategyState::Parse(std::span<const std::byte> bytes) {
+  StrategyState st;
+  size_t off = 0;
+  auto need = [&](size_t n) { return off + n <= bytes.size(); };
+  if (!need(4)) return Status::DataLoss("strategy state: truncated header");
+  const uint32_t count = ReadU32(bytes.data());
+  off = 4;
+  for (uint32_t i = 0; i < count; ++i) {
+    if (!need(4)) return Status::DataLoss("strategy state: truncated key len");
+    const uint32_t klen = ReadU32(bytes.data() + off);
+    off += 4;
+    if (klen > 4096 || !need(klen)) {
+      return Status::DataLoss("strategy state: truncated key");
+    }
+    std::string key(reinterpret_cast<const char*>(bytes.data() + off), klen);
+    off += klen;
+    if (!need(8)) return Status::DataLoss("strategy state: truncated value len");
+    const uint64_t vlen = ReadU64(bytes.data() + off);
+    off += 8;
+    if (!need(vlen)) return Status::DataLoss("strategy state: truncated value");
+    st.fields_[key] =
+        std::vector<std::byte>(bytes.begin() + off, bytes.begin() + off + vlen);
+    off += vlen;
+  }
+  if (off != bytes.size()) {
+    return Status::DataLoss("strategy state: trailing bytes");
+  }
+  return st;
+}
+
+namespace {
+// Model kinds in "model.kind".
+constexpr uint64_t kModelApm = 1;
+constexpr uint64_t kModelGd = 2;
+constexpr uint64_t kModelAutoApm = 3;
+}  // namespace
+
+Status SaveModel(const SegmentationModel& model, StrategyState* out) {
+  if (const auto* apm = dynamic_cast<const Apm*>(&model)) {
+    out->PutU64("model.kind", kModelApm);
+    out->PutU64("model.min_bytes", apm->min_bytes());
+    out->PutU64("model.max_bytes", apm->max_bytes());
+    return Status::OK();
+  }
+  if (const auto* gd = dynamic_cast<const GaussianDice*>(&model)) {
+    out->PutU64("model.kind", kModelGd);
+    out->PutU64("model.seed", gd->seed());
+    return Status::OK();
+  }
+  if (const auto* aa = dynamic_cast<const AutoApm*>(&model)) {
+    const AutoApm::Tuning& t = aa->tuning();
+    out->PutU64("model.kind", kModelAutoApm);
+    out->PutDouble("model.max_factor", t.max_factor);
+    out->PutU64("model.divisor", t.divisor);
+    out->PutU64("model.floor_bytes", t.floor_bytes);
+    out->PutU64("model.cap_bytes", t.cap_bytes);
+    out->PutDouble("model.ema_alpha", t.ema_alpha);
+    out->PutDouble("model.ema", aa->ema());
+    out->PutU64("model.seeded", aa->seeded() ? 1 : 0);
+    return Status::OK();
+  }
+  return Status::Unimplemented("model " + model.Name() + ": no persistence");
+}
+
+StatusOr<std::unique_ptr<SegmentationModel>> RestoreModel(
+    const StrategyState& st) {
+  auto kind = st.GetU64("model.kind");
+  if (!kind.ok()) return kind.status();
+  switch (*kind) {
+    case kModelApm: {
+      auto mn = st.GetU64("model.min_bytes");
+      auto mx = st.GetU64("model.max_bytes");
+      if (!mn.ok() || !mx.ok()) return Status::DataLoss("APM: missing bounds");
+      return std::unique_ptr<SegmentationModel>(
+          std::make_unique<Apm>(*mn, *mx));
+    }
+    case kModelGd: {
+      auto seed = st.GetU64("model.seed");
+      if (!seed.ok()) return seed.status();
+      return std::unique_ptr<SegmentationModel>(
+          std::make_unique<GaussianDice>(*seed));
+    }
+    case kModelAutoApm: {
+      AutoApm::Tuning t;
+      auto mf = st.GetDouble("model.max_factor");
+      auto dv = st.GetU64("model.divisor");
+      auto fb = st.GetU64("model.floor_bytes");
+      auto cb = st.GetU64("model.cap_bytes");
+      auto ea = st.GetDouble("model.ema_alpha");
+      auto ema = st.GetDouble("model.ema");
+      auto seeded = st.GetU64("model.seeded");
+      if (!mf.ok() || !dv.ok() || !fb.ok() || !cb.ok() || !ea.ok() ||
+          !ema.ok() || !seeded.ok()) {
+        return Status::DataLoss("AutoAPM: missing tuning");
+      }
+      t.max_factor = *mf;
+      t.divisor = *dv;
+      t.floor_bytes = *fb;
+      t.cap_bytes = *cb;
+      t.ema_alpha = *ea;
+      return std::unique_ptr<SegmentationModel>(
+          std::make_unique<AutoApm>(t, *ema, *seeded != 0));
+    }
+    default:
+      return Status::DataLoss("unknown model kind " + std::to_string(*kind));
+  }
+}
+
+}  // namespace socs

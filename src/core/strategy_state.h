@@ -1,0 +1,76 @@
+// StrategyState: the serialized form of one strategy's learned structure --
+// segment geometry, model parameters, counters -- as an ordered key -> bytes
+// document. The persistence layer (src/persist) stores one StrategyState per
+// segmented column inside each checkpoint; recovery parses it back and hands
+// it to RestoreStrategy<T> (core/strategy_restore.h).
+//
+// Every value is little-endian raw bytes with a typed accessor; doubles are
+// stored as their IEEE-754 bit pattern (bit-exact round trips -- the
+// replacement for the seed-era "%.17g" text manifest, which could not
+// round-trip every double). Serialization is deterministic: fields are
+// ordered by key, so identical states produce identical bytes (checkpoints
+// of an unchanged column are byte-stable).
+#ifndef SOCS_CORE_STRATEGY_STATE_H_
+#define SOCS_CORE_STRATEGY_STATE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/segment.h"
+
+namespace socs {
+
+class SegmentationModel;
+
+class StrategyState {
+ public:
+  void PutU64(const std::string& key, uint64_t v);
+  /// Bit-exact double (IEEE-754 bit pattern, little-endian).
+  void PutDouble(const std::string& key, double v);
+  void PutString(const std::string& key, std::string v);
+  void PutBytes(const std::string& key, std::vector<std::byte> v);
+  void PutU64s(const std::string& key, const std::vector<uint64_t>& v);
+  void PutDoubles(const std::string& key, const std::vector<double>& v);
+  /// Segment list: (lo, hi, count, id) per segment, 32 bytes each.
+  void PutSegments(const std::string& key, const std::vector<SegmentInfo>& v);
+
+  StatusOr<uint64_t> GetU64(const std::string& key) const;
+  StatusOr<double> GetDouble(const std::string& key) const;
+  StatusOr<std::string> GetString(const std::string& key) const;
+  StatusOr<std::vector<std::byte>> GetBytes(const std::string& key) const;
+  StatusOr<std::vector<uint64_t>> GetU64s(const std::string& key) const;
+  StatusOr<std::vector<double>> GetDoubles(const std::string& key) const;
+  StatusOr<std::vector<SegmentInfo>> GetSegments(const std::string& key) const;
+
+  bool Has(const std::string& key) const { return fields_.count(key) > 0; }
+  size_t field_count() const { return fields_.size(); }
+
+  /// Deterministic wire form (see file comment) / its inverse.
+  std::vector<std::byte> Serialize() const;
+  static StatusOr<StrategyState> Parse(std::span<const std::byte> bytes);
+
+  bool operator==(const StrategyState& o) const { return fields_ == o.fields_; }
+
+ private:
+  const std::vector<std::byte>* Find(const std::string& key) const;
+
+  std::map<std::string, std::vector<std::byte>> fields_;
+};
+
+/// Captures a segmentation model's identity and parameters under "model.*"
+/// keys. APM and AutoAPM restore exactly (AutoAPM keeps its learned EMA);
+/// GD's dice stream restarts from its seed -- the learned *layout* is exact,
+/// future split draws replay from the beginning.
+Status SaveModel(const SegmentationModel& model, StrategyState* out);
+StatusOr<std::unique_ptr<SegmentationModel>> RestoreModel(
+    const StrategyState& st);
+
+}  // namespace socs
+
+#endif  // SOCS_CORE_STRATEGY_STATE_H_

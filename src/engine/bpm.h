@@ -58,6 +58,7 @@ class SegmentedColumn {
   const std::string& name() const { return name_; }
   ValType sql_type() const { return sql_type_; }
   AccessStrategy<OidValue>* strategy() { return strategy_.get(); }
+  SegmentSpace* space() const { return space_; }
   const CostModel& cost_model() const;
 
   /// Disjoint segments covering the inclusive selection [lo, hi] (from a

@@ -174,4 +174,27 @@ StatusOr<uint64_t> Catalog::RowCount(const std::string& table) const {
   return it->second.rows;
 }
 
+std::vector<std::string> Catalog::TableNames() const {
+  std::shared_lock<std::shared_mutex> lk(mu_);
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, t] : tables_) names.push_back(name);
+  return names;
+}
+
+StatusOr<TypedVector> Catalog::PlainColumn(const std::string& table,
+                                           const std::string& column) const {
+  std::shared_lock<std::shared_mutex> lk(mu_);
+  auto it = tables_.find(table);
+  if (it == tables_.end()) return Status::NotFound("table " + table);
+  auto cit = it->second.columns.find(column);
+  if (cit == it->second.columns.end()) {
+    return Status::NotFound(table + "." + column);
+  }
+  if (cit->second.segmented) {
+    return Status::InvalidArgument(table + "." + column + " is segmented");
+  }
+  return cit->second.plain;
+}
+
 }  // namespace socs

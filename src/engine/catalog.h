@@ -63,6 +63,14 @@ class Catalog {
   std::vector<std::string> ColumnNames(const std::string& table) const;
   StatusOr<uint64_t> RowCount(const std::string& table) const;
 
+  /// Registered table names (sorted). Checkpointing walks these.
+  std::vector<std::string> TableNames() const;
+
+  /// A copy of a plain column's payload (snapshot under the shared lock).
+  /// Fails for segmented columns -- their state is the strategy's.
+  StatusOr<TypedVector> PlainColumn(const std::string& table,
+                                    const std::string& column) const;
+
   /// Every registered segmented column (stable order). The server's shutdown
   /// drain walks these to force a final maintenance pass per column.
   std::vector<SegmentedColumn*> SegmentedColumns() const;

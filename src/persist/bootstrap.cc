@@ -1,0 +1,225 @@
+#include "persist/bootstrap.h"
+
+#include <algorithm>
+#include <cstring>
+#include <set>
+#include <utility>
+
+#include "core/oid_value.h"
+#include "core/strategy_restore.h"
+#include "exec/column_latch.h"
+
+namespace socs::persist {
+
+namespace {
+
+template <typename T>
+std::vector<std::byte> VectorBytes(const std::vector<T>& v) {
+  std::vector<std::byte> out(v.size() * sizeof(T));
+  if (!out.empty()) std::memcpy(out.data(), v.data(), out.size());
+  return out;
+}
+
+std::vector<std::byte> TypedVectorBytes(const TypedVector& v) {
+  switch (v.type()) {
+    case ValType::kOid: return VectorBytes(v.Get<Oid>());
+    case ValType::kInt: return VectorBytes(v.Get<int32_t>());
+    case ValType::kLng: return VectorBytes(v.Get<int64_t>());
+    case ValType::kFlt: return VectorBytes(v.Get<float>());
+    case ValType::kDbl: return VectorBytes(v.Get<double>());
+    case ValType::kVoid: break;  // not materialized; unreachable
+  }
+  return {};
+}
+
+template <typename T>
+StatusOr<TypedVector> VectorFromBytes(const std::vector<std::byte>& bytes) {
+  if (bytes.size() % sizeof(T) != 0) {
+    return Status::DataLoss("plain column payload not a whole value array");
+  }
+  std::vector<T> values(bytes.size() / sizeof(T));
+  if (!values.empty()) std::memcpy(values.data(), bytes.data(), bytes.size());
+  return TypedVector::Of<T>(std::move(values));
+}
+
+StatusOr<TypedVector> TypedVectorFromImage(const ColumnImage& c) {
+  switch (static_cast<ValType>(c.plain_type)) {
+    case ValType::kOid: return VectorFromBytes<Oid>(c.plain_payload);
+    case ValType::kInt: return VectorFromBytes<int32_t>(c.plain_payload);
+    case ValType::kLng: return VectorFromBytes<int64_t>(c.plain_payload);
+    case ValType::kFlt: return VectorFromBytes<float>(c.plain_payload);
+    case ValType::kDbl: return VectorFromBytes<double>(c.plain_payload);
+    case ValType::kVoid: break;
+  }
+  return Status::DataLoss("plain column " + c.name + ": bad type tag");
+}
+
+/// The segment ids a strategy state references -- read from the state
+/// document itself (not the restored strategy), so the set is exactly what
+/// RestoreStrategy checked against the space.
+Status CollectSegmentIds(const StrategyState& st, std::set<SegmentId>* out) {
+  auto kind = st.GetString("kind");
+  if (!kind.ok()) return kind.status();
+  if (*kind == "cracking") return Status::OK();  // payload lives in the state
+  if (*kind == "non_segmented") {
+    auto seg = st.GetU64("segment");
+    if (!seg.ok()) return seg.status();
+    out->insert(*seg);
+    return Status::OK();
+  }
+  if (*kind == "positional_blocks") {
+    auto ids = st.GetU64s("blocks.ids");
+    if (!ids.ok()) return ids.status();
+    out->insert(ids->begin(), ids->end());
+    return Status::OK();
+  }
+  if (*kind == "adaptive_replication") {
+    auto segs = st.GetU64s("tree.seg");
+    auto flags = st.GetU64s("tree.flags");
+    if (!segs.ok()) return segs.status();
+    if (!flags.ok()) return flags.status();
+    if (segs->size() != flags->size()) {
+      return Status::DataLoss("adaptive replication: ragged tree arrays");
+    }
+    for (size_t i = 0; i < segs->size(); ++i) {
+      if (((*flags)[i] & 2u) != 0) out->insert((*segs)[i]);
+    }
+    return Status::OK();
+  }
+  // static_partition, adaptive_segmentation, deferred_segmentation.
+  auto segs = st.GetSegments("segments");
+  if (!segs.ok()) return segs.status();
+  for (const SegmentInfo& s : *segs) out->insert(s.id);
+  return Status::OK();
+}
+
+}  // namespace
+
+StatusOr<DatabaseImage> CaptureDatabase(Catalog& catalog) {
+  DatabaseImage db;
+  for (const std::string& table : catalog.TableNames()) {
+    auto write_lock = catalog.LockTableWrites(table);
+    TableImage t;
+    t.name = table;
+    auto rows = catalog.RowCount(table);
+    if (!rows.ok()) return rows.status();
+    t.rows = *rows;
+    for (const std::string& column : catalog.ColumnNames(table)) {
+      ColumnImage c;
+      c.name = column;
+      if (catalog.IsSegmented(table, column)) {
+        SegmentedColumn* sc = catalog.GetSegmentedOrNull(table, column);
+        if (sc == nullptr) {
+          return Status::Internal(table + "." + column +
+                                  ": segmented but no handle");
+        }
+        c.segmented = true;
+        c.sql_type = static_cast<uint8_t>(sc->sql_type());
+        // Capture the id-allocation watermark with the structure: a restored
+        // space must hand out the same ids post-recovery reorganization
+        // would have received pre-crash.
+        if (sc->space() != nullptr) {
+          db.next_segment_id =
+              std::max(db.next_segment_id,
+                       static_cast<uint64_t>(sc->space()->next_segment_id()));
+        }
+        const AccessStrategy<OidValue>* strategy = sc->strategy();
+        SharedColumnGuard guard(strategy->latch());
+        Status st = strategy->SaveState(&c.state);
+        if (!st.ok()) return st;
+      } else {
+        auto plain = catalog.PlainColumn(table, column);
+        if (!plain.ok()) return plain.status();
+        c.segmented = false;
+        c.plain_type = static_cast<uint8_t>(plain->type());
+        c.sql_type = c.plain_type;
+        c.plain_payload = TypedVectorBytes(*plain);
+      }
+      t.columns.push_back(std::move(c));
+    }
+    db.tables.push_back(std::move(t));
+  }
+  return db;
+}
+
+StatusOr<RestoreReport> RestoreDatabase(PersistentStore* store,
+                                        SegmentSpace* space,
+                                        Catalog* catalog) {
+  RestoreReport report;
+  const DatabaseImage& db = store->image();
+
+  // 1. Collect the referenced-segment set from every strategy state.
+  std::set<SegmentId> referenced;
+  for (const TableImage& t : db.tables) {
+    for (const ColumnImage& c : t.columns) {
+      if (c.segmented) {
+        Status st = CollectSegmentIds(c.state, &referenced);
+        if (!st.ok()) return st;
+      }
+    }
+  }
+
+  // 2. Materialize exactly the referenced blobs under their original ids.
+  //    Blobs logged after the capture (or dead-but-retained) are never
+  //    materialized -- restoring them would advance the id allocator past
+  //    ids the pre-crash run never handed out, breaking byte-identical
+  //    layout replay -- and are dropped store-side by the Rebase below.
+  report.segments_swept = store->AllSegments().size() - referenced.size();
+  for (SegmentId id : referenced) {
+    auto blob = store->ReadSegment(id);
+    if (!blob.ok()) return blob.status();
+    space->RestoreSegment(id, std::move(blob->physical), blob->codec,
+                          blob->logical_bytes);
+    ++report.segments_restored;
+  }
+  space->AdvanceNextSegmentId(db.next_segment_id);
+
+  // 3. Rebuild the catalog over the materialized segments.
+  for (const TableImage& t : db.tables) {
+    for (const ColumnImage& c : t.columns) {
+      if (c.segmented) {
+        auto strategy = RestoreStrategy<OidValue>(c.state, space);
+        if (!strategy.ok()) return strategy.status();
+        // Name the column object by its bpm.take handle, exactly as every
+        // build site does -- "#layout" output must be byte-identical across
+        // a crash/recover cycle.
+        auto sc = std::make_unique<SegmentedColumn>(
+            Catalog::SegHandle(t.name, c.name),
+            static_cast<ValType>(c.sql_type), std::move(*strategy), space);
+        Status st = catalog->AddSegmentedColumn(t.name, c.name, std::move(sc));
+        if (!st.ok()) return st;
+      } else {
+        auto values = TypedVectorFromImage(c);
+        if (!values.ok()) return values.status();
+        Status st = catalog->AddColumn(t.name, c.name, std::move(*values));
+        if (!st.ok()) return st;
+      }
+      ++report.columns;
+    }
+    auto rows = catalog->RowCount(t.name);
+    if (!rows.ok()) return rows.status();
+    if (*rows != t.rows) {
+      return Status::DataLoss("table " + t.name + ": restored row count " +
+                              std::to_string(*rows) + " != checkpointed " +
+                              std::to_string(t.rows));
+    }
+    ++report.tables;
+  }
+
+  // 4. Rebase the object table to the image's truth; the un-materialized
+  //    extra blobs (created after the image was captured, or
+  //    dead-but-retained) become dead extents in the segment files.
+  Status st = store->Rebase(
+      std::vector<SegmentId>(referenced.begin(), referenced.end()));
+  if (!st.ok()) return st;
+  return report;
+}
+
+StatusOr<uint64_t> CheckpointNow(PersistentStore* store, Catalog& catalog) {
+  const uint64_t capture_seq = store->BeginCapture();
+  auto image = CaptureDatabase(catalog);
+  if (!image.ok()) return image.status();
+  return store->WriteCheckpoint(*image, capture_seq);
+}
+
+}  // namespace socs::persist

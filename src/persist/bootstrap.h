@@ -1,0 +1,51 @@
+// Engine <-> store glue: capturing a live Catalog into a DatabaseImage,
+// rebuilding a Catalog + SegmentSpace from a recovered store, and the
+// checkpoint entry point the server's maintenance lane calls.
+//
+// Lock order during capture: per-table write lock (blocks an in-flight
+// INSERT from splitting its appends across the image), then each segmented
+// column's shared latch around SaveState. Neither is held across tables, so
+// the image is per-table -- not globally -- consistent; the object table's
+// capture-sequence retention (persist/store.h) keeps every referenced
+// segment readable regardless.
+#ifndef SOCS_PERSIST_BOOTSTRAP_H_
+#define SOCS_PERSIST_BOOTSTRAP_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "engine/catalog.h"
+#include "persist/image.h"
+#include "persist/store.h"
+#include "storage/segment_space.h"
+
+namespace socs::persist {
+
+/// Snapshots the catalog: every table's shape and row count, plain column
+/// payloads, and each segmented column's StrategyState.
+StatusOr<DatabaseImage> CaptureDatabase(Catalog& catalog);
+
+struct RestoreReport {
+  /// Segments materialized from the store into the space.
+  uint64_t segments_restored = 0;
+  /// Materialized segments no restored strategy referenced (created or
+  /// freed after the recovered image was captured); freed again.
+  uint64_t segments_swept = 0;
+  uint64_t tables = 0;
+  uint64_t columns = 0;
+};
+
+/// Rebuilds the database from `store`'s recovered image: materializes every
+/// retained segment into `space`, reconstructs plain columns and strategy
+/// structures into `catalog` (which must be empty), rebases the store's
+/// object table to the image's referenced set, and sweeps the rest.
+/// The space's durability sink should already be attached.
+StatusOr<RestoreReport> RestoreDatabase(PersistentStore* store,
+                                        SegmentSpace* space, Catalog* catalog);
+
+/// Captures the catalog and commits it as the next checkpoint generation.
+StatusOr<uint64_t> CheckpointNow(PersistentStore* store, Catalog& catalog);
+
+}  // namespace socs::persist
+
+#endif  // SOCS_PERSIST_BOOTSTRAP_H_

@@ -1,0 +1,280 @@
+#include "persist/format.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace socs::persist {
+
+namespace {
+
+std::array<uint32_t, 256> MakeCrcTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+Status Errno(const std::string& what) {
+  return Status::Internal(what + ": " + std::strerror(errno));
+}
+
+std::string DirOf(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+}  // namespace
+
+uint32_t Crc32(std::span<const std::byte> bytes) {
+  static const std::array<uint32_t, 256> kTable = MakeCrcTable();
+  uint32_t c = 0xFFFFFFFFu;
+  for (std::byte b : bytes) {
+    c = kTable[(c ^ static_cast<uint8_t>(b)) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+void ByteWriter::U32(uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out_.push_back(static_cast<std::byte>((v >> (8 * i)) & 0xFFu));
+  }
+}
+
+void ByteWriter::U64(uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out_.push_back(static_cast<std::byte>((v >> (8 * i)) & 0xFFu));
+  }
+}
+
+void ByteWriter::Double(double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof bits);
+  U64(bits);
+}
+
+void ByteWriter::Bytes(std::span<const std::byte> v) {
+  out_.insert(out_.end(), v.begin(), v.end());
+}
+
+void ByteWriter::String(const std::string& s) {
+  U32(static_cast<uint32_t>(s.size()));
+  const auto* p = reinterpret_cast<const std::byte*>(s.data());
+  out_.insert(out_.end(), p, p + s.size());
+}
+
+StatusOr<uint8_t> ByteReader::U8() {
+  if (remaining() < 1) return Status::DataLoss("truncated record (u8)");
+  return static_cast<uint8_t>(data_[pos_++]);
+}
+
+StatusOr<uint32_t> ByteReader::U32() {
+  if (remaining() < 4) return Status::DataLoss("truncated record (u32)");
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(static_cast<uint8_t>(data_[pos_ + i])) << (8 * i);
+  }
+  pos_ += 4;
+  return v;
+}
+
+StatusOr<uint64_t> ByteReader::U64() {
+  if (remaining() < 8) return Status::DataLoss("truncated record (u64)");
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(static_cast<uint8_t>(data_[pos_ + i])) << (8 * i);
+  }
+  pos_ += 8;
+  return v;
+}
+
+StatusOr<double> ByteReader::Double() {
+  auto bits = U64();
+  if (!bits.ok()) return bits.status();
+  double v;
+  std::memcpy(&v, &*bits, sizeof v);
+  return v;
+}
+
+StatusOr<std::vector<std::byte>> ByteReader::Bytes(size_t n) {
+  if (remaining() < n) return Status::DataLoss("truncated record (bytes)");
+  std::vector<std::byte> out(data_.begin() + pos_, data_.begin() + pos_ + n);
+  pos_ += n;
+  return out;
+}
+
+StatusOr<std::string> ByteReader::String() {
+  auto len = U32();
+  if (!len.ok()) return len.status();
+  if (remaining() < *len) return Status::DataLoss("truncated record (string)");
+  std::string s(reinterpret_cast<const char*>(data_.data() + pos_), *len);
+  pos_ += *len;
+  return s;
+}
+
+FileHandle::~FileHandle() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+FileHandle::FileHandle(FileHandle&& o) noexcept : fd_(o.fd_) { o.fd_ = -1; }
+
+FileHandle& FileHandle::operator=(FileHandle&& o) noexcept {
+  if (this != &o) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = o.fd_;
+    o.fd_ = -1;
+  }
+  return *this;
+}
+
+StatusOr<FileHandle> FileHandle::OpenRW(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+  if (fd < 0) return Errno("open " + path);
+  FileHandle h;
+  h.fd_ = fd;
+  return h;
+}
+
+StatusOr<uint64_t> FileHandle::Append(std::span<const std::byte> bytes) {
+  const off_t end = ::lseek(fd_, 0, SEEK_END);
+  if (end < 0) return Errno("lseek");
+  size_t done = 0;
+  while (done < bytes.size()) {
+    const ssize_t n = ::pwrite(fd_, bytes.data() + done, bytes.size() - done,
+                               end + static_cast<off_t>(done));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("pwrite");
+    }
+    done += static_cast<size_t>(n);
+  }
+  return static_cast<uint64_t>(end);
+}
+
+Status FileHandle::ReadAt(uint64_t offset, uint64_t length,
+                          std::vector<std::byte>* out) const {
+  out->resize(length);
+  size_t done = 0;
+  while (done < length) {
+    const ssize_t n = ::pread(fd_, out->data() + done, length - done,
+                              static_cast<off_t>(offset + done));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("pread");
+    }
+    if (n == 0) return Status::DataLoss("short read: file ends early");
+    done += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status FileHandle::Sync() {
+  if (::fsync(fd_) != 0) return Errno("fsync");
+  return Status::OK();
+}
+
+Status FileHandle::Truncate(uint64_t size) {
+  if (::ftruncate(fd_, static_cast<off_t>(size)) != 0) {
+    return Errno("ftruncate");
+  }
+  return Status::OK();
+}
+
+StatusOr<uint64_t> FileHandle::Size() const {
+  struct stat st;
+  if (::fstat(fd_, &st) != 0) return Errno("fstat");
+  return static_cast<uint64_t>(st.st_size);
+}
+
+StatusOr<std::vector<std::byte>> ReadFileBytes(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    if (errno == ENOENT) return Status::NotFound("no file " + path);
+    return Errno("open " + path);
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    const Status s = Errno("fstat " + path);
+    ::close(fd);
+    return s;
+  }
+  std::vector<std::byte> bytes(static_cast<size_t>(st.st_size));
+  size_t done = 0;
+  while (done < bytes.size()) {
+    const ssize_t n =
+        ::pread(fd, bytes.data() + done, bytes.size() - done,
+                static_cast<off_t>(done));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const Status s = Errno("pread " + path);
+      ::close(fd);
+      return s;
+    }
+    if (n == 0) break;  // shrank under us; return what we got
+    done += static_cast<size_t>(n);
+  }
+  ::close(fd);
+  bytes.resize(done);
+  return bytes;
+}
+
+Status AtomicReplaceFile(const std::string& path,
+                         std::span<const std::byte> bytes,
+                         const FaultHook& hook, std::string_view tag) {
+  const std::string tmp = path + ".tmp";
+  {
+    const int fd =
+        ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+    if (fd < 0) return Errno("open " + tmp);
+    size_t done = 0;
+    while (done < bytes.size()) {
+      const ssize_t n =
+          ::write(fd, bytes.data() + done, bytes.size() - done);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        const Status s = Errno("write " + tmp);
+        ::close(fd);
+        return s;
+      }
+      done += static_cast<size_t>(n);
+    }
+    if (hook) hook(std::string(tag) + ".mid");
+    if (::fsync(fd) != 0) {
+      const Status s = Errno("fsync " + tmp);
+      ::close(fd);
+      return s;
+    }
+    ::close(fd);
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    return Errno("rename " + tmp + " -> " + path);
+  }
+  if (hook) hook(std::string(tag) + ".post_rename_pre_dirsync");
+  return FsyncDir(DirOf(path));
+}
+
+Status FsyncDir(const std::string& dir) {
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd < 0) return Errno("open dir " + dir);
+  if (::fsync(fd) != 0) {
+    const Status s = Errno("fsync dir " + dir);
+    ::close(fd);
+    return s;
+  }
+  ::close(fd);
+  return Status::OK();
+}
+
+}  // namespace socs::persist

@@ -1,0 +1,94 @@
+#include "persist/image.h"
+
+namespace socs::persist {
+
+namespace {
+
+void SerializeColumn(const ColumnImage& c, ByteWriter* w) {
+  w->String(c.name);
+  w->U8(c.segmented ? 1 : 0);
+  w->U8(c.sql_type);
+  if (c.segmented) {
+    const std::vector<std::byte> state = c.state.Serialize();
+    w->U64(state.size());
+    w->Bytes(state);
+  } else {
+    w->U8(c.plain_type);
+    w->U64(c.plain_payload.size());
+    w->Bytes(c.plain_payload);
+  }
+}
+
+StatusOr<ColumnImage> ParseColumn(ByteReader* r) {
+  ColumnImage c;
+  auto name = r->String();
+  if (!name.ok()) return name.status();
+  c.name = std::move(*name);
+  auto segmented = r->U8();
+  if (!segmented.ok()) return segmented.status();
+  c.segmented = *segmented != 0;
+  auto sql_type = r->U8();
+  if (!sql_type.ok()) return sql_type.status();
+  c.sql_type = *sql_type;
+  if (c.segmented) {
+    auto len = r->U64();
+    if (!len.ok()) return len.status();
+    auto bytes = r->Bytes(*len);
+    if (!bytes.ok()) return bytes.status();
+    auto state = StrategyState::Parse(*bytes);
+    if (!state.ok()) return state.status();
+    c.state = std::move(*state);
+  } else {
+    auto type = r->U8();
+    if (!type.ok()) return type.status();
+    c.plain_type = *type;
+    auto len = r->U64();
+    if (!len.ok()) return len.status();
+    auto bytes = r->Bytes(*len);
+    if (!bytes.ok()) return bytes.status();
+    c.plain_payload = std::move(*bytes);
+  }
+  return c;
+}
+
+}  // namespace
+
+void SerializeDatabaseImage(const DatabaseImage& db, ByteWriter* w) {
+  w->U64(db.next_segment_id);
+  w->U64(db.tables.size());
+  for (const TableImage& t : db.tables) {
+    w->String(t.name);
+    w->U64(t.rows);
+    w->U64(t.columns.size());
+    for (const ColumnImage& c : t.columns) SerializeColumn(c, w);
+  }
+}
+
+StatusOr<DatabaseImage> ParseDatabaseImage(ByteReader* r) {
+  DatabaseImage db;
+  auto next_id = r->U64();
+  if (!next_id.ok()) return next_id.status();
+  db.next_segment_id = *next_id;
+  auto num_tables = r->U64();
+  if (!num_tables.ok()) return num_tables.status();
+  for (uint64_t i = 0; i < *num_tables; ++i) {
+    TableImage t;
+    auto name = r->String();
+    if (!name.ok()) return name.status();
+    t.name = std::move(*name);
+    auto rows = r->U64();
+    if (!rows.ok()) return rows.status();
+    t.rows = *rows;
+    auto num_cols = r->U64();
+    if (!num_cols.ok()) return num_cols.status();
+    for (uint64_t j = 0; j < *num_cols; ++j) {
+      auto col = ParseColumn(r);
+      if (!col.ok()) return col.status();
+      t.columns.push_back(std::move(*col));
+    }
+    db.tables.push_back(std::move(t));
+  }
+  return db;
+}
+
+}  // namespace socs::persist

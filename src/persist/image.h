@@ -1,0 +1,51 @@
+// Logical-state images: the catalog shape, plain column payloads, and each
+// segmented column's StrategyState, serialized into one checkpoint blob.
+// Images are deliberately engine-agnostic -- plain payloads travel as
+// (ValType tag, raw value bytes) so the persist library does not link the
+// engine; bootstrap.cc (which does) converts to and from TypedVector.
+#ifndef SOCS_PERSIST_IMAGE_H_
+#define SOCS_PERSIST_IMAGE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/strategy_state.h"
+#include "persist/format.h"
+
+namespace socs::persist {
+
+struct ColumnImage {
+  std::string name;
+  bool segmented = false;
+  /// SQL-facing tail type (ValType as u8) for both column kinds.
+  uint8_t sql_type = 0;
+  /// Plain columns: element type tag + raw value bytes.
+  uint8_t plain_type = 0;
+  std::vector<std::byte> plain_payload;
+  /// Segmented columns: the strategy's learned structure.
+  StrategyState state;
+};
+
+struct TableImage {
+  std::string name;
+  uint64_t rows = 0;
+  std::vector<ColumnImage> columns;
+};
+
+struct DatabaseImage {
+  std::vector<TableImage> tables;
+  /// The segment space's id-allocation watermark at capture time. Restoring
+  /// it makes post-recovery reorganization allocate the same ids the
+  /// pre-crash run would have -- recovered layouts replay byte-identically
+  /// even when the highest allocated id died before the checkpoint.
+  uint64_t next_segment_id = 0;
+};
+
+void SerializeDatabaseImage(const DatabaseImage& db, ByteWriter* w);
+StatusOr<DatabaseImage> ParseDatabaseImage(ByteReader* r);
+
+}  // namespace socs::persist
+
+#endif  // SOCS_PERSIST_IMAGE_H_

@@ -1,0 +1,97 @@
+// The object table: segment id -> {blob address, codec, logical bytes, CRC}.
+// It is the indirection that makes segment files append-only -- a COW rewrite
+// of a segment just appends a new blob and repoints the entry; the old extent
+// becomes dead bytes until the next checkpoint-driven compaction decision.
+//
+// Durability is delta-log + checkpoint: every mutation appends a PUT or DEL
+// record to `delta_<gen>.log` (CRC-framed so a torn tail is detected and
+// truncated on recovery), and checkpoints serialize the whole table into the
+// generation's checkpoint file, after which a fresh empty log starts.
+#ifndef SOCS_PERSIST_OBJECT_TABLE_H_
+#define SOCS_PERSIST_OBJECT_TABLE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "persist/format.h"
+#include "persist/segment_files.h"
+#include "storage/secondary_store.h"
+#include "storage/segment_codec.h"
+
+namespace socs::persist {
+
+/// One live segment's on-disk location and decode recipe.
+struct ObjectEntry {
+  BlobAddress addr;
+  SegmentCodec codec = SegmentCodec::kRaw;
+  uint64_t logical_bytes = 0;
+  uint32_t crc = 0;  // CRC of the physical payload, rechecked on read
+
+  bool operator==(const ObjectEntry&) const = default;
+};
+
+/// In-RAM table; std::map so serialization order is deterministic.
+using ObjectTable = std::map<SegmentId, ObjectEntry>;
+
+/// Serializes the table (u64 count + per-entry fixed layout).
+std::vector<std::byte> SerializeObjectTable(const ObjectTable& table);
+StatusOr<ObjectTable> ParseObjectTable(std::span<const std::byte> bytes);
+
+/// Append-only mutation log for one generation. Records:
+///   u32 magic, u8 op (1 = PUT, 2 = DEL), payload, u32 crc-of-(op+payload).
+/// PUT payload: u64 id, u32 class, u64 offset, u64 length, u8 codec,
+/// u64 logical, u32 blob crc. DEL payload: u64 id.
+class DeltaLog {
+ public:
+  /// A closed log (no file); use Open. Public because StatusOr requires
+  /// default-constructible values.
+  DeltaLog() = default;
+
+  static constexpr uint32_t kRecordMagic = 0xDE17A106u;
+  static constexpr uint8_t kOpPut = 1;
+  static constexpr uint8_t kOpDel = 2;
+
+  /// One replayed mutation.
+  struct Record {
+    uint8_t op = 0;
+    SegmentId id = 0;
+    ObjectEntry entry;  // valid for PUT only
+  };
+
+  struct ReplayResult {
+    std::vector<Record> records;
+    /// False when the log ended in a torn/corrupt record (the invalid
+    /// suffix is ignored; callers truncate to `valid_bytes`).
+    bool clean_tail = true;
+    uint64_t valid_bytes = 0;
+  };
+
+  static StatusOr<DeltaLog> Open(const std::string& path);
+
+  /// Appends one record. `hook` fires at "log.append.mid" between the two
+  /// halves of the record write -- the torn-record crash point.
+  Status AppendPut(SegmentId id, const ObjectEntry& entry,
+                   const FaultHook& hook);
+  Status AppendDel(SegmentId id, const FaultHook& hook);
+  Status Sync();
+
+  /// Reads the whole log, stopping at the first invalid record.
+  StatusOr<ReplayResult> Replay() const;
+
+  /// Drops a torn tail so later appends start at a clean boundary.
+  Status TruncateTo(uint64_t valid_bytes);
+
+ private:
+  explicit DeltaLog(FileHandle file) : file_(std::move(file)) {}
+
+  Status AppendRecord(std::span<const std::byte> body, const FaultHook& hook);
+
+  FileHandle file_;
+};
+
+}  // namespace socs::persist
+
+#endif  // SOCS_PERSIST_OBJECT_TABLE_H_

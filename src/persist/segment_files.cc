@@ -1,0 +1,92 @@
+#include "persist/segment_files.h"
+
+namespace socs::persist {
+
+StatusOr<SegmentFileSet> SegmentFileSet::Open(const std::string& dir) {
+  SegmentFileSet set;
+  for (uint32_t k = 0; k < kNumClasses; ++k) {
+    auto h = FileHandle::OpenRW(dir + "/segments_cls" + std::to_string(k) +
+                                ".dat");
+    if (!h.ok()) return h.status();
+    set.files_[k] = std::move(*h);
+  }
+  return set;
+}
+
+uint32_t SegmentFileSet::ClassFor(uint64_t bytes) {
+  for (uint32_t k = 0; k + 1 < kNumClasses; ++k) {
+    if (bytes <= (kBaseClassBytes << k)) return k;
+  }
+  return kNumClasses - 1;
+}
+
+StatusOr<BlobAddress> SegmentFileSet::Append(
+    std::span<const std::byte> payload) {
+  const uint32_t cls = ClassFor(payload.size());
+  ByteWriter w;
+  w.U32(kRecordMagic);
+  w.U32(static_cast<uint32_t>(payload.size()));
+  w.U32(Crc32(payload));
+  w.U32(0);
+  w.Bytes(payload);
+  auto offset = files_[cls].Append(w.data());
+  if (!offset.ok()) return offset.status();
+  dirty_[cls] = true;
+  BlobAddress addr;
+  addr.file_class = cls;
+  addr.offset = *offset;
+  addr.length = payload.size();
+  return addr;
+}
+
+StatusOr<std::vector<std::byte>> SegmentFileSet::Read(
+    const BlobAddress& addr) const {
+  if (addr.file_class >= kNumClasses) {
+    return Status::DataLoss("blob address: bad file class");
+  }
+  std::vector<std::byte> record;
+  Status st = files_[addr.file_class].ReadAt(
+      addr.offset, kHeaderBytes + addr.length, &record);
+  if (!st.ok()) return st;
+  ByteReader r(record);
+  auto magic = r.U32();
+  auto len = r.U32();
+  auto crc = r.U32();
+  auto reserved = r.U32();
+  if (!magic.ok() || !len.ok() || !crc.ok() || !reserved.ok()) {
+    return Status::DataLoss("blob record: truncated header");
+  }
+  if (*magic != kRecordMagic) {
+    return Status::DataLoss("blob record: bad magic");
+  }
+  if (*len != addr.length) {
+    return Status::DataLoss("blob record: length disagrees with object table");
+  }
+  std::vector<std::byte> payload(record.begin() + kHeaderBytes, record.end());
+  if (Crc32(payload) != *crc) {
+    return Status::DataLoss("blob record: checksum mismatch");
+  }
+  return payload;
+}
+
+Status SegmentFileSet::Sync() {
+  for (uint32_t k = 0; k < kNumClasses; ++k) {
+    if (!dirty_[k]) continue;
+    Status st = files_[k].Sync();
+    if (!st.ok()) return st;
+    dirty_[k] = false;
+  }
+  return Status::OK();
+}
+
+StatusOr<uint64_t> SegmentFileSet::FileBytes() const {
+  uint64_t total = 0;
+  for (uint32_t k = 0; k < kNumClasses; ++k) {
+    auto sz = files_[k].Size();
+    if (!sz.ok()) return sz.status();
+    total += *sz;
+  }
+  return total;
+}
+
+}  // namespace socs::persist

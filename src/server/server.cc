@@ -9,6 +9,8 @@
 #include <cstring>
 
 #include "common/logging.h"
+#include "persist/bootstrap.h"
+#include "persist/store.h"
 #include "server/session.h"
 #include "server/wire.h"
 #include "sql/parser.h"
@@ -107,6 +109,7 @@ void SqlServer::ReapFinishedConnections() {
 
 void SqlServer::ServeConnection(Conn* conn) {
   Session session(catalog_, sched_);
+  session.set_admin(opts_.persist);
   Dispatcher::SessionQueue* queue =
       dispatcher_.Register("fd" + std::to_string(conn->fd));
   // The reader owns the channel's buffer but NOT the fd (Stop/reap close
@@ -128,6 +131,7 @@ void SqlServer::ServeConnection(Conn* conn) {
           }
           const std::string reply = session.ExecuteToWire(statement);
           if (shared != nullptr) session.clear_shared_scan();
+          MaybeScheduleCheckpoint();
           std::lock_guard<std::mutex> wl(conn->write_mu);
           // A peer that disconnected mid-stream makes this fail; the
           // statement already executed (its adaptation work is real), the
@@ -188,8 +192,39 @@ void SqlServer::Stop() {
     sched_->DrainBackground();
     if (!pending) break;
   }
+  // 5. Durability epilogue: with a store attached, commit one final
+  // checkpoint now that maintenance has quiesced -- a clean Stop() leaves
+  // the data directory recoverable to exactly this state.
+  if (opts_.persist != nullptr) {
+    auto gen = persist::CheckpointNow(opts_.persist, *catalog_);
+    if (gen.ok()) {
+      SOCS_LOG(Info) << "final checkpoint: generation " << *gen;
+    } else {
+      SOCS_LOG(Warning) << "final checkpoint failed: "
+                        << gen.status().ToString();
+    }
+  }
   SOCS_LOG(Info) << "socs_server stopped; statements="
                  << dispatcher_.statements_executed();
+}
+
+void SqlServer::MaybeScheduleCheckpoint() {
+  if (opts_.persist == nullptr || opts_.checkpoint_every == 0) return;
+  if (stmts_since_checkpoint_.fetch_add(1, std::memory_order_relaxed) + 1 <
+      opts_.checkpoint_every) {
+    return;
+  }
+  bool expected = false;
+  if (!checkpoint_inflight_.compare_exchange_strong(expected, true)) return;
+  stmts_since_checkpoint_.store(0, std::memory_order_relaxed);
+  sched_->ScheduleBackground([this] {
+    auto gen = persist::CheckpointNow(opts_.persist, *catalog_);
+    if (!gen.ok()) {
+      SOCS_LOG(Warning) << "scheduled checkpoint failed: "
+                        << gen.status().ToString();
+    }
+    checkpoint_inflight_.store(false, std::memory_order_relaxed);
+  });
 }
 
 SqlServer::MaintenanceLedger SqlServer::Ledger() const {

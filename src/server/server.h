@@ -31,10 +31,16 @@
 #include <string>
 #include <thread>
 
+#include <atomic>
+
 #include "common/status.h"
 #include "engine/catalog.h"
 #include "exec/task_scheduler.h"
 #include "server/dispatcher.h"
+
+namespace socs::persist {
+class PersistentStore;
+}
 
 namespace socs::server {
 
@@ -54,6 +60,13 @@ class SqlServer {
     bool shared_scans = true;
     /// Most statements one scan batch may absorb.
     size_t max_batch = 32;
+    /// Durable store (nullable = in-memory server). Sessions get the
+    /// "#checkpoint"/"#persist" admin commands, checkpoints ride the
+    /// background lane every `checkpoint_every` statements, and Stop()
+    /// takes a final checkpoint after the maintenance drain.
+    persist::PersistentStore* persist = nullptr;
+    /// Statements between scheduled checkpoints; 0 = only on demand/Stop.
+    uint64_t checkpoint_every = 0;
   };
 
   /// Aggregated background-maintenance ledger across every segmented column
@@ -108,6 +121,9 @@ class SqlServer {
   void AcceptLoop();
   void ServeConnection(Conn* conn);
   void ReapFinishedConnections();  // accept thread only
+  /// Statement-count checkpoint cadence: every checkpoint_every statements,
+  /// schedule one checkpoint on the background lane (never two in flight).
+  void MaybeScheduleCheckpoint();
 
   Catalog* catalog_;
   TaskScheduler* sched_;
@@ -123,6 +139,9 @@ class SqlServer {
   mutable std::mutex conns_mu_;
   std::list<std::unique_ptr<Conn>> conns_;
   uint64_t sessions_accepted_ = 0;
+
+  std::atomic<uint64_t> stmts_since_checkpoint_{0};
+  std::atomic<bool> checkpoint_inflight_{false};
 };
 
 /// Admission-time statement classification for the dispatcher's scan

@@ -4,7 +4,12 @@
 #include <cstdio>
 #include <mutex>
 
+#include <cstring>
+
 #include "engine/optimizer.h"
+#include "exec/column_latch.h"
+#include "persist/bootstrap.h"
+#include "persist/store.h"
 #include "sql/compiler.h"
 #include "sql/parser.h"
 #include "storage/segment_codec.h"
@@ -44,11 +49,75 @@ WireReply CompressionReport(const Catalog& catalog) {
   return reply;
 }
 
+/// "#layout" introspection: one row per segment of every segmented column --
+/// id, count, and the value-range bounds as exact IEEE-754 bit patterns, so
+/// two layouts compare byte-identical iff the learned geometries match
+/// (the recovery tests diff this against the pre-crash snapshot).
+WireReply LayoutReport(const Catalog& catalog) {
+  WireReply reply;
+  reply.ok = true;
+  reply.columns = {"column", "segment", "id", "count", "lo_bits", "hi_bits"};
+  for (SegmentedColumn* col : catalog.SegmentedColumns()) {
+    const AccessStrategy<OidValue>* strategy = col->strategy();
+    SharedColumnGuard guard(strategy->latch());
+    size_t i = 0;
+    for (const SegmentInfo& seg : strategy->Segments()) {
+      uint64_t lo_bits, hi_bits;
+      std::memcpy(&lo_bits, &seg.range.lo, sizeof lo_bits);
+      std::memcpy(&hi_bits, &seg.range.hi, sizeof hi_bits);
+      char buf[192];
+      std::snprintf(buf, sizeof(buf),
+                    "%s,%zu,%" PRIu64 ",%" PRIu64 ",%016" PRIx64 ",%016" PRIx64,
+                    col->name().c_str(), i++, seg.id, seg.count, lo_bits,
+                    hi_bits);
+      reply.rows.push_back(buf);
+    }
+  }
+  reply.stats.result_count = reply.rows.size();
+  return reply;
+}
+
+/// "#persist" introspection: the durable store's generation, object-table
+/// size, byte gauges and parked health error.
+WireReply PersistReport(const persist::PersistentStore& store) {
+  WireReply reply;
+  reply.ok = true;
+  reply.columns = {"generation", "live_segments", "live_bytes", "dead_bytes",
+                   "delta_records", "health"};
+  const persist::PersistentStore::Stats s = store.stats();
+  char buf[224];
+  std::snprintf(buf, sizeof(buf),
+                "%" PRIu64 ",%" PRIu64 ",%" PRIu64 ",%" PRIu64 ",%" PRIu64
+                ",%s",
+                s.generation, s.live_segments, s.live_payload_bytes,
+                s.dead_payload_bytes, s.delta_records_since_checkpoint,
+                store.health().ok() ? "ok" : store.health().ToString().c_str());
+  reply.rows.push_back(buf);
+  reply.stats.result_count = 1;
+  return reply;
+}
+
 }  // namespace
 
 WireReply Session::Execute(const std::string& text) {
   ++statements_;
   if (text == "#compression") return CompressionReport(*catalog_);
+  if (text == "#layout") return LayoutReport(*catalog_);
+  if (text == "#persist") {
+    if (persist_ == nullptr) return MakeErrorReply("no durable store attached");
+    return PersistReport(*persist_);
+  }
+  if (text == "#checkpoint") {
+    if (persist_ == nullptr) return MakeErrorReply("no durable store attached");
+    auto gen = persist::CheckpointNow(persist_, *catalog_);
+    if (!gen.ok()) return MakeErrorReply("checkpoint: " + gen.status().ToString());
+    WireReply reply;
+    reply.ok = true;
+    reply.columns = {"generation"};
+    reply.rows.push_back(std::to_string(*gen));
+    reply.stats.result_count = 1;
+    return reply;
+  }
   auto stmt = sql::ParseStatement(text);
   if (!stmt.ok()) {
     return MakeErrorReply("parse: " + stmt.status().ToString());

@@ -18,6 +18,10 @@
 #include "exec/task_scheduler.h"
 #include "server/wire.h"
 
+namespace socs::persist {
+class PersistentStore;
+}
+
 namespace socs::server {
 
 class Session {
@@ -50,6 +54,11 @@ class Session {
   }
   void clear_shared_scan() { interp_.set_shared_scan(nullptr, 0); }
 
+  /// Attaches the durable store for the admin commands: "#checkpoint"
+  /// commits a generation on demand, "#persist" reports store health/stats.
+  /// Without it both reply ERR. "#layout" needs no store.
+  void set_admin(persist::PersistentStore* store) { persist_ = store; }
+
   /// Statements executed (counting failed ones).
   uint64_t statements() const { return statements_; }
 
@@ -59,6 +68,7 @@ class Session {
  private:
   Catalog* catalog_;
   TaskScheduler* sched_;
+  persist::PersistentStore* persist_ = nullptr;
   MalInterpreter interp_;
   uint64_t statements_ = 0;
 };

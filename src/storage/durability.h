@@ -1,0 +1,49 @@
+// Durability seam of the storage layer. A SegmentSpace can be attached to a
+// SegmentDurability sink (src/persist's PersistentStore); from then on every
+// segment materialization, in-place growth and free is mirrored to the sink
+// with the *physical* payload bytes -- encoded blobs exactly as the
+// SegmentCodec produced them, so bytes on disk equal the physical bytes in
+// the accounting split.
+//
+// The callbacks are void on purpose: durability I/O must never fail into a
+// strategy's reorganization path (the in-memory store is the source of
+// truth; the sink records its first error and surfaces it through its own
+// health API). They are invoked while the caller holds the owning column's
+// exclusive latch, so a sink serializing on one internal mutex observes the
+// per-column mutation order exactly.
+//
+// None of this I/O is metered into IoStats or the cost model: the paper's
+// accounting describes the in-memory/simulated store, and attaching a
+// durability sink must leave every parity suite byte-identical.
+#ifndef SOCS_STORAGE_DURABILITY_H_
+#define SOCS_STORAGE_DURABILITY_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+#include "storage/secondary_store.h"
+
+namespace socs {
+
+/// Sink notified about segment payload lifecycle (see file comment).
+class SegmentDurability {
+ public:
+  virtual ~SegmentDurability() = default;
+
+  /// `id`'s physical payload was created or rewritten: append the blob and
+  /// record the id -> blob mapping. `physical` is the store's blob (valid
+  /// only for the duration of the call), `codec` its encoding and
+  /// `logical_bytes` the decoded value-array size.
+  virtual void PersistSegment(SegmentId id,
+                              std::span<const std::byte> physical,
+                              SegmentCodec codec, uint64_t logical_bytes) = 0;
+
+  /// `id` was freed (epoch reclamation or a replica drop): forget the
+  /// mapping and account the blob's extent as dead.
+  virtual void ForgetSegment(SegmentId id) = 0;
+};
+
+}  // namespace socs
+
+#endif  // SOCS_STORAGE_DURABILITY_H_

@@ -125,6 +125,30 @@ void SecondaryStore::Free(SegmentId id) {
   blobs_.erase(it);
 }
 
+void SecondaryStore::Restore(SegmentId id, std::vector<std::byte> physical,
+                             SegmentCodec codec, uint64_t logical_bytes) {
+  SOCS_CHECK(id != kInvalidSegment) << "restore of the invalid segment id";
+  if (codec == SegmentCodec::kRaw) {
+    SOCS_CHECK_EQ(physical.size(), logical_bytes)
+        << "raw blob with physical != logical size";
+  } else {
+    const EncodedInfo info = InspectEncoded(physical);
+    SOCS_CHECK(info.codec == codec) << "blob header disagrees with codec";
+    SOCS_CHECK_EQ(info.logical_count * info.value_size, logical_bytes);
+  }
+  std::unique_lock<std::shared_mutex> lk(mu_);
+  SOCS_CHECK(blobs_.find(id) == blobs_.end())
+      << "restore over live segment " << id;
+  Blob blob;
+  blob.bytes = std::move(physical);
+  blob.codec = codec;
+  blob.logical_bytes = logical_bytes;
+  total_physical_bytes_ += blob.bytes.size();
+  total_logical_bytes_ += logical_bytes;
+  blobs_.emplace(id, std::move(blob));
+  if (id >= next_id_) next_id_ = id + 1;
+}
+
 uint64_t SecondaryStore::total_physical_bytes() const {
   std::shared_lock<std::shared_mutex> lk(mu_);
   return total_physical_bytes_;

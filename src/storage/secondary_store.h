@@ -27,6 +27,7 @@
 #include <cstdint>
 #include <cstring>
 #include <memory>
+#include <mutex>
 #include <shared_mutex>
 #include <span>
 #include <unordered_map>
@@ -105,6 +106,26 @@ class SecondaryStore {
 
   /// Releases the payload. Dies if the id is unknown (double free is a bug).
   void Free(SegmentId id);
+
+  /// Recovery-only: reinstalls a persisted physical payload under its
+  /// original id and bumps the id allocator past it, so post-recovery
+  /// Creates never collide with restored segments. Dies if the id is live
+  /// or invalid; encoded payloads are header-checked like CreateEncoded.
+  void Restore(SegmentId id, std::vector<std::byte> physical,
+               SegmentCodec codec, uint64_t logical_bytes);
+
+  /// The id the next Create would return. Checkpoints capture it so a
+  /// recovered store allocates the same ids the pre-crash run would have.
+  SegmentId next_id() const {
+    std::shared_lock<std::shared_mutex> lk(mu_);
+    return next_id_;
+  }
+
+  /// Raises the id allocator to at least `id` (never lowers it).
+  void AdvanceNextId(SegmentId id) {
+    std::unique_lock<std::shared_mutex> lk(mu_);
+    if (id > next_id_) next_id_ = id;
+  }
 
   uint64_t total_physical_bytes() const;
   uint64_t total_logical_bytes() const;

@@ -5,9 +5,16 @@ namespace socs {
 void SegmentSpace::Free(SegmentId id) {
   pool_.Drop(id);
   store_.Free(id);
+  if (durability_ != nullptr) durability_->ForgetSegment(id);
   std::lock_guard<std::mutex> lk(stats_mu_);
   ++stats_.segments_freed;
   scan_counts_.erase(id);
+}
+
+void SegmentSpace::NotifyPersist(SegmentId id) {
+  if (durability_ == nullptr) return;
+  durability_->PersistSegment(id, store_.ReadPhysical(id), store_.CodecOf(id),
+                              store_.LogicalSizeOf(id));
 }
 
 void SegmentSpace::AccountScan(SegmentId id, uint64_t bytes,

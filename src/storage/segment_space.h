@@ -35,6 +35,7 @@
 #include "sim/io_lane.h"
 #include "sim/io_stats.h"
 #include "storage/buffer_pool.h"
+#include "storage/durability.h"
 #include "storage/scan_kernels.h"
 #include "storage/secondary_store.h"
 #include "storage/segment_codec.h"
@@ -136,6 +137,7 @@ class SegmentSpace {
       ++stats_.segments_created;
     }
     pool_.Admit(id, physical);
+    NotifyPersist(id);
     if (cost != nullptr) {
       cost->bytes += physical;
       cost->seconds += model().SegmentWrite(physical) +
@@ -161,6 +163,7 @@ class SegmentSpace {
       stats_.disk_write_bytes += bytes;  // eventually flushed either way
     }
     pool_.Grow(id, bytes);
+    NotifyPersist(id);  // the grown blob is re-mirrored whole
     if (cost != nullptr) {
       cost->bytes += bytes;
       cost->seconds += model().SegmentWrite(bytes) + model().SegmentOverhead();
@@ -199,6 +202,7 @@ class SegmentSpace {
       ++stats_.segments_created;
     }
     pool_.AdoptRewrite(id, fresh, merged.size() * sizeof(T));
+    NotifyPersist(fresh);
     if (cost != nullptr) {
       cost->bytes += bytes;
       cost->seconds += model().SegmentWrite(bytes) +
@@ -241,6 +245,7 @@ class SegmentSpace {
       ++stats_.segments_recompressed;
     }
     pool_.AdoptRewrite(id, fresh, physical);
+    NotifyPersist(fresh);
     if (write != nullptr) {
       write->bytes += physical;
       write->seconds += model().SegmentWrite(physical) +
@@ -347,6 +352,34 @@ class SegmentSpace {
   /// Releases a segment (adaptive replication drops fully-replicated parents).
   void Free(SegmentId id);
 
+  /// True when `id` names a live segment.
+  bool Contains(SegmentId id) const { return store_.Contains(id); }
+
+  // --- durability (storage/durability.h, src/persist) -----------------------
+
+  /// Attaches (or detaches, with nullptr) the durability sink. Attach before
+  /// loading/restoring columns so every materialization is mirrored; the
+  /// mirror I/O is never metered into IoStats or the cost model.
+  void set_durability(SegmentDurability* sink) { durability_ = sink; }
+  SegmentDurability* durability() const { return durability_; }
+
+  /// Recovery-only: reinstalls a persisted payload under its original id --
+  /// exact physical bytes, codec and logical size -- and admits it to the
+  /// buffer pool. Unmetered, and NOT echoed back to the durability sink
+  /// (the blob is already on disk).
+  void RestoreSegment(SegmentId id, std::vector<std::byte> physical,
+                      SegmentCodec codec, uint64_t logical_bytes) {
+    const uint64_t physical_bytes = physical.size();
+    store_.Restore(id, std::move(physical), codec, logical_bytes);
+    pool_.Admit(id, physical_bytes);
+  }
+
+  /// The id-allocation watermark (checkpointed alongside the image so a
+  /// recovered store hands out the same ids the pre-crash run would have,
+  /// even when the highest allocated id was freed before the checkpoint).
+  SegmentId next_segment_id() const { return store_.next_id(); }
+  void AdvanceNextSegmentId(SegmentId id) { store_.AdvanceNextId(id); }
+
   /// Physical (stored, possibly encoded) bytes of one segment / all segments.
   uint64_t PhysicalSizeOf(SegmentId id) const {
     return store_.PhysicalSizeOf(id);
@@ -409,9 +442,15 @@ class SegmentSpace {
   void AccountScan(SegmentId id, uint64_t bytes, uint64_t decode_bytes,
                    IoCost* cost, IoLane* lane, bool kernel = false);
 
+  /// Mirrors `id`'s current physical blob to the durability sink (no-op
+  /// without one). Called after the blob is installed in the store, while
+  /// the caller still holds the owning column's exclusive latch.
+  void NotifyPersist(SegmentId id);
+
   CostModel cost_;
   SecondaryStore store_;
   BufferPool pool_;
+  SegmentDurability* durability_ = nullptr;
   Options options_;
   mutable std::mutex stats_mu_;
   IoStats stats_;

@@ -1,0 +1,590 @@
+// Unit tests for the durable segment store (src/persist): the byte codecs
+// and CRC framing, size-class blob files, the object-table delta log,
+// checkpoint commit + recovery (including fallback to an older generation
+// and torn-tail truncation), corruption detection, and SaveState /
+// RestoreStrategy roundtrips for every strategy kind.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/units.h"
+#include "core/adaptive_replication.h"
+#include "core/adaptive_segmentation.h"
+#include "core/apm.h"
+#include "core/cracking.h"
+#include "core/deferred_segmentation.h"
+#include "core/non_segmented.h"
+#include "core/positional_blocks.h"
+#include "core/static_partition.h"
+#include "core/strategy_restore.h"
+#include "persist/format.h"
+#include "persist/image.h"
+#include "persist/object_table.h"
+#include "persist/segment_files.h"
+#include "persist/store.h"
+#include "test_util.h"
+#include "workload/range_generator.h"
+
+namespace socs::persist {
+namespace {
+
+using socs::MakeUniformIntColumn;
+using socs::UniformRangeGenerator;
+using socs::testing::BruteForce;
+using socs::testing::SortedValues;
+
+std::string TempDirFor(const char* name) {
+  const std::string dir = ::testing::TempDir() + "/socs_persist_" + name;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+StatusOr<std::unique_ptr<PersistentStore>> OpenStore(const std::string& dir) {
+  PersistentStore::Options opts;
+  opts.dir = dir;
+  return PersistentStore::Open(std::move(opts));
+}
+
+std::vector<std::byte> Payload(size_t n, uint8_t seed) {
+  std::vector<std::byte> out(n);
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = static_cast<std::byte>((seed + i * 31) & 0xFF);
+  }
+  return out;
+}
+
+/// Flips one byte of `path` at `offset` (negative = from the end).
+void FlipByteAt(const std::string& path, int64_t offset) {
+  std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+  ASSERT_TRUE(f.good()) << path;
+  if (offset < 0) {
+    f.seekg(0, std::ios::end);
+    offset += static_cast<int64_t>(f.tellg());
+  }
+  f.seekg(offset);
+  char c = 0;
+  f.read(&c, 1);
+  c = static_cast<char>(c ^ 0x5A);
+  f.seekp(offset);
+  f.write(&c, 1);
+}
+
+void AppendGarbage(const std::string& path, size_t n) {
+  std::ofstream f(path, std::ios::app | std::ios::binary);
+  ASSERT_TRUE(f.good()) << path;
+  for (size_t i = 0; i < n; ++i) f.put(static_cast<char>(0xEE));
+}
+
+// --- format ------------------------------------------------------------------
+
+TEST(PersistFormatTest, Crc32MatchesKnownVector) {
+  // The standard CRC-32 check value: crc32("123456789") == 0xCBF43926.
+  const char* s = "123456789";
+  std::vector<std::byte> bytes;
+  for (const char* p = s; *p; ++p) bytes.push_back(static_cast<std::byte>(*p));
+  EXPECT_EQ(Crc32(bytes), 0xCBF43926u);
+  EXPECT_EQ(Crc32({}), 0u);
+}
+
+TEST(PersistFormatTest, WriterReaderRoundtrip) {
+  ByteWriter w;
+  w.U8(0xAB);
+  w.U32(0xDEADBEEFu);
+  w.U64(0x0123456789ABCDEFull);
+  w.Double(3.14159);
+  w.String("hello");
+  const std::vector<std::byte> bytes = w.Take();
+
+  ByteReader r(bytes);
+  auto u8 = r.U8();
+  auto u32 = r.U32();
+  auto u64 = r.U64();
+  auto d = r.Double();
+  ASSERT_TRUE(u8.ok() && u32.ok() && u64.ok() && d.ok());
+  EXPECT_EQ(*u8, 0xAB);
+  EXPECT_EQ(*u32, 0xDEADBEEFu);
+  EXPECT_EQ(*u64, 0x0123456789ABCDEFull);
+  EXPECT_EQ(*d, 3.14159);
+  auto s = r.String();
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(*s, "hello");
+  EXPECT_TRUE(r.Done());
+  // Reading past the end is DataLoss, not UB.
+  auto past = r.U8();
+  EXPECT_FALSE(past.ok());
+  EXPECT_EQ(past.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(PersistFormatTest, TruncatedStringIsDataLoss) {
+  ByteWriter w;
+  w.String("truncate me");
+  std::vector<std::byte> bytes = w.Take();
+  bytes.resize(bytes.size() - 3);
+  ByteReader r(bytes);
+  auto s = r.String();
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.status().code(), StatusCode::kDataLoss);
+}
+
+// --- segment files -----------------------------------------------------------
+
+TEST(SegmentFilesTest, BlobRoundtripAcrossClasses) {
+  const std::string dir = TempDirFor("blobs");
+  auto files = SegmentFileSet::Open(dir);
+  ASSERT_TRUE(files.ok()) << files.status().ToString();
+
+  const auto small = Payload(100, 1);
+  const auto large = Payload(2 * kMiB, 2);
+  auto a1 = files->Append(small);
+  auto a2 = files->Append(large);
+  ASSERT_TRUE(a1.ok());
+  ASSERT_TRUE(a2.ok());
+  // Size classes keep small churn and bulk blobs in different files.
+  EXPECT_NE(a1->file_class, a2->file_class);
+  EXPECT_EQ(a1->length, small.size());
+
+  auto r1 = files->Read(*a1);
+  auto r2 = files->Read(*a2);
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(*r1, small);
+  EXPECT_EQ(*r2, large);
+}
+
+TEST(SegmentFilesTest, CorruptedPayloadFailsCrc) {
+  const std::string dir = TempDirFor("blob_corrupt");
+  auto files = SegmentFileSet::Open(dir);
+  ASSERT_TRUE(files.ok());
+  auto addr = files->Append(Payload(512, 3));
+  ASSERT_TRUE(addr.ok());
+  ASSERT_TRUE(files->Sync().ok());
+  FlipByteAt(dir + "/segments_cls0.dat", -1);  // last payload byte
+  auto read = files->Read(*addr);
+  EXPECT_FALSE(read.ok());
+  EXPECT_EQ(read.status().code(), StatusCode::kDataLoss);
+}
+
+// --- object table + delta log ------------------------------------------------
+
+TEST(ObjectTableTest, SerializeParseRoundtrip) {
+  ObjectTable table;
+  table[3] = ObjectEntry{BlobAddress{0, 16, 100}, SegmentCodec::kRaw, 100, 7};
+  table[9] = ObjectEntry{BlobAddress{2, 0, 4096}, SegmentCodec::kRle, 9000, 8};
+  const auto bytes = SerializeObjectTable(table);
+  auto parsed = ParseObjectTable(bytes);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(*parsed, table);
+
+  // Trailing garbage is DataLoss, not silently ignored.
+  auto longer = bytes;
+  longer.push_back(std::byte{1});
+  EXPECT_EQ(ParseObjectTable(longer).status().code(), StatusCode::kDataLoss);
+}
+
+TEST(DeltaLogTest, ReplayRoundtripAndTornTail) {
+  const std::string dir = TempDirFor("delta");
+  const std::string path = dir + "/delta.log";
+  const ObjectEntry e1{BlobAddress{0, 16, 64}, SegmentCodec::kRaw, 64, 11};
+  const ObjectEntry e2{BlobAddress{1, 0, 8192}, SegmentCodec::kDeltaFor, 12000,
+                       22};
+  {
+    auto log = DeltaLog::Open(path);
+    ASSERT_TRUE(log.ok()) << log.status().ToString();
+    ASSERT_TRUE(log->AppendPut(5, e1, nullptr).ok());
+    ASSERT_TRUE(log->AppendPut(6, e2, nullptr).ok());
+    ASSERT_TRUE(log->AppendDel(5, nullptr).ok());
+    ASSERT_TRUE(log->Sync().ok());
+  }
+  uint64_t clean_bytes = 0;
+  {
+    auto log = DeltaLog::Open(path);
+    ASSERT_TRUE(log.ok());
+    auto replay = log->Replay();
+    ASSERT_TRUE(replay.ok()) << replay.status().ToString();
+    EXPECT_TRUE(replay->clean_tail);
+    ASSERT_EQ(replay->records.size(), 3u);
+    EXPECT_EQ(replay->records[0].op, DeltaLog::kOpPut);
+    EXPECT_EQ(replay->records[0].id, 5u);
+    EXPECT_EQ(replay->records[0].entry, e1);
+    EXPECT_EQ(replay->records[1].entry, e2);
+    EXPECT_EQ(replay->records[2].op, DeltaLog::kOpDel);
+    EXPECT_EQ(replay->records[2].id, 5u);
+    clean_bytes = replay->valid_bytes;
+  }
+  // A torn record at the tail (half-written before a crash) is detected,
+  // the valid prefix replays, and TruncateTo removes the garbage.
+  AppendGarbage(path, 13);
+  {
+    auto log = DeltaLog::Open(path);
+    ASSERT_TRUE(log.ok());
+    auto replay = log->Replay();
+    ASSERT_TRUE(replay.ok());
+    EXPECT_FALSE(replay->clean_tail);
+    EXPECT_EQ(replay->records.size(), 3u);
+    EXPECT_EQ(replay->valid_bytes, clean_bytes);
+    ASSERT_TRUE(log->TruncateTo(replay->valid_bytes).ok());
+    auto again = log->Replay();
+    ASSERT_TRUE(again.ok());
+    EXPECT_TRUE(again->clean_tail);
+    EXPECT_EQ(again->records.size(), 3u);
+  }
+}
+
+// --- store: init, replay, checkpoint, fallbacks ------------------------------
+
+TEST(PersistentStoreTest, FreshDirInitializesGenerationZero) {
+  const std::string dir = TempDirFor("fresh");
+  auto store = OpenStore(dir);
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  EXPECT_EQ((*store)->recovery().generation, 0u);
+  EXPECT_TRUE((*store)->image().tables.empty());
+  EXPECT_TRUE((*store)->LiveSegments().empty());
+  EXPECT_TRUE((*store)->health().ok());
+}
+
+TEST(PersistentStoreTest, DeltaLogReplaysWithoutCheckpoint) {
+  const std::string dir = TempDirFor("replay");
+  const auto p1 = Payload(777, 4);
+  const auto p2 = Payload(3000, 5);
+  {
+    auto store = OpenStore(dir);
+    ASSERT_TRUE(store.ok());
+    (*store)->PersistSegment(1, p1, SegmentCodec::kRaw, 777);
+    (*store)->PersistSegment(2, p2, SegmentCodec::kRle, 6000);
+    (*store)->ForgetSegment(1);
+    ASSERT_TRUE((*store)->health().ok()) << (*store)->health().ToString();
+  }
+  auto store = OpenStore(dir);
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  EXPECT_EQ((*store)->recovery().delta_records, 3u);
+  EXPECT_EQ((*store)->LiveSegments(), std::vector<SegmentId>{2});
+  auto blob = (*store)->ReadSegment(2);
+  ASSERT_TRUE(blob.ok()) << blob.status().ToString();
+  EXPECT_EQ(blob->physical, p2);
+  EXPECT_EQ(blob->codec, SegmentCodec::kRle);
+  EXPECT_EQ(blob->logical_bytes, 6000u);
+}
+
+DatabaseImage TinyImage() {
+  DatabaseImage db;
+  TableImage t;
+  t.name = "T";
+  t.rows = 3;
+  ColumnImage c;
+  c.name = "x";
+  c.segmented = false;
+  c.sql_type = 2;
+  c.plain_type = 2;
+  c.plain_payload = Payload(12, 9);
+  t.columns.push_back(c);
+  db.tables.push_back(t);
+  return db;
+}
+
+TEST(PersistentStoreTest, CheckpointCommitsAndReopens) {
+  const std::string dir = TempDirFor("ckpt");
+  const auto p1 = Payload(500, 6);
+  {
+    auto store = OpenStore(dir);
+    ASSERT_TRUE(store.ok());
+    (*store)->PersistSegment(7, p1, SegmentCodec::kRaw, 500);
+    auto gen = (*store)->WriteCheckpoint(TinyImage(), (*store)->BeginCapture());
+    ASSERT_TRUE(gen.ok()) << gen.status().ToString();
+    EXPECT_EQ(*gen, 1u);
+    EXPECT_EQ((*store)->stats().delta_records_since_checkpoint, 0u);
+  }
+  auto store = OpenStore(dir);
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  EXPECT_EQ((*store)->recovery().generation, 1u);
+  EXPECT_EQ((*store)->recovery().delta_records, 0u);
+  EXPECT_FALSE((*store)->recovery().fell_back);
+  ASSERT_EQ((*store)->image().tables.size(), 1u);
+  EXPECT_EQ((*store)->image().tables[0].name, "T");
+  EXPECT_EQ((*store)->image().tables[0].rows, 3u);
+  ASSERT_EQ((*store)->image().tables[0].columns.size(), 1u);
+  EXPECT_EQ((*store)->image().tables[0].columns[0].plain_payload,
+            Payload(12, 9));
+  auto blob = (*store)->ReadSegment(7);
+  ASSERT_TRUE(blob.ok());
+  EXPECT_EQ(blob->physical, p1);
+}
+
+TEST(PersistentStoreTest, SegmentFreedDuringCaptureStaysReadable) {
+  // The capture/serialize race: a segment the image references is freed
+  // between BeginCapture and WriteCheckpoint (a reorganization ran during
+  // capture). The committed checkpoint must keep its blob readable, and
+  // Rebase must be able to resurrect it.
+  const std::string dir = TempDirFor("capture_race");
+  const auto p = Payload(900, 7);
+  {
+    auto store = OpenStore(dir);
+    ASSERT_TRUE(store.ok());
+    (*store)->PersistSegment(11, p, SegmentCodec::kRaw, 900);
+    const uint64_t seq = (*store)->BeginCapture();
+    (*store)->ForgetSegment(11);  // freed mid-capture
+    auto gen = (*store)->WriteCheckpoint(TinyImage(), seq);
+    ASSERT_TRUE(gen.ok()) << gen.status().ToString();
+  }
+  {
+    // The committed checkpoint retains the entry (the image being captured
+    // may reference it): readable after reopen, and Rebase keeps it when the
+    // restored image does reference it.
+    auto store = OpenStore(dir);
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE((*store)->HasSegment(11));
+    auto blob = (*store)->ReadSegment(11);
+    ASSERT_TRUE(blob.ok()) << blob.status().ToString();
+    EXPECT_EQ(blob->physical, p);
+    ASSERT_TRUE((*store)->Rebase({11}).ok());
+    EXPECT_EQ((*store)->LiveSegments(), std::vector<SegmentId>{11});
+  }
+  {
+    // ...and drops it (bytes become dead extents) when the image does not.
+    auto store = OpenStore(dir);
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE((*store)->Rebase({}).ok());
+    EXPECT_TRUE((*store)->LiveSegments().empty());
+    EXPECT_FALSE((*store)->HasSegment(11));
+  }
+}
+
+TEST(PersistentStoreTest, CorruptBlobIsDataLossNotWrongBytes) {
+  const std::string dir = TempDirFor("bad_blob");
+  auto store = OpenStore(dir);
+  ASSERT_TRUE(store.ok());
+  (*store)->PersistSegment(4, Payload(256, 8), SegmentCodec::kRaw, 256);
+  FlipByteAt(dir + "/segments_cls0.dat", -1);
+  auto blob = (*store)->ReadSegment(4);
+  EXPECT_FALSE(blob.ok());
+  EXPECT_EQ(blob.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(PersistentStoreTest, TruncatedDeltaTailRecoversCleanly) {
+  const std::string dir = TempDirFor("torn_delta");
+  const auto p = Payload(128, 10);
+  {
+    auto store = OpenStore(dir);
+    ASSERT_TRUE(store.ok());
+    (*store)->PersistSegment(3, p, SegmentCodec::kRaw, 128);
+  }
+  AppendGarbage(dir + "/delta_0.log", 9);  // torn record at the tail
+  auto store = OpenStore(dir);
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  EXPECT_TRUE((*store)->recovery().delta_tail_truncated);
+  EXPECT_EQ((*store)->recovery().delta_records, 1u);
+  auto blob = (*store)->ReadSegment(3);
+  ASSERT_TRUE(blob.ok());
+  EXPECT_EQ(blob->physical, p);
+  // The tail was truncated away: appends after recovery start at a clean
+  // boundary and a further reopen replays every record.
+  (*store)->PersistSegment(8, Payload(64, 11), SegmentCodec::kRaw, 64);
+  ASSERT_TRUE((*store)->health().ok());
+  store->reset();
+  auto again = OpenStore(dir);
+  ASSERT_TRUE(again.ok());
+  EXPECT_FALSE((*again)->recovery().delta_tail_truncated);
+  EXPECT_EQ((*again)->recovery().delta_records, 2u);
+}
+
+TEST(PersistentStoreTest, CorruptSuperblockFallsBackToNewestCheckpoint) {
+  const std::string dir = TempDirFor("bad_super");
+  {
+    auto store = OpenStore(dir);
+    ASSERT_TRUE(store.ok());
+    (*store)->PersistSegment(1, Payload(100, 12), SegmentCodec::kRaw, 100);
+    ASSERT_TRUE(
+        (*store)->WriteCheckpoint(TinyImage(), (*store)->BeginCapture()).ok());
+  }
+  FlipByteAt(dir + "/superblock", 8);
+  auto store = OpenStore(dir);
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  EXPECT_TRUE((*store)->recovery().fell_back);
+  EXPECT_EQ((*store)->recovery().generation, 1u);
+  EXPECT_TRUE((*store)->ReadSegment(1).ok());
+}
+
+TEST(PersistentStoreTest, CorruptCheckpointFallsBackToPreviousGeneration) {
+  const std::string dir = TempDirFor("bad_ckpt");
+  {
+    auto store = OpenStore(dir);
+    ASSERT_TRUE(store.ok());
+    (*store)->PersistSegment(1, Payload(100, 13), SegmentCodec::kRaw, 100);
+    ASSERT_TRUE(
+        (*store)->WriteCheckpoint(TinyImage(), (*store)->BeginCapture()).ok());
+    ASSERT_TRUE(
+        (*store)->WriteCheckpoint(TinyImage(), (*store)->BeginCapture()).ok());
+  }
+  FlipByteAt(dir + "/checkpoint_2.ckpt", 64);
+  auto store = OpenStore(dir);
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  EXPECT_TRUE((*store)->recovery().fell_back);
+  EXPECT_EQ((*store)->recovery().generation, 1u);
+  EXPECT_TRUE((*store)->ReadSegment(1).ok());
+}
+
+TEST(PersistentStoreTest, AllRootsCorruptRefusesSilently) {
+  // Every checkpoint unreadable: Open must refuse with DataLoss rather than
+  // silently reinitializing an empty store over existing data.
+  const std::string dir = TempDirFor("all_bad");
+  {
+    auto store = OpenStore(dir);
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE(
+        (*store)->WriteCheckpoint(TinyImage(), (*store)->BeginCapture()).ok());
+  }
+  FlipByteAt(dir + "/superblock", 8);
+  for (const auto& e : std::filesystem::directory_iterator(dir)) {
+    const std::string name = e.path().filename().string();
+    if (name.rfind("checkpoint_", 0) == 0) FlipByteAt(e.path().string(), 40);
+  }
+  auto store = OpenStore(dir);
+  EXPECT_FALSE(store.ok());
+  EXPECT_EQ(store.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(PersistentStoreTest, RetentionKeepsTwoGenerations) {
+  const std::string dir = TempDirFor("retention");
+  auto store = OpenStore(dir);
+  ASSERT_TRUE(store.ok());
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(
+        (*store)->WriteCheckpoint(TinyImage(), (*store)->BeginCapture()).ok());
+  }
+  EXPECT_FALSE(std::filesystem::exists(dir + "/checkpoint_2.ckpt"));
+  EXPECT_TRUE(std::filesystem::exists(dir + "/checkpoint_3.ckpt"));
+  EXPECT_TRUE(std::filesystem::exists(dir + "/checkpoint_4.ckpt"));
+}
+
+// --- SaveState / RestoreStrategy roundtrips for every strategy kind ----------
+
+/// Drives `strat` through a workload, snapshots it, restores the snapshot
+/// over the same space (its segments are still live there), and checks that
+/// the restored strategy has identical geometry and answers queries exactly.
+void VerifyStateRoundtrip(AccessStrategy<int32_t>& strat,
+                          const std::vector<int32_t>& data,
+                          const ValueRange& domain, SegmentSpace* space,
+                          int seed, int warmup_queries = 40) {
+  UniformRangeGenerator gen(domain, 0.05, seed);
+  for (int i = 0; i < warmup_queries; ++i) strat.RunRange(gen.Next().range);
+
+  StrategyState saved;
+  ASSERT_TRUE(strat.SaveState(&saved).ok());
+  auto state = StrategyState::Parse(saved.Serialize());
+  ASSERT_TRUE(state.ok()) << state.status().ToString();
+  auto restored = RestoreStrategy<int32_t>(*state, space);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+
+  // Identical learned geometry...
+  const auto before = strat.Segments();
+  const auto after = (*restored)->Segments();
+  ASSERT_EQ(after.size(), before.size());
+  for (size_t i = 0; i < before.size(); ++i) {
+    EXPECT_EQ(after[i].id, before[i].id);
+    EXPECT_EQ(after[i].range, before[i].range);
+    EXPECT_EQ(after[i].count, before[i].count);
+  }
+  // ...and exact answers (queries may adapt the restored copy further; the
+  // original is not used past this point).
+  Rng rng(seed + 1);
+  for (int i = 0; i < 25; ++i) {
+    const double lo =
+        rng.NextUniform(domain.lo, domain.lo + domain.Span() * 0.9);
+    const ValueRange q(lo, lo + rng.NextUniform(10, domain.Span() * 0.05));
+    std::vector<int32_t> got;
+    (*restored)->RunRange(q, &got);
+    ASSERT_EQ(SortedValues(got), BruteForce(data, q)) << "query " << i;
+  }
+}
+
+std::unique_ptr<SegmentationModel> TestModel() {
+  return std::make_unique<Apm>(3 * kKiB, 12 * kKiB);
+}
+
+TEST(StrategyRestoreTest, NonSegmented) {
+  SegmentSpace space;
+  auto data = MakeUniformIntColumn(20000, 100000, 21);
+  NonSegmented<int32_t> strat(data, ValueRange(0, 100000), &space);
+  VerifyStateRoundtrip(strat, data, ValueRange(0, 100000), &space, 21);
+}
+
+TEST(StrategyRestoreTest, StaticPartition) {
+  SegmentSpace space;
+  auto data = MakeUniformIntColumn(20000, 100000, 22);
+  StaticPartition<int32_t> strat(data, ValueRange(0, 100000), 10, &space);
+  VerifyStateRoundtrip(strat, data, ValueRange(0, 100000), &space, 22);
+}
+
+TEST(StrategyRestoreTest, PositionalBlocks) {
+  SegmentSpace space;
+  auto data = MakeUniformIntColumn(20000, 100000, 23);
+  PositionalBlocks<int32_t> strat(data, ValueRange(0, 100000), 8 * kKiB,
+                                  &space);
+  VerifyStateRoundtrip(strat, data, ValueRange(0, 100000), &space, 23);
+}
+
+TEST(StrategyRestoreTest, CrackingColumn) {
+  SegmentSpace space;
+  auto data = MakeUniformIntColumn(20000, 100000, 24);
+  CrackingColumn<int32_t> strat(data, ValueRange(0, 100000), &space);
+  VerifyStateRoundtrip(strat, data, ValueRange(0, 100000), &space, 24);
+}
+
+TEST(StrategyRestoreTest, AdaptiveSegmentation) {
+  SegmentSpace space;
+  auto data = MakeUniformIntColumn(20000, 100000, 25);
+  AdaptiveSegmentation<int32_t> strat(data, ValueRange(0, 100000), TestModel(),
+                                      &space);
+  VerifyStateRoundtrip(strat, data, ValueRange(0, 100000), &space, 25);
+}
+
+TEST(StrategyRestoreTest, DeferredSegmentation) {
+  SegmentSpace space;
+  auto data = MakeUniformIntColumn(20000, 100000, 26);
+  DeferredSegmentation<int32_t>::Options opts;
+  opts.batch_queries = 5;
+  DeferredSegmentation<int32_t> strat(data, ValueRange(0, 100000), TestModel(),
+                                      &space, opts);
+  VerifyStateRoundtrip(strat, data, ValueRange(0, 100000), &space, 26);
+}
+
+TEST(StrategyRestoreTest, AdaptiveReplication) {
+  SegmentSpace space;
+  auto data = MakeUniformIntColumn(20000, 100000, 27);
+  AdaptiveReplication<int32_t> strat(data, ValueRange(0, 100000), TestModel(),
+                                     &space);
+  VerifyStateRoundtrip(strat, data, ValueRange(0, 100000), &space, 27);
+}
+
+TEST(StrategyRestoreTest, UnknownKindRejected) {
+  StrategyState st;
+  st.PutString("kind", "time_travel");
+  st.PutU64("value_size", 4);
+  st.PutDouble("domain.lo", 0);
+  st.PutDouble("domain.hi", 1);
+  SegmentSpace space;
+  auto restored = RestoreStrategy<int32_t>(st, &space);
+  EXPECT_FALSE(restored.ok());
+  EXPECT_EQ(restored.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(StrategyRestoreTest, MissingSegmentIsDataLoss) {
+  SegmentSpace space;
+  auto data = MakeUniformIntColumn(5000, 50000, 28);
+  AdaptiveSegmentation<int32_t> strat(data, ValueRange(0, 50000), TestModel(),
+                                      &space);
+  StrategyState st;
+  ASSERT_TRUE(strat.SaveState(&st).ok());
+  SegmentSpace empty;  // the referenced segments are not here
+  auto restored = RestoreStrategy<int32_t>(st, &empty);
+  EXPECT_FALSE(restored.ok());
+  EXPECT_EQ(restored.status().code(), StatusCode::kDataLoss);
+}
+
+}  // namespace
+}  // namespace socs::persist

@@ -1,4 +1,9 @@
-// Persistence (save/restore of a learned segmentation) and bulk appends.
+// Persistence (a learned segmentation surviving a store close/reopen through
+// the durable segment store, src/persist) and bulk appends. The historical
+// text-file column dump this suite once covered is gone; the same guarantees
+// -- layout preserved, payload bytes preserved, restored strategy answers
+// queries without a warm-up rescan, type mismatches rejected -- now ride the
+// PersistentStore + SaveState/RestoreStrategy path the server uses.
 #include <gtest/gtest.h>
 
 #include <filesystem>
@@ -8,7 +13,8 @@
 #include "common/units.h"
 #include "core/adaptive_segmentation.h"
 #include "core/apm.h"
-#include "core/column_persistence.h"
+#include "core/strategy_restore.h"
+#include "persist/store.h"
 #include "test_util.h"
 #include "workload/range_generator.h"
 
@@ -25,53 +31,108 @@ std::unique_ptr<SegmentationModel> Model() {
 std::string TempDirFor(const char* name) {
   const std::string dir = ::testing::TempDir() + "/socs_" + name;
   std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
   return dir;
 }
 
+StatusOr<std::unique_ptr<persist::PersistentStore>> OpenStore(
+    const std::string& dir) {
+  persist::PersistentStore::Options opts;
+  opts.dir = dir;
+  return persist::PersistentStore::Open(std::move(opts));
+}
+
+/// Materializes every blob the reopened store holds into `space` -- the
+/// recovery half the engine-level RestoreDatabase performs before strategy
+/// reconstruction.
+void MaterializeAll(persist::PersistentStore* store, SegmentSpace* space) {
+  for (SegmentId id : store->AllSegments()) {
+    auto blob = store->ReadSegment(id);
+    ASSERT_TRUE(blob.ok()) << blob.status().ToString();
+    space->RestoreSegment(id, std::move(blob->physical), blob->codec,
+                          blob->logical_bytes);
+  }
+}
+
 TEST(PersistenceTest, SaveLoadRoundtripPreservesLayoutAndData) {
-  auto data = MakeUniformIntColumn(50000, 500000, 1);
-  SegmentSpace space;
-  AdaptiveSegmentation<int32_t> strat(data, ValueRange(0, 500000), Model(),
-                                      &space);
-  UniformRangeGenerator gen(ValueRange(0, 500000), 0.05, 2);
-  for (int i = 0; i < 200; ++i) strat.RunRange(gen.Next().range);
-  const auto before = strat.Segments();
-  ASSERT_GT(before.size(), 5u);
-
   const std::string dir = TempDirFor("roundtrip");
-  ASSERT_TRUE(SaveSegments<int32_t>(before, space, dir).ok());
+  auto data = MakeUniformIntColumn(50000, 500000, 1);
+  std::vector<std::byte> state_bytes;
+  std::vector<SegmentInfo> before;
+  std::vector<std::vector<int32_t>> payloads;
+  {
+    auto store = OpenStore(dir);
+    ASSERT_TRUE(store.ok()) << store.status().ToString();
+    SegmentSpace space;
+    space.set_durability(store->get());
+    AdaptiveSegmentation<int32_t> strat(data, ValueRange(0, 500000), Model(),
+                                        &space);
+    UniformRangeGenerator gen(ValueRange(0, 500000), 0.05, 2);
+    for (int i = 0; i < 200; ++i) strat.RunRange(gen.Next().range);
+    before = strat.Segments();
+    ASSERT_GT(before.size(), 5u);
+    for (const SegmentInfo& s : before) {
+      auto span = space.Peek<int32_t>(s.id);
+      payloads.emplace_back(span.begin(), span.end());
+    }
+    StrategyState saved;
+    ASSERT_TRUE(strat.SaveState(&saved).ok());
+    state_bytes = saved.Serialize();
+    ASSERT_TRUE((*store)->health().ok()) << (*store)->health().ToString();
+    space.set_durability(nullptr);  // keep the blobs through teardown
+  }
 
+  // Reopen from disk: the object table replays from the delta log (no
+  // checkpoint was ever taken), the blobs come back from the class files.
+  auto store2 = OpenStore(dir);
+  ASSERT_TRUE(store2.ok()) << store2.status().ToString();
   SegmentSpace space2;
-  auto loaded = LoadSegments<int32_t>(&space2, dir);
+  MaterializeAll(store2->get(), &space2);
+  auto state = StrategyState::Parse(state_bytes);
+  ASSERT_TRUE(state.ok()) << state.status().ToString();
+  auto loaded = RestoreStrategy<int32_t>(*state, &space2);
   ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
-  ASSERT_EQ(loaded->size(), before.size());
+  const auto after = (*loaded)->Segments();
+  ASSERT_EQ(after.size(), before.size());
   for (size_t i = 0; i < before.size(); ++i) {
-    EXPECT_EQ((*loaded)[i].range, before[i].range);
-    EXPECT_EQ((*loaded)[i].count, before[i].count);
+    EXPECT_EQ(after[i].range, before[i].range);
+    EXPECT_EQ(after[i].count, before[i].count);
+    EXPECT_EQ(after[i].id, before[i].id);
     // Payloads byte-identical.
-    auto a = space.Peek<int32_t>(before[i].id);
-    auto b = space2.Peek<int32_t>((*loaded)[i].id);
-    ASSERT_TRUE(std::equal(a.begin(), a.end(), b.begin(), b.end()));
+    auto b = space2.Peek<int32_t>(after[i].id);
+    ASSERT_TRUE(std::equal(payloads[i].begin(), payloads[i].end(), b.begin(),
+                           b.end()));
   }
 }
 
 TEST(PersistenceTest, RestoredStrategyAnswersQueries) {
-  auto data = MakeUniformIntColumn(30000, 300000, 3);
-  SegmentSpace space;
-  AdaptiveSegmentation<int32_t> strat(data, ValueRange(0, 300000), Model(),
-                                      &space);
-  UniformRangeGenerator gen(ValueRange(0, 300000), 0.05, 4);
-  for (int i = 0; i < 100; ++i) strat.RunRange(gen.Next().range);
-
   const std::string dir = TempDirFor("restore");
-  ASSERT_TRUE(SaveSegments<int32_t>(strat.Segments(), space, dir).ok());
+  auto data = MakeUniformIntColumn(30000, 300000, 3);
+  std::vector<std::byte> state_bytes;
+  {
+    auto store = OpenStore(dir);
+    ASSERT_TRUE(store.ok()) << store.status().ToString();
+    SegmentSpace space;
+    space.set_durability(store->get());
+    AdaptiveSegmentation<int32_t> strat(data, ValueRange(0, 300000), Model(),
+                                        &space);
+    UniformRangeGenerator gen(ValueRange(0, 300000), 0.05, 4);
+    for (int i = 0; i < 100; ++i) strat.RunRange(gen.Next().range);
+    StrategyState saved;
+    ASSERT_TRUE(strat.SaveState(&saved).ok());
+    state_bytes = saved.Serialize();
+    space.set_durability(nullptr);
+  }
 
+  auto store2 = OpenStore(dir);
+  ASSERT_TRUE(store2.ok()) << store2.status().ToString();
   SegmentSpace space2;
-  auto loaded = LoadSegments<int32_t>(&space2, dir);
-  ASSERT_TRUE(loaded.ok());
-  AdaptiveSegmentation<int32_t> restored(ValueRange(0, 300000),
-                                         std::move(loaded.value()), Model(),
-                                         &space2);
+  MaterializeAll(store2->get(), &space2);
+  auto state = StrategyState::Parse(state_bytes);
+  ASSERT_TRUE(state.ok());
+  auto restored_or = RestoreStrategy<int32_t>(*state, &space2);
+  ASSERT_TRUE(restored_or.ok()) << restored_or.status().ToString();
+  AccessStrategy<int32_t>& restored = **restored_or;
   Rng rng(5);
   for (int i = 0; i < 50; ++i) {
     const double lo = rng.NextUniform(0, 280000);
@@ -85,41 +146,60 @@ TEST(PersistenceTest, RestoredStrategyAnswersQueries) {
   EXPECT_LT(ex.read_bytes, 50000u);
 }
 
-TEST(PersistenceTest, LoadRejectsValueSizeMismatch) {
+TEST(PersistenceTest, RestoreRejectsValueSizeMismatch) {
+  const std::string dir = TempDirFor("mismatch");
   auto data = MakeUniformIntColumn(1000, 10000, 6);
+  auto store = OpenStore(dir);
+  ASSERT_TRUE(store.ok());
   SegmentSpace space;
+  space.set_durability(store->get());
   AdaptiveSegmentation<int32_t> strat(data, ValueRange(0, 10000), Model(),
                                       &space);
-  const std::string dir = TempDirFor("mismatch");
-  ASSERT_TRUE(SaveSegments<int32_t>(strat.Segments(), space, dir).ok());
-  SegmentSpace space2;
-  auto loaded = LoadSegments<double>(&space2, dir);  // wrong type
+  StrategyState state;
+  ASSERT_TRUE(strat.SaveState(&state).ok());
+  auto loaded = RestoreStrategy<double>(state, &space);  // wrong type
   EXPECT_FALSE(loaded.ok());
   EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  space.set_durability(nullptr);
 }
 
-TEST(PersistenceTest, LoadMissingDirIsNotFound) {
-  SegmentSpace space;
-  auto loaded = LoadSegments<int32_t>(&space, "/nonexistent/socs/dir");
-  EXPECT_FALSE(loaded.ok());
-  EXPECT_EQ(loaded.status().code(), StatusCode::kNotFound);
+TEST(PersistenceTest, OpenMissingDirFails) {
+  auto store = OpenStore("/nonexistent/socs/dir");
+  EXPECT_FALSE(store.ok());
 }
 
 TEST(PersistenceTest, OidValuePayloadRoundtrip) {
-  SegmentSpace space;
+  const std::string dir = TempDirFor("oidvalue");
   std::vector<OidValue> data;
   Rng rng(7);
-  for (uint64_t i = 0; i < 5000; ++i) data.push_back({i, rng.NextUniform(0, 100)});
-  AdaptiveSegmentation<OidValue> strat(data, ValueRange(0, 100),
-                                       std::make_unique<Apm>(1024, 4096), &space);
-  strat.RunRange(ValueRange(20, 60));
-  const std::string dir = TempDirFor("oidvalue");
-  ASSERT_TRUE(SaveSegments<OidValue>(strat.Segments(), space, dir).ok());
+  for (uint64_t i = 0; i < 5000; ++i) {
+    data.push_back({i, rng.NextUniform(0, 100)});
+  }
+  std::vector<std::byte> state_bytes;
+  {
+    auto store = OpenStore(dir);
+    ASSERT_TRUE(store.ok());
+    SegmentSpace space;
+    space.set_durability(store->get());
+    AdaptiveSegmentation<OidValue> strat(data, ValueRange(0, 100),
+                                         std::make_unique<Apm>(1024, 4096),
+                                         &space);
+    strat.RunRange(ValueRange(20, 60));
+    StrategyState saved;
+    ASSERT_TRUE(strat.SaveState(&saved).ok());
+    state_bytes = saved.Serialize();
+    space.set_durability(nullptr);
+  }
+  auto store2 = OpenStore(dir);
+  ASSERT_TRUE(store2.ok());
   SegmentSpace space2;
-  auto loaded = LoadSegments<OidValue>(&space2, dir);
-  ASSERT_TRUE(loaded.ok());
+  MaterializeAll(store2->get(), &space2);
+  auto state = StrategyState::Parse(state_bytes);
+  ASSERT_TRUE(state.ok());
+  auto loaded = RestoreStrategy<OidValue>(*state, &space2);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
   uint64_t total = 0;
-  for (const auto& s : *loaded) total += s.count;
+  for (const auto& s : (*loaded)->Segments()) total += s.count;
   EXPECT_EQ(total, 5000u);
 }
 

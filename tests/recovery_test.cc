@@ -1,0 +1,321 @@
+// Crash-injection tests for the durable segment store: a child process is
+// SIGKILLed -- either blind (mid-serving) or surgically, at named fault
+// points inside checkpoint/log writes via PersistentStore's fault hook --
+// and the parent then recovers from the same data directory and checks the
+// result. The headline test is the paper-shaped kill-and-recover: a server
+// adapts its `ra` column under a SkyServer query stream, dies without
+// warning, and the recovered store serves byte-identical SELECT replies and
+// reports byte-identical segment geometry (#layout).
+//
+// The child processes run with fsync_data on the default path; a SIGKILL
+// never loses page-cache writes, so the recovery semantics tested here are
+// exactly the crash-consistency contract (torn tails truncated, committed
+// checkpoints intact).
+#include <gtest/gtest.h>
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/units.h"
+#include "core/adaptive_segmentation.h"
+#include "core/apm.h"
+#include "engine/catalog.h"
+#include "exec/task_scheduler.h"
+#include "persist/bootstrap.h"
+#include "persist/store.h"
+#include "server/client.h"
+#include "server/server.h"
+#include "server/session.h"
+#include "workload/skyserver.h"
+
+namespace socs {
+namespace {
+
+std::string TempDirFor(const char* name) {
+  const std::string dir = ::testing::TempDir() + "/socs_recovery_" + name;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+StatusOr<std::unique_ptr<persist::PersistentStore>> OpenStore(
+    const std::string& dir, persist::FaultHook hook = nullptr) {
+  persist::PersistentStore::Options opts;
+  opts.dir = dir;
+  opts.fault_hook = std::move(hook);
+  return persist::PersistentStore::Open(std::move(opts));
+}
+
+SkyServerConfig SmallSky() {
+  SkyServerConfig cfg;
+  cfg.num_objects = 120'000;  // ~1.9MB of OidValue -- seconds, not minutes
+  return cfg;
+}
+
+/// The demo-shaped SkyServer catalog: P(ra adaptive-segmented, objid).
+void BuildSkyCatalog(Catalog* cat, SegmentSpace* space,
+                     const SkyServerConfig& cfg) {
+  const std::vector<float> ra_floats = MakeRaColumn(cfg);
+  std::vector<OidValue> ra;
+  std::vector<int64_t> objid;
+  ra.reserve(ra_floats.size());
+  for (size_t i = 0; i < ra_floats.size(); ++i) {
+    ra.push_back({i, static_cast<double>(ra_floats[i])});
+    objid.push_back(static_cast<int64_t>(587722981742084097LL + i));
+  }
+  auto strat = std::make_unique<AdaptiveSegmentation<OidValue>>(
+      ra, cfg.footprint, std::make_unique<Apm>(32 * kKiB, 128 * kKiB), space);
+  auto col = std::make_unique<SegmentedColumn>(Catalog::SegHandle("P", "ra"),
+                                               ValType::kDbl, std::move(strat),
+                                               space);
+  SOCS_CHECK(cat->AddSegmentedColumn("P", "ra", std::move(col)).ok());
+  SOCS_CHECK(cat->AddColumn("P", "objid", TypedVector::Of(objid)).ok());
+}
+
+std::vector<std::string> SkyQueries(const SkyServerConfig& cfg, size_t n,
+                                    uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::string> out;
+  for (size_t i = 0; i < n; ++i) {
+    const double width = rng.NextUniform(1.0, 8.0);
+    const double lo =
+        rng.NextUniform(cfg.footprint.lo, cfg.footprint.hi - width);
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "select objid from P where ra between %.6f and %.6f", lo,
+                  lo + width);
+    out.push_back(buf);
+  }
+  return out;
+}
+
+/// Child body for the blind-kill test: builds the durable demo server,
+/// reports its port on `port_fd`, then waits to be SIGKILLed. Never returns
+/// normally; _exit codes mark setup failures.
+[[noreturn]] void ServerChild(const std::string& dir, int port_fd) {
+  auto store = OpenStore(dir);
+  if (!store.ok()) _exit(41);
+  Catalog cat;
+  SegmentSpace space;
+  space.set_durability(store->get());
+  TaskScheduler sched(1);  // no background lane: adaptation is query-driven
+  BuildSkyCatalog(&cat, &space, SmallSky());
+  if (!persist::CheckpointNow(store->get(), cat).ok()) _exit(42);
+
+  server::SqlServer::Options opts;
+  opts.port = 0;
+  opts.executors = 1;
+  opts.persist = store->get();
+  server::SqlServer srv(&cat, &sched, opts);
+  if (!srv.Start().ok()) _exit(43);
+  const uint16_t port = srv.port();
+  if (::write(port_fd, &port, sizeof(port)) != sizeof(port)) _exit(44);
+  ::close(port_fd);
+  for (;;) ::pause();  // parent SIGKILLs us mid-serving
+}
+
+TEST(RecoveryTest, KilledServerRecoversByteIdenticalLayoutAndReplies) {
+  const std::string dir = TempDirFor("kill");
+  int port_pipe[2];
+  ASSERT_EQ(::pipe(port_pipe), 0);
+  const pid_t pid = ::fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    ::close(port_pipe[0]);
+    ServerChild(dir, port_pipe[1]);
+  }
+  ::close(port_pipe[1]);
+  uint16_t port = 0;
+  ASSERT_EQ(::read(port_pipe[0], &port, sizeof(port)),
+            static_cast<ssize_t>(sizeof(port)))
+      << "server child failed to start";
+  ::close(port_pipe[0]);
+
+  auto conn = client::Connection::Connect("127.0.0.1", port);
+  ASSERT_TRUE(conn.ok()) << conn.status().ToString();
+
+  // Adapt under the SkyServer stream, then commit what was learned.
+  const SkyServerConfig cfg = SmallSky();
+  for (const std::string& q : SkyQueries(cfg, 50, 77)) {
+    auto reply = conn->Execute(q);
+    ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+    ASSERT_TRUE(reply->ok) << reply->error;
+  }
+  auto ckpt = conn->Execute("#checkpoint");
+  ASSERT_TRUE(ckpt.ok() && ckpt->ok);
+
+  // Record the committed truth: the exact segment geometry and the paper's
+  // probe query reply. #layout is read-only; the probe adapts, but it runs
+  // on exactly the checkpointed state -- as it will again after recovery.
+  auto layout = conn->Execute("#layout");
+  ASSERT_TRUE(layout.ok() && layout->ok);
+  ASSERT_GT(layout->rows.size(), 3u) << "expected an adapted, split layout";
+  const std::string probe_sql =
+      "select objid from P where ra between 205.1 and 205.12";
+  auto probe = conn->Execute(probe_sql);
+  ASSERT_TRUE(probe.ok() && probe->ok);
+
+  // No goodbye: SIGKILL mid-serving.
+  ASSERT_EQ(::kill(pid, SIGKILL), 0);
+  int wstatus = 0;
+  ASSERT_EQ(::waitpid(pid, &wstatus, 0), pid);
+  ASSERT_TRUE(WIFSIGNALED(wstatus));
+
+  // Recover in-process from the same directory.
+  auto store = OpenStore(dir);
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  EXPECT_TRUE((*store)->health().ok());
+  Catalog cat;
+  SegmentSpace space;
+  space.set_durability(store->get());
+  auto report = persist::RestoreDatabase(store->get(), &space, &cat);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->tables, 1u);
+  EXPECT_EQ(report->columns, 2u);
+  EXPECT_GT(report->segments_restored, 3u);
+
+  TaskScheduler sched(1);
+  server::Session session(&cat, &sched);
+  // Byte-identical geometry: the recovered strategies report exactly the
+  // pre-crash segment list (ids, counts, IEEE-754 range bits).
+  const server::WireReply layout2 = session.Execute("#layout");
+  ASSERT_TRUE(layout2.ok) << layout2.error;
+  EXPECT_EQ(layout2.rows, layout->rows);
+  // Byte-identical answers: the probe reply matches the pre-crash reply.
+  const server::WireReply probe2 = session.Execute(probe_sql);
+  ASSERT_TRUE(probe2.ok) << probe2.error;
+  EXPECT_EQ(probe2.columns, probe->columns);
+  EXPECT_EQ(probe2.rows, probe->rows);
+}
+
+/// Child body for the fault-point tests: commits segment A at generation 1
+/// with no hook, then re-opens with a hook that SIGKILLs at `point` and
+/// walks into the fault (persist B, checkpoint). Never survives the fault.
+[[noreturn]] void FaultChild(const std::string& dir, const std::string& point) {
+  std::vector<std::byte> a(600), b(700);
+  for (size_t i = 0; i < a.size(); ++i) a[i] = static_cast<std::byte>(i & 0xFF);
+  for (size_t i = 0; i < b.size(); ++i) b[i] = static_cast<std::byte>(~i & 0xFF);
+  {
+    auto store = OpenStore(dir);
+    if (!store.ok()) _exit(41);
+    (*store)->PersistSegment(1, a, SegmentCodec::kRaw, a.size());
+    if (!(*store)
+             ->WriteCheckpoint(persist::DatabaseImage{},
+                               (*store)->BeginCapture())
+             .ok()) {
+      _exit(42);
+    }
+  }
+  auto store = OpenStore(dir, [&point](std::string_view p) {
+    if (p == point) {
+      ::kill(::getpid(), SIGKILL);
+      ::pause();  // SIGKILL is not synchronous; never run past the fault
+    }
+  });
+  if (!store.ok()) _exit(43);
+  (*store)->PersistSegment(2, b, SegmentCodec::kRaw, b.size());
+  (void)(*store)->WriteCheckpoint(persist::DatabaseImage{},
+                                  (*store)->BeginCapture());
+  _exit(44);  // the fault point never fired
+}
+
+class FaultPointTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(FaultPointTest, CrashAtPointRecoversConsistently) {
+  const std::string point = GetParam();
+  std::string tag = "fp_" + point;
+  for (char& c : tag) {
+    if (c == '.') c = '_';
+  }
+  const std::string dir = TempDirFor(tag.c_str());
+  const pid_t pid = ::fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) FaultChild(dir, point);
+  int wstatus = 0;
+  ASSERT_EQ(::waitpid(pid, &wstatus, 0), pid);
+  ASSERT_TRUE(WIFSIGNALED(wstatus))
+      << "child exited " << WEXITSTATUS(wstatus)
+      << " instead of dying at the fault point";
+  ASSERT_EQ(WTERMSIG(wstatus), SIGKILL);
+
+  // Whatever the point, Open recovers a consistent store: generation 1
+  // (crash before the superblock flip landed) or 2 (after), never a mix,
+  // and segment A -- committed before the fault -- is always readable.
+  auto store = OpenStore(dir);
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  EXPECT_TRUE((*store)->health().ok());
+  const uint64_t gen = (*store)->recovery().generation;
+  EXPECT_TRUE(gen == 1 || gen == 2) << "generation " << gen;
+  auto blob_a = (*store)->ReadSegment(1);
+  ASSERT_TRUE(blob_a.ok()) << blob_a.status().ToString();
+  EXPECT_EQ(blob_a->physical.size(), 600u);
+  // Segment B's PUT hit delta_1.log before the checkpoint attempt, so it is
+  // live in either generation; its payload must verify.
+  auto blob_b = (*store)->ReadSegment(2);
+  ASSERT_TRUE(blob_b.ok()) << blob_b.status().ToString();
+  EXPECT_EQ(blob_b->physical.size(), 700u);
+  // And the recovered store keeps working: another full commit succeeds.
+  ASSERT_TRUE((*store)
+                  ->WriteCheckpoint(persist::DatabaseImage{},
+                                    (*store)->BeginCapture())
+                  .ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(CheckpointCommit, FaultPointTest,
+                         ::testing::Values("checkpoint.mid",
+                                           "checkpoint.post_rename_pre_dirsync",
+                                           "superblock.pre_flip",
+                                           "superblock.mid",
+                                           "superblock.post_rename_pre_dirsync"));
+
+TEST(RecoveryTest, CrashMidLogAppendTruncatesTornRecord) {
+  const std::string dir = TempDirFor("torn_append");
+  // Stage segment A through a hookless store, then let a hooked child die
+  // half-way through appending B's PUT record.
+  {
+    auto store = OpenStore(dir);
+    ASSERT_TRUE(store.ok());
+    std::vector<std::byte> a(300, std::byte{7});
+    (*store)->PersistSegment(1, a, SegmentCodec::kRaw, 300);
+    ASSERT_TRUE((*store)->health().ok());
+  }
+  int wstatus = 0;
+  const pid_t pid2 = ::fork();
+  ASSERT_GE(pid2, 0);
+  if (pid2 == 0) {
+    auto store = OpenStore(dir, [](std::string_view p) {
+      if (p == "log.append.mid") {
+        ::kill(::getpid(), SIGKILL);
+        ::pause();
+      }
+    });
+    if (!store.ok()) _exit(41);
+    std::vector<std::byte> b(400, std::byte{9});
+    (*store)->PersistSegment(2, b, SegmentCodec::kRaw, 400);
+    _exit(44);  // the fault point never fired
+  }
+  ASSERT_EQ(::waitpid(pid2, &wstatus, 0), pid2);
+  ASSERT_TRUE(WIFSIGNALED(wstatus)) << "child exited " << WEXITSTATUS(wstatus);
+
+  // The half-written PUT for B is a torn tail: truncated on recovery, with
+  // A's record (and blob) intact before it.
+  auto store = OpenStore(dir);
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  EXPECT_TRUE((*store)->recovery().delta_tail_truncated);
+  EXPECT_EQ((*store)->LiveSegments(), std::vector<SegmentId>{1});
+  auto blob = (*store)->ReadSegment(1);
+  ASSERT_TRUE(blob.ok());
+  EXPECT_EQ(blob->physical, std::vector<std::byte>(300, std::byte{7}));
+}
+
+}  // namespace
+}  // namespace socs
