@@ -1,5 +1,7 @@
 #include "persist/segment_files.h"
 
+#include <limits>
+
 namespace socs::persist {
 
 StatusOr<SegmentFileSet> SegmentFileSet::Open(const std::string& dir) {
@@ -22,6 +24,13 @@ uint32_t SegmentFileSet::ClassFor(uint64_t bytes) {
 
 StatusOr<BlobAddress> SegmentFileSet::Append(
     std::span<const std::byte> payload) {
+  // The record header stores the length as a u32; a larger payload would be
+  // written with a truncated header and fail every subsequent Read.
+  if (payload.size() > std::numeric_limits<uint32_t>::max()) {
+    return Status::InvalidArgument(
+        "blob payload of " + std::to_string(payload.size()) +
+        " bytes exceeds the u32 record-header length field");
+  }
   const uint32_t cls = ClassFor(payload.size());
   ByteWriter w;
   w.U32(kRecordMagic);

@@ -1,8 +1,12 @@
 #include "persist/store.h"
 
+#include <dirent.h>
 #include <unistd.h>
 
 #include <algorithm>
+#include <cerrno>
+#include <cstdlib>
+#include <string_view>
 #include <utility>
 
 namespace socs::persist {
@@ -242,21 +246,31 @@ Status PersistentStore::LoadGeneration(uint64_t gen, RecoveryInfo* info) {
 }
 
 std::vector<uint64_t> PersistentStore::CheckpointGenerationsOnDisk() const {
+  // Enumerate checkpoint_<G>.ckpt files by reading the directory. Retention
+  // keeps only the newest two generations, so nothing can be assumed about
+  // which generation numbers exist -- probing fixed gens would miss every
+  // checkpoint once G grows past the probe window and misclassify a
+  // populated store as fresh.
   std::vector<uint64_t> gens;
-  // Generations are consecutive small integers and at most two checkpoints
-  // are retained, so probing upward from 0 until a gap past the first hit
-  // is simpler and as robust as reading the directory.
-  bool any = false;
-  for (uint64_t gen = 0; gen < 1u << 20; ++gen) {
-    if (::access(CheckpointPath(gen).c_str(), F_OK) == 0) {
-      gens.push_back(gen);
-      any = true;
-    } else if (any) {
-      break;
-    } else if (gen > 2) {
-      break;  // nothing at 0..2: fresh directory
-    }
+  DIR* d = ::opendir(opts_.dir.c_str());
+  if (d == nullptr) return gens;
+  constexpr std::string_view kPrefix = "checkpoint_";
+  constexpr std::string_view kSuffix = ".ckpt";
+  while (const dirent* e = ::readdir(d)) {
+    const std::string_view name = e->d_name;
+    if (name.size() <= kPrefix.size() + kSuffix.size()) continue;
+    if (name.substr(0, kPrefix.size()) != kPrefix) continue;
+    if (name.substr(name.size() - kSuffix.size()) != kSuffix) continue;
+    const std::string digits(name.substr(
+        kPrefix.size(), name.size() - kPrefix.size() - kSuffix.size()));
+    if (digits.find_first_not_of("0123456789") != std::string::npos) continue;
+    errno = 0;
+    char* end = nullptr;
+    const unsigned long long gen = std::strtoull(digits.c_str(), &end, 10);
+    if (errno != 0 || end != digits.c_str() + digits.size()) continue;
+    gens.push_back(gen);
   }
+  ::closedir(d);
   return gens;
 }
 
@@ -333,6 +347,12 @@ StatusOr<uint64_t> PersistentStore::WriteCheckpoint(const DatabaseImage& db,
   auto log = DeltaLog::Open(DeltaPath(next));
   if (!log.ok()) return log.status();
   st = log->TruncateTo(0);
+  if (!st.ok()) return st;
+  // The truncation must be durable before the flip: if this generation was
+  // committed once before and fallen back from, a power loss after the flip
+  // must not resurrect its old records (their CRCs are valid, and replaying
+  // them could remap live segment ids to stale extents).
+  st = log->Sync();
   if (!st.ok()) return st;
 
   // 4. The commit point.

@@ -66,10 +66,14 @@ class PersistentStore : public SegmentDurability {
  public:
   struct Options {
     std::string dir;
-    /// fsync blob files + delta log on every checkpoint. Checkpoints always
-    /// fsync their own root files; with this off, data-file durability rides
-    /// the page cache (survives SIGKILL, not power loss) -- the
-    /// crash-injection tests run this mode.
+    /// fsync blob files on every checkpoint, so committed checkpoints
+    /// survive power loss. Checkpoints always fsync their own root files.
+    /// Note that delta-log appends between checkpoints are never fsynced in
+    /// either mode: against power loss, durability granularity is the
+    /// checkpoint interval regardless of this flag (process crashes --
+    /// SIGKILL -- lose nothing, because appends reach the kernel page cache
+    /// synchronously). With this off, even checkpointed blob data rides the
+    /// page cache -- the crash-injection tests run that mode.
     bool fsync_data = true;
     /// Test seam: invoked at named fault points (persist/format.h).
     FaultHook fault_hook;
@@ -167,7 +171,8 @@ class PersistentStore : public SegmentDurability {
   /// Superblock bytes for generation `gen`.
   static std::vector<std::byte> BuildSuperblock(uint64_t gen);
   static StatusOr<uint64_t> ParseSuperblock(std::span<const std::byte> bytes);
-  /// Highest generation with a checkpoint file present in the directory.
+  /// Generations with a checkpoint file in the directory (unordered),
+  /// found by enumerating checkpoint_<G>.ckpt names.
   std::vector<uint64_t> CheckpointGenerationsOnDisk() const;
 
   void Park(Status st);

@@ -8,6 +8,7 @@
 #include <filesystem>
 #include <fstream>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -168,6 +169,21 @@ TEST(SegmentFilesTest, CorruptedPayloadFailsCrc) {
   auto read = files->Read(*addr);
   EXPECT_FALSE(read.ok());
   EXPECT_EQ(read.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(SegmentFilesTest, OversizedPayloadRejectedAtAppend) {
+  const std::string dir = TempDirFor("blob_oversize");
+  auto files = SegmentFileSet::Open(dir);
+  ASSERT_TRUE(files.ok());
+  // The record header stores lengths as u32; anything larger must be
+  // rejected up front instead of being written with a truncated header.
+  // The size check runs before any payload byte is touched, so a span with
+  // an inflated extent exercises it without a 4 GiB allocation.
+  std::byte dummy{};
+  std::span<const std::byte> huge(&dummy, size_t{1} << 32);
+  auto addr = files->Append(huge);
+  EXPECT_FALSE(addr.ok());
+  EXPECT_EQ(addr.status().code(), StatusCode::kInvalidArgument);
 }
 
 // --- object table + delta log ------------------------------------------------
@@ -426,6 +442,57 @@ TEST(PersistentStoreTest, CorruptCheckpointFallsBackToPreviousGeneration) {
   EXPECT_TRUE((*store)->recovery().fell_back);
   EXPECT_EQ((*store)->recovery().generation, 1u);
   EXPECT_TRUE((*store)->ReadSegment(1).ok());
+}
+
+/// Opens `dir`, persists segment 1 with `payload`, and commits checkpoints
+/// until the store sits at generation 6 -- past any fixed low-generation
+/// window, with retention having deleted generations 0..4.
+void AdvanceToGenerationSix(const std::string& dir,
+                            const std::vector<std::byte>& payload) {
+  auto store = OpenStore(dir);
+  ASSERT_TRUE(store.ok());
+  (*store)->PersistSegment(1, payload, SegmentCodec::kRaw, payload.size());
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(
+        (*store)->WriteCheckpoint(TinyImage(), (*store)->BeginCapture()).ok());
+  }
+  ASSERT_EQ((*store)->stats().generation, 6u);
+  ASSERT_FALSE(std::filesystem::exists(dir + "/checkpoint_4.ckpt"));
+}
+
+TEST(PersistentStoreTest, HighGenerationSuperblockLossFindsNewestCheckpoint) {
+  // Retention keeps only {G-1, G}, so at generation 6 nothing exists below
+  // generation 5. A corrupt superblock must still lead the directory scan to
+  // the surviving checkpoints -- never to "fresh directory" re-initialization
+  // over a populated store.
+  const std::string dir = TempDirFor("high_gen_super");
+  const auto p = Payload(200, 14);
+  AdvanceToGenerationSix(dir, p);
+  FlipByteAt(dir + "/superblock", 8);
+  auto store = OpenStore(dir);
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  EXPECT_TRUE((*store)->recovery().fell_back);
+  EXPECT_EQ((*store)->recovery().generation, 6u);
+  auto blob = (*store)->ReadSegment(1);
+  ASSERT_TRUE(blob.ok()) << blob.status().ToString();
+  EXPECT_EQ(blob->physical, p);
+}
+
+TEST(PersistentStoreTest, HighGenerationTornCheckpointFallsBackOne) {
+  // Readable superblock pointing at a torn checkpoint G: recovery must fall
+  // back to G-1 whatever G is, not report DataLoss because no checkpoint
+  // lives at a small fixed generation.
+  const std::string dir = TempDirFor("high_gen_ckpt");
+  const auto p = Payload(200, 15);
+  AdvanceToGenerationSix(dir, p);
+  FlipByteAt(dir + "/checkpoint_6.ckpt", 64);
+  auto store = OpenStore(dir);
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  EXPECT_TRUE((*store)->recovery().fell_back);
+  EXPECT_EQ((*store)->recovery().generation, 5u);
+  auto blob = (*store)->ReadSegment(1);
+  ASSERT_TRUE(blob.ok()) << blob.status().ToString();
+  EXPECT_EQ(blob->physical, p);
 }
 
 TEST(PersistentStoreTest, AllRootsCorruptRefusesSilently) {
